@@ -1,0 +1,47 @@
+// Extension bench: the CPA/biCPA allocation trade-off (the paper's refs
+// [1]/[9]) — "determining the needed number of VMs a workflow requires".
+// For each paper workflow, sweep the fixed-pool size and print the
+// (makespan, cost) curve plus the knee the bi-objective selector picks.
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "scheduling/bicpa.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cloudwf;
+  const exp::ExperimentRunner runner;
+
+  for (const dag::Workflow& structure : exp::paper_workflows()) {
+    const dag::Workflow wf =
+        runner.materialize(structure, workload::ScenarioKind::pareto);
+
+    std::cout << "=== " << wf.name()
+              << ": biCPA allocation curve (small instances) ===\n\n";
+    util::TextTable t({"pool VMs", "makespan (s)", "cost ($)", "note"});
+    const auto curve =
+        scheduling::allocation_curve(wf, runner.platform(),
+                                     cloud::InstanceSize::small);
+
+    const sim::Schedule budget_pick =
+        scheduling::BiCpaScheduler(scheduling::BiCpaScheduler::Objective::budget,
+                                   2.0)
+            .run(wf, runner.platform());
+    const sim::Schedule deadline_pick =
+        scheduling::BiCpaScheduler(
+            scheduling::BiCpaScheduler::Objective::deadline, 1.5)
+            .run(wf, runner.platform());
+
+    for (const scheduling::AllocationPoint& p : curve) {
+      std::string note;
+      if (p.pool_size == budget_pick.pool().size()) note += "<- budget pick ";
+      if (p.pool_size == deadline_pick.pool().size()) note += "<- deadline pick";
+      t.add_row({std::to_string(p.pool_size),
+                 util::format_double(p.makespan, 1),
+                 util::format_double(p.cost.dollars(), 3), note});
+    }
+    std::cout << t << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 1: the five VM provisioning policies exemplified on the
+// CSTEM sub-workflow of "one initial task and subsequent six tasks", drawn
+// as Gantt charts with paid-but-idle time visible (the figure's I-marked
+// rectangles) and the per-policy VM/BTU/idle accounting.
+#include <iostream>
+
+#include "scheduling/factory.hpp"
+#include "sim/gantt.hpp"
+#include "sim/metrics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cloudwf;
+
+  // The Fig. 1 sub-workflow: one initial task fanning out to six tasks.
+  // Runtimes chosen to exercise the BTU boundary the figure illustrates
+  // (some reuse fits the first BTU, some would exceed it).
+  dag::Workflow wf("fig1");
+  const dag::TaskId init = wf.add_task("T0", 1800.0);
+  const double works[6] = {2400.0, 2000.0, 1500.0, 1200.0, 900.0, 600.0};
+  for (int i = 0; i < 6; ++i) {
+    const dag::TaskId t = wf.add_task("T" + std::to_string(i + 1), works[i]);
+    wf.add_edge(init, t);
+  }
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  util::TextTable summary(
+      {"provisioning", "VMs", "BTUs", "cost", "idle (s)", "makespan (s)"});
+
+  std::cout << "=== Fig. 1: provisioning policies on the CSTEM sub-workflow "
+               "(1 initial + 6 subsequent tasks) ===\n"
+            << "('#' = running, '.' = paid but idle — the figure's I-marked "
+               "rectangles; one BTU = 3600 s)\n\n";
+
+  for (const char* label :
+       {"OneVMperTask-s", "StartParNotExceed-s", "StartParExceed-s",
+        "AllParNotExceed-s", "AllParExceed-s"}) {
+    const scheduling::Strategy strategy = scheduling::strategy_by_label(label);
+    const sim::Schedule schedule = strategy.scheduler->run(wf, platform);
+    const sim::ScheduleMetrics m = sim::compute_metrics(wf, schedule, platform);
+
+    std::cout << "--- " << label << " ---\n";
+    sim::GanttOptions opts;
+    opts.width = 90;
+    std::cout << sim::render_gantt(wf, schedule, opts) << '\n';
+
+    summary.add_row({label, std::to_string(m.vms_used),
+                     std::to_string(m.total_btus), m.total_cost.to_string(),
+                     util::format_double(m.total_idle, 0),
+                     util::format_double(m.makespan, 1)});
+  }
+
+  std::cout << "=== Fig. 1 accounting summary ===\n\n" << summary << '\n';
+  std::cout << "Expected shape (Sect. III-A): OneVMperTask rents the most VMs\n"
+               "and produces the largest idle; StartParExceed reuses one VM\n"
+               "(cost floor, makespan ceiling, neglectable idle);\n"
+               "the NotExceed variants rent extra VMs exactly where a reuse\n"
+               "would cross the BTU boundary.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 3: the CDF of the Pareto(shape 2, scale 500) execution
+// time distribution used by the Pareto scenario (Feitelson's model).
+//
+// Usage: bench_fig3_pareto_cdf [samples] [seed]
+// Prints a gnuplot-ready (value, cumulative probability) series over the
+// paper's plotted range 500..4000 s, plus an ASCII rendition.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "workload/pareto.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+
+  const std::size_t samples =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 10'000;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0x1db2013;
+
+  const workload::ParetoDistribution dist =
+      workload::paper_exec_time_distribution();
+  util::Rng rng(seed);
+  const std::vector<double> xs = dist.sample_n(samples, rng);
+
+  std::cout << "=== Fig. 3: CDF for the Pareto distribution of execution times ===\n";
+  std::cout << "# shape=" << dist.shape() << " scale=" << dist.scale()
+            << " samples=" << samples << " seed=" << seed << "\n\n";
+
+  std::cout << "# gnuplot data: execution_time empirical_cdf analytical_cdf\n";
+  constexpr double kLo = 500.0;
+  constexpr double kHi = 4000.0;  // the paper's plotted x-range
+  constexpr int kPoints = 36;
+  for (int i = 0; i <= kPoints; ++i) {
+    const double x = kLo + (kHi - kLo) * i / kPoints;
+    std::size_t below = 0;
+    for (double v : xs)
+      if (v <= x) ++below;
+    const double empirical = static_cast<double>(below) / static_cast<double>(samples);
+    std::cout << util::format_double(x, 1) << ' '
+              << util::format_double(empirical, 4) << ' '
+              << util::format_double(dist.cdf(x), 4) << '\n';
+  }
+
+  std::cout << "\n# ASCII rendition (x: 500..4000 s, y: 0..1)\n";
+  for (int row = 10; row >= 0; --row) {
+    const double y = row / 10.0;
+    std::cout << util::format_double(y, 1) << " |";
+    for (int i = 0; i <= 60; ++i) {
+      const double x = kLo + (kHi - kLo) * i / 60.0;
+      std::cout << (dist.cdf(x) >= y - 0.05 && dist.cdf(x) < y + 0.05 ? '*' : ' ');
+    }
+    std::cout << '\n';
+  }
+  std::cout << "    +" << std::string(61, '-') << "\n     500"
+            << std::string(48, ' ') << "4000 (s)\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 4 (a-d): makespan gain vs. cost loss for every strategy,
+// per workflow, over the three execution-time scenarios.
+//
+// Usage: bench_fig4_gain_loss [montage|cstem|mapreduce|sequential|all]
+// Prints the per-panel point tables, the gnuplot data blocks, and the
+// paper's headline checks (who sits in the target square).
+#include <iostream>
+#include <string>
+
+#include "exp/fig4.hpp"
+
+namespace {
+void print_panel(const cloudwf::exp::Fig4Panel& panel) {
+  std::cout << "=== Fig. 4 (" << panel.workflow
+            << "): % makespan gain vs % $ loss, reference OneVMperTask-s ===\n\n";
+  std::cout << cloudwf::exp::fig4_table(panel) << '\n';
+
+  std::size_t in_square = 0;
+  for (const auto& p : panel.points)
+    if (p.in_target_square()) ++in_square;
+  std::cout << in_square << " of " << panel.points.size()
+            << " strategy points fall in the target square (gain >= 0, loss <= 0)\n\n";
+  std::cout << cloudwf::exp::fig4_gnuplot(panel) << '\n';
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+  const std::string which = argc > 1 ? argv[1] : "all";
+
+  const exp::ExperimentRunner runner;
+  bool matched = false;
+  for (const dag::Workflow& wf : exp::paper_workflows()) {
+    if (which != "all" && wf.name() != which) continue;
+    matched = true;
+    print_panel(exp::fig4_panel(runner, wf));
+  }
+  if (!matched) {
+    std::cerr << "unknown workflow '" << which
+              << "' (expected montage|cstem|mapreduce|sequential|all)\n";
+    return 1;
+  }
+  return 0;
+}

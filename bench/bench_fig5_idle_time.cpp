@@ -1,0 +1,34 @@
+// Reproduces Fig. 5 (a-d): total idle time per strategy for each workflow
+// under the Pareto execution-time scenario, with ASCII bars.
+#include <algorithm>
+#include <iostream>
+
+#include "exp/fig5.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace cloudwf;
+  const exp::ExperimentRunner runner;
+
+  for (const exp::Fig5Panel& panel : exp::fig5_all(runner)) {
+    std::cout << "=== Fig. 5 (" << panel.workflow
+              << "): idle time (s), Pareto scenario ===\n\n";
+    std::cout << exp::fig5_table(panel) << '\n';
+
+    util::Seconds max_idle = 0;
+    for (const exp::Fig5Bar& b : panel.bars)
+      max_idle = std::max(max_idle, b.idle_time);
+    if (max_idle > 0) {
+      for (const exp::Fig5Bar& b : panel.bars) {
+        const int width = static_cast<int>(50.0 * b.idle_time / max_idle);
+        std::cout << b.strategy
+                  << std::string(22 - std::min<std::size_t>(b.strategy.size(), 21),
+                                 ' ')
+                  << std::string(static_cast<std::size_t>(width), '#') << ' '
+                  << util::format_double(b.idle_time, 0) << "s\n";
+      }
+    }
+    std::cout << '\n' << exp::fig5_gnuplot(panel) << '\n';
+  }
+  return 0;
+}

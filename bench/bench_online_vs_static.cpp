@@ -1,0 +1,109 @@
+// Extension bench: static plans vs online dispatch under runtime-estimate
+// error (the substrate for the paper's "adaptive scheduling" outlook).
+//
+// For each provisioning policy and error level sigma, compares:
+//   static  — the paper's schedule built from estimates, then replayed with
+//             the actual (perturbed) runtimes;
+//   online  — the same policy deciding at task-ready time, seeing actual
+//             completions as they happen.
+//
+// Usage: bench_online_vs_static [reps]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "scheduling/online_dispatch.hpp"
+#include "sim/elastic.hpp"
+#include "sim/metrics.hpp"
+#include "sim/online.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+  const int reps =
+      argc > 1 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 15;
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const exp::ExperimentRunner runner;
+  const dag::Workflow wf = runner.materialize(exp::paper_workflows()[0],
+                                              workload::ScenarioKind::pareto);
+
+  const std::array<provisioning::ProvisioningKind, 5> kinds = {
+      provisioning::ProvisioningKind::one_vm_per_task,
+      provisioning::ProvisioningKind::start_par_not_exceed,
+      provisioning::ProvisioningKind::start_par_exceed,
+      provisioning::ProvisioningKind::all_par_not_exceed,
+      provisioning::ProvisioningKind::all_par_exceed,
+  };
+
+  for (double sigma : {0.0, 0.2, 0.5, 1.0}) {
+    std::cout << "=== montage, runtime-estimate error sigma = " << sigma
+              << " (" << reps << " reps) ===\n\n";
+    util::TextTable t({"provisioning", "static-replayed mean (s)",
+                       "online mean (s)", "online/static"});
+
+    for (provisioning::ProvisioningKind kind : kinds) {
+      // The corresponding static schedule (HEFT or level scheduler).
+      const std::string label =
+          std::string(provisioning::name_of(kind)) + "-s";
+      const sim::Schedule static_s =
+          scheduling::strategy_by_label(label).scheduler->run(wf, platform);
+
+      double static_sum = 0;
+      double online_sum = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        util::Rng rng(static_cast<std::uint64_t>(rep) * 977 + 13);
+        sim::RuntimeErrorModel model;
+        model.sigma = sigma;
+        const auto actual = model.sample_actual_works(wf, rng);
+        static_sum +=
+            sim::replay_with_actuals(wf, static_s, platform, actual).makespan;
+        online_sum += scheduling::run_online(wf, platform, kind,
+                                             cloud::InstanceSize::small, actual)
+                          .makespan;
+      }
+      const double static_mean = static_sum / reps;
+      const double online_mean = online_sum / reps;
+      t.add_row({std::string(provisioning::name_of(kind)),
+                 util::format_double(static_mean, 0),
+                 util::format_double(online_mean, 0),
+                 util::format_double(online_mean / static_mean, 3)});
+    }
+    std::cout << t << '\n';
+  }
+
+  // --- The elastic auto-scaling runtime against the static portfolio -----
+  std::cout << "=== Elastic auto-scaling runtime vs static plans "
+               "(all paper workflows, Pareto) ===\n\n";
+  util::TextTable elastic_table(
+      {"workflow", "elastic makespan (s)", "elastic cost ($)",
+       "peak pool", "scale-ups", "static best makespan (s)",
+       "static cheapest ($)"});
+  for (const dag::Workflow& structure : exp::paper_workflows()) {
+    const dag::Workflow ewf =
+        runner.materialize(structure, workload::ScenarioKind::pareto);
+    const sim::ElasticResult elastic = sim::run_elastic(ewf, platform);
+    const sim::ScheduleMetrics em =
+        sim::compute_metrics(ewf, elastic.schedule, platform);
+
+    util::Seconds best_ms = 0;
+    util::Money cheapest;
+    bool first = true;
+    for (const exp::RunResult& r :
+         runner.run_all(structure, workload::ScenarioKind::pareto)) {
+      if (first || r.metrics.makespan < best_ms) best_ms = r.metrics.makespan;
+      if (first || r.metrics.total_cost < cheapest)
+        cheapest = r.metrics.total_cost;
+      first = false;
+    }
+    elastic_table.add_row(
+        {ewf.name(), util::format_double(elastic.makespan, 0),
+         util::format_double(em.total_cost.dollars(), 2),
+         std::to_string(elastic.peak_pool), std::to_string(elastic.scale_ups),
+         util::format_double(best_ms, 0),
+         util::format_double(cheapest.dollars(), 2)});
+  }
+  std::cout << elastic_table << '\n';
+  return 0;
+}

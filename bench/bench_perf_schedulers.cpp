@@ -1,0 +1,119 @@
+// Performance and scaling benchmarks (google-benchmark): scheduler runtime
+// over growing random layered DAGs, plus the core substrate operations.
+// Not a paper artifact — this validates that the simulator itself scales
+// to the "custom workflows" the paper's future work calls for.
+#include <benchmark/benchmark.h>
+
+#include "dag/generators.hpp"
+#include "dag/graph_algo.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/metrics.hpp"
+#include "workload/pareto.hpp"
+
+namespace {
+
+using namespace cloudwf;
+
+dag::Workflow make_workflow(std::size_t approx_tasks, std::uint64_t seed) {
+  util::Rng rng(seed);
+  dag::generators::LayeredConfig cfg;
+  cfg.max_width = 8;
+  cfg.min_width = 2;
+  cfg.levels = std::max<std::size_t>(2, approx_tasks / 5);
+  cfg.edge_density = 0.4;
+  cfg.skip_density = 0.02;
+  dag::Workflow wf = dag::generators::random_layered(cfg, rng);
+
+  const workload::ParetoDistribution exec = workload::paper_exec_time_distribution();
+  for (const dag::Task& t : wf.tasks()) wf.task(t.id).work = exec.sample(rng);
+  return wf;
+}
+
+void BM_WorkflowConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_workflow(n, seed++));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WorkflowConstruction)->Range(64, 8192)->Complexity();
+
+void BM_TopologicalOrder(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(dag::topological_order(wf));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TopologicalOrder)->Range(64, 8192)->Complexity();
+
+void BM_UpwardRank(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 7);
+  const auto exec = [&](dag::TaskId t) { return wf.task(t).work; };
+  const auto comm = [](dag::TaskId, dag::TaskId) { return 1.0; };
+  for (auto _ : state) benchmark::DoNotOptimize(dag::upward_rank(wf, exec, comm));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UpwardRank)->Range(64, 8192)->Complexity();
+
+template <const char* kLabel>
+void BM_Strategy(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 13);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const scheduling::Strategy strat = scheduling::strategy_by_label(kLabel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strat.scheduler->run(wf, platform));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+constexpr char kHeftOneVm[] = "OneVMperTask-s";
+constexpr char kHeftStartPar[] = "StartParNotExceed-s";
+constexpr char kLevelAllPar[] = "AllParExceed-s";
+constexpr char kLnS[] = "AllPar1LnS";
+constexpr char kLnSDyn[] = "AllPar1LnSDyn";
+BENCHMARK(BM_Strategy<kHeftOneVm>)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Strategy<kHeftStartPar>)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Strategy<kLevelAllPar>)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Strategy<kLnS>)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Strategy<kLnSDyn>)->Range(64, 4096)->Complexity();
+
+// The quadratic-ish dynamic SAs get a smaller range.
+template <const char* kLabel>
+void BM_DynamicStrategy(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 17);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const scheduling::Strategy strat = scheduling::strategy_by_label(kLabel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strat.scheduler->run(wf, platform));
+  }
+  state.SetComplexityN(state.range(0));
+}
+constexpr char kCpa[] = "CPA-Eager";
+constexpr char kGain[] = "GAIN";
+BENCHMARK(BM_DynamicStrategy<kCpa>)->Range(16, 256)->Complexity();
+BENCHMARK(BM_DynamicStrategy<kGain>)->Range(16, 256)->Complexity();
+
+void BM_EventReplay(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 23);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const sim::Schedule schedule =
+      scheduling::reference_strategy().scheduler->run(wf, platform);
+  const sim::EventSimulator simulator(platform);
+  for (auto _ : state) benchmark::DoNotOptimize(simulator.replay(wf, schedule));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventReplay)->Range(64, 8192)->Complexity();
+
+void BM_Metrics(benchmark::State& state) {
+  const dag::Workflow wf = make_workflow(static_cast<std::size_t>(state.range(0)), 29);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const sim::Schedule schedule =
+      scheduling::reference_strategy().scheduler->run(wf, platform);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::compute_metrics(wf, schedule, platform));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Metrics)->Range(64, 8192)->Complexity();
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Reproduces Table II: the EC2 platform model (regions, on-demand prices,
+// transfer-out rates) plus the instance catalog the experiments run on.
+#include <iostream>
+
+#include "cloud/platform.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cloudwf;
+
+  std::cout << "=== Table II: Amazon EC2 prices on October 31st 2012 ===\n\n";
+  util::TextTable prices({"region", "small", "medium", "large", "xlarge",
+                          "transfer out"});
+  for (const cloud::Region& r : cloud::ec2_regions()) {
+    prices.add_row({r.name,
+                    util::format_double(r.price(cloud::InstanceSize::small).dollars(), 3),
+                    util::format_double(r.price(cloud::InstanceSize::medium).dollars(), 3),
+                    util::format_double(r.price(cloud::InstanceSize::large).dollars(), 3),
+                    util::format_double(r.price(cloud::InstanceSize::xlarge).dollars(), 3),
+                    util::format_double(r.transfer_out_per_gb.dollars(), 3)});
+  }
+  std::cout << prices << '\n';
+
+  std::cout << "=== Instance catalog (Sect. IV-A) ===\n\n";
+  util::TextTable catalog({"size", "cores", "speed-up", "link (Gb/s)",
+                           "speed-up per price unit"});
+  for (cloud::InstanceSize s : cloud::kAllSizes) {
+    catalog.add_row({std::string(cloud::name_of(s)),
+                     std::to_string(cloud::cores_of(s)),
+                     util::format_double(cloud::speedup_of(s), 2),
+                     util::format_double(cloud::link_of(s), 0),
+                     util::format_double(cloud::speedup_of(s) /
+                                             static_cast<double>(1 << cloud::index_of(s)),
+                                         3)});
+  }
+  std::cout << catalog << '\n';
+  std::cout << "BTU = " << util::kBtu << " s; boot time ignored (pre-booting, "
+               "static schedules).\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Generates the single-document Markdown reproduction report.
+// Usage: bench_report [output.md] [seed]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "adaptive/markdown_report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+
+  workload::ScenarioConfig cfg;
+  if (argc > 2) cfg.seed = std::strtoull(argv[2], nullptr, 10);
+  const exp::ExperimentRunner runner(cloud::Platform::ec2(), cfg);
+
+  const std::string report = adaptive::markdown_report(runner);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::cerr << "cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    out << report;
+    std::cout << "wrote " << report.size() << " bytes to " << argv[1] << '\n';
+  } else {
+    std::cout << report;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Robustness bench (extension):
+//  (1) seed sweep — the Fig. 4 points as distributions over re-rolled
+//      Pareto execution times (is "AllPar gain is stable" stable?);
+//  (2) fault exposure — replay every strategy's schedule under a Poisson
+//      VM-failure process; strategies with more rented machine-hours absorb
+//      more failures.
+//
+// Usage: bench_robustness [seeds] [failure-rate-per-vm-hour]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/seed_sweep.hpp"
+#include "sim/faults.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+
+  const std::size_t seeds =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 20;
+  const double rate = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const exp::ExperimentRunner runner;
+
+  for (const dag::Workflow& structure : exp::paper_workflows()) {
+    std::cout << "=== " << structure.name() << ": Fig. 4 over " << seeds
+              << " seeds ===\n\n";
+    std::cout << exp::seed_sweep_table(
+                     exp::seed_sweep(structure, platform, seeds))
+              << '\n';
+  }
+
+  std::cout << "=== Fault exposure (" << rate
+            << " failures per VM-execution-hour, montage, Pareto) ===\n\n";
+  const dag::Workflow wf = runner.materialize(exp::paper_workflows()[0],
+                                              workload::ScenarioKind::pareto);
+  sim::FaultModel model;
+  model.failures_per_vm_hour = rate;
+
+  util::TextTable t({"strategy", "fault-free makespan (s)",
+                     "faulty makespan mean (s)", "slowdown",
+                     "failures mean"});
+  for (const scheduling::Strategy& s : scheduling::paper_strategies()) {
+    const sim::Schedule schedule = s.scheduler->run(wf, platform);
+    const util::Seconds clean = schedule.makespan();
+    double faulty_sum = 0;
+    double failures_sum = 0;
+    constexpr int kReps = 25;
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::Rng rng(static_cast<std::uint64_t>(rep) + 17);
+      const sim::FaultyReplayResult r =
+          sim::replay_with_faults(wf, schedule, platform, model, rng);
+      faulty_sum += r.makespan;
+      failures_sum += static_cast<double>(r.failures);
+    }
+    const double faulty_mean = faulty_sum / kReps;
+    t.add_row({s.label, util::format_double(clean, 0),
+               util::format_double(faulty_mean, 0),
+               util::format_double(faulty_mean / clean, 3) + "x",
+               util::format_double(failures_sum / kReps, 2)});
+  }
+  std::cout << t << '\n';
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension bench: the paper's future work executed — "custom workflows
+// ... with various properties from different workloads". Runs the full
+// strategy portfolio over the standard scientific-workflow suite
+// (Epigenomics, CyberShake, LIGO, SIPHT) and reports winners + the
+// adaptive advisor's picks for each.
+#include <iostream>
+
+#include "adaptive/advisor.hpp"
+#include "dag/science.hpp"
+#include "exp/pareto_front.hpp"
+#include "exp/report.hpp"
+#include "exp/table5.hpp"
+
+int main() {
+  using namespace cloudwf;
+  const exp::ExperimentRunner runner;
+
+  for (const dag::Workflow& base :
+       {dag::science::epigenomics(), dag::science::cybershake(),
+        dag::science::ligo(), dag::science::sipht()}) {
+    const dag::Workflow wf =
+        runner.materialize(base, workload::ScenarioKind::pareto);
+    std::cout << "=== " << wf.name() << " ===\n"
+              << adaptive::describe(adaptive::compute_features(wf)) << "\n\n";
+
+    const auto results = runner.run_all(base, workload::ScenarioKind::pareto);
+    std::cout << exp::results_table(results) << '\n';
+
+    const exp::Table5Row winners = exp::table5_row(results);
+    std::cout << "best savings: " << winners.best_savings << ", best gain: "
+              << winners.best_gain << ", best balance: " << winners.best_balance
+              << "\n";
+
+    std::cout << "(makespan, cost) front: ";
+    bool first = true;
+    for (const exp::FrontPoint& p :
+         exp::undominated(exp::pareto_front(results))) {
+      std::cout << (first ? "" : " -> ") << p.strategy;
+      first = false;
+    }
+    std::cout << "\n\nadvisor picks: ";
+    const adaptive::WorkflowFeatures f = adaptive::compute_features(wf);
+    for (adaptive::Objective obj :
+         {adaptive::Objective::savings, adaptive::Objective::gain,
+          adaptive::Objective::balanced}) {
+      std::cout << name_of(obj) << "=" << adaptive::advise(f, obj).strategy_label
+                << ' ';
+    }
+    std::cout << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table V: the conclusions summary — per workflow, the measured
+// best strategy for each user objective — plus the adaptive advisor's
+// Table-V-rule recommendations side by side.
+#include <iostream>
+
+#include "adaptive/advisor.hpp"
+#include "exp/table5.hpp"
+
+int main() {
+  using namespace cloudwf;
+  const exp::ExperimentRunner runner;
+
+  std::cout << "=== Table V: measured winners per objective (Pareto scenario) "
+               "===\n\n";
+  const auto rows = exp::table5_all(runner);
+  std::cout << exp::table5_render(rows) << '\n';
+
+  std::cout << "=== Adaptive advisor (Table V operationalised) ===\n\n";
+  util::TextTable advice({"workflow", "features", "savings pick", "gain pick",
+                          "balanced pick"});
+  for (const dag::Workflow& base : exp::paper_workflows()) {
+    const dag::Workflow wf =
+        runner.materialize(base, workload::ScenarioKind::pareto);
+    const adaptive::WorkflowFeatures f = adaptive::compute_features(wf);
+    advice.add_row(
+        {wf.name(), adaptive::describe(f),
+         adaptive::advise(f, adaptive::Objective::savings).strategy_label,
+         adaptive::advise(f, adaptive::Objective::gain).strategy_label,
+         adaptive::advise(f, adaptive::Objective::balanced).strategy_label});
+  }
+  std::cout << advice << '\n';
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Adaptive advisor: the paper's conclusion made interactive — inspect a
+// workflow's structural features, get a Table-V recommendation per
+// objective, and verify the advice by actually running it against the
+// whole strategy portfolio.
+//
+// Usage: adaptive_advisor [workflow-file]
+// With no argument it demonstrates on the four paper workflows.
+#include <iostream>
+
+#include "adaptive/advisor.hpp"
+#include "dag/io.hpp"
+#include "exp/experiment.hpp"
+
+namespace {
+
+using namespace cloudwf;
+
+void advise_and_check(const exp::ExperimentRunner& runner,
+                      const dag::Workflow& structure) {
+  const dag::Workflow wf =
+      runner.materialize(structure, workload::ScenarioKind::pareto);
+  const adaptive::WorkflowFeatures features = adaptive::compute_features(wf);
+
+  std::cout << "=== " << wf.name() << " ===\n"
+            << adaptive::describe(features) << "\n\n";
+
+  // Run the full portfolio once so the advice can be ranked against it.
+  const auto results = runner.run_all(structure, workload::ScenarioKind::pareto);
+
+  for (adaptive::Objective obj :
+       {adaptive::Objective::savings, adaptive::Objective::gain,
+        adaptive::Objective::balanced}) {
+    const adaptive::Advice advice = adaptive::advise(features, obj);
+    std::cout << name_of(obj) << ": " << advice.strategy_label << "\n    ("
+              << advice.rationale << ")\n";
+
+    // Where does the recommendation land among all 19 strategies?
+    for (const exp::RunResult& r : results) {
+      if (r.strategy != advice.strategy_label) continue;
+      std::cout << "    measured: gain " << r.relative.gain_pct << "%, savings "
+                << r.relative.savings_pct() << "%, makespan "
+                << r.metrics.makespan << " s, cost " << r.metrics.total_cost
+                << "\n";
+    }
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::ExperimentRunner runner;
+
+  if (argc > 1) {
+    const dag::Workflow wf = dag::load_workflow(argv[1]);
+    advise_and_check(runner, wf);
+    return 0;
+  }
+  for (const dag::Workflow& wf : exp::paper_workflows())
+    advise_and_check(runner, wf);
+  return 0;
+}

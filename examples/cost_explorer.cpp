@@ -1,0 +1,103 @@
+// Cost explorer: what-if analysis over the EC2 platform model — sweep a
+// MapReduce workflow's width, compare regions (including cross-region
+// egress billing), and show the BTU quantization effects that drive the
+// paper's NotExceed/Exceed split.
+#include <iostream>
+
+#include "dag/builders.hpp"
+#include "exp/experiment.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace cloudwf;
+
+// How do strategy costs scale as MapReduce widens? (The "instance-intensive"
+// regime of the related work.)
+void width_sweep() {
+  std::cout << "=== MapReduce width sweep (Pareto works, cost in $) ===\n\n";
+  util::TextTable t({"maps", "OneVMperTask-s", "StartParExceed-s",
+                     "AllParExceed-s", "AllPar1LnS", "AllPar1LnSDyn"});
+  const exp::ExperimentRunner runner;
+  for (std::size_t maps : {2u, 4u, 8u, 16u, 32u}) {
+    const dag::Workflow base = dag::builders::map_reduce(maps, maps / 2 + 1);
+    std::vector<std::string> row = {std::to_string(maps)};
+    for (const char* label :
+         {"OneVMperTask-s", "StartParExceed-s", "AllParExceed-s", "AllPar1LnS",
+          "AllPar1LnSDyn"}) {
+      const exp::RunResult r =
+          runner.run_one(scheduling::strategy_by_label(label), base,
+                         workload::ScenarioKind::pareto);
+      row.push_back(util::format_double(r.metrics.total_cost.dollars(), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t << '\n';
+}
+
+// Same schedule, different home regions: Table II price spreads.
+void region_sweep() {
+  std::cout << "=== Region sweep: CSTEM, AllParExceed-s ===\n\n";
+  util::TextTable t({"region", "cost", "vs Virginia"});
+  const dag::Workflow base = dag::builders::cstem();
+
+  util::Money virginia_cost;
+  for (const cloud::Region& region : cloud::ec2_regions()) {
+    const cloud::Platform platform(
+        std::vector<cloud::Region>(cloud::ec2_regions().begin(),
+                                   cloud::ec2_regions().end()),
+        region.id);
+    const exp::ExperimentRunner runner(platform);
+    const exp::RunResult r =
+        runner.run_one(scheduling::strategy_by_label("AllParExceed-s"), base,
+                       workload::ScenarioKind::pareto);
+    if (region.id == 0) virginia_cost = r.metrics.total_cost;
+    const double pct =
+        100.0 *
+        (static_cast<double>((r.metrics.total_cost - virginia_cost).micros()) /
+         static_cast<double>(virginia_cost.micros()));
+    t.add_row({region.name, r.metrics.total_cost.to_string(),
+               (region.id == 0 ? "-" : util::format_double(pct, 1) + "%")});
+  }
+  std::cout << t << '\n';
+}
+
+// BTU quantization: the same task duration costs very differently around
+// BTU boundaries — the effect behind the NotExceed policies.
+void btu_staircase() {
+  std::cout << "=== BTU staircase: one task on one small VM ===\n\n";
+  util::TextTable t({"task runtime (s)", "BTUs", "cost", "paid utilization"});
+  const cloud::Region& region = cloud::ec2_regions()[0];
+  for (double runtime : {1800.0, 3599.0, 3600.0, 3601.0, 5400.0, 7200.0, 7201.0}) {
+    const auto btus = cloud::btus_for(runtime);
+    t.add_row({util::format_double(runtime, 0), std::to_string(btus),
+               cloud::rental_cost(runtime, cloud::InstanceSize::small, region)
+                   .to_string(),
+               util::format_double(
+                   100.0 * runtime / (static_cast<double>(btus) * util::kBtu), 1) +
+                   "%"});
+  }
+  std::cout << t << '\n';
+}
+
+// Cross-region placement: what egress costs when data leaves a region.
+void egress_demo() {
+  std::cout << "=== Cross-region egress (11 GB out of each region) ===\n\n";
+  util::TextTable t({"source region", "egress cost"});
+  for (const cloud::Region& region : cloud::ec2_regions())
+    t.add_row({region.name, cloud::egress_cost(11.0, region).to_string()});
+  std::cout << t << '\n';
+}
+
+}  // namespace
+
+int main() {
+  width_sweep();
+  region_sweep();
+  btu_staircase();
+  egress_demo();
+  return 0;
+}

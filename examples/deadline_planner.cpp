@@ -1,0 +1,56 @@
+// Deadline/budget planner walkthrough: the practitioner's question — "run
+// this MapReduce under $1 and 90 minutes, what do I pick?" — answered by
+// the portfolio planner, then stress-tested by tightening each constraint
+// until it breaks.
+//
+// Usage: deadline_planner [budget-usd] [deadline-s]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/planner.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+
+  const double budget_usd = argc > 1 ? std::strtod(argv[1], nullptr) : 1.0;
+  const double deadline_s = argc > 2 ? std::strtod(argv[2], nullptr) : 5400.0;
+
+  const exp::ExperimentRunner runner;
+  const dag::Workflow mapreduce = exp::paper_workflows()[2];
+
+  exp::PlanConstraints constraints;
+  constraints.budget = util::Money::from_dollars(budget_usd);
+  constraints.deadline = deadline_s;
+
+  const exp::PlanOutcome outcome = exp::plan(runner, mapreduce, constraints);
+  std::cout << "mapreduce under $" << budget_usd << " and " << deadline_s
+            << " s:\n"
+            << (outcome.feasible ? "  plan: " : "  INFEASIBLE; best effort: ")
+            << outcome.strategy << " — makespan " << outcome.metrics.makespan
+            << " s, cost " << outcome.metrics.total_cost << "\n\n";
+  std::cout << exp::plan_table(outcome, constraints) << '\n';
+
+  // How tight can each constraint get before the plan breaks?
+  std::cout << "deadline stress (budget fixed at $" << budget_usd << "):\n";
+  for (double d = deadline_s; d > 0; d *= 0.5) {
+    exp::PlanConstraints c = constraints;
+    c.deadline = d;
+    const exp::PlanOutcome o = exp::plan(runner, mapreduce, c);
+    std::cout << "  deadline " << util::format_double(d, 0) << " s -> "
+              << (o.feasible ? o.strategy : std::string("infeasible")) << '\n';
+    if (!o.feasible) break;
+  }
+
+  std::cout << "budget stress (deadline fixed at "
+            << util::format_double(deadline_s, 0) << " s):\n";
+  for (double b = budget_usd; b > 0.01; b *= 0.5) {
+    exp::PlanConstraints c = constraints;
+    c.budget = util::Money::from_dollars(b);
+    const exp::PlanOutcome o = exp::plan(runner, mapreduce, c);
+    std::cout << "  budget $" << util::format_double(b, 2) << " -> "
+              << (o.feasible ? o.strategy : std::string("infeasible")) << '\n';
+    if (!o.feasible) break;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Montage campaign: the paper's astronomy use case end-to-end — run the
+// 24-task Montage workflow through every strategy under all three
+// execution-time scenarios and print the Fig. 4-style study for it,
+// plus the DOT graph to visualize the DAG.
+#include <fstream>
+#include <iostream>
+
+#include "dag/builders.hpp"
+#include "dag/dot.hpp"
+#include "exp/fig4.hpp"
+#include "exp/fig5.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+
+  const dag::Workflow montage = dag::builders::montage24();
+  std::cout << "Montage workflow: " << montage.task_count() << " tasks, "
+            << montage.edge_count() << " dependencies\n\n";
+
+  // Optionally dump the DAG for graphviz (`montage_campaign montage.dot`).
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << dag::to_dot(montage);
+    std::cout << "wrote DOT graph to " << argv[1] << "\n\n";
+  }
+
+  const exp::ExperimentRunner runner;
+
+  // Per-scenario raw results.
+  for (workload::ScenarioKind kind : workload::kAllScenarios) {
+    std::cout << "=== scenario: " << workload::name_of(kind) << " ===\n";
+    std::cout << exp::results_table(runner.run_all(montage, kind)) << '\n';
+  }
+
+  // The paper's decision view: which strategies give both gain and savings?
+  const exp::Fig4Panel panel = exp::fig4_panel(runner, montage);
+  std::cout << "strategies in the target square (gain >= 0 and savings >= 0):\n";
+  for (const exp::Fig4Point& p : panel.points) {
+    if (p.in_target_square() && (p.gain_pct > 0 || p.loss_pct < 0)) {
+      std::cout << "  " << p.strategy << " [" << workload::name_of(p.scenario)
+                << "]: gain " << p.gain_pct << "%, savings " << -p.loss_pct
+                << "%\n";
+    }
+  }
+
+  // Idle-time (co-rental opportunity) view.
+  std::cout << '\n' << exp::fig5_table(exp::fig5_panel(runner, montage));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Spot bidding: how high should you bid? Sweep the bid fraction for one
+// strategy and watch the trade-off — low bids buy cheap hours but evictions
+// rerun work and stretch the makespan; bidding at/above on-demand removes
+// evictions but caps the savings at the market's mean discount.
+//
+// Usage: spot_bidding [strategy-label] [workflow]
+#include <iostream>
+
+#include "exp/spot_study.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudwf;
+  const std::string label = argc > 1 ? argv[1] : "AllParExceed-s";
+  const std::string workflow = argc > 2 ? argv[2] : "montage";
+
+  const exp::ExperimentRunner runner;
+  const dag::Workflow* structure = nullptr;
+  static const std::vector<dag::Workflow> workflows = exp::paper_workflows();
+  for (const dag::Workflow& wf : workflows)
+    if (wf.name() == workflow) structure = &wf;
+  if (structure == nullptr) {
+    std::cerr << "unknown workflow '" << workflow
+              << "' (montage|cstem|mapreduce|sequential)\n";
+    return 1;
+  }
+
+  std::cout << "=== Spot bidding sweep: " << label << " on " << workflow
+            << " (market mean 35% of on-demand) ===\n\n";
+  util::TextTable t({"bid (x on-demand)", "spot cost ($)", "savings vs "
+                     "on-demand", "expected evictions", "makespan (s)"});
+
+  for (double bid : {0.25, 0.40, 0.60, 0.80, 1.00, 1.20}) {
+    exp::SpotStudyConfig cfg;
+    cfg.bid_fraction = bid;
+    cfg.replay_reps = 8;
+    const auto rows = exp::spot_study(runner, *structure, cfg);
+    for (const exp::SpotStudyRow& r : rows) {
+      if (r.strategy != label) continue;
+      t.add_row({util::format_double(bid, 2),
+                 util::format_double(r.spot_cost.dollars(), 3),
+                 util::format_double(r.savings_pct, 1) + "%",
+                 util::format_double(r.evictions_expected, 1),
+                 util::format_double(r.makespan_spot, 0)});
+    }
+  }
+  std::cout << t << '\n'
+            << "Rule of thumb the sweep shows: bids below the market mean "
+               "get evicted constantly; just above it, evictions fade while "
+               "the hourly price still averages the mean — the sweet spot "
+               "sits a little over the long-run spot fraction.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "adaptive/features.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "dag/graph_algo.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace cloudwf::adaptive {
+
+WorkflowFeatures compute_features(const dag::Workflow& wf) {
+  wf.validate();
+  WorkflowFeatures f;
+  f.tasks = wf.task_count();
+  f.edges = wf.edge_count();
+
+  const std::vector<int> levels = dag::task_levels(wf);
+  const auto groups = dag::level_groups(wf);
+  f.levels = groups.size();
+  for (const auto& g : groups) f.max_width = std::max(f.max_width, g.size());
+  f.avg_width = static_cast<double>(f.tasks) / static_cast<double>(f.levels);
+
+  std::size_t skipping = 0;
+  for (const dag::Edge& e : wf.edges())
+    if (levels[e.to] - levels[e.from] >= 2) ++skipping;
+  f.interdependency =
+      f.edges == 0 ? 0.0
+                   : static_cast<double>(skipping) / static_cast<double>(f.edges);
+
+  std::vector<double> works;
+  works.reserve(f.tasks);
+  for (const dag::Task& t : wf.tasks()) works.push_back(t.work);
+  const util::Summary s = util::summarize(works);
+  f.mean_exec = s.mean;
+  f.exec_time_cv = util::coefficient_of_variation(works);
+
+  // CCR: transfer seconds at the slow-link bandwidth (1 Gb/s = 0.125 GB/s)
+  // over total computation seconds.
+  util::Seconds transfer_total = 0;
+  for (const dag::Edge& e : wf.edges())
+    transfer_total += wf.edge_data(e.from, e.to) / 0.125;
+  const util::Seconds work_total = wf.total_work();
+  f.ccr = work_total > 0 ? transfer_total / work_total : 0.0;
+
+  // Classification thresholds: calibrated on the paper's four shapes so that
+  // montage/mapreduce land in much_parallelism, cstem in some_parallelism
+  // and the chain in sequential.
+  if (f.max_width <= 1)
+    f.parallelism = ParallelismClass::sequential;
+  else if (f.avg_width >= 3.0)
+    f.parallelism = ParallelismClass::much_parallelism;
+  else
+    f.parallelism = ParallelismClass::some_parallelism;
+
+  f.many_interdependencies = f.interdependency > 0.1;
+  f.heterogeneous_tasks = f.exec_time_cv > 0.25;
+  f.data_intensive = f.ccr > 0.1;
+
+  if (f.mean_exec <= util::kBtu / 4)
+    f.task_length = TaskLengthClass::short_tasks;
+  else if (f.mean_exec >= util::kBtu)
+    f.task_length = TaskLengthClass::long_tasks;
+  else
+    f.task_length = TaskLengthClass::medium_tasks;
+
+  return f;
+}
+
+std::string describe(const WorkflowFeatures& f) {
+  std::ostringstream os;
+  os << f.tasks << " tasks, " << f.edges << " edges, " << f.levels
+     << " levels (max width " << f.max_width << ", avg "
+     << util::format_double(f.avg_width, 2) << "); ";
+  switch (f.parallelism) {
+    case ParallelismClass::sequential:
+      os << "sequential";
+      break;
+    case ParallelismClass::some_parallelism:
+      os << "some parallelism";
+      break;
+    case ParallelismClass::much_parallelism:
+      os << "much parallelism";
+      break;
+  }
+  if (f.many_interdependencies) os << " + many interdependencies";
+  if (f.data_intensive)
+    os << "; data intensive (CCR " << util::format_double(f.ccr, 2) << ")";
+  os << "; exec times " << (f.heterogeneous_tasks ? "heterogeneous" : "uniform")
+     << " (cv " << util::format_double(f.exec_time_cv, 2) << "), ";
+  switch (f.task_length) {
+    case TaskLengthClass::short_tasks:
+      os << "short tasks";
+      break;
+    case TaskLengthClass::medium_tasks:
+      os << "medium tasks";
+      break;
+    case TaskLengthClass::long_tasks:
+      os << "long tasks";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cloudwf::adaptive

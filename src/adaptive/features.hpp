@@ -1,0 +1,52 @@
+// Structural and workload features of a workflow — the properties the
+// paper's Table V keys its recommendations on: how much parallelism, how
+// interdependent the levels are, and how heterogeneous/long execution
+// times are.
+#pragma once
+
+#include <string>
+
+#include "dag/workflow.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::adaptive {
+
+enum class ParallelismClass {
+  sequential,        ///< max level width == 1 (Fig. 2d)
+  some_parallelism,  ///< modest average width (CSTEM-like)
+  much_parallelism,  ///< wide levels (MapReduce/Montage-like)
+};
+
+enum class TaskLengthClass {
+  short_tasks,   ///< all tasks fit a BTU comfortably (mean exec <= BTU/4)
+  long_tasks,    ///< tasks at or beyond the BTU scale (mean exec >= BTU)
+  medium_tasks,  ///< in between
+};
+
+struct WorkflowFeatures {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t levels = 0;
+  std::size_t max_width = 0;
+  double avg_width = 0;             ///< tasks / levels
+  double interdependency = 0;       ///< fraction of edges skipping >= 2 levels
+  double exec_time_cv = 0;          ///< coefficient of variation of works
+  util::Seconds mean_exec = 0;      ///< mean reference execution time
+
+  /// Communication-to-computation ratio: total cross-VM transfer time over
+  /// 1 Gb links divided by total reference execution time. ~0 for the
+  /// paper's CPU-intensive scenarios, >> 0.1 for data-intensive workloads.
+  double ccr = 0;
+
+  ParallelismClass parallelism = ParallelismClass::sequential;
+  bool many_interdependencies = false;  ///< interdependency > 0.1
+  bool heterogeneous_tasks = false;     ///< exec_time_cv > 0.25
+  bool data_intensive = false;          ///< ccr > 0.1
+  TaskLengthClass task_length = TaskLengthClass::medium_tasks;
+};
+
+[[nodiscard]] WorkflowFeatures compute_features(const dag::Workflow& wf);
+
+[[nodiscard]] std::string describe(const WorkflowFeatures& f);
+
+}  // namespace cloudwf::adaptive

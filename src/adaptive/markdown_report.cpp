@@ -1,0 +1,87 @@
+#include "adaptive/markdown_report.hpp"
+
+#include <sstream>
+
+#include "adaptive/advisor.hpp"
+#include "exp/fig4.hpp"
+#include "exp/fig5.hpp"
+#include "exp/pareto_front.hpp"
+#include "exp/table3.hpp"
+#include "exp/table4.hpp"
+#include "exp/table5.hpp"
+#include "util/strings.hpp"
+
+namespace cloudwf::adaptive {
+
+std::string markdown_report(const exp::ExperimentRunner& runner,
+                            const MarkdownReportOptions& options) {
+  std::ostringstream os;
+  os << "# cloudwf reproduction report\n\n"
+     << "Frincu/Genaud/Gossa, *Comparing Provisioning and Scheduling "
+        "Strategies for Workflows on Clouds* (CloudFlow @ IPDPS 2013) — "
+        "measured on the cloudwf simulator, seed `"
+     << runner.base_config().seed << "`.\n\n";
+
+  if (options.include_fig4) {
+    os << "## Fig. 4 — makespan gain vs cost loss\n\n"
+       << "Reference `OneVMperTask-s` at the origin; the target square is "
+          "gain ≥ 0 with loss ≤ 0.\n\n";
+    for (const dag::Workflow& wf : exp::paper_workflows()) {
+      const exp::Fig4Panel panel = exp::fig4_panel(runner, wf);
+      os << "### " << wf.name() << "\n\n" << exp::fig4_table(panel).to_markdown()
+         << '\n';
+    }
+  }
+
+  if (options.include_fig5) {
+    os << "## Fig. 5 — idle time (Pareto scenario)\n\n";
+    for (const dag::Workflow& wf : exp::paper_workflows()) {
+      const exp::Fig5Panel panel = exp::fig5_panel(runner, wf);
+      os << "### " << wf.name() << "\n\n" << exp::fig5_table(panel).to_markdown()
+         << '\n';
+    }
+  }
+
+  if (options.include_tables) {
+    os << "## Table III — gain/savings classification\n\n"
+       << exp::table3_render(exp::table3_all(runner)).to_markdown() << '\n'
+       << "## Table IV — savings fluctuation vs stable gain\n\n"
+       << exp::table4_render(exp::table4_all(runner)).to_markdown() << '\n'
+       << "## Table V — winners per objective\n\n"
+       << exp::table5_render(exp::table5_all(runner)).to_markdown() << '\n';
+  }
+
+  if (options.include_pareto_front) {
+    os << "## (makespan, cost) Pareto fronts\n\n";
+    for (const dag::Workflow& wf : exp::paper_workflows()) {
+      const auto results = runner.run_all(wf, workload::ScenarioKind::pareto);
+      os << "**" << wf.name() << "**: ";
+      bool first = true;
+      for (const exp::FrontPoint& p : exp::undominated(exp::pareto_front(results))) {
+        os << (first ? "" : " → ") << '`' << p.strategy << '`';
+        first = false;
+      }
+      os << "\n\n";
+    }
+  }
+
+  if (options.include_advisor) {
+    os << "## Adaptive advisor (Table V operationalised)\n\n";
+    util::TextTable advice(
+        {"workflow", "features", "savings", "gain", "balanced"});
+    for (const dag::Workflow& base : exp::paper_workflows()) {
+      const dag::Workflow wf =
+          runner.materialize(base, workload::ScenarioKind::pareto);
+      const WorkflowFeatures f = compute_features(wf);
+      advice.add_row(
+          {wf.name(), adaptive::describe(f),
+           advise(f, Objective::savings).strategy_label,
+           advise(f, Objective::gain).strategy_label,
+           advise(f, Objective::balanced).strategy_label});
+    }
+    os << advice.to_markdown() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cloudwf::adaptive

@@ -1,0 +1,24 @@
+// Single-document report generator: everything the reproduction measures,
+// as one self-contained Markdown file (tables in GFM, figures as fenced
+// data blocks) — the human-readable companion of exp/artifacts.hpp.
+#pragma once
+
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace cloudwf::adaptive {
+
+struct MarkdownReportOptions {
+  bool include_fig4 = true;
+  bool include_fig5 = true;
+  bool include_tables = true;       ///< Tables III-V
+  bool include_pareto_front = true;
+  bool include_advisor = true;
+};
+
+/// Builds the full report (runs the whole grid; takes a few seconds).
+[[nodiscard]] std::string markdown_report(const exp::ExperimentRunner& runner,
+                                          const MarkdownReportOptions& options = {});
+
+}  // namespace cloudwf::adaptive

@@ -1,0 +1,38 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+std::int64_t btus_for(util::Seconds span) {
+  if (span < 0) throw std::invalid_argument("btus_for: negative span");
+  if (span <= util::kTimeEpsilon) return 1;  // an opened rental pays >= 1 BTU
+  // Subtract the slack first so that span = k*BTU (within rounding) bills
+  // exactly k BTUs instead of k+1.
+  return static_cast<std::int64_t>(std::ceil((span - util::kTimeEpsilon) / util::kBtu));
+}
+
+util::Seconds paid_seconds(util::Seconds span) {
+  return static_cast<util::Seconds>(btus_for(span)) * util::kBtu;
+}
+
+util::Money rental_cost(util::Seconds span, InstanceSize size, const Region& region) {
+  return region.price(size) * btus_for(span);
+}
+
+util::Gigabytes billable_egress_gb(util::Gigabytes monthly_total) {
+  if (monthly_total < 0)
+    throw std::invalid_argument("billable_egress_gb: negative volume");
+  constexpr util::Gigabytes kFreeTier = 1.0;
+  constexpr util::Gigabytes kBandCap = 10.0 * 1024.0;  // 10 TB in GB
+  if (monthly_total <= kFreeTier) return 0.0;
+  const util::Gigabytes capped = monthly_total < kBandCap ? monthly_total : kBandCap;
+  return capped - kFreeTier;
+}
+
+util::Money egress_cost(util::Gigabytes monthly_total, const Region& region) {
+  return region.transfer_out_per_gb.scaled(billable_egress_gb(monthly_total));
+}
+
+}  // namespace cloudwf::cloud

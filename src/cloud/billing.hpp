@@ -1,0 +1,39 @@
+// BTU billing arithmetic (Sect. IV-A): on-demand VMs are billed in whole
+// Billing Time Units of 3600 s, and cross-region egress is billed per GB
+// inside the (1 GB, 10 TB] monthly band.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/region.hpp"
+#include "util/money.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+/// Number of BTUs paid for a rental spanning `span` seconds: ceil(span/BTU),
+/// with a minimum of 1 for any started rental (span > 0 or a zero-length
+/// rental that was nevertheless opened). Negative spans are invalid.
+[[nodiscard]] std::int64_t btus_for(util::Seconds span);
+
+/// Paid wall-clock seconds for a rental spanning `span` seconds.
+[[nodiscard]] util::Seconds paid_seconds(util::Seconds span);
+
+/// Rental cost: btus_for(span) x the region's per-BTU price for the size.
+[[nodiscard]] util::Money rental_cost(util::Seconds span, InstanceSize size,
+                                      const Region& region);
+
+/// Cross-region egress billing for one region-month.
+///
+/// The paper (after EC2's 2012 tiering): the per-GB price "is applied if the
+/// transfer size is between (1GB, 10TB] per month" — i.e. the first GB is
+/// free and the band is capped at 10 TB (beyond which the 2012 tiers get
+/// cheaper; the paper's workloads never get near it, and we saturate at the
+/// band edge).
+[[nodiscard]] util::Gigabytes billable_egress_gb(util::Gigabytes monthly_total);
+
+/// Cost of one region-month's egress at the region's transfer-out price.
+[[nodiscard]] util::Money egress_cost(util::Gigabytes monthly_total,
+                                      const Region& region);
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,22 @@
+#include "cloud/energy.hpp"
+
+namespace cloudwf::cloud {
+
+double EnergyModel::vm_energy_joules(const Vm& vm) const {
+  const util::Seconds busy = vm.busy_time();
+  const util::Seconds idle = vm.idle_time();
+  return busy * busy_watts(vm.size()) + idle * idle_watts(vm.size());
+}
+
+EnergyMetrics compute_energy(const VmPool& pool, const EnergyModel& model) {
+  EnergyMetrics m;
+  for (const Vm& vm : pool.vms()) {
+    m.busy_joules += vm.busy_time() * model.busy_watts(vm.size());
+    m.idle_joules += vm.idle_time() * model.idle_watts(vm.size());
+  }
+  m.total_joules = m.busy_joules + m.idle_joules;
+  m.idle_share = m.total_joules > 0 ? m.idle_joules / m.total_joules : 0.0;
+  return m;
+}
+
+}  // namespace cloudwf::cloud

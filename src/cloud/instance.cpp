@@ -1,0 +1,22 @@
+#include "cloud/instance.hpp"
+
+namespace cloudwf::cloud {
+
+std::optional<InstanceSize> parse_size(std::string_view text) noexcept {
+  for (InstanceSize s : kAllSizes) {
+    if (text == name_of(s) || text == suffix_of(s)) return s;
+  }
+  return std::nullopt;
+}
+
+// The paper's observation in Sect. V hinges on these ratios: renting large
+// buys speed-up 2.1 for 4x the price (benefit 2.1/4 ~ 0.525 per dollar ...
+// the paper quotes 0.675 using its own normalization), so keep the constants
+// in one place and assert the ordering they rely on.
+static_assert(speedup_of(InstanceSize::small) < speedup_of(InstanceSize::medium));
+static_assert(speedup_of(InstanceSize::medium) < speedup_of(InstanceSize::large));
+static_assert(speedup_of(InstanceSize::large) < speedup_of(InstanceSize::xlarge));
+static_assert(!next_faster(InstanceSize::xlarge).has_value());
+static_assert(*next_faster(InstanceSize::small) == InstanceSize::medium);
+
+}  // namespace cloudwf::cloud

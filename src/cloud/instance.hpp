@@ -1,0 +1,76 @@
+// EC2-style instance types: the four on-demand sizes of the paper (Sect. IV-A).
+//
+// Speed-ups 1 / 1.6 / 2.1 / 2.7 relative to the small instance (figures the
+// paper takes from Stata/MP); small and medium have 1 Gb links, large and
+// xlarge 10 Gb links; prices are regional (see cloud/region.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+enum class InstanceSize : std::uint8_t { small = 0, medium = 1, large = 2, xlarge = 3 };
+
+inline constexpr std::array<InstanceSize, 4> kAllSizes = {
+    InstanceSize::small, InstanceSize::medium, InstanceSize::large,
+    InstanceSize::xlarge};
+
+/// Number of instance sizes (for array-indexed tables).
+inline constexpr std::size_t kSizeCount = 4;
+
+[[nodiscard]] constexpr std::size_t index_of(InstanceSize s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+
+[[nodiscard]] constexpr std::string_view name_of(InstanceSize s) noexcept {
+  constexpr std::array<std::string_view, kSizeCount> names = {"small", "medium",
+                                                              "large", "xlarge"};
+  return names[index_of(s)];
+}
+
+/// Short suffix used in the paper's strategy labels ("-s", "-m", "-l", "-xl").
+[[nodiscard]] constexpr std::string_view suffix_of(InstanceSize s) noexcept {
+  constexpr std::array<std::string_view, kSizeCount> sfx = {"s", "m", "l", "xl"};
+  return sfx[index_of(s)];
+}
+
+/// Parses "small"/"medium"/"large"/"xlarge" or the short suffix.
+[[nodiscard]] std::optional<InstanceSize> parse_size(std::string_view text) noexcept;
+
+/// Speed-up over the baseline small instance: a task of reference work w runs
+/// in w / speedup_of(size) seconds.
+[[nodiscard]] constexpr double speedup_of(InstanceSize s) noexcept {
+  constexpr std::array<double, kSizeCount> speedups = {1.0, 1.6, 2.1, 2.7};
+  return speedups[index_of(s)];
+}
+
+[[nodiscard]] constexpr int cores_of(InstanceSize s) noexcept {
+  constexpr std::array<int, kSizeCount> cores = {1, 2, 4, 8};
+  return cores[index_of(s)];
+}
+
+/// Network link speed: 1 Gb for small/medium, 10 Gb for large/xlarge.
+[[nodiscard]] constexpr util::GbitPerSec link_of(InstanceSize s) noexcept {
+  constexpr std::array<double, kSizeCount> links = {1.0, 1.0, 10.0, 10.0};
+  return links[index_of(s)];
+}
+
+/// Next faster size, if any (used by the VM-upgrading dynamic schedulers).
+[[nodiscard]] constexpr std::optional<InstanceSize> next_faster(
+    InstanceSize s) noexcept {
+  if (s == InstanceSize::xlarge) return std::nullopt;
+  return static_cast<InstanceSize>(index_of(s) + 1);
+}
+
+/// Execution time of a task with the given reference work on this size.
+[[nodiscard]] constexpr util::Seconds exec_time(util::Seconds reference_work,
+                                                InstanceSize s) noexcept {
+  return reference_work / speedup_of(s);
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,38 @@
+#include "cloud/platform.hpp"
+
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+Platform Platform::ec2() {
+  const std::span<const Region> table = ec2_regions();
+  return Platform(std::vector<Region>(table.begin(), table.end()), kDefaultRegion);
+}
+
+Platform::Platform(std::vector<Region> regions, RegionId default_region,
+                   TransferModel transfer, util::Seconds boot_time)
+    : regions_(std::move(regions)),
+      default_region_(default_region),
+      transfer_(transfer),
+      boot_time_(boot_time) {
+  if (regions_.empty()) throw std::invalid_argument("Platform: no regions");
+  if (default_region_ >= regions_.size())
+    throw std::invalid_argument("Platform: default region out of range");
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].id != i)
+      throw std::invalid_argument("Platform: region ids must be dense and ordered");
+  }
+  if (boot_time_ < 0) throw std::invalid_argument("Platform: negative boot time");
+}
+
+const Region& Platform::region(RegionId id) const {
+  if (id >= regions_.size()) throw std::out_of_range("Platform::region: bad id");
+  return regions_[id];
+}
+
+void Platform::set_boot_time(util::Seconds t) {
+  if (t < 0) throw std::invalid_argument("Platform: negative boot time");
+  boot_time_ = t;
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,63 @@
+// Platform: the simulated IaaS cloud the schedulers target — the EC2 region
+// catalog, the transfer model, the default experiment region and the (paper:
+// ignored, so default-zero) VM boot time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/region.hpp"
+#include "cloud/transfer.hpp"
+#include "cloud/vm.hpp"
+
+namespace cloudwf::cloud {
+
+class Platform {
+ public:
+  /// EC2 platform: all seven Table II regions, default experiment region
+  /// US East Virginia, zero boot time (the paper pre-boots).
+  [[nodiscard]] static Platform ec2();
+
+  Platform(std::vector<Region> regions, RegionId default_region,
+           TransferModel transfer = {}, util::Seconds boot_time = 0.0);
+
+  [[nodiscard]] std::span<const Region> regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] const Region& region(RegionId id) const;
+  [[nodiscard]] const Region& default_region() const {
+    return region(default_region_);
+  }
+  [[nodiscard]] RegionId default_region_id() const noexcept {
+    return default_region_;
+  }
+
+  [[nodiscard]] const TransferModel& transfer() const noexcept { return transfer_; }
+
+  /// Fixed VM boot delay; EC2 boots in under two minutes independently of
+  /// fleet size, and the paper's static schedules pre-boot so default is 0.
+  [[nodiscard]] util::Seconds boot_time() const noexcept { return boot_time_; }
+  void set_boot_time(util::Seconds t);
+
+  /// Price per BTU for a size in the default region.
+  [[nodiscard]] util::Money price(InstanceSize s) const {
+    return default_region().price(s);
+  }
+
+  /// Transfer time between the VMs hosting two tasks.
+  [[nodiscard]] util::Seconds transfer_time(util::Gigabytes size, const Vm& from,
+                                            const Vm& to) const {
+    return transfer_.time(size, from.size(), to.size(), from.region(), to.region(),
+                          from.id() == to.id());
+  }
+
+ private:
+  std::vector<Region> regions_;
+  RegionId default_region_;
+  TransferModel transfer_;
+  util::Seconds boot_time_;
+};
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,44 @@
+#include "cloud/region.hpp"
+
+#include <vector>
+
+namespace cloudwf::cloud {
+
+namespace {
+using util::Money;
+
+Region make_region(RegionId id, std::string name, double s, double m, double l,
+                   double xl, double out) {
+  Region r;
+  r.id = id;
+  r.name = std::move(name);
+  r.price_per_btu = {Money::from_dollars(s), Money::from_dollars(m),
+                     Money::from_dollars(l), Money::from_dollars(xl)};
+  r.transfer_out_per_gb = Money::from_dollars(out);
+  return r;
+}
+
+const std::vector<Region>& regions_storage() {
+  // Table II, Amazon EC2 on-demand prices, October 31st 2012.
+  static const std::vector<Region> regions = {
+      make_region(0, "US East Virginia", 0.08, 0.16, 0.32, 0.64, 0.12),
+      make_region(1, "US West Oregon", 0.08, 0.16, 0.32, 0.64, 0.12),
+      make_region(2, "US West California", 0.09, 0.18, 0.36, 0.72, 0.12),
+      make_region(3, "EU Dublin", 0.085, 0.17, 0.34, 0.68, 0.12),
+      make_region(4, "Asia Singapore", 0.085, 0.17, 0.34, 0.68, 0.19),
+      make_region(5, "Asia Tokio", 0.092, 0.184, 0.368, 0.736, 0.201),
+      make_region(6, "SA Sao Paolo", 0.115, 0.230, 0.460, 0.920, 0.25),
+  };
+  return regions;
+}
+}  // namespace
+
+std::span<const Region> ec2_regions() { return regions_storage(); }
+
+std::optional<RegionId> region_by_name(std::string_view name) {
+  for (const Region& r : ec2_regions())
+    if (r.name == name) return r.id;
+  return std::nullopt;
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,44 @@
+// The seven Amazon EC2 regions with on-demand prices of October 31st 2012 —
+// the paper's Table II, verbatim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cloud/instance.hpp"
+#include "util/money.hpp"
+
+namespace cloudwf::cloud {
+
+using RegionId = std::uint8_t;
+
+struct Region {
+  RegionId id = 0;
+  std::string name;
+
+  /// On-demand price per BTU (hour) for each instance size, Table II order.
+  std::array<util::Money, kSizeCount> price_per_btu{};
+
+  /// Outbound ("transfer out") price per GB, applied only across regions and
+  /// only to the (1 GB, 10 TB] monthly billing band.
+  util::Money transfer_out_per_gb{};
+
+  [[nodiscard]] util::Money price(InstanceSize s) const {
+    return price_per_btu[index_of(s)];
+  }
+};
+
+/// The seven EC2 regions of Table II. Index = RegionId.
+[[nodiscard]] std::span<const Region> ec2_regions();
+
+/// Region by (exact) Table II name, e.g. "US East Virginia".
+[[nodiscard]] std::optional<RegionId> region_by_name(std::string_view name);
+
+/// The paper's default experiment region (US East Virginia, the cheapest tier).
+inline constexpr RegionId kDefaultRegion = 0;
+
+}  // namespace cloudwf::cloud

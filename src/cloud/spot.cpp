@@ -1,0 +1,82 @@
+#include "cloud/spot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+SpotPriceSeries::SpotPriceSeries(util::Money on_demand,
+                                 const SpotMarketModel& model,
+                                 util::Seconds horizon, util::Rng& rng)
+    : on_demand_(on_demand), tick_(model.tick), horizon_(horizon) {
+  if (on_demand <= util::Money{})
+    throw std::invalid_argument("SpotPriceSeries: on-demand price must be > 0");
+  if (!(model.tick > 0)) throw std::invalid_argument("SpotPriceSeries: bad tick");
+  if (!(horizon > 0)) throw std::invalid_argument("SpotPriceSeries: bad horizon");
+  if (!(model.mean_fraction > 0) || model.floor_fraction <= 0 ||
+      model.cap_fraction < model.floor_fraction ||
+      model.reversion <= 0 || model.reversion > 1 || model.volatility < 0)
+    throw std::invalid_argument("SpotPriceSeries: bad model parameters");
+
+  const std::size_t ticks =
+      static_cast<std::size_t>(std::ceil(horizon / model.tick)) + 1;
+  prices_.reserve(ticks);
+
+  const double log_mean = std::log(model.mean_fraction);
+  double log_f = log_mean;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    // Box-Muller normal draw.
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    if (i > 0)
+      log_f += model.reversion * (log_mean - log_f) + model.volatility * z;
+    const double fraction =
+        std::clamp(std::exp(log_f), model.floor_fraction, model.cap_fraction);
+    prices_.push_back(on_demand_.scaled(fraction));
+  }
+}
+
+util::Money SpotPriceSeries::price_at(util::Seconds t) const {
+  const double clamped = std::clamp(t, 0.0, horizon_);
+  const auto idx = std::min(prices_.size() - 1,
+                            static_cast<std::size_t>(clamped / tick_));
+  return prices_[idx];
+}
+
+util::Money SpotPriceSeries::average_price(util::Seconds from,
+                                           util::Seconds to) const {
+  if (!(to > from)) throw std::invalid_argument("average_price: to <= from");
+  // Integrate the piecewise-constant path.
+  double weighted_micros = 0;
+  util::Seconds t = from;
+  while (t < to) {
+    const util::Seconds tick_end =
+        std::min(to, (std::floor(t / tick_) + 1.0) * tick_);
+    weighted_micros +=
+        static_cast<double>(price_at(t).micros()) * (tick_end - t);
+    t = tick_end;
+  }
+  return util::Money::from_micros(
+      static_cast<std::int64_t>(std::llround(weighted_micros / (to - from))));
+}
+
+std::optional<util::Seconds> SpotPriceSeries::first_exceedance(
+    util::Money bid, util::Seconds from, util::Seconds to) const {
+  for (util::Seconds t = std::floor(from / tick_) * tick_; t < to; t += tick_) {
+    if (t + tick_ <= from) continue;
+    if (price_at(t) > bid) return std::max(t, from);
+  }
+  return std::nullopt;
+}
+
+double SpotPriceSeries::exceedance_fraction(util::Money bid) const {
+  std::size_t over = 0;
+  for (const util::Money& p : prices_)
+    if (p > bid) ++over;
+  return static_cast<double>(over) / static_cast<double>(prices_.size());
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,74 @@
+// Spot-instance market model.
+//
+// The paper's Sect. V points at Amazon's spot market ("in a similar manner
+// with what Amazon does with its spot instances") as the outlet for idle
+// capacity. This module supplies the other side of that trade: a simulated
+// spot *price process* per (region, size) — mean-reverting in log space
+// around a fraction of the on-demand price, as the 2012 EC2 spot market
+// behaved — so strategies can be costed as if their VMs were spot-rented
+// and their eviction exposure quantified (a spot VM is reclaimed when the
+// market price exceeds the user's bid).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+struct SpotMarketModel {
+  /// Long-run mean of spot/on-demand (2012-era m1 instances cleared ~0.35).
+  double mean_fraction = 0.35;
+
+  /// Log-space mean reversion strength per tick, in (0, 1].
+  double reversion = 0.2;
+
+  /// Per-tick log-normal volatility.
+  double volatility = 0.15;
+
+  /// Hard clamps relative to on-demand (spot could spike above on-demand).
+  double floor_fraction = 0.05;
+  double cap_fraction = 1.5;
+
+  /// Price update period.
+  util::Seconds tick = 300.0;
+};
+
+/// One sampled spot price path for a given on-demand price.
+class SpotPriceSeries {
+ public:
+  /// Samples ceil(horizon/tick)+1 points starting at the mean fraction.
+  SpotPriceSeries(util::Money on_demand, const SpotMarketModel& model,
+                  util::Seconds horizon, util::Rng& rng);
+
+  [[nodiscard]] util::Money on_demand() const noexcept { return on_demand_; }
+  [[nodiscard]] util::Seconds horizon() const noexcept { return horizon_; }
+
+  /// Piecewise-constant price at time t (clamped into the horizon).
+  [[nodiscard]] util::Money price_at(util::Seconds t) const;
+
+  /// Time-weighted average price over [from, to); from < to required.
+  [[nodiscard]] util::Money average_price(util::Seconds from,
+                                          util::Seconds to) const;
+
+  /// Earliest time in [from, to) when the price strictly exceeds `bid`
+  /// (an eviction for a spot VM bidding that much), if any.
+  [[nodiscard]] std::optional<util::Seconds> first_exceedance(
+      util::Money bid, util::Seconds from, util::Seconds to) const;
+
+  /// Fraction of ticks in [0, horizon) whose price exceeds `bid` — the
+  /// empirical per-tick eviction probability for that bid.
+  [[nodiscard]] double exceedance_fraction(util::Money bid) const;
+
+ private:
+  util::Money on_demand_;
+  util::Seconds tick_;
+  util::Seconds horizon_;
+  std::vector<util::Money> prices_;  ///< one per tick boundary
+};
+
+}  // namespace cloudwf::cloud

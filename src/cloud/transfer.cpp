@@ -1,0 +1,24 @@
+#include "cloud/transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+double TransferModel::bandwidth_gb_per_sec(InstanceSize from, InstanceSize to) {
+  const util::GbitPerSec bottleneck = std::min(link_of(from), link_of(to));
+  return bottleneck / 8.0;  // Gbit/s -> GB/s
+}
+
+util::Seconds TransferModel::time(util::Gigabytes size, InstanceSize from,
+                                  InstanceSize to, RegionId from_region,
+                                  RegionId to_region, bool same_vm) const {
+  if (size < 0) throw std::invalid_argument("TransferModel::time: negative size");
+  if (same_vm) return 0.0;
+  const util::Seconds latency = from_region == to_region ? intra_region_latency
+                                                         : inter_region_latency;
+  if (size == 0) return latency;
+  return size / bandwidth_gb_per_sec(from, to) + latency;
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,34 @@
+// Store-and-forward data transfer model (Sect. IV-A):
+//   transfer time = size / bandwidth + latency
+// with bandwidth the minimum of the two VMs' link speeds, zero time on the
+// same VM, and egress cost charged only when data leaves a region.
+#pragma once
+
+#include "cloud/instance.hpp"
+#include "cloud/region.hpp"
+#include "util/money.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+struct TransferModel {
+  /// One-way latency between VMs in the same region.
+  util::Seconds intra_region_latency = 0.0005;
+
+  /// One-way latency between VMs in different regions.
+  util::Seconds inter_region_latency = 0.120;
+
+  /// Transfer time for `size` GB between two VM endpoints. Zero when
+  /// producer and consumer run on the same VM (same_vm), otherwise
+  /// size/bandwidth + latency with the bottleneck link's bandwidth.
+  [[nodiscard]] util::Seconds time(util::Gigabytes size, InstanceSize from,
+                                   InstanceSize to, RegionId from_region,
+                                   RegionId to_region, bool same_vm) const;
+
+  /// Bottleneck bandwidth between two instance sizes, in GB per second
+  /// (links are quoted in Gbit/s; 8 bits per byte).
+  [[nodiscard]] static double bandwidth_gb_per_sec(InstanceSize from,
+                                                   InstanceSize to);
+};
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,108 @@
+#include "cloud/vm.hpp"
+
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+void Vm::set_size(InstanceSize s) {
+  if (used())
+    throw std::logic_error("Vm::set_size: cannot resize a VM with placements");
+  size_ = s;
+}
+
+util::Seconds Vm::first_start() const noexcept {
+  return placements_.empty() ? 0.0 : placements_.front().start;
+}
+
+util::Seconds Vm::available_from() const noexcept {
+  return placements_.empty() ? 0.0 : placements_.back().end;
+}
+
+util::Seconds Vm::busy_time() const noexcept {
+  util::Seconds busy = 0;
+  for (const Placement& p : placements_) busy += p.end - p.start;
+  return busy;
+}
+
+util::Seconds Vm::span() const noexcept { return available_from() - first_start(); }
+
+std::int64_t Vm::btus() const {
+  std::int64_t total = 0;
+  for (const Session& s : sessions_) total += s.btus();
+  return total;
+}
+
+util::Seconds Vm::paid_time() const {
+  return static_cast<util::Seconds>(btus()) * util::kBtu;
+}
+
+util::Seconds Vm::idle_time() const {
+  return used() ? paid_time() - busy_time() : 0.0;
+}
+
+util::Money Vm::cost(const Region& region) const {
+  return region.price(size_) * btus();
+}
+
+bool Vm::placement_adds_btu(util::Seconds start, util::Seconds end) const {
+  if (!used()) return true;
+  const Session& last = sessions_.back();
+  if (util::time_gt(start, last.paid_end())) return true;  // new session
+  return btus_for(end - last.start) > last.btus();
+}
+
+void Vm::place(dag::TaskId task, util::Seconds start, util::Seconds end) {
+  if (task == dag::kInvalidTask)
+    throw std::invalid_argument("Vm::place: invalid task");
+  if (start < -util::kTimeEpsilon || end < start - util::kTimeEpsilon)
+    throw std::invalid_argument("Vm::place: bad interval");
+  if (util::time_gt(available_from(), start))
+    throw std::logic_error("Vm::place: overlaps previous placement (append-only)");
+
+  if (sessions_.empty() || util::time_gt(start, sessions_.back().paid_end())) {
+    sessions_.push_back(Session{start, end});
+  } else {
+    sessions_.back().end = end;
+  }
+  placements_.push_back(Placement{task, start, end});
+}
+
+Vm& VmPool::rent(InstanceSize size, RegionId region) {
+  vms_.emplace_back(static_cast<VmId>(vms_.size()), size, region);
+  return vms_.back();
+}
+
+Vm& VmPool::vm(VmId id) {
+  if (id >= vms_.size()) throw std::out_of_range("VmPool::vm: bad id");
+  return vms_[id];
+}
+
+const Vm& VmPool::vm(VmId id) const {
+  if (id >= vms_.size()) throw std::out_of_range("VmPool::vm: bad id");
+  return vms_[id];
+}
+
+std::size_t VmPool::used_count() const noexcept {
+  std::size_t n = 0;
+  for (const Vm& v : vms_)
+    if (v.used()) ++n;
+  return n;
+}
+
+util::Money VmPool::rental_cost(std::span<const Region> regions) const {
+  util::Money total;
+  for (const Vm& v : vms_) total += v.cost(regions[v.region()]);
+  return total;
+}
+
+util::Seconds VmPool::total_idle_time() const {
+  util::Seconds idle = 0;
+  for (const Vm& v : vms_) idle += v.idle_time();
+  return idle;
+}
+
+void VmPool::clear_placements() noexcept {
+  for (Vm& v : vms_) v.clear();
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,155 @@
+// Vm: one rented virtual machine and its timeline of task placements.
+// VmPool: the set of VMs a schedule rents.
+//
+// Placements are append-only in time: the paper's provisioning policies reuse
+// VMs strictly sequentially (a task starts no earlier than the VM's last
+// placement ends), which is what the `place` precondition enforces.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/region.hpp"
+#include "dag/task.hpp"
+#include "util/money.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+using VmId = std::uint32_t;
+inline constexpr VmId kInvalidVm = std::numeric_limits<VmId>::max();
+
+struct Placement {
+  dag::TaskId task = dag::kInvalidTask;
+  util::Seconds start = 0;
+  util::Seconds end = 0;
+};
+
+class Vm {
+ public:
+  Vm(VmId id, InstanceSize size, RegionId region) noexcept
+      : id_(id), size_(size), region_(region) {}
+
+  [[nodiscard]] VmId id() const noexcept { return id_; }
+  [[nodiscard]] InstanceSize size() const noexcept { return size_; }
+  [[nodiscard]] RegionId region() const noexcept { return region_; }
+
+  /// Changes the instance size. Only meaningful while the VM is empty (the
+  /// upgrade schedulers clear + retime after changing sizes); enforced.
+  void set_size(InstanceSize s);
+
+  [[nodiscard]] const std::vector<Placement>& placements() const noexcept {
+    return placements_;
+  }
+  [[nodiscard]] bool used() const noexcept { return !placements_.empty(); }
+
+  /// Start of the rental (first placement start); 0 if unused.
+  [[nodiscard]] util::Seconds first_start() const noexcept;
+
+  /// End of the last placement; 0 if unused. Also the earliest time the next
+  /// placement may start.
+  [[nodiscard]] util::Seconds available_from() const noexcept;
+
+  /// Total task-occupied seconds.
+  [[nodiscard]] util::Seconds busy_time() const noexcept;
+
+  /// Rental span: available_from() - first_start().
+  [[nodiscard]] util::Seconds span() const noexcept;
+
+  /// One billing session: the VM runs from `start` and is released at the
+  /// first paid-BTU boundary at which it sits idle. A placement arriving
+  /// within the current session's paid window extends the session; one
+  /// arriving later begins a new session (the VM was shut down in between
+  /// and is booted anew — the paper's reuse still names it the same VM).
+  struct Session {
+    util::Seconds start = 0;
+    util::Seconds end = 0;  ///< end of the session's last placement
+
+    [[nodiscard]] std::int64_t btus() const { return btus_for(end - start); }
+    [[nodiscard]] util::Seconds paid_end() const {
+      return start + static_cast<util::Seconds>(btus()) * util::kBtu;
+    }
+  };
+
+  [[nodiscard]] const std::vector<Session>& sessions() const noexcept {
+    return sessions_;
+  }
+
+  /// Whole BTUs billed across all sessions (0 if the VM was never used).
+  [[nodiscard]] std::int64_t btus() const;
+
+  /// Wall-clock seconds paid for (sum of session BTUs x 3600; 0 if unused).
+  [[nodiscard]] util::Seconds paid_time() const;
+
+  /// Paid-but-unoccupied seconds — the paper's per-VM idle time (Fig. 5).
+  /// Bounded below one BTU per session because idle VMs are released at the
+  /// paid boundary.
+  [[nodiscard]] util::Seconds idle_time() const;
+
+  /// Rental cost in the VM's region at its size (0 if unused).
+  [[nodiscard]] util::Money cost(const Region& region) const;
+
+  /// Would appending a placement over [start, end) increase this VM's total
+  /// BTU count? This is the *NotExceed policies' reuse test. Unused VMs
+  /// return true (renting at all adds the first BTU); a placement starting
+  /// after the current session's paid window returns true (it opens a new
+  /// session).
+  [[nodiscard]] bool placement_adds_btu(util::Seconds start,
+                                        util::Seconds end) const;
+
+  /// Appends a placement. Preconditions: end >= start >= available_from()
+  /// (within the schedule-time slack) and start >= 0.
+  void place(dag::TaskId task, util::Seconds start, util::Seconds end);
+
+  /// Removes all placements (used by the retiming upgrade schedulers).
+  void clear() noexcept {
+    placements_.clear();
+    sessions_.clear();
+  }
+
+ private:
+  VmId id_;
+  InstanceSize size_;
+  RegionId region_;
+  std::vector<Placement> placements_;
+  std::vector<Session> sessions_;
+};
+
+class VmPool {
+ public:
+  VmPool() = default;
+
+  /// Rents a fresh VM; returns a reference valid only until the next rent
+  /// (vector growth). The id (== position) is stable — keep that instead.
+  Vm& rent(InstanceSize size, RegionId region);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
+
+  [[nodiscard]] Vm& vm(VmId id);
+  [[nodiscard]] const Vm& vm(VmId id) const;
+
+  [[nodiscard]] std::vector<Vm>& vms() noexcept { return vms_; }
+  [[nodiscard]] const std::vector<Vm>& vms() const noexcept { return vms_; }
+
+  /// Number of VMs that received at least one task.
+  [[nodiscard]] std::size_t used_count() const noexcept;
+
+  /// Sum of per-VM rental costs (no egress; that is a schedule-level cost).
+  [[nodiscard]] util::Money rental_cost(std::span<const Region> regions) const;
+
+  /// Sum of per-VM idle times (Fig. 5's quantity).
+  [[nodiscard]] util::Seconds total_idle_time() const;
+
+  /// Clears all placements on all VMs but keeps the VMs (sizes/regions).
+  void clear_placements() noexcept;
+
+ private:
+  std::vector<Vm> vms_;
+};
+
+}  // namespace cloudwf::cloud

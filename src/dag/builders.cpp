@@ -1,0 +1,150 @@
+#include "dag/builders.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace cloudwf::dag::builders {
+
+Workflow montage(std::size_t projections) {
+  if (projections < 4 || projections % 2 != 0)
+    throw std::invalid_argument("montage: projections must be even and >= 4");
+  const std::size_t n = projections;
+  Workflow wf("montage");
+
+  // Level 0: parallel reprojections.
+  std::vector<TaskId> project(n);
+  for (std::size_t i = 0; i < n; ++i)
+    project[i] = wf.add_task("mProjectPP_" + std::to_string(i));
+
+  // Level 1: difference fits over pairs of overlapping projections — the
+  // ring of neighbours plus the diagonal chords, giving the intermingled
+  // dependency pattern Montage is known for (n + n/2 of them).
+  std::vector<TaskId> diff;
+  diff.reserve(n + n / 2);
+  auto add_diff = [&](std::size_t a, std::size_t b) {
+    const TaskId d = wf.add_task("mDiffFit_" + std::to_string(diff.size()));
+    wf.add_edge(project[a], d);
+    wf.add_edge(project[b], d);
+    diff.push_back(d);
+  };
+  for (std::size_t i = 0; i < n; ++i) add_diff(i, (i + 1) % n);  // ring
+  for (std::size_t i = 0; i < n / 2; ++i) add_diff(i, i + n / 2);  // chords
+
+  // Level 2-3: global fit and background model (sequential bottleneck).
+  const TaskId concat = wf.add_task("mConcatFit");
+  for (TaskId d : diff) wf.add_edge(d, concat);
+  const TaskId bg_model = wf.add_task("mBgModel");
+  wf.add_edge(concat, bg_model);
+
+  // Level 4: parallel background corrections; each needs the model and its
+  // original projection (a cross-level dependency).
+  std::vector<TaskId> background(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    background[i] = wf.add_task("mBackground_" + std::to_string(i));
+    wf.add_edge(bg_model, background[i]);
+    wf.add_edge(project[i], background[i]);
+  }
+
+  // Level 5: final co-addition (the mImgTbl step is folded into mAdd at
+  // these workflow sizes, keeping the paper's 24-task count at n = 6).
+  const TaskId add = wf.add_task("mAdd");
+  for (TaskId b : background) wf.add_edge(b, add);
+
+  wf.validate();
+  return wf;
+}
+
+Workflow montage24() {
+  Workflow wf = montage(6);
+  if (wf.task_count() != 24)
+    throw std::logic_error("montage24: expected 24 tasks");
+  return wf;
+}
+
+Workflow cstem() {
+  Workflow wf("cstem");
+
+  // The Fig. 1 sub-workflow: one initial task and six subsequent tasks.
+  const TaskId init = wf.add_task("init");
+  TaskId fan[6];
+  for (int i = 0; i < 6; ++i) {
+    fan[i] = wf.add_task("setup_" + std::to_string(i));
+    wf.add_edge(init, fan[i]);
+  }
+
+  // Sequential spine: the fan-out joins into a solver chain.
+  const TaskId assemble = wf.add_task("assemble");
+  for (int i = 0; i < 6; ++i) wf.add_edge(fan[i], assemble);
+  const TaskId solve = wf.add_task("solve");
+  wf.add_edge(assemble, solve);
+
+  // A small 3-wide parallel analysis branch...
+  TaskId analysis[3];
+  for (int i = 0; i < 3; ++i) {
+    analysis[i] = wf.add_task("analyze_" + std::to_string(i));
+    wf.add_edge(solve, analysis[i]);
+  }
+
+  // ...then a short sequential post-processing step and several final tasks
+  // ("several final tasks" is the property the paper calls out).
+  const TaskId post = wf.add_task("postprocess");
+  for (int i = 0; i < 3; ++i) wf.add_edge(analysis[i], post);
+  for (int i = 0; i < 2; ++i) {
+    const TaskId out = wf.add_task("output_" + std::to_string(i));
+    wf.add_edge(post, out);
+  }
+  // A report task depending directly on solve adds a cross-level dependency
+  // and a third sink ("several final tasks").
+  const TaskId report = wf.add_task("report");
+  wf.add_edge(solve, report);
+
+  wf.validate();
+  if (wf.task_count() != 16) throw std::logic_error("cstem: expected 16 tasks");
+  return wf;
+}
+
+Workflow map_reduce(std::size_t maps, std::size_t reducers) {
+  if (maps == 0 || reducers == 0)
+    throw std::invalid_argument("map_reduce: maps and reducers must be positive");
+  Workflow wf("mapreduce");
+
+  const TaskId split = wf.add_task("split");
+  std::vector<TaskId> map1(maps);
+  std::vector<TaskId> map2(maps);
+  for (std::size_t i = 0; i < maps; ++i) {
+    map1[i] = wf.add_task("map1_" + std::to_string(i));
+    wf.add_edge(split, map1[i]);
+  }
+  // Second sequential map phase (Fig. 2c shows two).
+  for (std::size_t i = 0; i < maps; ++i) {
+    map2[i] = wf.add_task("map2_" + std::to_string(i));
+    wf.add_edge(map1[i], map2[i]);
+  }
+  // Shuffle: all-to-all into the reducers.
+  std::vector<TaskId> reduce(reducers);
+  for (std::size_t r = 0; r < reducers; ++r) {
+    reduce[r] = wf.add_task("reduce_" + std::to_string(r));
+    for (std::size_t i = 0; i < maps; ++i) wf.add_edge(map2[i], reduce[r]);
+  }
+  const TaskId merge = wf.add_task("merge");
+  for (std::size_t r = 0; r < reducers; ++r) wf.add_edge(reduce[r], merge);
+
+  wf.validate();
+  return wf;
+}
+
+Workflow sequential_chain(std::size_t length) {
+  if (length == 0)
+    throw std::invalid_argument("sequential_chain: length must be positive");
+  Workflow wf("sequential");
+  TaskId prev = wf.add_task("stage_0");
+  for (std::size_t i = 1; i < length; ++i) {
+    const TaskId cur = wf.add_task("stage_" + std::to_string(i));
+    wf.add_edge(prev, cur);
+    prev = cur;
+  }
+  wf.validate();
+  return wf;
+}
+
+}  // namespace cloudwf::dag::builders

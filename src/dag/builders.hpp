@@ -1,0 +1,51 @@
+// Builders for the four workflow shapes of the paper (Fig. 2).
+//
+// Structure only: every task gets work = 1 s and output_data = 0 GB here;
+// the workload scenarios (workload/scenario.hpp) overwrite works and data
+// sizes according to the Pareto / best-case / worst-case models.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag::builders {
+
+/// Montage astronomical-mosaic workflow, 24 tasks (Fig. 2a).
+///
+/// Shape (matching the Pegasus Montage generator at this size):
+///   6 mProjectPP  -> 9 mDiffFit (each consuming two overlapping projections)
+///   -> mConcatFit -> mBgModel -> 6 mBackground (also fed by their projection)
+///   -> mAdd.
+/// Wide parallel levels with intermingled cross-level dependencies — the
+/// paper's "much parallelism + many interdependencies" case.
+[[nodiscard]] Workflow montage24();
+
+/// Parameterized Montage ("its size varying depending on the dimension of
+/// the studied sky region"): `projections` mProjectPP tasks in a ring,
+/// 1.5x as many mDiffFit tasks (ring pairs + diagonal chords), mConcatFit,
+/// mBgModel, one mBackground per projection, mAdd. projections must be
+/// even and >= 4; total task count is 3.5*projections + 3.
+/// montage(6) is exactly montage24().
+[[nodiscard]] Workflow montage(std::size_t projections);
+
+/// CSTEM circumstellar-disk simulation workflow, 16 tasks (Fig. 2b).
+///
+/// One entry task fanning out to six parallel tasks (the exact sub-workflow
+/// used in the paper's Fig. 1 provisioning example), then a mostly sequential
+/// spine with a small 3-wide branch and three terminal sink tasks — the
+/// paper's "some parallelism, relatively sequential, several final tasks"
+/// case. The exact Dogan–Ozguner instance is not published; this builder
+/// reproduces the structural properties the evaluation depends on.
+[[nodiscard]] Workflow cstem();
+
+/// MapReduce workflow with two sequential map phases (Fig. 2c):
+///   split -> maps x map1 -> maps x map2 -> reducers x reduce -> merge.
+/// Every map2 output feeds every reducer (the shuffle). Defaults give the
+/// paper-scale instance: 1 + 8 + 8 + 4 + 1 = 22 tasks.
+[[nodiscard]] Workflow map_reduce(std::size_t maps = 8, std::size_t reducers = 4);
+
+/// Sequential chain of n tasks (Fig. 2d), the makefile-style serial case.
+[[nodiscard]] Workflow sequential_chain(std::size_t length = 10);
+
+}  // namespace cloudwf::dag::builders

@@ -1,0 +1,48 @@
+#include "dag/compose.hpp"
+
+#include <stdexcept>
+
+namespace cloudwf::dag {
+
+std::vector<TaskId> append_workflow(Workflow& dst, const Workflow& src,
+                                    const std::string& prefix) {
+  src.validate();
+  std::vector<TaskId> mapping(src.task_count());
+  for (const Task& t : src.tasks())
+    mapping[t.id] = dst.add_task(prefix + t.name, t.work, t.output_data);
+  for (const Edge& e : src.edges())
+    dst.add_edge(mapping[e.from], mapping[e.to], e.data);
+  return mapping;
+}
+
+Workflow in_series(const Workflow& first, const Workflow& second,
+                   util::Gigabytes link_data) {
+  if (link_data < 0) throw std::invalid_argument("in_series: negative link data");
+  Workflow out(first.name() + "+" + second.name());
+  const std::vector<TaskId> a = append_workflow(out, first, "1.");
+  const std::vector<TaskId> b = append_workflow(out, second, "2.");
+  for (TaskId exit : first.exit_tasks())
+    for (TaskId entry : second.entry_tasks())
+      out.add_edge(a[exit], b[entry], link_data);
+  out.validate();
+  return out;
+}
+
+Workflow in_parallel(const Workflow& a, const Workflow& b) {
+  Workflow out(a.name() + "|" + b.name());
+  (void)append_workflow(out, a, "1.");
+  (void)append_workflow(out, b, "2.");
+  out.validate();
+  return out;
+}
+
+Workflow replicate_parallel(const Workflow& wf, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("replicate_parallel: n must be >= 1");
+  Workflow out(wf.name() + "x" + std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i)
+    (void)append_workflow(out, wf, std::to_string(i + 1) + ".");
+  out.validate();
+  return out;
+}
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,31 @@
+// Workflow composition: build larger applications from smaller workflows
+// (series, parallel, replication). Supports the paper's future-work item of
+// studying "custom workflows ... with various properties" by assembling
+// them from the validated building blocks instead of hand-writing DAGs.
+#pragma once
+
+#include <string>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Copies every task/edge of `src` into `dst`, prefixing task names with
+/// `prefix` (use distinct prefixes to avoid collisions). Returns the id of
+/// each copied task, indexed by its id in `src`.
+std::vector<TaskId> append_workflow(Workflow& dst, const Workflow& src,
+                                    const std::string& prefix);
+
+/// `first` then `second`: every exit of `first` feeds every entry of
+/// `second`, carrying `link_data` GB (0 = control dependency only).
+[[nodiscard]] Workflow in_series(const Workflow& first, const Workflow& second,
+                                 util::Gigabytes link_data = 0.0);
+
+/// Disjoint union: both run side by side (the result has the union of
+/// entries and exits).
+[[nodiscard]] Workflow in_parallel(const Workflow& a, const Workflow& b);
+
+/// n independent copies of `wf` side by side (n >= 1).
+[[nodiscard]] Workflow replicate_parallel(const Workflow& wf, std::size_t n);
+
+}  // namespace cloudwf::dag

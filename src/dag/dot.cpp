@@ -1,0 +1,55 @@
+#include "dag/dot.hpp"
+
+#include <sstream>
+
+#include "dag/graph_algo.hpp"
+#include "util/strings.hpp"
+
+namespace cloudwf::dag {
+
+namespace {
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Workflow& wf, const DotOptions& opts) {
+  std::ostringstream os;
+  os << "digraph " << quote(wf.name()) << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=rounded];\n";
+
+  for (const Task& t : wf.tasks()) {
+    os << "  t" << t.id << " [label=" << quote(
+        opts.show_work ? t.name + "\\n" + util::format_double(t.work, 1) + "s"
+                       : t.name)
+       << "];\n";
+  }
+
+  if (opts.rank_by_level) {
+    for (const auto& group : level_groups(wf)) {
+      if (group.size() < 2) continue;
+      os << "  { rank=same;";
+      for (TaskId t : group) os << " t" << t << ';';
+      os << " }\n";
+    }
+  }
+
+  for (const Edge& e : wf.edges()) {
+    os << "  t" << e.from << " -> t" << e.to;
+    if (opts.show_data) {
+      os << " [label=" << quote(util::format_double(wf.edge_data(e.from, e.to), 3) + "GB")
+         << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cloudwf::dag

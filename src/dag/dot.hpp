@@ -1,0 +1,19 @@
+// Graphviz DOT export for workflows (debugging aid + example output).
+#pragma once
+
+#include <string>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+struct DotOptions {
+  bool show_work = true;       ///< annotate nodes with reference runtimes
+  bool show_data = false;      ///< annotate edges with data sizes (GB)
+  bool rank_by_level = true;   ///< same-level tasks on the same rank
+};
+
+/// Renders the workflow as a `digraph` in Graphviz DOT syntax.
+[[nodiscard]] std::string to_dot(const Workflow& wf, const DotOptions& opts = {});
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,109 @@
+#include "dag/edge_dsl.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::dag {
+
+namespace {
+[[noreturn]] void fail(std::string_view statement, const std::string& what) {
+  throw std::runtime_error("edge DSL error in '" + std::string(statement) +
+                           "': " + what);
+}
+
+struct NameRef {
+  std::string name;
+  double work = 1.0;
+  bool has_work = false;
+};
+
+NameRef parse_name(std::string_view statement, std::string_view token) {
+  const std::string_view stripped = util::trim(token);
+  if (stripped.empty()) fail(statement, "empty task name");
+  NameRef ref;
+  const std::size_t colon = stripped.find(':');
+  if (colon == std::string_view::npos) {
+    ref.name = std::string(stripped);
+    return ref;
+  }
+  ref.name = std::string(util::trim(stripped.substr(0, colon)));
+  if (ref.name.empty()) fail(statement, "empty task name before ':'");
+  const std::string work_str{util::trim(stripped.substr(colon + 1))};
+  try {
+    std::size_t pos = 0;
+    ref.work = std::stod(work_str, &pos);
+    if (pos != work_str.size()) throw std::invalid_argument("trailing");
+  } catch (const std::logic_error&) {
+    fail(statement, "bad work annotation '" + work_str + "'");
+  }
+  if (!(ref.work > 0)) fail(statement, "work must be positive");
+  ref.has_work = true;
+  return ref;
+}
+}  // namespace
+
+Workflow parse_edge_dsl(std::string_view text, std::string workflow_name) {
+  Workflow wf(std::move(workflow_name));
+  std::unordered_map<std::string, TaskId> ids;
+
+  auto resolve = [&](std::string_view statement,
+                     std::string_view token) -> TaskId {
+    const NameRef ref = parse_name(statement, token);
+    const auto it = ids.find(ref.name);
+    if (it != ids.end()) {
+      if (ref.has_work) fail(statement, "work annotation on existing task '" +
+                                            ref.name + "'");
+      return it->second;
+    }
+    const TaskId id = wf.add_task(ref.name, ref.work);
+    ids.emplace(ref.name, id);
+    return id;
+  };
+
+  // Normalize newlines to ';' then split statements.
+  std::string normalized(text);
+  for (char& ch : normalized)
+    if (ch == '\n') ch = ';';
+
+  for (const std::string& raw : util::split(normalized, ';')) {
+    const std::string_view statement = util::trim(raw);
+    if (statement.empty() || statement.front() == '#') continue;
+
+    const std::size_t arrow = statement.find("->");
+    if (arrow == std::string_view::npos) {
+      // A bare statement declares tasks without edges ("a:600").
+      for (const std::string& tok :
+           util::split(std::string(statement), ','))
+        (void)resolve(statement, tok);
+      continue;
+    }
+
+    std::vector<TaskId> sources;
+    for (const std::string& tok :
+         util::split(std::string(statement.substr(0, arrow)), ','))
+      sources.push_back(resolve(statement, tok));
+    std::vector<TaskId> targets;
+    for (const std::string& tok :
+         util::split(std::string(statement.substr(arrow + 2)), ','))
+      targets.push_back(resolve(statement, tok));
+    if (sources.empty() || targets.empty())
+      fail(statement, "both sides of '->' need at least one task");
+
+    for (TaskId from : sources) {
+      for (TaskId to : targets) {
+        try {
+          wf.add_edge(from, to);
+        } catch (const std::invalid_argument& e) {
+          fail(statement, e.what());
+        }
+      }
+    }
+  }
+  wf.validate();
+  return wf;
+}
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,25 @@
+// Tiny edge-list DSL for quick workflow construction in tests, examples
+// and the CLI:
+//
+//   "a -> b; a -> c; b, c -> d"
+//
+// Statements separated by ';' or newlines; each statement is
+// `<sources> -> <targets>` with comma-separated task names on either side
+// (every source gains an edge to every target). Tasks are created on first
+// mention with work = 1 s; annotate work by suffixing a name with
+// ':<seconds>' at its first mention (e.g. "a:600 -> b:120").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Parses the DSL; throws std::runtime_error describing the offending
+/// statement on malformed input. The result is validated.
+[[nodiscard]] Workflow parse_edge_dsl(std::string_view text,
+                                      std::string workflow_name = "dsl");
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,128 @@
+#include "dag/generators.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cloudwf::dag::generators {
+
+Workflow random_layered(const LayeredConfig& cfg, util::Rng& rng) {
+  if (cfg.levels == 0) throw std::invalid_argument("random_layered: levels == 0");
+  if (cfg.min_width == 0 || cfg.min_width > cfg.max_width)
+    throw std::invalid_argument("random_layered: bad width range");
+  if (cfg.edge_density < 0 || cfg.edge_density > 1 || cfg.skip_density < 0 ||
+      cfg.skip_density > 1)
+    throw std::invalid_argument("random_layered: densities must be in [0,1]");
+
+  Workflow wf("layered");
+  std::vector<std::vector<TaskId>> layers(cfg.levels);
+  for (std::size_t l = 0; l < cfg.levels; ++l) {
+    const auto w = static_cast<std::size_t>(rng.between(
+        static_cast<std::int64_t>(cfg.min_width),
+        static_cast<std::int64_t>(cfg.max_width)));
+    for (std::size_t i = 0; i < w; ++i)
+      layers[l].push_back(
+          wf.add_task("L" + std::to_string(l) + "_" + std::to_string(i)));
+  }
+
+  for (std::size_t l = 1; l < cfg.levels; ++l) {
+    for (TaskId t : layers[l]) {
+      bool has_pred = false;
+      for (TaskId p : layers[l - 1]) {
+        if (rng.chance(cfg.edge_density)) {
+          wf.add_edge(p, t);
+          has_pred = true;
+        }
+      }
+      if (cfg.allow_skip_edges && l >= 2) {
+        for (std::size_t from_layer = 0; from_layer + 1 < l; ++from_layer) {
+          for (TaskId p : layers[from_layer]) {
+            if (rng.chance(cfg.skip_density)) {
+              wf.add_edge(p, t);
+              has_pred = true;
+            }
+          }
+        }
+      }
+      if (!has_pred) {
+        // Guarantee connectivity: pick one random predecessor from layer l-1.
+        const auto& prev = layers[l - 1];
+        wf.add_edge(prev[rng.below(prev.size())], t);
+      }
+    }
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow fork_join(std::size_t stages, std::size_t width) {
+  if (stages == 0 || width == 0)
+    throw std::invalid_argument("fork_join: stages and width must be positive");
+  Workflow wf("forkjoin");
+  TaskId prev = wf.add_task("source");
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<TaskId> par(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      par[i] = wf.add_task("fork" + std::to_string(s) + "_" + std::to_string(i));
+      wf.add_edge(prev, par[i]);
+    }
+    const TaskId join = wf.add_task("join" + std::to_string(s));
+    for (TaskId t : par) wf.add_edge(t, join);
+    prev = join;
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow out_tree(std::size_t depth, std::size_t branching) {
+  if (depth == 0 || branching == 0)
+    throw std::invalid_argument("out_tree: depth and branching must be positive");
+  Workflow wf("outtree");
+  std::vector<TaskId> frontier{wf.add_task("n0")};
+  std::size_t next_id = 1;
+  for (std::size_t d = 1; d < depth; ++d) {
+    std::vector<TaskId> next;
+    next.reserve(frontier.size() * branching);
+    for (TaskId parent : frontier) {
+      for (std::size_t b = 0; b < branching; ++b) {
+        const TaskId child = wf.add_task("n" + std::to_string(next_id++));
+        wf.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow in_tree(std::size_t depth, std::size_t branching) {
+  if (depth == 0 || branching == 0)
+    throw std::invalid_argument("in_tree: depth and branching must be positive");
+  Workflow wf("intree");
+  // Build leaves-first: level d has branching^(depth-1-d) nodes... simpler to
+  // construct the widest level first and reduce towards one sink.
+  std::size_t width = 1;
+  for (std::size_t d = 1; d < depth; ++d) width *= branching;
+
+  std::size_t next_id = 0;
+  std::vector<TaskId> frontier;
+  frontier.reserve(width);
+  for (std::size_t i = 0; i < width; ++i)
+    frontier.push_back(wf.add_task("n" + std::to_string(next_id++)));
+  while (frontier.size() > 1) {
+    std::vector<TaskId> next;
+    next.reserve(frontier.size() / branching);
+    for (std::size_t i = 0; i < frontier.size(); i += branching) {
+      const TaskId parent = wf.add_task("n" + std::to_string(next_id++));
+      for (std::size_t b = 0; b < branching && i + b < frontier.size(); ++b)
+        wf.add_edge(frontier[i + b], parent);
+      next.push_back(parent);
+    }
+    frontier = std::move(next);
+  }
+  wf.validate();
+  return wf;
+}
+
+}  // namespace cloudwf::dag::generators

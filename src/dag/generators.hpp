@@ -1,0 +1,41 @@
+// Parameterized random DAG generators.
+//
+// These serve two purposes: (1) property-based tests sweep schedulers over
+// thousands of structurally diverse DAGs; (2) the paper's future-work item —
+// "custom workflows ... with various properties" — is directly runnable.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/workflow.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::dag::generators {
+
+struct LayeredConfig {
+  std::size_t levels = 5;          ///< number of layers (>= 1)
+  std::size_t min_width = 1;       ///< min tasks per layer (>= 1)
+  std::size_t max_width = 6;       ///< max tasks per layer (>= min_width)
+  double edge_density = 0.5;       ///< probability of an edge layer k -> k+1
+  bool allow_skip_edges = true;    ///< also allow edges jumping over layers
+  double skip_density = 0.1;       ///< probability of a skip edge
+};
+
+/// Random layered DAG: tasks arranged in layers, edges forward between
+/// layers. Every non-entry task is guaranteed at least one predecessor from
+/// an earlier layer, so the layer structure is also the level structure's
+/// upper bound and the graph is connected enough to be a workflow.
+[[nodiscard]] Workflow random_layered(const LayeredConfig& cfg, util::Rng& rng);
+
+/// Fork-join: entry -> width parallel tasks -> join, repeated `stages` times.
+/// width = 1 degenerates to a sequential chain.
+[[nodiscard]] Workflow fork_join(std::size_t stages, std::size_t width);
+
+/// Out-tree (diamond-free fan-out): a rooted tree where each task has
+/// `branching` children, `depth` levels. Models divide-style workflows.
+[[nodiscard]] Workflow out_tree(std::size_t depth, std::size_t branching);
+
+/// In-tree: mirror of out_tree; models reduction-style workflows.
+[[nodiscard]] Workflow in_tree(std::size_t depth, std::size_t branching);
+
+}  // namespace cloudwf::dag::generators

@@ -1,0 +1,164 @@
+#include "dag/graph_algo.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cloudwf::dag {
+
+std::vector<TaskId> topological_order(const Workflow& wf) {
+  const std::size_t n = wf.task_count();
+  std::vector<std::size_t> indeg(n);
+  for (std::size_t i = 0; i < n; ++i)
+    indeg[i] = wf.predecessors(static_cast<TaskId>(i)).size();
+
+  // Min-heap on id for deterministic output.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push(static_cast<TaskId>(i));
+
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId cur = ready.top();
+    ready.pop();
+    order.push_back(cur);
+    for (TaskId s : wf.successors(cur))
+      if (--indeg[s] == 0) ready.push(s);
+  }
+  if (order.size() != n) throw std::logic_error("topological_order: graph has a cycle");
+  return order;
+}
+
+std::vector<int> task_levels(const Workflow& wf) {
+  const std::vector<TaskId> order = topological_order(wf);
+  std::vector<int> level(wf.task_count(), 0);
+  for (TaskId t : order)
+    for (TaskId p : wf.predecessors(t))
+      level[t] = std::max(level[t], level[p] + 1);
+  return level;
+}
+
+std::vector<std::vector<TaskId>> level_groups(const Workflow& wf) {
+  const std::vector<int> level = task_levels(wf);
+  const int max_level = level.empty() ? -1 : *std::max_element(level.begin(), level.end());
+  std::vector<std::vector<TaskId>> groups(static_cast<std::size_t>(max_level + 1));
+  for (std::size_t i = 0; i < level.size(); ++i)
+    groups[static_cast<std::size_t>(level[i])].push_back(static_cast<TaskId>(i));
+  return groups;  // ids ascend within a level because i ascends
+}
+
+std::size_t max_width(const Workflow& wf) {
+  std::size_t w = 0;
+  for (const auto& g : level_groups(wf)) w = std::max(w, g.size());
+  return w;
+}
+
+std::vector<double> upward_rank(const Workflow& wf, const ExecTimeFn& exec,
+                                const CommTimeFn& comm) {
+  const std::vector<TaskId> order = topological_order(wf);
+  std::vector<double> rank(wf.task_count(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best = 0.0;
+    for (TaskId s : wf.successors(t))
+      best = std::max(best, comm(t, s) + rank[s]);
+    rank[t] = exec(t) + best;
+  }
+  return rank;
+}
+
+std::vector<double> downward_rank(const Workflow& wf, const ExecTimeFn& exec,
+                                  const CommTimeFn& comm) {
+  const std::vector<TaskId> order = topological_order(wf);
+  std::vector<double> rank(wf.task_count(), 0.0);
+  for (TaskId t : order) {
+    double best = 0.0;
+    for (TaskId p : wf.predecessors(t))
+      best = std::max(best, rank[p] + exec(p) + comm(p, t));
+    rank[t] = best;
+  }
+  return rank;
+}
+
+std::vector<TaskId> heft_order(const Workflow& wf, const ExecTimeFn& exec,
+                               const CommTimeFn& comm) {
+  const std::vector<double> rank = upward_rank(wf, exec, comm);
+  std::vector<TaskId> order(wf.task_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<TaskId>(i);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<TaskId> critical_path(const Workflow& wf, const ExecTimeFn& exec,
+                                  const CommTimeFn& comm) {
+  const std::vector<double> up = upward_rank(wf, exec, comm);
+  // Start from the entry with the largest upward rank; at each step follow the
+  // successor that realizes rank(t) = exec(t) + comm(t,s) + rank(s).
+  const std::vector<TaskId> entries = wf.entry_tasks();
+  if (entries.empty()) return {};
+  TaskId cur = entries.front();
+  for (TaskId e : entries)
+    if (up[e] > up[cur]) cur = e;
+
+  std::vector<TaskId> path{cur};
+  while (!wf.successors(cur).empty()) {
+    // Follow the successor realizing rank(t) = exec(t) + max(comm(t,s) + rank(s));
+    // lowest id wins floating-point ties, keeping the path deterministic.
+    TaskId next = kInvalidTask;
+    double best = -1.0;
+    for (TaskId s : wf.successors(cur)) {
+      const double via = comm(cur, s) + up[s];
+      if (via > best + util::kTimeEpsilon) {
+        best = via;
+        next = s;
+      }
+    }
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+util::Seconds critical_path_length(const Workflow& wf, const ExecTimeFn& exec,
+                                   const CommTimeFn& comm) {
+  const std::vector<double> up = upward_rank(wf, exec, comm);
+  double best = 0.0;
+  for (TaskId e : wf.entry_tasks()) best = std::max(best, up[e]);
+  return best;
+}
+
+bool reachable(const Workflow& wf, TaskId from, TaskId to) {
+  std::vector<TaskId> stack{from};
+  std::vector<bool> seen(wf.task_count(), false);
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    for (TaskId s : wf.successors(cur)) stack.push_back(s);
+  }
+  return false;
+}
+
+std::vector<Edge> transitively_redundant_edges(const Workflow& wf) {
+  std::vector<Edge> redundant;
+  for (const Edge& e : wf.edges()) {
+    // e is redundant iff `to` is reachable from `from` via some other path:
+    // check reachability from every other successor of `from`.
+    for (TaskId s : wf.successors(e.from)) {
+      if (s == e.to) continue;
+      if (reachable(wf, s, e.to)) {
+        redundant.push_back(e);
+        break;
+      }
+    }
+  }
+  return redundant;
+}
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,73 @@
+// Graph algorithms over Workflow: topological order, level decomposition
+// (the paper's "level ranking"), HEFT's upward rank ("priority ranking"),
+// critical path extraction (for CPA-Eager) and structural queries.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Execution-time estimate for a task, in seconds (on whatever platform the
+/// caller has in mind — schedulers bind this to an instance type).
+using ExecTimeFn = std::function<util::Seconds(TaskId)>;
+
+/// Communication-time estimate for an edge, in seconds. Schedulers bind this
+/// to the average/bound transfer time between VMs.
+using CommTimeFn = std::function<util::Seconds(TaskId from, TaskId to)>;
+
+/// Deterministic topological order (Kahn's algorithm with a min-id tie-break,
+/// so equal inputs always yield identical schedules).
+[[nodiscard]] std::vector<TaskId> topological_order(const Workflow& wf);
+
+/// Level of each task: length (in hops) of the longest path from any entry
+/// task; entries are level 0. This is the paper's level ranking.
+[[nodiscard]] std::vector<int> task_levels(const Workflow& wf);
+
+/// Tasks grouped by level, levels ascending, ids ascending inside a level.
+/// All tasks within one group are pairwise independent ("parallel tasks").
+[[nodiscard]] std::vector<std::vector<TaskId>> level_groups(const Workflow& wf);
+
+/// Maximum number of tasks in any level — the workflow's parallelism width.
+[[nodiscard]] std::size_t max_width(const Workflow& wf);
+
+/// HEFT upward rank: rank(t) = exec(t) + max over successors s of
+/// (comm(t,s) + rank(s)); exit tasks have rank = exec.
+[[nodiscard]] std::vector<double> upward_rank(const Workflow& wf,
+                                              const ExecTimeFn& exec,
+                                              const CommTimeFn& comm);
+
+/// Downward rank: rank(t) = max over predecessors p of
+/// (rank(p) + exec(p) + comm(p,t)); entry tasks have rank 0.
+[[nodiscard]] std::vector<double> downward_rank(const Workflow& wf,
+                                                const ExecTimeFn& exec,
+                                                const CommTimeFn& comm);
+
+/// Task ids sorted by descending upward rank (HEFT's scheduling order).
+/// Ties break on ascending id for determinism. The result is a valid
+/// topological order (a property tests rely on).
+[[nodiscard]] std::vector<TaskId> heft_order(const Workflow& wf,
+                                             const ExecTimeFn& exec,
+                                             const CommTimeFn& comm);
+
+/// One critical path from an entry to an exit: the chain realizing the
+/// maximum of exec+comm path length. Used by CPA-Eager.
+[[nodiscard]] std::vector<TaskId> critical_path(const Workflow& wf,
+                                                const ExecTimeFn& exec,
+                                                const CommTimeFn& comm);
+
+/// Length (seconds) of the critical path under exec/comm.
+[[nodiscard]] util::Seconds critical_path_length(const Workflow& wf,
+                                                 const ExecTimeFn& exec,
+                                                 const CommTimeFn& comm);
+
+/// True iff `to` is reachable from `from` following edges.
+[[nodiscard]] bool reachable(const Workflow& wf, TaskId from, TaskId to);
+
+/// Edges that are transitively redundant (removable without changing
+/// reachability). Reported, not removed — callers decide.
+[[nodiscard]] std::vector<Edge> transitively_redundant_edges(const Workflow& wf);
+
+}  // namespace cloudwf::dag

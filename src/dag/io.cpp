@@ -1,0 +1,116 @@
+#include "dag/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::dag {
+
+std::string serialize_workflow(const Workflow& wf) {
+  std::ostringstream os;
+  os << "workflow " << wf.name() << '\n';
+  for (const Task& t : wf.tasks()) {
+    os << "task " << t.name << ' ' << util::format_double(t.work, 6);
+    if (t.output_data > 0) os << ' ' << util::format_double(t.output_data, 6);
+    os << '\n';
+  }
+  for (const Edge& e : wf.edges()) {
+    os << "edge " << wf.task(e.from).name << ' ' << wf.task(e.to).name;
+    if (e.data >= 0) os << ' ' << util::format_double(e.data, 6);
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("workflow parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+double parse_number(std::size_t line_no, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) fail(line_no, "trailing characters in number '" + token + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line_no, "bad number '" + token + "'");
+  }
+}
+}  // namespace
+
+Workflow parse_workflow(std::istream& in) {
+  Workflow wf;
+  bool named = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = util::trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+
+    std::istringstream ls{std::string(stripped)};
+    std::string kw;
+    ls >> kw;
+    if (kw == "workflow") {
+      std::string nm;
+      ls >> nm;
+      if (nm.empty()) fail(line_no, "workflow needs a name");
+      wf.set_name(nm);
+      named = true;
+    } else if (kw == "task") {
+      std::string nm;
+      std::string work_tok;
+      std::string data_tok;
+      ls >> nm >> work_tok;
+      if (nm.empty() || work_tok.empty()) fail(line_no, "task needs <name> <work>");
+      double data = 0;
+      if (ls >> data_tok) data = parse_number(line_no, data_tok);
+      try {
+        wf.add_task(nm, parse_number(line_no, work_tok), data);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else if (kw == "edge") {
+      std::string from;
+      std::string to;
+      std::string data_tok;
+      ls >> from >> to;
+      if (from.empty() || to.empty()) fail(line_no, "edge needs <from> <to>");
+      double data = -1;
+      if (ls >> data_tok) data = parse_number(line_no, data_tok);
+      try {
+        wf.add_edge(wf.task_by_name(from), wf.task_by_name(to), data);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!named) throw std::runtime_error("workflow parse error: missing 'workflow' line");
+  wf.validate();
+  return wf;
+}
+
+Workflow parse_workflow_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_workflow(is);
+}
+
+void save_workflow(const Workflow& wf, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_workflow: cannot open " + path);
+  out << serialize_workflow(wf);
+}
+
+Workflow load_workflow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_workflow: cannot open " + path);
+  return parse_workflow(in);
+}
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,30 @@
+// A minimal line-oriented text format for workflows, so experiments can be
+// run on externally supplied DAGs (the paper's future-work "custom
+// workflows ... from different workloads").
+//
+// Format (comments start with '#', blank lines ignored):
+//   workflow <name>
+//   task <name> <work-seconds> [output-gb]
+//   edge <from-name> <to-name> [data-gb]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Serializes to the text format above (round-trips with parse_workflow).
+[[nodiscard]] std::string serialize_workflow(const Workflow& wf);
+
+/// Parses the text format; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Workflow parse_workflow(std::istream& in);
+[[nodiscard]] Workflow parse_workflow_string(const std::string& text);
+
+/// Convenience file helpers.
+void save_workflow(const Workflow& wf, const std::string& path);
+[[nodiscard]] Workflow load_workflow(const std::string& path);
+
+}  // namespace cloudwf::dag

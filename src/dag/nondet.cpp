@@ -1,0 +1,213 @@
+#include "dag/nondet.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cloudwf::dag::nondet {
+
+namespace {
+enum class Kind { task, sequence, parallel, choice, loop };
+}  // namespace
+
+class Node {
+ public:
+  Kind kind = Kind::task;
+
+  // task
+  std::string name;
+  util::Seconds work = 1.0;
+  util::Gigabytes output_data = 0.0;
+
+  // sequence / parallel
+  std::vector<NodePtr> children;
+
+  // choice
+  std::vector<WeightedBranch> branches;
+
+  // loop
+  NodePtr body;
+  std::size_t min_iterations = 0;
+  std::size_t max_iterations = 0;
+};
+
+NodePtr task(std::string name, util::Seconds work, util::Gigabytes output_data) {
+  if (name.empty()) throw std::invalid_argument("nondet::task: empty name");
+  if (!(work > 0)) throw std::invalid_argument("nondet::task: work must be positive");
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::task;
+  n->name = std::move(name);
+  n->work = work;
+  n->output_data = output_data;
+  return n;
+}
+
+NodePtr sequence(std::vector<NodePtr> children) {
+  if (children.empty()) throw std::invalid_argument("nondet::sequence: empty");
+  for (const NodePtr& c : children)
+    if (!c) throw std::invalid_argument("nondet::sequence: null child");
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::sequence;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr parallel(std::vector<NodePtr> children) {
+  if (children.empty()) throw std::invalid_argument("nondet::parallel: empty");
+  for (const NodePtr& c : children)
+    if (!c) throw std::invalid_argument("nondet::parallel: null child");
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::parallel;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr choice(std::vector<WeightedBranch> branches) {
+  if (branches.empty()) throw std::invalid_argument("nondet::choice: empty");
+  for (const WeightedBranch& b : branches) {
+    if (!b.child) throw std::invalid_argument("nondet::choice: null branch");
+    if (!(b.weight > 0))
+      throw std::invalid_argument("nondet::choice: weights must be positive");
+  }
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::choice;
+  n->branches = std::move(branches);
+  return n;
+}
+
+NodePtr loop(NodePtr body, std::size_t min_iterations, std::size_t max_iterations) {
+  if (!body) throw std::invalid_argument("nondet::loop: null body");
+  if (min_iterations > max_iterations)
+    throw std::invalid_argument("nondet::loop: min > max");
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::loop;
+  n->body = std::move(body);
+  n->min_iterations = min_iterations;
+  n->max_iterations = max_iterations;
+  return n;
+}
+
+namespace {
+
+/// A fragment of the workflow under construction: the tasks with no
+/// predecessor inside the fragment (entries) and no successor inside it
+/// (exits). Empty fragments (zero-iteration loops) have both lists empty.
+struct Fragment {
+  std::vector<TaskId> entries;
+  std::vector<TaskId> exits;
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+};
+
+class Unroller {
+ public:
+  Unroller(Workflow& wf, util::Rng& rng) : wf_(&wf), rng_(&rng) {}
+
+  Fragment expand(const Node& node) {
+    switch (node.kind) {
+      case Kind::task: {
+        const TaskId id = wf_->add_task(unique_name(node.name), node.work,
+                                        node.output_data);
+        return {{id}, {id}};
+      }
+      case Kind::sequence: {
+        Fragment acc;
+        for (const NodePtr& child : node.children)
+          acc = connect_sequential(acc, expand(*child));
+        return acc;
+      }
+      case Kind::parallel: {
+        Fragment merged;
+        for (const NodePtr& child : node.children) {
+          const Fragment f = expand(*child);
+          merged.entries.insert(merged.entries.end(), f.entries.begin(),
+                                f.entries.end());
+          merged.exits.insert(merged.exits.end(), f.exits.begin(), f.exits.end());
+        }
+        return merged;
+      }
+      case Kind::choice: {
+        double total = 0;
+        for (const WeightedBranch& b : node.branches) total += b.weight;
+        double draw = rng_->uniform() * total;
+        for (const WeightedBranch& b : node.branches) {
+          draw -= b.weight;
+          if (draw < 0) return expand(*b.child);
+        }
+        return expand(*node.branches.back().child);  // float-edge fallback
+      }
+      case Kind::loop: {
+        const std::size_t iterations = static_cast<std::size_t>(rng_->between(
+            static_cast<std::int64_t>(node.min_iterations),
+            static_cast<std::int64_t>(node.max_iterations)));
+        Fragment acc;
+        for (std::size_t i = 0; i < iterations; ++i)
+          acc = connect_sequential(acc, expand(*node.body));
+        return acc;
+      }
+    }
+    throw std::logic_error("nondet::unroll: unknown node kind");
+  }
+
+ private:
+  Fragment connect_sequential(Fragment first, Fragment second) {
+    if (first.empty()) return second;
+    if (second.empty()) return first;
+    for (TaskId from : first.exits)
+      for (TaskId to : second.entries) wf_->add_edge(from, to);
+    return {std::move(first.entries), std::move(second.exits)};
+  }
+
+  std::string unique_name(const std::string& base) {
+    const std::size_t n = occurrences_[base]++;
+    return n == 0 ? base : base + "#" + std::to_string(n);
+  }
+
+  Workflow* wf_;
+  util::Rng* rng_;
+  std::unordered_map<std::string, std::size_t> occurrences_;
+};
+
+}  // namespace
+
+Workflow unroll(const NodePtr& root, util::Rng& rng, std::string workflow_name) {
+  if (!root) throw std::invalid_argument("nondet::unroll: null root");
+  Workflow wf(std::move(workflow_name));
+  Unroller unroller(wf, rng);
+  const Fragment f = unroller.expand(*root);
+  if (f.empty()) (void)wf.add_task("noop", 1e-9);
+  wf.validate();
+  return wf;
+}
+
+double expected_tasks(const NodePtr& root) {
+  if (!root) throw std::invalid_argument("nondet::expected_tasks: null root");
+  const Node& n = *root;
+  switch (n.kind) {
+    case Kind::task:
+      return 1.0;
+    case Kind::sequence:
+    case Kind::parallel: {
+      double sum = 0;
+      for (const NodePtr& c : n.children) sum += expected_tasks(c);
+      return sum;
+    }
+    case Kind::choice: {
+      double total = 0;
+      double acc = 0;
+      for (const WeightedBranch& b : n.branches) total += b.weight;
+      for (const WeightedBranch& b : n.branches)
+        acc += b.weight / total * expected_tasks(b.child);
+      return acc;
+    }
+    case Kind::loop: {
+      const double mean_iters =
+          (static_cast<double>(n.min_iterations) +
+           static_cast<double>(n.max_iterations)) /
+          2.0;
+      return mean_iters * expected_tasks(n.body);
+    }
+  }
+  throw std::logic_error("nondet::expected_tasks: unknown node kind");
+}
+
+}  // namespace cloudwf::dag::nondet

@@ -1,0 +1,59 @@
+// Non-deterministic workflows.
+//
+// The paper's introduction distinguishes deterministic DAG workflows from
+// non-deterministic ones "determined at runtime [consisting] of loop, split
+// and join constructs" (its ref [1], Caron et al., budget-constrained
+// allocation for non-deterministic workflows). This module provides those
+// constructs as a structured combinator tree; `unroll` samples the runtime
+// choices and produces an ordinary deterministic Workflow instance that the
+// whole scheduling stack consumes unchanged — so every strategy can be
+// evaluated on distributions of instances.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/workflow.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::dag::nondet {
+
+class Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// One atomic task (leaf).
+[[nodiscard]] NodePtr task(std::string name, util::Seconds work = 1.0,
+                           util::Gigabytes output_data = 0.0);
+
+/// Children executed one after another.
+[[nodiscard]] NodePtr sequence(std::vector<NodePtr> children);
+
+/// AND split/join: children run in parallel between a fork and a join.
+[[nodiscard]] NodePtr parallel(std::vector<NodePtr> children);
+
+/// XOR split: exactly one child executes, drawn by weight (> 0 each).
+struct WeightedBranch {
+  double weight = 1.0;
+  NodePtr child;
+};
+[[nodiscard]] NodePtr choice(std::vector<WeightedBranch> branches);
+
+/// Loop: the body executes k times sequentially, k uniform in
+/// [min_iterations, max_iterations] (0 allowed: body may vanish).
+[[nodiscard]] NodePtr loop(NodePtr body, std::size_t min_iterations,
+                           std::size_t max_iterations);
+
+/// Samples all choices/loop counts and expands the tree into a Workflow.
+/// Task instance names are suffixed with their occurrence index so repeated
+/// bodies stay uniquely named. An unrolled empty structure (e.g. a loop
+/// with zero iterations at top level) yields a single no-op task so the
+/// result is always a valid workflow.
+[[nodiscard]] Workflow unroll(const NodePtr& root, util::Rng& rng,
+                              std::string workflow_name = "nondet");
+
+/// Expected number of task instances (loops at their mean iteration count,
+/// choices weighted) — useful for sizing experiments.
+[[nodiscard]] double expected_tasks(const NodePtr& root);
+
+}  // namespace cloudwf::dag::nondet

@@ -1,0 +1,132 @@
+#include "dag/science.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cloudwf::dag::science {
+
+Workflow epigenomics(std::size_t chunks) {
+  if (chunks == 0) throw std::invalid_argument("epigenomics: chunks must be >= 1");
+  Workflow wf("epigenomics");
+
+  const TaskId split = wf.add_task("fastqSplit");
+  std::vector<TaskId> maps(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::string sfx = "_" + std::to_string(c);
+    const TaskId filter = wf.add_task("filterContams" + sfx);
+    wf.add_edge(split, filter);
+    const TaskId sol = wf.add_task("sol2sanger" + sfx);
+    wf.add_edge(filter, sol);
+    const TaskId bfq = wf.add_task("fastq2bfq" + sfx);
+    wf.add_edge(sol, bfq);
+    maps[c] = wf.add_task("map" + sfx);
+    wf.add_edge(bfq, maps[c]);
+  }
+  const TaskId merge = wf.add_task("mapMerge");
+  for (TaskId m : maps) wf.add_edge(m, merge);
+  const TaskId index = wf.add_task("maqIndex");
+  wf.add_edge(merge, index);
+  const TaskId pileup = wf.add_task("pileup");
+  wf.add_edge(index, pileup);
+
+  wf.validate();
+  return wf;
+}
+
+Workflow cybershake(std::size_t sites, std::size_t synths_per_site) {
+  if (sites == 0 || synths_per_site == 0)
+    throw std::invalid_argument("cybershake: sites and synths must be >= 1");
+  Workflow out("cybershake");
+  std::vector<TaskId> synths;
+  std::vector<TaskId> peaks;
+  for (std::size_t s = 0; s < sites; ++s) {
+    const TaskId extract = out.add_task("ExtractSGT_" + std::to_string(s));
+    for (std::size_t k = 0; k < synths_per_site; ++k) {
+      const std::string sfx = "_" + std::to_string(s) + "_" + std::to_string(k);
+      const TaskId synth = out.add_task("SeismogramSynthesis" + sfx);
+      out.add_edge(extract, synth);
+      synths.push_back(synth);
+      const TaskId peak = out.add_task("PeakValCalc" + sfx);
+      out.add_edge(synth, peak);
+      peaks.push_back(peak);
+    }
+  }
+  const TaskId zs = out.add_task("ZipSeis");
+  for (TaskId s : synths) out.add_edge(s, zs);
+  const TaskId zp = out.add_task("ZipPSA");
+  for (TaskId p : peaks) out.add_edge(p, zp);
+
+  out.validate();
+  return out;
+}
+
+Workflow ligo(std::size_t groups, std::size_t group_size) {
+  if (groups == 0 || group_size == 0)
+    throw std::invalid_argument("ligo: groups and group_size must be >= 1");
+  Workflow wf("ligo");
+
+  std::vector<TaskId> trigbanks(groups);
+  std::vector<std::vector<TaskId>> inspiral2(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<TaskId> inspirals(group_size);
+    for (std::size_t i = 0; i < group_size; ++i) {
+      const std::string sfx = "_" + std::to_string(g) + "_" + std::to_string(i);
+      const TaskId bank = wf.add_task("TmpltBank" + sfx);
+      inspirals[i] = wf.add_task("Inspiral" + sfx);
+      wf.add_edge(bank, inspirals[i]);
+    }
+    const TaskId thinca = wf.add_task("Thinca_" + std::to_string(g));
+    for (TaskId i : inspirals) wf.add_edge(i, thinca);
+    trigbanks[g] = wf.add_task("TrigBank_" + std::to_string(g));
+    wf.add_edge(thinca, trigbanks[g]);
+    inspiral2[g].resize(group_size);
+    for (std::size_t i = 0; i < group_size; ++i) {
+      inspiral2[g][i] = wf.add_task("Inspiral2_" + std::to_string(g) + "_" +
+                                    std::to_string(i));
+      wf.add_edge(trigbanks[g], inspiral2[g][i]);
+    }
+  }
+  const TaskId final_thinca = wf.add_task("Thinca2");
+  for (std::size_t g = 0; g < groups; ++g)
+    for (TaskId i : inspiral2[g]) wf.add_edge(i, final_thinca);
+
+  wf.validate();
+  return wf;
+}
+
+Workflow sipht(std::size_t patsers) {
+  if (patsers == 0) throw std::invalid_argument("sipht: patsers must be >= 1");
+  Workflow wf("sipht");
+
+  std::vector<TaskId> scans(patsers);
+  for (std::size_t p = 0; p < patsers; ++p)
+    scans[p] = wf.add_task("Patser_" + std::to_string(p));
+  const TaskId concat = wf.add_task("PatserConcat");
+  for (TaskId s : scans) wf.add_edge(s, concat);
+
+  const TaskId transterm = wf.add_task("Transterm");
+  const TaskId findterm = wf.add_task("Findterm");
+  const TaskId rnamotif = wf.add_task("RNAMotif");
+  const TaskId blast = wf.add_task("Blast");
+
+  const TaskId srna = wf.add_task("SRNA");
+  wf.add_edge(concat, srna);
+  wf.add_edge(transterm, srna);
+  wf.add_edge(findterm, srna);
+  wf.add_edge(rnamotif, srna);
+  wf.add_edge(blast, srna);
+
+  const TaskId ffn = wf.add_task("FFN_Parse");
+  wf.add_edge(srna, ffn);
+  const TaskId paralogues = wf.add_task("BlastParalogues");
+  wf.add_edge(ffn, paralogues);
+  const TaskId annotate = wf.add_task("Annotate");
+  wf.add_edge(srna, annotate);
+  wf.add_edge(paralogues, annotate);
+
+  wf.validate();
+  return wf;
+}
+
+}  // namespace cloudwf::dag::science

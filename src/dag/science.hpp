@@ -1,0 +1,46 @@
+// The standard scientific-workflow benchmark shapes (Bharathi/Juve et al.'s
+// characterization, the de-facto suite in the workflow-scheduling
+// literature the paper belongs to). These extend the paper's four workflows
+// for its future-work item: "custom workflows ... with various properties
+// from different workloads".
+//
+// Structure only (works = 1 s); apply a workload scenario before running.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag::science {
+
+/// Epigenomics (genome sequencing): fastqSplit fans a lane into `chunks`
+/// four-stage pipelines (filterContams -> sol2sanger -> fastq2bfq -> map),
+/// re-merged by mapMerge, then maqIndex -> pileup.
+/// Tasks: 1 + 4*chunks + 3. Deep parallel chains, single merge point.
+[[nodiscard]] Workflow epigenomics(std::size_t chunks = 4);
+
+/// CyberShake (seismic hazard): `sites` ExtractSGT roots each feed
+/// `synths_per_site` SeismogramSynthesis tasks; every synthesis feeds one
+/// PeakValCalc; all syntheses zip into ZipSeis and all peak values into
+/// ZipPSA. Tasks: sites + 2*sites*synths_per_site + 2. Wide and shallow
+/// with two aggregation sinks.
+[[nodiscard]] Workflow cybershake(std::size_t sites = 2,
+                                  std::size_t synths_per_site = 4);
+
+/// LIGO Inspiral (gravitational waves): `groups` x `group_size` TmpltBank
+/// tasks, each feeding its own Inspiral; per group a Thinca coincidence
+/// joins them, a TrigBank refans into group_size Inspiral2 tasks, and a
+/// final Thinca2 joins everything. Tasks:
+/// 2*groups*group_size (banks+inspirals) + groups (thinca) + groups
+/// (trigbank) + groups*group_size (inspiral2) + 1. Fan-in/fan-out waves.
+[[nodiscard]] Workflow ligo(std::size_t groups = 2, std::size_t group_size = 3);
+
+/// SIPHT (sRNA prediction): `patsers` parallel Patser scans concatenated
+/// by PatserConcat; four independent analyses (Transterm, Findterm,
+/// RNAMotif, Blast) join with the concat into SRNA; SRNA feeds
+/// FFN_Parse -> BlastParalogues and, together with the paralogue blast,
+/// the final Annotate. Tasks: patsers + 1 + 4 + 1 + 2 + 1. Mostly a wide
+/// first level with a sequential analysis tail.
+[[nodiscard]] Workflow sipht(std::size_t patsers = 8);
+
+}  // namespace cloudwf::dag::science

@@ -1,0 +1,9 @@
+// Task is a plain aggregate; this translation unit exists so the target has a
+// stable home for future non-inline Task helpers and to anchor the header.
+#include "dag/task.hpp"
+
+namespace cloudwf::dag {
+
+static_assert(kInvalidTask == 0xffffffffu);
+
+}  // namespace cloudwf::dag

@@ -1,0 +1,131 @@
+#include "exp/artifacts.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/fig4.hpp"
+#include "exp/fig5.hpp"
+#include "exp/report.hpp"
+#include "exp/table3.hpp"
+#include "exp/table4.hpp"
+#include "exp/table5.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/pareto.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+void write_file(const std::filesystem::path& dir, ArtifactManifest& manifest,
+                const std::string& name, const std::string& content) {
+  std::ofstream out(dir / name);
+  if (!out)
+    throw std::runtime_error("write_reproduction_artifacts: cannot open " +
+                             (dir / name).string());
+  out << content;
+  manifest.files.push_back(name);
+}
+
+std::string fig4_gnuplot_script(const std::string& workflow) {
+  std::ostringstream os;
+  os << "# gnuplot script for Fig. 4 (" << workflow << ")\n"
+     << "set xlabel '% gain'\nset ylabel '% $ loss'\n"
+     << "set xrange [-100:300]\nset yrange [-100:300]\n"
+     << "set object 1 rect from 0,-100 to 100,0 fc rgb '#eeffee' behind\n"
+     << "plot 'fig4_" << workflow
+     << ".dat' using 1:2 with points pt 7 notitle\n";
+  return os.str();
+}
+
+std::string fig5_gnuplot_script(const std::string& workflow) {
+  std::ostringstream os;
+  os << "# gnuplot script for Fig. 5 (" << workflow << ")\n"
+     << "set style fill solid\nset boxwidth 0.8\n"
+     << "set ylabel 'idle time (s)'\nset xtics rotate by -70\n"
+     << "plot 'fig5_" << workflow
+     << ".dat' using 1:2:xtic(3) with boxes notitle\n";
+  return os.str();
+}
+}  // namespace
+
+ArtifactManifest write_reproduction_artifacts(
+    const std::filesystem::path& directory, const ExperimentRunner& runner) {
+  std::filesystem::create_directories(directory);
+  ArtifactManifest manifest;
+  manifest.directory = directory;
+
+  // Fig. 3: Pareto CDF data (empirical + analytical).
+  {
+    const workload::ParetoDistribution dist =
+        workload::paper_exec_time_distribution();
+    util::Rng rng(runner.base_config().seed);
+    const auto xs = dist.sample_n(10'000, rng);
+    std::ostringstream os;
+    os << "# execution_time empirical_cdf analytical_cdf\n";
+    for (int i = 0; i <= 70; ++i) {
+      const double x = 500.0 + 3500.0 * i / 70.0;
+      std::size_t below = 0;
+      for (double v : xs)
+        if (v <= x) ++below;
+      os << util::format_double(x, 1) << ' '
+         << util::format_double(static_cast<double>(below) / 10'000.0, 4) << ' '
+         << util::format_double(dist.cdf(x), 4) << '\n';
+    }
+    write_file(directory, manifest, "fig3_pareto_cdf.dat", os.str());
+  }
+
+  // Fig. 4 + Fig. 5 per workflow.
+  for (const dag::Workflow& wf : paper_workflows()) {
+    const Fig4Panel f4 = fig4_panel(runner, wf);
+    write_file(directory, manifest, "fig4_" + wf.name() + ".dat",
+               fig4_gnuplot(f4));
+    write_file(directory, manifest, "fig4_" + wf.name() + ".gp",
+               fig4_gnuplot_script(wf.name()));
+
+    const Fig5Panel f5 = fig5_panel(runner, wf);
+    write_file(directory, manifest, "fig5_" + wf.name() + ".dat",
+               fig5_gnuplot(f5));
+    write_file(directory, manifest, "fig5_" + wf.name() + ".gp",
+               fig5_gnuplot_script(wf.name()));
+  }
+
+  // Table II (platform constants).
+  {
+    util::TextTable t({"region", "small", "medium", "large", "xlarge",
+                       "transfer out"});
+    for (const cloud::Region& r : runner.platform().regions()) {
+      t.add_row({r.name,
+                 util::format_double(r.price(cloud::InstanceSize::small).dollars(), 3),
+                 util::format_double(r.price(cloud::InstanceSize::medium).dollars(), 3),
+                 util::format_double(r.price(cloud::InstanceSize::large).dollars(), 3),
+                 util::format_double(r.price(cloud::InstanceSize::xlarge).dollars(), 3),
+                 util::format_double(r.transfer_out_per_gb.dollars(), 3)});
+    }
+    write_file(directory, manifest, "table2_platform.txt", t.render());
+  }
+
+  // Tables III-V.
+  write_file(directory, manifest, "table3_classification.txt",
+             table3_render(table3_all(runner)).render());
+  write_file(directory, manifest, "table4_savings_fluctuation.txt",
+             table4_render(table4_all(runner)).render());
+  write_file(directory, manifest, "table5_summary.txt",
+             table5_render(table5_all(runner)).render());
+
+  // Full grid, machine-readable.
+  const std::vector<RunResult> grid = runner.run_grid();
+  write_file(directory, manifest, "results_grid.csv", results_csv(grid));
+  write_file(directory, manifest, "results_grid.json", results_json(grid));
+
+  // Manifest last.
+  {
+    std::ostringstream os;
+    os << "cloudwf reproduction artifacts\nseed: " << runner.base_config().seed
+       << "\nfiles:\n";
+    for (const std::string& f : manifest.files) os << "  " << f << '\n';
+    write_file(directory, manifest, "MANIFEST.txt", os.str());
+  }
+  return manifest;
+}
+
+}  // namespace cloudwf::exp

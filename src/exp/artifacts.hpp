@@ -1,0 +1,32 @@
+// One-call reproduction artifact generator: materializes every figure's
+// data file (gnuplot-ready), every table's text rendering, and the full
+// result grid (CSV + JSON) into a directory — the "make everything the
+// paper shows" entry point.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace cloudwf::exp {
+
+struct ArtifactManifest {
+  std::filesystem::path directory;
+  std::vector<std::string> files;  ///< relative names, creation order
+};
+
+/// Writes into `directory` (created if absent):
+///   fig3_pareto_cdf.dat
+///   fig4_<workflow>.dat / fig4_<workflow>.gp     (x4)
+///   fig5_<workflow>.dat / fig5_<workflow>.gp     (x4)
+///   table2_platform.txt, table3_classification.txt,
+///   table4_savings_fluctuation.txt, table5_summary.txt
+///   results_grid.csv, results_grid.json
+///   MANIFEST.txt (what was generated, with the seed)
+/// Returns the manifest. Throws on I/O failure.
+[[nodiscard]] ArtifactManifest write_reproduction_artifacts(
+    const std::filesystem::path& directory, const ExperimentRunner& runner);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,63 @@
+#include "exp/corent.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+util::Money corent_reimbursement(const sim::Schedule& schedule,
+                                 const cloud::Platform& platform,
+                                 const CoRentModel& model) {
+  if (model.spot_price_fraction < 0 || model.spot_price_fraction > 1 ||
+      model.occupancy < 0 || model.occupancy > 1)
+    throw std::invalid_argument("corent: fractions must be in [0,1]");
+
+  util::Money total;
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    if (!vm.used()) continue;
+    const util::Money per_btu = platform.region(vm.region()).price(vm.size());
+    const double idle_btus = vm.idle_time() / util::kBtu;
+    total += per_btu.scaled(idle_btus * model.spot_price_fraction * model.occupancy);
+  }
+  return total;
+}
+
+std::vector<CoRentResult> corent_study(const ExperimentRunner& runner,
+                                       const dag::Workflow& structure,
+                                       const CoRentModel& model) {
+  std::vector<CoRentResult> out;
+  const dag::Workflow wf =
+      runner.materialize(structure, workload::ScenarioKind::pareto);
+  for (const scheduling::Strategy& s : scheduling::paper_strategies()) {
+    const sim::Schedule schedule = s.scheduler->run(wf, runner.platform());
+    const sim::ScheduleMetrics m =
+        sim::compute_metrics(wf, schedule, runner.platform());
+
+    CoRentResult r;
+    r.strategy = s.label;
+    r.gross_cost = m.total_cost;
+    r.reimbursement = corent_reimbursement(schedule, runner.platform(), model);
+    r.net_cost = r.gross_cost - r.reimbursement;
+    r.reimbursed_share =
+        r.gross_cost > util::Money{}
+            ? static_cast<double>(r.reimbursement.micros()) /
+                  static_cast<double>(r.gross_cost.micros())
+            : 0.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+util::TextTable corent_table(const std::vector<CoRentResult>& rows) {
+  util::TextTable t(
+      {"strategy", "gross cost", "reimbursement", "net cost", "reimbursed"});
+  for (const CoRentResult& r : rows) {
+    t.add_row({r.strategy, r.gross_cost.to_string(), r.reimbursement.to_string(),
+               r.net_cost.to_string(),
+               util::format_double(100.0 * r.reimbursed_share, 1) + "%"});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,49 @@
+// Co-rent (spot-style) analysis of idle time.
+//
+// The paper's Sect. V: "Given the large idle times their best use could be
+// in a co-rent scenario where idle time is leased to other users and the
+// user is partially reimbursed." This module quantifies the remark: idle
+// BTU-seconds are resold at a fraction of the on-demand price (Amazon's
+// 2012 spot market cleared around 30-40 % of on-demand for these types),
+// yielding an effective cost and a re-ranked Fig. 4 picture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct CoRentModel {
+  /// Fraction of the on-demand price at which idle time is resold.
+  double spot_price_fraction = 0.35;
+
+  /// Fraction of a VM's idle time that actually finds a co-renter.
+  double occupancy = 0.8;
+};
+
+struct CoRentResult {
+  std::string strategy;
+  util::Money gross_cost;          ///< what the schedule pays
+  util::Money reimbursement;       ///< idle time resold
+  util::Money net_cost;            ///< gross - reimbursement
+  double reimbursed_share = 0;     ///< reimbursement / gross, [0,1)
+};
+
+/// Reimbursement for one schedule under the model: for every VM, idle
+/// seconds x (regional per-BTU price / 3600) x spot fraction x occupancy.
+[[nodiscard]] util::Money corent_reimbursement(const sim::Schedule& schedule,
+                                               const cloud::Platform& platform,
+                                               const CoRentModel& model = {});
+
+/// Runs all paper strategies on one workflow (Pareto scenario) and returns
+/// the co-rent economics per strategy, in legend order.
+[[nodiscard]] std::vector<CoRentResult> corent_study(
+    const ExperimentRunner& runner, const dag::Workflow& structure,
+    const CoRentModel& model = {});
+
+[[nodiscard]] util::TextTable corent_table(const std::vector<CoRentResult>& rows);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,44 @@
+// Ensemble studies over non-deterministic workflows.
+//
+// A non-deterministic workflow (dag/nondet.hpp) induces a distribution of
+// concrete DAG instances. This module runs a strategy over N sampled
+// instances and reports the distribution of makespan, cost and idle time —
+// which is how scheduling policy choices must be judged when the execution
+// path is "determined at runtime" (the paper's introduction; its ref [1]).
+#pragma once
+
+#include "dag/nondet.hpp"
+#include "exp/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct EnsembleStats {
+  std::string strategy;
+  std::size_t instances = 0;
+  util::Summary makespan;      ///< seconds
+  util::Summary cost_dollars;  ///< dollars
+  util::Summary idle;          ///< seconds
+  util::Summary tasks;         ///< instance sizes (task counts)
+};
+
+/// Runs the strategy on `instances` unrollings of `tree` (seeds derived
+/// deterministically from `seed`). Workload: the tree's task works are used
+/// as-is (reference seconds); every schedule is feasibility-checked.
+[[nodiscard]] EnsembleStats ensemble_study(const dag::nondet::NodePtr& tree,
+                                           const scheduling::Strategy& strategy,
+                                           const cloud::Platform& platform,
+                                           std::size_t instances,
+                                           std::uint64_t seed = 0x1db2013);
+
+/// Convenience: every paper strategy over the same instance ensemble
+/// (same seeds, so strategies see identical instances).
+[[nodiscard]] std::vector<EnsembleStats> ensemble_study_all(
+    const dag::nondet::NodePtr& tree, const cloud::Platform& platform,
+    std::size_t instances, std::uint64_t seed = 0x1db2013);
+
+[[nodiscard]] util::TextTable ensemble_table(
+    const std::vector<EnsembleStats>& rows);
+
+}  // namespace cloudwf::exp

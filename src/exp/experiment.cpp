@@ -1,0 +1,89 @@
+#include "exp/experiment.hpp"
+
+#include <future>
+
+#include "dag/builders.hpp"
+#include "sim/validator.hpp"
+
+namespace cloudwf::exp {
+
+std::vector<dag::Workflow> paper_workflows() {
+  std::vector<dag::Workflow> out;
+  out.push_back(dag::builders::montage24());
+  out.push_back(dag::builders::cstem());
+  out.push_back(dag::builders::map_reduce());
+  out.push_back(dag::builders::sequential_chain());
+  return out;
+}
+
+ExperimentRunner::ExperimentRunner(cloud::Platform platform,
+                                   workload::ScenarioConfig base_config)
+    : platform_(std::move(platform)), base_config_(base_config) {}
+
+dag::Workflow ExperimentRunner::materialize(const dag::Workflow& structure,
+                                            workload::ScenarioKind kind) const {
+  workload::ScenarioConfig cfg = base_config_;
+  cfg.kind = kind;
+  return workload::apply_scenario(structure, cfg);
+}
+
+sim::ScheduleMetrics ExperimentRunner::reference_metrics(
+    const dag::Workflow& materialized) const {
+  const scheduling::Strategy ref = scheduling::reference_strategy();
+  const sim::Schedule schedule = ref.scheduler->run(materialized, platform_);
+  return sim::compute_metrics(materialized, schedule, platform_);
+}
+
+RunResult ExperimentRunner::run_one(const scheduling::Strategy& strategy,
+                                    const dag::Workflow& structure,
+                                    workload::ScenarioKind kind) const {
+  const dag::Workflow materialized = materialize(structure, kind);
+
+  const sim::Schedule schedule = strategy.scheduler->run(materialized, platform_);
+  sim::validate_or_throw(materialized, schedule, platform_);
+
+  RunResult r;
+  r.strategy = strategy.label;
+  r.workflow = structure.name();
+  r.scenario = kind;
+  r.metrics = sim::compute_metrics(materialized, schedule, platform_);
+  r.relative = sim::relative_to_reference(r.metrics, reference_metrics(materialized));
+  return r;
+}
+
+std::vector<RunResult> ExperimentRunner::run_all(const dag::Workflow& structure,
+                                                 workload::ScenarioKind kind) const {
+  std::vector<RunResult> out;
+  for (const scheduling::Strategy& s : scheduling::paper_strategies())
+    out.push_back(run_one(s, structure, kind));
+  return out;
+}
+
+std::vector<RunResult> ExperimentRunner::run_grid() const {
+  std::vector<RunResult> out;
+  for (const dag::Workflow& wf : paper_workflows())
+    for (workload::ScenarioKind kind : workload::kAllScenarios)
+      for (const RunResult& r : run_all(wf, kind)) out.push_back(r);
+  return out;
+}
+
+std::vector<RunResult> ExperimentRunner::run_grid_parallel() const {
+  // One task per (workflow, scenario) cell. Everything a cell touches is
+  // value-owned or const (the runner is shared read-only), so plain
+  // std::async composes safely.
+  const std::vector<dag::Workflow> workflows = paper_workflows();
+  std::vector<std::future<std::vector<RunResult>>> cells;
+  cells.reserve(workflows.size() * workload::kAllScenarios.size());
+  for (const dag::Workflow& wf : workflows) {
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      cells.push_back(std::async(std::launch::async,
+                                 [this, &wf, kind] { return run_all(wf, kind); }));
+    }
+  }
+  std::vector<RunResult> out;
+  for (auto& cell : cells)
+    for (RunResult& r : cell.get()) out.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace cloudwf::exp

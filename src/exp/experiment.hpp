@@ -1,0 +1,72 @@
+// Experiment framework: runs strategy x workflow x scenario grids and
+// produces the paper's relative metrics (gain% / loss% vs the
+// OneVMperTask-small reference, idle times).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "dag/workflow.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/metrics.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::exp {
+
+/// The paper's four workflow structures (Fig. 2), in presentation order:
+/// montage, cstem, mapreduce, sequential. Structure only — scenario works
+/// and data sizes are applied per run.
+[[nodiscard]] std::vector<dag::Workflow> paper_workflows();
+
+struct RunResult {
+  std::string strategy;              ///< legend label
+  std::string workflow;              ///< workflow name
+  workload::ScenarioKind scenario = workload::ScenarioKind::pareto;
+  sim::ScheduleMetrics metrics;
+  sim::GainLoss relative;            ///< vs OneVMperTask-s on the same case
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(cloud::Platform platform = cloud::Platform::ec2(),
+                            workload::ScenarioConfig base_config = {});
+
+  [[nodiscard]] const cloud::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const workload::ScenarioConfig& base_config() const noexcept {
+    return base_config_;
+  }
+
+  /// The scenario-applied workflow a run would use (exposed for tests and
+  /// the validator cross-checks in the benches).
+  [[nodiscard]] dag::Workflow materialize(const dag::Workflow& structure,
+                                          workload::ScenarioKind kind) const;
+
+  /// Runs one strategy; the reference metrics are recomputed for the case.
+  [[nodiscard]] RunResult run_one(const scheduling::Strategy& strategy,
+                                  const dag::Workflow& structure,
+                                  workload::ScenarioKind kind) const;
+
+  /// Runs all 19 paper strategies on one workflow under one scenario.
+  [[nodiscard]] std::vector<RunResult> run_all(const dag::Workflow& structure,
+                                               workload::ScenarioKind kind) const;
+
+  /// Full grid: every paper workflow x every scenario x every strategy.
+  [[nodiscard]] std::vector<RunResult> run_grid() const;
+
+  /// run_grid with the (workflow, scenario) cells evaluated concurrently
+  /// via std::async. Identical results in identical order — a test asserts
+  /// bitwise agreement with the serial path.
+  [[nodiscard]] std::vector<RunResult> run_grid_parallel() const;
+
+ private:
+  [[nodiscard]] sim::ScheduleMetrics reference_metrics(
+      const dag::Workflow& materialized) const;
+
+  cloud::Platform platform_;
+  workload::ScenarioConfig base_config_;
+};
+
+}  // namespace cloudwf::exp

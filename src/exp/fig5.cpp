@@ -1,0 +1,44 @@
+#include "exp/fig5.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+Fig5Panel fig5_panel(const ExperimentRunner& runner, const dag::Workflow& structure,
+                     workload::ScenarioKind kind) {
+  Fig5Panel panel;
+  panel.workflow = structure.name();
+  for (const RunResult& r : runner.run_all(structure, kind))
+    panel.bars.push_back(Fig5Bar{r.strategy, r.metrics.total_idle});
+  return panel;
+}
+
+std::vector<Fig5Panel> fig5_all(const ExperimentRunner& runner) {
+  std::vector<Fig5Panel> panels;
+  for (const dag::Workflow& wf : paper_workflows())
+    panels.push_back(fig5_panel(runner, wf));
+  return panels;
+}
+
+util::TextTable fig5_table(const Fig5Panel& panel) {
+  util::TextTable t({"strategy", "idle time (s)", "idle time (h)"});
+  for (const Fig5Bar& b : panel.bars) {
+    t.add_row({b.strategy, util::format_double(b.idle_time, 0),
+               util::format_double(b.idle_time / 3600.0, 2)});
+  }
+  return t;
+}
+
+std::string fig5_gnuplot(const Fig5Panel& panel) {
+  std::ostringstream os;
+  os << "# Fig5 " << panel.workflow << ": index idle_seconds strategy\n";
+  for (std::size_t i = 0; i < panel.bars.size(); ++i) {
+    os << i << ' ' << util::format_double(panel.bars[i].idle_time, 1) << " \""
+       << panel.bars[i].strategy << "\"\n";
+  }
+  return os.str();
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,35 @@
+// Fig. 5 — total idle time (seconds) per strategy, one panel per workflow,
+// under the Pareto execution-time scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct Fig5Bar {
+  std::string strategy;
+  util::Seconds idle_time = 0;
+};
+
+struct Fig5Panel {
+  std::string workflow;
+  std::vector<Fig5Bar> bars;  ///< legend order, one per strategy
+};
+
+[[nodiscard]] Fig5Panel fig5_panel(const ExperimentRunner& runner,
+                                   const dag::Workflow& structure,
+                                   workload::ScenarioKind kind =
+                                       workload::ScenarioKind::pareto);
+
+[[nodiscard]] std::vector<Fig5Panel> fig5_all(const ExperimentRunner& runner);
+
+[[nodiscard]] util::TextTable fig5_table(const Fig5Panel& panel);
+
+/// gnuplot-ready bars: "index idle_seconds strategy".
+[[nodiscard]] std::string fig5_gnuplot(const Fig5Panel& panel);
+
+}  // namespace cloudwf::exp

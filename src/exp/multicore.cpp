@@ -1,0 +1,110 @@
+#include "exp/multicore.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+struct Interval {
+  util::Seconds start = 0;
+  util::Seconds end = 0;
+};
+
+/// Session-based BTU count over a set of (possibly overlapping) busy
+/// intervals — the machine analogue of Vm's per-lane session billing: the
+/// machine is released when idle at a paid-BTU boundary.
+std::int64_t machine_btus(std::vector<Interval> intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::int64_t total = 0;
+  util::Seconds session_start = intervals.front().start;
+  util::Seconds session_end = intervals.front().end;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const util::Seconds paid_end =
+        session_start +
+        static_cast<util::Seconds>(cloud::btus_for(session_end - session_start)) *
+            util::kBtu;
+    if (util::time_gt(intervals[i].start, paid_end)) {
+      total += cloud::btus_for(session_end - session_start);
+      session_start = intervals[i].start;
+      session_end = intervals[i].end;
+    } else {
+      session_end = std::max(session_end, intervals[i].end);
+    }
+  }
+  total += cloud::btus_for(session_end - session_start);
+  return total;
+}
+}  // namespace
+
+MulticoreComparison multicore_comparison(const sim::Schedule& schedule,
+                                         const cloud::Platform& platform) {
+  MulticoreComparison cmp;
+
+  // Per-lane (the schedule's own) billing.
+  cmp.per_task_cost = schedule.pool().rental_cost(platform.regions());
+  cmp.per_task_idle = schedule.pool().total_idle_time();
+
+  // Pack same-size lanes, in id order, onto machines of cores_of(size)
+  // lanes; a machine's price per BTU is the per-lane price x its lanes
+  // (the paper's costBTU/core x #cores formula).
+  for (cloud::InstanceSize size : cloud::kAllSizes) {
+    std::vector<const cloud::Vm*> lanes;
+    for (const cloud::Vm& vm : schedule.pool().vms())
+      if (vm.used() && vm.size() == size) lanes.push_back(&vm);
+    if (lanes.empty()) continue;
+
+    const std::size_t per_machine =
+        static_cast<std::size_t>(cloud::cores_of(size));
+    for (std::size_t at = 0; at < lanes.size(); at += per_machine) {
+      const std::size_t end = std::min(at + per_machine, lanes.size());
+      std::vector<Interval> busy;
+      util::Seconds busy_total = 0;
+      cloud::RegionId region = lanes[at]->region();
+      for (std::size_t i = at; i < end; ++i) {
+        for (const cloud::Placement& p : lanes[i]->placements()) {
+          busy.push_back(Interval{p.start, p.end});
+          busy_total += p.end - p.start;
+        }
+      }
+      const std::int64_t btus = machine_btus(std::move(busy));
+      const auto lane_count = static_cast<std::int64_t>(end - at);
+      cmp.multicore_cost +=
+          platform.region(region).price(size) * (btus * lane_count);
+      cmp.multicore_idle +=
+          static_cast<util::Seconds>(btus * lane_count) * util::kBtu -
+          busy_total;
+      ++cmp.machines;
+      cmp.lanes += end - at;
+    }
+  }
+  return cmp;
+}
+
+util::TextTable multicore_claim_table(const ExperimentRunner& runner) {
+  util::TextTable t({"workflow", "scenario", "per-task $", "multicore $",
+                     "per-task idle (s)", "multicore idle (s)", "machines"});
+  const scheduling::Strategy strategy =
+      scheduling::strategy_by_label("AllParExceed-s");
+  for (const dag::Workflow& base : paper_workflows()) {
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      const dag::Workflow wf = runner.materialize(base, kind);
+      const sim::Schedule schedule =
+          strategy.scheduler->run(wf, runner.platform());
+      const MulticoreComparison cmp =
+          multicore_comparison(schedule, runner.platform());
+      t.add_row({wf.name(), std::string(workload::name_of(kind)),
+                 util::format_double(cmp.per_task_cost.dollars(), 2),
+                 util::format_double(cmp.multicore_cost.dollars(), 2),
+                 util::format_double(cmp.per_task_idle, 0),
+                 util::format_double(cmp.multicore_idle, 0),
+                 std::to_string(cmp.machines)});
+    }
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,63 @@
+#include "exp/pareto_front.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+/// a dominates b: a is no worse on both axes and strictly better on one.
+bool dominates(const FrontPoint& a, const FrontPoint& b) {
+  const bool no_worse = util::time_le(a.makespan, b.makespan) && a.cost <= b.cost;
+  const bool strictly_better =
+      util::time_gt(b.makespan, a.makespan) || a.cost < b.cost;
+  return no_worse && strictly_better;
+}
+}  // namespace
+
+std::vector<FrontPoint> pareto_front(const std::vector<RunResult>& results) {
+  std::vector<FrontPoint> points;
+  points.reserve(results.size());
+  for (const RunResult& r : results) {
+    FrontPoint p;
+    p.strategy = r.strategy;
+    p.makespan = r.metrics.makespan;
+    p.cost = r.metrics.total_cost;
+    points.push_back(std::move(p));
+  }
+  for (FrontPoint& p : points) {
+    for (const FrontPoint& other : points) {
+      if (&p == &other) continue;
+      if (dominates(other, p)) {
+        p.dominated = true;
+        p.dominated_by = other.strategy;
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<FrontPoint> undominated(const std::vector<FrontPoint>& points) {
+  std::vector<FrontPoint> front;
+  for (const FrontPoint& p : points)
+    if (!p.dominated) front.push_back(p);
+  std::sort(front.begin(), front.end(), [](const FrontPoint& a, const FrontPoint& b) {
+    if (a.makespan != b.makespan) return a.makespan < b.makespan;
+    return a.cost < b.cost;
+  });
+  return front;
+}
+
+util::TextTable pareto_front_table(const std::vector<FrontPoint>& points) {
+  util::TextTable t({"strategy", "makespan (s)", "cost ($)", "status"});
+  for (const FrontPoint& p : points) {
+    t.add_row({p.strategy, util::format_double(p.makespan, 1),
+               util::format_double(p.cost.dollars(), 3),
+               p.dominated ? "dominated by " + p.dominated_by : "ON FRONT"});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,37 @@
+// (makespan, cost) Pareto-front analysis over a result set.
+//
+// The paper's Fig. 4 asks which strategies deliver gain and/or savings; the
+// sharper question for a practitioner is which strategies are *undominated*
+// — no other strategy is both faster and cheaper. This module computes that
+// front (minimizing both makespan and total cost).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct FrontPoint {
+  std::string strategy;
+  util::Seconds makespan = 0;
+  util::Money cost;
+  bool dominated = false;       ///< some other strategy is <= on both axes
+  std::string dominated_by;     ///< one witness (empty when undominated)
+};
+
+/// Classifies every result; weak dominance with a strict improvement on at
+/// least one axis. Input order is preserved.
+[[nodiscard]] std::vector<FrontPoint> pareto_front(
+    const std::vector<RunResult>& results);
+
+/// The undominated subset, sorted by ascending makespan.
+[[nodiscard]] std::vector<FrontPoint> undominated(
+    const std::vector<FrontPoint>& points);
+
+[[nodiscard]] util::TextTable pareto_front_table(
+    const std::vector<FrontPoint>& points);
+
+}  // namespace cloudwf::exp

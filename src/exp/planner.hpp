@@ -1,0 +1,44 @@
+// Portfolio planner: the practitioner's entry point — "I have this
+// workflow, a budget of $X and/or a deadline of Y; which strategy do I
+// run?" Evaluates the whole strategy portfolio (optionally including the
+// related-work baselines) and picks the best feasible schedule:
+//   deadline only   -> cheapest schedule meeting it;
+//   budget only     -> fastest schedule within it;
+//   both            -> cheapest schedule meeting the deadline within budget
+//                      (falls back to reporting infeasibility);
+//   neither         -> the balanced pick (max min(gain, savings) vs the
+//                      reference), i.e. Table V's balance column.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct PlanConstraints {
+  std::optional<util::Money> budget;
+  std::optional<util::Seconds> deadline;
+  bool include_baselines = true;
+};
+
+struct PlanOutcome {
+  bool feasible = false;      ///< some strategy satisfies every constraint
+  std::string strategy;       ///< chosen strategy (best-effort if infeasible)
+  sim::ScheduleMetrics metrics;
+  std::vector<RunResult> evaluated;  ///< the whole portfolio, for inspection
+};
+
+[[nodiscard]] PlanOutcome plan(const ExperimentRunner& runner,
+                               const dag::Workflow& structure,
+                               const PlanConstraints& constraints,
+                               workload::ScenarioKind scenario =
+                                   workload::ScenarioKind::pareto);
+
+[[nodiscard]] util::TextTable plan_table(const PlanOutcome& outcome,
+                                         const PlanConstraints& constraints);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,38 @@
+// Region advisor: Table II's price spreads made actionable — run one
+// strategy on the same workflow with each EC2 region as home and rank
+// regions by total cost (rental + any cross-region egress). US East
+// Virginia / US West Oregon should win on Table II prices; the spread to
+// Sao Paolo is ~44 %.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct RegionChoice {
+  cloud::RegionId region = 0;
+  std::string region_name;
+  util::Seconds makespan = 0;
+  util::Money cost;
+};
+
+/// Evaluates `strategy_label` on the materialized workflow once per home
+/// region; returns choices sorted by ascending cost (ties: region id).
+[[nodiscard]] std::vector<RegionChoice> region_sweep(
+    const dag::Workflow& structure, const std::string& strategy_label,
+    workload::ScenarioKind scenario = workload::ScenarioKind::pareto,
+    std::uint64_t seed = 0x1db2013);
+
+/// The cheapest region for the given strategy/workflow.
+[[nodiscard]] RegionChoice cheapest_region(
+    const dag::Workflow& structure, const std::string& strategy_label,
+    workload::ScenarioKind scenario = workload::ScenarioKind::pareto);
+
+[[nodiscard]] util::TextTable region_sweep_table(
+    const std::vector<RegionChoice>& choices);
+
+}  // namespace cloudwf::exp

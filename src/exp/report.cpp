@@ -1,0 +1,57 @@
+#include "exp/report.hpp"
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+util::TextTable build(const std::vector<RunResult>& results) {
+  util::TextTable t({"strategy", "workflow", "scenario", "makespan (s)",
+                     "cost ($)", "idle (s)", "VMs", "BTUs", "gain %", "loss %"});
+  for (const RunResult& r : results) {
+    t.add_row({r.strategy, r.workflow, std::string(workload::name_of(r.scenario)),
+               util::format_double(r.metrics.makespan, 1),
+               util::format_double(r.metrics.total_cost.dollars(), 3),
+               util::format_double(r.metrics.total_idle, 0),
+               std::to_string(r.metrics.vms_used),
+               std::to_string(r.metrics.total_btus),
+               util::format_double(r.relative.gain_pct, 2),
+               util::format_double(r.relative.loss_pct, 2)});
+  }
+  return t;
+}
+}  // namespace
+
+util::TextTable results_table(const std::vector<RunResult>& results) {
+  return build(results);
+}
+
+std::string results_csv(const std::vector<RunResult>& results) {
+  return build(results).to_csv();
+}
+
+std::string results_json(const std::vector<RunResult>& results) {
+  util::Json arr = util::Json::array();
+  for (const RunResult& r : results) {
+    util::Json o = util::Json::object();
+    o["strategy"] = r.strategy;
+    o["workflow"] = r.workflow;
+    o["scenario"] = std::string(workload::name_of(r.scenario));
+    o["makespan_s"] = r.metrics.makespan;
+    o["cost_usd"] = r.metrics.total_cost.dollars();
+    o["vm_cost_usd"] = r.metrics.vm_cost.dollars();
+    o["egress_usd"] = r.metrics.egress_cost.dollars();
+    o["idle_s"] = r.metrics.total_idle;
+    o["busy_s"] = r.metrics.total_busy;
+    o["vms"] = r.metrics.vms_used;
+    o["btus"] = r.metrics.total_btus;
+    o["utilization"] = r.metrics.utilization;
+    o["gain_pct"] = r.relative.gain_pct;
+    o["loss_pct"] = r.relative.loss_pct;
+    arr.push_back(std::move(o));
+  }
+  return arr.dump();
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,25 @@
+// Report writers: render raw run results as aligned text or CSV, for the
+// benches and the example applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+/// Full per-run table: strategy, workflow, scenario, makespan, costs, idle,
+/// VM count, gain%, loss%.
+[[nodiscard]] util::TextTable results_table(const std::vector<RunResult>& results);
+
+/// CSV with the same columns (machine-readable form of results_table).
+[[nodiscard]] std::string results_csv(const std::vector<RunResult>& results);
+
+/// JSON array of result objects with the full metric set (strategy,
+/// workflow, scenario, makespan_s, cost_usd, vm_cost_usd, egress_usd,
+/// idle_s, busy_s, vms, btus, utilization, gain_pct, loss_pct).
+[[nodiscard]] std::string results_json(const std::vector<RunResult>& results);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,65 @@
+#include "exp/seed_sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+std::vector<SeedSweepRow> seed_sweep(const dag::Workflow& structure,
+                                     const cloud::Platform& platform,
+                                     std::size_t seeds, std::uint64_t base_seed) {
+  if (seeds == 0) throw std::invalid_argument("seed_sweep: zero seeds");
+
+  const std::vector<scheduling::Strategy> strategies =
+      scheduling::paper_strategies();
+  std::vector<std::vector<double>> gains(strategies.size());
+  std::vector<std::vector<double>> losses(strategies.size());
+  std::vector<std::size_t> in_square(strategies.size(), 0);
+
+  for (std::size_t s = 0; s < seeds; ++s) {
+    workload::ScenarioConfig cfg;
+    cfg.seed = base_seed + s;
+    const ExperimentRunner runner(platform, cfg);
+    const auto results =
+        runner.run_all(structure, workload::ScenarioKind::pareto);
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      gains[i].push_back(results[i].relative.gain_pct);
+      losses[i].push_back(results[i].relative.loss_pct);
+      if (results[i].relative.gain_pct >= -1e-9 &&
+          results[i].relative.loss_pct <= 1e-9)
+        ++in_square[i];
+    }
+  }
+
+  std::vector<SeedSweepRow> rows;
+  rows.reserve(strategies.size());
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    SeedSweepRow row;
+    row.strategy = strategies[i].label;
+    row.gain_pct = util::summarize(gains[i]);
+    row.loss_pct = util::summarize(losses[i]);
+    row.target_square_rate =
+        static_cast<double>(in_square[i]) / static_cast<double>(seeds);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::TextTable seed_sweep_table(const std::vector<SeedSweepRow>& rows) {
+  util::TextTable t({"strategy", "gain% mean±sd [min,max]",
+                     "loss% mean±sd [min,max]", "in target square"});
+  auto fmt = [](const util::Summary& s) {
+    return util::format_double(s.mean, 1) + " ± " +
+           util::format_double(s.stddev, 1) + " [" +
+           util::format_double(s.min, 1) + ", " + util::format_double(s.max, 1) +
+           "]";
+  };
+  for (const SeedSweepRow& r : rows) {
+    t.add_row({r.strategy, fmt(r.gain_pct), fmt(r.loss_pct),
+               util::format_double(100.0 * r.target_square_rate, 0) + "%"});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

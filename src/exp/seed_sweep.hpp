@@ -1,0 +1,34 @@
+// Seed-sweep robustness: are the Fig. 4 conclusions an artifact of one
+// Pareto sample? The paper reports a single draw per scenario; this module
+// re-rolls the execution times over many seeds and reports the distribution
+// of each strategy's gain% and loss%, so claims like "AllPar gain is stable"
+// can be checked as *distributions*, not points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct SeedSweepRow {
+  std::string strategy;
+  util::Summary gain_pct;
+  util::Summary loss_pct;
+  double target_square_rate = 0;  ///< fraction of seeds with gain>=0, loss<=0
+};
+
+/// Runs every paper strategy on `structure` under the Pareto scenario for
+/// `seeds` different seeds (base_seed, base_seed+1, ...). The reference is
+/// recomputed per seed, so each point is a genuine Fig. 4 sample.
+[[nodiscard]] std::vector<SeedSweepRow> seed_sweep(
+    const dag::Workflow& structure, const cloud::Platform& platform,
+    std::size_t seeds, std::uint64_t base_seed = 0x1db2013);
+
+[[nodiscard]] util::TextTable seed_sweep_table(
+    const std::vector<SeedSweepRow>& rows);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,45 @@
+// Spot-execution study: what if a strategy's VMs were spot instances?
+//
+// For each strategy: sample one spot price path per VM, bill the VM's BTUs
+// at the path's average price over its sessions, count eviction exposure
+// (path exceedances of the bid during rented windows), and estimate the
+// makespan penalty by converting the empirical eviction probability into a
+// failure rate for the fault-injected replay. Completes the paper's Sect. V
+// co-rent/spot remark with the renter's side of the market.
+#pragma once
+
+#include "cloud/spot.hpp"
+#include "exp/experiment.hpp"
+#include "sim/faults.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct SpotStudyConfig {
+  cloud::SpotMarketModel market;
+  /// Bid as a fraction of the on-demand price (1.0 = bid on-demand).
+  double bid_fraction = 0.5;
+  /// Replay repetitions for the makespan-penalty estimate.
+  int replay_reps = 10;
+  std::uint64_t seed = 0x1db2013;
+};
+
+struct SpotStudyRow {
+  std::string strategy;
+  util::Money on_demand_cost;      ///< the plan's normal cost
+  util::Money spot_cost;           ///< BTUs billed at sampled spot prices
+  double savings_pct = 0;          ///< vs on-demand cost
+  double evictions_expected = 0;   ///< mean evictions over the rented windows
+  util::Seconds makespan_clean = 0;
+  util::Seconds makespan_spot = 0; ///< mean under eviction-driven reruns
+};
+
+/// Runs all paper strategies on one workflow (Pareto scenario).
+[[nodiscard]] std::vector<SpotStudyRow> spot_study(
+    const ExperimentRunner& runner, const dag::Workflow& structure,
+    const SpotStudyConfig& config = {});
+
+[[nodiscard]] util::TextTable spot_study_table(
+    const std::vector<SpotStudyRow>& rows);
+
+}  // namespace cloudwf::exp

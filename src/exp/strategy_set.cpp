@@ -1,0 +1,52 @@
+#include "exp/strategy_set.hpp"
+
+#include <array>
+
+namespace cloudwf::exp {
+
+namespace {
+constexpr std::array<std::string_view, 4> kDynamicLabels = {
+    "CPA-Eager", "GAIN", "AllPar1LnS", "AllPar1LnSDyn"};
+}
+
+bool is_dynamic_strategy(std::string_view label) {
+  for (std::string_view d : kDynamicLabels)
+    if (label == d) return true;
+  return false;
+}
+
+bool is_homogeneous_strategy(std::string_view label) {
+  if (is_dynamic_strategy(label)) return false;
+  const std::size_t dash = label.rfind('-');
+  return dash != std::string_view::npos &&
+         cloud::parse_size(label.substr(dash + 1)).has_value();
+}
+
+std::string instance_suffix(std::string_view label) {
+  if (!is_homogeneous_strategy(label)) return "";
+  return std::string(label.substr(label.rfind('-') + 1));
+}
+
+std::string provisioning_part(std::string_view label) {
+  if (!is_homogeneous_strategy(label)) return std::string(label);
+  return std::string(label.substr(0, label.rfind('-')));
+}
+
+std::vector<scheduling::Strategy> homogeneous_strategies(cloud::InstanceSize size) {
+  std::vector<scheduling::Strategy> out;
+  for (scheduling::Strategy& s : scheduling::paper_strategies()) {
+    if (is_homogeneous_strategy(s.label) &&
+        instance_suffix(s.label) == cloud::suffix_of(size))
+      out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<scheduling::Strategy> dynamic_strategies() {
+  std::vector<scheduling::Strategy> out;
+  for (scheduling::Strategy& s : scheduling::paper_strategies())
+    if (is_dynamic_strategy(s.label)) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace cloudwf::exp

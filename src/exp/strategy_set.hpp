@@ -1,0 +1,34 @@
+// Strategy groupings used by the reports and the Table III/IV classifiers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scheduling/factory.hpp"
+
+namespace cloudwf::exp {
+
+/// True for the four heterogeneous dynamic algorithms (CPA-Eager, GAIN,
+/// AllPar1LnS, AllPar1LnSDyn).
+[[nodiscard]] bool is_dynamic_strategy(std::string_view label);
+
+/// True for "<Provisioning>-<suffix>" homogeneous series.
+[[nodiscard]] bool is_homogeneous_strategy(std::string_view label);
+
+/// Instance suffix of a homogeneous label ("s", "m", "l"); empty for
+/// dynamic strategies.
+[[nodiscard]] std::string instance_suffix(std::string_view label);
+
+/// Provisioning part of a homogeneous label ("AllParExceed"); the label
+/// itself for dynamic strategies.
+[[nodiscard]] std::string provisioning_part(std::string_view label);
+
+/// The homogeneous subset of paper_strategies() at one instance size.
+[[nodiscard]] std::vector<scheduling::Strategy> homogeneous_strategies(
+    cloud::InstanceSize size);
+
+/// The four dynamic strategies.
+[[nodiscard]] std::vector<scheduling::Strategy> dynamic_strategies();
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,112 @@
+#include "exp/sweeps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dag/builders.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+const RunResult& find_result(const std::vector<RunResult>& results,
+                             const char* label) {
+  for (const RunResult& r : results)
+    if (r.strategy == label) return r;
+  throw std::logic_error(std::string("sweep: missing strategy ") + label);
+}
+}  // namespace
+
+std::vector<SizeSweepPoint> montage_size_sweep(
+    const std::vector<std::size_t>& projections, std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  const ExperimentRunner runner(cloud::Platform::ec2(), cfg);
+
+  std::vector<SizeSweepPoint> out;
+  for (std::size_t n : projections) {
+    const dag::Workflow wf = dag::builders::montage(n);
+    const auto results = runner.run_all(wf, workload::ScenarioKind::pareto);
+
+    SizeSweepPoint p;
+    p.projections = n;
+    p.tasks = wf.task_count();
+    p.allpar_m_gain = find_result(results, "AllParExceed-m").relative.gain_pct;
+    p.allpar_m_loss = find_result(results, "AllParExceed-m").relative.loss_pct;
+    p.lns_savings = find_result(results, "AllPar1LnS").relative.savings_pct();
+
+    const RunResult* best = nullptr;
+    for (const RunResult& r : results) {
+      const double bal = std::min(r.relative.gain_pct, r.relative.savings_pct());
+      if (best == nullptr ||
+          bal > std::min(best->relative.gain_pct, best->relative.savings_pct()))
+        best = &r;
+    }
+    p.best_balance = best->strategy;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<HeterogeneityPoint> heterogeneity_sweep(
+    const std::vector<double>& alphas, std::uint64_t seed) {
+  std::vector<HeterogeneityPoint> out;
+  for (double alpha : alphas) {
+    if (!(alpha > 1.0))
+      throw std::invalid_argument("heterogeneity_sweep: alpha must exceed 1");
+    workload::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.exec_shape = alpha;
+    const ExperimentRunner runner(cloud::Platform::ec2(), cfg);
+    const dag::Workflow montage = dag::builders::montage24();
+    const dag::Workflow wf =
+        runner.materialize(montage, workload::ScenarioKind::pareto);
+
+    std::vector<double> works;
+    for (const dag::Task& t : wf.tasks()) works.push_back(t.work);
+
+    const auto results = runner.run_all(montage, workload::ScenarioKind::pareto);
+    HeterogeneityPoint p;
+    p.alpha = alpha;
+    p.exec_cv = util::coefficient_of_variation(works);
+    p.allpar_m_gain = find_result(results, "AllParExceed-m").relative.gain_pct;
+    p.lns_savings = find_result(results, "AllPar1LnS").relative.savings_pct();
+    p.startpar_m_gain =
+        find_result(results, "StartParNotExceed-m").relative.gain_pct;
+    p.startpar_m_loss =
+        find_result(results, "StartParNotExceed-m").relative.loss_pct;
+    out.push_back(p);
+  }
+  return out;
+}
+
+util::TextTable size_sweep_table(const std::vector<SizeSweepPoint>& points) {
+  util::TextTable t({"projections", "tasks", "AllParExceed-m gain%",
+                     "AllParExceed-m loss%", "AllPar1LnS savings%",
+                     "best balance"});
+  for (const SizeSweepPoint& p : points) {
+    t.add_row({std::to_string(p.projections), std::to_string(p.tasks),
+               util::format_double(p.allpar_m_gain, 1),
+               util::format_double(p.allpar_m_loss, 1),
+               util::format_double(p.lns_savings, 1), p.best_balance});
+  }
+  return t;
+}
+
+util::TextTable heterogeneity_table(
+    const std::vector<HeterogeneityPoint>& points) {
+  util::TextTable t({"alpha", "exec cv", "AllParExceed-m gain%",
+                     "AllPar1LnS savings%", "StartParNotExceed-m gain%",
+                     "StartParNotExceed-m loss%"});
+  for (const HeterogeneityPoint& p : points) {
+    t.add_row({util::format_double(p.alpha, 1), util::format_double(p.exec_cv, 2),
+               util::format_double(p.allpar_m_gain, 1),
+               util::format_double(p.lns_savings, 1),
+               util::format_double(p.startpar_m_gain, 1),
+               util::format_double(p.startpar_m_loss, 1)});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,46 @@
+// Parameter sweeps behind bench_scaling_heterogeneity, exposed as library
+// API (the paper's future work asks for exactly these boundary studies:
+// workflow size and execution-time heterogeneity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct SizeSweepPoint {
+  std::size_t projections = 0;
+  std::size_t tasks = 0;
+  double allpar_m_gain = 0;      ///< AllParExceed-m gain%
+  double allpar_m_loss = 0;
+  double lns_savings = 0;        ///< AllPar1LnS savings%
+  std::string best_balance;      ///< argmax min(gain, savings)
+};
+
+/// montage(n) for each n (even, >= 4), Pareto scenario.
+[[nodiscard]] std::vector<SizeSweepPoint> montage_size_sweep(
+    const std::vector<std::size_t>& projections,
+    std::uint64_t seed = 0x1db2013);
+
+struct HeterogeneityPoint {
+  double alpha = 0;        ///< Pareto shape
+  double exec_cv = 0;      ///< measured heterogeneity
+  double allpar_m_gain = 0;
+  double lns_savings = 0;
+  double startpar_m_gain = 0;  ///< StartParNotExceed-m (Table V's qualifier)
+  double startpar_m_loss = 0;
+};
+
+/// Montage under Pareto(alpha, 500) for each alpha > 1.
+[[nodiscard]] std::vector<HeterogeneityPoint> heterogeneity_sweep(
+    const std::vector<double>& alphas, std::uint64_t seed = 0x1db2013);
+
+[[nodiscard]] util::TextTable size_sweep_table(
+    const std::vector<SizeSweepPoint>& points);
+[[nodiscard]] util::TextTable heterogeneity_table(
+    const std::vector<HeterogeneityPoint>& points);
+
+}  // namespace cloudwf::exp

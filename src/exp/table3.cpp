@@ -1,0 +1,53 @@
+#include "exp/table3.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+Table3Cell classify_table3(const std::vector<RunResult>& results,
+                           const Table3Options& opts) {
+  Table3Cell cell;
+  if (!results.empty()) {
+    cell.workflow = results.front().workflow;
+    cell.scenario = results.front().scenario;
+  }
+  for (const RunResult& r : results) {
+    const double gain = r.relative.gain_pct;
+    const double savings = r.relative.savings_pct();
+    if (gain < -opts.zero_tolerance || savings < -opts.zero_tolerance)
+      continue;  // outside the target square
+    if (std::abs(gain - savings) <= opts.balanced_tolerance)
+      cell.balanced.push_back(r.strategy);
+    else if (gain < savings)
+      cell.savings_dominant.push_back(r.strategy);
+    else
+      cell.gain_dominant.push_back(r.strategy);
+  }
+  return cell;
+}
+
+std::vector<Table3Cell> table3_all(const ExperimentRunner& runner,
+                                   const Table3Options& opts) {
+  std::vector<Table3Cell> cells;
+  for (workload::ScenarioKind kind : workload::kAllScenarios)
+    for (const dag::Workflow& wf : paper_workflows())
+      cells.push_back(classify_table3(runner.run_all(wf, kind), opts));
+  return cells;
+}
+
+util::TextTable table3_render(const std::vector<Table3Cell>& cells) {
+  util::TextTable t({"scenario", "workflow", "0<=gain%<savings%",
+                     "0<=savings%<gain%", "gain% ~ savings%"});
+  auto join = [](const std::vector<std::string>& xs) {
+    return util::join(xs, ", ");
+  };
+  for (const Table3Cell& c : cells) {
+    t.add_row({std::string(workload::name_of(c.scenario)), c.workflow,
+               join(c.savings_dominant), join(c.gain_dominant), join(c.balanced)});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

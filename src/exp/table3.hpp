@@ -1,0 +1,47 @@
+// Table III — classification of strategies that deliver gain and/or profit,
+// per workflow x scenario:
+//   column 1: 0 <= gain% < savings%   (savings-dominant)
+//   column 2: 0 <= savings% < gain%   (gain-dominant)
+//   column 3: gain% ~= savings%       (balanced, both >= 0)
+// Strategies with negative gain or negative savings fall outside the table
+// (the paper's target square), except the paper also lists boundary cases
+// where gain = savings = 0; those land in the balanced column here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+enum class Table3Column { savings_dominant, gain_dominant, balanced };
+
+struct Table3Cell {
+  std::string workflow;
+  workload::ScenarioKind scenario = workload::ScenarioKind::pareto;
+  std::vector<std::string> savings_dominant;
+  std::vector<std::string> gain_dominant;
+  std::vector<std::string> balanced;
+};
+
+struct Table3Options {
+  /// |gain - savings| <= balanced_tolerance (percentage points) => balanced.
+  double balanced_tolerance = 5.0;
+  /// Values within [-zero_tolerance, 0) count as "0 <=" (absorbs the
+  /// paper's "= 0" boundary entries and float noise).
+  double zero_tolerance = 0.5;
+};
+
+/// Classifies one (workflow, scenario) result set.
+[[nodiscard]] Table3Cell classify_table3(const std::vector<RunResult>& results,
+                                         const Table3Options& opts = {});
+
+/// Full Table III: all workflows x all scenarios.
+[[nodiscard]] std::vector<Table3Cell> table3_all(const ExperimentRunner& runner,
+                                                 const Table3Options& opts = {});
+
+[[nodiscard]] util::TextTable table3_render(const std::vector<Table3Cell>& cells);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,92 @@
+#include "exp/table4.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+Table4Row table4_row(const ExperimentRunner& runner, cloud::InstanceSize size) {
+  const std::array<scheduling::Strategy, 2> strategies = {
+      scheduling::strategy_by_label("AllParExceed-" +
+                                    std::string(cloud::suffix_of(size))),
+      scheduling::strategy_by_label("AllParNotExceed-" +
+                                    std::string(cloud::suffix_of(size)))};
+
+  Table4Row row;
+  row.size = size;
+  bool first_any = true;
+  for (const dag::Workflow& wf : paper_workflows()) {
+    LossInterval iv;
+    bool first = true;
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      for (const scheduling::Strategy& s : strategies) {
+        const RunResult r = runner.run_one(s, wf, kind);
+        const double loss = r.relative.loss_pct;
+        const double gain = r.relative.gain_pct;
+        if (first) {
+          iv.lo = iv.hi = loss;
+          first = false;
+        } else {
+          iv.lo = std::min(iv.lo, loss);
+          iv.hi = std::max(iv.hi, loss);
+        }
+        if (kind == workload::ScenarioKind::pareto &&
+            s.label.starts_with("AllParExceed"))
+          iv.pareto = loss;
+        if (first_any) {
+          row.gain_lo = row.gain_hi = gain;
+          row.envelope.lo = row.envelope.hi = loss;
+          first_any = false;
+        } else {
+          row.gain_lo = std::min(row.gain_lo, gain);
+          row.gain_hi = std::max(row.gain_hi, gain);
+          row.envelope.lo = std::min(row.envelope.lo, loss);
+          row.envelope.hi = std::max(row.envelope.hi, loss);
+        }
+      }
+    }
+    row.per_workflow.emplace_back(wf.name(), iv);
+  }
+  return row;
+}
+
+std::vector<Table4Row> table4_all(const ExperimentRunner& runner) {
+  std::vector<Table4Row> rows;
+  for (cloud::InstanceSize size :
+       {cloud::InstanceSize::small, cloud::InstanceSize::medium,
+        cloud::InstanceSize::large})
+    rows.push_back(table4_row(runner, size));
+  return rows;
+}
+
+namespace {
+std::string interval_str(const LossInterval& iv) {
+  return "[" + util::format_double(iv.lo, 0) + ", " + util::format_double(iv.hi, 0) +
+         "] (" + util::format_double(iv.pareto, 0) + ")";
+}
+}  // namespace
+
+util::TextTable table4_render(const std::vector<Table4Row>& rows) {
+  std::vector<std::string> header = {"instance type"};
+  if (!rows.empty())
+    for (const auto& [wf_name, iv] : rows.front().per_workflow)
+      header.push_back("% loss " + wf_name);
+  header.emplace_back("% max loss interval");
+  header.emplace_back("% gain");
+
+  util::TextTable t(header);
+  for (const Table4Row& row : rows) {
+    std::vector<std::string> cells = {std::string(cloud::name_of(row.size))};
+    for (const auto& [wf_name, iv] : row.per_workflow)
+      cells.push_back(interval_str(iv));
+    cells.push_back("[" + util::format_double(row.envelope.lo, 0) + ", " +
+                    util::format_double(row.envelope.hi, 0) + "]");
+    cells.push_back(util::format_double(row.gain_lo, 0) + " .. " +
+                    util::format_double(row.gain_hi, 0));
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,42 @@
+// Table IV — savings fluctuation vs. stable gain for AllPar[Not]Exceed.
+//
+// For each instance size (small/medium/large): the loss% interval per
+// workflow across the best/worst boundary scenarios, the Pareto-scenario
+// loss in parentheses, the max-loss envelope over all workflows, and the
+// (stable) gain%.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct LossInterval {
+  double lo = 0;      ///< min loss% over scenarios
+  double hi = 0;      ///< max loss% over scenarios
+  double pareto = 0;  ///< Pareto-scenario loss% (the parenthesised value)
+};
+
+struct Table4Row {
+  cloud::InstanceSize size = cloud::InstanceSize::small;
+  std::vector<std::pair<std::string, LossInterval>> per_workflow;
+  LossInterval envelope;   ///< across all workflows
+  double gain_lo = 0;      ///< min gain% over everything (stability check)
+  double gain_hi = 0;      ///< max gain%
+};
+
+/// Sweeps AllParExceed + AllParNotExceed at the given size over all paper
+/// workflows and scenarios.
+[[nodiscard]] Table4Row table4_row(const ExperimentRunner& runner,
+                                   cloud::InstanceSize size);
+
+/// The three paper rows (small, medium, large).
+[[nodiscard]] std::vector<Table4Row> table4_all(const ExperimentRunner& runner);
+
+[[nodiscard]] util::TextTable table4_render(const std::vector<Table4Row>& rows);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,71 @@
+#include "exp/table5.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::exp {
+
+Table5Row table5_row(const std::vector<RunResult>& results) {
+  Table5Row row;
+  if (results.empty()) return row;
+  row.workflow = results.front().workflow;
+  row.scenario = results.front().scenario;
+
+  const RunResult* best_savings = nullptr;
+  const RunResult* best_savings_any = nullptr;
+  const RunResult* best_gain = nullptr;
+  const RunResult* best_balance = nullptr;
+
+  for (const RunResult& r : results) {
+    const double gain = r.relative.gain_pct;
+    const double savings = r.relative.savings_pct();
+    if (best_savings_any == nullptr ||
+        savings > best_savings_any->relative.savings_pct())
+      best_savings_any = &r;
+    if (gain >= 0 && (best_savings == nullptr ||
+                      savings > best_savings->relative.savings_pct()))
+      best_savings = &r;
+    if (best_gain == nullptr || gain > best_gain->relative.gain_pct)
+      best_gain = &r;
+    const double balance = std::min(gain, savings);
+    if (best_balance == nullptr ||
+        balance > std::min(best_balance->relative.gain_pct,
+                           best_balance->relative.savings_pct()))
+      best_balance = &r;
+  }
+  if (best_savings == nullptr) best_savings = best_savings_any;
+
+  row.best_savings = best_savings->strategy;
+  row.best_savings_value = best_savings->relative.savings_pct();
+  row.best_gain = best_gain->strategy;
+  row.best_gain_value = best_gain->relative.gain_pct;
+  row.best_balance = best_balance->strategy;
+  row.best_balance_value = std::min(best_balance->relative.gain_pct,
+                                    best_balance->relative.savings_pct());
+  return row;
+}
+
+std::vector<Table5Row> table5_all(const ExperimentRunner& runner,
+                                  workload::ScenarioKind kind) {
+  std::vector<Table5Row> rows;
+  for (const dag::Workflow& wf : paper_workflows())
+    rows.push_back(table5_row(runner.run_all(wf, kind)));
+  return rows;
+}
+
+util::TextTable table5_render(const std::vector<Table5Row>& rows) {
+  util::TextTable t({"workflow", "scenario", "best savings", "best gain",
+                     "best balance"});
+  for (const Table5Row& r : rows) {
+    t.add_row({r.workflow, std::string(workload::name_of(r.scenario)),
+               r.best_savings + " (" + util::format_double(r.best_savings_value, 1) +
+                   "%)",
+               r.best_gain + " (" + util::format_double(r.best_gain_value, 1) + "%)",
+               r.best_balance + " (" +
+                   util::format_double(r.best_balance_value, 1) + "%)"});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::exp

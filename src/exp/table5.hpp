@@ -1,0 +1,42 @@
+// Table V — conclusions summary: per workflow (class), the empirically best
+// strategy for each user objective.
+//
+//   savings  — maximum savings% among strategies with non-negative gain
+//              (fallback: maximum savings overall);
+//   gain     — maximum gain%;
+//   balance  — maximum min(gain%, savings%) (the deepest point inside the
+//              target square).
+//
+// The paper's Table V is qualitative; this table reports the measured
+// winners so EXPERIMENTS.md can compare them with the paper's claims.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::exp {
+
+struct Table5Row {
+  std::string workflow;
+  workload::ScenarioKind scenario = workload::ScenarioKind::pareto;
+  std::string best_savings;
+  double best_savings_value = 0;
+  std::string best_gain;
+  double best_gain_value = 0;
+  std::string best_balance;
+  double best_balance_value = 0;  ///< min(gain, savings) of the winner
+};
+
+[[nodiscard]] Table5Row table5_row(const std::vector<RunResult>& results);
+
+/// One row per paper workflow under the given scenario (paper: Pareto).
+[[nodiscard]] std::vector<Table5Row> table5_all(
+    const ExperimentRunner& runner,
+    workload::ScenarioKind kind = workload::ScenarioKind::pareto);
+
+[[nodiscard]] util::TextTable table5_render(const std::vector<Table5Row>& rows);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,62 @@
+#include "provisioning/detail.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cloudwf::provisioning {
+
+namespace {
+/// Whether reusing `vm` for `t` would grow its BTU count (evaluated at the
+/// actual earliest start/finish on that VM).
+bool reuse_adds_btu(const PlacementContext& ctx, dag::TaskId t, const cloud::Vm& vm) {
+  const util::Seconds est = ctx.est_on(t, vm);
+  return vm.placement_adds_btu(est, est + ctx.exec_time(t, vm.size()));
+}
+}  // namespace
+
+cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
+  const cloud::VmPool& pool = ctx.schedule().pool();
+
+  if (!ctx.is_parallel_task(t)) {
+    // Sequential task: "executed on the VM with the longest execution time —
+    // usually their (largest) predecessor". NotExceed rents when reuse would
+    // add a BTU.
+    const cloud::Vm* best = nullptr;
+    for (const cloud::Vm& vm : pool.vms()) {
+      if (!vm.used()) continue;
+      if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
+    }
+    if (best == nullptr) return ctx.rent();
+    if (!exceed_ && reuse_adds_btu(ctx, t, *best)) return ctx.rent();
+    return best->id();
+  }
+
+  // Parallel task: its own VM, never shared with a same-level task.
+  // Preference order keeps data local and idle time low:
+  //   1. the largest predecessor's VM (if level-free and BTU-admissible),
+  //   2. the level-free used VM with the largest accumulated execution time,
+  //   3. a new VM ("the number of parallel tasks exceeds the number of VMs
+  //      or a task execution time exceeds the assigned VM's BTU").
+  auto admissible = [&](const cloud::Vm& vm) {
+    if (ctx.vm_hosts_level_of(vm, t)) return false;
+    if (!exceed_ && reuse_adds_btu(ctx, t, vm)) return false;
+    return true;
+  };
+
+  if (const auto pred = ctx.largest_predecessor(t)) {
+    if (ctx.schedule().is_assigned(*pred)) {
+      const cloud::Vm& pred_vm = pool.vm(ctx.schedule().assignment(*pred).vm);
+      if (admissible(pred_vm)) return pred_vm.id();
+    }
+  }
+
+  const cloud::Vm* best = nullptr;
+  for (const cloud::Vm& vm : pool.vms()) {
+    if (!vm.used() || !admissible(vm)) continue;
+    if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
+  }
+  if (best != nullptr) return best->id();
+  return ctx.rent();
+}
+
+}  // namespace cloudwf::provisioning

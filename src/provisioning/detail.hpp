@@ -1,0 +1,52 @@
+// Concrete provisioning policies. Internal header (include provisioning/policy.hpp
+// and use make_policy from client code).
+#pragma once
+
+#include "provisioning/policy.hpp"
+
+namespace cloudwf::provisioning {
+
+/// Sect. III-A: "assigns a new VM to each task even if there remains enough
+/// idle time on another that could be used by the ready task."
+class OneVmPerTask final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] ProvisioningKind kind() const noexcept override {
+    return ProvisioningKind::one_vm_per_task;
+  }
+  [[nodiscard]] cloud::VmId choose_vm(dag::TaskId t, PlacementContext& ctx) override;
+};
+
+/// StartPar[Not]Exceed: new VMs for entry tasks only; every other task is
+/// appended to the VM with the largest accumulated execution time; in the
+/// NotExceed variant a reuse that would add a BTU rents a new VM instead.
+class StartPar final : public ProvisioningPolicy {
+ public:
+  explicit StartPar(bool exceed) noexcept : exceed_(exceed) {}
+  [[nodiscard]] ProvisioningKind kind() const noexcept override {
+    return exceed_ ? ProvisioningKind::start_par_exceed
+                   : ProvisioningKind::start_par_not_exceed;
+  }
+  [[nodiscard]] cloud::VmId choose_vm(dag::TaskId t, PlacementContext& ctx) override;
+
+ private:
+  bool exceed_;
+};
+
+/// AllPar[Not]Exceed: each parallel task runs on its own VM (no two tasks of
+/// one level share a VM) reusing idle VMs when possible; sequential
+/// (single-task-level) tasks reuse the largest-execution-time VM. The
+/// NotExceed variant rents instead of growing a reused VM's BTU count.
+class AllPar final : public ProvisioningPolicy {
+ public:
+  explicit AllPar(bool exceed) noexcept : exceed_(exceed) {}
+  [[nodiscard]] ProvisioningKind kind() const noexcept override {
+    return exceed_ ? ProvisioningKind::all_par_exceed
+                   : ProvisioningKind::all_par_not_exceed;
+  }
+  [[nodiscard]] cloud::VmId choose_vm(dag::TaskId t, PlacementContext& ctx) override;
+
+ private:
+  bool exceed_;
+};
+
+}  // namespace cloudwf::provisioning

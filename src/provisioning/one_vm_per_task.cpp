@@ -1,0 +1,9 @@
+#include "provisioning/detail.hpp"
+
+namespace cloudwf::provisioning {
+
+cloud::VmId OneVmPerTask::choose_vm(dag::TaskId /*t*/, PlacementContext& ctx) {
+  return ctx.rent();
+}
+
+}  // namespace cloudwf::provisioning

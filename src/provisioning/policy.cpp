@@ -1,0 +1,79 @@
+#include "provisioning/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "provisioning/detail.hpp"
+
+namespace cloudwf::provisioning {
+
+PlacementContext::PlacementContext(const dag::Workflow& wf, sim::Schedule& schedule,
+                                   const cloud::Platform& platform,
+                                   cloud::InstanceSize vm_size)
+    : wf_(&wf), schedule_(&schedule), platform_(&platform), vm_size_(vm_size) {
+  levels_ = dag::task_levels(wf);
+  const int max_level =
+      levels_.empty() ? -1 : *std::max_element(levels_.begin(), levels_.end());
+  level_sizes_.assign(static_cast<std::size_t>(max_level + 1), 0);
+  for (int l : levels_) ++level_sizes_[static_cast<std::size_t>(l)];
+}
+
+bool PlacementContext::vm_hosts_level_of(const cloud::Vm& vm, dag::TaskId t) const {
+  const int level = levels_[t];
+  return std::any_of(vm.placements().begin(), vm.placements().end(),
+                     [&](const cloud::Placement& p) {
+                       return levels_[p.task] == level;
+                     });
+}
+
+util::Seconds PlacementContext::est_on(dag::TaskId t, const cloud::Vm& vm) const {
+  util::Seconds est = std::max(vm.available_from(), platform_->boot_time());
+  for (dag::TaskId p : wf_->predecessors(t)) {
+    if (!schedule_->is_assigned(p))
+      throw std::logic_error("est_on: predecessor '" + wf_->task(p).name +
+                             "' not yet assigned");
+    const sim::Assignment& pa = schedule_->assignment(p);
+    const util::Seconds transfer = platform_->transfer_time(
+        wf_->edge_data(p, t), schedule_->pool().vm(pa.vm), vm);
+    est = std::max(est, pa.end + transfer);
+  }
+  return est;
+}
+
+util::Seconds PlacementContext::est_on_new(dag::TaskId t) const {
+  // A hypothetical endpoint: kInvalidVm never equals an existing id, so the
+  // transfer model treats it as a distinct machine in the default region.
+  const cloud::Vm fresh(cloud::kInvalidVm, vm_size_, region());
+  return est_on(t, fresh);
+}
+
+std::optional<dag::TaskId> PlacementContext::largest_predecessor(
+    dag::TaskId t) const {
+  const auto& preds = wf_->predecessors(t);
+  if (preds.empty()) return std::nullopt;
+  dag::TaskId best = preds.front();
+  for (dag::TaskId p : preds) {
+    if (wf_->task(p).work > wf_->task(best).work ||
+        (wf_->task(p).work == wf_->task(best).work && p < best))
+      best = p;
+  }
+  return best;
+}
+
+std::unique_ptr<ProvisioningPolicy> make_policy(ProvisioningKind kind) {
+  switch (kind) {
+    case ProvisioningKind::one_vm_per_task:
+      return std::make_unique<OneVmPerTask>();
+    case ProvisioningKind::start_par_not_exceed:
+      return std::make_unique<StartPar>(/*exceed=*/false);
+    case ProvisioningKind::start_par_exceed:
+      return std::make_unique<StartPar>(/*exceed=*/true);
+    case ProvisioningKind::all_par_not_exceed:
+      return std::make_unique<AllPar>(/*exceed=*/false);
+    case ProvisioningKind::all_par_exceed:
+      return std::make_unique<AllPar>(/*exceed=*/true);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace cloudwf::provisioning

@@ -1,0 +1,125 @@
+// VM provisioning policies (Sect. III-A): given a ready task, decide whether
+// to reuse an existing VM or rent a new one, under a Billing-Time-Unit rule.
+//
+// The five paper policies:
+//   OneVMperTask      — a new VM for every task;
+//   StartParNotExceed — new VMs only for entry tasks; others reuse the VM
+//                       with the largest accumulated execution time, unless
+//                       that would add a BTU (then rent);
+//   StartParExceed    — like the previous, but BTU growth never rents;
+//   AllParNotExceed   — each parallel task gets its own VM (existing or
+//                       new, never sharing a VM with a same-level task);
+//                       rent when the level outgrows the pool or reuse
+//                       would add a BTU; sequential tasks reuse the
+//                       largest-execution-time VM;
+//   AllParExceed      — like the previous, but BTU growth never rents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "dag/graph_algo.hpp"
+#include "dag/workflow.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::provisioning {
+
+enum class ProvisioningKind : std::uint8_t {
+  one_vm_per_task = 0,
+  start_par_not_exceed = 1,
+  start_par_exceed = 2,
+  all_par_not_exceed = 3,
+  all_par_exceed = 4,
+};
+
+[[nodiscard]] constexpr std::string_view name_of(ProvisioningKind k) noexcept {
+  constexpr std::array<std::string_view, 5> names = {
+      "OneVMperTask", "StartParNotExceed", "StartParExceed", "AllParNotExceed",
+      "AllParExceed"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// Everything a policy may consult while placing one task, plus the
+/// earliest-start-time arithmetic shared by all schedulers.
+class PlacementContext {
+ public:
+  PlacementContext(const dag::Workflow& wf, sim::Schedule& schedule,
+                   const cloud::Platform& platform, cloud::InstanceSize vm_size);
+
+  [[nodiscard]] const dag::Workflow& workflow() const noexcept { return *wf_; }
+  [[nodiscard]] sim::Schedule& schedule() noexcept { return *schedule_; }
+  [[nodiscard]] const sim::Schedule& schedule() const noexcept { return *schedule_; }
+  [[nodiscard]] const cloud::Platform& platform() const noexcept {
+    return *platform_;
+  }
+
+  /// Instance size used for newly rented VMs in this run.
+  [[nodiscard]] cloud::InstanceSize vm_size() const noexcept { return vm_size_; }
+  [[nodiscard]] cloud::RegionId region() const noexcept {
+    return platform_->default_region_id();
+  }
+
+  /// Level of each task (longest-hop distance from an entry).
+  [[nodiscard]] const std::vector<int>& levels() const { return levels_; }
+
+  /// True iff the task shares its level with at least one other task.
+  [[nodiscard]] bool is_parallel_task(dag::TaskId t) const {
+    return level_sizes_[static_cast<std::size_t>(levels_[t])] > 1;
+  }
+
+  /// True iff `vm` already hosts a task of the same level as `t`.
+  [[nodiscard]] bool vm_hosts_level_of(const cloud::Vm& vm, dag::TaskId t) const;
+
+  /// Earliest start of `t` on `vm`: max of the VM's availability, the boot
+  /// completion and every predecessor's finish + transfer to `vm`.
+  /// Predecessors must already be assigned.
+  [[nodiscard]] util::Seconds est_on(dag::TaskId t, const cloud::Vm& vm) const;
+
+  /// Earliest start of `t` on a hypothetical fresh VM of vm_size().
+  [[nodiscard]] util::Seconds est_on_new(dag::TaskId t) const;
+
+  /// Execution time of `t` on an instance of size `s`.
+  [[nodiscard]] util::Seconds exec_time(dag::TaskId t, cloud::InstanceSize s) const {
+    return cloud::exec_time(wf_->task(t).work, s);
+  }
+
+  /// Rents a fresh VM of vm_size() in the default region.
+  [[nodiscard]] cloud::VmId rent() {
+    return schedule_->rent(vm_size_, region());
+  }
+
+  /// The predecessor of `t` with the largest work (the paper's "(largest)
+  /// predecessor"); nullopt for entry tasks.
+  [[nodiscard]] std::optional<dag::TaskId> largest_predecessor(dag::TaskId t) const;
+
+ private:
+  const dag::Workflow* wf_;
+  sim::Schedule* schedule_;
+  const cloud::Platform* platform_;
+  cloud::InstanceSize vm_size_;
+  std::vector<int> levels_;
+  std::vector<std::size_t> level_sizes_;
+};
+
+class ProvisioningPolicy {
+ public:
+  virtual ~ProvisioningPolicy() = default;
+
+  [[nodiscard]] virtual ProvisioningKind kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept { return name_of(kind()); }
+
+  /// Chooses (renting if necessary) the VM that will run `t`. All of `t`'s
+  /// predecessors must already be assigned in the context's schedule.
+  [[nodiscard]] virtual cloud::VmId choose_vm(dag::TaskId t,
+                                              PlacementContext& ctx) = 0;
+};
+
+/// Factory for the five paper policies.
+[[nodiscard]] std::unique_ptr<ProvisioningPolicy> make_policy(ProvisioningKind kind);
+
+}  // namespace cloudwf::provisioning

@@ -1,0 +1,35 @@
+#include "provisioning/detail.hpp"
+
+namespace cloudwf::provisioning {
+
+namespace {
+/// The reuse target of the StartPar policies: the used VM with the largest
+/// accumulated execution time ("the VM with the largest execution time is
+/// chosen"); lowest id breaks ties for determinism.
+const cloud::Vm* largest_execution_time_vm(const cloud::VmPool& pool) {
+  const cloud::Vm* best = nullptr;
+  for (const cloud::Vm& vm : pool.vms()) {
+    if (!vm.used()) continue;
+    if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
+  }
+  return best;
+}
+}  // namespace
+
+cloud::VmId StartPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
+  // Entry ("initial workflow") tasks each get their own VM — this is where
+  // the policy's start-up parallelism comes from.
+  if (ctx.workflow().predecessors(t).empty()) return ctx.rent();
+
+  const cloud::Vm* candidate = largest_execution_time_vm(ctx.schedule().pool());
+  if (candidate == nullptr) return ctx.rent();  // no VM yet (defensive)
+
+  if (!exceed_) {
+    const util::Seconds est = ctx.est_on(t, *candidate);
+    const util::Seconds eft = est + ctx.exec_time(t, candidate->size());
+    if (candidate->placement_adds_btu(est, eft)) return ctx.rent();
+  }
+  return candidate->id();
+}
+
+}  // namespace cloudwf::provisioning

@@ -1,0 +1,85 @@
+#include "scheduling/allpar1lns.hpp"
+
+#include <algorithm>
+
+#include "dag/graph_algo.hpp"
+#include "scheduling/level_scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+LevelChains build_level_chains(const dag::Workflow& wf,
+                               std::vector<dag::TaskId> level) {
+  LevelChains out;
+  if (level.empty()) return out;
+
+  const std::vector<dag::TaskId> ordered = level_order_desc(wf, std::move(level));
+  const util::Seconds target = wf.task(ordered.front()).work;
+
+  // The longest task is "always scheduled separately".
+  out.chains.push_back({ordered.front()});
+
+  // First-fit-decreasing: pack the rest into chains of total work <= target.
+  std::vector<util::Seconds> load;  // parallel to out.chains[1..]
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    const dag::TaskId t = ordered[i];
+    const util::Seconds w = wf.task(t).work;
+    bool packed = false;
+    for (std::size_t c = 0; c < load.size(); ++c) {
+      if (util::time_le(load[c] + w, target)) {
+        out.chains[c + 1].push_back(t);
+        load[c] += w;
+        packed = true;
+        break;
+      }
+    }
+    if (!packed) {
+      out.chains.push_back({t});
+      load.push_back(w);
+    }
+  }
+  return out;
+}
+
+cloud::VmId place_chain(provisioning::PlacementContext& ctx,
+                        const std::vector<dag::TaskId>& chain,
+                        cloud::InstanceSize size) {
+  util::Seconds chain_exec = 0;
+  for (dag::TaskId t : chain) chain_exec += ctx.exec_time(t, size);
+
+  const dag::TaskId head = chain.front();
+  const cloud::Vm* reuse = nullptr;
+  for (const cloud::Vm& vm : ctx.schedule().pool().vms()) {
+    if (!vm.used() || vm.size() != size) continue;
+    if (ctx.vm_hosts_level_of(vm, head)) continue;
+    // NotExceed over the whole chain: the VM's BTU count must not grow.
+    const util::Seconds est = ctx.est_on(head, vm);
+    if (vm.placement_adds_btu(est, est + chain_exec)) continue;
+    if (reuse == nullptr || vm.busy_time() > reuse->busy_time()) reuse = &vm;
+  }
+
+  cloud::VmId vm_id;
+  if (reuse != nullptr) {
+    vm_id = reuse->id();
+  } else {
+    vm_id = ctx.schedule().rent(size, ctx.region());
+  }
+  for (dag::TaskId t : chain) place_at_earliest(ctx, t, vm_id);
+  return vm_id;
+}
+
+sim::Schedule AllParOneLnSScheduler::run(const dag::Workflow& wf,
+                                         const cloud::Platform& platform) const {
+  wf.validate();
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform,
+                                     cloud::InstanceSize::small);
+
+  for (const auto& level : dag::level_groups(wf)) {
+    const LevelChains chains = build_level_chains(wf, level);
+    for (const auto& chain : chains.chains)
+      (void)place_chain(ctx, chain, cloud::InstanceSize::small);
+  }
+  return schedule;
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,47 @@
+// AllPar1LnS (Sect. III-B): reduce task parallelism by sequentializing
+// multiple short tasks whose total length is about the same as the longest
+// task of the level. Tasks are first ranked inside each level by execution
+// time (the AllParNotExceed level ordering); the longest task keeps a VM of
+// its own, the shorter ones are packed first-fit-decreasing into chains of
+// total length <= the longest task's, and each chain is mapped onto a single
+// VM. Runs on small instances (the dynamic sibling AllPar1LnSDyn adds
+// budgeted speed escalation on top).
+#pragma once
+
+#include <vector>
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+/// One level's parallelism-reduced structure: chains[0] holds the longest
+/// task alone; every other chain's total work is <= the longest task's work.
+/// Tasks inside a chain are ordered by descending work (FFD packing order).
+struct LevelChains {
+  std::vector<std::vector<dag::TaskId>> chains;
+};
+
+/// Decomposes one level (any task set of pairwise-independent tasks) into
+/// the AllPar1LnS chain structure.
+[[nodiscard]] LevelChains build_level_chains(const dag::Workflow& wf,
+                                             std::vector<dag::TaskId> level);
+
+/// Places one chain on a single VM: reuses the busiest existing VM of the
+/// requested size that hosts no task of this level and whose BTU count would
+/// not grow by the whole chain (NotExceed semantics); rents otherwise.
+/// Tasks are placed in chain order, back to back at their earliest feasible
+/// times. Returns the VM used.
+cloud::VmId place_chain(provisioning::PlacementContext& ctx,
+                        const std::vector<dag::TaskId>& chain,
+                        cloud::InstanceSize size);
+
+class AllParOneLnSScheduler final : public Scheduler {
+ public:
+  AllParOneLnSScheduler() = default;
+
+  [[nodiscard]] std::string name() const override { return "AllPar1LnS"; }
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,95 @@
+#include "scheduling/allpar1lns_dyn.hpp"
+
+#include <algorithm>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::scheduling {
+
+std::vector<cloud::InstanceSize> escalate_level_sizes(const dag::Workflow& wf,
+                                                      const LevelChains& chains,
+                                                      const cloud::Region& region) {
+  const std::size_t n = chains.chains.size();
+  std::vector<cloud::InstanceSize> sizes(n, cloud::InstanceSize::small);
+  if (n == 0) return sizes;
+
+  std::vector<util::Seconds> chain_work(n, 0);
+  for (std::size_t c = 0; c < n; ++c)
+    for (dag::TaskId t : chains.chains[c]) chain_work[c] += wf.task(t).work;
+
+  // Level budget: the AllParNotExceed worst case — every task of the level
+  // rents its own small VM.
+  util::Money budget;
+  for (const auto& chain : chains.chains)
+    for (dag::TaskId t : chain)
+      budget += cloud::rental_cost(
+          cloud::exec_time(wf.task(t).work, cloud::InstanceSize::small),
+          cloud::InstanceSize::small, region);
+
+  const auto chain_exec = [&](std::size_t c) {
+    return cloud::exec_time(chain_work[c], sizes[c]);
+  };
+  const auto level_cost = [&] {
+    util::Money cost;
+    for (std::size_t c = 0; c < n; ++c)
+      cost += cloud::rental_cost(chain_exec(c), sizes[c], region);
+    return cost;
+  };
+  const auto longest_chain = [&] {
+    std::size_t arg = 0;  // ties resolve to chain 0, the long task
+    for (std::size_t c = 1; c < n; ++c)
+      if (util::time_gt(chain_exec(c), chain_exec(arg))) arg = c;
+    return arg;
+  };
+
+  // Last configuration that respected the budget with the makespan dictated
+  // by the longest task (chain 0) — the rollback target.
+  std::vector<cloud::InstanceSize> valid = sizes;
+
+  for (;;) {
+    const std::size_t j = longest_chain();
+    if (j == 0) {
+      valid = sizes;  // dictated by the longest task and within budget
+      const auto next = cloud::next_faster(sizes[0]);
+      if (!next) break;
+      const cloud::InstanceSize previous = sizes[0];
+      sizes[0] = *next;
+      if (level_cost() > budget) {
+        sizes[0] = previous;
+        break;
+      }
+    } else {
+      // The makespan shifted to chain j: push it back under chain 0's time.
+      const auto next = cloud::next_faster(sizes[j]);
+      if (!next) {
+        sizes = valid;  // cannot recover — roll back
+        break;
+      }
+      sizes[j] = *next;
+      if (level_cost() > budget) {
+        sizes = valid;
+        break;
+      }
+    }
+  }
+  return sizes;
+}
+
+sim::Schedule AllParOneLnSDynScheduler::run(const dag::Workflow& wf,
+                                            const cloud::Platform& platform) const {
+  wf.validate();
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform,
+                                     cloud::InstanceSize::small);
+
+  for (const auto& level : dag::level_groups(wf)) {
+    const LevelChains chains = build_level_chains(wf, level);
+    const std::vector<cloud::InstanceSize> sizes =
+        escalate_level_sizes(wf, chains, platform.default_region());
+    for (std::size_t c = 0; c < chains.chains.size(); ++c)
+      (void)place_chain(ctx, chains.chains[c], sizes[c]);
+  }
+  return schedule;
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,36 @@
+// AllPar1LnSDyn (Sect. III-B): AllPar1LnS plus per-level budgeted speed
+// escalation.
+//
+// Per level: (1) reduce parallelism into chains as AllPar1LnS; (2) set the
+// level budget to the AllParNotExceed worst case — every task of the level
+// on its own small VM; (3) repeatedly upgrade the VM of the longest task
+// while the level makespan is still dictated by it and the budget holds;
+// when the makespan shifts to another chain, push that chain back below the
+// longest task's time by upgrading it; on failure (budget or xlarge ceiling)
+// roll back to the last valid configuration (budget respected, makespan
+// dictated by the longest task).
+#pragma once
+
+#include <vector>
+
+#include "scheduling/allpar1lns.hpp"
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+/// Outcome of the per-level escalation: one instance size per chain
+/// (index-aligned with LevelChains::chains).
+[[nodiscard]] std::vector<cloud::InstanceSize> escalate_level_sizes(
+    const dag::Workflow& wf, const LevelChains& chains,
+    const cloud::Region& region);
+
+class AllParOneLnSDynScheduler final : public Scheduler {
+ public:
+  AllParOneLnSDynScheduler() = default;
+
+  [[nodiscard]] std::string name() const override { return "AllPar1LnSDyn"; }
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,124 @@
+#include "scheduling/bicpa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::scheduling {
+
+sim::Schedule schedule_on_fixed_pool(const dag::Workflow& wf,
+                                     const cloud::Platform& platform,
+                                     std::size_t pool_size,
+                                     cloud::InstanceSize size) {
+  if (pool_size == 0)
+    throw std::invalid_argument("schedule_on_fixed_pool: empty pool");
+  wf.validate();
+
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform, size);
+  std::vector<cloud::VmId> pool;
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i)
+    pool.push_back(schedule.rent(size, platform.default_region_id()));
+
+  const cloud::Vm a(0, size, platform.default_region_id());
+  const cloud::Vm b(1, size, platform.default_region_id());
+  const auto exec = [&](dag::TaskId t) { return ctx.exec_time(t, size); };
+  const auto comm = [&](dag::TaskId p, dag::TaskId t) {
+    return platform.transfer_time(wf.edge_data(p, t), a, b);
+  };
+
+  for (dag::TaskId t : dag::heft_order(wf, exec, comm)) {
+    cloud::VmId best = pool.front();
+    util::Seconds best_eft = 0;
+    bool first = true;
+    for (cloud::VmId id : pool) {
+      const util::Seconds eft =
+          ctx.est_on(t, schedule.pool().vm(id)) + exec(t);
+      if (first || eft < best_eft - util::kTimeEpsilon) {
+        best = id;
+        best_eft = eft;
+        first = false;
+      }
+    }
+    place_at_earliest(ctx, t, best);
+  }
+  return schedule;
+}
+
+std::vector<AllocationPoint> allocation_curve(const dag::Workflow& wf,
+                                              const cloud::Platform& platform,
+                                              cloud::InstanceSize size,
+                                              std::size_t limit) {
+  if (limit == 0) limit = dag::max_width(wf);
+  limit = std::max<std::size_t>(1, std::min(limit, wf.task_count()));
+
+  std::vector<AllocationPoint> curve;
+  curve.reserve(limit);
+  for (std::size_t k = 1; k <= limit; ++k) {
+    const sim::Schedule s = schedule_on_fixed_pool(wf, platform, k, size);
+    const sim::ScheduleMetrics m = sim::compute_metrics(wf, s, platform);
+    curve.push_back(AllocationPoint{k, m.makespan, m.total_cost});
+  }
+  return curve;
+}
+
+BiCpaScheduler::BiCpaScheduler(Objective objective, double bound_factor,
+                               cloud::InstanceSize size)
+    : objective_(objective), bound_factor_(bound_factor), size_(size) {
+  if (!(bound_factor >= 1.0))
+    throw std::invalid_argument("BiCpaScheduler: bound factor must be >= 1");
+}
+
+std::string BiCpaScheduler::name() const {
+  return std::string("biCPA-") +
+         (objective_ == Objective::budget ? "budget" : "deadline") + "-" +
+         std::string(cloud::suffix_of(size_));
+}
+
+sim::Schedule BiCpaScheduler::run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const {
+  const std::vector<AllocationPoint> curve =
+      allocation_curve(wf, platform, size_);
+
+  std::size_t chosen = 0;
+  if (objective_ == Objective::budget) {
+    // Budget = factor x the 1-VM (cheapest) cost; fastest point within it.
+    const util::Money budget = curve.front().cost.scaled(bound_factor_);
+    bool found = false;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i].cost > budget) continue;
+      if (!found || curve[i].makespan < curve[chosen].makespan) {
+        chosen = i;
+        found = true;
+      }
+    }
+    if (!found) chosen = 0;  // nothing fits: cheapest allocation
+  } else {
+    // Deadline = factor x the best achievable makespan; cheapest point
+    // within it (falling back to the fastest when unreachable).
+    util::Seconds best_makespan = curve.front().makespan;
+    std::size_t fastest = 0;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i].makespan < best_makespan) {
+        best_makespan = curve[i].makespan;
+        fastest = i;
+      }
+    }
+    const util::Seconds deadline = best_makespan * bound_factor_;
+    bool found = false;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i].makespan > deadline + util::kTimeEpsilon) continue;
+      if (!found || curve[i].cost < curve[chosen].cost) {
+        chosen = i;
+        found = true;
+      }
+    }
+    if (!found) chosen = fastest;
+  }
+
+  return schedule_on_fixed_pool(wf, platform, curve[chosen].pool_size, size_);
+}
+
+}  // namespace cloudwf::scheduling

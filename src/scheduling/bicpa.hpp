@@ -1,0 +1,69 @@
+// biCPA-style bi-objective allocation (the paper's ref [1], Caron, Desprez,
+// Muresan & Suter — "budget constrained resource allocation for
+// non-deterministic workflows", building on Radulescu & van Gemund's CPA,
+// ref [9]).
+//
+// CPA's insight: the right VM-pool size balances the critical path length
+// (which shrinks with more parallelism) against the average area (total
+// work / pool size). biCPA keeps every intermediate allocation, evaluates
+// each with a list schedule, and picks along the (makespan, cost) Pareto
+// front under either a budget or a deadline.
+//
+// Our rendition sweeps the pool size k = 1..max_width, builds an
+// earliest-finish-time list schedule on k fixed VMs for each k, and selects
+// per objective. The full allocation curve is exposed for analysis.
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+#include "sim/metrics.hpp"
+
+namespace cloudwf::scheduling {
+
+/// HEFT-ordered list schedule on a fixed pool of `pool_size` VMs of the
+/// given size, each task on the VM minimizing its earliest finish time.
+/// (This earliest-EFT allocation is also a useful scheduler on its own;
+/// RoundRobin/LeastLoad in baselines.hpp are its naive cousins.)
+[[nodiscard]] sim::Schedule schedule_on_fixed_pool(const dag::Workflow& wf,
+                                                   const cloud::Platform& platform,
+                                                   std::size_t pool_size,
+                                                   cloud::InstanceSize size);
+
+struct AllocationPoint {
+  std::size_t pool_size = 0;
+  util::Seconds makespan = 0;
+  util::Money cost;
+};
+
+/// The biCPA allocation curve: one point per pool size 1..limit (default:
+/// the workflow's maximum level width — more VMs than that cannot help a
+/// level-structured workflow).
+[[nodiscard]] std::vector<AllocationPoint> allocation_curve(
+    const dag::Workflow& wf, const cloud::Platform& platform,
+    cloud::InstanceSize size, std::size_t limit = 0);
+
+class BiCpaScheduler final : public Scheduler {
+ public:
+  enum class Objective {
+    budget,    ///< minimize makespan subject to cost <= bound
+    deadline,  ///< minimize cost subject to makespan <= bound
+  };
+
+  /// bound_factor is relative: for budget, x the 1-VM (cheapest) cost; for
+  /// deadline, x the best (widest-pool) makespan. Must be >= 1.
+  BiCpaScheduler(Objective objective, double bound_factor,
+                 cloud::InstanceSize size = cloud::InstanceSize::small);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] Objective objective() const noexcept { return objective_; }
+  [[nodiscard]] double bound_factor() const noexcept { return bound_factor_; }
+
+ private:
+  Objective objective_;
+  double bound_factor_;
+  cloud::InstanceSize size_;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,66 @@
+#include "scheduling/cpa_eager.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "dag/graph_algo.hpp"
+#include "scheduling/upgrade.hpp"
+
+namespace cloudwf::scheduling {
+
+CpaEagerScheduler::CpaEagerScheduler(double budget_factor)
+    : budget_factor_(budget_factor) {
+  if (!(budget_factor >= 1.0))
+    throw std::invalid_argument("CpaEagerScheduler: budget factor must be >= 1");
+}
+
+sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
+                                     const cloud::Platform& platform) const {
+  wf.validate();
+  std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
+
+  const util::Money budget =
+      metrics_one_vm_per_task(wf, platform, sizes).total_cost.scaled(budget_factor_);
+
+  // Comm between two distinct VMs (one VM per task, so every edge crosses
+  // VMs; sizes only matter through link speeds, all >= small's 1 Gb — use
+  // the current sizes for the endpoints).
+  const auto comm = [&](dag::TaskId p, dag::TaskId t) {
+    const cloud::Vm from(0, sizes[p], platform.default_region_id());
+    const cloud::Vm to(1, sizes[t], platform.default_region_id());
+    return platform.transfer_time(wf.edge_data(p, t), from, to);
+  };
+  const auto exec = [&](dag::TaskId t) {
+    return cloud::exec_time(wf.task(t).work, sizes[t]);
+  };
+
+  // Tasks whose upgrade was rejected under the *current* configuration;
+  // cleared whenever an upgrade is accepted (the critical path moved).
+  std::unordered_set<dag::TaskId> rejected;
+
+  for (;;) {
+    const std::vector<dag::TaskId> cp = dag::critical_path(wf, exec, comm);
+
+    // Systematically attack the path: largest execution time first.
+    dag::TaskId candidate = dag::kInvalidTask;
+    for (dag::TaskId t : cp) {
+      if (rejected.contains(t)) continue;
+      if (!cloud::next_faster(sizes[t])) continue;
+      if (candidate == dag::kInvalidTask || exec(t) > exec(candidate)) candidate = t;
+    }
+    if (candidate == dag::kInvalidTask) break;
+
+    const cloud::InstanceSize previous = sizes[candidate];
+    sizes[candidate] = *cloud::next_faster(previous);
+    if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
+      sizes[candidate] = previous;
+      rejected.insert(candidate);
+    } else {
+      rejected.clear();
+    }
+  }
+
+  return retime_one_vm_per_task(wf, platform, sizes);
+}
+
+}  // namespace cloudwf::scheduling

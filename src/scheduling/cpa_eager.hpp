@@ -1,0 +1,25 @@
+// CPA-Eager (Sect. III-B): start from HEFT+OneVMperTask on small instances,
+// then systematically upgrade the VMs of tasks lying on the critical path —
+// the makespan is dictated by that path — while total cost stays within a
+// budget of `budget_factor` x the seed schedule's cost (paper: 2x).
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class CpaEagerScheduler final : public Scheduler {
+ public:
+  explicit CpaEagerScheduler(double budget_factor = 2.0);
+
+  [[nodiscard]] std::string name() const override { return "CPA-Eager"; }
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] double budget_factor() const noexcept { return budget_factor_; }
+
+ private:
+  double budget_factor_;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,79 @@
+#include "scheduling/custom_policy.hpp"
+
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+#include "scheduling/level_scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+GenericListScheduler::GenericListScheduler(std::string name,
+                                           PolicyFactory factory,
+                                           OrderingFamily ordering,
+                                           cloud::InstanceSize size)
+    : name_(std::move(name)),
+      factory_(std::move(factory)),
+      ordering_(ordering),
+      size_(size) {
+  if (name_.empty())
+    throw std::invalid_argument("GenericListScheduler: empty name");
+  if (!factory_)
+    throw std::invalid_argument("GenericListScheduler: null policy factory");
+}
+
+sim::Schedule GenericListScheduler::run(const dag::Workflow& wf,
+                                        const cloud::Platform& platform) const {
+  wf.validate();
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform, size_);
+  const std::unique_ptr<provisioning::ProvisioningPolicy> policy = factory_();
+  if (!policy)
+    throw std::logic_error("GenericListScheduler: factory produced null policy");
+
+  if (ordering_ == OrderingFamily::priority_ranking) {
+    const cloud::Vm a(0, size_, platform.default_region_id());
+    const cloud::Vm b(1, size_, platform.default_region_id());
+    const auto exec = [&](dag::TaskId t) { return ctx.exec_time(t, size_); };
+    const auto comm = [&](dag::TaskId p, dag::TaskId t) {
+      return platform.transfer_time(wf.edge_data(p, t), a, b);
+    };
+    for (dag::TaskId t : dag::heft_order(wf, exec, comm))
+      place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+  } else {
+    for (const auto& level : dag::level_groups(wf))
+      for (dag::TaskId t : level_order_desc(wf, level))
+        place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+  }
+  return schedule;
+}
+
+cloud::VmId BestFitReuse::choose_vm(dag::TaskId t,
+                                    provisioning::PlacementContext& ctx) {
+  if (ctx.workflow().predecessors(t).empty()) return ctx.rent();
+
+  const cloud::Vm* best = nullptr;
+  util::Seconds best_leftover = 0;
+  for (const cloud::Vm& vm : ctx.schedule().pool().vms()) {
+    if (!vm.used()) continue;
+    const util::Seconds est = ctx.est_on(t, vm);
+    const util::Seconds eft = est + ctx.exec_time(t, vm.size());
+    if (vm.placement_adds_btu(est, eft)) continue;  // would grow: not a fit
+    // Leftover headroom in the VM's current session after the task.
+    const util::Seconds leftover = vm.sessions().back().paid_end() - eft;
+    if (best == nullptr || leftover < best_leftover) {
+      best = &vm;
+      best_leftover = leftover;
+    }
+  }
+  return best != nullptr ? best->id() : ctx.rent();
+}
+
+Strategy best_fit_strategy(cloud::InstanceSize size) {
+  const std::string label =
+      "BestFit-" + std::string(cloud::suffix_of(size));
+  return {label, std::make_shared<GenericListScheduler>(
+                     label, [] { return std::make_unique<BestFitReuse>(); },
+                     OrderingFamily::priority_ranking, size)};
+}
+
+}  // namespace cloudwf::scheduling

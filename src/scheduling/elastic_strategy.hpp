@@ -1,0 +1,33 @@
+// ElasticScheduler: the auto-scaling runtime (sim/elastic.hpp) wrapped as a
+// Scheduler, so the reactive cloud-native baseline participates in every
+// portfolio comparison (cloudwf compare/plan, exp::plan, benches) alongside
+// the paper's static planners.
+#pragma once
+
+#include "scheduling/factory.hpp"
+#include "scheduling/scheduler.hpp"
+#include "sim/elastic.hpp"
+
+namespace cloudwf::scheduling {
+
+class ElasticScheduler final : public Scheduler {
+ public:
+  explicit ElasticScheduler(sim::ElasticPolicy policy = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] const sim::ElasticPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  sim::ElasticPolicy policy_;
+};
+
+/// "Elastic-<suffix>" strategy at the given size (default policy otherwise).
+[[nodiscard]] Strategy elastic_strategy(
+    cloud::InstanceSize size = cloud::InstanceSize::small);
+
+}  // namespace cloudwf::scheduling

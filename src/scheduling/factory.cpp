@@ -1,0 +1,89 @@
+#include "scheduling/factory.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "scheduling/allpar1lns.hpp"
+#include "scheduling/allpar1lns_dyn.hpp"
+#include "scheduling/cpa_eager.hpp"
+#include "scheduling/gain.hpp"
+#include "scheduling/heft.hpp"
+#include "scheduling/level_scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+namespace {
+using provisioning::ProvisioningKind;
+
+Strategy homogeneous(ProvisioningKind kind, cloud::InstanceSize size) {
+  const std::string label = std::string(provisioning::name_of(kind)) + "-" +
+                            std::string(cloud::suffix_of(size));
+  if (kind == ProvisioningKind::all_par_not_exceed ||
+      kind == ProvisioningKind::all_par_exceed)
+    return {label, std::make_shared<LevelScheduler>(kind, size)};
+  return {label, std::make_shared<HeftScheduler>(kind, size)};
+}
+
+// Fig. 4 tests the homogeneous series on small, medium and large (xlarge is
+// covered by Table II/the platform but not swept in the plots).
+constexpr std::array<cloud::InstanceSize, 3> kPlotSizes = {
+    cloud::InstanceSize::small, cloud::InstanceSize::medium,
+    cloud::InstanceSize::large};
+
+constexpr std::array<ProvisioningKind, 5> kLegendOrder = {
+    ProvisioningKind::start_par_not_exceed, ProvisioningKind::start_par_exceed,
+    ProvisioningKind::all_par_exceed, ProvisioningKind::all_par_not_exceed,
+    ProvisioningKind::one_vm_per_task};
+}  // namespace
+
+std::vector<Strategy> paper_strategies() {
+  std::vector<Strategy> out;
+  out.reserve(19);
+  // Fig. 4 legend: the five provisionings for -s, then -m, then -l...
+  for (cloud::InstanceSize size : kPlotSizes)
+    for (ProvisioningKind kind : kLegendOrder) out.push_back(homogeneous(kind, size));
+  // ...then the four dynamic algorithms.
+  out.push_back({"CPA-Eager", std::make_shared<CpaEagerScheduler>()});
+  out.push_back({"GAIN", std::make_shared<GainScheduler>()});
+  out.push_back({"AllPar1LnS", std::make_shared<AllParOneLnSScheduler>()});
+  out.push_back({"AllPar1LnSDyn", std::make_shared<AllParOneLnSDynScheduler>()});
+  return out;
+}
+
+Strategy reference_strategy() {
+  return homogeneous(ProvisioningKind::one_vm_per_task, cloud::InstanceSize::small);
+}
+
+std::vector<std::string> paper_strategy_labels() {
+  std::vector<std::string> labels;
+  for (const Strategy& s : paper_strategies()) labels.push_back(s.label);
+  return labels;
+}
+
+Strategy strategy_by_label(std::string_view label) {
+  // Dynamic algorithms first.
+  if (label == "CPA-Eager") return {"CPA-Eager", std::make_shared<CpaEagerScheduler>()};
+  if (label == "GAIN") return {"GAIN", std::make_shared<GainScheduler>()};
+  if (label == "AllPar1LnS")
+    return {"AllPar1LnS", std::make_shared<AllParOneLnSScheduler>()};
+  if (label == "AllPar1LnSDyn")
+    return {"AllPar1LnSDyn", std::make_shared<AllParOneLnSDynScheduler>()};
+
+  // "<Provisioning>-<size suffix>" — accept xlarge too, beyond the plots.
+  const std::size_t dash = label.rfind('-');
+  if (dash != std::string_view::npos) {
+    const std::string_view prov_name = label.substr(0, dash);
+    const auto size = cloud::parse_size(label.substr(dash + 1));
+    if (size) {
+      for (int k = 0; k < 5; ++k) {
+        const auto kind = static_cast<ProvisioningKind>(k);
+        if (prov_name == provisioning::name_of(kind))
+          return homogeneous(kind, *size);
+      }
+    }
+  }
+  throw std::invalid_argument("strategy_by_label: unknown label '" +
+                              std::string(label) + "'");
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,76 @@
+#include "scheduling/gain.hpp"
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "scheduling/upgrade.hpp"
+
+namespace cloudwf::scheduling {
+
+GainScheduler::GainScheduler(double budget_factor) : budget_factor_(budget_factor) {
+  if (!(budget_factor >= 1.0))
+    throw std::invalid_argument("GainScheduler: budget factor must be >= 1");
+}
+
+sim::Schedule GainScheduler::run(const dag::Workflow& wf,
+                                 const cloud::Platform& platform) const {
+  wf.validate();
+  std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
+
+  const util::Money budget =
+      metrics_one_vm_per_task(wf, platform, sizes).total_cost.scaled(budget_factor_);
+  const cloud::Region& region = platform.default_region();
+
+  // Per-task VM rental under OneVMperTask: whole BTUs of the task's runtime.
+  const auto vm_cost = [&](dag::TaskId t, cloud::InstanceSize s) {
+    return cloud::rental_cost(cloud::exec_time(wf.task(t).work, s), s, region);
+  };
+
+  // (task, target size) pairs rejected for busting the budget in the current
+  // configuration. A successful upgrade lowers nothing, so rejections stay
+  // rejected (total cost is non-decreasing in upgrades).
+  std::set<std::pair<dag::TaskId, cloud::InstanceSize>> rejected;
+
+  for (;;) {
+    // Gain matrix sweep: best (task, size) by gain; ties toward the lower
+    // task id then the smaller target size, for determinism.
+    dag::TaskId best_task = dag::kInvalidTask;
+    cloud::InstanceSize best_size = cloud::InstanceSize::small;
+    double best_gain = -1.0;
+
+    for (const dag::Task& task : wf.tasks()) {
+      const cloud::InstanceSize cur = sizes[task.id];
+      const util::Seconds exec_cur = cloud::exec_time(task.work, cur);
+      const util::Money cost_cur = vm_cost(task.id, cur);
+      for (cloud::InstanceSize target : cloud::kAllSizes) {
+        if (cloud::index_of(target) <= cloud::index_of(cur)) continue;
+        if (rejected.contains({task.id, target})) continue;
+        const util::Seconds dt = exec_cur - cloud::exec_time(task.work, target);
+        const util::Money dc = vm_cost(task.id, target) - cost_cur;
+        // A faster VM at no extra BTU cost is an unconditional win.
+        const double gain = dc <= util::Money{}
+                                ? std::numeric_limits<double>::infinity()
+                                : dt / dc.dollars();
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_task = task.id;
+          best_size = target;
+        }
+      }
+    }
+    if (best_task == dag::kInvalidTask || best_gain <= 0) break;
+
+    const cloud::InstanceSize previous = sizes[best_task];
+    sizes[best_task] = best_size;
+    if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
+      sizes[best_task] = previous;
+      rejected.insert({best_task, best_size});
+    }
+  }
+
+  return retime_one_vm_per_task(wf, platform, sizes);
+}
+
+}  // namespace cloudwf::scheduling

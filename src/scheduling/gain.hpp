@@ -1,0 +1,27 @@
+// Gain (Sakellariou et al.; Sect. III-B): start from HEFT+OneVMperTask on
+// small instances, then repeatedly upgrade the task whose VM-type change
+// yields the best speed/cost improvement,
+//   gain[i][j] = (exec_current(i) - exec_j(i)) / (cost_j(i) - cost_current(i)),
+// until no admissible upgrade fits in a budget of `budget_factor` x the seed
+// cost (paper: 4x).
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class GainScheduler final : public Scheduler {
+ public:
+  explicit GainScheduler(double budget_factor = 4.0);
+
+  [[nodiscard]] std::string name() const override { return "GAIN"; }
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] double budget_factor() const noexcept { return budget_factor_; }
+
+ private:
+  double budget_factor_;
+};
+
+}  // namespace cloudwf::scheduling

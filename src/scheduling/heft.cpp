@@ -1,0 +1,45 @@
+#include "scheduling/heft.hpp"
+
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::scheduling {
+
+HeftScheduler::HeftScheduler(provisioning::ProvisioningKind provisioning,
+                             cloud::InstanceSize size)
+    : provisioning_(provisioning), size_(size) {
+  using provisioning::ProvisioningKind;
+  if (provisioning_ == ProvisioningKind::all_par_not_exceed ||
+      provisioning_ == ProvisioningKind::all_par_exceed)
+    throw std::invalid_argument(
+        "HeftScheduler: AllPar provisionings need level knowledge; use "
+        "LevelScheduler (paper Table I)");
+}
+
+std::string HeftScheduler::name() const {
+  return "HEFT+" + std::string(provisioning::name_of(provisioning_)) + "-" +
+         std::string(cloud::suffix_of(size_));
+}
+
+sim::Schedule HeftScheduler::run(const dag::Workflow& wf,
+                                 const cloud::Platform& platform) const {
+  wf.validate();
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform, size_);
+  const auto policy = provisioning::make_policy(provisioning_);
+
+  // Rank-time comm estimate: transfer between two distinct same-size VMs.
+  const cloud::Vm a(0, size_, platform.default_region_id());
+  const cloud::Vm b(1, size_, platform.default_region_id());
+  const auto exec = [&](dag::TaskId t) { return ctx.exec_time(t, size_); };
+  const auto comm = [&](dag::TaskId p, dag::TaskId t) {
+    return platform.transfer_time(wf.edge_data(p, t), a, b);
+  };
+
+  for (dag::TaskId t : dag::heft_order(wf, exec, comm))
+    place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+  return schedule;
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,37 @@
+// HEFT (Topcuoglu et al.; the paper's priority-ranking allocation) over a
+// pluggable VM provisioning policy, at a fixed ("homogeneous") instance size.
+//
+// Ordering: descending upward rank with exec(t) = work/speedup(size) and
+// comm(p,t) = the transfer time between two distinct VMs of that size in the
+// default region. Placement: the provisioning policy picks (or rents) the
+// VM; the task starts at its earliest feasible time there.
+//
+// Valid provisionings per the paper's Table I: OneVMperTask,
+// StartParNotExceed, StartParExceed (the three that need no parallelism
+// knowledge). The AllPar policies are driven by LevelScheduler instead.
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class HeftScheduler final : public Scheduler {
+ public:
+  HeftScheduler(provisioning::ProvisioningKind provisioning,
+                cloud::InstanceSize size);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] provisioning::ProvisioningKind provisioning() const noexcept {
+    return provisioning_;
+  }
+  [[nodiscard]] cloud::InstanceSize size() const noexcept { return size_; }
+
+ private:
+  provisioning::ProvisioningKind provisioning_;
+  cloud::InstanceSize size_;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,70 @@
+#include "scheduling/het_heft.hpp"
+
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::scheduling {
+
+HeterogeneousHeftScheduler::HeterogeneousHeftScheduler(
+    std::vector<cloud::InstanceSize> pool)
+    : pool_(std::move(pool)) {
+  if (pool_.empty())
+    throw std::invalid_argument("HeterogeneousHeftScheduler: empty pool");
+}
+
+std::string HeterogeneousHeftScheduler::name() const {
+  std::string n = "HetHEFT[";
+  for (cloud::InstanceSize s : pool_) n += cloud::suffix_of(s);
+  n += ']';
+  return n;
+}
+
+sim::Schedule HeterogeneousHeftScheduler::run(
+    const dag::Workflow& wf, const cloud::Platform& platform) const {
+  wf.validate();
+  sim::Schedule schedule(wf);
+  // The context's vm_size only matters for renting; this scheduler never
+  // rents beyond the fixed pool, so any value works.
+  provisioning::PlacementContext ctx(wf, schedule, platform,
+                                     cloud::InstanceSize::small);
+
+  std::vector<cloud::VmId> vms;
+  vms.reserve(pool_.size());
+  for (cloud::InstanceSize s : pool_)
+    vms.push_back(schedule.rent(s, platform.default_region_id()));
+
+  // HEFT ranks with pool-average execution and the slowest-link comm bound.
+  double avg_speedup = 0;
+  for (cloud::InstanceSize s : pool_) avg_speedup += cloud::speedup_of(s);
+  avg_speedup /= static_cast<double>(pool_.size());
+  const cloud::Vm a(0, cloud::InstanceSize::small, platform.default_region_id());
+  const cloud::Vm b(1, cloud::InstanceSize::small, platform.default_region_id());
+
+  const auto exec_avg = [&](dag::TaskId t) {
+    return wf.task(t).work / avg_speedup;
+  };
+  const auto comm = [&](dag::TaskId p, dag::TaskId t) {
+    return platform.transfer_time(wf.edge_data(p, t), a, b);
+  };
+
+  for (dag::TaskId t : dag::heft_order(wf, exec_avg, comm)) {
+    cloud::VmId best = vms.front();
+    util::Seconds best_eft = 0;
+    bool first = true;
+    for (cloud::VmId id : vms) {
+      const cloud::Vm& vm = schedule.pool().vm(id);
+      const util::Seconds eft =
+          ctx.est_on(t, vm) + ctx.exec_time(t, vm.size());
+      if (first || eft < best_eft - util::kTimeEpsilon) {
+        best = id;
+        best_eft = eft;
+        first = false;
+      }
+    }
+    place_at_earliest(ctx, t, best);
+  }
+  return schedule;
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,35 @@
+// Heterogeneous-pool HEFT.
+//
+// The paper evaluates HEFT at one instance size per run (its "homogeneous"
+// series) and reaches heterogeneity only through the VM-upgrading dynamic
+// algorithms. This extension is HEFT in its original heterogeneous habitat
+// (Topcuoglu et al.): a fixed pool of mixed instance sizes, ranks computed
+// with the pool-average execution time, and each task placed on the pool VM
+// minimizing its earliest finish time — so long tasks gravitate to the fast
+// VMs and cheap VMs soak up the rest.
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class HeterogeneousHeftScheduler final : public Scheduler {
+ public:
+  /// `pool` lists the instance size of each VM in the fixed pool (>= 1).
+  explicit HeterogeneousHeftScheduler(std::vector<cloud::InstanceSize> pool);
+
+  /// "HetHEFT[smml]" — one size suffix letter per pool VM.
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] const std::vector<cloud::InstanceSize>& pool() const noexcept {
+    return pool_;
+  }
+
+ private:
+  std::vector<cloud::InstanceSize> pool_;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,36 @@
+// LevelScheduler: the paper's stand-alone AllPar[Not]Exceed allocation —
+// level ranking with execution-time-descending order inside each level
+// (Table I), placements decided by the matching AllPar provisioning policy.
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class LevelScheduler final : public Scheduler {
+ public:
+  /// provisioning must be all_par_not_exceed or all_par_exceed.
+  LevelScheduler(provisioning::ProvisioningKind provisioning,
+                 cloud::InstanceSize size);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] provisioning::ProvisioningKind provisioning() const noexcept {
+    return provisioning_;
+  }
+  [[nodiscard]] cloud::InstanceSize size() const noexcept { return size_; }
+
+ private:
+  provisioning::ProvisioningKind provisioning_;
+  cloud::InstanceSize size_;
+};
+
+/// The per-level task order used by LevelScheduler and the AllPar1LnS
+/// schedulers: execution time (== work at a fixed size) descending, id
+/// ascending on ties.
+[[nodiscard]] std::vector<dag::TaskId> level_order_desc(const dag::Workflow& wf,
+                                                        std::vector<dag::TaskId> level);
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,63 @@
+#include "scheduling/online_dispatch.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace cloudwf::scheduling {
+
+namespace {
+struct Ready {
+  util::Seconds time = 0;
+  dag::TaskId task = dag::kInvalidTask;
+  friend bool operator>(const Ready& a, const Ready& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.task > b.task;
+  }
+};
+}  // namespace
+
+OnlineResult run_online(const dag::Workflow& wf, const cloud::Platform& platform,
+                        provisioning::ProvisioningKind provisioning,
+                        cloud::InstanceSize size,
+                        std::span<const util::Seconds> actual_works) {
+  wf.validate();
+  if (actual_works.size() != wf.task_count())
+    throw std::invalid_argument("run_online: actual_works size mismatch");
+
+  OnlineResult result{sim::Schedule(wf), 0, 0};
+  provisioning::PlacementContext ctx(wf, result.schedule, platform, size);
+  const auto policy = provisioning::make_policy(provisioning);
+
+  std::priority_queue<Ready, std::vector<Ready>, std::greater<>> queue;
+  std::vector<std::size_t> waiting(wf.task_count());
+  std::vector<util::Seconds> ready_at(wf.task_count(), platform.boot_time());
+  for (const dag::Task& t : wf.tasks()) {
+    waiting[t.id] = wf.predecessors(t.id).size();
+    if (waiting[t.id] == 0) queue.push(Ready{platform.boot_time(), t.id});
+  }
+
+  while (!queue.empty()) {
+    const Ready ready = queue.top();
+    queue.pop();
+    ++result.dispatched;
+    const dag::TaskId t = ready.task;
+
+    // The policy sees estimated runtimes (ctx.exec_time uses the workflow's
+    // works); execution takes the actual time.
+    const cloud::VmId vm_id = policy->choose_vm(t, ctx);
+    const cloud::Vm& vm = result.schedule.pool().vm(vm_id);
+    const util::Seconds est = ctx.est_on(t, vm);
+    const util::Seconds actual_end =
+        est + cloud::exec_time(actual_works[t], vm.size());
+    result.schedule.assign(t, vm_id, est, actual_end);
+    result.makespan = std::max(result.makespan, actual_end);
+
+    for (dag::TaskId s : wf.successors(t)) {
+      ready_at[s] = std::max(ready_at[s], actual_end);
+      if (--waiting[s] == 0) queue.push(Ready{ready_at[s], s});
+    }
+  }
+  return result;
+}
+
+}  // namespace cloudwf::scheduling

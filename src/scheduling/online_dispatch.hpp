@@ -1,0 +1,30 @@
+// Online dispatcher: schedule at task-ready time under runtime-estimate
+// error (companion of sim/online.hpp — see there for the framing; this half
+// lives in scheduling because it drives the provisioning policies).
+#pragma once
+
+#include <span>
+
+#include "provisioning/policy.hpp"
+#include "sim/online.hpp"
+
+namespace cloudwf::scheduling {
+
+struct OnlineResult {
+  sim::Schedule schedule;   ///< actual execution (actual durations)
+  util::Seconds makespan = 0;
+  std::size_t dispatched = 0;
+};
+
+/// Dispatch-time scheduling: whenever a task's predecessors have *actually*
+/// finished, the provisioning policy picks its VM using estimated runtimes
+/// (the workflow's works); the task then occupies the VM for its actual
+/// runtime. Ready ties break on task id — the online scheduler learns of
+/// tasks in completion order, not rank order.
+[[nodiscard]] OnlineResult run_online(const dag::Workflow& wf,
+                                      const cloud::Platform& platform,
+                                      provisioning::ProvisioningKind provisioning,
+                                      cloud::InstanceSize size,
+                                      std::span<const util::Seconds> actual_works);
+
+}  // namespace cloudwf::scheduling

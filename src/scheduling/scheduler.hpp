@@ -1,0 +1,32 @@
+// Scheduler: a task-allocation policy (Sect. III-B) that turns a workflow
+// into a complete, feasible Schedule on a Platform.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/platform.hpp"
+#include "dag/workflow.hpp"
+#include "provisioning/policy.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::scheduling {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Descriptive name, e.g. "HEFT+StartParNotExceed-m" or "CPA-Eager".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Builds a complete schedule. Throws on structurally invalid workflows.
+  [[nodiscard]] virtual sim::Schedule run(const dag::Workflow& wf,
+                                          const cloud::Platform& platform) const = 0;
+};
+
+/// Assigns `t` to `vm` at its earliest feasible start on that VM (all
+/// predecessors must be assigned). Shared by every list scheduler.
+void place_at_earliest(provisioning::PlacementContext& ctx, dag::TaskId t,
+                       cloud::VmId vm);
+
+}  // namespace cloudwf::scheduling

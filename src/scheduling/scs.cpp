@@ -1,0 +1,82 @@
+#include "scheduling/scs.hpp"
+
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+#include "scheduling/upgrade.hpp"
+
+namespace cloudwf::scheduling {
+
+ScsScheduler::ScsScheduler(double deadline_fraction)
+    : deadline_fraction_(deadline_fraction) {
+  if (!(deadline_fraction > 0) || deadline_fraction > 1)
+    throw std::invalid_argument("ScsScheduler: deadline fraction in (0,1]");
+}
+
+std::vector<cloud::InstanceSize> ScsScheduler::scale_sizes(
+    const dag::Workflow& wf, const cloud::Platform& platform) const {
+  // Seed skeleton: the all-small one-VM-per-task schedule gives each task a
+  // start and finish; shrinking the whole timeline by the deadline fraction
+  // gives each task its slot.
+  const std::vector<cloud::InstanceSize> small(wf.task_count(),
+                                               cloud::InstanceSize::small);
+  const sim::Schedule seed = retime_one_vm_per_task(wf, platform, small);
+
+  std::vector<cloud::InstanceSize> sizes(wf.task_count(),
+                                         cloud::InstanceSize::small);
+  for (const dag::Task& t : wf.tasks()) {
+    const sim::Assignment& a = seed.assignment(t.id);
+    const util::Seconds slot = (a.end - a.start) * deadline_fraction_;
+    // Cheapest size fitting the slot; EC2 2012 prices rise with speed, so
+    // walking small -> xlarge visits sizes in ascending price order.
+    cloud::InstanceSize chosen = cloud::InstanceSize::xlarge;
+    for (cloud::InstanceSize s : cloud::kAllSizes) {
+      if (util::time_le(cloud::exec_time(t.work, s), slot)) {
+        chosen = s;
+        break;
+      }
+    }
+    sizes[t.id] = chosen;
+  }
+  return sizes;
+}
+
+sim::Schedule ScsScheduler::run(const dag::Workflow& wf,
+                                const cloud::Platform& platform) const {
+  wf.validate();
+  const std::vector<cloud::InstanceSize> sizes = scale_sizes(wf, platform);
+
+  // Absolute sub-deadlines: the seed timeline shrunk by the fraction.
+  const std::vector<cloud::InstanceSize> small(wf.task_count(),
+                                               cloud::InstanceSize::small);
+  const sim::Schedule seed = retime_one_vm_per_task(wf, platform, small);
+  std::vector<util::Seconds> latest_finish(wf.task_count());
+  for (const dag::Task& t : wf.tasks())
+    latest_finish[t.id] = seed.assignment(t.id).end * deadline_fraction_;
+
+  sim::Schedule schedule(wf);
+  provisioning::PlacementContext ctx(wf, schedule, platform,
+                                     cloud::InstanceSize::small);
+
+  // Consolidation: reuse a same-size VM when the task both fits the VM's
+  // paid BTUs and still meets its sub-deadline there; otherwise rent.
+  for (dag::TaskId t : dag::topological_order(wf)) {
+    const cloud::InstanceSize size = sizes[t];
+    const cloud::Vm* reuse = nullptr;
+    for (const cloud::Vm& vm : schedule.pool().vms()) {
+      if (!vm.used() || vm.size() != size) continue;
+      const util::Seconds est = ctx.est_on(t, vm);
+      const util::Seconds eft = est + ctx.exec_time(t, size);
+      if (vm.placement_adds_btu(est, eft)) continue;
+      if (util::time_gt(eft, latest_finish[t])) continue;  // would be late
+      if (reuse == nullptr || vm.busy_time() > reuse->busy_time()) reuse = &vm;
+    }
+    const cloud::VmId vm_id = reuse != nullptr
+                                  ? reuse->id()
+                                  : schedule.rent(size, platform.default_region_id());
+    place_at_earliest(ctx, t, vm_id);
+  }
+  return schedule;
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,42 @@
+// SCS — Scaling-Consolidation-Scheduling (the paper's ref [12], Mao &
+// Humphrey, "Auto-scaling to minimize cost and meet application deadlines
+// in cloud workflows"), in the simplified single-workflow form:
+//
+//  1. Deadline distribution: the overall deadline (a fraction of the
+//     all-small seed makespan) is apportioned to tasks in proportion to
+//     their position in the seed schedule, giving each task a time slot.
+//  2. Scaling: each task independently picks the *cheapest* instance size
+//     whose execution time fits its slot (xlarge if none does).
+//  3. Consolidation: tasks are placed in topological order, reusing an
+//     existing VM of the required size when that does not grow its BTU
+//     count (partial-hour consolidation); otherwise a new VM is rented.
+#pragma once
+
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::scheduling {
+
+class ScsScheduler final : public Scheduler {
+ public:
+  /// deadline_fraction in (0, 1]: target makespan relative to the all-small
+  /// one-VM-per-task seed schedule.
+  explicit ScsScheduler(double deadline_fraction = 0.7);
+
+  [[nodiscard]] std::string name() const override { return "SCS"; }
+  [[nodiscard]] sim::Schedule run(const dag::Workflow& wf,
+                                  const cloud::Platform& platform) const override;
+
+  [[nodiscard]] double deadline_fraction() const noexcept {
+    return deadline_fraction_;
+  }
+
+  /// Step 1+2 exposed for tests: the per-task instance size chosen by the
+  /// deadline distribution.
+  [[nodiscard]] std::vector<cloud::InstanceSize> scale_sizes(
+      const dag::Workflow& wf, const cloud::Platform& platform) const;
+
+ private:
+  double deadline_fraction_;
+};
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,39 @@
+#include "scheduling/upgrade.hpp"
+
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::scheduling {
+
+sim::Schedule retime_one_vm_per_task(const dag::Workflow& wf,
+                                     const cloud::Platform& platform,
+                                     std::span<const cloud::InstanceSize> sizes) {
+  if (sizes.size() != wf.task_count())
+    throw std::invalid_argument("retime_one_vm_per_task: size vector mismatch");
+
+  sim::Schedule schedule(wf);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    (void)schedule.rent(sizes[i], platform.default_region_id());
+
+  for (dag::TaskId t : dag::topological_order(wf)) {
+    const cloud::Vm& vm = schedule.pool().vm(static_cast<cloud::VmId>(t));
+    util::Seconds est = platform.boot_time();
+    for (dag::TaskId p : wf.predecessors(t)) {
+      const sim::Assignment& pa = schedule.assignment(p);
+      est = std::max(est, pa.end + platform.transfer_time(
+                              wf.edge_data(p, t), schedule.pool().vm(pa.vm), vm));
+    }
+    schedule.assign(t, vm.id(), est, est + cloud::exec_time(wf.task(t).work, vm.size()));
+  }
+  return schedule;
+}
+
+sim::ScheduleMetrics metrics_one_vm_per_task(
+    const dag::Workflow& wf, const cloud::Platform& platform,
+    std::span<const cloud::InstanceSize> sizes) {
+  return sim::compute_metrics(wf, retime_one_vm_per_task(wf, platform, sizes),
+                              platform);
+}
+
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,33 @@
+// Shared substrate of the dynamic schedulers (CPA-Eager, Gain):
+// a one-VM-per-task schedule whose per-task instance sizes can be upgraded
+// and retimed cheaply.
+//
+// Both algorithms "rely on the OneVMperTask provisioning method during the
+// initial schedule" (Sect. III-B), so every task owns its VM, retiming after
+// a size change is one topological sweep, and a schedule is fully described
+// by the per-task size vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "dag/workflow.hpp"
+#include "sim/metrics.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::scheduling {
+
+/// Builds the one-VM-per-task schedule for the given per-task sizes:
+/// VM i hosts task i; start(t) = max over preds of finish(p) + transfer.
+/// sizes.size() must equal wf.task_count().
+[[nodiscard]] sim::Schedule retime_one_vm_per_task(
+    const dag::Workflow& wf, const cloud::Platform& platform,
+    std::span<const cloud::InstanceSize> sizes);
+
+/// Metrics of retime_one_vm_per_task(...) without keeping the schedule.
+[[nodiscard]] sim::ScheduleMetrics metrics_one_vm_per_task(
+    const dag::Workflow& wf, const cloud::Platform& platform,
+    std::span<const cloud::InstanceSize> sizes);
+
+}  // namespace cloudwf::scheduling

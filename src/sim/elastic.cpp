@@ -1,0 +1,166 @@
+#include "sim/elastic.hpp"
+
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::sim {
+
+namespace {
+struct FinishEvent {
+  util::Seconds time = 0;
+  dag::TaskId task = dag::kInvalidTask;
+  friend bool operator>(const FinishEvent& a, const FinishEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.task > b.task;
+  }
+};
+
+struct VmState {
+  cloud::VmId id = cloud::kInvalidVm;
+  util::Seconds free_at = 0;  ///< boot completion, then end of last task
+  bool retired = false;
+};
+}  // namespace
+
+ElasticResult run_elastic(const dag::Workflow& wf,
+                          const cloud::Platform& platform,
+                          const ElasticPolicy& policy) {
+  wf.validate();
+  if (policy.max_pool == 0 || policy.initial_vms == 0 ||
+      policy.initial_vms > policy.max_pool)
+    throw std::invalid_argument("run_elastic: bad pool bounds");
+  if (!(policy.scale_up_queue_per_vm > 0))
+    throw std::invalid_argument("run_elastic: bad scale-up threshold");
+
+  ElasticResult result{Schedule(wf), 0, 0, 0, 0};
+  Schedule& schedule = result.schedule;
+
+  // HEFT priority for the ready queue.
+  const cloud::Vm a(0, policy.size, platform.default_region_id());
+  const cloud::Vm b(1, policy.size, platform.default_region_id());
+  const std::vector<double> rank = dag::upward_rank(
+      wf,
+      [&](dag::TaskId t) { return cloud::exec_time(wf.task(t).work, policy.size); },
+      [&](dag::TaskId p, dag::TaskId t) {
+        return platform.transfer_time(wf.edge_data(p, t), a, b);
+      });
+  const auto by_rank = [&rank](dag::TaskId x, dag::TaskId y) {
+    if (rank[x] != rank[y]) return rank[x] > rank[y];
+    return x < y;
+  };
+  std::set<dag::TaskId, decltype(by_rank)> ready(by_rank);
+
+  std::vector<VmState> vms;
+  auto active_count = [&] {
+    std::size_t n = 0;
+    for (const VmState& v : vms)
+      if (!v.retired) ++n;
+    return n;
+  };
+  auto provision = [&](util::Seconds now) {
+    VmState v;
+    v.id = schedule.rent(policy.size, platform.default_region_id());
+    v.free_at = now + platform.boot_time();
+    vms.push_back(v);
+    ++result.vms_provisioned;
+    result.peak_pool = std::max(result.peak_pool, active_count());
+  };
+
+  std::vector<std::size_t> waiting(wf.task_count());
+  for (const dag::Task& t : wf.tasks())
+    waiting[t.id] = wf.predecessors(t.id).size();
+
+  auto enqueue = [&](dag::TaskId t, util::Seconds now) {
+    ready.insert(t);
+    // Reactive scale-up: queue backed up beyond the per-VM threshold. The
+    // cap bounds *concurrent* machines — retired VMs free their slot.
+    if (static_cast<double>(ready.size()) >
+            policy.scale_up_queue_per_vm *
+                static_cast<double>(std::max<std::size_t>(1, active_count())) &&
+        active_count() < policy.max_pool) {
+      provision(now);
+      ++result.scale_ups;
+    }
+  };
+
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>>
+      events;
+
+  auto dispatch = [&](util::Seconds now) {
+    for (;;) {
+      if (ready.empty()) return;
+
+      // Lazily retire VMs that sat idle past their paid-BTU boundary.
+      for (VmState& v : vms) {
+        if (v.retired || v.free_at > now) continue;
+        const cloud::Vm& vm = schedule.pool().vm(v.id);
+        if (vm.used() &&
+            util::time_gt(now, vm.sessions().back().paid_end()))
+          v.retired = true;
+      }
+      if (active_count() == 0) {
+        // Queued work with no live machine: provision one. Always within
+        // the concurrent cap (0 < max_pool).
+        provision(now);
+      }
+
+      // The idle active VM that has been free the longest.
+      VmState* chosen = nullptr;
+      for (VmState& v : vms) {
+        if (v.retired || v.free_at > now + util::kTimeEpsilon) continue;
+        if (chosen == nullptr || v.free_at < chosen->free_at) chosen = &v;
+      }
+      if (chosen == nullptr) return;  // everyone busy or booting
+
+      const dag::TaskId t = *ready.begin();
+      ready.erase(ready.begin());
+
+      const cloud::Vm& vm = schedule.pool().vm(chosen->id);
+      util::Seconds est = std::max(now, chosen->free_at);
+      for (dag::TaskId p : wf.predecessors(t)) {
+        const Assignment& pa = schedule.assignment(p);
+        est = std::max(est, pa.end + platform.transfer_time(
+                                wf.edge_data(p, t),
+                                schedule.pool().vm(pa.vm), vm));
+      }
+      const util::Seconds eft =
+          est + cloud::exec_time(wf.task(t).work, policy.size);
+      schedule.assign(t, chosen->id, est, eft);
+      chosen->free_at = eft;
+      events.push(FinishEvent{eft, t});
+      result.makespan = std::max(result.makespan, eft);
+    }
+  };
+
+  for (std::size_t i = 0; i < policy.initial_vms; ++i) provision(0.0);
+  for (const dag::Task& t : wf.tasks())
+    if (waiting[t.id] == 0) enqueue(t.id, 0.0);
+  dispatch(0.0);
+
+  // Boot completions also unblock dispatch; a VM booting at time T is
+  // handled by re-running dispatch at the next finish event >= T, or — when
+  // nothing is running yet — immediately at the boot completion time.
+  while (!events.empty() || !ready.empty()) {
+    if (events.empty()) {
+      // Only booting VMs can make progress: jump to the earliest boot.
+      util::Seconds next_boot = std::numeric_limits<util::Seconds>::max();
+      for (const VmState& v : vms)
+        if (!v.retired) next_boot = std::min(next_boot, v.free_at);
+      dispatch(next_boot);
+      continue;
+    }
+    const FinishEvent ev = events.top();
+    events.pop();
+    for (dag::TaskId s : wf.successors(ev.task))
+      if (--waiting[s] == 0) enqueue(s, ev.time);
+    dispatch(ev.time);
+  }
+
+  return result;
+}
+
+}  // namespace cloudwf::sim

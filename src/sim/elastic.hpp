@@ -1,0 +1,55 @@
+// Elastic runtime simulator: dynamic VM lifecycle with queue-driven
+// auto-scaling.
+//
+// The paper's schedulers are static planners; its related work (Mao &
+// Humphrey's auto-scaling, the elastic BoT schedulers of Gutierrez-Garcia &
+// Sim and Michon et al.) instead runs an *elastic* pool: ready tasks enter
+// a queue, idle VMs pull work, the pool grows when the queue backs up, and
+// VMs that reach a paid-BTU boundary idle are released. This simulator
+// provides that runtime so the static strategies can be compared against a
+// reactive cloud-native baseline on the same workloads.
+//
+// Mechanics (discrete-event):
+//  - a task becomes ready when all predecessors finish (transfer times are
+//    charged on the task's start, against its actual producers);
+//  - ready tasks queue in descending upward-rank order (HEFT priority);
+//  - a VM finishing a task immediately pulls the head of the queue;
+//  - on every enqueue, if queued > scale_up_queue_per_vm x active VMs and
+//    the pool is below max_pool, a new VM is provisioned (available after
+//    the platform's boot time);
+//  - a VM idle at its paid-BTU boundary is released (session billing).
+#pragma once
+
+#include "cloud/platform.hpp"
+#include "dag/workflow.hpp"
+#include "sim/metrics.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+struct ElasticPolicy {
+  cloud::InstanceSize size = cloud::InstanceSize::small;
+
+  /// Pool size ceiling (>= 1). The pool starts with `initial_vms`.
+  std::size_t max_pool = 32;
+  std::size_t initial_vms = 1;
+
+  /// Scale up when queued tasks exceed this many per active VM.
+  double scale_up_queue_per_vm = 1.0;
+};
+
+struct ElasticResult {
+  Schedule schedule;           ///< completed execution (for metrics/validation)
+  util::Seconds makespan = 0;
+  std::size_t vms_provisioned = 0;  ///< total VMs ever started
+  std::size_t peak_pool = 0;        ///< max simultaneously provisioned
+  std::size_t scale_ups = 0;        ///< reactive provisioning decisions
+};
+
+/// Runs `wf` through the elastic runtime. The returned schedule passes
+/// sim::validate (a test asserts it for every paper workload).
+[[nodiscard]] ElasticResult run_elastic(const dag::Workflow& wf,
+                                        const cloud::Platform& platform,
+                                        const ElasticPolicy& policy = {});
+
+}  // namespace cloudwf::sim

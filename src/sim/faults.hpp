@@ -1,0 +1,46 @@
+// Fault injection for schedule replay.
+//
+// Real IaaS VMs fail; static schedules do not plan for it. This module
+// replays a schedule under a Poisson per-VM failure process: an attempt
+// that fails is detected after a delay and the task restarts on the same
+// VM. Successor tasks (and same-VM queue order) shift accordingly, so the
+// measured makespan quantifies each provisioning strategy's exposure —
+// OneVMperTask's 24 single-task VMs see more machine-hours of risk than
+// StartParExceed's one, another face of the idle-time observation in the
+// paper's Sect. V.
+#pragma once
+
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::sim {
+
+struct FaultModel {
+  /// Poisson failure rate per VM-hour of *execution* (attempt time).
+  double failures_per_vm_hour = 0.0;
+
+  /// Time from failure to restart (detection + reprovisioning on the spot).
+  util::Seconds detection_delay = 30.0;
+
+  /// Retry cap per task; the final attempt is forced to succeed so replay
+  /// always terminates (the cap bounds the pessimism, not correctness).
+  std::size_t max_retries_per_task = 16;
+};
+
+struct FaultyReplayResult {
+  std::vector<ReplayedTask> tasks;   ///< final (successful) attempt times
+  util::Seconds makespan = 0;
+  std::size_t failures = 0;          ///< total failed attempts
+  util::Seconds time_lost = 0;       ///< wasted attempt time + delays
+};
+
+/// Replays `schedule`'s mapping with failures sampled from `model` via
+/// `rng`. With failures_per_vm_hour == 0 this reproduces
+/// EventSimulator::replay exactly.
+[[nodiscard]] FaultyReplayResult replay_with_faults(const dag::Workflow& wf,
+                                                    const Schedule& schedule,
+                                                    const cloud::Platform& platform,
+                                                    const FaultModel& model,
+                                                    util::Rng& rng);
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,158 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::sim {
+
+namespace {
+char task_letter(dag::TaskId t) {
+  // a..z then A..Z then '+' for very large workflows.
+  if (t < 26) return static_cast<char>('a' + t);
+  if (t < 52) return static_cast<char>('A' + (t - 26));
+  return '+';
+}
+}  // namespace
+
+std::string render_gantt(const dag::Workflow& wf, const Schedule& schedule,
+                         const GanttOptions& opts) {
+  if (!schedule.complete())
+    throw std::logic_error("render_gantt: incomplete schedule");
+  if (opts.width < 10) throw std::invalid_argument("render_gantt: width < 10");
+
+  const util::Seconds makespan = schedule.makespan();
+  const double scale =
+      makespan > 0 ? static_cast<double>(opts.width) / makespan : 1.0;
+  const auto column = [&](util::Seconds t) {
+    return std::min(opts.width - 1,
+                    static_cast<std::size_t>(t * scale));
+  };
+
+  std::ostringstream os;
+  os << "makespan " << util::format_double(makespan, 1) << " s, one column ~ "
+     << util::format_double(makespan / static_cast<double>(opts.width), 1)
+     << " s\n";
+
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    if (!vm.used()) continue;
+    std::string row(opts.width, ' ');
+    // Paid-idle first so placements overwrite it.
+    for (const cloud::Vm::Session& s : vm.sessions()) {
+      const util::Seconds paid_end = std::min(s.paid_end(), makespan);
+      for (std::size_t c = column(s.start); c <= column(paid_end); ++c)
+        row[c] = '.';
+    }
+    for (const cloud::Placement& p : vm.placements()) {
+      const std::size_t from = column(p.start);
+      const std::size_t to = column(std::max(p.start, p.end - util::kTimeEpsilon));
+      for (std::size_t c = from; c <= to; ++c) row[c] = '#';
+      row[from] = task_letter(p.task);
+    }
+    os << "VM" << vm.id() << ' ' << cloud::suffix_of(vm.size())
+       << (vm.id() < 10 ? "  |" : " |") << row << "|\n";
+  }
+
+  if (opts.show_task_names) {
+    os << "tasks:";
+    for (const dag::Task& t : wf.tasks()) {
+      os << ' ' << task_letter(t.id) << '=' << t.name;
+      if (t.id >= 51 && wf.task_count() > 52) {
+        os << " (+" << wf.task_count() - 52 << " more)";
+        break;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_gantt_svg(const dag::Workflow& wf, const Schedule& schedule) {
+  if (!schedule.complete())
+    throw std::logic_error("render_gantt_svg: incomplete schedule");
+
+  constexpr double kChartWidth = 960.0;
+  constexpr double kLaneHeight = 26.0;
+  constexpr double kLanePad = 6.0;
+  constexpr double kLeftMargin = 70.0;
+  constexpr double kTopMargin = 30.0;
+
+  std::vector<const cloud::Vm*> lanes;
+  for (const cloud::Vm& vm : schedule.pool().vms())
+    if (vm.used()) lanes.push_back(&vm);
+
+  const util::Seconds makespan = std::max(schedule.makespan(), 1.0);
+  const double sx = kChartWidth / makespan;
+  const double height =
+      kTopMargin + static_cast<double>(lanes.size()) * (kLaneHeight + kLanePad) +
+      30.0;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << kLeftMargin + kChartWidth + 20 << "\" height=\"" << height
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+
+  // Hour grid.
+  for (double t = 0; t <= makespan; t += util::kBtu) {
+    const double x = kLeftMargin + t * sx;
+    os << "  <line x1=\"" << x << "\" y1=\"" << kTopMargin - 8 << "\" x2=\"" << x
+       << "\" y2=\"" << height - 24 << "\" stroke=\"#dddddd\"/>\n"
+       << "  <text x=\"" << x + 2 << "\" y=\"" << kTopMargin - 12 << "\">"
+       << util::format_double(t / 3600.0, 0) << "h</text>\n";
+  }
+
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const cloud::Vm& vm = *lanes[lane];
+    const double y =
+        kTopMargin + static_cast<double>(lane) * (kLaneHeight + kLanePad);
+    os << "  <text x=\"4\" y=\"" << y + kLaneHeight * 0.7 << "\">VM" << vm.id()
+       << " (" << cloud::suffix_of(vm.size()) << ")</text>\n";
+
+    // Paid windows (sessions), shaded, clipped at the makespan.
+    for (const cloud::Vm::Session& s : vm.sessions()) {
+      const double x0 = kLeftMargin + s.start * sx;
+      const double x1 =
+          kLeftMargin + std::min(s.paid_end(), makespan) * sx;
+      os << "  <rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << x1 - x0
+         << "\" height=\"" << kLaneHeight
+         << "\" fill=\"#f2f2f2\" stroke=\"#cccccc\"/>\n";
+    }
+    // Placements.
+    for (const cloud::Placement& p : vm.placements()) {
+      const double x0 = kLeftMargin + p.start * sx;
+      const double w = std::max(1.0, (p.end - p.start) * sx);
+      os << "  <rect x=\"" << x0 << "\" y=\"" << y + 3 << "\" width=\"" << w
+         << "\" height=\"" << kLaneHeight - 6
+         << "\" fill=\"#4a90d9\" stroke=\"#2c5a8c\"><title>"
+         << wf.task(p.task).name << " [" << util::format_double(p.start, 1)
+         << ", " << util::format_double(p.end, 1) << ")s</title></rect>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string gantt_csv(const dag::Workflow& wf, const Schedule& schedule) {
+  if (!schedule.complete())
+    throw std::logic_error("gantt_csv: incomplete schedule");
+  std::ostringstream os;
+  os << "vm,size,region,session,task,start,end\n";
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    for (const cloud::Placement& p : vm.placements()) {
+      // Which session does this placement belong to? The last one whose
+      // start is <= the placement's start.
+      std::size_t session = 0;
+      for (std::size_t s = 0; s < vm.sessions().size(); ++s)
+        if (vm.sessions()[s].start <= p.start + util::kTimeEpsilon) session = s;
+      os << vm.id() << ',' << cloud::name_of(vm.size()) << ','
+         << static_cast<int>(vm.region()) << ',' << session << ','
+         << wf.task(p.task).name << ',' << util::format_double(p.start, 3) << ','
+         << util::format_double(p.end, 3) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,35 @@
+// Gantt-chart rendering of schedules: an ASCII timeline per VM (terminal
+// inspection) and a CSV form (spreadsheet/plotting). Sessions and idle gaps
+// are visible, which makes provisioning-policy differences tangible.
+#pragma once
+
+#include <string>
+
+#include "dag/workflow.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+struct GanttOptions {
+  std::size_t width = 100;      ///< characters for the time axis
+  bool show_task_names = true;  ///< legend mapping letters to task names
+};
+
+/// ASCII Gantt chart: one row per VM, '#'-blocks for placements (labelled
+/// a, b, c, ... in task-id order), '.' for paid-but-idle time within a
+/// session, spaces elsewhere. The schedule must be complete.
+[[nodiscard]] std::string render_gantt(const dag::Workflow& wf,
+                                       const Schedule& schedule,
+                                       const GanttOptions& opts = {});
+
+/// CSV rows: vm,size,region,session,task,start,end.
+[[nodiscard]] std::string gantt_csv(const dag::Workflow& wf,
+                                    const Schedule& schedule);
+
+/// Self-contained SVG Gantt chart: one lane per used VM, task rectangles
+/// with name tooltips, paid-idle shading, a time axis in hours. Suitable
+/// for embedding in reports.
+[[nodiscard]] std::string render_gantt_svg(const dag::Workflow& wf,
+                                           const Schedule& schedule);
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cloudwf::sim {
+
+ScheduleMetrics compute_metrics(const dag::Workflow& wf, const Schedule& schedule,
+                                const cloud::Platform& platform) {
+  if (!schedule.complete())
+    throw std::logic_error("compute_metrics: schedule is incomplete");
+
+  ScheduleMetrics m;
+  m.makespan = schedule.makespan();
+
+  const cloud::VmPool& pool = schedule.pool();
+  m.vm_cost = pool.rental_cost(platform.regions());
+  m.total_idle = pool.total_idle_time();
+  m.vms_used = pool.used_count();
+
+  util::Seconds paid = 0;
+  for (const cloud::Vm& v : pool.vms()) {
+    m.total_busy += v.busy_time();
+    m.total_btus += v.btus();
+    paid += v.paid_time();
+  }
+  m.utilization = paid > 0 ? m.total_busy / paid : 0.0;
+
+  // Egress: data leaving a region is billed at the source region's rate.
+  std::vector<util::Gigabytes> egress_by_region(platform.regions().size(), 0.0);
+  for (const dag::Edge& e : wf.edges()) {
+    const Assignment& from = schedule.assignment(e.from);
+    const Assignment& to = schedule.assignment(e.to);
+    const cloud::Vm& vf = pool.vm(from.vm);
+    const cloud::Vm& vt = pool.vm(to.vm);
+    if (vf.region() != vt.region())
+      egress_by_region[vf.region()] += wf.edge_data(e.from, e.to);
+  }
+  for (std::size_t r = 0; r < egress_by_region.size(); ++r) {
+    m.egress_cost += cloud::egress_cost(egress_by_region[r],
+                                        platform.region(static_cast<cloud::RegionId>(r)));
+  }
+  m.total_cost = m.vm_cost + m.egress_cost;
+  return m;
+}
+
+GainLoss relative_to_reference(const ScheduleMetrics& strategy,
+                               const ScheduleMetrics& reference) {
+  if (reference.makespan <= 0)
+    throw std::invalid_argument("relative_to_reference: reference makespan <= 0");
+  if (reference.total_cost <= util::Money{})
+    throw std::invalid_argument("relative_to_reference: reference cost <= 0");
+
+  GainLoss gl;
+  gl.gain_pct = (reference.makespan - strategy.makespan) / reference.makespan * 100.0;
+  gl.loss_pct = static_cast<double>((strategy.total_cost - reference.total_cost).micros()) /
+                static_cast<double>(reference.total_cost.micros()) * 100.0;
+  return gl;
+}
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,49 @@
+// ScheduleMetrics: everything the paper's evaluation reports about one
+// schedule — makespan, rental + egress cost, idle time, VM usage — plus the
+// relative gain%/loss% pair of Fig. 4.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/platform.hpp"
+#include "dag/workflow.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+struct ScheduleMetrics {
+  util::Seconds makespan = 0;
+  util::Money vm_cost;              ///< sum of BTU rentals
+  util::Money egress_cost;          ///< cross-region data-out charges
+  util::Money total_cost;           ///< vm_cost + egress_cost
+  util::Seconds total_idle = 0;     ///< paid-but-unused VM seconds (Fig. 5)
+  util::Seconds total_busy = 0;     ///< task-occupied VM seconds
+  std::size_t vms_used = 0;
+  std::int64_t total_btus = 0;
+  double utilization = 0;           ///< total_busy / total paid seconds, [0,1]
+};
+
+/// Computes the metrics of a complete schedule. Egress volume is accumulated
+/// per source region over the whole run (the paper bills monthly; one run is
+/// well within one month) and billed at that region's transfer-out price in
+/// the (1 GB, 10 TB] band.
+[[nodiscard]] ScheduleMetrics compute_metrics(const dag::Workflow& wf,
+                                              const Schedule& schedule,
+                                              const cloud::Platform& platform);
+
+/// The paper's Fig. 4 coordinates for a strategy against the reference
+/// (HEFT + OneVMperTask on small instances):
+///   gain% = (ref.makespan - makespan) / ref.makespan * 100
+///   loss% = (total_cost - ref.total_cost) / ref.total_cost * 100
+/// (savings are negative loss).
+struct GainLoss {
+  double gain_pct = 0;
+  double loss_pct = 0;
+
+  [[nodiscard]] double savings_pct() const noexcept { return -loss_pct; }
+};
+
+[[nodiscard]] GainLoss relative_to_reference(const ScheduleMetrics& strategy,
+                                             const ScheduleMetrics& reference);
+
+}  // namespace cloudwf::sim

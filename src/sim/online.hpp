@@ -1,0 +1,40 @@
+// Online (dispatch-time) scheduling under runtime-estimate error.
+//
+// The paper's schedulers are static: they fix every placement up front from
+// exact runtime knowledge, and its conclusion points at "adaptive
+// scheduling" as the next step. This module supplies the substrate for that
+// comparison: tasks are dispatched when they become ready, the provisioning
+// policy decides with *estimated* runtimes, but execution takes the actual
+// (error-perturbed) time. The static counterpart `replay_with_actuals`
+// replays a fixed schedule's mapping under the same actual runtimes, so
+// static-plan-with-surprise and online dispatch can be compared head to
+// head.
+#pragma once
+
+#include <span>
+
+#include "sim/event_sim.hpp"
+#include "sim/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::sim {
+
+/// Multiplicative lognormal-style runtime error: actual = estimate * f,
+/// f = exp(sigma*z - sigma^2/2) with z ~ N(0,1) (mean-one factors, so
+/// estimates are unbiased). sigma = 0 reproduces the estimates exactly.
+struct RuntimeErrorModel {
+  double sigma = 0.0;
+
+  /// Samples the actual reference work of every task.
+  [[nodiscard]] std::vector<util::Seconds> sample_actual_works(
+      const dag::Workflow& wf, util::Rng& rng) const;
+};
+
+/// Replays a static schedule's mapping (VM choice + per-VM order) with the
+/// actual runtimes substituted — the "static plan meets reality" baseline.
+[[nodiscard]] ReplayResult replay_with_actuals(
+    const dag::Workflow& wf, const Schedule& schedule,
+    const cloud::Platform& platform,
+    std::span<const util::Seconds> actual_works);
+
+}  // namespace cloudwf::sim

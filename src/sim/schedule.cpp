@@ -1,0 +1,50 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudwf::sim {
+
+void Schedule::assign(dag::TaskId task, cloud::VmId vm, util::Seconds start,
+                      util::Seconds end) {
+  if (task >= assignments_.size())
+    throw std::out_of_range("Schedule::assign: bad task id");
+  if (assignments_[task].valid())
+    throw std::logic_error("Schedule::assign: task already assigned");
+  pool_.vm(vm).place(task, start, end);  // validates the interval
+  assignments_[task] = Assignment{vm, start, end};
+}
+
+bool Schedule::is_assigned(dag::TaskId t) const {
+  if (t >= assignments_.size())
+    throw std::out_of_range("Schedule::is_assigned: bad task id");
+  return assignments_[t].valid();
+}
+
+const Assignment& Schedule::assignment(dag::TaskId t) const {
+  if (t >= assignments_.size())
+    throw std::out_of_range("Schedule::assignment: bad task id");
+  if (!assignments_[t].valid())
+    throw std::logic_error("Schedule::assignment: task not assigned");
+  return assignments_[t];
+}
+
+std::size_t Schedule::assigned_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(assignments_.begin(), assignments_.end(),
+                    [](const Assignment& a) { return a.valid(); }));
+}
+
+util::Seconds Schedule::makespan() const noexcept {
+  util::Seconds ms = 0;
+  for (const Assignment& a : assignments_)
+    if (a.valid()) ms = std::max(ms, a.end);
+  return ms;
+}
+
+void Schedule::clear_assignments() noexcept {
+  for (Assignment& a : assignments_) a = Assignment{};
+  pool_.clear_placements();
+}
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,68 @@
+#include "sim/schedule_diff.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::sim {
+
+ScheduleDiff diff_schedules(const dag::Workflow& wf, const Schedule& before,
+                            const Schedule& after,
+                            const cloud::Platform& platform) {
+  const ScheduleMetrics mb = compute_metrics(wf, before, platform);
+  const ScheduleMetrics ma = compute_metrics(wf, after, platform);
+
+  ScheduleDiff diff;
+  diff.makespan_delta = ma.makespan - mb.makespan;
+  diff.cost_delta = ma.total_cost - mb.total_cost;
+  diff.idle_delta = ma.total_idle - mb.total_idle;
+  diff.vm_delta = static_cast<std::int64_t>(ma.vms_used) -
+                  static_cast<std::int64_t>(mb.vms_used);
+
+  for (const dag::Task& t : wf.tasks()) {
+    const Assignment& a = before.assignment(t.id);
+    const Assignment& b = after.assignment(t.id);
+    TaskDiff td;
+    td.task = t.id;
+    td.name = t.name;
+    td.vm_before = a.vm;
+    td.vm_after = b.vm;
+    td.start_delta = b.start - a.start;
+    td.end_delta = b.end - a.end;
+    if (td.moved_vm() || td.retimed()) {
+      diff.changed.push_back(std::move(td));
+    } else {
+      ++diff.unchanged;
+    }
+  }
+  return diff;
+}
+
+std::string render_diff(const ScheduleDiff& diff) {
+  std::ostringstream os;
+  os << "makespan " << (diff.makespan_delta >= 0 ? "+" : "")
+     << util::format_double(diff.makespan_delta, 1) << " s, cost "
+     << (diff.cost_delta >= util::Money{} ? "+" : "")
+     << diff.cost_delta.to_string() << ", idle "
+     << (diff.idle_delta >= 0 ? "+" : "")
+     << util::format_double(diff.idle_delta, 0) << " s, VMs "
+     << (diff.vm_delta >= 0 ? "+" : "") << diff.vm_delta << "; "
+     << diff.changed.size() << " tasks changed, " << diff.unchanged
+     << " unchanged\n";
+  if (diff.changed.empty()) return os.str();
+
+  util::TextTable t({"task", "vm", "start delta (s)", "end delta (s)"});
+  for (const TaskDiff& td : diff.changed) {
+    t.add_row({td.name,
+               td.moved_vm() ? std::to_string(td.vm_before) + " -> " +
+                                   std::to_string(td.vm_after)
+                             : std::to_string(td.vm_before),
+               util::format_double(td.start_delta, 1),
+               util::format_double(td.end_delta, 1)});
+  }
+  os << t.render();
+  return os.str();
+}
+
+}  // namespace cloudwf::sim

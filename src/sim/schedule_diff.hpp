@@ -1,0 +1,49 @@
+// Schedule diff: structured comparison of two schedules for the same
+// workflow — which tasks moved VM, how start/finish times shifted, and the
+// headline metric deltas. The debugging companion of the ablation benches
+// (why did flipping the BTU rule change the cost?) and of saved-schedule
+// archaeology (sim/schedule_io.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "sim/metrics.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+struct TaskDiff {
+  dag::TaskId task = dag::kInvalidTask;
+  std::string name;
+  cloud::VmId vm_before = cloud::kInvalidVm;
+  cloud::VmId vm_after = cloud::kInvalidVm;
+  util::Seconds start_delta = 0;  ///< after - before
+  util::Seconds end_delta = 0;
+
+  [[nodiscard]] bool moved_vm() const noexcept { return vm_before != vm_after; }
+  [[nodiscard]] bool retimed() const noexcept {
+    return !util::time_eq(start_delta, 0) || !util::time_eq(end_delta, 0);
+  }
+};
+
+struct ScheduleDiff {
+  std::vector<TaskDiff> changed;  ///< only tasks that moved or retimed
+  std::size_t unchanged = 0;
+  util::Seconds makespan_delta = 0;   ///< after - before
+  util::Money cost_delta;             ///< after - before
+  util::Seconds idle_delta = 0;
+  std::int64_t vm_delta = 0;          ///< used-VM count change
+};
+
+/// Both schedules must be complete and sized for `wf`.
+[[nodiscard]] ScheduleDiff diff_schedules(const dag::Workflow& wf,
+                                          const Schedule& before,
+                                          const Schedule& after,
+                                          const cloud::Platform& platform);
+
+/// Human-readable rendering (summary line + per-task table of changes).
+[[nodiscard]] std::string render_diff(const ScheduleDiff& diff);
+
+}  // namespace cloudwf::sim

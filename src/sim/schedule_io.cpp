@@ -1,0 +1,116 @@
+#include "sim/schedule_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::sim {
+
+std::string serialize_schedule(const dag::Workflow& wf, const Schedule& schedule) {
+  std::ostringstream os;
+  os << "schedule " << wf.name() << '\n';
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    os << "vm " << vm.id() << ' ' << cloud::name_of(vm.size()) << ' '
+       << static_cast<int>(vm.region()) << '\n';
+  }
+  // Placements per VM in timeline order (required by the loader).
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    for (const cloud::Placement& p : vm.placements()) {
+      os << "place " << wf.task(p.task).name << ' ' << vm.id() << ' '
+         << util::format_double(p.start, 6) << ' '
+         << util::format_double(p.end, 6) << '\n';
+    }
+  }
+  return os.str();
+}
+
+namespace {
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("schedule parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+}  // namespace
+
+Schedule parse_schedule(const dag::Workflow& wf, std::istream& in) {
+  Schedule schedule(wf);
+  // VM ids in the file must be dense and in rent order.
+  std::size_t vms_declared = 0;
+  bool named = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = util::trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream ls{std::string(stripped)};
+    std::string kw;
+    ls >> kw;
+
+    if (kw == "schedule") {
+      std::string nm;
+      ls >> nm;
+      if (nm != wf.name())
+        fail(line_no, "schedule is for workflow '" + nm + "', expected '" +
+                          wf.name() + "'");
+      named = true;
+    } else if (kw == "vm") {
+      std::size_t id = 0;
+      std::string size_name;
+      int region = -1;
+      if (!(ls >> id >> size_name >> region))
+        fail(line_no, "vm needs <id> <size> <region>");
+      if (id != vms_declared) fail(line_no, "vm ids must be dense and ordered");
+      const auto size = cloud::parse_size(size_name);
+      if (!size) fail(line_no, "unknown size '" + size_name + "'");
+      if (region < 0 ||
+          static_cast<std::size_t>(region) >= cloud::ec2_regions().size())
+        fail(line_no, "region out of range");
+      (void)schedule.rent(*size, static_cast<cloud::RegionId>(region));
+      ++vms_declared;
+    } else if (kw == "place") {
+      std::string task_name;
+      std::size_t vm_id = 0;
+      double start = 0;
+      double end = 0;
+      if (!(ls >> task_name >> vm_id >> start >> end))
+        fail(line_no, "place needs <task> <vm> <start> <end>");
+      if (vm_id >= vms_declared) fail(line_no, "placement on undeclared VM");
+      try {
+        schedule.assign(wf.task_by_name(task_name),
+                        static_cast<cloud::VmId>(vm_id), start, end);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!named) throw std::runtime_error("schedule parse error: missing header");
+  if (!schedule.complete())
+    throw std::runtime_error("schedule parse error: not all tasks placed");
+  return schedule;
+}
+
+Schedule parse_schedule_string(const dag::Workflow& wf, const std::string& text) {
+  std::istringstream is(text);
+  return parse_schedule(wf, is);
+}
+
+void save_schedule(const dag::Workflow& wf, const Schedule& schedule,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_schedule: cannot open " + path);
+  out << serialize_schedule(wf, schedule);
+}
+
+Schedule load_schedule(const dag::Workflow& wf, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_schedule: cannot open " + path);
+  return parse_schedule(wf, in);
+}
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,36 @@
+// Schedule (de)serialization: a line-oriented text format so schedules can
+// be stored, diffed, and re-validated or re-analyzed later without
+// re-running the scheduler.
+//
+// Format (comments with '#', blank lines ignored):
+//   schedule <workflow-name>
+//   vm <id> <size> <region>
+//   place <task-name> <vm-id> <start> <end>
+// Placements must appear in per-VM chronological order (the format is
+// written that way; loading enforces it via the append-only Vm timeline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+[[nodiscard]] std::string serialize_schedule(const dag::Workflow& wf,
+                                             const Schedule& schedule);
+
+/// Parses against the workflow the schedule was built for (task names are
+/// resolved through it). Throws std::runtime_error with a line number on
+/// malformed input; the result is structurally valid but *not* feasibility
+/// checked — run sim::validate for that.
+[[nodiscard]] Schedule parse_schedule(const dag::Workflow& wf, std::istream& in);
+[[nodiscard]] Schedule parse_schedule_string(const dag::Workflow& wf,
+                                             const std::string& text);
+
+void save_schedule(const dag::Workflow& wf, const Schedule& schedule,
+                   const std::string& path);
+[[nodiscard]] Schedule load_schedule(const dag::Workflow& wf,
+                                     const std::string& path);
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,41 @@
+#include "sim/vm_report.hpp"
+
+#include "util/strings.hpp"
+
+namespace cloudwf::sim {
+
+std::vector<VmReportRow> vm_report(const Schedule& schedule,
+                                   const cloud::Platform& platform) {
+  std::vector<VmReportRow> rows;
+  for (const cloud::Vm& vm : schedule.pool().vms()) {
+    VmReportRow row;
+    row.vm = vm.id();
+    row.size = vm.size();
+    row.region = vm.region();
+    row.tasks = vm.placements().size();
+    row.sessions = vm.sessions().size();
+    row.btus = vm.btus();
+    row.busy = vm.busy_time();
+    row.idle = vm.idle_time();
+    row.utilization = vm.paid_time() > 0 ? row.busy / vm.paid_time() : 0.0;
+    row.cost = vm.cost(platform.region(vm.region()));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::TextTable vm_report_table(const std::vector<VmReportRow>& rows) {
+  util::TextTable t({"vm", "size", "region", "tasks", "sessions", "BTUs",
+                     "busy (s)", "idle (s)", "util", "cost"});
+  for (const VmReportRow& r : rows) {
+    t.add_row({std::to_string(r.vm), std::string(cloud::name_of(r.size)),
+               std::to_string(r.region), std::to_string(r.tasks),
+               std::to_string(r.sessions), std::to_string(r.btus),
+               util::format_double(r.busy, 0), util::format_double(r.idle, 0),
+               util::format_double(100.0 * r.utilization, 1) + "%",
+               r.cost.to_string()});
+  }
+  return t;
+}
+
+}  // namespace cloudwf::sim

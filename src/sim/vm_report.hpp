@@ -1,0 +1,32 @@
+// Per-VM accounting report: one row per rented VM — size, region, sessions,
+// BTUs, busy/idle seconds, utilization, cost — the drill-down behind a
+// schedule's headline metrics.
+#pragma once
+
+#include "cloud/platform.hpp"
+#include "sim/schedule.hpp"
+#include "util/table.hpp"
+
+namespace cloudwf::sim {
+
+struct VmReportRow {
+  cloud::VmId vm = cloud::kInvalidVm;
+  cloud::InstanceSize size = cloud::InstanceSize::small;
+  cloud::RegionId region = 0;
+  std::size_t tasks = 0;
+  std::size_t sessions = 0;
+  std::int64_t btus = 0;
+  util::Seconds busy = 0;
+  util::Seconds idle = 0;
+  double utilization = 0;  ///< busy / paid, 0 for unused VMs
+  util::Money cost;
+};
+
+/// One row per VM (unused VMs included, flagged by tasks == 0).
+[[nodiscard]] std::vector<VmReportRow> vm_report(const Schedule& schedule,
+                                                 const cloud::Platform& platform);
+
+[[nodiscard]] util::TextTable vm_report_table(
+    const std::vector<VmReportRow>& rows);
+
+}  // namespace cloudwf::sim

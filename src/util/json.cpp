@@ -1,0 +1,107 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cloudwf::util {
+
+void Json::push_back(Json v) {
+  if (!is_array()) throw std::logic_error("Json::push_back on non-array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) throw std::logic_error("Json::operator[] on non-object");
+  return std::get<Object>(value_)[key];
+}
+
+std::string Json::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char raw : s) {
+    const auto ch = static_cast<unsigned char>(raw);
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    if (!std::isfinite(*d)) {
+      out += "null";  // JSON has no NaN/Inf
+    } else if (*d == static_cast<double>(static_cast<std::int64_t>(*d)) &&
+               std::abs(*d) < 9.0e15) {
+      out += std::to_string(static_cast<std::int64_t>(*d));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.12g", *d);
+      out += buf;
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += escape(*s);
+    out += '"';
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i != 0) out += ',';
+      (*a)[i].dump_to(out);
+    }
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : *o) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += escape(key);
+      out += "\":";
+      value.dump_to(out);
+    }
+    out += '}';
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace cloudwf::util

@@ -1,0 +1,61 @@
+// Minimal JSON value + serializer (no parsing): enough for the report
+// writers to emit machine-readable results without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cloudwf::util {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;  // sorted keys: stable output
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  /// Array append (the value must hold an array).
+  void push_back(Json v);
+
+  /// Object field set (the value must hold an object).
+  Json& operator[](const std::string& key);
+
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Compact serialization (numbers via shortest round-trip-ish formatting,
+  /// non-finite numbers emitted as null per JSON rules).
+  [[nodiscard]] std::string dump() const;
+
+  /// RFC 8259 string escaping (quotes, backslash, control characters).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace cloudwf::util

@@ -1,0 +1,38 @@
+#include "util/money.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace cloudwf::util {
+
+Money Money::from_dollars(double dollars) {
+  return from_micros(static_cast<std::int64_t>(std::llround(dollars * 1e6)));
+}
+
+Money Money::scaled(double factor) const {
+  return from_micros(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(micros_) * factor)));
+}
+
+std::string Money::to_string() const {
+  const bool neg = micros_ < 0;
+  std::int64_t abs = neg ? -micros_ : micros_;
+  const std::int64_t whole = abs / 1'000'000;
+  std::int64_t frac = abs % 1'000'000;
+  // Trim trailing zeros but keep at least cents.
+  int digits = 6;
+  while (digits > 2 && frac % 10 == 0) {
+    frac /= 10;
+    --digits;
+  }
+  std::ostringstream os;
+  os << (neg ? "-$" : "$") << whole << '.';
+  std::string f = std::to_string(frac);
+  os << std::string(static_cast<std::size_t>(digits) - f.size(), '0') << f;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) { return os << m.to_string(); }
+
+}  // namespace cloudwf::util

@@ -1,0 +1,67 @@
+// Exact money arithmetic in integer micro-dollars.
+//
+// Billing in the paper is a sum of (price-per-BTU x integer BTU counts) plus
+// (egress price x GB). Doing this in doubles invites one-ulp cost differences
+// that flip strategy rankings; Money keeps every comparison exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cloudwf::util {
+
+class Money {
+ public:
+  constexpr Money() = default;
+
+  /// Constructs from a whole number of micro-dollars.
+  [[nodiscard]] static constexpr Money from_micros(std::int64_t micros) noexcept {
+    Money m;
+    m.micros_ = micros;
+    return m;
+  }
+
+  /// Constructs from dollars, rounding half away from zero to micro-dollars.
+  [[nodiscard]] static Money from_dollars(double dollars);
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double dollars() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  /// "$1.234567" with trailing zeros trimmed to cents at minimum.
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr Money& operator+=(Money o) noexcept {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money o) noexcept {
+    micros_ -= o.micros_;
+    return *this;
+  }
+
+  friend constexpr Money operator+(Money a, Money b) noexcept { return a += b; }
+  friend constexpr Money operator-(Money a, Money b) noexcept { return a -= b; }
+  friend constexpr Money operator-(Money a) noexcept { return from_micros(-a.micros_); }
+
+  /// Scales by an integer count (e.g. number of BTUs).
+  friend constexpr Money operator*(Money a, std::int64_t n) noexcept {
+    return from_micros(a.micros_ * n);
+  }
+  friend constexpr Money operator*(std::int64_t n, Money a) noexcept { return a * n; }
+
+  /// Scales by a real factor (e.g. GB transferred), rounding to micro-dollars.
+  [[nodiscard]] Money scaled(double factor) const;
+
+  friend constexpr auto operator<=>(Money, Money) noexcept = default;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Money m);
+
+}  // namespace cloudwf::util

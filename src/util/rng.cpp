@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+namespace cloudwf::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire-style rejection: accept only draws from the largest multiple of n.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+}  // namespace cloudwf::util

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+
+  double sq = 0;
+  for (double x : sorted) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const Summary s = summarize(xs);
+  if (s.count == 0 || s.mean == 0) return 0;
+  return s.stddev / s.mean;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs, std::size_t points) {
+  if (xs.empty()) throw std::invalid_argument("empirical_cdf: empty input");
+  if (points < 2) throw std::invalid_argument("empirical_cdf: points < 2");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(points);
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto below =
+        std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+    cdf.push_back({v, static_cast<double>(below) / n});
+  }
+  return cdf;
+}
+
+}  // namespace cloudwf::util

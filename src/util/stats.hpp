@@ -1,0 +1,42 @@
+// Small descriptive-statistics toolkit used by the workload generators and
+// the experiment reports (CDFs, spreads, heterogeneity measures).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cloudwf::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double median = 0;
+};
+
+/// Computes a five-number-ish summary. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation on the sorted data.
+/// Requires a non-empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Coefficient of variation (stddev/mean); 0 for empty input or zero mean.
+/// The paper's "heterogeneity of the execution times" is measured with this.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0;
+  double cumulative_probability = 0;
+};
+
+/// Empirical CDF evaluated at `points` equally spaced values spanning
+/// [min, max] of the data. Requires non-empty input and points >= 2.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> xs,
+                                                  std::size_t points);
+
+}  // namespace cloudwf::util

@@ -1,0 +1,27 @@
+// String helpers shared by the DAG text formats and the report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudwf::util {
+
+/// Splits on a single-character delimiter; adjacent delimiters yield empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Case-sensitive prefix test (std::string_view::starts_with spelled out for clarity
+/// at call sites that take plain strings).
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with fixed precision, trimming trailing zeros ("12.5", "3").
+[[nodiscard]] std::string format_double(double v, int max_decimals = 3);
+
+}  // namespace cloudwf::util

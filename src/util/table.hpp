@@ -1,0 +1,39 @@
+// Plain-text table and CSV writers used by the benches and reports.
+//
+// The figure/table benches print both a human-readable aligned table (what you
+// read in the terminal) and, optionally, CSV/gnuplot-ready data (what you plot).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudwf::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Renders as a GitHub-flavored markdown table (pipes in cells escaped).
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace cloudwf::util

@@ -1,0 +1,44 @@
+// Unit conventions used across cloudwf.
+//
+// All durations are in seconds (double), all data sizes in gigabytes (double),
+// all bandwidths in gigabits per second (double). Money is the only quantity
+// with a dedicated type (util::Money, integer micro-dollars) because billing
+// arithmetic must be exact.
+#pragma once
+
+namespace cloudwf::util {
+
+/// Duration in seconds.
+using Seconds = double;
+
+/// Data size in gigabytes (10^9 bytes, matching EC2 egress billing).
+using Gigabytes = double;
+
+/// Bandwidth in gigabits per second.
+using GbitPerSec = double;
+
+/// One Billing Time Unit, the paper's (and EC2 2012's) hourly quantum.
+inline constexpr Seconds kBtu = 3600.0;
+
+/// Comparison slack for schedule times. Schedules are built from sums of
+/// task runtimes and transfer times; 1 microsecond absorbs double rounding
+/// while remaining far below any meaningful duration in the model.
+inline constexpr Seconds kTimeEpsilon = 1e-6;
+
+/// Returns true when |a - b| is within the schedule-time slack.
+[[nodiscard]] constexpr bool time_eq(Seconds a, Seconds b) noexcept {
+  const Seconds d = a - b;
+  return (d < 0 ? -d : d) <= kTimeEpsilon;
+}
+
+/// Returns true when a is strictly greater than b beyond the slack.
+[[nodiscard]] constexpr bool time_gt(Seconds a, Seconds b) noexcept {
+  return a - b > kTimeEpsilon;
+}
+
+/// Returns true when a <= b within the slack.
+[[nodiscard]] constexpr bool time_le(Seconds a, Seconds b) noexcept {
+  return !time_gt(a, b);
+}
+
+}  // namespace cloudwf::util

@@ -1,0 +1,45 @@
+#include "workload/pareto.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::workload {
+
+ParetoDistribution::ParetoDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0)) throw std::invalid_argument("Pareto: shape must be positive");
+  if (!(scale > 0)) throw std::invalid_argument("Pareto: scale must be positive");
+}
+
+double ParetoDistribution::sample(util::Rng& rng) const {
+  // 1 - uniform() is in (0, 1]; avoids a zero denominator.
+  const double u = 1.0 - rng.uniform();
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+std::vector<double> ParetoDistribution::sample_n(std::size_t n, util::Rng& rng) const {
+  std::vector<double> xs(n);
+  for (double& x : xs) x = sample(rng);
+  return xs;
+}
+
+double ParetoDistribution::cdf(double x) const {
+  if (x < scale_) return 0.0;
+  return 1.0 - std::pow(scale_ / x, shape_);
+}
+
+double ParetoDistribution::mean() const {
+  if (shape_ <= 1.0)
+    throw std::logic_error("Pareto: mean undefined for shape <= 1");
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+double ParetoDistribution::quantile(double p) const {
+  if (p < 0 || p >= 1) throw std::invalid_argument("Pareto: p must be in [0,1)");
+  return scale_ / std::pow(1.0 - p, 1.0 / shape_);
+}
+
+ParetoDistribution paper_exec_time_distribution() { return {2.0, 500.0}; }
+ParetoDistribution paper_task_size_distribution() { return {1.3, 500.0}; }
+
+}  // namespace cloudwf::workload

@@ -1,0 +1,48 @@
+// Pareto (type I) distribution — the paper's execution-time and task-size
+// model, following Feitelson's workload modeling results (Sect. IV-B):
+// shape alpha = 2 for execution times, alpha = 1.3 for task (data) sizes,
+// scale fixed to 500 for both.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cloudwf::workload {
+
+class ParetoDistribution {
+ public:
+  /// shape > 0, scale > 0. Support is [scale, +inf).
+  ParetoDistribution(double shape, double scale);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+  /// Inverse-CDF sampling: scale / U^(1/shape), U ~ Uniform(0,1].
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// n independent samples.
+  [[nodiscard]] std::vector<double> sample_n(std::size_t n, util::Rng& rng) const;
+
+  /// CDF: 1 - (scale/x)^shape for x >= scale; 0 below the scale.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Mean, defined for shape > 1: shape*scale/(shape-1).
+  [[nodiscard]] double mean() const;
+
+  /// Quantile (inverse CDF), p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// The paper's execution-time distribution: Pareto(shape 2, scale 500).
+[[nodiscard]] ParetoDistribution paper_exec_time_distribution();
+
+/// The paper's task-size distribution: Pareto(shape 1.3, scale 500).
+[[nodiscard]] ParetoDistribution paper_task_size_distribution();
+
+}  // namespace cloudwf::workload

@@ -1,0 +1,62 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace cloudwf::workload {
+
+dag::Workflow apply_scenario(const dag::Workflow& wf, const ScenarioConfig& cfg) {
+  wf.validate();
+  dag::Workflow out = wf;
+
+  switch (cfg.kind) {
+    case ScenarioKind::pareto: {
+      util::Rng rng(cfg.seed);
+      const ParetoDistribution exec(cfg.exec_shape, cfg.exec_scale);
+      const ParetoDistribution data(cfg.data_shape, cfg.data_scale);
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = exec.sample(rng);
+        out.task(t.id).output_data = data.sample(rng) / 1024.0;  // MB -> GB
+      }
+      break;
+    }
+    case ScenarioKind::best_case: {
+      // Equal tasks, n*e == BTU: a single small VM can run the whole
+      // workflow inside one BTU.
+      const util::Seconds e =
+          util::kBtu / static_cast<util::Seconds>(wf.task_count());
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = e;
+        out.task(t.id).output_data = 0.0;
+      }
+      break;
+    }
+    case ScenarioKind::worst_case: {
+      if (cfg.worst_factor <= 2.7)
+        throw std::invalid_argument(
+            "worst_case: worst_factor must exceed the xlarge speed-up (2.7)");
+      const util::Seconds e = cfg.worst_factor * util::kBtu;
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = e;
+        out.task(t.id).output_data = 0.0;
+      }
+      break;
+    }
+    case ScenarioKind::data_intensive: {
+      if (!(cfg.data_intensive_scale_gb > 0))
+        throw std::invalid_argument("data_intensive: scale must be positive");
+      util::Rng rng(cfg.seed);
+      const ParetoDistribution exec(cfg.exec_shape, cfg.exec_scale);
+      const ParetoDistribution data(cfg.data_shape, cfg.data_intensive_scale_gb);
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = exec.sample(rng);
+        out.task(t.id).output_data = data.sample(rng);  // GB directly
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudwf::workload

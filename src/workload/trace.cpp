@@ -1,0 +1,61 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cloudwf::workload {
+
+std::vector<util::Seconds> parse_trace(std::istream& in) {
+  std::vector<util::Seconds> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = util::trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::size_t pos = 0;
+    double value = 0;
+    try {
+      value = std::stod(std::string(stripped), &pos);
+    } catch (const std::logic_error&) {
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(line_no) + ": bad number");
+    }
+    if (pos != stripped.size())
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(line_no) + ": trailing characters");
+    if (!(value > 0))
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(line_no) +
+                               ": runtimes must be positive");
+    trace.push_back(value);
+  }
+  if (trace.empty()) throw std::runtime_error("trace parse error: empty trace");
+  return trace;
+}
+
+std::vector<util::Seconds> parse_trace_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_trace(is);
+}
+
+std::vector<util::Seconds> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return parse_trace(in);
+}
+
+dag::Workflow apply_trace(const dag::Workflow& wf,
+                          const std::vector<util::Seconds>& trace) {
+  wf.validate();
+  if (trace.empty()) throw std::invalid_argument("apply_trace: empty trace");
+  dag::Workflow out = wf;
+  for (const dag::Task& t : wf.tasks())
+    out.task(t.id).work = trace[t.id % trace.size()];
+  return out;
+}
+
+}  // namespace cloudwf::workload

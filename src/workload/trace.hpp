@@ -1,0 +1,31 @@
+// Trace-driven execution times: assign measured runtimes (one per task)
+// from a recorded workload instead of a synthetic distribution — the
+// paper's future-work "execution times with various properties from
+// different workloads", fed from real data.
+//
+// Trace file format: one runtime (seconds, positive) per line; blank lines
+// and '#' comments ignored. Runtimes are assigned to tasks in id order,
+// cycling if the trace is shorter than the workflow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::workload {
+
+/// Parses a runtime trace; throws std::runtime_error with a line number on
+/// malformed or non-positive entries. Result is non-empty.
+[[nodiscard]] std::vector<util::Seconds> parse_trace(std::istream& in);
+[[nodiscard]] std::vector<util::Seconds> parse_trace_string(
+    const std::string& text);
+[[nodiscard]] std::vector<util::Seconds> load_trace(const std::string& path);
+
+/// Returns a copy of `wf` with works assigned from the trace, in task-id
+/// order, cycling through the trace as needed. Data sizes are untouched.
+[[nodiscard]] dag::Workflow apply_trace(const dag::Workflow& wf,
+                                        const std::vector<util::Seconds>& trace);
+
+}  // namespace cloudwf::workload

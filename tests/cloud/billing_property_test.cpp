@@ -1,0 +1,114 @@
+// Property tests: the Vm's incremental session bookkeeping must agree with
+// an independent brute-force recomputation from the raw placement list, for
+// randomized placement streams.
+#include <gtest/gtest.h>
+
+#include "cloud/vm.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::cloud {
+namespace {
+
+struct BruteForce {
+  std::int64_t btus = 0;
+  util::Seconds busy = 0;
+  std::size_t sessions = 0;
+};
+
+/// Recomputes sessions/BTUs from scratch: walk placements in order; a
+/// placement starting after the running session's paid end opens a new one.
+BruteForce recompute(const std::vector<Placement>& placements) {
+  BruteForce out;
+  util::Seconds session_start = 0;
+  util::Seconds session_end = 0;
+  bool open = false;
+  auto close = [&] {
+    if (!open) return;
+    out.btus += btus_for(session_end - session_start);
+    ++out.sessions;
+  };
+  for (const Placement& p : placements) {
+    out.busy += p.end - p.start;
+    if (open) {
+      const util::Seconds paid_end =
+          session_start +
+          static_cast<util::Seconds>(btus_for(session_end - session_start)) *
+              util::kBtu;
+      if (util::time_gt(p.start, paid_end)) {
+        close();
+        open = false;
+      }
+    }
+    if (!open) {
+      session_start = p.start;
+      open = true;
+    }
+    session_end = p.end;
+  }
+  close();
+  return out;
+}
+
+class BillingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BillingProperty, IncrementalMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  Vm vm(0, InstanceSize::small, 0);
+  std::vector<Placement> placements;
+
+  util::Seconds clock = 0;
+  const int n = 1 + static_cast<int>(rng.below(40));
+  for (int i = 0; i < n; ++i) {
+    // Mix of tight packing, intra-session gaps and session-breaking gaps.
+    const double gap_draw = rng.uniform();
+    if (gap_draw < 0.4) {
+      clock += rng.uniform(0.0, 100.0);            // tight
+    } else if (gap_draw < 0.8) {
+      clock += rng.uniform(0.0, 3600.0);           // may stay within paid time
+    } else {
+      clock += rng.uniform(3600.0, 30'000.0);      // likely a new session
+    }
+    const util::Seconds duration = rng.uniform(1.0, 9'000.0);
+    vm.place(static_cast<dag::TaskId>(i), clock, clock + duration);
+    placements.push_back(Placement{static_cast<dag::TaskId>(i), clock,
+                                   clock + duration});
+    clock += duration;
+  }
+
+  const BruteForce expected = recompute(placements);
+  EXPECT_EQ(vm.btus(), expected.btus);
+  EXPECT_EQ(vm.sessions().size(), expected.sessions);
+  EXPECT_NEAR(vm.busy_time(), expected.busy, 1e-6);
+  EXPECT_NEAR(vm.paid_time(),
+              static_cast<double>(expected.btus) * util::kBtu, 1e-6);
+  EXPECT_NEAR(vm.idle_time(),
+              static_cast<double>(expected.btus) * util::kBtu - expected.busy,
+              1e-6);
+  // Invariants: paid covers busy; idle below one BTU per session.
+  EXPECT_GE(vm.paid_time(), vm.busy_time() - 1e-6);
+  EXPECT_LT(vm.idle_time(),
+            static_cast<double>(expected.sessions) * util::kBtu + 1e-6);
+}
+
+TEST_P(BillingProperty, PlacementAddsBtuPredictsExactly) {
+  // The NotExceed predicate must exactly predict the BTU-count change of
+  // the subsequent place() call.
+  util::Rng rng(GetParam() ^ 0xb111);
+  Vm vm(0, InstanceSize::medium, 0);
+  util::Seconds clock = 0;
+  for (int i = 0; i < 30; ++i) {
+    clock += rng.uniform(0.0, 6'000.0);
+    const util::Seconds duration = rng.uniform(1.0, 5'000.0);
+    const std::int64_t before = vm.btus();
+    const bool predicted = vm.placement_adds_btu(clock, clock + duration);
+    vm.place(static_cast<dag::TaskId>(i), clock, clock + duration);
+    EXPECT_EQ(vm.btus() > before, predicted) << "placement " << i;
+    clock += duration;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BillingProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cloudwf::cloud

@@ -1,0 +1,79 @@
+#include "cloud/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(BtusFor, WholeBtusBillExactly) {
+  EXPECT_EQ(btus_for(3600.0), 1);
+  EXPECT_EQ(btus_for(7200.0), 2);
+  EXPECT_EQ(btus_for(36'000.0), 10);
+}
+
+TEST(BtusFor, PartialBtuRoundsUp) {
+  EXPECT_EQ(btus_for(1.0), 1);
+  EXPECT_EQ(btus_for(3601.0), 2);
+  EXPECT_EQ(btus_for(3599.999), 1);
+}
+
+TEST(BtusFor, OpenedRentalPaysAtLeastOne) {
+  EXPECT_EQ(btus_for(0.0), 1);
+}
+
+TEST(BtusFor, RoundingSlackAbsorbed) {
+  // Sums of doubles that should equal k*BTU must not spill into k+1.
+  EXPECT_EQ(btus_for(3600.0 + 1e-9), 1);
+  EXPECT_EQ(btus_for(7200.0 - 1e-9), 2);
+}
+
+TEST(BtusFor, NegativeSpanRejected) {
+  EXPECT_THROW((void)btus_for(-1.0), std::invalid_argument);
+}
+
+TEST(PaidSeconds, WholeBtus) {
+  EXPECT_DOUBLE_EQ(paid_seconds(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(paid_seconds(3601.0), 7200.0);
+}
+
+TEST(RentalCost, UsesRegionalPrice) {
+  const Region& virginia = ec2_regions()[0];
+  EXPECT_EQ(rental_cost(3600.0, InstanceSize::small, virginia),
+            util::Money::from_dollars(0.08));
+  EXPECT_EQ(rental_cost(3601.0, InstanceSize::small, virginia),
+            util::Money::from_dollars(0.16));
+  EXPECT_EQ(rental_cost(1800.0, InstanceSize::xlarge, virginia),
+            util::Money::from_dollars(0.64));
+  const Region& sao_paolo = ec2_regions()[6];
+  EXPECT_EQ(rental_cost(3600.0, InstanceSize::small, sao_paolo),
+            util::Money::from_dollars(0.115));
+}
+
+TEST(BillableEgress, FirstGbFree) {
+  EXPECT_DOUBLE_EQ(billable_egress_gb(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(billable_egress_gb(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(billable_egress_gb(0.5), 0.0);
+}
+
+TEST(BillableEgress, BandBetween1GbAnd10Tb) {
+  EXPECT_DOUBLE_EQ(billable_egress_gb(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(billable_egress_gb(101.0), 100.0);
+  // Saturates at the 10 TB band edge.
+  EXPECT_DOUBLE_EQ(billable_egress_gb(10.0 * 1024.0), 10.0 * 1024.0 - 1.0);
+  EXPECT_DOUBLE_EQ(billable_egress_gb(50.0 * 1024.0), 10.0 * 1024.0 - 1.0);
+}
+
+TEST(BillableEgress, NegativeRejected) {
+  EXPECT_THROW((void)billable_egress_gb(-1.0), std::invalid_argument);
+}
+
+TEST(EgressCost, RegionalRates) {
+  const Region& virginia = ec2_regions()[0];   // $0.12/GB
+  const Region& tokio = ec2_regions()[5];      // $0.201/GB
+  EXPECT_EQ(egress_cost(11.0, virginia), util::Money::from_dollars(1.20));
+  EXPECT_EQ(egress_cost(11.0, tokio), util::Money::from_dollars(2.01));
+  EXPECT_EQ(egress_cost(1.0, tokio), util::Money{});
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

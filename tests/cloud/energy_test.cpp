@@ -1,0 +1,56 @@
+#include "cloud/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(EnergyModel, PowerScalesWithCores) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.busy_watts(InstanceSize::small), 90.0);
+  EXPECT_DOUBLE_EQ(m.busy_watts(InstanceSize::medium), 180.0);
+  EXPECT_DOUBLE_EQ(m.busy_watts(InstanceSize::xlarge), 720.0);
+  EXPECT_DOUBLE_EQ(m.idle_watts(InstanceSize::small), 54.0);
+}
+
+TEST(EnergyModel, VmEnergyIntegratesBusyAndIdle) {
+  const EnergyModel m;
+  Vm vm(0, InstanceSize::small, 0);
+  vm.place(0, 0.0, 1800.0);  // 1800 s busy, 1800 s idle of a 1-BTU session
+  EXPECT_DOUBLE_EQ(m.vm_energy_joules(vm), 1800.0 * 90.0 + 1800.0 * 54.0);
+}
+
+TEST(ComputeEnergy, AggregatesPool) {
+  VmPool pool;
+  const VmId a = pool.rent(InstanceSize::small, 0).id();
+  const VmId b = pool.rent(InstanceSize::medium, 0).id();
+  pool.vm(a).place(0, 0.0, 3600.0);  // fully busy: no idle joules
+  pool.vm(b).place(1, 0.0, 1800.0);
+
+  const EnergyMetrics m = compute_energy(pool);
+  EXPECT_DOUBLE_EQ(m.busy_joules, 3600.0 * 90.0 + 1800.0 * 180.0);
+  EXPECT_DOUBLE_EQ(m.idle_joules, 1800.0 * 180.0 * 0.6);
+  EXPECT_DOUBLE_EQ(m.total_joules, m.busy_joules + m.idle_joules);
+  EXPECT_GT(m.idle_share, 0.0);
+  EXPECT_LT(m.idle_share, 1.0);
+  EXPECT_NEAR(m.total_kwh(), m.total_joules / 3.6e6, 1e-12);
+}
+
+TEST(ComputeEnergy, EmptyPoolIsZero) {
+  const EnergyMetrics m = compute_energy(VmPool{});
+  EXPECT_DOUBLE_EQ(m.total_joules, 0.0);
+  EXPECT_DOUBLE_EQ(m.idle_share, 0.0);
+}
+
+TEST(ComputeEnergy, CustomModel) {
+  EnergyModel m;
+  m.busy_watts_per_core = 100.0;
+  m.idle_fraction = 0.5;
+  Vm vm(0, InstanceSize::large, 0);  // 4 cores
+  vm.place(0, 0.0, 3600.0);
+  EXPECT_DOUBLE_EQ(m.vm_energy_joules(vm), 3600.0 * 400.0);
+  EXPECT_DOUBLE_EQ(m.idle_watts(InstanceSize::large), 200.0);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

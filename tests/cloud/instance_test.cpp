@@ -1,0 +1,69 @@
+#include "cloud/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(InstanceSize, PaperSpeedups) {
+  // Sect. IV-A: 1 / 1.6 / 2.1 / 2.7 relative to small.
+  EXPECT_DOUBLE_EQ(speedup_of(InstanceSize::small), 1.0);
+  EXPECT_DOUBLE_EQ(speedup_of(InstanceSize::medium), 1.6);
+  EXPECT_DOUBLE_EQ(speedup_of(InstanceSize::large), 2.1);
+  EXPECT_DOUBLE_EQ(speedup_of(InstanceSize::xlarge), 2.7);
+}
+
+TEST(InstanceSize, PaperCores) {
+  EXPECT_EQ(cores_of(InstanceSize::small), 1);
+  EXPECT_EQ(cores_of(InstanceSize::medium), 2);
+  EXPECT_EQ(cores_of(InstanceSize::large), 4);
+  EXPECT_EQ(cores_of(InstanceSize::xlarge), 8);
+}
+
+TEST(InstanceSize, PaperLinks) {
+  // small/medium on 1 Gb, large/xlarge on 10 Gb.
+  EXPECT_DOUBLE_EQ(link_of(InstanceSize::small), 1.0);
+  EXPECT_DOUBLE_EQ(link_of(InstanceSize::medium), 1.0);
+  EXPECT_DOUBLE_EQ(link_of(InstanceSize::large), 10.0);
+  EXPECT_DOUBLE_EQ(link_of(InstanceSize::xlarge), 10.0);
+}
+
+TEST(InstanceSize, ExecTimeScalesBySpeedup) {
+  EXPECT_DOUBLE_EQ(exec_time(1000.0, InstanceSize::small), 1000.0);
+  EXPECT_DOUBLE_EQ(exec_time(1000.0, InstanceSize::medium), 625.0);
+  EXPECT_DOUBLE_EQ(exec_time(2700.0, InstanceSize::xlarge), 1000.0);
+}
+
+TEST(InstanceSize, NextFasterChain) {
+  EXPECT_EQ(*next_faster(InstanceSize::small), InstanceSize::medium);
+  EXPECT_EQ(*next_faster(InstanceSize::medium), InstanceSize::large);
+  EXPECT_EQ(*next_faster(InstanceSize::large), InstanceSize::xlarge);
+  EXPECT_FALSE(next_faster(InstanceSize::xlarge).has_value());
+}
+
+TEST(InstanceSize, NamesAndSuffixes) {
+  EXPECT_EQ(name_of(InstanceSize::small), "small");
+  EXPECT_EQ(suffix_of(InstanceSize::xlarge), "xl");
+}
+
+TEST(ParseSize, AcceptsNamesAndSuffixes) {
+  EXPECT_EQ(parse_size("small"), InstanceSize::small);
+  EXPECT_EQ(parse_size("m"), InstanceSize::medium);
+  EXPECT_EQ(parse_size("large"), InstanceSize::large);
+  EXPECT_EQ(parse_size("xl"), InstanceSize::xlarge);
+  EXPECT_FALSE(parse_size("tiny").has_value());
+  EXPECT_FALSE(parse_size("").has_value());
+}
+
+TEST(InstanceSize, SpeedupPerDollarFavorsSmall) {
+  // The paper's Sect. V observation: large buys speed-up 2.1 at 4x the
+  // price, a worse ratio than medium (1.6 at 2x) and small (1 at 1x).
+  const double small_ratio = speedup_of(InstanceSize::small) / 1.0;
+  const double medium_ratio = speedup_of(InstanceSize::medium) / 2.0;
+  const double large_ratio = speedup_of(InstanceSize::large) / 4.0;
+  EXPECT_GT(small_ratio, medium_ratio);
+  EXPECT_GT(medium_ratio, large_ratio);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

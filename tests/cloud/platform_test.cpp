@@ -1,0 +1,59 @@
+#include "cloud/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(Platform, Ec2FactoryMatchesTableTwo) {
+  const Platform p = Platform::ec2();
+  EXPECT_EQ(p.regions().size(), 7u);
+  EXPECT_EQ(p.default_region().name, "US East Virginia");
+  EXPECT_EQ(p.price(InstanceSize::small), util::Money::from_dollars(0.08));
+  EXPECT_EQ(p.price(InstanceSize::xlarge), util::Money::from_dollars(0.64));
+  EXPECT_DOUBLE_EQ(p.boot_time(), 0.0);  // paper: pre-booting, boots ignored
+}
+
+TEST(Platform, TransferTimeBetweenVms) {
+  const Platform p = Platform::ec2();
+  const Vm a(0, InstanceSize::small, 0);
+  const Vm b(1, InstanceSize::small, 0);
+  EXPECT_DOUBLE_EQ(p.transfer_time(1.0, a, a), 0.0);  // same VM
+  EXPECT_GT(p.transfer_time(1.0, a, b), 8.0);         // cross-VM: size/bw + lat
+}
+
+TEST(Platform, CrossRegionTransferSlower) {
+  const Platform p = Platform::ec2();
+  const Vm a(0, InstanceSize::large, 0);
+  const Vm b(1, InstanceSize::large, 0);
+  const Vm c(2, InstanceSize::large, 5);
+  EXPECT_LT(p.transfer_time(1.0, a, b), p.transfer_time(1.0, a, c));
+}
+
+TEST(Platform, Validation) {
+  EXPECT_THROW(Platform({}, 0), std::invalid_argument);
+
+  std::vector<Region> one(ec2_regions().begin(), ec2_regions().begin() + 1);
+  EXPECT_THROW(Platform(one, 3), std::invalid_argument);  // default OOR
+  EXPECT_THROW(Platform(one, 0, TransferModel{}, -1.0), std::invalid_argument);
+
+  std::vector<Region> shuffled(ec2_regions().begin(), ec2_regions().begin() + 2);
+  std::swap(shuffled[0], shuffled[1]);  // ids no longer dense/ordered
+  EXPECT_THROW(Platform(shuffled, 0), std::invalid_argument);
+}
+
+TEST(Platform, BootTimeConfigurable) {
+  Platform p = Platform::ec2();
+  p.set_boot_time(120.0);  // EC2's "under two minutes"
+  EXPECT_DOUBLE_EQ(p.boot_time(), 120.0);
+  EXPECT_THROW(p.set_boot_time(-1.0), std::invalid_argument);
+}
+
+TEST(Platform, RegionLookup) {
+  const Platform p = Platform::ec2();
+  EXPECT_EQ(p.region(6).name, "SA Sao Paolo");
+  EXPECT_THROW((void)p.region(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

@@ -1,0 +1,58 @@
+#include "cloud/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(Ec2Regions, SevenRegionsDenselyNumbered) {
+  const auto regions = ec2_regions();
+  ASSERT_EQ(regions.size(), 7u);
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    EXPECT_EQ(regions[i].id, i);
+}
+
+TEST(Ec2Regions, TableTwoPricesVerbatim) {
+  const auto regions = ec2_regions();
+  using util::Money;
+  // Spot-check every region's small price and transfer-out against Table II.
+  EXPECT_EQ(regions[0].price(InstanceSize::small), Money::from_dollars(0.08));
+  EXPECT_EQ(regions[1].price(InstanceSize::small), Money::from_dollars(0.08));
+  EXPECT_EQ(regions[2].price(InstanceSize::small), Money::from_dollars(0.09));
+  EXPECT_EQ(regions[3].price(InstanceSize::small), Money::from_dollars(0.085));
+  EXPECT_EQ(regions[4].price(InstanceSize::small), Money::from_dollars(0.085));
+  EXPECT_EQ(regions[5].price(InstanceSize::small), Money::from_dollars(0.092));
+  EXPECT_EQ(regions[6].price(InstanceSize::small), Money::from_dollars(0.115));
+
+  EXPECT_EQ(regions[0].transfer_out_per_gb, Money::from_dollars(0.12));
+  EXPECT_EQ(regions[4].transfer_out_per_gb, Money::from_dollars(0.19));
+  EXPECT_EQ(regions[5].transfer_out_per_gb, Money::from_dollars(0.201));
+  EXPECT_EQ(regions[6].transfer_out_per_gb, Money::from_dollars(0.25));
+
+  // Tokio's full row (the odd one with 0.092 steps).
+  EXPECT_EQ(regions[5].price(InstanceSize::medium), Money::from_dollars(0.184));
+  EXPECT_EQ(regions[5].price(InstanceSize::large), Money::from_dollars(0.368));
+  EXPECT_EQ(regions[5].price(InstanceSize::xlarge), Money::from_dollars(0.736));
+}
+
+TEST(Ec2Regions, PricesDoubleWithSize) {
+  // EC2 2012 on-demand pricing: each size exactly doubles the previous.
+  for (const Region& r : ec2_regions()) {
+    EXPECT_EQ(r.price(InstanceSize::medium), r.price(InstanceSize::small) * 2);
+    EXPECT_EQ(r.price(InstanceSize::large), r.price(InstanceSize::small) * 4);
+    EXPECT_EQ(r.price(InstanceSize::xlarge), r.price(InstanceSize::small) * 8);
+  }
+}
+
+TEST(RegionByName, ExactNames) {
+  EXPECT_EQ(region_by_name("US East Virginia"), 0);
+  EXPECT_EQ(region_by_name("SA Sao Paolo"), 6);
+  EXPECT_FALSE(region_by_name("Mars Olympus").has_value());
+}
+
+TEST(DefaultRegion, IsUsEastVirginia) {
+  EXPECT_EQ(ec2_regions()[kDefaultRegion].name, "US East Virginia");
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

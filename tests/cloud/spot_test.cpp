@@ -1,0 +1,93 @@
+#include "cloud/spot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+const util::Money kOnDemand = util::Money::from_dollars(0.08);
+
+TEST(SpotPriceSeries, PricesStayWithinClamps) {
+  SpotMarketModel model;
+  util::Rng rng(1);
+  const SpotPriceSeries series(kOnDemand, model, 24 * 3600.0, rng);
+  for (double t = 0; t <= series.horizon(); t += model.tick / 2) {
+    const util::Money p = series.price_at(t);
+    EXPECT_GE(p, kOnDemand.scaled(model.floor_fraction));
+    EXPECT_LE(p, kOnDemand.scaled(model.cap_fraction));
+  }
+}
+
+TEST(SpotPriceSeries, MeanRevertsToFractionOfOnDemand) {
+  SpotMarketModel model;
+  util::Rng rng(7);
+  const SpotPriceSeries series(kOnDemand, model, 30 * 24 * 3600.0, rng);
+  const util::Money avg = series.average_price(0.0, series.horizon());
+  // Long-run average within ~25% of the model mean.
+  const double ratio = avg.dollars() / kOnDemand.dollars();
+  EXPECT_NEAR(ratio, model.mean_fraction, 0.25 * model.mean_fraction + 0.05);
+}
+
+TEST(SpotPriceSeries, AveragePriceOfConstantWindow) {
+  SpotMarketModel model;
+  model.volatility = 0.0;  // price pinned at the mean fraction
+  util::Rng rng(3);
+  const SpotPriceSeries series(kOnDemand, model, 7200.0, rng);
+  EXPECT_EQ(series.average_price(0.0, 3600.0),
+            kOnDemand.scaled(model.mean_fraction));
+}
+
+TEST(SpotPriceSeries, ExceedanceDetection) {
+  SpotMarketModel model;
+  model.volatility = 0.0;
+  util::Rng rng(3);
+  const SpotPriceSeries series(kOnDemand, model, 7200.0, rng);
+  // Bid below the constant price: exceeded immediately.
+  const util::Money low_bid = kOnDemand.scaled(model.mean_fraction * 0.5);
+  EXPECT_TRUE(series.first_exceedance(low_bid, 0.0, 7200.0).has_value());
+  EXPECT_DOUBLE_EQ(series.exceedance_fraction(low_bid), 1.0);
+  // Bid above the constant price: never exceeded.
+  const util::Money high_bid = kOnDemand;
+  EXPECT_FALSE(series.first_exceedance(high_bid, 0.0, 7200.0).has_value());
+  EXPECT_DOUBLE_EQ(series.exceedance_fraction(high_bid), 0.0);
+}
+
+TEST(SpotPriceSeries, HigherBidsEvictLess) {
+  SpotMarketModel model;
+  util::Rng rng(11);
+  const SpotPriceSeries series(kOnDemand, model, 7 * 24 * 3600.0, rng);
+  const double low = series.exceedance_fraction(kOnDemand.scaled(0.2));
+  const double mid = series.exceedance_fraction(kOnDemand.scaled(0.5));
+  const double high = series.exceedance_fraction(kOnDemand.scaled(1.4));
+  EXPECT_GE(low, mid);
+  EXPECT_GE(mid, high);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(SpotPriceSeries, DeterministicPerSeed) {
+  SpotMarketModel model;
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const SpotPriceSeries a(kOnDemand, model, 3600.0, r1);
+  const SpotPriceSeries b(kOnDemand, model, 3600.0, r2);
+  for (double t = 0; t <= 3600.0; t += model.tick)
+    EXPECT_EQ(a.price_at(t), b.price_at(t));
+}
+
+TEST(SpotPriceSeries, RejectsBadInputs) {
+  SpotMarketModel model;
+  util::Rng rng(1);
+  EXPECT_THROW(SpotPriceSeries(util::Money{}, model, 3600.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(SpotPriceSeries(kOnDemand, model, 0.0, rng),
+               std::invalid_argument);
+  model.reversion = 0.0;
+  EXPECT_THROW(SpotPriceSeries(kOnDemand, model, 3600.0, rng),
+               std::invalid_argument);
+  model = SpotMarketModel{};
+  const SpotPriceSeries ok(kOnDemand, model, 3600.0, rng);
+  EXPECT_THROW((void)ok.average_price(100.0, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

@@ -1,0 +1,73 @@
+#include "cloud/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::cloud {
+namespace {
+
+TEST(TransferModel, SameVmIsFreeAndInstant) {
+  const TransferModel tm;
+  EXPECT_DOUBLE_EQ(
+      tm.time(100.0, InstanceSize::small, InstanceSize::small, 0, 0, true), 0.0);
+}
+
+TEST(TransferModel, BottleneckBandwidth) {
+  // small link 1 Gb/s = 0.125 GB/s; large link 10 Gb/s = 1.25 GB/s.
+  EXPECT_DOUBLE_EQ(
+      TransferModel::bandwidth_gb_per_sec(InstanceSize::small, InstanceSize::small),
+      0.125);
+  EXPECT_DOUBLE_EQ(
+      TransferModel::bandwidth_gb_per_sec(InstanceSize::large, InstanceSize::xlarge),
+      1.25);
+  // Mixed endpoints bottleneck on the slower link.
+  EXPECT_DOUBLE_EQ(
+      TransferModel::bandwidth_gb_per_sec(InstanceSize::small, InstanceSize::large),
+      0.125);
+}
+
+TEST(TransferModel, StoreAndForwardFormula) {
+  TransferModel tm;
+  tm.intra_region_latency = 0.001;
+  // 1 GB over 0.125 GB/s + 1 ms latency.
+  EXPECT_DOUBLE_EQ(
+      tm.time(1.0, InstanceSize::small, InstanceSize::small, 0, 0, false),
+      8.0 + 0.001);
+}
+
+TEST(TransferModel, InterRegionUsesHigherLatency) {
+  TransferModel tm;
+  tm.intra_region_latency = 0.001;
+  tm.inter_region_latency = 0.1;
+  const double intra =
+      tm.time(1.0, InstanceSize::large, InstanceSize::large, 0, 0, false);
+  const double inter =
+      tm.time(1.0, InstanceSize::large, InstanceSize::large, 0, 3, false);
+  EXPECT_DOUBLE_EQ(inter - intra, 0.1 - 0.001);
+}
+
+TEST(TransferModel, ZeroBytesCostsOnlyLatency) {
+  TransferModel tm;
+  tm.intra_region_latency = 0.0005;
+  EXPECT_DOUBLE_EQ(
+      tm.time(0.0, InstanceSize::small, InstanceSize::small, 0, 0, false), 0.0005);
+}
+
+TEST(TransferModel, FasterLinksCutTransferTime) {
+  const TransferModel tm;
+  const double slow = tm.time(10.0, InstanceSize::small, InstanceSize::small, 0, 0,
+                              false);
+  const double fast = tm.time(10.0, InstanceSize::large, InstanceSize::large, 0, 0,
+                              false);
+  EXPECT_GT(slow, fast);
+  EXPECT_NEAR(slow / fast, 10.0, 0.1);  // 1 Gb vs 10 Gb, latency negligible
+}
+
+TEST(TransferModel, NegativeSizeRejected) {
+  const TransferModel tm;
+  EXPECT_THROW(
+      (void)tm.time(-1.0, InstanceSize::small, InstanceSize::small, 0, 0, false),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

@@ -1,0 +1,135 @@
+#include "dag/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::dag::builders {
+namespace {
+
+TEST(Montage24, StructureMatchesPaper) {
+  const Workflow wf = montage24();
+  EXPECT_EQ(wf.name(), "montage");
+  EXPECT_EQ(wf.task_count(), 24u);  // the paper's "version with 24 tasks"
+  EXPECT_NO_THROW(wf.validate());
+
+  // 6-wide projection entry level.
+  EXPECT_EQ(wf.entry_tasks().size(), 6u);
+  // Single final co-add.
+  ASSERT_EQ(wf.exit_tasks().size(), 1u);
+  EXPECT_EQ(wf.task(wf.exit_tasks()[0]).name, "mAdd");
+
+  const auto groups = level_groups(wf);
+  ASSERT_EQ(groups.size(), 6u);  // project/diff/concat/bgmodel/background/add
+  EXPECT_EQ(groups[1].size(), 9u);   // nine mDiffFit
+  EXPECT_EQ(groups[4].size(), 6u);   // six mBackground
+  EXPECT_EQ(max_width(wf), 9u);
+
+  // The "intermingled" cross-level dependencies: projections feed the
+  // level-4 background tasks directly (skip edges).
+  const auto levels = task_levels(wf);
+  std::size_t skip_edges = 0;
+  for (const Edge& e : wf.edges())
+    if (levels[e.to] - levels[e.from] >= 2) ++skip_edges;
+  EXPECT_EQ(skip_edges, 6u);
+}
+
+TEST(Montage24, EveryDiffFitHasTwoProjectionParents) {
+  const Workflow wf = montage24();
+  for (const Task& t : wf.tasks()) {
+    if (t.name.rfind("mDiffFit", 0) == 0) {
+      EXPECT_EQ(wf.predecessors(t.id).size(), 2u) << t.name;
+    }
+  }
+}
+
+TEST(Montage, ParametricSizesScale) {
+  // montage(n): 3.5n + 3 tasks; montage(6) is the paper's 24-task instance.
+  for (std::size_t n : {4u, 6u, 8u, 12u, 20u}) {
+    const Workflow wf = montage(n);
+    EXPECT_EQ(wf.task_count(), 3 * n + n / 2 + 3) << n;
+    EXPECT_EQ(wf.entry_tasks().size(), n) << n;
+    EXPECT_EQ(wf.exit_tasks().size(), 1u) << n;
+    EXPECT_EQ(max_width(wf), n + n / 2) << n;  // the mDiffFit level
+    EXPECT_NO_THROW(wf.validate());
+  }
+}
+
+TEST(Montage, ParametricValidation) {
+  EXPECT_THROW((void)montage(2), std::invalid_argument);
+  EXPECT_THROW((void)montage(5), std::invalid_argument);  // odd
+  EXPECT_THROW((void)montage(0), std::invalid_argument);
+}
+
+TEST(Montage, SixProjectionsIsMontage24) {
+  const Workflow a = montage(6);
+  const Workflow b = montage24();
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (const Task& t : a.tasks()) EXPECT_EQ(t.name, b.task(t.id).name);
+}
+
+TEST(Cstem, StructureMatchesPaperProperties) {
+  const Workflow wf = cstem();
+  EXPECT_EQ(wf.task_count(), 16u);
+  EXPECT_NO_THROW(wf.validate());
+
+  // One initial task (the Fig. 1 example's single entry)...
+  ASSERT_EQ(wf.entry_tasks().size(), 1u);
+  // ...fanning out to exactly six subsequent tasks.
+  EXPECT_EQ(wf.successors(wf.entry_tasks()[0]).size(), 6u);
+  // "Several final tasks": three sinks.
+  EXPECT_EQ(wf.exit_tasks().size(), 3u);
+
+  // Relatively sequential: average level width around 2, never Montage-wide.
+  const auto groups = level_groups(wf);
+  EXPECT_GE(groups.size(), 6u);
+  EXPECT_EQ(max_width(wf), 6u);
+}
+
+TEST(MapReduce, TwoSequentialMapPhasesAndShuffle) {
+  const Workflow wf = map_reduce(8, 4);
+  EXPECT_EQ(wf.task_count(), 1 + 8 + 8 + 4 + 1u);
+  EXPECT_NO_THROW(wf.validate());
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+
+  const auto groups = level_groups(wf);
+  ASSERT_EQ(groups.size(), 5u);  // split, map1, map2, reduce, merge
+  EXPECT_EQ(groups[1].size(), 8u);
+  EXPECT_EQ(groups[2].size(), 8u);
+  EXPECT_EQ(groups[3].size(), 4u);
+
+  // Each map2 depends on exactly its map1; each reducer on all 8 map2.
+  for (TaskId r : groups[3]) EXPECT_EQ(wf.predecessors(r).size(), 8u);
+  for (TaskId m2 : groups[2]) EXPECT_EQ(wf.predecessors(m2).size(), 1u);
+}
+
+TEST(MapReduce, Parameterizable) {
+  const Workflow wf = map_reduce(3, 2);
+  EXPECT_EQ(wf.task_count(), 1 + 3 + 3 + 2 + 1u);
+  EXPECT_THROW((void)map_reduce(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)map_reduce(1, 0), std::invalid_argument);
+}
+
+TEST(SequentialChain, IsAChain) {
+  const Workflow wf = sequential_chain(10);
+  EXPECT_EQ(wf.task_count(), 10u);
+  EXPECT_EQ(wf.edge_count(), 9u);
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+  EXPECT_EQ(max_width(wf), 1u);
+  EXPECT_EQ(level_groups(wf).size(), 10u);
+  EXPECT_THROW((void)sequential_chain(0), std::invalid_argument);
+}
+
+TEST(Builders, DefaultWorkIsUniform) {
+  // Structure-only builders: works are 1 s until a scenario is applied.
+  for (const Workflow& wf :
+       {montage24(), cstem(), map_reduce(), sequential_chain()}) {
+    for (const Task& t : wf.tasks()) EXPECT_DOUBLE_EQ(t.work, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::dag::builders

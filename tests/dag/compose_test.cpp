@@ -1,0 +1,74 @@
+#include "dag/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(Compose, AppendCopiesTasksEdgesAndWeights) {
+  Workflow dst("dst");
+  const Workflow src = builders::map_reduce(2, 1);
+  const auto mapping = append_workflow(dst, src, "mr.");
+  EXPECT_EQ(dst.task_count(), src.task_count());
+  EXPECT_EQ(dst.edge_count(), src.edge_count());
+  for (const Task& t : src.tasks()) {
+    EXPECT_EQ(dst.task(mapping[t.id]).name, "mr." + t.name);
+    EXPECT_DOUBLE_EQ(dst.task(mapping[t.id]).work, t.work);
+  }
+  for (const Edge& e : src.edges())
+    EXPECT_TRUE(dst.has_edge(mapping[e.from], mapping[e.to]));
+}
+
+TEST(Compose, InSeriesConnectsExitsToEntries) {
+  const Workflow chain = builders::sequential_chain(3);
+  const Workflow mr = builders::map_reduce(2, 1);
+  const Workflow composed = in_series(chain, mr, /*link_data=*/0.5);
+  EXPECT_EQ(composed.task_count(), chain.task_count() + mr.task_count());
+  // One exit of the chain feeding one entry of mapreduce: one link edge.
+  EXPECT_EQ(composed.edge_count(), chain.edge_count() + mr.edge_count() + 1);
+  EXPECT_EQ(composed.entry_tasks().size(), 1u);
+  EXPECT_EQ(composed.exit_tasks().size(), 1u);
+  // Link data override carried.
+  const TaskId chain_exit = composed.task_by_name("1.stage_2");
+  const TaskId mr_entry = composed.task_by_name("2.split");
+  EXPECT_DOUBLE_EQ(composed.edge_data(chain_exit, mr_entry), 0.5);
+  // Level structure is the concatenation.
+  EXPECT_EQ(level_groups(composed).size(),
+            level_groups(chain).size() + level_groups(mr).size());
+}
+
+TEST(Compose, InSeriesRejectsNegativeLinkData) {
+  const Workflow a = builders::sequential_chain(2);
+  EXPECT_THROW((void)in_series(a, a, -1.0), std::invalid_argument);
+}
+
+TEST(Compose, InParallelIsDisjointUnion) {
+  const Workflow a = builders::cstem();
+  const Workflow b = builders::sequential_chain(4);
+  const Workflow composed = in_parallel(a, b);
+  EXPECT_EQ(composed.task_count(), a.task_count() + b.task_count());
+  EXPECT_EQ(composed.edge_count(), a.edge_count() + b.edge_count());
+  EXPECT_EQ(composed.entry_tasks().size(),
+            a.entry_tasks().size() + b.entry_tasks().size());
+}
+
+TEST(Compose, ReplicateParallel) {
+  const Workflow wf = builders::sequential_chain(3);
+  const Workflow five = replicate_parallel(wf, 5);
+  EXPECT_EQ(five.task_count(), 15u);
+  EXPECT_EQ(five.entry_tasks().size(), 5u);
+  EXPECT_EQ(max_width(five), 5u);
+  EXPECT_THROW((void)replicate_parallel(wf, 0), std::invalid_argument);
+}
+
+TEST(Compose, SelfCompositionKeepsNamesUnique) {
+  const Workflow wf = builders::montage24();
+  EXPECT_NO_THROW((void)in_series(wf, wf));
+  EXPECT_NO_THROW((void)in_parallel(wf, wf));
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

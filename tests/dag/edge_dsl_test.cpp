@@ -1,0 +1,71 @@
+#include "dag/edge_dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(EdgeDsl, BasicChainAndFan) {
+  const Workflow wf = parse_edge_dsl("a -> b; a -> c; b, c -> d");
+  EXPECT_EQ(wf.task_count(), 4u);
+  EXPECT_EQ(wf.edge_count(), 4u);
+  EXPECT_TRUE(wf.has_edge(wf.task_by_name("a"), wf.task_by_name("b")));
+  EXPECT_TRUE(wf.has_edge(wf.task_by_name("c"), wf.task_by_name("d")));
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+}
+
+TEST(EdgeDsl, WorkAnnotations) {
+  const Workflow wf = parse_edge_dsl("a:600 -> b:120.5; b -> c");
+  EXPECT_DOUBLE_EQ(wf.task(wf.task_by_name("a")).work, 600.0);
+  EXPECT_DOUBLE_EQ(wf.task(wf.task_by_name("b")).work, 120.5);
+  EXPECT_DOUBLE_EQ(wf.task(wf.task_by_name("c")).work, 1.0);  // default
+}
+
+TEST(EdgeDsl, NewlinesAndCommentsAsSeparators) {
+  const Workflow wf = parse_edge_dsl(
+      "# a diamond\n"
+      "a -> b\n"
+      "a -> c\n"
+      "b, c -> d\n");
+  EXPECT_EQ(wf.task_count(), 4u);
+  EXPECT_EQ(max_width(wf), 2u);
+}
+
+TEST(EdgeDsl, BareStatementDeclaresTasks) {
+  const Workflow wf = parse_edge_dsl("solo:42");
+  EXPECT_EQ(wf.task_count(), 1u);
+  EXPECT_EQ(wf.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(wf.task(0).work, 42.0);
+}
+
+TEST(EdgeDsl, CrossProductOfSidesIsConnected) {
+  const Workflow wf = parse_edge_dsl("a, b -> c, d, e");
+  EXPECT_EQ(wf.edge_count(), 6u);
+}
+
+TEST(EdgeDsl, Errors) {
+  EXPECT_THROW((void)parse_edge_dsl("-> b"), std::runtime_error);
+  EXPECT_THROW((void)parse_edge_dsl("a ->"), std::runtime_error);
+  EXPECT_THROW((void)parse_edge_dsl("a -> a"), std::runtime_error);       // self loop
+  EXPECT_THROW((void)parse_edge_dsl("a -> b; b -> a"), std::runtime_error);  // cycle
+  EXPECT_THROW((void)parse_edge_dsl("a -> b; a -> b"), std::runtime_error);  // dup
+  EXPECT_THROW((void)parse_edge_dsl("a:xyz -> b"), std::runtime_error);
+  EXPECT_THROW((void)parse_edge_dsl("a:0 -> b"), std::runtime_error);
+  EXPECT_THROW((void)parse_edge_dsl("a -> b; a:5 -> c"), std::runtime_error);
+  EXPECT_THROW((void)parse_edge_dsl(""), std::logic_error);  // empty workflow
+}
+
+TEST(EdgeDsl, ErrorNamesTheStatement) {
+  try {
+    (void)parse_edge_dsl("a -> b; b -> a");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("b -> a"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

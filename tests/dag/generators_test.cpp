@@ -1,0 +1,90 @@
+#include "dag/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::dag::generators {
+namespace {
+
+TEST(RandomLayered, RespectsConfigBounds) {
+  util::Rng rng(1);
+  LayeredConfig cfg;
+  cfg.levels = 6;
+  cfg.min_width = 2;
+  cfg.max_width = 4;
+  const Workflow wf = random_layered(cfg, rng);
+  EXPECT_NO_THROW(wf.validate());
+  EXPECT_GE(wf.task_count(), 12u);
+  EXPECT_LE(wf.task_count(), 24u);
+  EXPECT_LE(level_groups(wf).size(), 6u);
+}
+
+TEST(RandomLayered, EveryNonEntryTaskHasAPredecessor) {
+  util::Rng rng(7);
+  LayeredConfig cfg;
+  cfg.levels = 8;
+  cfg.max_width = 5;
+  cfg.edge_density = 0.05;  // sparse: forces the connectivity fallback
+  const Workflow wf = random_layered(cfg, rng);
+  const auto entries = wf.entry_tasks();
+  // Entries can only come from the first generated layer.
+  for (TaskId e : entries) EXPECT_LT(e, cfg.max_width);
+}
+
+TEST(RandomLayered, DeterministicPerSeed) {
+  LayeredConfig cfg;
+  util::Rng r1(99);
+  util::Rng r2(99);
+  const Workflow a = random_layered(cfg, r1);
+  const Workflow b = random_layered(cfg, r2);
+  EXPECT_EQ(a.task_count(), b.task_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(RandomLayered, RejectsBadConfig) {
+  util::Rng rng(1);
+  LayeredConfig cfg;
+  cfg.levels = 0;
+  EXPECT_THROW((void)random_layered(cfg, rng), std::invalid_argument);
+  cfg = LayeredConfig{};
+  cfg.min_width = 3;
+  cfg.max_width = 2;
+  EXPECT_THROW((void)random_layered(cfg, rng), std::invalid_argument);
+  cfg = LayeredConfig{};
+  cfg.edge_density = 1.5;
+  EXPECT_THROW((void)random_layered(cfg, rng), std::invalid_argument);
+}
+
+TEST(ForkJoin, ShapeAndWidth) {
+  const Workflow wf = fork_join(2, 3);
+  // source + 2 x (3 forks + join) = 9 tasks.
+  EXPECT_EQ(wf.task_count(), 9u);
+  EXPECT_EQ(max_width(wf), 3u);
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+  EXPECT_THROW((void)fork_join(0, 1), std::invalid_argument);
+}
+
+TEST(ForkJoin, WidthOneIsAChain) {
+  const Workflow wf = fork_join(3, 1);
+  EXPECT_EQ(max_width(wf), 1u);
+}
+
+TEST(OutTree, CountsAndFanOut) {
+  const Workflow wf = out_tree(3, 2);
+  EXPECT_EQ(wf.task_count(), 7u);  // 1 + 2 + 4
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 4u);
+  EXPECT_THROW((void)out_tree(0, 2), std::invalid_argument);
+}
+
+TEST(InTree, MirrorsOutTree) {
+  const Workflow wf = in_tree(3, 2);
+  EXPECT_EQ(wf.task_count(), 7u);
+  EXPECT_EQ(wf.entry_tasks().size(), 4u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag::generators

@@ -1,0 +1,162 @@
+#include "dag/graph_algo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cloudwf::dag {
+namespace {
+
+// Diamond: a -> {b, c} -> d, with c heavier than b.
+Workflow diamond() {
+  Workflow wf("diamond");
+  const TaskId a = wf.add_task("a", 10);
+  const TaskId b = wf.add_task("b", 5);
+  const TaskId c = wf.add_task("c", 20);
+  const TaskId d = wf.add_task("d", 10);
+  wf.add_edge(a, b);
+  wf.add_edge(a, c);
+  wf.add_edge(b, d);
+  wf.add_edge(c, d);
+  return wf;
+}
+
+ExecTimeFn exec_of(const Workflow& wf) {
+  return [&wf](TaskId t) { return wf.task(t).work; };
+}
+
+CommTimeFn zero_comm() {
+  return [](TaskId, TaskId) { return 0.0; };
+}
+
+TEST(TopologicalOrder, RespectsEdges) {
+  const Workflow wf = diamond();
+  const auto order = topological_order(wf);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : wf.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(TopologicalOrder, DeterministicMinIdTieBreak) {
+  Workflow wf;
+  (void)wf.add_task("a");
+  (void)wf.add_task("b");
+  (void)wf.add_task("c");
+  // No edges: order must be exactly 0,1,2.
+  EXPECT_EQ(topological_order(wf), (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(TaskLevels, LongestPathFromEntry) {
+  const Workflow wf = diamond();
+  const auto levels = task_levels(wf);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(TaskLevels, SkipEdgeDoesNotLowerLevel) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, b);
+  wf.add_edge(b, c);
+  wf.add_edge(a, c);  // skip edge
+  EXPECT_EQ(task_levels(wf)[c], 2);  // longest path wins
+}
+
+TEST(LevelGroups, PartitionsAllTasks) {
+  const Workflow wf = diamond();
+  const auto groups = level_groups(wf);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<TaskId>{0}));
+  EXPECT_EQ(groups[1], (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(groups[2], (std::vector<TaskId>{3}));
+  EXPECT_EQ(max_width(wf), 2u);
+}
+
+TEST(UpwardRank, DiamondValues) {
+  const Workflow wf = diamond();
+  const auto rank = upward_rank(wf, exec_of(wf), zero_comm());
+  EXPECT_DOUBLE_EQ(rank[3], 10.0);           // exit: own exec
+  EXPECT_DOUBLE_EQ(rank[1], 5.0 + 10.0);     // b + d
+  EXPECT_DOUBLE_EQ(rank[2], 20.0 + 10.0);    // c + d
+  EXPECT_DOUBLE_EQ(rank[0], 10.0 + 30.0);    // a + max(b,c) branch
+}
+
+TEST(UpwardRank, CommTimesCount) {
+  const Workflow wf = diamond();
+  const auto rank =
+      upward_rank(wf, exec_of(wf), [](TaskId, TaskId) { return 100.0; });
+  // a -> c -> d with two transfers: 10 + 100 + 20 + 100 + 10.
+  EXPECT_DOUBLE_EQ(rank[0], 240.0);
+}
+
+TEST(DownwardRank, DiamondValues) {
+  const Workflow wf = diamond();
+  const auto rank = downward_rank(wf, exec_of(wf), zero_comm());
+  EXPECT_DOUBLE_EQ(rank[0], 0.0);
+  EXPECT_DOUBLE_EQ(rank[1], 10.0);
+  EXPECT_DOUBLE_EQ(rank[2], 10.0);
+  EXPECT_DOUBLE_EQ(rank[3], 30.0);  // via the heavy branch
+}
+
+TEST(HeftOrder, IsTopologicalAndRankSorted) {
+  const Workflow wf = diamond();
+  const auto order = heft_order(wf, exec_of(wf), zero_comm());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);  // highest rank: entry
+  EXPECT_EQ(order[1], 2u);  // heavy branch before light one
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 3u);
+  // HEFT order must always be a valid topological order.
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : wf.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(CriticalPath, FollowsHeavyBranch) {
+  const Workflow wf = diamond();
+  const auto cp = critical_path(wf, exec_of(wf), zero_comm());
+  EXPECT_EQ(cp, (std::vector<TaskId>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(critical_path_length(wf, exec_of(wf), zero_comm()), 40.0);
+}
+
+TEST(CriticalPath, SingleTask) {
+  Workflow wf;
+  (void)wf.add_task("only", 7);
+  const auto cp = critical_path(wf, exec_of(wf), zero_comm());
+  EXPECT_EQ(cp, (std::vector<TaskId>{0}));
+  EXPECT_DOUBLE_EQ(critical_path_length(wf, exec_of(wf), zero_comm()), 7.0);
+}
+
+TEST(Reachable, TransitiveButNotReverse) {
+  const Workflow wf = diamond();
+  EXPECT_TRUE(reachable(wf, 0, 3));
+  EXPECT_TRUE(reachable(wf, 0, 0));
+  EXPECT_FALSE(reachable(wf, 3, 0));
+  EXPECT_FALSE(reachable(wf, 1, 2));
+}
+
+TEST(TransitivelyRedundantEdges, FindsShortcut) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, b);
+  wf.add_edge(b, c);
+  wf.add_edge(a, c);  // redundant: a->b->c exists
+  const auto redundant = transitively_redundant_edges(wf);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0].from, a);
+  EXPECT_EQ(redundant[0].to, c);
+}
+
+TEST(TransitivelyRedundantEdges, DiamondHasNone) {
+  EXPECT_TRUE(transitively_redundant_edges(diamond()).empty());
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

@@ -1,0 +1,109 @@
+#include "dag/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dag/builders.hpp"
+#include "dag/dot.hpp"
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(WorkflowIo, RoundTripsAllPaperWorkflows) {
+  for (const Workflow& original :
+       {builders::montage24(), builders::cstem(), builders::map_reduce(),
+        builders::sequential_chain()}) {
+    const Workflow parsed = parse_workflow_string(serialize_workflow(original));
+    EXPECT_EQ(parsed.name(), original.name());
+    ASSERT_EQ(parsed.task_count(), original.task_count());
+    ASSERT_EQ(parsed.edge_count(), original.edge_count());
+    for (const Task& t : original.tasks()) {
+      const TaskId pt = parsed.task_by_name(t.name);
+      EXPECT_DOUBLE_EQ(parsed.task(pt).work, t.work);
+    }
+    for (const Edge& e : original.edges()) {
+      EXPECT_TRUE(parsed.has_edge(parsed.task_by_name(original.task(e.from).name),
+                                  parsed.task_by_name(original.task(e.to).name)));
+    }
+  }
+}
+
+TEST(WorkflowIo, PreservesWorksAndData) {
+  Workflow wf("weights");
+  const TaskId a = wf.add_task("a", 123.456, 0.75);
+  const TaskId b = wf.add_task("b", 0.5);
+  wf.add_edge(a, b, 1.25);
+  const Workflow parsed = parse_workflow_string(serialize_workflow(wf));
+  EXPECT_DOUBLE_EQ(parsed.task(0).work, 123.456);
+  EXPECT_DOUBLE_EQ(parsed.task(0).output_data, 0.75);
+  EXPECT_DOUBLE_EQ(parsed.edge_data(0, 1), 1.25);
+}
+
+TEST(WorkflowIo, CommentsAndBlankLinesIgnored) {
+  const Workflow wf = parse_workflow_string(
+      "# a comment\n"
+      "workflow demo\n"
+      "\n"
+      "task a 10\n"
+      "task b 20\n"
+      "  # indented comment\n"
+      "edge a b\n");
+  EXPECT_EQ(wf.task_count(), 2u);
+  EXPECT_EQ(wf.edge_count(), 1u);
+}
+
+TEST(WorkflowIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_workflow_string("workflow x\ntask a 10\nedge a missing\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(WorkflowIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_workflow_string("task a 10\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow x\nbogus line\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow x\ntask a notanumber\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow x\ntask a 10zz\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow x\ntask a -1\n"),
+               std::runtime_error);
+}
+
+TEST(WorkflowIo, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cloudwf_io_test.wf";
+  const Workflow original = builders::cstem();
+  save_workflow(original, path.string());
+  const Workflow loaded = load_workflow(path.string());
+  EXPECT_EQ(loaded.task_count(), original.task_count());
+  EXPECT_EQ(loaded.edge_count(), original.edge_count());
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_workflow(path.string()), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesEdgesAndRanks) {
+  const Workflow wf = builders::map_reduce(2, 1);
+  const std::string dot = to_dot(wf);
+  EXPECT_NE(dot.find("digraph \"mapreduce\""), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(Dot, DataAnnotations) {
+  Workflow wf("d");
+  const TaskId a = wf.add_task("a", 1.0, 2.0);
+  const TaskId b = wf.add_task("b");
+  wf.add_edge(a, b);
+  DotOptions opts;
+  opts.show_data = true;
+  EXPECT_NE(to_dot(wf, opts).find("2GB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

@@ -1,0 +1,163 @@
+#include "dag/nondet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/graph_algo.hpp"
+
+namespace cloudwf::dag::nondet {
+namespace {
+
+TEST(NonDet, TaskLeafUnrollsToSingleTask) {
+  util::Rng rng(1);
+  const Workflow wf = unroll(task("solo", 42.0, 0.5), rng, "leaf");
+  EXPECT_EQ(wf.name(), "leaf");
+  ASSERT_EQ(wf.task_count(), 1u);
+  EXPECT_DOUBLE_EQ(wf.task(0).work, 42.0);
+  EXPECT_DOUBLE_EQ(wf.task(0).output_data, 0.5);
+}
+
+TEST(NonDet, SequenceChains) {
+  util::Rng rng(1);
+  const Workflow wf =
+      unroll(sequence({task("a"), task("b"), task("c")}), rng);
+  EXPECT_EQ(wf.task_count(), 3u);
+  EXPECT_EQ(wf.edge_count(), 2u);
+  EXPECT_EQ(max_width(wf), 1u);
+}
+
+TEST(NonDet, ParallelFansOut) {
+  util::Rng rng(1);
+  const Workflow wf = unroll(
+      sequence({task("in"), parallel({task("p0"), task("p1"), task("p2")}),
+                task("out")}),
+      rng);
+  EXPECT_EQ(wf.task_count(), 5u);
+  EXPECT_EQ(max_width(wf), 3u);
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+  // in -> each parallel -> out.
+  EXPECT_EQ(wf.successors(wf.task_by_name("in")).size(), 3u);
+  EXPECT_EQ(wf.predecessors(wf.task_by_name("out")).size(), 3u);
+}
+
+TEST(NonDet, ChoicePicksExactlyOneBranch) {
+  const NodePtr tree = choice({{1.0, task("left")}, {1.0, task("right")}});
+  std::set<std::string> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    util::Rng rng(seed);
+    const Workflow wf = unroll(tree, rng);
+    ASSERT_EQ(wf.task_count(), 1u);
+    seen.insert(wf.task(0).name);
+  }
+  // Both branches occur over 64 seeds.
+  EXPECT_EQ(seen, (std::set<std::string>{"left", "right"}));
+}
+
+TEST(NonDet, ChoiceWeightsBias) {
+  const NodePtr tree = choice({{99.0, task("hot")}, {1.0, task("cold")}});
+  int hot = 0;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Rng rng(seed);
+    if (unroll(tree, rng).task(0).name == "hot") ++hot;
+  }
+  EXPECT_GT(hot, 450);
+}
+
+TEST(NonDet, LoopRepeatsBodySequentially) {
+  const NodePtr tree = loop(task("iter"), 3, 3);
+  util::Rng rng(7);
+  const Workflow wf = unroll(tree, rng);
+  EXPECT_EQ(wf.task_count(), 3u);
+  EXPECT_EQ(max_width(wf), 1u);  // iterations are sequential
+  // Instances uniquely named.
+  EXPECT_NO_THROW((void)wf.task_by_name("iter"));
+  EXPECT_NO_THROW((void)wf.task_by_name("iter#1"));
+  EXPECT_NO_THROW((void)wf.task_by_name("iter#2"));
+}
+
+TEST(NonDet, LoopCountWithinBounds) {
+  const NodePtr tree = loop(task("t"), 2, 5);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = unroll(tree, rng).task_count();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 5u);
+  }
+}
+
+TEST(NonDet, ZeroIterationLoopVanishesInsideSequence) {
+  const NodePtr tree = sequence({task("a"), loop(task("skip"), 0, 0), task("b")});
+  util::Rng rng(1);
+  const Workflow wf = unroll(tree, rng);
+  EXPECT_EQ(wf.task_count(), 2u);
+  EXPECT_TRUE(wf.has_edge(wf.task_by_name("a"), wf.task_by_name("b")));
+}
+
+TEST(NonDet, EmptyTopLevelYieldsNoopWorkflow) {
+  util::Rng rng(1);
+  const Workflow wf = unroll(loop(task("never"), 0, 0), rng);
+  EXPECT_EQ(wf.task_count(), 1u);
+  EXPECT_EQ(wf.task(0).name, "noop");
+}
+
+TEST(NonDet, NestedConstructsAlwaysValid) {
+  // A representative "runtime-determined" workflow: setup, then a loop over
+  // (choice between a light path and a heavy parallel path), then teardown.
+  const NodePtr tree = sequence(
+      {task("setup", 100.0),
+       loop(choice({{0.7, task("light", 50.0)},
+                    {0.3, sequence({parallel({task("heavy0", 200.0),
+                                              task("heavy1", 220.0)}),
+                                    task("reduce", 80.0)})}}),
+            1, 4),
+       task("teardown", 60.0)});
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    util::Rng rng(seed);
+    const Workflow wf = unroll(tree, rng);
+    EXPECT_NO_THROW(wf.validate());
+    EXPECT_GE(wf.task_count(), 3u);           // setup + >=1 iteration + teardown
+    EXPECT_EQ(wf.entry_tasks().size(), 1u);   // setup
+    EXPECT_EQ(wf.exit_tasks().size(), 1u);    // teardown
+  }
+}
+
+TEST(NonDet, ExpectedTasks) {
+  EXPECT_DOUBLE_EQ(expected_tasks(task("t")), 1.0);
+  EXPECT_DOUBLE_EQ(expected_tasks(sequence({task("a"), task("b")})), 2.0);
+  EXPECT_DOUBLE_EQ(expected_tasks(parallel({task("a"), task("b"), task("c")})),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      expected_tasks(choice({{1.0, task("one")},
+                             {1.0, sequence({task("x"), task("y"), task("z")})}})),
+      2.0);
+  EXPECT_DOUBLE_EQ(expected_tasks(loop(task("t"), 2, 4)), 3.0);
+}
+
+TEST(NonDet, BuilderValidation) {
+  EXPECT_THROW((void)task(""), std::invalid_argument);
+  EXPECT_THROW((void)task("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sequence({}), std::invalid_argument);
+  EXPECT_THROW((void)parallel({}), std::invalid_argument);
+  EXPECT_THROW((void)choice({}), std::invalid_argument);
+  EXPECT_THROW((void)choice({{0.0, task("t")}}), std::invalid_argument);
+  EXPECT_THROW((void)loop(task("t"), 5, 2), std::invalid_argument);
+  EXPECT_THROW((void)loop(nullptr, 0, 1), std::invalid_argument);
+  util::Rng rng(1);
+  EXPECT_THROW((void)unroll(nullptr, rng), std::invalid_argument);
+}
+
+TEST(NonDet, DeterministicPerSeed) {
+  const NodePtr tree =
+      loop(choice({{1.0, task("a")}, {1.0, task("b")}}), 1, 6);
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const Workflow a = unroll(tree, r1);
+  const Workflow b = unroll(tree, r2);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (const Task& t : a.tasks()) EXPECT_EQ(t.name, b.task(t.id).name);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag::nondet

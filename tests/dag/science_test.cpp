@@ -1,0 +1,91 @@
+#include "dag/science.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaptive/features.hpp"
+#include "dag/graph_algo.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::dag::science {
+namespace {
+
+TEST(Epigenomics, PipelineShape) {
+  const Workflow wf = epigenomics(4);
+  EXPECT_EQ(wf.task_count(), 1 + 4 * 4 + 3u);
+  EXPECT_EQ(wf.entry_tasks().size(), 1u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);
+  EXPECT_EQ(max_width(wf), 4u);
+  // Depth: split + 4 pipeline stages + merge + index + pileup = 8 levels.
+  EXPECT_EQ(level_groups(wf).size(), 8u);
+  EXPECT_THROW((void)epigenomics(0), std::invalid_argument);
+}
+
+TEST(Cybershake, WideShallowTwoSinks) {
+  const Workflow wf = cybershake(2, 4);
+  EXPECT_EQ(wf.task_count(), 2 + 2 * 2 * 4 + 2u);
+  EXPECT_EQ(wf.entry_tasks().size(), 2u);   // the ExtractSGT roots
+  EXPECT_EQ(wf.exit_tasks().size(), 2u);    // ZipSeis + ZipPSA
+  EXPECT_EQ(level_groups(wf).size(), 4u);   // extract/synth/peak+zipseis/zippsa
+  EXPECT_EQ(max_width(wf), 9u);  // the 8 PeakValCalc share a level with ZipSeis
+  EXPECT_THROW((void)cybershake(0, 1), std::invalid_argument);
+}
+
+TEST(Ligo, FanInFanOutWaves) {
+  const Workflow wf = ligo(2, 3);
+  // 2*2*3 banks+inspirals + 2 thinca + 2 trigbank + 2*3 inspiral2 + 1.
+  EXPECT_EQ(wf.task_count(), 12 + 2 + 2 + 6 + 1u);
+  EXPECT_EQ(wf.entry_tasks().size(), 6u);   // the TmpltBank tasks
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);    // Thinca2
+  EXPECT_EQ(level_groups(wf).size(), 6u);
+  EXPECT_THROW((void)ligo(1, 0), std::invalid_argument);
+}
+
+TEST(Sipht, WideFirstLevelSequentialTail) {
+  const Workflow wf = sipht(8);
+  EXPECT_EQ(wf.task_count(), 8 + 1 + 4 + 1 + 2 + 1u);
+  // Patsers + the four independent analyses are all entries.
+  EXPECT_EQ(wf.entry_tasks().size(), 12u);
+  EXPECT_EQ(wf.exit_tasks().size(), 1u);  // Annotate
+  // SRNA joins five sources.
+  EXPECT_EQ(wf.predecessors(wf.task_by_name("SRNA")).size(), 5u);
+  // Annotate joins SRNA directly and via the paralogue chain (a skip edge).
+  EXPECT_EQ(wf.predecessors(wf.task_by_name("Annotate")).size(), 2u);
+  EXPECT_THROW((void)sipht(0), std::invalid_argument);
+}
+
+TEST(ScienceSuite, AllStrategiesFeasibleOnAllShapes) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  for (const Workflow& base :
+       {epigenomics(), cybershake(), ligo(), sipht()}) {
+    const Workflow wf = workload::apply_scenario(base, cfg);
+    for (const scheduling::Strategy& s : scheduling::paper_strategies()) {
+      const sim::Schedule schedule = s.scheduler->run(wf, platform);
+      sim::validate_or_throw(wf, schedule, platform);
+    }
+  }
+}
+
+TEST(ScienceSuite, FeatureClassesAreDiverse) {
+  // The suite spans the advisor's feature space — that is its purpose.
+  using adaptive::ParallelismClass;
+  EXPECT_EQ(adaptive::compute_features(cybershake(4, 6)).parallelism,
+            ParallelismClass::much_parallelism);
+  EXPECT_EQ(adaptive::compute_features(epigenomics(2)).parallelism,
+            ParallelismClass::some_parallelism);
+  // SIPHT has a wide level but a long sequential tail.
+  const auto sipht_features = adaptive::compute_features(sipht());
+  EXPECT_GE(sipht_features.max_width, 8u);
+}
+
+TEST(ScienceSuite, ParameterizationScales) {
+  EXPECT_EQ(epigenomics(10).task_count(), 1 + 40 + 3u);
+  EXPECT_EQ(cybershake(3, 5).task_count(), 3 + 30 + 2u);
+  EXPECT_EQ(ligo(4, 2).task_count(), 16 + 4 + 4 + 8 + 1u);
+  EXPECT_EQ(sipht(20).task_count(), 20 + 9u);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag::science

@@ -1,0 +1,126 @@
+#include "dag/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(Workflow, AddTaskAssignsDenseIds) {
+  Workflow wf("w");
+  EXPECT_EQ(wf.add_task("a"), 0u);
+  EXPECT_EQ(wf.add_task("b"), 1u);
+  EXPECT_EQ(wf.task_count(), 2u);
+  EXPECT_EQ(wf.task(0).name, "a");
+  EXPECT_EQ(wf.task(1).name, "b");
+}
+
+TEST(Workflow, RejectsBadTasks) {
+  Workflow wf;
+  EXPECT_THROW((void)wf.add_task(""), std::invalid_argument);
+  EXPECT_THROW((void)wf.add_task("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)wf.add_task("x", -1.0), std::invalid_argument);
+  EXPECT_THROW((void)wf.add_task("x", 1.0, -0.5), std::invalid_argument);
+  (void)wf.add_task("x");
+  EXPECT_THROW((void)wf.add_task("x"), std::invalid_argument);  // duplicate name
+}
+
+TEST(Workflow, EdgesMaintainAdjacency) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, b);
+  wf.add_edge(a, c);
+  wf.add_edge(b, c);
+  EXPECT_EQ(wf.edge_count(), 3u);
+  EXPECT_EQ(wf.successors(a).size(), 2u);
+  EXPECT_EQ(wf.predecessors(c).size(), 2u);
+  EXPECT_TRUE(wf.has_edge(a, b));
+  EXPECT_FALSE(wf.has_edge(b, a));
+}
+
+TEST(Workflow, RejectsSelfLoopDuplicateAndCycle) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  EXPECT_THROW(wf.add_edge(a, a), std::invalid_argument);
+  wf.add_edge(a, b);
+  EXPECT_THROW(wf.add_edge(a, b), std::invalid_argument);
+  EXPECT_THROW(wf.add_edge(b, a), std::invalid_argument);  // would create a cycle
+}
+
+TEST(Workflow, DetectsLongerCycles) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, b);
+  wf.add_edge(b, c);
+  EXPECT_THROW(wf.add_edge(c, a), std::invalid_argument);
+  EXPECT_TRUE(wf.is_acyclic());
+}
+
+TEST(Workflow, BackwardIdEdgesAllowedWhenAcyclic) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  wf.add_edge(b, a);  // higher id -> lower id, still a DAG
+  EXPECT_TRUE(wf.is_acyclic());
+  EXPECT_THROW(wf.add_edge(a, b), std::invalid_argument);  // now cyclic
+}
+
+TEST(Workflow, EdgeDataInheritsProducerOutput) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a", 1.0, /*output_data=*/2.5);
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, b);             // inherits 2.5 GB
+  wf.add_edge(a, c, 0.25);       // explicit override
+  EXPECT_DOUBLE_EQ(wf.edge_data(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(wf.edge_data(a, c), 0.25);
+  EXPECT_THROW((void)wf.edge_data(b, c), std::out_of_range);
+}
+
+TEST(Workflow, EntryAndExitTasks) {
+  Workflow wf;
+  const TaskId a = wf.add_task("a");
+  const TaskId b = wf.add_task("b");
+  const TaskId c = wf.add_task("c");
+  wf.add_edge(a, c);
+  wf.add_edge(b, c);
+  EXPECT_EQ(wf.entry_tasks(), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(wf.exit_tasks(), (std::vector<TaskId>{c}));
+}
+
+TEST(Workflow, TaskByName) {
+  Workflow wf;
+  (void)wf.add_task("alpha");
+  const TaskId beta = wf.add_task("beta");
+  EXPECT_EQ(wf.task_by_name("beta"), beta);
+  EXPECT_THROW((void)wf.task_by_name("gamma"), std::out_of_range);
+}
+
+TEST(Workflow, TotalWork) {
+  Workflow wf;
+  (void)wf.add_task("a", 10.0);
+  (void)wf.add_task("b", 32.0);
+  EXPECT_DOUBLE_EQ(wf.total_work(), 42.0);
+}
+
+TEST(Workflow, ValidateRejectsEmpty) {
+  Workflow wf;
+  EXPECT_THROW(wf.validate(), std::logic_error);
+  (void)wf.add_task("a");
+  EXPECT_NO_THROW(wf.validate());
+}
+
+TEST(Workflow, OutOfRangeIdsThrow) {
+  Workflow wf;
+  (void)wf.add_task("a");
+  EXPECT_THROW((void)wf.task(5), std::out_of_range);
+  EXPECT_THROW((void)wf.successors(5), std::out_of_range);
+  EXPECT_THROW(wf.add_edge(0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

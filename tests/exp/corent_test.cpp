@@ -1,0 +1,85 @@
+#include "exp/corent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+TEST(CoRent, ReimbursementFormula) {
+  // One small VM, 1000 s busy of a 1-BTU session: 2600 s idle.
+  dag::Workflow wf("c");
+  (void)wf.add_task("t", 1000.0);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  sim::Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 1000.0);
+
+  CoRentModel model;
+  model.spot_price_fraction = 0.5;
+  model.occupancy = 1.0;
+  // idle = 2600 s = 2600/3600 BTU at $0.08, half price.
+  const util::Money r = corent_reimbursement(s, platform, model);
+  EXPECT_EQ(r, util::Money::from_dollars(0.08).scaled(2600.0 / 3600.0 * 0.5));
+}
+
+TEST(CoRent, ZeroIdleZeroReimbursement) {
+  dag::Workflow wf("z");
+  (void)wf.add_task("t", 3600.0);  // exactly one BTU: no idle
+  const cloud::Platform platform = cloud::Platform::ec2();
+  sim::Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 3600.0);
+  EXPECT_EQ(corent_reimbursement(s, platform), util::Money{});
+}
+
+TEST(CoRent, RejectsBadFractions) {
+  dag::Workflow wf("b");
+  (void)wf.add_task("t", 10.0);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  sim::Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 10.0);
+  CoRentModel bad;
+  bad.spot_price_fraction = 1.5;
+  EXPECT_THROW((void)corent_reimbursement(s, platform, bad),
+               std::invalid_argument);
+  bad = CoRentModel{};
+  bad.occupancy = -0.1;
+  EXPECT_THROW((void)corent_reimbursement(s, platform, bad),
+               std::invalid_argument);
+}
+
+TEST(CoRent, StudyCoversAllStrategiesWithSaneEconomics) {
+  const ExperimentRunner runner;
+  const auto rows = corent_study(runner, paper_workflows()[0]);  // montage
+  ASSERT_EQ(rows.size(), 19u);
+  for (const CoRentResult& r : rows) {
+    EXPECT_GT(r.gross_cost, util::Money{}) << r.strategy;
+    EXPECT_GE(r.reimbursement, util::Money{}) << r.strategy;
+    EXPECT_LE(r.net_cost, r.gross_cost) << r.strategy;
+    EXPECT_GE(r.reimbursed_share, 0.0);
+    EXPECT_LT(r.reimbursed_share, 1.0) << r.strategy;
+  }
+  EXPECT_EQ(corent_table(rows).rows(), rows.size());
+}
+
+TEST(CoRent, IdleHeavyStrategiesRecoverTheMostMoney) {
+  // The paper's remark targets OneVMperTask/Gain/CPA-Eager: their large
+  // idle times should translate into the largest reimbursements.
+  const ExperimentRunner runner;
+  const auto rows = corent_study(runner, paper_workflows()[0]);
+  util::Money best_reimb;
+  std::string best;
+  for (const CoRentResult& r : rows) {
+    if (r.reimbursement > best_reimb) {
+      best_reimb = r.reimbursement;
+      best = r.strategy;
+    }
+  }
+  const bool family = best.rfind("OneVMperTask", 0) == 0 || best == "GAIN" ||
+                      best == "CPA-Eager";
+  EXPECT_TRUE(family) << best;
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

@@ -1,0 +1,84 @@
+#include "exp/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+namespace nd = dag::nondet;
+
+nd::NodePtr demo_tree() {
+  return nd::sequence(
+      {nd::task("setup", 300.0),
+       nd::loop(nd::choice({{0.6, nd::task("light", 400.0)},
+                            {0.4, nd::parallel({nd::task("heavy0", 900.0),
+                                                nd::task("heavy1", 1100.0)})}}),
+                1, 3),
+       nd::task("teardown", 200.0)});
+}
+
+TEST(Ensemble, StatsCoverRequestedInstances) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const EnsembleStats stats = ensemble_study(
+      demo_tree(), scheduling::reference_strategy(), platform, 20);
+  EXPECT_EQ(stats.strategy, "OneVMperTask-s");
+  EXPECT_EQ(stats.instances, 20u);
+  EXPECT_EQ(stats.makespan.count, 20u);
+  EXPECT_GT(stats.makespan.mean, 0.0);
+  EXPECT_GT(stats.cost_dollars.mean, 0.0);
+  // Instance sizes vary (loop count and branch arity are random).
+  EXPECT_GT(stats.tasks.max, stats.tasks.min);
+}
+
+TEST(Ensemble, DeterministicPerSeed) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const scheduling::Strategy strat =
+      scheduling::strategy_by_label("AllParExceed-s");
+  const EnsembleStats a = ensemble_study(demo_tree(), strat, platform, 10, 99);
+  const EnsembleStats b = ensemble_study(demo_tree(), strat, platform, 10, 99);
+  EXPECT_DOUBLE_EQ(a.makespan.mean, b.makespan.mean);
+  EXPECT_DOUBLE_EQ(a.cost_dollars.mean, b.cost_dollars.mean);
+
+  const EnsembleStats c = ensemble_study(demo_tree(), strat, platform, 10, 100);
+  EXPECT_NE(a.makespan.mean, c.makespan.mean);
+}
+
+TEST(Ensemble, StrategiesSeeIdenticalInstances) {
+  // Same seed => identical instance stream, so the task-count distribution
+  // is the same for every strategy.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const EnsembleStats a = ensemble_study(
+      demo_tree(), scheduling::strategy_by_label("OneVMperTask-s"), platform, 15);
+  const EnsembleStats b = ensemble_study(
+      demo_tree(), scheduling::strategy_by_label("StartParExceed-s"), platform, 15);
+  EXPECT_DOUBLE_EQ(a.tasks.mean, b.tasks.mean);
+  EXPECT_DOUBLE_EQ(a.tasks.min, b.tasks.min);
+  EXPECT_DOUBLE_EQ(a.tasks.max, b.tasks.max);
+}
+
+TEST(Ensemble, ZeroInstancesRejected) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  EXPECT_THROW((void)ensemble_study(demo_tree(),
+                                    scheduling::reference_strategy(), platform, 0),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, AllStrategiesSweepAndRender) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const auto rows = ensemble_study_all(demo_tree(), platform, 5);
+  EXPECT_EQ(rows.size(), 19u);
+  EXPECT_EQ(ensemble_table(rows).rows(), 19u);
+  // The single-VM packers should be the cheapest on this small ensemble.
+  double min_cost = rows.front().cost_dollars.mean;
+  std::string cheapest = rows.front().strategy;
+  for (const EnsembleStats& r : rows) {
+    if (r.cost_dollars.mean < min_cost) {
+      min_cost = r.cost_dollars.mean;
+      cheapest = r.strategy;
+    }
+  }
+  EXPECT_NE(cheapest.rfind("OneVMperTask", 0), 0u) << cheapest;
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

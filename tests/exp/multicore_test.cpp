@@ -1,0 +1,65 @@
+#include "exp/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+const ExperimentRunner& runner() {
+  static const ExperimentRunner r;
+  return r;
+}
+
+sim::Schedule allpar_schedule(const dag::Workflow& structure,
+                              workload::ScenarioKind kind) {
+  const dag::Workflow wf = runner().materialize(structure, kind);
+  return scheduling::strategy_by_label("AllParExceed-s")
+      .scheduler->run(wf, runner().platform());
+}
+
+TEST(Multicore, LaneAccountingConserved) {
+  const sim::Schedule s =
+      allpar_schedule(paper_workflows()[0], workload::ScenarioKind::pareto);
+  const MulticoreComparison cmp =
+      multicore_comparison(s, runner().platform());
+  EXPECT_EQ(cmp.lanes, s.pool().used_count());
+  EXPECT_GE(cmp.lanes, cmp.machines);
+  EXPECT_GT(cmp.machines, 0u);
+}
+
+TEST(Multicore, PaperClaimHoldsInTheBestCase) {
+  // Synchronized equal parallel tasks: packing lanes onto multicore
+  // machines changes neither cost nor makespan (makespan untouched by
+  // construction), exactly the Sect. III-A claim.
+  for (const dag::Workflow& base : paper_workflows()) {
+    const sim::Schedule s =
+        allpar_schedule(base, workload::ScenarioKind::best_case);
+    const MulticoreComparison cmp =
+        multicore_comparison(s, runner().platform());
+    EXPECT_EQ(cmp.multicore_cost, cmp.per_task_cost) << base.name();
+  }
+}
+
+TEST(Multicore, IdleIsTheQuantityThatMoves) {
+  // With heterogeneous (Pareto) tasks, packing changes the global idle
+  // accounting while cost stays within one machine-BTU bundle of the
+  // per-task billing.
+  const sim::Schedule s =
+      allpar_schedule(paper_workflows()[0], workload::ScenarioKind::pareto);
+  const MulticoreComparison cmp =
+      multicore_comparison(s, runner().platform());
+  // Cost drift bounded (few extra/fewer BTU bundles at $0.08 each x lanes).
+  const double drift = std::abs(
+      (cmp.multicore_cost - cmp.per_task_cost).dollars());
+  EXPECT_LE(drift, 0.08 * 4 * static_cast<double>(cmp.machines));
+  EXPECT_GE(cmp.multicore_idle, 0.0);
+  EXPECT_GE(cmp.per_task_idle, 0.0);
+}
+
+TEST(Multicore, ClaimTableRendersAllCells) {
+  const util::TextTable t = multicore_claim_table(runner());
+  EXPECT_EQ(t.rows(), 12u);  // 4 workflows x 3 scenarios
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

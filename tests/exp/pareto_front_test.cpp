@@ -1,0 +1,85 @@
+#include "exp/pareto_front.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+RunResult make_result(std::string label, double makespan, double cost) {
+  RunResult r;
+  r.strategy = std::move(label);
+  r.metrics.makespan = makespan;
+  r.metrics.total_cost = util::Money::from_dollars(cost);
+  return r;
+}
+
+TEST(ParetoFront, DominanceDetection) {
+  const std::vector<RunResult> results = {
+      make_result("fast-expensive", 100, 10.0),
+      make_result("slow-cheap", 1000, 1.0),
+      make_result("dominated", 1100, 2.0),   // slower and pricier than slow-cheap
+      make_result("balanced", 500, 3.0),
+  };
+  const auto points = pareto_front(results);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_FALSE(points[0].dominated);
+  EXPECT_FALSE(points[1].dominated);
+  EXPECT_TRUE(points[2].dominated);
+  EXPECT_EQ(points[2].dominated_by, "slow-cheap");
+  EXPECT_FALSE(points[3].dominated);
+}
+
+TEST(ParetoFront, EqualPointsDoNotDominateEachOther) {
+  const std::vector<RunResult> results = {make_result("a", 100, 1.0),
+                                          make_result("b", 100, 1.0)};
+  const auto points = pareto_front(results);
+  EXPECT_FALSE(points[0].dominated);
+  EXPECT_FALSE(points[1].dominated);
+}
+
+TEST(ParetoFront, TieOnOneAxisStrictOnOther) {
+  // Same makespan, cheaper: dominates.
+  const std::vector<RunResult> results = {make_result("pricier", 100, 2.0),
+                                          make_result("cheaper", 100, 1.0)};
+  const auto points = pareto_front(results);
+  EXPECT_TRUE(points[0].dominated);
+  EXPECT_FALSE(points[1].dominated);
+}
+
+TEST(ParetoFront, UndominatedSortedByMakespan) {
+  const std::vector<RunResult> results = {
+      make_result("c", 900, 1.0), make_result("a", 100, 9.0),
+      make_result("b", 500, 5.0), make_result("junk", 950, 8.0)};
+  const auto front = undominated(pareto_front(results));
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].strategy, "a");
+  EXPECT_EQ(front[1].strategy, "b");
+  EXPECT_EQ(front[2].strategy, "c");
+}
+
+TEST(ParetoFront, RealGridFrontIsMonotone) {
+  // On the actual montage results, walking the front by increasing makespan
+  // must strictly decrease cost (the defining property of a 2-D front).
+  const ExperimentRunner runner;
+  const auto results =
+      runner.run_all(paper_workflows()[0], workload::ScenarioKind::pareto);
+  const auto front = undominated(pareto_front(results));
+  ASSERT_GE(front.size(), 2u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].makespan, front[i - 1].makespan);
+    if (util::time_gt(front[i].makespan, front[i - 1].makespan)) {
+      // Strictly slower must be strictly cheaper...
+      EXPECT_LT(front[i].cost, front[i - 1].cost);
+    } else {
+      // ...while exact duplicates (equal on both axes) may coexist.
+      EXPECT_EQ(front[i].cost, front[i - 1].cost);
+    }
+  }
+  // The reference can never be on the front while AllParExceed-s both
+  // saves money and (weakly) beats its makespan... at minimum: the most
+  // expensive strategy on the front must be the fastest.
+  EXPECT_EQ(pareto_front_table(pareto_front(results)).rows(), results.size());
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

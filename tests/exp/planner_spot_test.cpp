@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "exp/planner.hpp"
+#include "exp/spot_study.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+const ExperimentRunner& runner() {
+  static const ExperimentRunner r;
+  return r;
+}
+
+TEST(Planner, DeadlineOnlyPicksCheapestMeetingIt) {
+  // Generous deadline: everything qualifies, cheapest overall wins.
+  PlanConstraints loose;
+  loose.deadline = 1e9;
+  loose.include_baselines = false;
+  const PlanOutcome outcome = plan(runner(), paper_workflows()[0], loose);
+  EXPECT_TRUE(outcome.feasible);
+  for (const RunResult& r : outcome.evaluated)
+    EXPECT_LE(outcome.metrics.total_cost, r.metrics.total_cost) << r.strategy;
+}
+
+TEST(Planner, BudgetOnlyPicksFastestWithinIt) {
+  PlanConstraints c;
+  c.budget = util::Money::from_dollars(1.0);
+  c.include_baselines = false;
+  const PlanOutcome outcome = plan(runner(), paper_workflows()[0], c);
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_LE(outcome.metrics.total_cost, *c.budget);
+  for (const RunResult& r : outcome.evaluated) {
+    if (r.metrics.total_cost <= *c.budget) {
+      EXPECT_LE(outcome.metrics.makespan, r.metrics.makespan + 1e-6)
+          << r.strategy;
+    }
+  }
+}
+
+TEST(Planner, BothConstraintsRespected) {
+  PlanConstraints c;
+  c.budget = util::Money::from_dollars(2.0);
+  c.deadline = 8000.0;
+  const PlanOutcome outcome = plan(runner(), paper_workflows()[0], c);
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_LE(outcome.metrics.total_cost, *c.budget);
+  EXPECT_LE(outcome.metrics.makespan, *c.deadline + 1e-6);
+}
+
+TEST(Planner, ImpossibleConstraintsReportInfeasible) {
+  PlanConstraints c;
+  c.deadline = 1.0;  // nothing finishes montage in a second
+  const PlanOutcome outcome = plan(runner(), paper_workflows()[0], c);
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_FALSE(outcome.strategy.empty());  // best effort still named
+  // The best-effort pick is the fastest available.
+  for (const RunResult& r : outcome.evaluated)
+    EXPECT_LE(outcome.metrics.makespan, r.metrics.makespan + 1e-6);
+}
+
+TEST(Planner, NoConstraintsGivesBalancedPick) {
+  PlanConstraints c;
+  c.include_baselines = false;
+  const PlanOutcome outcome = plan(runner(), paper_workflows()[1], c);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_EQ(plan_table(outcome, c).rows(), outcome.evaluated.size());
+}
+
+TEST(Planner, BaselinesWidenThePortfolio) {
+  PlanConstraints with;
+  with.deadline = 1e9;
+  PlanConstraints without = with;
+  without.include_baselines = false;
+  const PlanOutcome a = plan(runner(), paper_workflows()[3], with);
+  const PlanOutcome b = plan(runner(), paper_workflows()[3], without);
+  EXPECT_GT(a.evaluated.size(), b.evaluated.size());
+  EXPECT_EQ(b.evaluated.size(), 19u);
+}
+
+TEST(SpotStudy, CoversPortfolioWithSaneEconomics) {
+  const auto rows = spot_study(runner(), paper_workflows()[1]);  // cstem
+  ASSERT_EQ(rows.size(), 19u);
+  for (const SpotStudyRow& r : rows) {
+    EXPECT_GT(r.on_demand_cost, util::Money{}) << r.strategy;
+    EXPECT_GT(r.spot_cost, util::Money{}) << r.strategy;
+    // Spot clears well below on-demand on average.
+    EXPECT_GT(r.savings_pct, 0.0) << r.strategy;
+    EXPECT_GE(r.evictions_expected, 0.0);
+    EXPECT_GE(r.makespan_spot, r.makespan_clean - 1e-6) << r.strategy;
+  }
+  EXPECT_EQ(spot_study_table(rows).rows(), rows.size());
+}
+
+TEST(SpotStudy, HigherBidReducesEvictions) {
+  SpotStudyConfig low;
+  low.bid_fraction = 0.30;
+  low.replay_reps = 2;
+  SpotStudyConfig high = low;
+  high.bid_fraction = 1.2;
+
+  const auto rows_low = spot_study(runner(), paper_workflows()[1], low);
+  const auto rows_high = spot_study(runner(), paper_workflows()[1], high);
+  double ev_low = 0;
+  double ev_high = 0;
+  for (std::size_t i = 0; i < rows_low.size(); ++i) {
+    ev_low += rows_low[i].evictions_expected;
+    ev_high += rows_high[i].evictions_expected;
+  }
+  EXPECT_GT(ev_low, ev_high);
+}
+
+TEST(SpotStudy, RejectsBadBid) {
+  SpotStudyConfig bad;
+  bad.bid_fraction = 0.0;
+  EXPECT_THROW((void)spot_study(runner(), paper_workflows()[1], bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

@@ -1,0 +1,58 @@
+#include "exp/region_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+TEST(RegionAdvisor, SweepsAllSevenRegionsSortedByCost) {
+  const auto choices = region_sweep(paper_workflows()[1],  // cstem
+                                    "AllParExceed-s");
+  ASSERT_EQ(choices.size(), 7u);
+  for (std::size_t i = 1; i < choices.size(); ++i)
+    EXPECT_LE(choices[i - 1].cost, choices[i].cost);
+  EXPECT_EQ(region_sweep_table(choices).rows(), 7u);
+}
+
+TEST(RegionAdvisor, CheapestIsATableTwoFloorRegion) {
+  // Virginia and Oregon share the lowest on-demand prices; one of them
+  // must win (single-region runs have no egress to tip the scale).
+  const RegionChoice best =
+      cheapest_region(paper_workflows()[0], "AllParExceed-s");
+  EXPECT_TRUE(best.region_name == "US East Virginia" ||
+              best.region_name == "US West Oregon")
+      << best.region_name;
+}
+
+TEST(RegionAdvisor, SaoPaoloPremiumMatchesTableTwo) {
+  // Sao Paolo's small price is 0.115 vs Virginia's 0.08: +43.75 % on a
+  // single-size schedule.
+  const auto choices = region_sweep(paper_workflows()[3],  // sequential
+                                    "StartParExceed-s");
+  const RegionChoice& cheapest = choices.front();
+  const RegionChoice* sao = nullptr;
+  for (const RegionChoice& c : choices)
+    if (c.region_name == "SA Sao Paolo") sao = &c;
+  ASSERT_NE(sao, nullptr);
+  const double premium =
+      static_cast<double>((sao->cost - cheapest.cost).micros()) /
+      static_cast<double>(cheapest.cost.micros());
+  EXPECT_NEAR(premium, 0.4375, 1e-9);
+}
+
+TEST(RegionAdvisor, MakespanIsRegionIndependent) {
+  // Prices differ; compute does not (same instance speed-ups everywhere).
+  const auto choices = region_sweep(paper_workflows()[2],  // mapreduce
+                                    "AllParNotExceed-m");
+  for (const RegionChoice& c : choices)
+    EXPECT_NEAR(c.makespan, choices.front().makespan, 1e-6) << c.region_name;
+}
+
+TEST(RegionAdvisor, WorksForBaselineLabels) {
+  EXPECT_NO_THROW((void)cheapest_region(paper_workflows()[3], "PCH-s"));
+  EXPECT_THROW((void)cheapest_region(paper_workflows()[3], "NotAStrategy"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

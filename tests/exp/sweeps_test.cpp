@@ -1,0 +1,49 @@
+#include "exp/sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::exp {
+namespace {
+
+TEST(SizeSweep, CoversRequestedSizes) {
+  const auto points = montage_size_sweep({4, 6, 10});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].tasks, 17u);
+  EXPECT_EQ(points[1].tasks, 24u);
+  EXPECT_EQ(points[2].tasks, 38u);
+  EXPECT_EQ(size_sweep_table(points).rows(), 3u);
+}
+
+TEST(SizeSweep, StableGainPersistsAcrossSizes) {
+  // The Table IV stable-gain claim holds as Montage grows: medium-instance
+  // AllPar gain pinned near 1 - 1/1.6 = 37.5 % at every size.
+  for (const SizeSweepPoint& p : montage_size_sweep({4, 10, 24})) {
+    EXPECT_NEAR(p.allpar_m_gain, 37.5, 3.0) << p.projections;
+    EXPECT_GT(p.lns_savings, 30.0) << p.projections;
+  }
+}
+
+TEST(HeterogeneitySweep, CvFallsAsAlphaRises) {
+  const auto points = heterogeneity_sweep({1.3, 2.0, 4.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].exec_cv, points[1].exec_cv);
+  EXPECT_GT(points[1].exec_cv, points[2].exec_cv);
+  EXPECT_EQ(heterogeneity_table(points).rows(), 3u);
+}
+
+TEST(HeterogeneitySweep, TableFiveQualifierMeasured) {
+  // StartParNotExceed-m does better on heterogeneous runtimes — its gain at
+  // alpha 1.2 must exceed its gain at alpha 4 substantially.
+  const auto points = heterogeneity_sweep({1.2, 4.0});
+  EXPECT_GT(points[0].startpar_m_gain, points[1].startpar_m_gain + 20.0);
+  // While the AllPar gain barely moves.
+  EXPECT_NEAR(points[0].allpar_m_gain, points[1].allpar_m_gain, 5.0);
+}
+
+TEST(HeterogeneitySweep, RejectsBadAlpha) {
+  EXPECT_THROW((void)heterogeneity_sweep({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)heterogeneity_sweep({0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "exp/fig4.hpp"
+#include "exp/fig5.hpp"
+#include "exp/table3.hpp"
+#include "exp/table4.hpp"
+#include "exp/table5.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+const ExperimentRunner& shared_runner() {
+  static const ExperimentRunner runner;
+  return runner;
+}
+
+TEST(Fig4, PanelCoversAllStrategiesAndScenarios) {
+  const Fig4Panel panel = fig4_panel(shared_runner(), paper_workflows()[3]);
+  EXPECT_EQ(panel.workflow, "sequential");
+  EXPECT_EQ(panel.points.size(), 19u * 3u);
+  const util::TextTable t = fig4_table(panel);
+  EXPECT_EQ(t.rows(), panel.points.size());
+  EXPECT_NE(fig4_gnuplot(panel).find("OneVMperTask-s"), std::string::npos);
+}
+
+TEST(Fig4, TargetSquarePredicate) {
+  Fig4Point in{.strategy = "x", .gain_pct = 10, .loss_pct = -10};
+  Fig4Point out_gain{.strategy = "x", .gain_pct = -1, .loss_pct = -10};
+  Fig4Point out_loss{.strategy = "x", .gain_pct = 10, .loss_pct = 10};
+  EXPECT_TRUE(in.in_target_square());
+  EXPECT_FALSE(out_gain.in_target_square());
+  EXPECT_FALSE(out_loss.in_target_square());
+}
+
+TEST(Fig5, BarsInLegendOrderWithNonNegativeIdle) {
+  const Fig5Panel panel = fig5_panel(shared_runner(), paper_workflows()[1]);
+  ASSERT_EQ(panel.bars.size(), 19u);
+  const auto labels = scheduling::paper_strategy_labels();
+  for (std::size_t i = 0; i < panel.bars.size(); ++i) {
+    EXPECT_EQ(panel.bars[i].strategy, labels[i]);
+    EXPECT_GE(panel.bars[i].idle_time, 0.0);
+  }
+  EXPECT_EQ(fig5_table(panel).rows(), 19u);
+}
+
+TEST(Table3, ClassifierRespectsDefinitions) {
+  RunResult savings_side;
+  savings_side.strategy = "A";
+  savings_side.relative = {.gain_pct = 5, .loss_pct = -40};  // savings 40
+  RunResult gain_side;
+  gain_side.strategy = "B";
+  gain_side.relative = {.gain_pct = 40, .loss_pct = -5};
+  RunResult balanced;
+  balanced.strategy = "C";
+  balanced.relative = {.gain_pct = 20, .loss_pct = -21};
+  RunResult outside;
+  outside.strategy = "D";
+  outside.relative = {.gain_pct = -30, .loss_pct = 10};
+
+  const Table3Cell cell =
+      classify_table3({savings_side, gain_side, balanced, outside});
+  EXPECT_EQ(cell.savings_dominant, std::vector<std::string>{"A"});
+  EXPECT_EQ(cell.gain_dominant, std::vector<std::string>{"B"});
+  EXPECT_EQ(cell.balanced, std::vector<std::string>{"C"});
+}
+
+TEST(Table3, ZeroBoundaryLandsInBalanced) {
+  RunResult zero;
+  zero.strategy = "Z";
+  zero.relative = {.gain_pct = 0, .loss_pct = 0};
+  const Table3Cell cell = classify_table3({zero});
+  EXPECT_EQ(cell.balanced, std::vector<std::string>{"Z"});
+}
+
+TEST(Table3, PaperCellMemberships) {
+  // Direct membership checks against the published Table III (Pareto rows).
+  const auto contains = [](const std::vector<std::string>& xs,
+                           const char* label) {
+    for (const std::string& x : xs)
+      if (x == label) return true;
+    return false;
+  };
+
+  // Montage / Pareto: AllPar[Not]Exceed-s and AllPar1LnS(Dyn) in the
+  // savings-dominant column (paper row 1).
+  const Table3Cell montage = classify_table3(shared_runner().run_all(
+      paper_workflows()[0], workload::ScenarioKind::pareto));
+  EXPECT_TRUE(contains(montage.savings_dominant, "AllParExceed-s"));
+  EXPECT_TRUE(contains(montage.savings_dominant, "AllParNotExceed-s"));
+  EXPECT_TRUE(contains(montage.savings_dominant, "AllPar1LnS"));
+  EXPECT_TRUE(contains(montage.savings_dominant, "AllPar1LnSDyn"));
+  // OneVMperTask-l never enters the target square.
+  EXPECT_FALSE(contains(montage.savings_dominant, "OneVMperTask-l"));
+  EXPECT_FALSE(contains(montage.gain_dominant, "OneVMperTask-l"));
+  EXPECT_FALSE(contains(montage.balanced, "OneVMperTask-l"));
+
+  // CSTEM / Pareto: AllParNotExceed-m in the gain-leaning columns (the
+  // paper lists it under gain).
+  const Table3Cell cstem = classify_table3(shared_runner().run_all(
+      paper_workflows()[1], workload::ScenarioKind::pareto));
+  EXPECT_TRUE(contains(cstem.gain_dominant, "AllParNotExceed-m") ||
+              contains(cstem.balanced, "AllParNotExceed-m"));
+
+  // Worst case: the degenerate "= 0" strategies sit in the balanced column
+  // (the paper's third column lists exactly those).
+  const Table3Cell worst = classify_table3(shared_runner().run_all(
+      paper_workflows()[0], workload::ScenarioKind::worst_case));
+  EXPECT_TRUE(contains(worst.balanced, "StartParNotExceed-s"));
+  EXPECT_TRUE(contains(worst.balanced, "AllParNotExceed-s"));
+  EXPECT_TRUE(contains(worst.balanced, "OneVMperTask-s"));
+  EXPECT_TRUE(worst.savings_dominant.empty() ||
+              !contains(worst.savings_dominant, "StartParNotExceed-s"));
+}
+
+TEST(Table3, FullGridHasTwelveCells) {
+  const auto cells = table3_all(shared_runner());
+  EXPECT_EQ(cells.size(), 12u);  // 3 scenarios x 4 workflows
+  EXPECT_EQ(table3_render(cells).rows(), 12u);
+}
+
+TEST(Table4, RowsCoverSmallMediumLarge) {
+  const auto rows = table4_all(shared_runner());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size, cloud::InstanceSize::small);
+  EXPECT_EQ(rows[2].size, cloud::InstanceSize::large);
+  for (const Table4Row& row : rows) {
+    EXPECT_EQ(row.per_workflow.size(), 4u);
+    EXPECT_LE(row.envelope.lo, row.envelope.hi);
+    EXPECT_LE(row.gain_lo, row.gain_hi);
+    for (const auto& [wf, iv] : row.per_workflow) {
+      EXPECT_LE(iv.lo, iv.hi) << wf;
+      EXPECT_LE(row.envelope.lo, iv.lo) << wf;
+      EXPECT_GE(row.envelope.hi, iv.hi) << wf;
+    }
+  }
+  EXPECT_EQ(table4_render(rows).rows(), 3u);
+}
+
+TEST(Table4, LargerInstancesCostMore) {
+  // The paper's Table IV: the max-loss envelope grows with instance size
+  // (small can only save; large inflicts up to ~166% loss).
+  const auto rows = table4_all(shared_runner());
+  EXPECT_LT(rows[0].envelope.hi, rows[2].envelope.hi);
+  EXPECT_LE(rows[0].envelope.hi, 1.0);  // small never loses (<= ~0%)
+}
+
+TEST(Table5, PicksWinnersPerObjective) {
+  const auto rows = table5_all(shared_runner());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Table5Row& r : rows) {
+    EXPECT_FALSE(r.best_savings.empty());
+    EXPECT_FALSE(r.best_gain.empty());
+    EXPECT_FALSE(r.best_balance.empty());
+    // The gain winner can't have less gain than the balance winner's floor.
+    EXPECT_GE(r.best_gain_value, r.best_balance_value - 1e-9);
+  }
+  EXPECT_EQ(table5_render(rows).rows(), 4u);
+}
+
+TEST(Table5, EmptyInputYieldsEmptyRow) {
+  const Table5Row row = table5_row({});
+  EXPECT_TRUE(row.best_savings.empty());
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

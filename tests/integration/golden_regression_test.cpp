@@ -1,0 +1,72 @@
+// Golden regression: the montage/Pareto Fig. 4 points under the default
+// seed, locked to two decimals. Everything in the pipeline — the Pareto
+// sampler, the workflow builders, each scheduler's tie-breaking, the BTU
+// session billing — feeds these numbers, so any unintended behavioural
+// change anywhere trips this test. Update the table ONLY for deliberate,
+// documented modelling changes.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+struct Golden {
+  const char* strategy;
+  double gain_pct;
+  double loss_pct;
+};
+
+// Default seed 0x1db2013, montage, Pareto scenario.
+constexpr Golden kMontagePareto[] = {
+    {"StartParNotExceed-s", -25.53, -12.50},
+    {"StartParExceed-s", -150.31, -58.33},
+    {"AllParExceed-s", 0.87, -37.50},
+    {"AllParNotExceed-s", 0.56, -45.83},
+    {"OneVMperTask-s", 0.00, 0.00},
+    {"StartParNotExceed-m", -0.99, 50.00},
+    {"StartParExceed-m", -56.48, -33.33},
+    {"AllParExceed-m", 38.04, -16.67},
+    {"AllParNotExceed-m", 37.97, -16.67},
+    {"OneVMperTask-m", 37.17, 100.00},
+    {"StartParNotExceed-l", 9.32, 150.00},
+    {"StartParExceed-l", -19.19, 16.67},
+    {"AllParExceed-l", 52.79, 50.00},
+    {"AllParNotExceed-l", 52.79, 50.00},
+    {"OneVMperTask-l", 52.71, 300.00},
+    {"CPA-Eager", 44.21, 100.00},
+    {"GAIN", 52.71, 300.00},
+    {"AllPar1LnS", 0.46, -54.17},
+    {"AllPar1LnSDyn", 0.46, -54.17},
+};
+
+TEST(GoldenRegression, MontageParetoFig4Points) {
+  const ExperimentRunner runner;
+  const auto results = runner.run_all(paper_workflows()[0],
+                                      workload::ScenarioKind::pareto);
+  ASSERT_EQ(results.size(), std::size(kMontagePareto));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].strategy, kMontagePareto[i].strategy);
+    EXPECT_NEAR(results[i].relative.gain_pct, kMontagePareto[i].gain_pct, 0.01)
+        << results[i].strategy;
+    EXPECT_NEAR(results[i].relative.loss_pct, kMontagePareto[i].loss_pct, 0.01)
+        << results[i].strategy;
+  }
+}
+
+TEST(GoldenRegression, ReferenceAbsolutes) {
+  // The reference schedule's absolute numbers (montage, Pareto, default
+  // seed): 24 tasks on 24 small VMs.
+  const ExperimentRunner runner;
+  const RunResult ref = runner.run_one(scheduling::reference_strategy(),
+                                       paper_workflows()[0],
+                                       workload::ScenarioKind::pareto);
+  EXPECT_EQ(ref.metrics.vms_used, 24u);
+  EXPECT_EQ(ref.metrics.total_btus, 24);
+  EXPECT_EQ(ref.metrics.total_cost, util::Money::from_dollars(1.92));
+  EXPECT_NEAR(ref.metrics.makespan, 6010.34, 0.01);
+  EXPECT_NEAR(ref.metrics.total_idle, 67880.6, 0.1);
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

@@ -1,0 +1,80 @@
+// VM-count matrix regression: the number of VMs each provisioning policy
+// rents on each paper workflow is a direct readout of the policy semantics
+// (entry-task renting, BTU-boundary renting, level-parallel renting). This
+// table-driven suite locks the whole matrix for the boundary scenarios,
+// where the counts are analytically derivable:
+//
+//  - best case (equal tasks, everything fits one BTU):
+//      OneVMperTask -> one per task;
+//      StartPar*    -> one per entry task;
+//      AllPar*      -> max level width (levels reuse the same lanes);
+//  - worst case (every task exceeds a BTU on any instance):
+//      *NotExceed and OneVMperTask -> one per task;
+//      StartParExceed -> one per entry task;
+//      AllParExceed   -> max level width.
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/graph_algo.hpp"
+#include "scheduling/factory.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf {
+namespace {
+
+struct Expectation {
+  const char* provisioning;
+  enum Rule { per_task, per_entry, level_width } best_case, worst_case;
+};
+
+constexpr Expectation kMatrix[] = {
+    {"OneVMperTask", Expectation::per_task, Expectation::per_task},
+    {"StartParNotExceed", Expectation::per_entry, Expectation::per_task},
+    {"StartParExceed", Expectation::per_entry, Expectation::per_entry},
+    {"AllParNotExceed", Expectation::level_width, Expectation::per_task},
+    {"AllParExceed", Expectation::level_width, Expectation::level_width},
+};
+
+std::size_t expected_count(Expectation::Rule rule, const dag::Workflow& wf) {
+  switch (rule) {
+    case Expectation::per_task:
+      return wf.task_count();
+    case Expectation::per_entry:
+      return wf.entry_tasks().size();
+    case Expectation::level_width:
+      return dag::max_width(wf);
+  }
+  return 0;
+}
+
+class VmCountMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmCountMatrix, BoundaryScenarioCountsAreAnalytic) {
+  const std::array<dag::Workflow, 4> workflows = {
+      dag::builders::montage24(), dag::builders::cstem(),
+      dag::builders::map_reduce(), dag::builders::sequential_chain()};
+  const dag::Workflow& base = workflows[static_cast<std::size_t>(GetParam())];
+  const cloud::Platform platform = cloud::Platform::ec2();
+
+  for (const Expectation& e : kMatrix) {
+    for (const auto& [kind, rule] :
+         {std::pair{workload::ScenarioKind::best_case, e.best_case},
+          std::pair{workload::ScenarioKind::worst_case, e.worst_case}}) {
+      workload::ScenarioConfig cfg;
+      cfg.kind = kind;
+      const dag::Workflow wf = workload::apply_scenario(base, cfg);
+      const std::string label = std::string(e.provisioning) + "-s";
+      const sim::Schedule s =
+          scheduling::strategy_by_label(label).scheduler->run(wf, platform);
+      EXPECT_EQ(s.pool().size(), expected_count(rule, wf))
+          << label << " on " << wf.name() << " ("
+          << workload::name_of(kind) << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkflows, VmCountMatrix,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace cloudwf

@@ -1,0 +1,112 @@
+// Direct tests for PlacementContext's arithmetic (est_on, est_on_new,
+// vm_hosts_level_of, largest_predecessor) — the shared substrate every
+// scheduler builds on.
+#include <gtest/gtest.h>
+
+#include "provisioning/policy.hpp"
+
+namespace cloudwf::provisioning {
+namespace {
+
+using cloud::InstanceSize;
+
+struct Fixture {
+  dag::Workflow wf{"ctx"};
+  cloud::Platform platform = cloud::Platform::ec2();
+  dag::TaskId a, b, c;
+
+  Fixture() {
+    a = wf.add_task("a", 1000.0, /*output GB=*/1.0);
+    b = wf.add_task("b", 500.0);
+    c = wf.add_task("c", 250.0);
+    wf.add_edge(a, b);
+    wf.add_edge(a, c);
+  }
+};
+
+TEST(PlacementContext, EstOnSameVmHasNoTransfer) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId vm = schedule.rent(InstanceSize::small, 0);
+  schedule.assign(f.a, vm, 0.0, 1000.0);
+  // b on the producer's VM: ready exactly at a's finish.
+  EXPECT_DOUBLE_EQ(ctx.est_on(f.b, schedule.pool().vm(vm)), 1000.0);
+}
+
+TEST(PlacementContext, EstOnOtherVmAddsTransfer) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId v0 = schedule.rent(InstanceSize::small, 0);
+  const cloud::VmId v1 = schedule.rent(InstanceSize::small, 0);
+  schedule.assign(f.a, v0, 0.0, 1000.0);
+  // 1 GB over 0.125 GB/s + intra-region latency.
+  const util::Seconds expected =
+      1000.0 + 1.0 / 0.125 + f.platform.transfer().intra_region_latency;
+  EXPECT_DOUBLE_EQ(ctx.est_on(f.b, schedule.pool().vm(v1)), expected);
+}
+
+TEST(PlacementContext, EstOnNewMatchesFreshVm) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId v0 = schedule.rent(InstanceSize::small, 0);
+  schedule.assign(f.a, v0, 0.0, 1000.0);
+  const util::Seconds est_new = ctx.est_on_new(f.b);
+  const cloud::VmId v1 = schedule.rent(InstanceSize::small, 0);
+  EXPECT_DOUBLE_EQ(est_new, ctx.est_on(f.b, schedule.pool().vm(v1)));
+}
+
+TEST(PlacementContext, EstRespectsVmAvailability) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId v0 = schedule.rent(InstanceSize::small, 0);
+  const cloud::VmId v1 = schedule.rent(InstanceSize::small, 0);
+  schedule.assign(f.a, v0, 0.0, 1000.0);
+  // Occupy v1 until 3250 s; b's data is ready long before, so its est on v1
+  // is availability-bound.
+  schedule.assign(f.c, v1, 3000.0, 3250.0);
+  const util::Seconds est = ctx.est_on(f.b, schedule.pool().vm(v1));
+  EXPECT_DOUBLE_EQ(est, 3250.0);
+}
+
+TEST(PlacementContext, EstThrowsOnUnassignedPredecessor) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId v0 = schedule.rent(InstanceSize::small, 0);
+  EXPECT_THROW((void)ctx.est_on(f.b, schedule.pool().vm(v0)), std::logic_error);
+}
+
+TEST(PlacementContext, VmHostsLevelOf) {
+  Fixture f;
+  sim::Schedule schedule(f.wf);
+  PlacementContext ctx(f.wf, schedule, f.platform, InstanceSize::small);
+  const cloud::VmId v0 = schedule.rent(InstanceSize::small, 0);
+  schedule.assign(f.a, v0, 0.0, 1000.0);
+  schedule.assign(f.b, v0, 1000.0, 1500.0);
+  const cloud::Vm& vm = schedule.pool().vm(v0);
+  // b and c share level 1: the VM hosts c's level (via b).
+  EXPECT_TRUE(ctx.vm_hosts_level_of(vm, f.c));
+  // a is alone at level 0; a fresh VM hosts neither level.
+  const cloud::VmId v1 = schedule.rent(InstanceSize::small, 0);
+  EXPECT_FALSE(ctx.vm_hosts_level_of(schedule.pool().vm(v1), f.c));
+}
+
+TEST(PlacementContext, LargestPredecessorTieBreaksOnLowerId) {
+  dag::Workflow wf("tie");
+  const dag::TaskId p1 = wf.add_task("p1", 100.0);
+  const dag::TaskId p2 = wf.add_task("p2", 100.0);
+  const dag::TaskId t = wf.add_task("t", 1.0);
+  wf.add_edge(p1, t);
+  wf.add_edge(p2, t);
+  sim::Schedule schedule(wf);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  PlacementContext ctx(wf, schedule, platform, InstanceSize::small);
+  EXPECT_EQ(ctx.largest_predecessor(t), p1);
+}
+
+}  // namespace
+}  // namespace cloudwf::provisioning

@@ -1,0 +1,174 @@
+#include "provisioning/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/scheduler.hpp"
+
+namespace cloudwf::provisioning {
+namespace {
+
+using cloud::InstanceSize;
+using dag::TaskId;
+
+struct Fixture {
+  cloud::Platform platform = cloud::Platform::ec2();
+
+  // Places tasks in topological id order through the given policy.
+  sim::Schedule drive(const dag::Workflow& wf, ProvisioningKind kind,
+                      InstanceSize size = InstanceSize::small) {
+    sim::Schedule schedule(wf);
+    PlacementContext ctx(wf, schedule, platform, size);
+    const auto policy = make_policy(kind);
+    for (TaskId t = 0; t < wf.task_count(); ++t)
+      scheduling::place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+    return schedule;
+  }
+};
+
+// fan: entry -> {p0, p1, p2} -> join; id order is topological.
+dag::Workflow fan3(double par_work = 600.0) {
+  dag::Workflow wf("fan3");
+  const TaskId entry = wf.add_task("entry", 300.0);
+  for (int i = 0; i < 3; ++i) {
+    const TaskId p = wf.add_task("p" + std::to_string(i), par_work);
+    wf.add_edge(entry, p);
+  }
+  const TaskId join = wf.add_task("join", 300.0);
+  for (TaskId p = 1; p <= 3; ++p) wf.add_edge(p, join);
+  return wf;
+}
+
+TEST(PlacementContext, LevelsAndParallelism) {
+  const dag::Workflow wf = fan3();
+  sim::Schedule schedule(wf);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const PlacementContext ctx(wf, schedule, platform, InstanceSize::small);
+  EXPECT_FALSE(ctx.is_parallel_task(0));  // entry alone in level 0
+  EXPECT_TRUE(ctx.is_parallel_task(1));
+  EXPECT_TRUE(ctx.is_parallel_task(3));
+  EXPECT_FALSE(ctx.is_parallel_task(4));  // join alone
+}
+
+TEST(PlacementContext, LargestPredecessor) {
+  dag::Workflow wf;
+  const TaskId a = wf.add_task("a", 10.0);
+  const TaskId b = wf.add_task("b", 99.0);
+  const TaskId c = wf.add_task("c", 1.0);
+  wf.add_edge(a, c);
+  wf.add_edge(b, c);
+  sim::Schedule schedule(wf);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const PlacementContext ctx(wf, schedule, platform, InstanceSize::small);
+  EXPECT_EQ(ctx.largest_predecessor(c), b);
+  EXPECT_FALSE(ctx.largest_predecessor(a).has_value());
+}
+
+TEST(OneVmPerTask, OneVmForEveryTask) {
+  Fixture f;
+  const dag::Workflow wf = fan3();
+  const sim::Schedule s = f.drive(wf, ProvisioningKind::one_vm_per_task);
+  EXPECT_EQ(s.pool().size(), wf.task_count());
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_EQ(s.assignment(t).vm, t);  // rented in placement order
+}
+
+TEST(StartParExceed, SingleEntryMeansSingleVm) {
+  // "a particular case of StartParExceed in which all tasks of a workflow
+  // with a single initial task are scheduled on the same VM" (Sect. IV-B).
+  Fixture f;
+  const dag::Workflow wf = fan3();
+  const sim::Schedule s = f.drive(wf, ProvisioningKind::start_par_exceed);
+  EXPECT_EQ(s.pool().size(), 1u);
+  for (TaskId t = 0; t < wf.task_count(); ++t) EXPECT_EQ(s.assignment(t).vm, 0u);
+}
+
+TEST(StartParExceed, OneVmPerEntryTask) {
+  Fixture f;
+  dag::Workflow wf("multi-entry");
+  (void)wf.add_task("e0", 100.0);
+  (void)wf.add_task("e1", 100.0);
+  const TaskId join = wf.add_task("join", 100.0);
+  wf.add_edge(0, join);
+  wf.add_edge(1, join);
+  const sim::Schedule s = f.drive(wf, ProvisioningKind::start_par_exceed);
+  EXPECT_EQ(s.pool().size(), 2u);
+  EXPECT_NE(s.assignment(0).vm, s.assignment(1).vm);
+}
+
+TEST(StartParNotExceed, RentsWhenBtuWouldGrow) {
+  Fixture f;
+  // Entry 2000 s + parallel 2000 s each: reusing the entry VM crosses the
+  // 3600 s BTU boundary, so every reuse attempt rents instead.
+  dag::Workflow wf("btu");
+  const TaskId entry = wf.add_task("entry", 2000.0);
+  const TaskId p0 = wf.add_task("p0", 2000.0);
+  const TaskId p1 = wf.add_task("p1", 1000.0);
+  wf.add_edge(entry, p0);
+  wf.add_edge(entry, p1);
+  const sim::Schedule s = f.drive(wf, ProvisioningKind::start_par_not_exceed);
+  // p0 (2000 s) exceeds: new VM. p1 (1000 s): 2000+1000 < 3600 fits on the
+  // entry VM... but p0's VM now has the largest busy time (2000 vs 2000 on
+  // entry VM; tie resolves to the lower id = entry VM), and 3000 <= 3600.
+  EXPECT_EQ(s.assignment(p0).vm, 1u);
+  EXPECT_EQ(s.assignment(p1).vm, 0u);
+  EXPECT_EQ(s.pool().size(), 2u);
+
+  const sim::Schedule exceed = f.drive(wf, ProvisioningKind::start_par_exceed);
+  EXPECT_EQ(exceed.pool().size(), 1u);  // Exceed never rents beyond entries
+}
+
+TEST(AllPar, ParallelTasksNeverShareAVmWithinALevel) {
+  Fixture f;
+  const dag::Workflow wf = fan3();
+  for (ProvisioningKind kind :
+       {ProvisioningKind::all_par_not_exceed, ProvisioningKind::all_par_exceed}) {
+    const sim::Schedule s = f.drive(wf, kind);
+    EXPECT_NE(s.assignment(1).vm, s.assignment(2).vm);
+    EXPECT_NE(s.assignment(1).vm, s.assignment(3).vm);
+    EXPECT_NE(s.assignment(2).vm, s.assignment(3).vm);
+  }
+}
+
+TEST(AllParExceed, ReusesAcrossLevelsWithoutRenting) {
+  Fixture f;
+  const dag::Workflow wf = fan3();
+  const sim::Schedule s = f.drive(wf, ProvisioningKind::all_par_exceed);
+  // entry VM + 2 extra VMs for the 3-wide level; join reuses.
+  EXPECT_EQ(s.pool().size(), 3u);
+  // One parallel task lands on the entry's VM (its largest predecessor).
+  EXPECT_EQ(s.assignment(1).vm, s.assignment(0).vm);
+}
+
+TEST(AllParNotExceed, EqualsExceedWhenEverythingFitsOneBtu) {
+  Fixture f;
+  const dag::Workflow wf = fan3(100.0);  // tiny tasks: BTU never grows
+  const sim::Schedule a = f.drive(wf, ProvisioningKind::all_par_not_exceed);
+  const sim::Schedule b = f.drive(wf, ProvisioningKind::all_par_exceed);
+  ASSERT_EQ(a.pool().size(), b.pool().size());
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_EQ(a.assignment(t).vm, b.assignment(t).vm);
+}
+
+TEST(AllParNotExceed, RentsRatherThanGrowingReusedBtu) {
+  Fixture f;
+  // Entry 3000 s; parallel tasks 3000 s each: reusing any VM would add a
+  // BTU, so each parallel task gets a fresh VM; so does the join.
+  const dag::Workflow wf = fan3(3000.0);
+  dag::Workflow wf2 = wf;
+  wf2.task(0).work = 3000.0;
+  wf2.task(4).work = 3000.0;
+  const sim::Schedule s = f.drive(wf2, ProvisioningKind::all_par_not_exceed);
+  EXPECT_EQ(s.pool().size(), 5u);
+}
+
+TEST(MakePolicy, NamesMatchKinds) {
+  for (int k = 0; k < 5; ++k) {
+    const auto kind = static_cast<ProvisioningKind>(k);
+    EXPECT_EQ(make_policy(kind)->kind(), kind);
+    EXPECT_EQ(make_policy(kind)->name(), name_of(kind));
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::provisioning

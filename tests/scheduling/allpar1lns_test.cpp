@@ -1,0 +1,166 @@
+#include "scheduling/allpar1lns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/allpar1lns_dyn.hpp"
+#include "scheduling/level_scheduler.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(BuildLevelChains, LongestTaskIsAlone) {
+  dag::Workflow wf;
+  (void)wf.add_task("long", 100.0);
+  (void)wf.add_task("s1", 40.0);
+  (void)wf.add_task("s2", 35.0);
+  (void)wf.add_task("s3", 30.0);
+  const LevelChains chains = build_level_chains(wf, {0, 1, 2, 3});
+  ASSERT_GE(chains.chains.size(), 2u);
+  EXPECT_EQ(chains.chains[0], (std::vector<dag::TaskId>{0}));
+}
+
+TEST(BuildLevelChains, ChainsNeverExceedLongestTask) {
+  dag::Workflow wf;
+  std::vector<dag::TaskId> level;
+  level.push_back(wf.add_task("long", 100.0));
+  for (int i = 0; i < 8; ++i)
+    level.push_back(wf.add_task("s" + std::to_string(i), 30.0));
+  const LevelChains chains = build_level_chains(wf, level);
+  for (std::size_t c = 1; c < chains.chains.size(); ++c) {
+    double total = 0;
+    for (dag::TaskId t : chains.chains[c]) total += wf.task(t).work;
+    EXPECT_LE(total, 100.0 + 1e-9);
+  }
+  // FFD packs 8 x 30 into bins of 100: 3+3+2 = 3 chains + the long task.
+  EXPECT_EQ(chains.chains.size(), 4u);
+}
+
+TEST(BuildLevelChains, CoversEveryTaskExactlyOnce) {
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  std::vector<dag::TaskId> level;
+  for (dag::TaskId t = 6; t < 15; ++t) level.push_back(t);  // the 9 mDiffFit
+  const LevelChains chains = build_level_chains(wf, level);
+  std::vector<int> seen(wf.task_count(), 0);
+  for (const auto& chain : chains.chains)
+    for (dag::TaskId t : chain) ++seen[t];
+  for (dag::TaskId t = 6; t < 15; ++t) EXPECT_EQ(seen[t], 1) << t;
+}
+
+TEST(BuildLevelChains, SingletonAndEmptyLevels) {
+  dag::Workflow wf;
+  (void)wf.add_task("only", 10.0);
+  const LevelChains one = build_level_chains(wf, {0});
+  ASSERT_EQ(one.chains.size(), 1u);
+  EXPECT_TRUE(build_level_chains(wf, {}).chains.empty());
+}
+
+TEST(AllParOneLnS, FeasibleOnAllPaperWorkflowsAndScenarios) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const AllParOneLnSScheduler sched;
+  EXPECT_EQ(sched.name(), "AllPar1LnS");
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      workload::ScenarioConfig cfg;
+      cfg.kind = kind;
+      const dag::Workflow wf = workload::apply_scenario(base, cfg);
+      sim::validate_or_throw(wf, sched.run(wf, platform), platform);
+    }
+  }
+}
+
+// Sequentializing short tasks must never need more VMs than giving every
+// parallel task its own VM.
+TEST(AllParOneLnS, UsesAtMostAllParNotExceedVms) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::map_reduce()}) {
+    const dag::Workflow wf = pareto(base);
+    const std::size_t lns_vms =
+        AllParOneLnSScheduler().run(wf, platform).pool().size();
+    const std::size_t apne_vms =
+        LevelScheduler(provisioning::ProvisioningKind::all_par_not_exceed,
+                       InstanceSize::small)
+            .run(wf, platform)
+            .pool()
+            .size();
+    EXPECT_LE(lns_vms, apne_vms) << wf.name();
+  }
+}
+
+TEST(AllParOneLnSDyn, FeasibleAndWithinLevelBudgets) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const AllParOneLnSDynScheduler sched;
+  EXPECT_EQ(sched.name(), "AllPar1LnSDyn");
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = pareto(base);
+    const sim::Schedule s = sched.run(wf, platform);
+    sim::validate_or_throw(wf, s, platform);
+  }
+}
+
+TEST(AllParOneLnSDyn, NeverSlowerThanPlainLnS) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::map_reduce()}) {
+    const dag::Workflow wf = pareto(base);
+    const util::Seconds dyn =
+        AllParOneLnSDynScheduler().run(wf, platform).makespan();
+    const util::Seconds plain = AllParOneLnSScheduler().run(wf, platform).makespan();
+    EXPECT_LE(dyn, plain + 1e-6) << wf.name();
+  }
+}
+
+TEST(EscalateLevelSizes, UpgradesLongTaskWhenBtusShrink) {
+  // One long task (7200 s small = 2 BTUs, $0.16 budget). Medium: 4500 s = 2
+  // BTUs at $0.32 > budget, so it must stay small.
+  dag::Workflow wf;
+  (void)wf.add_task("long", 7200.0);
+  LevelChains chains;
+  chains.chains = {{0}};
+  const auto sizes =
+      escalate_level_sizes(wf, chains, cloud::ec2_regions()[0]);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], InstanceSize::small);
+}
+
+TEST(EscalateLevelSizes, BudgetFromParallelSlackFundsUpgrades) {
+  // Level: long 3600 s + three 3000 s tasks. AllParNotExceed budget: 4 small
+  // BTUs = $0.32. LnS chains: {long}, {3000}, {3000}, {3000} (none pack).
+  // Upgrading the long task to medium (2250 s, $0.16 level total = 0.16*?)
+  // keeps cost under budget, then the 3000 s chains dictate and get pushed.
+  dag::Workflow wf;
+  (void)wf.add_task("long", 3600.0);
+  (void)wf.add_task("a", 3000.0);
+  (void)wf.add_task("b", 3000.0);
+  (void)wf.add_task("c", 3000.0);
+  LevelChains chains;
+  chains.chains = {{0}, {1}, {2}, {3}};
+  const auto sizes = escalate_level_sizes(wf, chains, cloud::ec2_regions()[0]);
+  ASSERT_EQ(sizes.size(), 4u);
+  // The escalation must stay within the $0.32 budget.
+  util::Money cost;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const double work = wf.task(static_cast<dag::TaskId>(c)).work;
+    cost += cloud::rental_cost(cloud::exec_time(work, sizes[c]), sizes[c],
+                               cloud::ec2_regions()[0]);
+  }
+  EXPECT_LE(cost, util::Money::from_dollars(0.32));
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

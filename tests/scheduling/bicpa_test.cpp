@@ -1,0 +1,124 @@
+#include "scheduling/bicpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(FixedPool, FeasibleAndUsesAtMostPoolSize) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  for (std::size_t k : {1u, 2u, 4u, 9u}) {
+    const sim::Schedule s =
+        schedule_on_fixed_pool(wf, platform, k, InstanceSize::small);
+    sim::validate_or_throw(wf, s, platform);
+    EXPECT_EQ(s.pool().size(), k);
+  }
+  EXPECT_THROW(
+      (void)schedule_on_fixed_pool(wf, platform, 0, InstanceSize::small),
+      std::invalid_argument);
+}
+
+TEST(FixedPool, MoreVmsNeverHurtMakespanMuch) {
+  // Earliest-EFT on k VMs: makespan is non-increasing in k up to transfer
+  // noise (a larger pool can add transfers, so allow a small slack).
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce());
+  util::Seconds prev = 0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const util::Seconds ms =
+        schedule_on_fixed_pool(wf, platform, k, InstanceSize::small).makespan();
+    if (k > 1) {
+      EXPECT_LE(ms, prev * 1.05) << "pool " << k;
+    }
+    prev = ms;
+  }
+}
+
+TEST(AllocationCurve, CoversOneToWidth) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const auto curve = allocation_curve(wf, platform, InstanceSize::small);
+  ASSERT_EQ(curve.size(), 9u);  // montage max width
+  EXPECT_EQ(curve.front().pool_size, 1u);
+  EXPECT_EQ(curve.back().pool_size, 9u);
+  // Single-VM point: the whole workflow serialized, cheapest in BTUs.
+  for (const AllocationPoint& p : curve) {
+    EXPECT_GT(p.makespan, 0.0);
+    EXPECT_GT(p.cost, util::Money{});
+  }
+  // The CPA trade-off: the widest pool is faster than the single VM.
+  EXPECT_LT(curve.back().makespan, curve.front().makespan);
+}
+
+TEST(AllocationCurve, LimitParameter) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce());
+  EXPECT_EQ(allocation_curve(wf, platform, InstanceSize::small, 3).size(), 3u);
+}
+
+TEST(BiCpa, BudgetObjectiveRespectsBudget) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const auto curve = allocation_curve(wf, platform, InstanceSize::small);
+
+  const BiCpaScheduler sched(BiCpaScheduler::Objective::budget, 2.0);
+  EXPECT_EQ(sched.name(), "biCPA-budget-s");
+  const sim::Schedule s = sched.run(wf, platform);
+  sim::validate_or_throw(wf, s, platform);
+  const sim::ScheduleMetrics m = sim::compute_metrics(wf, s, platform);
+  EXPECT_LE(m.total_cost, curve.front().cost.scaled(2.0));
+  // And it must be at least as fast as the single-VM allocation.
+  EXPECT_LE(m.makespan, curve.front().makespan + 1e-6);
+}
+
+TEST(BiCpa, DeadlineObjectiveMinimizesCostWithinDeadline) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce());
+  const auto curve = allocation_curve(wf, platform, InstanceSize::small);
+  util::Seconds best = curve.front().makespan;
+  for (const AllocationPoint& p : curve) best = std::min(best, p.makespan);
+
+  const BiCpaScheduler sched(BiCpaScheduler::Objective::deadline, 1.5);
+  const sim::Schedule s = sched.run(wf, platform);
+  sim::validate_or_throw(wf, s, platform);
+  EXPECT_LE(s.makespan(), 1.5 * best + 1e-6);
+
+  // A looser deadline can only cost the same or less.
+  const BiCpaScheduler loose(BiCpaScheduler::Objective::deadline, 3.0);
+  const sim::ScheduleMetrics tight_m =
+      sim::compute_metrics(wf, s, platform);
+  const sim::ScheduleMetrics loose_m =
+      sim::compute_metrics(wf, loose.run(wf, platform), platform);
+  EXPECT_LE(loose_m.total_cost, tight_m.total_cost);
+}
+
+TEST(BiCpa, SequentialChainAllocatesOneVm) {
+  // A chain gains nothing from parallel VMs: both objectives pick pool 1.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::sequential_chain());
+  for (BiCpaScheduler::Objective obj :
+       {BiCpaScheduler::Objective::budget, BiCpaScheduler::Objective::deadline}) {
+    const sim::Schedule s = BiCpaScheduler(obj, 2.0).run(wf, platform);
+    EXPECT_EQ(s.pool().size(), 1u);
+  }
+}
+
+TEST(BiCpa, RejectsBadBound) {
+  EXPECT_THROW(BiCpaScheduler(BiCpaScheduler::Objective::budget, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,122 @@
+#include "scheduling/custom_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(GenericListScheduler, Validation) {
+  EXPECT_THROW(
+      GenericListScheduler("", [] { return nullptr; },
+                           OrderingFamily::priority_ranking, InstanceSize::small),
+      std::invalid_argument);
+  EXPECT_THROW(GenericListScheduler("x", nullptr,
+                                    OrderingFamily::priority_ranking,
+                                    InstanceSize::small),
+               std::invalid_argument);
+}
+
+TEST(GenericListScheduler, NullFactoryResultCaughtAtRun) {
+  const GenericListScheduler sched("null", [] { return nullptr; },
+                                   OrderingFamily::priority_ranking,
+                                   InstanceSize::small);
+  EXPECT_THROW((void)sched.run(pareto(dag::builders::cstem()),
+                               cloud::Platform::ec2()),
+               std::logic_error);
+}
+
+TEST(GenericListScheduler, ReproducesBuiltinsWhenGivenBuiltinPolicies) {
+  // Driving the built-in policies through the generic skeleton must yield
+  // the same schedules as the dedicated HeftScheduler/LevelScheduler —
+  // proof that the extension API really is the paper's Table I seam.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+
+  const GenericListScheduler generic_heft(
+      "generic", [] {
+        return provisioning::make_policy(
+            provisioning::ProvisioningKind::start_par_not_exceed);
+      },
+      OrderingFamily::priority_ranking, InstanceSize::small);
+  const sim::Schedule a = generic_heft.run(wf, platform);
+  const sim::Schedule b = scheduling::strategy_by_label("StartParNotExceed-s")
+                              .scheduler->run(wf, platform);
+  for (const dag::Task& t : wf.tasks()) {
+    EXPECT_EQ(a.assignment(t.id).vm, b.assignment(t.id).vm) << t.name;
+    EXPECT_NEAR(a.assignment(t.id).start, b.assignment(t.id).start, 1e-9);
+  }
+
+  const GenericListScheduler generic_level(
+      "generic-level", [] {
+        return provisioning::make_policy(
+            provisioning::ProvisioningKind::all_par_exceed);
+      },
+      OrderingFamily::level_ranking, InstanceSize::small);
+  const sim::Schedule c = generic_level.run(wf, platform);
+  const sim::Schedule d =
+      scheduling::strategy_by_label("AllParExceed-s").scheduler->run(wf, platform);
+  EXPECT_NEAR(c.makespan(), d.makespan(), 1e-9);
+}
+
+TEST(BestFitReuse, FeasibleOnAllPaperWorkflows) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const Strategy strategy = best_fit_strategy(InstanceSize::small);
+  EXPECT_EQ(strategy.label, "BestFit-s");
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = pareto(base);
+    const sim::Schedule s = strategy.scheduler->run(wf, platform);
+    sim::validate_or_throw(wf, s, platform);
+  }
+}
+
+TEST(BestFitReuse, NeverGrowsAReusedBtu) {
+  // The policy's contract: every reuse fits inside already-paid BTUs, so
+  // total BTUs == what renting fresh VMs for the non-fitting tasks needs —
+  // cost can never exceed OneVMperTask's.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const sim::Schedule best_fit =
+      best_fit_strategy(InstanceSize::small).scheduler->run(wf, platform);
+  const sim::Schedule one_per_task =
+      scheduling::reference_strategy().scheduler->run(wf, platform);
+  EXPECT_LE(sim::compute_metrics(wf, best_fit, platform).total_cost,
+            sim::compute_metrics(wf, one_per_task, platform).total_cost);
+}
+
+TEST(BestFitReuse, PicksTheTightestFit) {
+  // Entry task fills 3000 s of VM0's BTU. Two successors: a 500 s task and
+  // a 550 s one. HEFT schedules the longer first; it fits VM0's remaining
+  // 600 s headroom snugly (leftover 50 s). The 500 s task then cannot fit
+  // (would grow the BTU) and rents VM1.
+  dag::Workflow wf("fit");
+  const dag::TaskId a = wf.add_task("a", 3000.0);
+  const dag::TaskId b = wf.add_task("b", 500.0);
+  const dag::TaskId c = wf.add_task("c", 550.0);
+  wf.add_edge(a, b);
+  wf.add_edge(a, c);
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const sim::Schedule s =
+      best_fit_strategy(InstanceSize::small).scheduler->run(wf, platform);
+  EXPECT_EQ(s.assignment(c).vm, s.assignment(a).vm);  // 550 s takes the slot
+  EXPECT_NE(s.assignment(b).vm, s.assignment(a).vm);  // 500 s must rent
+  EXPECT_EQ(s.pool().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,74 @@
+#include "scheduling/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/builders.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+TEST(Factory, NineteenLegendEntries) {
+  const auto strategies = paper_strategies();
+  EXPECT_EQ(strategies.size(), 19u);  // the Fig. 4 legend
+
+  std::set<std::string> labels;
+  for (const Strategy& s : strategies) labels.insert(s.label);
+  EXPECT_EQ(labels.size(), 19u);  // all distinct
+
+  // The fifteen homogeneous series.
+  for (const char* prov : {"OneVMperTask", "StartParNotExceed", "StartParExceed",
+                           "AllParExceed", "AllParNotExceed"}) {
+    for (const char* sfx : {"s", "m", "l"}) {
+      EXPECT_TRUE(labels.contains(std::string(prov) + "-" + sfx))
+          << prov << "-" << sfx;
+    }
+  }
+  // The four dynamic ones.
+  for (const char* dyn : {"CPA-Eager", "GAIN", "AllPar1LnS", "AllPar1LnSDyn"})
+    EXPECT_TRUE(labels.contains(dyn)) << dyn;
+}
+
+TEST(Factory, ReferenceIsOneVmPerTaskSmall) {
+  const Strategy ref = reference_strategy();
+  EXPECT_EQ(ref.label, "OneVMperTask-s");
+  EXPECT_EQ(ref.scheduler->name(), "HEFT+OneVMperTask-s");
+}
+
+TEST(Factory, LabelsRoundTripThroughStrategyByLabel) {
+  for (const std::string& label : paper_strategy_labels()) {
+    const Strategy s = strategy_by_label(label);
+    EXPECT_EQ(s.label, label);
+    ASSERT_NE(s.scheduler, nullptr);
+  }
+}
+
+TEST(Factory, XlargeAccepted) {
+  const Strategy s = strategy_by_label("OneVMperTask-xl");
+  EXPECT_EQ(s.scheduler->name(), "HEFT+OneVMperTask-xl");
+}
+
+TEST(Factory, UnknownLabelsRejected) {
+  EXPECT_THROW((void)strategy_by_label("NotAStrategy-s"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_by_label("OneVMperTask"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_by_label("OneVMperTask-q"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_by_label(""), std::invalid_argument);
+}
+
+TEST(Factory, EveryStrategyProducesAFeasibleSchedule) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  const dag::Workflow wf =
+      workload::apply_scenario(dag::builders::montage24(), cfg);
+  for (const Strategy& s : paper_strategies()) {
+    const sim::Schedule schedule = s.scheduler->run(wf, platform);
+    EXPECT_TRUE(schedule.complete()) << s.label;
+    sim::validate_or_throw(wf, schedule, platform);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,116 @@
+#include "scheduling/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+using provisioning::ProvisioningKind;
+
+dag::Workflow pareto_montage() {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(dag::builders::montage24(), cfg);
+}
+
+TEST(Heft, RejectsAllParProvisionings) {
+  EXPECT_THROW(
+      HeftScheduler(ProvisioningKind::all_par_exceed, InstanceSize::small),
+      std::invalid_argument);
+  EXPECT_THROW(
+      HeftScheduler(ProvisioningKind::all_par_not_exceed, InstanceSize::small),
+      std::invalid_argument);
+}
+
+TEST(Heft, Name) {
+  const HeftScheduler h(ProvisioningKind::start_par_not_exceed,
+                        InstanceSize::medium);
+  EXPECT_EQ(h.name(), "HEFT+StartParNotExceed-m");
+}
+
+TEST(Heft, ProducesFeasibleSchedulesOnAllPaperWorkflows) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    workload::ScenarioConfig cfg;
+    const dag::Workflow wf = workload::apply_scenario(base, cfg);
+    for (ProvisioningKind kind :
+         {ProvisioningKind::one_vm_per_task, ProvisioningKind::start_par_not_exceed,
+          ProvisioningKind::start_par_exceed}) {
+      for (InstanceSize size : cloud::kAllSizes) {
+        const HeftScheduler h(kind, size);
+        const sim::Schedule s = h.run(wf, platform);
+        EXPECT_TRUE(s.complete()) << h.name() << " on " << wf.name();
+        sim::validate_or_throw(wf, s, platform);
+      }
+    }
+  }
+}
+
+TEST(Heft, OneVmPerTaskRentsNTasks) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto_montage();
+  const HeftScheduler h(ProvisioningKind::one_vm_per_task, InstanceSize::small);
+  const sim::Schedule s = h.run(wf, platform);
+  EXPECT_EQ(s.pool().size(), wf.task_count());
+  EXPECT_EQ(s.pool().used_count(), wf.task_count());
+}
+
+TEST(Heft, FasterInstancesNeverWorsenMakespan) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto_montage();
+  const HeftScheduler small(ProvisioningKind::one_vm_per_task, InstanceSize::small);
+  const HeftScheduler large(ProvisioningKind::one_vm_per_task, InstanceSize::large);
+  EXPECT_GT(small.run(wf, platform).makespan(), large.run(wf, platform).makespan());
+}
+
+TEST(Heft, StartParExceedMinimizesVmCount) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto_montage();
+  const auto vms = [&](ProvisioningKind kind) {
+    return HeftScheduler(kind, InstanceSize::small).run(wf, platform).pool().size();
+  };
+  // Exceed <= NotExceed <= OneVMperTask in rented VMs.
+  EXPECT_LE(vms(ProvisioningKind::start_par_exceed),
+            vms(ProvisioningKind::start_par_not_exceed));
+  EXPECT_LE(vms(ProvisioningKind::start_par_not_exceed),
+            vms(ProvisioningKind::one_vm_per_task));
+  // Montage has 6 entry tasks: StartParExceed rents exactly those.
+  EXPECT_EQ(vms(ProvisioningKind::start_par_exceed), 6u);
+}
+
+TEST(Heft, DeterministicAcrossRuns) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto_montage();
+  const HeftScheduler h(ProvisioningKind::start_par_not_exceed, InstanceSize::small);
+  const sim::Schedule a = h.run(wf, platform);
+  const sim::Schedule b = h.run(wf, platform);
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_EQ(a.assignment(t).vm, b.assignment(t).vm);
+    EXPECT_DOUBLE_EQ(a.assignment(t).start, b.assignment(t).start);
+  }
+}
+
+TEST(Heft, SequentialChainOnOneVmHasTightMakespan) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  cfg.kind = workload::ScenarioKind::best_case;
+  const dag::Workflow wf =
+      workload::apply_scenario(dag::builders::sequential_chain(), cfg);
+  const HeftScheduler h(ProvisioningKind::start_par_exceed, InstanceSize::small);
+  const sim::Schedule s = h.run(wf, platform);
+  EXPECT_EQ(s.pool().size(), 1u);
+  // Chain on one VM: makespan == sum of works == exactly one BTU.
+  EXPECT_NEAR(s.makespan(), util::kBtu, 1e-6);
+  EXPECT_EQ(sim::compute_metrics(wf, s, platform).total_cost,
+            util::Money::from_dollars(0.08));
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,93 @@
+#include "scheduling/het_heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/bicpa.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(HetHeft, NameEncodesPool) {
+  const HeterogeneousHeftScheduler h(
+      {InstanceSize::small, InstanceSize::medium, InstanceSize::large});
+  EXPECT_EQ(h.name(), "HetHEFT[sml]");
+}
+
+TEST(HetHeft, RejectsEmptyPool) {
+  EXPECT_THROW(HeterogeneousHeftScheduler({}), std::invalid_argument);
+}
+
+TEST(HetHeft, FeasibleOnAllPaperWorkflows) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const HeterogeneousHeftScheduler h({InstanceSize::small, InstanceSize::small,
+                                      InstanceSize::medium, InstanceSize::large});
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = pareto(base);
+    const sim::Schedule s = h.run(wf, platform);
+    sim::validate_or_throw(wf, s, platform);
+    EXPECT_EQ(s.pool().size(), 4u);
+  }
+}
+
+TEST(HetHeft, HomogeneousPoolMatchesFixedPoolScheduler) {
+  // With a uniform pool, heterogeneous HEFT degenerates to the earliest-EFT
+  // fixed-pool schedule (identical ranks, identical placement rule).
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const HeterogeneousHeftScheduler het(
+      std::vector<InstanceSize>(4, InstanceSize::small));
+  const sim::Schedule a = het.run(wf, platform);
+  const sim::Schedule b = schedule_on_fixed_pool(wf, platform, 4,
+                                                 InstanceSize::small);
+  EXPECT_NEAR(a.makespan(), b.makespan(), 1e-6);
+}
+
+TEST(HetHeft, FastVmAttractsTheCriticalWork) {
+  // One fast VM + one slow VM, a chain: everything should run on the fast
+  // one (EFT always prefers it; no parallelism to exploit).
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::sequential_chain());
+  const HeterogeneousHeftScheduler h({InstanceSize::small, InstanceSize::xlarge});
+  const sim::Schedule s = h.run(wf, platform);
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_EQ(s.pool().vm(s.assignment(t).vm).size(), InstanceSize::xlarge);
+}
+
+TEST(HetHeft, MixedPoolBeatsAllSmallPoolOnMakespan) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce());
+  const HeterogeneousHeftScheduler mixed(
+      {InstanceSize::large, InstanceSize::large, InstanceSize::medium,
+       InstanceSize::medium, InstanceSize::small, InstanceSize::small,
+       InstanceSize::small, InstanceSize::small});
+  const sim::Schedule het = mixed.run(wf, platform);
+  const sim::Schedule small8 =
+      schedule_on_fixed_pool(wf, platform, 8, InstanceSize::small);
+  EXPECT_LT(het.makespan(), small8.makespan());
+}
+
+TEST(HetHeft, DeterministicAcrossRuns) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::cstem());
+  const HeterogeneousHeftScheduler h({InstanceSize::small, InstanceSize::large});
+  const sim::Schedule a = h.run(wf, platform);
+  const sim::Schedule b = h.run(wf, platform);
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_EQ(a.assignment(t).vm, b.assignment(t).vm);
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

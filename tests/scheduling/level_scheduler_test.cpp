@@ -1,0 +1,114 @@
+#include "scheduling/level_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/graph_algo.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+using provisioning::ProvisioningKind;
+
+TEST(LevelScheduler, OnlyAllParAllowed) {
+  EXPECT_THROW(
+      LevelScheduler(ProvisioningKind::one_vm_per_task, InstanceSize::small),
+      std::invalid_argument);
+  EXPECT_THROW(
+      LevelScheduler(ProvisioningKind::start_par_exceed, InstanceSize::small),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      LevelScheduler(ProvisioningKind::all_par_exceed, InstanceSize::small));
+}
+
+TEST(LevelScheduler, NameMatchesPaperLegend) {
+  EXPECT_EQ(
+      LevelScheduler(ProvisioningKind::all_par_not_exceed, InstanceSize::large)
+          .name(),
+      "AllParNotExceed-l");
+}
+
+TEST(LevelOrderDesc, SortsByWorkThenId) {
+  dag::Workflow wf;
+  (void)wf.add_task("a", 10.0);
+  (void)wf.add_task("b", 30.0);
+  (void)wf.add_task("c", 10.0);
+  const auto order = level_order_desc(wf, {0, 1, 2});
+  EXPECT_EQ(order, (std::vector<dag::TaskId>{1, 0, 2}));
+}
+
+TEST(LevelScheduler, FeasibleOnAllPaperWorkflowsAndScenarios) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      workload::ScenarioConfig cfg;
+      cfg.kind = kind;
+      const dag::Workflow wf = workload::apply_scenario(base, cfg);
+      for (ProvisioningKind pk : {ProvisioningKind::all_par_not_exceed,
+                                  ProvisioningKind::all_par_exceed}) {
+        const LevelScheduler sched(pk, InstanceSize::small);
+        const sim::Schedule s = sched.run(wf, platform);
+        sim::validate_or_throw(wf, s, platform);
+      }
+    }
+  }
+}
+
+TEST(LevelScheduler, ParallelTasksRunConcurrently) {
+  // In the best case (tiny equal tasks) each MapReduce map level runs fully
+  // in parallel: all 8 map1 tasks share the same start-after-entry window.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  cfg.kind = workload::ScenarioKind::best_case;
+  const dag::Workflow wf =
+      workload::apply_scenario(dag::builders::map_reduce(), cfg);
+  const LevelScheduler sched(ProvisioningKind::all_par_exceed, InstanceSize::small);
+  const sim::Schedule s = sched.run(wf, platform);
+
+  const auto groups = dag::level_groups(wf);
+  // All map1 tasks overlap in time (distinct VMs).
+  const auto& map1 = groups[1];
+  for (std::size_t i = 1; i < map1.size(); ++i) {
+    EXPECT_NE(s.assignment(map1[i]).vm, s.assignment(map1[0]).vm);
+    EXPECT_LT(s.assignment(map1[i]).start,
+              s.assignment(map1[0]).end + 1.0);  // concurrent modulo latency
+  }
+}
+
+TEST(LevelScheduler, WorstCaseNotExceedDegeneratesToOneVmPerTask) {
+  // Paper Sect. IV-B: in the worst case StartParNotExceed ==
+  // AllParNotExceed == OneVMperTask (every task on its own VM).
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  cfg.kind = workload::ScenarioKind::worst_case;
+  const dag::Workflow wf =
+      workload::apply_scenario(dag::builders::montage24(), cfg);
+  const LevelScheduler sched(ProvisioningKind::all_par_not_exceed,
+                             InstanceSize::small);
+  const sim::Schedule s = sched.run(wf, platform);
+  EXPECT_EQ(s.pool().size(), wf.task_count());
+}
+
+TEST(LevelScheduler, ExceedUsesFewerOrEqualVmsThanNotExceed) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (workload::ScenarioKind kind : workload::kAllScenarios) {
+    workload::ScenarioConfig cfg;
+    cfg.kind = kind;
+    const dag::Workflow wf =
+        workload::apply_scenario(dag::builders::montage24(), cfg);
+    const auto vms = [&](ProvisioningKind pk) {
+      return LevelScheduler(pk, InstanceSize::small).run(wf, platform).pool().size();
+    };
+    EXPECT_LE(vms(ProvisioningKind::all_par_exceed),
+              vms(ProvisioningKind::all_par_not_exceed))
+        << workload::name_of(kind);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

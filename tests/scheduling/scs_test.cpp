@@ -1,0 +1,101 @@
+#include "scheduling/scs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/upgrade.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::scheduling {
+namespace {
+
+using cloud::InstanceSize;
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(Scs, RejectsBadFraction) {
+  EXPECT_THROW(ScsScheduler(0.0), std::invalid_argument);
+  EXPECT_THROW(ScsScheduler(1.0001), std::invalid_argument);
+}
+
+TEST(Scs, FeasibleOnAllPaperWorkflows) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const ScsScheduler scs;
+  EXPECT_EQ(scs.name(), "SCS");
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = pareto(base);
+    const sim::Schedule s = scs.run(wf, platform);
+    sim::validate_or_throw(wf, s, platform);
+  }
+}
+
+TEST(Scs, ScalingPicksCheapestSizeThatFitsSlot) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf("s");
+  (void)wf.add_task("t", 1000.0);
+  // Slot = 1000 * fraction. fraction 0.7 -> slot 700 -> medium (625 s)
+  // is the cheapest fit; small (1000 s) misses.
+  EXPECT_EQ(ScsScheduler(0.7).scale_sizes(wf, platform)[0],
+            InstanceSize::medium);
+  // fraction 1.0 -> small fits exactly.
+  EXPECT_EQ(ScsScheduler(1.0).scale_sizes(wf, platform)[0], InstanceSize::small);
+  // fraction 0.3 -> slot 300 < 1000/2.7: nothing fits, xlarge fallback.
+  EXPECT_EQ(ScsScheduler(0.3).scale_sizes(wf, platform)[0],
+            InstanceSize::xlarge);
+  // fraction 0.45 -> slot 450: large (476 s) misses, xlarge (370) fits.
+  EXPECT_EQ(ScsScheduler(0.45).scale_sizes(wf, platform)[0],
+            InstanceSize::xlarge);
+  // fraction 0.5 -> slot 500: large (476 s) fits.
+  EXPECT_EQ(ScsScheduler(0.5).scale_sizes(wf, platform)[0], InstanceSize::large);
+}
+
+TEST(Scs, MeetsDeadlineOnIndependentTasks) {
+  // A fan of independent tasks: every task meets its slot independently,
+  // so the whole schedule meets the scaled deadline.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf("fan");
+  for (int i = 0; i < 6; ++i)
+    (void)wf.add_task("t" + std::to_string(i), 1000.0 + 100.0 * i);
+
+  const std::vector<InstanceSize> small(wf.task_count(), InstanceSize::small);
+  const util::Seconds seed_ms =
+      retime_one_vm_per_task(wf, platform, small).makespan();
+
+  const ScsScheduler scs(0.6);
+  const sim::Schedule s = scs.run(wf, platform);
+  EXPECT_LE(s.makespan(), 0.6 * seed_ms + util::kTimeEpsilon);
+}
+
+TEST(Scs, TighterDeadlinesCostMore) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const auto cost = [&](double fraction) {
+    const sim::Schedule s = ScsScheduler(fraction).run(wf, platform);
+    return sim::compute_metrics(wf, s, platform).total_cost;
+  };
+  EXPECT_LE(cost(1.0), cost(0.5));
+  EXPECT_LE(cost(0.5), cost(0.3));
+}
+
+TEST(Scs, ConsolidationBeatsOneVmPerTaskCost) {
+  // At fraction 1.0 no upgrades happen, so SCS is OneVMperTask-small plus
+  // consolidation — it can only be cheaper.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::cstem());
+  const sim::Schedule scs = ScsScheduler(1.0).run(wf, platform);
+  const std::vector<InstanceSize> small(wf.task_count(), InstanceSize::small);
+  const sim::Schedule one_per_task = retime_one_vm_per_task(wf, platform, small);
+  EXPECT_LE(sim::compute_metrics(wf, scs, platform).total_cost,
+            sim::compute_metrics(wf, one_per_task, platform).total_cost);
+  EXPECT_LT(scs.pool().size(), one_per_task.pool().size());
+}
+
+}  // namespace
+}  // namespace cloudwf::scheduling

@@ -1,0 +1,130 @@
+#include "sim/elastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+dag::Workflow pareto(const dag::Workflow& base) {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(base, cfg);
+}
+
+TEST(Elastic, RejectsBadPolicy) {
+  const dag::Workflow wf = pareto(dag::builders::cstem());
+  const cloud::Platform platform = cloud::Platform::ec2();
+  ElasticPolicy bad;
+  bad.max_pool = 0;
+  EXPECT_THROW((void)run_elastic(wf, platform, bad), std::invalid_argument);
+  bad = ElasticPolicy{};
+  bad.initial_vms = 9;
+  bad.max_pool = 4;
+  EXPECT_THROW((void)run_elastic(wf, platform, bad), std::invalid_argument);
+  bad = ElasticPolicy{};
+  bad.scale_up_queue_per_vm = 0.0;
+  EXPECT_THROW((void)run_elastic(wf, platform, bad), std::invalid_argument);
+}
+
+TEST(Elastic, FeasibleOnAllPaperWorkloads) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+      workload::ScenarioConfig cfg;
+      cfg.kind = kind;
+      const dag::Workflow wf = workload::apply_scenario(base, cfg);
+      const ElasticResult r = run_elastic(wf, platform);
+      EXPECT_TRUE(r.schedule.complete()) << wf.name();
+      validate_or_throw(wf, r.schedule, platform);
+      EXPECT_GT(r.makespan, 0.0);
+      EXPECT_GE(r.vms_provisioned, 1u);
+      EXPECT_LE(r.peak_pool, ElasticPolicy{}.max_pool);
+    }
+  }
+}
+
+TEST(Elastic, SequentialWorkflowNeverScales) {
+  // A chain keeps the queue at <= 1: the initial VM suffices.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::sequential_chain());
+  const ElasticResult r = run_elastic(wf, platform);
+  EXPECT_EQ(r.scale_ups, 0u);
+  // The chain may outlive one VM's paid window (retire + re-provision),
+  // but never two machines at once.
+  EXPECT_EQ(r.peak_pool, 1u);
+}
+
+TEST(Elastic, WideWorkflowScalesUp) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce(16, 4));
+  const ElasticResult r = run_elastic(wf, platform);
+  EXPECT_GT(r.scale_ups, 0u);
+  EXPECT_GT(r.peak_pool, 1u);
+}
+
+TEST(Elastic, PoolCapBindsAndParallelismSuffers) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce(16, 4));
+  ElasticPolicy capped;
+  capped.max_pool = 2;
+  ElasticPolicy roomy;
+  roomy.max_pool = 32;
+  const ElasticResult tight = run_elastic(wf, platform, capped);
+  const ElasticResult wide = run_elastic(wf, platform, roomy);
+  EXPECT_LE(tight.peak_pool, 2u);
+  EXPECT_GE(tight.makespan, wide.makespan);
+}
+
+TEST(Elastic, BootTimeDelaysWork) {
+  cloud::Platform slow_boot = cloud::Platform::ec2();
+  slow_boot.set_boot_time(120.0);
+  const cloud::Platform instant = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::cstem());
+  const ElasticResult with_boot = run_elastic(wf, slow_boot);
+  const ElasticResult without = run_elastic(wf, instant);
+  EXPECT_GE(with_boot.makespan, without.makespan + 120.0 - 1e-6);
+  // And every entry task starts at or after boot completion.
+  for (dag::TaskId e : wf.entry_tasks())
+    EXPECT_GE(with_boot.schedule.assignment(e).start, 120.0 - 1e-9);
+}
+
+TEST(Elastic, ComparableToStaticStrategies) {
+  // The elastic runtime is a real contender: on a parallel workflow it
+  // lands between the single-VM serializer and the everything-parallel
+  // static plans on makespan, at a bounded cost.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::montage24());
+  const ElasticResult elastic = run_elastic(wf, platform);
+
+  const util::Seconds serial = scheduling::strategy_by_label("StartParExceed-s")
+                                   .scheduler->run(wf, platform)
+                                   .makespan();
+  const util::Seconds parallel = scheduling::strategy_by_label("OneVMperTask-s")
+                                     .scheduler->run(wf, platform)
+                                     .makespan();
+  EXPECT_LT(elastic.makespan, serial);
+  EXPECT_GE(elastic.makespan, parallel - 1e-6);
+
+  const ScheduleMetrics m = compute_metrics(wf, elastic.schedule, platform);
+  EXPECT_GT(m.total_cost, util::Money{});
+}
+
+TEST(Elastic, Deterministic) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = pareto(dag::builders::map_reduce());
+  const ElasticResult a = run_elastic(wf, platform);
+  const ElasticResult b = run_elastic(wf, platform);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.vms_provisioned, b.vms_provisioned);
+  for (const dag::Task& t : wf.tasks())
+    EXPECT_EQ(a.schedule.assignment(t.id).vm, b.schedule.assignment(t.id).vm);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

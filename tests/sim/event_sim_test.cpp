@@ -1,0 +1,124 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+TEST(EventSim, ReplaysLinearChainExactly) {
+  dag::Workflow wf("c");
+  const dag::TaskId a = wf.add_task("a", 100.0);
+  const dag::TaskId b = wf.add_task("b", 50.0);
+  wf.add_edge(a, b);
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 100.0, 150.0);
+
+  const ReplayResult r = EventSimulator(platform).replay(wf, s);
+  EXPECT_DOUBLE_EQ(r.tasks[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.tasks[0].end, 100.0);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(r.tasks[1].end, 150.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 150.0);
+  EXPECT_EQ(r.events_processed, 2u);
+}
+
+TEST(EventSim, CompactsArtificialGaps) {
+  // The replay is work-conserving: padding inserted into the static times
+  // disappears (replayed times <= static times).
+  dag::Workflow wf("g");
+  const dag::TaskId a = wf.add_task("a", 100.0);
+  const dag::TaskId b = wf.add_task("b", 50.0);
+  wf.add_edge(a, b);
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 500.0, 550.0);  // artificial 400 s gap
+
+  const ReplayResult r = EventSimulator(platform).replay(wf, s);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 150.0);
+}
+
+TEST(EventSim, HonorsTransferDelays) {
+  dag::Workflow wf("t");
+  const dag::TaskId a = wf.add_task("a", 100.0, /*output_data=*/1.0);
+  const dag::TaskId b = wf.add_task("b", 50.0);
+  wf.add_edge(a, b);
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId v0 = s.rent(cloud::InstanceSize::small, 0);
+  const cloud::VmId v1 = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, v0, 0.0, 100.0);
+  s.assign(1, v1, 200.0, 250.0);
+
+  const ReplayResult r = EventSimulator(platform).replay(wf, s);
+  // b starts after a finishes + 1 GB / 0.125 GB/s + latency.
+  const cloud::Vm va(0, cloud::InstanceSize::small, 0);
+  const cloud::Vm vb(1, cloud::InstanceSize::small, 0);
+  const util::Seconds transfer = platform.transfer_time(1.0, va, vb);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 100.0 + transfer);
+}
+
+TEST(EventSim, HonorsBootTime) {
+  dag::Workflow wf("b");
+  (void)wf.add_task("a", 100.0);
+
+  cloud::Platform platform = cloud::Platform::ec2();
+  platform.set_boot_time(120.0);
+  Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 120.0, 220.0);
+
+  const ReplayResult r = EventSimulator(platform).replay(wf, s);
+  EXPECT_DOUBLE_EQ(r.tasks[0].start, 120.0);
+}
+
+TEST(EventSim, IncompleteScheduleRejected) {
+  dag::Workflow wf("x");
+  (void)wf.add_task("a");
+  const Schedule s(wf);
+  EXPECT_THROW((void)EventSimulator(cloud::Platform::ec2()).replay(wf, s),
+               std::logic_error);
+}
+
+// The central cross-check: for every paper strategy on every paper workflow
+// (Pareto works), the event replay reproduces the statically computed task
+// times exactly.
+TEST(EventSim, AgreesWithStaticTimesForAllPaperStrategies) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  cfg.kind = workload::ScenarioKind::pareto;
+
+  for (const auto& builder :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = workload::apply_scenario(builder, cfg);
+    for (const scheduling::Strategy& strat : scheduling::paper_strategies()) {
+      const Schedule s = strat.scheduler->run(wf, platform);
+      validate_or_throw(wf, s, platform);
+      const ReplayResult r = EventSimulator(platform).replay(wf, s);
+      for (const dag::Task& t : wf.tasks()) {
+        EXPECT_NEAR(r.tasks[t.id].start, s.assignment(t.id).start, 1e-6)
+            << strat.label << " / " << wf.name() << " / " << t.name;
+        EXPECT_NEAR(r.tasks[t.id].end, s.assignment(t.id).end, 1e-6)
+            << strat.label << " / " << wf.name() << " / " << t.name;
+      }
+      EXPECT_NEAR(r.makespan, s.makespan(), 1e-6) << strat.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

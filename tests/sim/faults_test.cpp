@@ -1,0 +1,126 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+struct Fixture {
+  cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf;
+  Schedule schedule;
+
+  Fixture()
+      : wf(make_wf()),
+        schedule(scheduling::reference_strategy().scheduler->run(wf, platform)) {}
+
+  static dag::Workflow make_wf() {
+    workload::ScenarioConfig cfg;
+    return workload::apply_scenario(dag::builders::montage24(), cfg);
+  }
+};
+
+TEST(Faults, ZeroRateMatchesPlainReplay) {
+  Fixture f;
+  util::Rng rng(1);
+  const FaultyReplayResult faulty =
+      replay_with_faults(f.wf, f.schedule, f.platform, FaultModel{}, rng);
+  const ReplayResult plain = EventSimulator(f.platform).replay(f.wf, f.schedule);
+  EXPECT_EQ(faulty.failures, 0u);
+  EXPECT_DOUBLE_EQ(faulty.time_lost, 0.0);
+  EXPECT_NEAR(faulty.makespan, plain.makespan, 1e-9);
+  for (const dag::Task& t : f.wf.tasks()) {
+    EXPECT_NEAR(faulty.tasks[t.id].start, plain.tasks[t.id].start, 1e-9);
+    EXPECT_NEAR(faulty.tasks[t.id].end, plain.tasks[t.id].end, 1e-9);
+  }
+}
+
+TEST(Faults, FailuresOnlyDelay) {
+  Fixture f;
+  FaultModel model;
+  model.failures_per_vm_hour = 2.0;  // aggressive
+  util::Rng rng(7);
+  const FaultyReplayResult faulty =
+      replay_with_faults(f.wf, f.schedule, f.platform, model, rng);
+  const ReplayResult plain = EventSimulator(f.platform).replay(f.wf, f.schedule);
+  EXPECT_GT(faulty.failures, 0u);
+  EXPECT_GT(faulty.time_lost, 0.0);
+  EXPECT_GE(faulty.makespan, plain.makespan);
+  for (const dag::Task& t : f.wf.tasks())
+    EXPECT_GE(faulty.tasks[t.id].end, plain.tasks[t.id].end - 1e-9);
+}
+
+TEST(Faults, HigherRateLosesMoreTimeOnAverage) {
+  Fixture f;
+  const auto mean_lost = [&](double rate) {
+    FaultModel model;
+    model.failures_per_vm_hour = rate;
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      util::Rng rng(seed);
+      total += replay_with_faults(f.wf, f.schedule, f.platform, model, rng)
+                   .time_lost;
+    }
+    return total / 30.0;
+  };
+  EXPECT_LT(mean_lost(0.1), mean_lost(2.0));
+}
+
+TEST(Faults, DeterministicPerSeed) {
+  Fixture f;
+  FaultModel model;
+  model.failures_per_vm_hour = 1.0;
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const FaultyReplayResult a =
+      replay_with_faults(f.wf, f.schedule, f.platform, model, r1);
+  const FaultyReplayResult b =
+      replay_with_faults(f.wf, f.schedule, f.platform, model, r2);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Faults, RetryCapBoundsAttempts) {
+  // With a ridiculous rate every attempt fails until the cap forces
+  // success, so failures == cap per task.
+  dag::Workflow wf("f");
+  (void)wf.add_task("t", 3600.0);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 3600.0);
+
+  FaultModel model;
+  model.failures_per_vm_hour = 1e9;
+  model.max_retries_per_task = 5;
+  util::Rng rng(3);
+  const FaultyReplayResult r = replay_with_faults(wf, s, platform, model, rng);
+  EXPECT_EQ(r.failures, 5u);
+  EXPECT_GT(r.makespan, 3600.0);
+}
+
+TEST(Faults, NegativeRateRejected) {
+  Fixture f;
+  FaultModel model;
+  model.failures_per_vm_hour = -1.0;
+  util::Rng rng(1);
+  EXPECT_THROW(
+      (void)replay_with_faults(f.wf, f.schedule, f.platform, model, rng),
+      std::invalid_argument);
+}
+
+TEST(Faults, IncompleteScheduleRejected) {
+  Fixture f;
+  const Schedule empty(f.wf);
+  util::Rng rng(1);
+  EXPECT_THROW(
+      (void)replay_with_faults(f.wf, empty, f.platform, FaultModel{}, rng),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,117 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::sim {
+namespace {
+
+// Two tasks a -> b, 1000 s each at small speed.
+dag::Workflow chain2() {
+  dag::Workflow wf("chain2");
+  const dag::TaskId a = wf.add_task("a", 1000.0);
+  const dag::TaskId b = wf.add_task("b", 1000.0);
+  wf.add_edge(a, b);
+  return wf;
+}
+
+TEST(Metrics, SingleVmSchedule) {
+  const dag::Workflow wf = chain2();
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 1000.0);
+  s.assign(1, vm, 1000.0, 2000.0);
+
+  const ScheduleMetrics m = compute_metrics(wf, s, platform);
+  EXPECT_DOUBLE_EQ(m.makespan, 2000.0);
+  EXPECT_EQ(m.vm_cost, util::Money::from_dollars(0.08));  // 1 small BTU
+  EXPECT_EQ(m.egress_cost, util::Money{});                // same region
+  EXPECT_EQ(m.total_cost, m.vm_cost);
+  EXPECT_DOUBLE_EQ(m.total_busy, 2000.0);
+  EXPECT_DOUBLE_EQ(m.total_idle, 1600.0);  // 3600 paid - 2000 busy
+  EXPECT_EQ(m.vms_used, 1u);
+  EXPECT_EQ(m.total_btus, 1);
+  EXPECT_NEAR(m.utilization, 2000.0 / 3600.0, 1e-12);
+}
+
+TEST(Metrics, TwoVmsWithTransferGap) {
+  const dag::Workflow wf = chain2();
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId v0 = s.rent(cloud::InstanceSize::small, 0);
+  const cloud::VmId v1 = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, v0, 0.0, 1000.0);
+  s.assign(1, v1, 1100.0, 2100.0);
+
+  const ScheduleMetrics m = compute_metrics(wf, s, platform);
+  EXPECT_EQ(m.vms_used, 2u);
+  EXPECT_EQ(m.vm_cost, util::Money::from_dollars(0.16));
+  EXPECT_DOUBLE_EQ(m.total_idle, 2 * 3600.0 - 2000.0);
+}
+
+TEST(Metrics, CrossRegionEgressBilled) {
+  dag::Workflow wf("xr");
+  const dag::TaskId a = wf.add_task("a", 100.0, /*output_data=*/11.0);
+  const dag::TaskId b = wf.add_task("b", 100.0);
+  wf.add_edge(a, b);
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId v0 = s.rent(cloud::InstanceSize::small, 0);  // Virginia
+  const cloud::VmId v1 = s.rent(cloud::InstanceSize::small, 5);  // Tokio
+  s.assign(0, v0, 0.0, 100.0);
+  s.assign(1, v1, 300.0, 400.0);
+
+  const ScheduleMetrics m = compute_metrics(wf, s, platform);
+  // 11 GB out of Virginia: first GB free, 10 GB x $0.12.
+  EXPECT_EQ(m.egress_cost, util::Money::from_dollars(1.20));
+  EXPECT_EQ(m.total_cost, m.vm_cost + m.egress_cost);
+}
+
+TEST(Metrics, IncompleteScheduleRejected) {
+  const dag::Workflow wf = chain2();
+  const Schedule s(wf);
+  EXPECT_THROW((void)compute_metrics(wf, s, cloud::Platform::ec2()),
+               std::logic_error);
+}
+
+TEST(GainLoss, ReferenceIsOrigin) {
+  ScheduleMetrics ref;
+  ref.makespan = 1000.0;
+  ref.total_cost = util::Money::from_dollars(1.0);
+  const GainLoss gl = relative_to_reference(ref, ref);
+  EXPECT_DOUBLE_EQ(gl.gain_pct, 0.0);
+  EXPECT_DOUBLE_EQ(gl.loss_pct, 0.0);
+}
+
+TEST(GainLoss, SignsMatchThePlotAxes) {
+  ScheduleMetrics ref;
+  ref.makespan = 1000.0;
+  ref.total_cost = util::Money::from_dollars(1.0);
+
+  ScheduleMetrics faster_cheaper;
+  faster_cheaper.makespan = 500.0;                              // 50% gain
+  faster_cheaper.total_cost = util::Money::from_dollars(0.75);  // 25% savings
+  const GainLoss gl = relative_to_reference(faster_cheaper, ref);
+  EXPECT_DOUBLE_EQ(gl.gain_pct, 50.0);
+  EXPECT_DOUBLE_EQ(gl.loss_pct, -25.0);
+  EXPECT_DOUBLE_EQ(gl.savings_pct(), 25.0);
+
+  ScheduleMetrics slower_pricier;
+  slower_pricier.makespan = 1500.0;
+  slower_pricier.total_cost = util::Money::from_dollars(3.0);
+  const GainLoss gl2 = relative_to_reference(slower_pricier, ref);
+  EXPECT_DOUBLE_EQ(gl2.gain_pct, -50.0);
+  EXPECT_DOUBLE_EQ(gl2.loss_pct, 200.0);
+}
+
+TEST(GainLoss, DegenerateReferenceRejected) {
+  ScheduleMetrics ok;
+  ok.makespan = 1.0;
+  ok.total_cost = util::Money::from_dollars(1.0);
+  ScheduleMetrics zero;
+  EXPECT_THROW((void)relative_to_reference(ok, zero), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,76 @@
+#include "sim/schedule_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+struct Fixture {
+  cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf;
+
+  Fixture() {
+    workload::ScenarioConfig cfg;
+    wf = workload::apply_scenario(dag::builders::montage24(), cfg);
+  }
+
+  Schedule run(const char* label) const {
+    return scheduling::strategy_by_label(label).scheduler->run(wf, platform);
+  }
+};
+
+TEST(ScheduleDiff, IdenticalSchedulesAreAllUnchanged) {
+  Fixture f;
+  const Schedule a = f.run("AllParExceed-s");
+  const Schedule b = f.run("AllParExceed-s");
+  const ScheduleDiff diff = diff_schedules(f.wf, a, b, f.platform);
+  EXPECT_TRUE(diff.changed.empty());
+  EXPECT_EQ(diff.unchanged, f.wf.task_count());
+  EXPECT_DOUBLE_EQ(diff.makespan_delta, 0.0);
+  EXPECT_EQ(diff.cost_delta, util::Money{});
+  EXPECT_EQ(diff.vm_delta, 0);
+  EXPECT_NE(render_diff(diff).find("0 tasks changed"), std::string::npos);
+}
+
+TEST(ScheduleDiff, DifferentStrategiesShowDeltas) {
+  Fixture f;
+  const Schedule a = f.run("OneVMperTask-s");
+  const Schedule b = f.run("StartParExceed-s");
+  const ScheduleDiff diff = diff_schedules(f.wf, a, b, f.platform);
+  // StartParExceed serializes montage: everything but coincidental matches
+  // changed, makespan up, cost down, far fewer VMs.
+  EXPECT_GT(diff.changed.size(), f.wf.task_count() / 2);
+  EXPECT_GT(diff.makespan_delta, 0.0);
+  EXPECT_LT(diff.cost_delta, util::Money{});
+  EXPECT_LT(diff.vm_delta, 0);
+
+  const std::string text = render_diff(diff);
+  EXPECT_NE(text.find("->"), std::string::npos);  // some VM moves shown
+  EXPECT_NE(text.find("tasks changed"), std::string::npos);
+}
+
+TEST(ScheduleDiff, AccountsEveryTaskExactlyOnce) {
+  Fixture f;
+  const Schedule a = f.run("AllParExceed-s");
+  const Schedule b = f.run("AllParNotExceed-s");
+  const ScheduleDiff diff = diff_schedules(f.wf, a, b, f.platform);
+  EXPECT_EQ(diff.changed.size() + diff.unchanged, f.wf.task_count());
+}
+
+TEST(ScheduleDiff, SymmetryOfDeltas) {
+  Fixture f;
+  const Schedule a = f.run("AllParExceed-s");
+  const Schedule b = f.run("AllParExceed-m");
+  const ScheduleDiff forward = diff_schedules(f.wf, a, b, f.platform);
+  const ScheduleDiff backward = diff_schedules(f.wf, b, a, f.platform);
+  EXPECT_NEAR(forward.makespan_delta, -backward.makespan_delta, 1e-9);
+  EXPECT_EQ(forward.cost_delta, -backward.cost_delta);
+  EXPECT_EQ(forward.changed.size(), backward.changed.size());
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

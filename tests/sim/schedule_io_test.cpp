@@ -1,0 +1,102 @@
+#include "sim/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+struct Fixture {
+  cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf;
+
+  Fixture() {
+    workload::ScenarioConfig cfg;
+    wf = workload::apply_scenario(dag::builders::cstem(), cfg);
+  }
+};
+
+TEST(ScheduleIo, RoundTripsEveryPaperStrategy) {
+  Fixture f;
+  for (const scheduling::Strategy& strat : scheduling::paper_strategies()) {
+    const Schedule original = strat.scheduler->run(f.wf, f.platform);
+    const Schedule parsed =
+        parse_schedule_string(f.wf, serialize_schedule(f.wf, original));
+
+    ASSERT_EQ(parsed.pool().size(), original.pool().size()) << strat.label;
+    for (const dag::Task& t : f.wf.tasks()) {
+      const Assignment& a = original.assignment(t.id);
+      const Assignment& b = parsed.assignment(t.id);
+      EXPECT_EQ(a.vm, b.vm) << strat.label << '/' << t.name;
+      EXPECT_NEAR(a.start, b.start, 1e-5) << strat.label << '/' << t.name;
+      EXPECT_NEAR(a.end, b.end, 1e-5) << strat.label << '/' << t.name;
+    }
+    // The reloaded schedule passes the independent validator too.
+    EXPECT_TRUE(validate(f.wf, parsed, f.platform).empty()) << strat.label;
+  }
+}
+
+TEST(ScheduleIo, PreservesVmSizesAndRegions) {
+  // Hand-built schedule: everything sequential on one xlarge VM in Tokio
+  // (cstem's task ids are in topological order).
+  Fixture f;
+  Schedule original(f.wf);
+  const cloud::VmId vm = original.rent(cloud::InstanceSize::xlarge, 5);
+  util::Seconds at = 0;
+  for (const dag::Task& t : f.wf.tasks()) {
+    const util::Seconds d = cloud::exec_time(t.work, cloud::InstanceSize::xlarge);
+    original.assign(t.id, vm, at, at + d);
+    at += d;
+  }
+
+  const Schedule parsed =
+      parse_schedule_string(f.wf, serialize_schedule(f.wf, original));
+  EXPECT_EQ(parsed.pool().vm(0).size(), cloud::InstanceSize::xlarge);
+  EXPECT_EQ(parsed.pool().vm(0).region(), 5);
+  EXPECT_NEAR(parsed.makespan(), original.makespan(), 1e-5);
+}
+
+TEST(ScheduleIo, RejectsMalformedInput) {
+  Fixture f;
+  EXPECT_THROW((void)parse_schedule_string(f.wf, ""), std::runtime_error);
+  EXPECT_THROW((void)parse_schedule_string(f.wf, "schedule wrongname\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_schedule_string(f.wf, "schedule cstem\nvm 1 small 0\n"),
+      std::runtime_error);  // non-dense vm id
+  EXPECT_THROW(
+      (void)parse_schedule_string(f.wf, "schedule cstem\nvm 0 giant 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_schedule_string(f.wf, "schedule cstem\nvm 0 small 9\n"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_schedule_string(
+                   f.wf, "schedule cstem\nvm 0 small 0\nplace nosuch 0 0 1\n"),
+               std::runtime_error);
+  // Incomplete placements rejected.
+  EXPECT_THROW((void)parse_schedule_string(
+                   f.wf, "schedule cstem\nvm 0 small 0\nplace init 0 0 100\n"),
+               std::runtime_error);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  Fixture f;
+  const Schedule original =
+      scheduling::reference_strategy().scheduler->run(f.wf, f.platform);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cloudwf_schedule_test.sched";
+  save_schedule(f.wf, original, path.string());
+  const Schedule loaded = load_schedule(f.wf, path.string());
+  EXPECT_NEAR(loaded.makespan(), original.makespan(), 1e-6);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_schedule(f.wf, path.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,76 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+TEST(Schedule, StartsEmpty) {
+  const Schedule s(5);
+  EXPECT_EQ(s.task_count(), 5u);
+  EXPECT_EQ(s.assigned_count(), 0u);
+  EXPECT_FALSE(s.complete());
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+}
+
+TEST(Schedule, AssignWritesTaskTableAndVmTimeline) {
+  Schedule s(2);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 10.0);
+  s.assign(1, vm, 10.0, 30.0);
+
+  EXPECT_TRUE(s.is_assigned(0));
+  EXPECT_EQ(s.assignment(1).vm, vm);
+  EXPECT_DOUBLE_EQ(s.assignment(1).start, 10.0);
+  EXPECT_DOUBLE_EQ(s.assignment(1).duration(), 20.0);
+  EXPECT_TRUE(s.complete());
+  EXPECT_DOUBLE_EQ(s.makespan(), 30.0);
+
+  ASSERT_EQ(s.pool().vm(vm).placements().size(), 2u);
+  EXPECT_EQ(s.pool().vm(vm).placements()[1].task, 1u);
+}
+
+TEST(Schedule, RejectsDoubleAssignment) {
+  Schedule s(1);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 1.0);
+  EXPECT_THROW(s.assign(0, vm, 2.0, 3.0), std::logic_error);
+}
+
+TEST(Schedule, RejectsBadIds) {
+  Schedule s(1);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  EXPECT_THROW(s.assign(7, vm, 0.0, 1.0), std::out_of_range);
+  EXPECT_THROW(s.assign(0, 9, 0.0, 1.0), std::out_of_range);
+  EXPECT_THROW((void)s.assignment(0), std::logic_error);  // unassigned
+  EXPECT_THROW((void)s.assignment(9), std::out_of_range);
+}
+
+TEST(Schedule, OverlapOnVmRejected) {
+  Schedule s(2);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 10.0);
+  EXPECT_THROW(s.assign(1, vm, 5.0, 15.0), std::logic_error);
+}
+
+TEST(Schedule, ClearAssignmentsKeepsVms) {
+  Schedule s(1);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::medium, 0);
+  s.assign(0, vm, 0.0, 1.0);
+  s.clear_assignments();
+  EXPECT_FALSE(s.is_assigned(0));
+  EXPECT_EQ(s.pool().size(), 1u);
+  EXPECT_EQ(s.pool().vm(vm).size(), cloud::InstanceSize::medium);
+  // Reassignment after clearing works.
+  EXPECT_NO_THROW(s.assign(0, vm, 0.0, 1.0));
+}
+
+TEST(Schedule, ConstructibleFromWorkflow) {
+  const Schedule s(dag::builders::cstem());
+  EXPECT_EQ(s.task_count(), 16u);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,65 @@
+#include "sim/vm_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/metrics.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+TEST(VmReport, RowsAggregateToScheduleMetrics) {
+  workload::ScenarioConfig cfg;
+  const dag::Workflow wf =
+      workload::apply_scenario(dag::builders::montage24(), cfg);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const Schedule s = scheduling::strategy_by_label("AllParNotExceed-s")
+                         .scheduler->run(wf, platform);
+  const ScheduleMetrics m = compute_metrics(wf, s, platform);
+
+  const auto rows = vm_report(s, platform);
+  EXPECT_EQ(rows.size(), s.pool().size());
+
+  util::Money cost_sum;
+  util::Seconds busy_sum = 0;
+  util::Seconds idle_sum = 0;
+  std::int64_t btu_sum = 0;
+  std::size_t task_sum = 0;
+  for (const VmReportRow& r : rows) {
+    cost_sum += r.cost;
+    busy_sum += r.busy;
+    idle_sum += r.idle;
+    btu_sum += r.btus;
+    task_sum += r.tasks;
+    EXPECT_GE(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-12);
+  }
+  EXPECT_EQ(cost_sum, m.vm_cost);
+  EXPECT_NEAR(busy_sum, m.total_busy, 1e-6);
+  EXPECT_NEAR(idle_sum, m.total_idle, 1e-6);
+  EXPECT_EQ(btu_sum, m.total_btus);
+  EXPECT_EQ(task_sum, wf.task_count());
+}
+
+TEST(VmReport, UnusedVmsAreFlagged) {
+  dag::Workflow wf("u");
+  (void)wf.add_task("t", 100.0);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule s(wf);
+  const cloud::VmId used = s.rent(cloud::InstanceSize::small, 0);
+  (void)s.rent(cloud::InstanceSize::large, 3);  // never used
+  s.assign(0, used, 0.0, 100.0);
+
+  const auto rows = vm_report(s, platform);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].tasks, 0u);
+  EXPECT_EQ(rows[1].cost, util::Money{});
+  EXPECT_DOUBLE_EQ(rows[1].utilization, 0.0);
+  EXPECT_EQ(rows[1].region, 3);
+  EXPECT_EQ(vm_report_table(rows).rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,71 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesPrintWithoutDecimals) {
+  EXPECT_EQ(Json(3600.0).dump(), "3600");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Json::array());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",[]]");
+
+  Json obj = Json::object();
+  obj["b"] = 2;
+  obj["a"] = "x";
+  // Keys sorted for stable output.
+  EXPECT_EQ(obj.dump(), "{\"a\":\"x\",\"b\":2}");
+}
+
+TEST(Json, Nesting) {
+  Json root = Json::object();
+  Json inner = Json::object();
+  inner["ok"] = true;
+  Json list = Json::array();
+  list.push_back(std::move(inner));
+  root["results"] = std::move(list);
+  EXPECT_EQ(root.dump(), "{\"results\":[{\"ok\":true}]}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.push_back(2), std::logic_error);
+  EXPECT_THROW(scalar["k"] = 1, std::logic_error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr["k"] = 1, std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudwf::util

@@ -1,0 +1,66 @@
+#include "util/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(Money, DefaultIsZero) {
+  EXPECT_EQ(Money{}.micros(), 0);
+  EXPECT_EQ(Money{}.dollars(), 0.0);
+}
+
+TEST(Money, FromDollarsRoundsToMicros) {
+  EXPECT_EQ(Money::from_dollars(0.08).micros(), 80'000);
+  EXPECT_EQ(Money::from_dollars(1.0).micros(), 1'000'000);
+  EXPECT_EQ(Money::from_dollars(-0.5).micros(), -500'000);
+  // Sub-micro-dollar amounts round half away from zero.
+  EXPECT_EQ(Money::from_dollars(0.0000005).micros(), 1);
+}
+
+TEST(Money, ArithmeticIsExact) {
+  const Money a = Money::from_dollars(0.1);
+  const Money b = Money::from_dollars(0.2);
+  // The classic 0.1 + 0.2 != 0.3 double trap must not occur.
+  EXPECT_EQ(a + b, Money::from_dollars(0.3));
+  EXPECT_EQ((a + b - b), a);
+  EXPECT_EQ(-a, Money::from_micros(-100'000));
+}
+
+TEST(Money, IntegerScaling) {
+  const Money price = Money::from_dollars(0.16);
+  EXPECT_EQ(price * 3, Money::from_dollars(0.48));
+  EXPECT_EQ(5 * price, Money::from_dollars(0.80));
+  EXPECT_EQ(price * 0, Money{});
+}
+
+TEST(Money, RealScaling) {
+  const Money per_gb = Money::from_dollars(0.12);
+  EXPECT_EQ(per_gb.scaled(2.5), Money::from_dollars(0.30));
+  EXPECT_EQ(per_gb.scaled(0.0), Money{});
+}
+
+TEST(Money, Ordering) {
+  EXPECT_LT(Money::from_dollars(0.08), Money::from_dollars(0.085));
+  EXPECT_GT(Money::from_dollars(0.92), Money::from_dollars(0.736));
+  EXPECT_LE(Money{}, Money{});
+}
+
+TEST(Money, ToStringTrimsButKeepsCents) {
+  EXPECT_EQ(Money::from_dollars(1.5).to_string(), "$1.50");
+  EXPECT_EQ(Money::from_dollars(0.085).to_string(), "$0.085");
+  EXPECT_EQ(Money::from_dollars(2.0).to_string(), "$2.00");
+  EXPECT_EQ(Money::from_dollars(-0.25).to_string(), "-$0.25");
+  EXPECT_EQ(Money::from_micros(1).to_string(), "$0.000001");
+}
+
+TEST(Money, StreamOutput) {
+  std::ostringstream os;
+  os << Money::from_dollars(0.64);
+  EXPECT_EQ(os.str(), "$0.64");
+}
+
+}  // namespace
+}  // namespace cloudwf::util

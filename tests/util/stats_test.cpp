@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs = {42.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);  // population stddev
+}
+
+TEST(Summarize, OddCountMedian) {
+  const std::vector<double> xs = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 3.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(CoefficientOfVariation, UniformDataIsZero) {
+  const std::vector<double> xs = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(CoefficientOfVariation, KnownValue) {
+  const std::vector<double> xs = {1, 3};
+  // mean 2, population stddev 1 -> cv 0.5
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.5);
+}
+
+TEST(CoefficientOfVariation, EmptyAndZeroMeanAreZero) {
+  EXPECT_EQ(coefficient_of_variation({}), 0.0);
+  const std::vector<double> xs = {-1, 1};
+  EXPECT_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndNormalized) {
+  const std::vector<double> xs = {1, 2, 2, 3, 8};
+  const auto cdf = empirical_cdf(xs, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 8.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].cumulative_probability, cdf[i].cumulative_probability);
+    EXPECT_LT(cdf[i - 1].value, cdf[i].value);
+  }
+}
+
+TEST(EmpiricalCdf, RejectsDegenerateRequests) {
+  EXPECT_THROW((void)empirical_cdf({}, 10), std::invalid_argument);
+  const std::vector<double> xs = {1, 2};
+  EXPECT_THROW((void)empirical_cdf(xs, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudwf::util

@@ -1,0 +1,62 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("AllParExceed-m", "AllPar"));
+  EXPECT_FALSE(starts_with("AllPar", "AllParExceed"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(12.5), "12.5");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(0.1239, 3), "0.124");  // rounded then trimmed
+}
+
+TEST(FormatDouble, NegativeZeroNormalized) {
+  EXPECT_EQ(format_double(-0.0001, 2), "0");
+}
+
+}  // namespace
+}  // namespace cloudwf::util

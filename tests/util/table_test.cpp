@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  // Header present, rule line present, all cells present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Both data lines start at the same column for the second field.
+  const auto pos1 = out.find("1");
+  const auto pos22 = out.find("22");
+  ASSERT_NE(pos1, std::string::npos);
+  ASSERT_NE(pos22, std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "with\nnewline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainCellsUnquoted) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.to_csv(), "h\nv\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudwf::util

@@ -1,0 +1,97 @@
+// Tests for the data-intensive scenario extension and the paper's locality
+// claim it exercises (Sect. III-A: many-VM strategies suit data-heavy tasks
+// only when data stays close; shipping multi-GB outputs between VMs hurts).
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "scheduling/baselines.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::workload {
+namespace {
+
+TEST(DataIntensive, AssignsHeavyData) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::data_intensive;
+  const dag::Workflow wf =
+      apply_scenario(dag::builders::map_reduce(), cfg);
+  for (const dag::Task& t : wf.tasks()) {
+    EXPECT_GE(t.work, 500.0);
+    EXPECT_GE(t.output_data, cfg.data_intensive_scale_gb);  // Pareto support
+  }
+}
+
+TEST(DataIntensive, NameAndValidation) {
+  EXPECT_EQ(name_of(ScenarioKind::data_intensive), "data-intensive");
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::data_intensive;
+  cfg.data_intensive_scale_gb = 0.0;
+  EXPECT_THROW((void)apply_scenario(dag::builders::cstem(), cfg),
+               std::invalid_argument);
+}
+
+TEST(DataIntensive, NotPartOfThePaperGrid) {
+  for (ScenarioKind kind : kAllScenarios)
+    EXPECT_NE(kind, ScenarioKind::data_intensive);
+}
+
+TEST(DataIntensive, AllStrategiesStayFeasible) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::data_intensive;
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = apply_scenario(dag::builders::montage24(), cfg);
+  for (const scheduling::Strategy& s : scheduling::paper_strategies()) {
+    const sim::Schedule schedule = s.scheduler->run(wf, platform);
+    sim::validate_or_throw(wf, schedule, platform);
+  }
+}
+
+TEST(DataIntensive, TransfersDominateCrossVmSchedules) {
+  // OneVMperTask ships every edge across VMs; on the sequential chain the
+  // single-VM StartParExceed schedule avoids all transfers. The makespan
+  // gap must be large in the data-intensive scenario — far larger than in
+  // the CPU-intensive Pareto scenario.
+  ScenarioConfig heavy;
+  heavy.kind = ScenarioKind::data_intensive;
+  ScenarioConfig cpu;
+  cpu.kind = ScenarioKind::pareto;
+  const cloud::Platform platform = cloud::Platform::ec2();
+
+  const auto gap = [&](const ScenarioConfig& cfg) {
+    const dag::Workflow wf =
+        apply_scenario(dag::builders::sequential_chain(), cfg);
+    const util::Seconds shipping =
+        scheduling::strategy_by_label("OneVMperTask-s")
+            .scheduler->run(wf, platform)
+            .makespan();
+    const util::Seconds local = scheduling::strategy_by_label("StartParExceed-s")
+                                    .scheduler->run(wf, platform)
+                                    .makespan();
+    return shipping - local;
+  };
+  EXPECT_GT(gap(heavy), 10.0 * gap(cpu));
+}
+
+TEST(DataIntensive, LocalityAwareClusteringWins) {
+  // PCH clusters paths onto one VM; with heavy data it must beat
+  // OneVMperTask's makespan on the shuffle-heavy MapReduce workflow.
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::data_intensive;
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow wf = apply_scenario(dag::builders::map_reduce(), cfg);
+
+  const util::Seconds pch =
+      scheduling::PchScheduler(cloud::InstanceSize::small)
+          .run(wf, platform)
+          .makespan();
+  const util::Seconds one_vm_each =
+      scheduling::strategy_by_label("OneVMperTask-s")
+          .scheduler->run(wf, platform)
+          .makespan();
+  EXPECT_LT(pch, one_vm_each);
+}
+
+}  // namespace
+}  // namespace cloudwf::workload

@@ -1,0 +1,78 @@
+#include "workload/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cloudwf::workload {
+namespace {
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(ParetoDistribution(0.0, 500.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(-1.0, 500.0), std::invalid_argument);
+}
+
+TEST(Pareto, SamplesAboveScale) {
+  const ParetoDistribution d(2.0, 500.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(d.sample(rng), 500.0);
+}
+
+TEST(Pareto, CdfAnalyticalValues) {
+  const ParetoDistribution d(2.0, 500.0);
+  EXPECT_DOUBLE_EQ(d.cdf(499.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(500.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1000.0), 1.0 - 0.25);   // 1-(500/1000)^2
+  EXPECT_DOUBLE_EQ(d.cdf(2000.0), 1.0 - 0.0625);
+}
+
+TEST(Pareto, QuantileInvertsCdf) {
+  const ParetoDistribution d(2.0, 500.0);
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+  EXPECT_THROW((void)d.quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)d.quantile(-0.1), std::invalid_argument);
+}
+
+TEST(Pareto, MeanDefinedOnlyAboveShapeOne) {
+  EXPECT_DOUBLE_EQ(ParetoDistribution(2.0, 500.0).mean(), 1000.0);
+  EXPECT_THROW((void)ParetoDistribution(1.0, 500.0).mean(), std::logic_error);
+  // The paper's task-size shape 1.3 has a (large) finite mean.
+  EXPECT_NEAR(ParetoDistribution(1.3, 500.0).mean(), 1.3 * 500.0 / 0.3, 1e-9);
+}
+
+TEST(Pareto, EmpiricalCdfTracksAnalytical) {
+  const ParetoDistribution d(2.0, 500.0);
+  util::Rng rng(42);
+  const auto xs = d.sample_n(200'000, rng);
+  // Kolmogorov-style spot checks at a few abscissae.
+  for (double x : {600.0, 1000.0, 1500.0, 3000.0}) {
+    const auto below = std::count_if(xs.begin(), xs.end(),
+                                     [x](double v) { return v <= x; });
+    const double empirical =
+        static_cast<double>(below) / static_cast<double>(xs.size());
+    EXPECT_NEAR(empirical, d.cdf(x), 0.005) << "at x=" << x;
+  }
+}
+
+TEST(Pareto, SampleMeanApproachesAnalyticalMean) {
+  const ParetoDistribution d(2.0, 500.0);
+  util::Rng rng(7);
+  const auto xs = d.sample_n(500'000, rng);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  // Heavy-tailed, so allow a generous band around the mean of 1000.
+  EXPECT_NEAR(sum / static_cast<double>(xs.size()), d.mean(), 30.0);
+}
+
+TEST(Pareto, PaperDistributions) {
+  EXPECT_DOUBLE_EQ(paper_exec_time_distribution().shape(), 2.0);
+  EXPECT_DOUBLE_EQ(paper_exec_time_distribution().scale(), 500.0);
+  EXPECT_DOUBLE_EQ(paper_task_size_distribution().shape(), 1.3);
+  EXPECT_DOUBLE_EQ(paper_task_size_distribution().scale(), 500.0);
+}
+
+}  // namespace
+}  // namespace cloudwf::workload

@@ -1,0 +1,88 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+
+namespace cloudwf::workload {
+namespace {
+
+TEST(Scenario, ParetoAssignsHeavyTailedWorks) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::pareto;
+  const dag::Workflow wf =
+      apply_scenario(dag::builders::montage24(), cfg);
+  for (const dag::Task& t : wf.tasks()) {
+    EXPECT_GE(t.work, 500.0);       // Pareto scale
+    EXPECT_GT(t.output_data, 0.0);  // data sizes sampled too
+  }
+}
+
+TEST(Scenario, ParetoDeterministicPerSeed) {
+  ScenarioConfig cfg;
+  cfg.seed = 1234;
+  const dag::Workflow a = apply_scenario(dag::builders::cstem(), cfg);
+  const dag::Workflow b = apply_scenario(dag::builders::cstem(), cfg);
+  for (const dag::Task& t : a.tasks())
+    EXPECT_DOUBLE_EQ(t.work, b.task(t.id).work);
+
+  cfg.seed = 5678;
+  const dag::Workflow c = apply_scenario(dag::builders::cstem(), cfg);
+  bool any_differ = false;
+  for (const dag::Task& t : a.tasks())
+    if (t.work != c.task(t.id).work) any_differ = true;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Scenario, BestCaseFitsOneBtuSequentially) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::best_case;
+  const dag::Workflow wf = apply_scenario(dag::builders::map_reduce(), cfg);
+  const double e = wf.task(0).work;
+  for (const dag::Task& t : wf.tasks()) {
+    EXPECT_DOUBLE_EQ(t.work, e);            // all equal
+    EXPECT_DOUBLE_EQ(t.output_data, 0.0);   // pure CPU
+  }
+  // n*e == BTU: the whole workflow fits one small VM's single BTU.
+  EXPECT_NEAR(e * static_cast<double>(wf.task_count()), util::kBtu, 1e-9);
+}
+
+TEST(Scenario, WorstCaseExceedsBtuEvenOnXlarge) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::worst_case;
+  const dag::Workflow wf =
+      apply_scenario(dag::builders::sequential_chain(), cfg);
+  for (const dag::Task& t : wf.tasks()) {
+    EXPECT_GT(t.work / 2.7, util::kBtu);  // BTU < e/2.7 (paper's condition)
+  }
+}
+
+TEST(Scenario, WorstFactorMustBeatXlargeSpeedup) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::worst_case;
+  cfg.worst_factor = 2.0;  // would fit a BTU on xlarge: invalid
+  EXPECT_THROW((void)apply_scenario(dag::builders::cstem(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Scenario, StructureUntouched) {
+  for (ScenarioKind kind : kAllScenarios) {
+    ScenarioConfig cfg;
+    cfg.kind = kind;
+    const dag::Workflow base = dag::builders::montage24();
+    const dag::Workflow wf = apply_scenario(base, cfg);
+    EXPECT_EQ(wf.task_count(), base.task_count());
+    EXPECT_EQ(wf.edge_count(), base.edge_count());
+    EXPECT_EQ(wf.name(), base.name());
+    for (const dag::Edge& e : base.edges()) EXPECT_TRUE(wf.has_edge(e.from, e.to));
+  }
+}
+
+TEST(Scenario, Names) {
+  EXPECT_EQ(name_of(ScenarioKind::pareto), "pareto");
+  EXPECT_EQ(name_of(ScenarioKind::best_case), "best-case");
+  EXPECT_EQ(name_of(ScenarioKind::worst_case), "worst-case");
+}
+
+}  // namespace
+}  // namespace cloudwf::workload

@@ -1,0 +1,79 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dag/builders.hpp"
+
+namespace cloudwf::workload {
+namespace {
+
+TEST(Trace, ParsesNumbersCommentsAndBlanks) {
+  const auto trace = parse_trace_string(
+      "# measured runtimes\n"
+      "100.5\n"
+      "\n"
+      "  250 \n"
+      "3600\n");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0], 100.5);
+  EXPECT_DOUBLE_EQ(trace[1], 250.0);
+  EXPECT_DOUBLE_EQ(trace[2], 3600.0);
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_trace_string(""), std::runtime_error);
+  EXPECT_THROW((void)parse_trace_string("# only comments\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_trace_string("12x\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_trace_string("abc\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_trace_string("-5\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_trace_string("0\n"), std::runtime_error);
+}
+
+TEST(Trace, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_trace_string("100\n200\nbogus\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Trace, ApplyAssignsInIdOrderAndCycles) {
+  const dag::Workflow base = dag::builders::sequential_chain(5);
+  const std::vector<util::Seconds> trace = {10.0, 20.0, 30.0};
+  const dag::Workflow wf = apply_trace(base, trace);
+  EXPECT_DOUBLE_EQ(wf.task(0).work, 10.0);
+  EXPECT_DOUBLE_EQ(wf.task(1).work, 20.0);
+  EXPECT_DOUBLE_EQ(wf.task(2).work, 30.0);
+  EXPECT_DOUBLE_EQ(wf.task(3).work, 10.0);  // cycles
+  EXPECT_DOUBLE_EQ(wf.task(4).work, 20.0);
+  EXPECT_THROW((void)apply_trace(base, {}), std::invalid_argument);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cloudwf_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# trace\n42\n4200\n";
+  }
+  const auto trace = load_trace(path.string());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[1], 4200.0);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_trace(path.string()), std::runtime_error);
+}
+
+TEST(Trace, StructureUntouched) {
+  const dag::Workflow base = dag::builders::montage24();
+  const dag::Workflow wf = apply_trace(base, {500.0});
+  EXPECT_EQ(wf.task_count(), base.task_count());
+  EXPECT_EQ(wf.edge_count(), base.edge_count());
+  for (const dag::Task& t : wf.tasks()) EXPECT_DOUBLE_EQ(t.work, 500.0);
+}
+
+}  // namespace
+}  // namespace cloudwf::workload

@@ -1,0 +1,322 @@
+// cloudwf — command-line front-end to the simulator.
+//
+//   cloudwf list
+//   cloudwf run     --workflow <name|file> --strategy <label>
+//                   [--scenario pareto|best-case|worst-case] [--seed N]
+//                   [--gantt] [--csv] [--dot <out.dot>]
+//   cloudwf compare --workflow <name|file> [--scenario ...] [--seed N]
+//                   [--baselines]
+//   cloudwf advise  --workflow <name|file> [--objective savings|gain|balanced]
+//   cloudwf plan    --workflow <name|file> [--budget <usd>] [--deadline <s>]
+//                   [--scenario ...] [--seed N]
+//   cloudwf report  [--out <file.md>] [--seed N]
+//   cloudwf artifacts [--out <dir>] [--seed N]
+//   cloudwf diff    --workflow <name|file> --strategy <A> --vs <B>
+//                   [--scenario ...] [--seed N]
+//
+// Workflow names: montage, cstem, mapreduce, sequential; anything else is
+// treated as a workflow file in the dag/io text format.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "adaptive/advisor.hpp"
+#include "adaptive/markdown_report.hpp"
+#include "dag/builders.hpp"
+#include "dag/edge_dsl.hpp"
+#include "dag/science.hpp"
+#include "exp/artifacts.hpp"
+#include "dag/dot.hpp"
+#include "dag/io.hpp"
+#include "exp/pareto_front.hpp"
+#include "exp/planner.hpp"
+#include "exp/report.hpp"
+#include "scheduling/baselines.hpp"
+#include "sim/gantt.hpp"
+#include "sim/schedule_diff.hpp"
+#include "sim/validator.hpp"
+#include "sim/vm_report.hpp"
+
+namespace {
+
+using namespace cloudwf;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] std::optional<std::string> option(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& name) const {
+    for (const std::string& f : flags)
+      if (f == name) return true;
+    return false;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected argument '" + tok + "'");
+    const std::string name = tok.substr(2);
+    // Options with values: workflow/strategy/scenario/seed/objective/dot.
+    if (name == "workflow" || name == "strategy" || name == "scenario" ||
+        name == "seed" || name == "objective" || name == "dot" ||
+        name == "budget" || name == "deadline" || name == "out" ||
+        name == "vs") {
+      if (i + 1 >= argc)
+        throw std::runtime_error("--" + name + " needs a value");
+      args.options[name] = argv[++i];
+    } else {
+      args.flags.push_back(name);
+    }
+  }
+  return args;
+}
+
+dag::Workflow resolve_workflow(const std::string& spec) {
+  if (spec == "montage") return dag::builders::montage24();
+  if (spec == "cstem") return dag::builders::cstem();
+  if (spec == "mapreduce") return dag::builders::map_reduce();
+  if (spec == "sequential") return dag::builders::sequential_chain();
+  if (spec == "epigenomics") return dag::science::epigenomics();
+  if (spec == "cybershake") return dag::science::cybershake();
+  if (spec == "ligo") return dag::science::ligo();
+  if (spec == "sipht") return dag::science::sipht();
+  // A spec containing "->" is an inline edge-DSL workflow
+  // (e.g. --workflow "a:600 -> b; a -> c; b, c -> d").
+  if (spec.find("->") != std::string::npos)
+    return dag::parse_edge_dsl(spec, "inline");
+  return dag::load_workflow(spec);
+}
+
+bool scenario_is_as_is(const Args& args) {
+  return args.option("scenario").value_or("") == "as-is";
+}
+
+workload::ScenarioKind resolve_scenario(const Args& args) {
+  const std::string name = args.option("scenario").value_or("pareto");
+  for (workload::ScenarioKind kind :
+       {workload::ScenarioKind::pareto, workload::ScenarioKind::best_case,
+        workload::ScenarioKind::worst_case,
+        workload::ScenarioKind::data_intensive}) {
+    if (name == workload::name_of(kind)) return kind;
+  }
+  throw std::runtime_error(
+      "unknown scenario '" + name +
+      "' (pareto|best-case|worst-case|data-intensive|as-is)");
+}
+
+/// The workflow a run should schedule: scenario-materialized, or verbatim
+/// when --scenario as-is keeps the workflow's own runtimes (DSL/file works).
+dag::Workflow materialize_or_keep(const exp::ExperimentRunner& runner,
+                                  const dag::Workflow& structure,
+                                  const Args& args) {
+  if (scenario_is_as_is(args)) return structure;
+  return runner.materialize(structure, resolve_scenario(args));
+}
+
+exp::ExperimentRunner make_runner(const Args& args) {
+  workload::ScenarioConfig cfg;
+  if (const auto seed = args.option("seed"))
+    cfg.seed = std::stoull(*seed);
+  return exp::ExperimentRunner(cloud::Platform::ec2(), cfg);
+}
+
+int cmd_list() {
+  std::cout << "workflows: montage cstem mapreduce sequential "
+               "epigenomics cybershake ligo sipht (or a .wf file)\n\n";
+  std::cout << "paper strategies (Fig. 4 legend order):\n";
+  for (const std::string& label : scheduling::paper_strategy_labels())
+    std::cout << "  " << label << '\n';
+  std::cout << "\nbaseline strategies (related work):\n";
+  for (const scheduling::Strategy& s : scheduling::baseline_strategies())
+    std::cout << "  " << s.label << '\n';
+  std::cout << "\nscenarios: pareto best-case worst-case\n";
+  return 0;
+}
+
+scheduling::Strategy resolve_strategy(const std::string& label) {
+  for (scheduling::Strategy& s : scheduling::baseline_strategies())
+    if (s.label == label) return std::move(s);
+  return scheduling::strategy_by_label(label);
+}
+
+int cmd_run(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  const auto strategy_label = args.option("strategy");
+  if (!wf_spec || !strategy_label)
+    throw std::runtime_error("run needs --workflow and --strategy");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow structure = resolve_workflow(*wf_spec);
+  const dag::Workflow wf = materialize_or_keep(runner, structure, args);
+  const scheduling::Strategy strategy = resolve_strategy(*strategy_label);
+
+  const sim::Schedule schedule = strategy.scheduler->run(wf, runner.platform());
+  sim::validate_or_throw(wf, schedule, runner.platform());
+  const sim::ScheduleMetrics m =
+      sim::compute_metrics(wf, schedule, runner.platform());
+
+  std::cout << "workflow " << wf.name() << " (" << wf.task_count()
+            << " tasks), strategy " << strategy.label << '\n'
+            << "  makespan " << m.makespan << " s\n"
+            << "  cost     " << m.total_cost << " (" << m.total_btus
+            << " BTUs, " << m.vms_used << " VMs)\n"
+            << "  idle     " << m.total_idle << " s (utilization "
+            << 100.0 * m.utilization << " %)\n";
+
+  if (args.flag("gantt")) std::cout << '\n' << sim::render_gantt(wf, schedule);
+  if (args.flag("vms"))
+    std::cout << '\n'
+              << sim::vm_report_table(sim::vm_report(schedule, runner.platform()));
+  if (args.flag("csv")) std::cout << '\n' << sim::gantt_csv(wf, schedule);
+  if (const auto dot = args.option("dot")) {
+    dag::save_workflow(wf, *dot + ".wf");
+    std::cout << "\nwrote " << *dot << ".wf\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  if (!wf_spec) throw std::runtime_error("compare needs --workflow");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow structure = resolve_workflow(*wf_spec);
+  const workload::ScenarioKind kind = resolve_scenario(args);
+
+  std::vector<exp::RunResult> results = runner.run_all(structure, kind);
+  if (args.flag("baselines")) {
+    for (const scheduling::Strategy& s : scheduling::baseline_strategies())
+      results.push_back(runner.run_one(s, structure, kind));
+  }
+  std::cout << exp::results_table(results);
+  if (args.flag("front")) {
+    std::cout << "\n(makespan, cost) Pareto front:\n"
+              << exp::pareto_front_table(exp::pareto_front(results));
+  }
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  if (!wf_spec) throw std::runtime_error("advise needs --workflow");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow wf = runner.materialize(resolve_workflow(*wf_spec),
+                                              workload::ScenarioKind::pareto);
+  const adaptive::WorkflowFeatures features = adaptive::compute_features(wf);
+  std::cout << adaptive::describe(features) << "\n\n";
+
+  const std::string objective = args.option("objective").value_or("");
+  for (adaptive::Objective obj :
+       {adaptive::Objective::savings, adaptive::Objective::gain,
+        adaptive::Objective::balanced}) {
+    if (!objective.empty() && objective != name_of(obj)) continue;
+    const adaptive::Advice advice = adaptive::advise(features, obj);
+    std::cout << name_of(obj) << ": " << advice.strategy_label << "\n  ("
+              << advice.rationale << ")\n";
+  }
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  const auto label_a = args.option("strategy");
+  const auto label_b = args.option("vs");
+  if (!wf_spec || !label_a || !label_b)
+    throw std::runtime_error("diff needs --workflow, --strategy and --vs");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow wf =
+      materialize_or_keep(runner, resolve_workflow(*wf_spec), args);
+
+  const sim::Schedule before =
+      resolve_strategy(*label_a).scheduler->run(wf, runner.platform());
+  const sim::Schedule after =
+      resolve_strategy(*label_b).scheduler->run(wf, runner.platform());
+  std::cout << *label_a << " -> " << *label_b << " on " << wf.name() << ":\n"
+            << sim::render_diff(
+                   sim::diff_schedules(wf, before, after, runner.platform()));
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const exp::ExperimentRunner runner = make_runner(args);
+  const std::string report = adaptive::markdown_report(runner);
+  if (const auto out = args.option("out")) {
+    std::ofstream file(*out);
+    if (!file) throw std::runtime_error("cannot open " + *out);
+    file << report;
+    std::cout << "wrote " << report.size() << " bytes to " << *out << '\n';
+  } else {
+    std::cout << report;
+  }
+  return 0;
+}
+
+int cmd_artifacts(const Args& args) {
+  const exp::ExperimentRunner runner = make_runner(args);
+  const std::string dir = args.option("out").value_or("reproduction_artifacts");
+  const exp::ArtifactManifest manifest =
+      exp::write_reproduction_artifacts(dir, runner);
+  std::cout << "wrote " << manifest.files.size() << " files to "
+            << manifest.directory.string() << '\n';
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  if (!wf_spec) throw std::runtime_error("plan needs --workflow");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  exp::PlanConstraints constraints;
+  if (const auto b = args.option("budget"))
+    constraints.budget = util::Money::from_dollars(std::stod(*b));
+  if (const auto d = args.option("deadline"))
+    constraints.deadline = std::stod(*d);
+
+  const exp::PlanOutcome outcome = exp::plan(
+      runner, resolve_workflow(*wf_spec), constraints, resolve_scenario(args));
+  std::cout << (outcome.feasible ? "plan: " : "no feasible plan; best effort: ")
+            << outcome.strategy << " (makespan " << outcome.metrics.makespan
+            << " s, cost " << outcome.metrics.total_cost << ")\n\n";
+  std::cout << exp::plan_table(outcome, constraints);
+  return outcome.feasible ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "list") return cmd_list();
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "advise") return cmd_advise(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "report") return cmd_report(args);
+    if (args.command == "artifacts") return cmd_artifacts(args);
+    if (args.command == "diff") return cmd_diff(args);
+    std::cerr << "usage: cloudwf "
+                 "<list|run|compare|advise|plan|report|artifacts|diff> "
+                 "[options]\n"
+                 "see the header of tools/cloudwf_cli.cpp for details\n";
+    return args.command.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
