@@ -1,5 +1,6 @@
 #include "exp/ensemble.hpp"
 
+#include "exp/parallel.hpp"
 #include "sim/validator.hpp"
 #include "util/strings.hpp"
 
@@ -8,19 +9,18 @@ namespace cloudwf::exp {
 EnsembleStats ensemble_study(const dag::nondet::NodePtr& tree,
                              const scheduling::Strategy& strategy,
                              const cloud::Platform& platform,
-                             std::size_t instances, std::uint64_t seed) {
+                             std::size_t instances, std::uint64_t seed,
+                             const ParallelConfig& parallel) {
   if (instances == 0)
     throw std::invalid_argument("ensemble_study: zero instances");
 
-  std::vector<double> makespans;
-  std::vector<double> costs;
-  std::vector<double> idles;
-  std::vector<double> sizes;
-  makespans.reserve(instances);
-
-  for (std::size_t i = 0; i < instances; ++i) {
-    // One RNG per instance, split deterministically: strategy choice does
-    // not perturb the instance stream.
+  struct InstancePoint {
+    double makespan = 0, cost = 0, idle = 0, tasks = 0;
+  };
+  // One job per instance. The per-instance RNG is seeded from (seed, i)
+  // alone — Rng's constructor is the SplitMix64 stream-split — so strategy
+  // choice and worker scheduling both leave the instance stream untouched.
+  const auto points = parallel_map(instances, parallel, [&](std::size_t i) {
     util::Rng rng(seed + i);
     const dag::Workflow wf = dag::nondet::unroll(
         tree, rng, "instance-" + std::to_string(i));
@@ -29,10 +29,21 @@ EnsembleStats ensemble_study(const dag::nondet::NodePtr& tree,
     sim::validate_or_throw(wf, schedule, platform);
     const sim::ScheduleMetrics m = sim::compute_metrics(wf, schedule, platform);
 
-    makespans.push_back(m.makespan);
-    costs.push_back(m.total_cost.dollars());
-    idles.push_back(m.total_idle);
-    sizes.push_back(static_cast<double>(wf.task_count()));
+    InstancePoint p;
+    p.makespan = m.makespan;
+    p.cost = m.total_cost.dollars();
+    p.idle = m.total_idle;
+    p.tasks = static_cast<double>(wf.task_count());
+    return p;
+  });
+
+  std::vector<double> makespans, costs, idles, sizes;
+  makespans.reserve(instances);
+  for (const InstancePoint& p : points) {
+    makespans.push_back(p.makespan);
+    costs.push_back(p.cost);
+    idles.push_back(p.idle);
+    sizes.push_back(p.tasks);
   }
 
   EnsembleStats stats;
@@ -48,11 +59,16 @@ EnsembleStats ensemble_study(const dag::nondet::NodePtr& tree,
 std::vector<EnsembleStats> ensemble_study_all(const dag::nondet::NodePtr& tree,
                                               const cloud::Platform& platform,
                                               std::size_t instances,
-                                              std::uint64_t seed) {
-  std::vector<EnsembleStats> out;
-  for (const scheduling::Strategy& s : scheduling::paper_strategies())
-    out.push_back(ensemble_study(tree, s, platform, instances, seed));
-  return out;
+                                              std::uint64_t seed,
+                                              const ParallelConfig& parallel) {
+  // Parallelism lives at the strategy level; each study runs its instances
+  // serially inside so the pool is not oversubscribed by nested jobs.
+  const std::vector<scheduling::Strategy> strategies =
+      scheduling::paper_strategies();
+  return parallel_map(strategies.size(), parallel, [&](std::size_t i) {
+    return ensemble_study(tree, strategies[i], platform, instances, seed,
+                          ParallelConfig::serial());
+  });
 }
 
 util::TextTable ensemble_table(const std::vector<EnsembleStats>& rows) {

@@ -9,6 +9,7 @@
 
 #include "dag/nondet.hpp"
 #include "exp/experiment.hpp"
+#include "exp/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -26,17 +27,22 @@ struct EnsembleStats {
 /// Runs the strategy on `instances` unrollings of `tree` (seeds derived
 /// deterministically from `seed`). Workload: the tree's task works are used
 /// as-is (reference seconds); every schedule is feasibility-checked.
+/// Instances are evaluated concurrently per `parallel`; the summaries are
+/// bit-identical for any worker count.
 [[nodiscard]] EnsembleStats ensemble_study(const dag::nondet::NodePtr& tree,
                                            const scheduling::Strategy& strategy,
                                            const cloud::Platform& platform,
                                            std::size_t instances,
-                                           std::uint64_t seed = 0x1db2013);
+                                           std::uint64_t seed = 0x1db2013,
+                                           const ParallelConfig& parallel = {});
 
 /// Convenience: every paper strategy over the same instance ensemble
-/// (same seeds, so strategies see identical instances).
+/// (same seeds, so strategies see identical instances). Strategies are
+/// evaluated concurrently per `parallel`.
 [[nodiscard]] std::vector<EnsembleStats> ensemble_study_all(
     const dag::nondet::NodePtr& tree, const cloud::Platform& platform,
-    std::size_t instances, std::uint64_t seed = 0x1db2013);
+    std::size_t instances, std::uint64_t seed = 0x1db2013,
+    const ParallelConfig& parallel = {});
 
 [[nodiscard]] util::TextTable ensemble_table(
     const std::vector<EnsembleStats>& rows);

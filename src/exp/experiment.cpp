@@ -1,7 +1,5 @@
 #include "exp/experiment.hpp"
 
-#include <future>
-
 #include "dag/builders.hpp"
 #include "sim/validator.hpp"
 
@@ -17,8 +15,11 @@ std::vector<dag::Workflow> paper_workflows() {
 }
 
 ExperimentRunner::ExperimentRunner(cloud::Platform platform,
-                                   workload::ScenarioConfig base_config)
-    : platform_(std::move(platform)), base_config_(base_config) {}
+                                   workload::ScenarioConfig base_config,
+                                   ParallelConfig parallel)
+    : platform_(std::move(platform)),
+      base_config_(base_config),
+      parallel_(parallel) {}
 
 dag::Workflow ExperimentRunner::materialize(const dag::Workflow& structure,
                                             workload::ScenarioKind kind) const {
@@ -53,36 +54,46 @@ RunResult ExperimentRunner::run_one(const scheduling::Strategy& strategy,
 
 std::vector<RunResult> ExperimentRunner::run_all(const dag::Workflow& structure,
                                                  workload::ScenarioKind kind) const {
-  std::vector<RunResult> out;
-  for (const scheduling::Strategy& s : scheduling::paper_strategies())
-    out.push_back(run_one(s, structure, kind));
-  return out;
+  return run_all(structure, kind, parallel_);
+}
+
+std::vector<RunResult> ExperimentRunner::run_all(
+    const dag::Workflow& structure, workload::ScenarioKind kind,
+    const ParallelConfig& parallel) const {
+  // One job per strategy. run_one is a pure function of (strategy,
+  // structure, kind) — schedulers are stateless const objects — and
+  // parallel_map returns results in legend order, so the output is
+  // bit-identical to the serial loop for any worker count.
+  const std::vector<scheduling::Strategy> strategies =
+      scheduling::paper_strategies();
+  return parallel_map(strategies.size(), parallel, [&](std::size_t i) {
+    return run_one(strategies[i], structure, kind);
+  });
 }
 
 std::vector<RunResult> ExperimentRunner::run_grid() const {
   std::vector<RunResult> out;
   for (const dag::Workflow& wf : paper_workflows())
     for (workload::ScenarioKind kind : workload::kAllScenarios)
-      for (const RunResult& r : run_all(wf, kind)) out.push_back(r);
+      for (RunResult& r : run_all(wf, kind, ParallelConfig::serial()))
+        out.push_back(std::move(r));
   return out;
 }
 
 std::vector<RunResult> ExperimentRunner::run_grid_parallel() const {
-  // One task per (workflow, scenario) cell. Everything a cell touches is
-  // value-owned or const (the runner is shared read-only), so plain
-  // std::async composes safely.
+  // One job per (workflow, scenario) cell, evaluated on the engine; cells
+  // stay serial inside so the pool is not oversubscribed by nested jobs.
   const std::vector<dag::Workflow> workflows = paper_workflows();
-  std::vector<std::future<std::vector<RunResult>>> cells;
-  cells.reserve(workflows.size() * workload::kAllScenarios.size());
-  for (const dag::Workflow& wf : workflows) {
-    for (workload::ScenarioKind kind : workload::kAllScenarios) {
-      cells.push_back(std::async(std::launch::async,
-                                 [this, &wf, kind] { return run_all(wf, kind); }));
-    }
-  }
+  const std::size_t scenarios = workload::kAllScenarios.size();
+  const auto cells = parallel_map(
+      workflows.size() * scenarios, parallel_, [&](std::size_t c) {
+        return run_all(workflows[c / scenarios],
+                       workload::kAllScenarios[c % scenarios],
+                       ParallelConfig::serial());
+      });
   std::vector<RunResult> out;
-  for (auto& cell : cells)
-    for (RunResult& r : cell.get()) out.push_back(std::move(r));
+  for (const auto& cell : cells)
+    for (const RunResult& r : cell) out.push_back(r);
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "cloud/platform.hpp"
 #include "dag/workflow.hpp"
+#include "exp/parallel.hpp"
 #include "scheduling/factory.hpp"
 #include "sim/metrics.hpp"
 #include "workload/scenario.hpp"
@@ -30,13 +31,17 @@ struct RunResult {
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(cloud::Platform platform = cloud::Platform::ec2(),
-                            workload::ScenarioConfig base_config = {});
+                            workload::ScenarioConfig base_config = {},
+                            ParallelConfig parallel = {});
 
   [[nodiscard]] const cloud::Platform& platform() const noexcept {
     return platform_;
   }
   [[nodiscard]] const workload::ScenarioConfig& base_config() const noexcept {
     return base_config_;
+  }
+  [[nodiscard]] const ParallelConfig& parallel() const noexcept {
+    return parallel_;
   }
 
   /// The scenario-applied workflow a run would use (exposed for tests and
@@ -49,16 +54,25 @@ class ExperimentRunner {
                                   const dag::Workflow& structure,
                                   workload::ScenarioKind kind) const;
 
-  /// Runs all 19 paper strategies on one workflow under one scenario.
+  /// Runs all 19 paper strategies on one workflow under one scenario,
+  /// evaluated on the runner's ParallelConfig worker pool. Result order is
+  /// always legend order, and every result is bit-identical to the serial
+  /// path regardless of worker count.
   [[nodiscard]] std::vector<RunResult> run_all(const dag::Workflow& structure,
                                                workload::ScenarioKind kind) const;
+
+  /// run_all with an explicit worker count (overriding the runner's knob) —
+  /// used by outer-level sweeps whose jobs must stay serial inside.
+  [[nodiscard]] std::vector<RunResult> run_all(
+      const dag::Workflow& structure, workload::ScenarioKind kind,
+      const ParallelConfig& parallel) const;
 
   /// Full grid: every paper workflow x every scenario x every strategy.
   [[nodiscard]] std::vector<RunResult> run_grid() const;
 
-  /// run_grid with the (workflow, scenario) cells evaluated concurrently
-  /// via std::async. Identical results in identical order — a test asserts
-  /// bitwise agreement with the serial path.
+  /// run_grid with the (workflow, scenario) cells evaluated concurrently on
+  /// the runner's worker pool. Identical results in identical order — a
+  /// test asserts bitwise agreement with the serial path.
   [[nodiscard]] std::vector<RunResult> run_grid_parallel() const;
 
  private:
@@ -67,6 +81,7 @@ class ExperimentRunner {
 
   cloud::Platform platform_;
   workload::ScenarioConfig base_config_;
+  ParallelConfig parallel_;
 };
 
 }  // namespace cloudwf::exp

@@ -1,0 +1,13 @@
+#include "exp/parallel.hpp"
+
+#include <thread>
+
+namespace cloudwf::exp {
+
+std::size_t ParallelConfig::resolved_threads() const noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace cloudwf::exp

@@ -2,32 +2,50 @@
 
 #include <stdexcept>
 
+#include "exp/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace cloudwf::exp {
 
 std::vector<SeedSweepRow> seed_sweep(const dag::Workflow& structure,
                                      const cloud::Platform& platform,
-                                     std::size_t seeds, std::uint64_t base_seed) {
+                                     std::size_t seeds, std::uint64_t base_seed,
+                                     const ParallelConfig& parallel) {
   if (seeds == 0) throw std::invalid_argument("seed_sweep: zero seeds");
 
   const std::vector<scheduling::Strategy> strategies =
       scheduling::paper_strategies();
+
+  // One job per seed. Each job's randomness is fully determined by its
+  // ScenarioConfig seed (Rng's constructor is the SplitMix64 stream-split of
+  // it), so jobs are pure and worker scheduling cannot perturb them.
+  struct SeedPoint {
+    double gain = 0, loss = 0;
+  };
+  const auto per_seed = parallel_map(seeds, parallel, [&](std::size_t s) {
+    workload::ScenarioConfig cfg;
+    cfg.seed = base_seed + s;
+    const ExperimentRunner runner(platform, cfg, ParallelConfig::serial());
+    const auto results =
+        runner.run_all(structure, workload::ScenarioKind::pareto);
+    std::vector<SeedPoint> points(strategies.size());
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      points[i].gain = results[i].relative.gain_pct;
+      points[i].loss = results[i].relative.loss_pct;
+    }
+    return points;
+  });
+
+  // Aggregation replays the serial iteration order (seed-major), so the
+  // summaries are bit-identical to the single-threaded sweep.
   std::vector<std::vector<double>> gains(strategies.size());
   std::vector<std::vector<double>> losses(strategies.size());
   std::vector<std::size_t> in_square(strategies.size(), 0);
-
   for (std::size_t s = 0; s < seeds; ++s) {
-    workload::ScenarioConfig cfg;
-    cfg.seed = base_seed + s;
-    const ExperimentRunner runner(platform, cfg);
-    const auto results =
-        runner.run_all(structure, workload::ScenarioKind::pareto);
     for (std::size_t i = 0; i < strategies.size(); ++i) {
-      gains[i].push_back(results[i].relative.gain_pct);
-      losses[i].push_back(results[i].relative.loss_pct);
-      if (results[i].relative.gain_pct >= -1e-9 &&
-          results[i].relative.loss_pct <= 1e-9)
+      gains[i].push_back(per_seed[s][i].gain);
+      losses[i].push_back(per_seed[s][i].loss);
+      if (per_seed[s][i].gain >= -1e-9 && per_seed[s][i].loss <= 1e-9)
         ++in_square[i];
     }
   }

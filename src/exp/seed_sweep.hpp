@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -23,10 +24,14 @@ struct SeedSweepRow {
 
 /// Runs every paper strategy on `structure` under the Pareto scenario for
 /// `seeds` different seeds (base_seed, base_seed+1, ...). The reference is
-/// recomputed per seed, so each point is a genuine Fig. 4 sample.
+/// recomputed per seed, so each point is a genuine Fig. 4 sample. Seeds are
+/// evaluated concurrently per `parallel`; the result is bit-identical for
+/// any worker count (each seed is an independent job with its own RNG
+/// stream, and aggregation replays the serial order).
 [[nodiscard]] std::vector<SeedSweepRow> seed_sweep(
     const dag::Workflow& structure, const cloud::Platform& platform,
-    std::size_t seeds, std::uint64_t base_seed = 0x1db2013);
+    std::size_t seeds, std::uint64_t base_seed = 0x1db2013,
+    const ParallelConfig& parallel = {});
 
 [[nodiscard]] util::TextTable seed_sweep_table(
     const std::vector<SeedSweepRow>& rows);

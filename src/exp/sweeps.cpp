@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dag/builders.hpp"
+#include "exp/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -19,13 +20,16 @@ const RunResult& find_result(const std::vector<RunResult>& results,
 }  // namespace
 
 std::vector<SizeSweepPoint> montage_size_sweep(
-    const std::vector<std::size_t>& projections, std::uint64_t seed) {
+    const std::vector<std::size_t>& projections, std::uint64_t seed,
+    const ParallelConfig& parallel) {
   workload::ScenarioConfig cfg;
   cfg.seed = seed;
-  const ExperimentRunner runner(cloud::Platform::ec2(), cfg);
+  const ExperimentRunner runner(cloud::Platform::ec2(), cfg,
+                                ParallelConfig::serial());
 
-  std::vector<SizeSweepPoint> out;
-  for (std::size_t n : projections) {
+  // One job per workflow size; the runner is shared read-only.
+  return parallel_map(projections.size(), parallel, [&](std::size_t j) {
+    const std::size_t n = projections[j];
     const dag::Workflow wf = dag::builders::montage(n);
     const auto results = runner.run_all(wf, workload::ScenarioKind::pareto);
 
@@ -44,21 +48,26 @@ std::vector<SizeSweepPoint> montage_size_sweep(
         best = &r;
     }
     p.best_balance = best->strategy;
-    out.push_back(std::move(p));
-  }
-  return out;
+    return p;
+  });
 }
 
 std::vector<HeterogeneityPoint> heterogeneity_sweep(
-    const std::vector<double>& alphas, std::uint64_t seed) {
-  std::vector<HeterogeneityPoint> out;
-  for (double alpha : alphas) {
+    const std::vector<double>& alphas, std::uint64_t seed,
+    const ParallelConfig& parallel) {
+  for (double alpha : alphas)
     if (!(alpha > 1.0))
       throw std::invalid_argument("heterogeneity_sweep: alpha must exceed 1");
+
+  // One job per shape parameter; each builds its own runner (the scenario
+  // config differs per point).
+  return parallel_map(alphas.size(), parallel, [&](std::size_t j) {
+    const double alpha = alphas[j];
     workload::ScenarioConfig cfg;
     cfg.seed = seed;
     cfg.exec_shape = alpha;
-    const ExperimentRunner runner(cloud::Platform::ec2(), cfg);
+    const ExperimentRunner runner(cloud::Platform::ec2(), cfg,
+                                  ParallelConfig::serial());
     const dag::Workflow montage = dag::builders::montage24();
     const dag::Workflow wf =
         runner.materialize(montage, workload::ScenarioKind::pareto);
@@ -76,9 +85,8 @@ std::vector<HeterogeneityPoint> heterogeneity_sweep(
         find_result(results, "StartParNotExceed-m").relative.gain_pct;
     p.startpar_m_loss =
         find_result(results, "StartParNotExceed-m").relative.loss_pct;
-    out.push_back(p);
-  }
-  return out;
+    return p;
+  });
 }
 
 util::TextTable size_sweep_table(const std::vector<SizeSweepPoint>& points) {

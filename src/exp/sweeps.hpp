@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel.hpp"
 #include "util/table.hpp"
 
 namespace cloudwf::exp {
@@ -20,10 +21,11 @@ struct SizeSweepPoint {
   std::string best_balance;      ///< argmax min(gain, savings)
 };
 
-/// montage(n) for each n (even, >= 4), Pareto scenario.
+/// montage(n) for each n (even, >= 4), Pareto scenario. Sizes are evaluated
+/// concurrently per `parallel`; output is worker-count independent.
 [[nodiscard]] std::vector<SizeSweepPoint> montage_size_sweep(
     const std::vector<std::size_t>& projections,
-    std::uint64_t seed = 0x1db2013);
+    std::uint64_t seed = 0x1db2013, const ParallelConfig& parallel = {});
 
 struct HeterogeneityPoint {
   double alpha = 0;        ///< Pareto shape
@@ -34,9 +36,11 @@ struct HeterogeneityPoint {
   double startpar_m_loss = 0;
 };
 
-/// Montage under Pareto(alpha, 500) for each alpha > 1.
+/// Montage under Pareto(alpha, 500) for each alpha > 1. Shapes are evaluated
+/// concurrently per `parallel`; output is worker-count independent.
 [[nodiscard]] std::vector<HeterogeneityPoint> heterogeneity_sweep(
-    const std::vector<double>& alphas, std::uint64_t seed = 0x1db2013);
+    const std::vector<double>& alphas, std::uint64_t seed = 0x1db2013,
+    const ParallelConfig& parallel = {});
 
 [[nodiscard]] util::TextTable size_sweep_table(
     const std::vector<SizeSweepPoint>& points);

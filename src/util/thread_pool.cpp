@@ -1,0 +1,34 @@
+#include "util/thread_pool.hpp"
+
+namespace cloudwf::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping and fully drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+}  // namespace cloudwf::util

@@ -1,0 +1,69 @@
+// Fixed-size worker thread pool with future-based job submission.
+//
+// Jobs are queued FIFO and executed by a fixed set of workers; submit()
+// returns a std::future that carries the job's result or its exception
+// (std::packaged_task semantics), so errors inside workers propagate to
+// whoever joins the future. A pool constructed with zero workers runs every
+// job inline on the submitting thread — the degenerate case keeps callers
+// free of "is it parallel?" branches. Destruction drains the queue: every
+// job submitted before ~ThreadPool runs to completion, so no future is ever
+// abandoned with a broken promise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cloudwf::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues `f` and returns the future for its result. If the pool has no
+  /// workers the job runs inline, on the calling thread, before returning.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F&>> submit(F f) {
+    using R = std::invoke_result_t<F&>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.emplace([task] { (*task)(); });
+    }
+    ready_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace cloudwf::util

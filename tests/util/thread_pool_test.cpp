@@ -1,0 +1,123 @@
+// Stress and contract tests for the fixed-size worker pool. These carry the
+// ctest label "tsan": a ThreadSanitizer build (-DCLOUDWF_SANITIZE=thread)
+// must run them clean — they are the data-race certification for everything
+// exp/parallel.hpp layers on top.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cloudwf::util {
+namespace {
+
+TEST(ThreadPool, CounterConvergesUnderManyJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 1000);
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  // Jobs submitted and never joined still run before the pool dies.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i)
+      (void)pool.submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ResultsArriveOnTheSubmittedFuture) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+
+  // The pool survives a throwing job: later submissions still run.
+  auto after = pool.submit([] { return 11; });
+  EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto fut = pool.submit([] { return std::this_thread::get_id(); });
+  // Inline execution: the future is ready the moment submit returns.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(fut.get(), caller);
+
+  auto bad = pool.submit([]() -> int { throw std::logic_error("inline"); });
+  EXPECT_THROW((void)bad.get(), std::logic_error);
+}
+
+TEST(ThreadPool, OneWorkerRunsJobsInSubmissionOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::vector<int> order;  // touched only by the single worker: FIFO queue
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersStress) {
+  // Several producer threads hammering submit() while workers drain — the
+  // scenario ThreadSanitizer is pointed at.
+  std::atomic<long> sum{0};
+  ThreadPool pool(4);
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(250);
+      for (int i = 0; i < 250; ++i) {
+        const long value = p * 250 + i;
+        futures.push_back(pool.submit([&sum, value] { sum += value; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const long n = 4 * 250;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ManyMoreWorkersThanJobs) {
+  ThreadPool pool(8);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+}  // namespace
+}  // namespace cloudwf::util
