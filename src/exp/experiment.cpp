@@ -1,6 +1,7 @@
 #include "exp/experiment.hpp"
 
 #include "dag/builders.hpp"
+#include "obs/trace.hpp"
 #include "sim/validator.hpp"
 
 namespace cloudwf::exp {
@@ -38,6 +39,7 @@ sim::ScheduleMetrics ExperimentRunner::reference_metrics(
 RunResult ExperimentRunner::run_one(const scheduling::Strategy& strategy,
                                     const dag::Workflow& structure,
                                     workload::ScenarioKind kind) const {
+  obs::PhaseScope phase("run: " + strategy.label);
   const dag::Workflow materialized = materialize(structure, kind);
 
   const sim::Schedule schedule = strategy.scheduler->run(materialized, platform_);

@@ -1,0 +1,230 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace cloudwf::obs {
+
+namespace {
+
+using util::Json;
+
+constexpr int kSchedulePid = 1;
+constexpr int kReplayPid = 2;
+constexpr int kHostPid = 3;
+
+int pid_of(EventKind k) {
+  switch (k) {
+    case EventKind::vm_boot:
+    case EventKind::task_start:
+    case EventKind::task_finish:
+    case EventKind::transfer:
+      return kReplayPid;
+    case EventKind::phase:
+      return kHostPid;
+    default:
+      return kSchedulePid;
+  }
+}
+
+/// tid 0 is the control row; VM v gets row v + 1.
+std::int64_t tid_of(const TraceEvent& ev) {
+  return ev.vm == kNoId ? 0 : static_cast<std::int64_t>(ev.vm) + 1;
+}
+
+std::string display_name(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::task_place:
+    case EventKind::task_start:
+    case EventKind::task_finish:
+      return "t" + std::to_string(ev.task);
+    case EventKind::vm_rent:
+      return "rent vm" + std::to_string(ev.vm);
+    case EventKind::vm_boot:
+      return "boot vm" + std::to_string(ev.vm);
+    case EventKind::transfer:
+      return "xfer->t" + std::to_string(ev.task);
+    case EventKind::phase:
+      return ev.detail;
+    default:
+      return std::string(name_of(ev.kind));
+  }
+}
+
+Json args_of(const TraceEvent& ev) {
+  Json args = Json::object();
+  if (ev.task != kNoId) args["task"] = static_cast<double>(ev.task);
+  if (ev.vm != kNoId) args["vm"] = static_cast<double>(ev.vm);
+  if (ev.value != 0) args["value"] = ev.value;
+  if (!ev.detail.empty()) args["detail"] = ev.detail;
+  return args;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%10.3f", s);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const TraceEvent> events) {
+  Json trace_events = Json::array();
+
+  // Process-name metadata rows keep Perfetto's sidebar readable.
+  const std::pair<int, const char*> processes[] = {
+      {kSchedulePid, "cloudwf: schedule construction"},
+      {kReplayPid, "cloudwf: event-driven replay"},
+      {kHostPid, "cloudwf: host phases"}};
+  for (const auto& [pid, label] : processes) {
+    Json meta = Json::object();
+    meta["ph"] = "M";
+    meta["name"] = "process_name";
+    meta["pid"] = pid;
+    meta["tid"] = 0;
+    meta["ts"] = 0;
+    Json args = Json::object();
+    args["name"] = label;
+    meta["args"] = std::move(args);
+    trace_events.push_back(std::move(meta));
+  }
+
+  for (const TraceEvent& ev : events) {
+    Json e = Json::object();
+    e["name"] = display_name(ev);
+    e["cat"] = std::string(category_of(ev.kind));
+    e["pid"] = pid_of(ev.kind);
+    e["tid"] = static_cast<double>(tid_of(ev));
+    e["ts"] = ev.ts * 1e6;
+    const bool span = ev.kind == EventKind::task_place ||
+                      ev.kind == EventKind::vm_boot ||
+                      ev.kind == EventKind::phase ||
+                      (ev.kind == EventKind::transfer && ev.dur > 0);
+    if (span) {
+      e["ph"] = "X";
+      e["dur"] = ev.dur * 1e6;
+    } else if (ev.kind == EventKind::task_start) {
+      e["ph"] = "B";
+    } else if (ev.kind == EventKind::task_finish) {
+      e["ph"] = "E";
+    } else {
+      e["ph"] = "i";
+      e["s"] = "t";  // thread-scoped instant
+    }
+    const Json args = args_of(ev);
+    if (args.is_object()) e["args"] = args;
+    trace_events.push_back(std::move(e));
+  }
+
+  Json root = Json::object();
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = "ms";
+  return root.dump();
+}
+
+std::string to_jsonl(std::span<const TraceEvent> events) {
+  std::string out;
+  for (const TraceEvent& ev : events) {
+    Json e = Json::object();
+    e["cat"] = std::string(category_of(ev.kind));
+    e["kind"] = std::string(name_of(ev.kind));
+    e["ts"] = ev.ts;
+    if (ev.dur != 0) e["dur"] = ev.dur;
+    if (ev.task != kNoId) e["task"] = static_cast<double>(ev.task);
+    if (ev.vm != kNoId) e["vm"] = static_cast<double>(ev.vm);
+    if (ev.value != 0) e["value"] = ev.value;
+    if (!ev.detail.empty()) e["detail"] = ev.detail;
+    out += e.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string decision_log(std::span<const TraceEvent> events) {
+  std::string out;
+  for (const TraceEvent& ev : events) {
+    out += '[' + fmt_seconds(ev.ts) + "s] ";
+    std::string line(name_of(ev.kind));
+    line.resize(12, ' ');
+    out += line;
+    switch (ev.kind) {
+      case EventKind::vm_rent:
+        out += "vm " + std::to_string(ev.vm);
+        if (!ev.detail.empty()) out += " (" + ev.detail + ')';
+        break;
+      case EventKind::task_place:
+        out += 't' + std::to_string(ev.task) + " -> vm " + std::to_string(ev.vm) +
+               " [" + fmt_seconds(ev.ts) + ", " + fmt_seconds(ev.ts + ev.dur) +
+               ") " + ev.detail;
+        if (ev.value > 0)
+          out += " (+" + std::to_string(static_cast<long long>(ev.value)) +
+                 " BTU)";
+        break;
+      case EventKind::decision:
+        if (ev.task != kNoId) out += 't' + std::to_string(ev.task) + ": ";
+        out += ev.detail;
+        break;
+      case EventKind::ready_set:
+        out += ev.detail + " (" +
+               std::to_string(static_cast<long long>(ev.value)) + " tasks)";
+        break;
+      case EventKind::upgrade:
+        out += 't' + std::to_string(ev.task) + ": " + ev.detail;
+        break;
+      case EventKind::vm_boot:
+        out += "vm " + std::to_string(ev.vm) + " (" + std::to_string(ev.dur) +
+               " s)";
+        break;
+      case EventKind::task_start:
+      case EventKind::task_finish:
+        out += 't' + std::to_string(ev.task) + " on vm " + std::to_string(ev.vm);
+        break;
+      case EventKind::transfer:
+        out += ev.detail + " -> t" + std::to_string(ev.task) + " (" +
+               std::to_string(ev.value) + " GB, " + std::to_string(ev.dur) +
+               " s)";
+        break;
+      case EventKind::phase:
+        out += ev.detail + " (" + std::to_string(ev.dur * 1e3) + " ms)";
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string counters_summary(const CounterSnapshot& c) {
+  std::string out;
+  out += "events recorded " + std::to_string(c.events_recorded);
+  if (c.events_dropped > 0)
+    out += " (dropped " + std::to_string(c.events_dropped) + ')';
+  out += ", VMs rented " + std::to_string(c.vms_rented) + ", reuses " +
+         std::to_string(c.vms_reused) + " (BTU-extending " +
+         std::to_string(c.btu_extends) + "), BTUs added " +
+         std::to_string(c.btus_added) + ", tasks placed " +
+         std::to_string(c.tasks_placed) + ", replay events " +
+         std::to_string(c.sim_events) + ", transfers " +
+         std::to_string(c.transfers) + ", queue depth max " +
+         std::to_string(c.max_queue_depth);
+  if (c.upgrades_accepted + c.upgrades_rejected > 0)
+    out += ", upgrades " + std::to_string(c.upgrades_accepted) + " accepted / " +
+           std::to_string(c.upgrades_rejected) + " rejected";
+  out += '\n';
+  return out;
+}
+
+std::string phase_summary(const std::map<std::string, PhaseStat>& stats) {
+  std::string out;
+  for (const auto& [name, s] : stats) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%-24s x%llu  total %.3f ms  min %.3f ms  max %.3f ms\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.total * 1e3, s.min * 1e3, s.max * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cloudwf::obs

@@ -1,0 +1,41 @@
+// Exporters for drained trace streams:
+//
+//  - to_chrome_trace: Chrome trace-event JSON (the "JSON Array Format" with
+//    a traceEvents wrapper) loadable in chrome://tracing and Perfetto.
+//    Spans (placements, boots, replayed tasks, host phases) become "X"
+//    complete events; decisions and transfers become "i" instants. Rows:
+//    pid 1 = the static schedule, pid 2 = the event-driven replay, pid 3 =
+//    host phases; tid 0 is the control row, tid v+1 is VM v's timeline.
+//  - to_jsonl: one self-describing JSON object per line — the regression-
+//    friendly structured form (golden-file tested).
+//  - decision_log: a human-readable per-decision log plus counter summary,
+//    what `cloudwf trace` prints.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace cloudwf::obs {
+
+/// Chrome trace-event JSON for the whole stream. Timestamps are expressed
+/// in microseconds as the spec requires (simulation seconds x 1e6; phase
+/// events use wall-clock seconds since recorder creation x 1e6).
+[[nodiscard]] std::string to_chrome_trace(std::span<const TraceEvent> events);
+
+/// Line-delimited JSON: `{"cat":...,"kind":...,"ts":...}\n` per event.
+/// Field order is fixed (sorted keys) so the output is byte-stable.
+[[nodiscard]] std::string to_jsonl(std::span<const TraceEvent> events);
+
+/// Human-readable decision log, one line per event.
+[[nodiscard]] std::string decision_log(std::span<const TraceEvent> events);
+
+/// One-paragraph counter summary ("5 VMs rented, 19 reuses, ...").
+[[nodiscard]] std::string counters_summary(const CounterSnapshot& counters);
+
+/// Per-phase wall-time table (name, count, total/min/max milliseconds).
+[[nodiscard]] std::string phase_summary(
+    const std::map<std::string, PhaseStat>& stats);
+
+}  // namespace cloudwf::obs

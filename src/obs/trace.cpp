@@ -1,0 +1,261 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace cloudwf::obs {
+
+namespace {
+
+// Counter slots (indices into TraceRecorder::counters_).
+enum CounterSlot : std::size_t {
+  kEventsRecorded = 0,
+  kEventsDropped,
+  kVmsRented,
+  kVmsReused,
+  kBtuExtends,
+  kBtusAdded,
+  kTasksPlaced,
+  kSimEvents,
+  kTransfers,
+  kUpgradesAccepted,
+  kUpgradesRejected,
+  kMaxQueueDepth,
+  kCounterSlots,  // == 12; counters_ has one spare slot
+};
+
+std::atomic<std::uint64_t> g_generation{1};
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+thread_local TraceRecorder* tl_recorder = nullptr;
+
+// Per-(thread, recorder) sink cache: generation tags make a stale entry
+// (recorder destroyed, another allocated at the same address) detectable.
+struct SinkCache {
+  std::uint64_t generation = 0;
+  void* sink = nullptr;
+};
+thread_local SinkCache tl_sink_cache;
+
+}  // namespace
+
+std::string_view name_of(EventKind k) noexcept {
+  constexpr std::array<std::string_view, kEventKindCount> names = {
+      "vm_rent",  "task_place", "decision",    "ready_set", "upgrade",
+      "vm_boot",  "task_start", "task_finish", "transfer",  "phase"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+std::string_view category_of(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::vm_rent:
+    case EventKind::decision:
+      return "provisioning";
+    case EventKind::task_place:
+    case EventKind::ready_set:
+    case EventKind::upgrade:
+      return "scheduling";
+    case EventKind::vm_boot:
+    case EventKind::task_start:
+    case EventKind::task_finish:
+    case EventKind::transfer:
+      return "simulation";
+    case EventKind::phase:
+      return "host";
+  }
+  return "unknown";
+}
+
+/// One thread's ring buffer. Only its owning thread writes; drain() reads
+/// under the registry mutex after the writer quiesced (drains happen at
+/// barriers — end of run / end of job — not concurrently with recording
+/// on the same sink; `count` is atomic so a racy drain still reads a
+/// consistent prefix length).
+struct TraceRecorder::Sink {
+  explicit Sink(std::size_t capacity) : ring(capacity) {}
+
+  std::vector<TraceEvent> ring;
+  std::atomic<std::size_t> count{0};  ///< total events ever written
+};
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed)),
+      birth_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Unhook from the global slot if still installed (defensive; owners
+  // normally clear it themselves).
+  TraceRecorder* self = this;
+  g_recorder.compare_exchange_strong(self, nullptr);
+}
+
+TraceRecorder::Sink& TraceRecorder::sink_for_this_thread() {
+  if (tl_sink_cache.generation == generation_)
+    return *static_cast<Sink*>(tl_sink_cache.sink);
+  std::lock_guard lock(registry_mutex_);
+  sinks_.push_back(std::make_unique<Sink>(ring_capacity_));
+  Sink& sink = *sinks_.back();
+  tl_sink_cache = {generation_, &sink};
+  return sink;
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  Sink& sink = sink_for_this_thread();
+  const std::size_t n = sink.count.load(std::memory_order_relaxed);
+  if (n >= ring_capacity_)
+    counters_[kEventsDropped].fetch_add(1, std::memory_order_relaxed);
+  counters_[kEventsRecorded].fetch_add(1, std::memory_order_relaxed);
+
+  switch (ev.kind) {
+    case EventKind::vm_rent:
+      counters_[kVmsRented].fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EventKind::task_place: {
+      counters_[kTasksPlaced].fetch_add(1, std::memory_order_relaxed);
+      const bool reused = ev.detail == "reuse";
+      if (reused) counters_[kVmsReused].fetch_add(1, std::memory_order_relaxed);
+      const auto delta = static_cast<std::uint64_t>(ev.value);
+      if (delta > 0) {
+        counters_[kBtusAdded].fetch_add(delta, std::memory_order_relaxed);
+        if (reused)
+          counters_[kBtuExtends].fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case EventKind::task_finish:
+      counters_[kSimEvents].fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EventKind::transfer:
+      counters_[kTransfers].fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EventKind::upgrade:
+      counters_[ev.detail.rfind("accept", 0) == 0 ? kUpgradesAccepted
+                                                  : kUpgradesRejected]
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+
+  sink.ring[n % ring_capacity_] = std::move(ev);
+  sink.count.store(n + 1, std::memory_order_release);
+}
+
+void TraceRecorder::note_queue_depth(std::size_t depth) noexcept {
+  const auto d = static_cast<std::uint64_t>(depth);
+  std::uint64_t cur = counters_[kMaxQueueDepth].load(std::memory_order_relaxed);
+  while (cur < d && !counters_[kMaxQueueDepth].compare_exchange_weak(
+                        cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+void TraceRecorder::record_phase(std::string_view name, double begin_s,
+                                 double end_s) {
+  {
+    std::lock_guard lock(phase_mutex_);
+    PhaseStat& stat = phases_[std::string(name)];
+    const double dur = end_s - begin_s;
+    if (stat.count == 0) {
+      stat.min = dur;
+      stat.max = dur;
+    } else {
+      stat.min = std::min(stat.min, dur);
+      stat.max = std::max(stat.max, dur);
+    }
+    ++stat.count;
+    stat.total += dur;
+  }
+  record({begin_s, end_s - begin_s, EventKind::phase, kNoId, kNoId, 0,
+          std::string(name)});
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() const {
+  struct Tagged {
+    const TraceEvent* ev;
+    std::size_t sink_index;
+    std::size_t seq;
+  };
+  std::vector<Tagged> tagged;
+  {
+    std::lock_guard lock(registry_mutex_);
+    for (std::size_t s = 0; s < sinks_.size(); ++s) {
+      const Sink& sink = *sinks_[s];
+      const std::size_t n = sink.count.load(std::memory_order_acquire);
+      const std::size_t kept = std::min(n, ring_capacity_);
+      // Oldest kept event first: the ring holds [n - kept, n).
+      for (std::size_t i = 0; i < kept; ++i) {
+        const std::size_t seq = n - kept + i;
+        tagged.push_back({&sink.ring[seq % ring_capacity_], s, seq});
+      }
+    }
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       if (a.ev->ts != b.ev->ts) return a.ev->ts < b.ev->ts;
+                       if (a.sink_index != b.sink_index)
+                         return a.sink_index < b.sink_index;
+                       return a.seq < b.seq;
+                     });
+    std::vector<TraceEvent> out;
+    out.reserve(tagged.size());
+    for (const Tagged& t : tagged) out.push_back(*t.ev);
+    return out;
+  }
+}
+
+CounterSnapshot TraceRecorder::counters() const noexcept {
+  CounterSnapshot s;
+  s.events_recorded = counters_[kEventsRecorded].load(std::memory_order_relaxed);
+  s.events_dropped = counters_[kEventsDropped].load(std::memory_order_relaxed);
+  s.vms_rented = counters_[kVmsRented].load(std::memory_order_relaxed);
+  s.vms_reused = counters_[kVmsReused].load(std::memory_order_relaxed);
+  s.btu_extends = counters_[kBtuExtends].load(std::memory_order_relaxed);
+  s.btus_added = counters_[kBtusAdded].load(std::memory_order_relaxed);
+  s.tasks_placed = counters_[kTasksPlaced].load(std::memory_order_relaxed);
+  s.sim_events = counters_[kSimEvents].load(std::memory_order_relaxed);
+  s.transfers = counters_[kTransfers].load(std::memory_order_relaxed);
+  s.upgrades_accepted =
+      counters_[kUpgradesAccepted].load(std::memory_order_relaxed);
+  s.upgrades_rejected =
+      counters_[kUpgradesRejected].load(std::memory_order_relaxed);
+  s.max_queue_depth = counters_[kMaxQueueDepth].load(std::memory_order_relaxed);
+  return s;
+}
+
+std::map<std::string, PhaseStat> TraceRecorder::phase_stats() const {
+  std::lock_guard lock(phase_mutex_);
+  return phases_;
+}
+
+double TraceRecorder::elapsed() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - birth_)
+      .count();
+}
+
+void set_global_recorder(TraceRecorder* recorder) noexcept {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* current_recorder() noexcept {
+  if (TraceRecorder* r = tl_recorder) return r;
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+ScopedRecording::ScopedRecording(TraceRecorder& recorder) noexcept
+    : previous_(tl_recorder) {
+  tl_recorder = &recorder;
+}
+
+ScopedRecording::~ScopedRecording() { tl_recorder = previous_; }
+
+PhaseScope::PhaseScope(std::string_view name) noexcept
+    : recorder_(current_recorder()) {
+  if (recorder_ == nullptr) return;
+  begin_ = recorder_->elapsed();
+  name_ = name;
+}
+
+PhaseScope::~PhaseScope() {
+  if (recorder_ == nullptr) return;
+  recorder_->record_phase(name_, begin_, recorder_->elapsed());
+}
+
+}  // namespace cloudwf::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace cloudwf::provisioning {
 
 namespace {
@@ -27,7 +29,15 @@ cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
       if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
     }
     if (best == nullptr) return ctx.rent();
-    if (!exceed_ && reuse_adds_btu(ctx, t, *best)) return ctx.rent();
+    if (!exceed_ && reuse_adds_btu(ctx, t, *best)) {
+      const cloud::VmId id = ctx.rent();
+      obs::emit_decision(t, id, 0,
+                         "AllParNotExceed: sequential reuse would add a BTU, "
+                         "rent");
+      return id;
+    }
+    obs::emit_decision(t, best->id(), 0,
+                       "AllPar: sequential task, reuse largest-execution VM");
     return best->id();
   }
 
@@ -46,7 +56,11 @@ cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
   if (const auto pred = ctx.largest_predecessor(t)) {
     if (ctx.schedule().is_assigned(*pred)) {
       const cloud::Vm& pred_vm = pool.vm(ctx.schedule().assignment(*pred).vm);
-      if (admissible(pred_vm)) return pred_vm.id();
+      if (admissible(pred_vm)) {
+        obs::emit_decision(t, pred_vm.id(), 0,
+                           "AllPar: reuse largest predecessor's VM");
+        return pred_vm.id();
+      }
     }
   }
 
@@ -55,8 +69,16 @@ cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
     if (!vm.used() || !admissible(vm)) continue;
     if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
   }
-  if (best != nullptr) return best->id();
-  return ctx.rent();
+  if (best != nullptr) {
+    obs::emit_decision(t, best->id(), 0,
+                       "AllPar: reuse level-free largest-execution VM");
+    return best->id();
+  }
+  const cloud::VmId id = ctx.rent();
+  obs::emit_decision(t, id, 0,
+                     exceed_ ? "AllParExceed: level outgrew the pool, rent"
+                             : "AllParNotExceed: no BTU-admissible VM, rent");
+  return id;
 }
 
 }  // namespace cloudwf::provisioning

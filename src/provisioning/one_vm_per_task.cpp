@@ -1,9 +1,13 @@
 #include "provisioning/detail.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cloudwf::provisioning {
 
-cloud::VmId OneVmPerTask::choose_vm(dag::TaskId /*t*/, PlacementContext& ctx) {
-  return ctx.rent();
+cloud::VmId OneVmPerTask::choose_vm(dag::TaskId t, PlacementContext& ctx) {
+  const cloud::VmId id = ctx.rent();
+  obs::emit_decision(t, id, 0, "OneVMperTask: fresh VM for every task");
+  return id;
 }
 
 }  // namespace cloudwf::provisioning

@@ -1,5 +1,7 @@
 #include "provisioning/detail.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cloudwf::provisioning {
 
 namespace {
@@ -19,7 +21,11 @@ const cloud::Vm* largest_execution_time_vm(const cloud::VmPool& pool) {
 cloud::VmId StartPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
   // Entry ("initial workflow") tasks each get their own VM — this is where
   // the policy's start-up parallelism comes from.
-  if (ctx.workflow().predecessors(t).empty()) return ctx.rent();
+  if (ctx.workflow().predecessors(t).empty()) {
+    const cloud::VmId id = ctx.rent();
+    obs::emit_decision(t, id, 0, "StartPar: entry task, rent");
+    return id;
+  }
 
   const cloud::Vm* candidate = largest_execution_time_vm(ctx.schedule().pool());
   if (candidate == nullptr) return ctx.rent();  // no VM yet (defensive)
@@ -27,8 +33,16 @@ cloud::VmId StartPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
   if (!exceed_) {
     const util::Seconds est = ctx.est_on(t, *candidate);
     const util::Seconds eft = est + ctx.exec_time(t, candidate->size());
-    if (candidate->placement_adds_btu(est, eft)) return ctx.rent();
+    if (candidate->placement_adds_btu(est, eft)) {
+      const cloud::VmId id = ctx.rent();
+      obs::emit_decision(t, id, est,
+                         "StartParNotExceed: reuse would add a BTU, rent");
+      return id;
+    }
   }
+  obs::emit_decision(t, candidate->id(), 0,
+                     exceed_ ? "StartParExceed: reuse largest-execution VM"
+                             : "StartParNotExceed: reuse largest-execution VM");
   return candidate->id();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dag/graph_algo.hpp"
+#include "obs/trace.hpp"
 #include "scheduling/level_scheduler.hpp"
 
 namespace cloudwf::scheduling {
@@ -74,8 +75,13 @@ sim::Schedule AllParOneLnSScheduler::run(const dag::Workflow& wf,
   provisioning::PlacementContext ctx(wf, schedule, platform,
                                      cloud::InstanceSize::small);
 
+  obs::PhaseScope phase("allpar1lns: place");
   for (const auto& level : dag::level_groups(wf)) {
     const LevelChains chains = build_level_chains(wf, level);
+    if (obs::enabled())
+      obs::emit_ready_set(level.size(),
+                          "allpar1lns level packed into " +
+                              std::to_string(chains.chains.size()) + " chains");
     for (const auto& chain : chains.chains)
       (void)place_chain(ctx, chain, cloud::InstanceSize::small);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dag/graph_algo.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudwf::scheduling {
 
@@ -77,6 +78,7 @@ std::vector<cloud::InstanceSize> escalate_level_sizes(const dag::Workflow& wf,
 
 sim::Schedule AllParOneLnSDynScheduler::run(const dag::Workflow& wf,
                                             const cloud::Platform& platform) const {
+  obs::PhaseScope phase("allpar1lns-dyn: place");
   wf.validate();
   sim::Schedule schedule(wf);
   provisioning::PlacementContext ctx(wf, schedule, platform,

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "dag/graph_algo.hpp"
+#include "obs/trace.hpp"
 #include "scheduling/upgrade.hpp"
 
 namespace cloudwf::scheduling {
@@ -16,6 +17,7 @@ CpaEagerScheduler::CpaEagerScheduler(double budget_factor)
 
 sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
                                      const cloud::Platform& platform) const {
+  obs::PhaseScope phase("cpa-eager: run");
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
@@ -55,8 +57,16 @@ sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
     if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
       sizes[candidate] = previous;
       rejected.insert(candidate);
+      if (obs::enabled())
+        obs::emit_upgrade(candidate, false,
+                          static_cast<double>(cloud::index_of(sizes[candidate])),
+                          "CPA-Eager: upgrade busts budget");
     } else {
       rejected.clear();
+      if (obs::enabled())
+        obs::emit_upgrade(candidate, true,
+                          static_cast<double>(cloud::index_of(sizes[candidate])),
+                          "CPA-Eager: critical-path upgrade");
     }
   }
 

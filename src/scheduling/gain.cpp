@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "scheduling/upgrade.hpp"
 
 namespace cloudwf::scheduling {
@@ -16,6 +17,7 @@ GainScheduler::GainScheduler(double budget_factor) : budget_factor_(budget_facto
 
 sim::Schedule GainScheduler::run(const dag::Workflow& wf,
                                  const cloud::Platform& platform) const {
+  obs::PhaseScope phase("gain: run");
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
@@ -67,6 +69,11 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
     if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
       sizes[best_task] = previous;
       rejected.insert({best_task, best_size});
+      if (obs::enabled())
+        obs::emit_upgrade(best_task, false, best_gain,
+                          "GAIN: best move busts budget");
+    } else if (obs::enabled()) {
+      obs::emit_upgrade(best_task, true, best_gain, "GAIN: gain-matrix move");
     }
   }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dag/graph_algo.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudwf::scheduling {
 
@@ -37,7 +38,15 @@ sim::Schedule HeftScheduler::run(const dag::Workflow& wf,
     return platform.transfer_time(wf.edge_data(p, t), a, b);
   };
 
-  for (dag::TaskId t : dag::heft_order(wf, exec, comm))
+  std::vector<dag::TaskId> order;
+  {
+    obs::PhaseScope rank_phase("heft: rank");
+    order = dag::heft_order(wf, exec, comm);
+  }
+  obs::emit_ready_set(order.size(), "heft upward-rank order");
+
+  obs::PhaseScope place_phase("heft: place");
+  for (dag::TaskId t : order)
     place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
   return schedule;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dag/graph_algo.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudwf::scheduling {
 
@@ -39,9 +40,16 @@ sim::Schedule LevelScheduler::run(const dag::Workflow& wf,
   provisioning::PlacementContext ctx(wf, schedule, platform, size_);
   const auto policy = provisioning::make_policy(provisioning_);
 
-  for (const auto& level : dag::level_groups(wf))
+  obs::PhaseScope phase("level-scheduler: place");
+  std::size_t level_index = 0;
+  for (const auto& level : dag::level_groups(wf)) {
+    if (obs::enabled())
+      obs::emit_ready_set(level.size(),
+                          "level " + std::to_string(level_index) + " ready set");
+    ++level_index;
     for (dag::TaskId t : level_order_desc(wf, level))
       place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+  }
   return schedule;
 }
 

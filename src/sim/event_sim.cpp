@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace cloudwf::sim {
 
 namespace {
@@ -46,6 +48,13 @@ ReplayResult EventSimulator::replay(const dag::Workflow& wf,
   ReplayResult result;
   result.tasks.assign(n, ReplayedTask{});
 
+  // Boot events first: every used VM boots over [0, boot_time), strictly
+  // before any of its task starts in both time and stream order.
+  if (obs::enabled()) {
+    for (const cloud::Vm& vm : pool.vms())
+      if (vm.used()) obs::emit_vm_boot(vm.id(), platform_->boot_time());
+  }
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> finish_events;
 
   auto start_task = [&](dag::TaskId t) {
@@ -53,7 +62,9 @@ ReplayResult EventSimulator::replay(const dag::Workflow& wf,
     const util::Seconds duration = cloud::exec_time(wf.task(t).work, vm.size());
     result.tasks[t].start = ready_at[t];
     result.tasks[t].end = ready_at[t] + duration;
+    obs::emit_task_start(t, vm.id(), result.tasks[t].start);
     finish_events.push(Event{result.tasks[t].end, t});
+    obs::note_queue_depth(finish_events.size());
   };
 
   for (const dag::Task& t : wf.tasks())
@@ -79,10 +90,13 @@ ReplayResult EventSimulator::replay(const dag::Workflow& wf,
     result.makespan = std::max(result.makespan, ev.time);
 
     const cloud::Vm& from_vm = pool.vm(schedule.assignment(ev.task).vm);
+    obs::emit_task_finish(ev.task, from_vm.id(), ev.time);
     for (dag::TaskId s : wf.successors(ev.task)) {
       const cloud::Vm& to_vm = pool.vm(schedule.assignment(s).vm);
+      const util::Gigabytes data = wf.edge_data(ev.task, s);
       const util::Seconds transfer =
-          platform_->transfer_time(wf.edge_data(ev.task, s), from_vm, to_vm);
+          platform_->transfer_time(data, from_vm, to_vm);
+      obs::emit_transfer(ev.task, s, ev.time, transfer, data);
       post_constraint(s, ev.time + transfer);
     }
     if (next_on_vm[ev.task] != dag::kInvalidTask)

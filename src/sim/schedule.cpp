@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace cloudwf::sim {
+
+cloud::VmId Schedule::rent(cloud::InstanceSize size, cloud::RegionId region) {
+  const cloud::VmId id = pool_.rent(size, region).id();
+  if (obs::enabled())
+    obs::emit_vm_rent(id, 0,
+                      std::string(cloud::suffix_of(size)) + ", region " +
+                          std::to_string(region));
+  return id;
+}
 
 void Schedule::assign(dag::TaskId task, cloud::VmId vm, util::Seconds start,
                       util::Seconds end) {
@@ -11,7 +22,19 @@ void Schedule::assign(dag::TaskId task, cloud::VmId vm, util::Seconds start,
     throw std::out_of_range("Schedule::assign: bad task id");
   if (assignments_[task].valid())
     throw std::logic_error("Schedule::assign: task already assigned");
-  pool_.vm(vm).place(task, start, end);  // validates the interval
+  cloud::Vm& v = pool_.vm(vm);
+  if (!obs::enabled()) {
+    v.place(task, start, end);  // validates the interval
+  } else {
+    // Canonical placement event: reuse flag + BTU delta come from the VM's
+    // session state around the placement, so the trace counters are a
+    // second witness to compute_metrics' aggregates for every scheduler.
+    const bool reused = v.used();
+    const std::int64_t btus_before = v.btus();
+    v.place(task, start, end);
+    obs::emit_task_place(task, vm, start, end, reused,
+                         static_cast<double>(v.btus() - btus_before));
+  }
   assignments_[task] = Assignment{vm, start, end};
 }
 

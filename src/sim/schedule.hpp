@@ -29,9 +29,7 @@ class Schedule {
   explicit Schedule(const dag::Workflow& wf) : Schedule(wf.task_count()) {}
 
   /// Rents a fresh VM and returns its id.
-  cloud::VmId rent(cloud::InstanceSize size, cloud::RegionId region) {
-    return pool_.rent(size, region).id();
-  }
+  cloud::VmId rent(cloud::InstanceSize size, cloud::RegionId region);
 
   /// Assigns a task to a VM over [start, end). The task must be unassigned
   /// and the interval must append to the VM's timeline (see Vm::place).

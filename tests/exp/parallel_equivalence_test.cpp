@@ -13,6 +13,7 @@
 #include "exp/parallel.hpp"
 #include "exp/seed_sweep.hpp"
 #include "exp/sweeps.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudwf::exp {
 namespace {
@@ -143,6 +144,41 @@ TEST(ParallelEquivalence, EnsembleStudyAnyWorkerCount) {
     EXPECT_EQ(serial.idle.mean, parallel.idle.mean);
     EXPECT_EQ(serial.tasks.min, parallel.tasks.min);
     EXPECT_EQ(serial.tasks.max, parallel.tasks.max);
+  }
+}
+
+TEST(ParallelEquivalence, TracingEnabledPreservesEquivalenceAndCounters) {
+  // The obs composition guarantee: a process-global recorder shared by all
+  // pool workers must not perturb the results (workers only append to their
+  // own lock-free sinks), and the counter totals must be independent of the
+  // worker count — same jobs, same events, any interleaving.
+  const dag::Workflow wf = paper_workflows()[0];
+  const ExperimentRunner serial_runner(cloud::Platform::ec2(), {},
+                                       ParallelConfig{1});
+  const auto untraced = serial_runner.run_all(wf, workload::ScenarioKind::pareto);
+
+  std::vector<obs::CounterSnapshot> snapshots;
+  for (const ParallelConfig& cfg : kConfigs) {
+    obs::TraceRecorder recorder(1u << 20);
+    obs::set_global_recorder(&recorder);
+    const ExperimentRunner runner(cloud::Platform::ec2(), {}, cfg);
+    const auto traced = runner.run_all(wf, workload::ScenarioKind::pareto);
+    obs::set_global_recorder(nullptr);
+
+    expect_identical_runs(untraced, traced,
+                          "traced threads=" + std::to_string(cfg.threads));
+    snapshots.push_back(recorder.counters());
+    EXPECT_GT(recorder.counters().events_recorded, 0u)
+        << "threads=" << cfg.threads;
+    EXPECT_EQ(recorder.counters().events_dropped, 0u)
+        << "threads=" << cfg.threads;
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].events_recorded, snapshots[0].events_recorded);
+    EXPECT_EQ(snapshots[i].vms_rented, snapshots[0].vms_rented);
+    EXPECT_EQ(snapshots[i].vms_reused, snapshots[0].vms_reused);
+    EXPECT_EQ(snapshots[i].btus_added, snapshots[0].btus_added);
+    EXPECT_EQ(snapshots[i].tasks_placed, snapshots[0].tasks_placed);
   }
 }
 

@@ -1,0 +1,101 @@
+// Exporter format tests: the Chrome trace must satisfy the trace-event
+// spec's required fields, the JSONL stream must be line-per-event and
+// byte-stable, and the decision log must stay human-readable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace cloudwf::obs {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  TraceRecorder recorder;
+  ScopedRecording recording(recorder);
+  emit_vm_rent(0, 0, "s, region 0");
+  emit_decision(3, 0, 0, "StartPar: entry task, rent");
+  emit_ready_set(4, "level 0 ready set");
+  emit_task_place(3, 0, 0, 120, false, 1);
+  emit_vm_boot(0, 60);
+  emit_task_start(3, 0, 60);
+  emit_task_finish(3, 0, 180);
+  emit_transfer(3, 5, 180, 2.5, 0.25);
+  emit_upgrade(5, false, 2, "CPA-Eager: upgrade busts budget");
+  recorder.record_phase("test phase", 0.0, 0.5);
+  return recorder.drain();
+}
+
+TEST(ChromeTrace, EveryEventCarriesTheSpecRequiredFields) {
+  const std::string json = to_chrome_trace(sample_events());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Count objects and required keys: every event object must carry ph, ts,
+  // pid, tid and name (the acceptance criterion for Perfetto loadability).
+  const auto count_of = [&json](const char* key) {
+    std::size_t count = 0;
+    for (std::size_t pos = json.find(key); pos != std::string::npos;
+         pos = json.find(key, pos + 1))
+      ++count;
+    return count;
+  };
+  // 10 recorded events + 3 process_name metadata rows.
+  const std::size_t objects = sample_events().size() + 3;
+  EXPECT_EQ(count_of("\"ph\":"), objects);
+  EXPECT_EQ(count_of("\"ts\":"), objects);
+  EXPECT_EQ(count_of("\"pid\":"), objects);
+  EXPECT_EQ(count_of("\"tid\":"), objects);
+  // "name" also appears inside the metadata rows' args payloads.
+  EXPECT_GE(count_of("\"name\":"), objects);
+}
+
+TEST(ChromeTrace, SpansAndInstantsUseTheRightPhases) {
+  const std::string json = to_chrome_trace(sample_events());
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // place/boot/phase
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);  // task_start
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);  // task_finish
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // decisions
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  // Timestamps are microseconds: the task starting at 60 s reads 60000000.
+  EXPECT_NE(json.find("\"ts\":60000000"), std::string::npos);
+}
+
+TEST(Jsonl, OneLinePerEventAndByteStable) {
+  const std::vector<TraceEvent> events = sample_events();
+  const std::string jsonl = to_jsonl(events);
+  std::size_t lines = 0;
+  for (char ch : jsonl)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, events.size());
+  EXPECT_EQ(jsonl, to_jsonl(events));  // same input, same bytes
+  EXPECT_NE(jsonl.find("\"kind\":\"vm_rent\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cat\":\"simulation\""), std::string::npos);
+}
+
+TEST(DecisionLog, ReadableLinesAndCounterSummary) {
+  const std::string log = decision_log(sample_events());
+  EXPECT_NE(log.find("vm_rent"), std::string::npos);
+  EXPECT_NE(log.find("t3 -> vm 0"), std::string::npos);
+  EXPECT_NE(log.find("StartPar: entry task, rent"), std::string::npos);
+  EXPECT_NE(log.find("reject: CPA-Eager"), std::string::npos);
+
+  CounterSnapshot c;
+  c.events_recorded = 10;
+  c.vms_rented = 1;
+  c.vms_reused = 2;
+  const std::string summary = counters_summary(c);
+  EXPECT_NE(summary.find("VMs rented 1"), std::string::npos);
+  EXPECT_NE(summary.find("reuses 2"), std::string::npos);
+}
+
+TEST(PhaseSummary, RendersPerPhaseStats) {
+  std::map<std::string, PhaseStat> stats;
+  stats["schedule"] = PhaseStat{3, 0.006, 0.001, 0.003};
+  const std::string table = phase_summary(stats);
+  EXPECT_NE(table.find("schedule"), std::string::npos);
+  EXPECT_NE(table.find("x3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudwf::obs

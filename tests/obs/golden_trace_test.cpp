@@ -1,0 +1,80 @@
+// Golden-file pin of the full traced event stream for one seeded Montage
+// run. Any change to what the instrumented layers emit — event kinds,
+// ordering, payload fields, number formatting — shows up as a diff here.
+// Regenerate deliberately with: CLOUDWF_UPDATE_GOLDEN=1 ./test_obs
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/event_sim.hpp"
+
+namespace cloudwf::obs {
+namespace {
+
+const char* const kGoldenPath = CLOUDWF_TEST_DATA_DIR "/montage_trace.golden.jsonl";
+
+std::string traced_montage_jsonl() {
+  const exp::ExperimentRunner runner;
+  const dag::Workflow wf = runner.materialize(
+      exp::paper_workflows().front(), workload::ScenarioKind::pareto);
+  const scheduling::Strategy strategy =
+      scheduling::strategy_by_label("StartParNotExceed-s");
+
+  TraceRecorder recorder;
+  {
+    ScopedRecording recording(recorder);
+    const sim::Schedule schedule =
+        strategy.scheduler->run(wf, runner.platform());
+    (void)sim::EventSimulator(runner.platform()).replay(wf, schedule);
+  }
+
+  // Phase events carry wall-clock durations, which are not reproducible;
+  // everything else in the stream is a pure function of the seeded run.
+  std::vector<TraceEvent> deterministic;
+  for (TraceEvent& ev : recorder.drain())
+    if (ev.kind != EventKind::phase) deterministic.push_back(std::move(ev));
+  return to_jsonl(deterministic);
+}
+
+TEST(GoldenTrace, MontageStartParStreamIsPinned) {
+  const std::string actual = traced_montage_jsonl();
+
+  if (std::getenv("CLOUDWF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                  << " — regenerate with CLOUDWF_UPDATE_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  // Compare line-by-line first for a readable failure message.
+  std::istringstream actual_lines(actual), expected_lines(expected);
+  std::string a, e;
+  std::size_t line = 0;
+  while (std::getline(expected_lines, e)) {
+    ++line;
+    ASSERT_TRUE(std::getline(actual_lines, a))
+        << "stream ends early at golden line " << line;
+    ASSERT_EQ(a, e) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(actual_lines, a))
+      << "stream has extra events past golden line " << line;
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace cloudwf::obs

@@ -13,6 +13,9 @@
 //   cloudwf artifacts [--out <dir>] [--seed N]
 //   cloudwf diff    --workflow <name|file> --strategy <A> --vs <B>
 //                   [--scenario ...] [--seed N]
+//   cloudwf trace   --workflow <name|file> --strategy <label>
+//                   [--scenario ...] [--seed N] [--out <prefix>]
+//   cloudwf help
 //
 // Workflow names: montage, cstem, mapreduce, sequential; anything else is
 // treated as a workflow file in the dag/io text format.
@@ -26,6 +29,9 @@
 
 #include "adaptive/advisor.hpp"
 #include "adaptive/markdown_report.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "sim/event_sim.hpp"
 #include "dag/builders.hpp"
 #include "dag/edge_dsl.hpp"
 #include "dag/science.hpp"
@@ -277,6 +283,71 @@ int cmd_artifacts(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  const auto strategy_label = args.option("strategy");
+  if (!wf_spec || !strategy_label)
+    throw std::runtime_error("trace needs --workflow and --strategy");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow structure = resolve_workflow(*wf_spec);
+  const dag::Workflow wf = materialize_or_keep(runner, structure, args);
+  const scheduling::Strategy strategy = resolve_strategy(*strategy_label);
+
+  obs::TraceRecorder recorder;
+  sim::ScheduleMetrics m;
+  sim::ReplayResult replay;
+  {
+    obs::ScopedRecording recording(recorder);
+    const sim::Schedule schedule = [&] {
+      obs::PhaseScope phase("cli: schedule");
+      return strategy.scheduler->run(wf, runner.platform());
+    }();
+    {
+      obs::PhaseScope phase("cli: validate");
+      sim::validate_or_throw(wf, schedule, runner.platform());
+    }
+    {
+      obs::PhaseScope phase("cli: replay");
+      replay = sim::EventSimulator(runner.platform()).replay(wf, schedule);
+    }
+    {
+      obs::PhaseScope phase("cli: metrics");
+      m = sim::compute_metrics(wf, schedule, runner.platform());
+    }
+  }
+
+  const std::vector<obs::TraceEvent> events = recorder.drain();
+  const std::string prefix = args.option("out").value_or("cloudwf-trace");
+  const std::string chrome_path = prefix + ".trace.json";
+  const std::string jsonl_path = prefix + ".jsonl";
+  {
+    std::ofstream chrome(chrome_path);
+    if (!chrome) throw std::runtime_error("cannot open " + chrome_path);
+    chrome << obs::to_chrome_trace(events);
+  }
+  {
+    std::ofstream jsonl(jsonl_path);
+    if (!jsonl) throw std::runtime_error("cannot open " + jsonl_path);
+    jsonl << obs::to_jsonl(events);
+  }
+
+  std::cout << "workflow " << wf.name() << " (" << wf.task_count()
+            << " tasks), strategy " << strategy.label << '\n'
+            << "  makespan " << m.makespan << " s (replay " << replay.makespan
+            << " s, " << replay.events_processed << " events)\n"
+            << "  cost     " << m.total_cost << " (" << m.total_btus
+            << " BTUs, " << m.vms_used << " VMs)\n\n"
+            << "decision log:\n"
+            << obs::decision_log(events) << '\n'
+            << "counters: " << obs::counters_summary(recorder.counters()) << '\n'
+            << "phases:\n"
+            << obs::phase_summary(recorder.phase_stats()) << '\n'
+            << "wrote " << chrome_path << " (chrome://tracing / Perfetto) and "
+            << jsonl_path << '\n';
+  return 0;
+}
+
 int cmd_plan(const Args& args) {
   const auto wf_spec = args.option("workflow");
   if (!wf_spec) throw std::runtime_error("plan needs --workflow");
@@ -297,6 +368,12 @@ int cmd_plan(const Args& args) {
   return outcome.feasible ? 0 : 2;
 }
 
+constexpr const char* kUsage =
+    "usage: cloudwf "
+    "<list|run|compare|advise|plan|report|artifacts|diff|trace|help> "
+    "[options]\n"
+    "see the header of tools/cloudwf_cli.cpp for details\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,11 +387,14 @@ int main(int argc, char** argv) {
     if (args.command == "report") return cmd_report(args);
     if (args.command == "artifacts") return cmd_artifacts(args);
     if (args.command == "diff") return cmd_diff(args);
-    std::cerr << "usage: cloudwf "
-                 "<list|run|compare|advise|plan|report|artifacts|diff> "
-                 "[options]\n"
-                 "see the header of tools/cloudwf_cli.cpp for details\n";
-    return args.command.empty() ? 0 : 1;
+    if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "help" || args.command == "--help") {
+      std::cout << kUsage;  // asked-for help goes to stdout and succeeds
+      return 0;
+    }
+    // Bare or unknown command: usage on stderr, failure exit.
+    std::cerr << kUsage;
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
