@@ -9,15 +9,22 @@
 //      the serial one. A mismatch is a hard failure (exit 1): fast-but-wrong
 //      is not a speedup.
 //
-// Usage: bench_parallel_sweep [seeds]   (default 50)
+// Usage: bench_parallel_sweep [seeds] [--json FILE]   (default 50 seeds)
+//
+// --json FILE re-times the serial sweep several times and writes the median
+// to FILE in the BENCH_SWEEP.json format tools/check_bench_regression.py
+// gates CI on (medians absorb single-run scheduler noise).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exp/parallel.hpp"
 #include "exp/seed_sweep.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -26,17 +33,26 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
 
   std::size_t seeds = 50;
-  if (argc > 1) {
-    try {
-      seeds = std::stoul(argv[1]);
-    } catch (const std::exception&) {
-      seeds = 0;
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+      continue;
     }
-    if (seeds == 0) {
-      std::cerr << "usage: bench_parallel_sweep [seeds>=1]  (got '" << argv[1]
-                << "')\n";
+    std::size_t parsed = 0;
+    try {
+      parsed = std::stoul(arg);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed == 0) {
+      std::cerr << "usage: bench_parallel_sweep [seeds>=1] [--json FILE]  "
+                   "(got '"
+                << arg << "')\n";
       return EXIT_FAILURE;
     }
+    seeds = parsed;
   }
   const dag::Workflow montage = exp::paper_workflows()[0];
   const cloud::Platform platform = cloud::Platform::ec2();
@@ -58,6 +74,60 @@ int main(int argc, char** argv) {
 
   // Warm-up run: fault in code and allocator pools outside the timings.
   (void)timed_sweep(1);
+
+  if (!json_path.empty()) {
+    constexpr int kRepeats = 5;
+    std::vector<double> samples;
+    samples.reserve(kRepeats);
+    for (int r = 0; r < kRepeats; ++r) samples.push_back(timed_sweep(1).second);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+
+    // Calibration anchor: a fixed CPU-bound kernel timed in the same
+    // process. The regression gate compares sweep/calibration ratios, so a
+    // slower (or faster) host moves both numbers together instead of
+    // tripping the threshold on machine drift.
+    const auto timed_calibration = [] {
+      const auto start = Clock::now();
+      std::uint64_t state = 0x1db2013, acc = 0;
+      for (int i = 0; i < 32'000'000; ++i) acc ^= util::splitmix64(state);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      // acc escapes through the comparison so the loop cannot fold away.
+      return acc == 0 ? ms + 1e-9 : ms;
+    };
+    std::vector<double> cal = {timed_calibration(), timed_calibration(),
+                               timed_calibration()};
+    std::sort(cal.begin(), cal.end());
+    const double calibration = cal[1];
+
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "FAIL: cannot write " << json_path << '\n';
+      return EXIT_FAILURE;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"bench_parallel_sweep\",\n"
+        << "  \"workflow\": \"" << montage.name() << "\",\n"
+        << "  \"scenario\": \"pareto\",\n"
+        << "  \"strategies\": 19,\n"
+        << "  \"seeds\": " << seeds << ",\n"
+        << "  \"repeats\": " << kRepeats << ",\n"
+        << "  \"serial_ms\": [";
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      out << (i ? ", " : "") << util::format_double(samples[i], 3);
+    out << "],\n"
+        << "  \"median_serial_ms\": " << util::format_double(median, 3) << ",\n"
+        << "  \"calibration_ms\": " << util::format_double(calibration, 3)
+        << "\n"
+        << "}\n";
+    std::cout << "median serial sweep: " << util::format_double(median, 1)
+              << " ms over " << kRepeats << " repeats (" << seeds
+              << " seeds) -> " << json_path << '\n';
+    return EXIT_SUCCESS;
+  }
 
   const auto [serial_rows, serial_ms] = timed_sweep(1);
   const std::string golden = exp::seed_sweep_table(serial_rows).render();

@@ -1,6 +1,9 @@
 #include "cloud/vm.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
 namespace cloudwf::cloud {
 
@@ -16,12 +19,6 @@ util::Seconds Vm::first_start() const noexcept {
 
 util::Seconds Vm::available_from() const noexcept {
   return placements_.empty() ? 0.0 : placements_.back().end;
-}
-
-util::Seconds Vm::busy_time() const noexcept {
-  util::Seconds busy = 0;
-  for (const Placement& p : placements_) busy += p.end - p.start;
-  return busy;
 }
 
 util::Seconds Vm::span() const noexcept { return available_from() - first_start(); }
@@ -65,15 +62,29 @@ void Vm::place(dag::TaskId task, util::Seconds start, util::Seconds end) {
     sessions_.back().end = end;
   }
   placements_.push_back(Placement{task, start, end});
+  busy_time_ += end - start;  // same addition order as the historical re-sum
+}
+
+namespace {
+// Index verification (tests): every reuse_order() query re-sorts from
+// scratch and compares against the incrementally maintained index.
+std::atomic<bool> g_verify_index{false};
+}  // namespace
+
+void VmPool::set_index_verification(bool on) noexcept {
+  g_verify_index.store(on, std::memory_order_relaxed);
 }
 
 Vm& VmPool::rent(InstanceSize size, RegionId region) {
+  // A fresh VM is unused, so the reuse index is unaffected.
   vms_.emplace_back(static_cast<VmId>(vms_.size()), size, region);
   return vms_.back();
 }
 
 Vm& VmPool::vm(VmId id) {
   if (id >= vms_.size()) throw std::out_of_range("VmPool::vm: bad id");
+  reuse_dirty_ = true;
+  ++mutation_epoch_;
   return vms_[id];
 }
 
@@ -103,6 +114,77 @@ util::Seconds VmPool::total_idle_time() const {
 
 void VmPool::clear_placements() noexcept {
   for (Vm& v : vms_) v.clear();
+  reuse_dirty_ = true;  // index empties; rebuilt lazily if queried again
+  ++mutation_epoch_;
+}
+
+void VmPool::place(VmId id, dag::TaskId task, util::Seconds start,
+                   util::Seconds end) {
+  if (id >= vms_.size()) throw std::out_of_range("VmPool::place: bad id");
+  Vm& v = vms_[id];
+  const bool first_use = !v.used();
+  v.place(task, start, end);
+  if (reuse_dirty_) return;  // a query will rebuild from scratch anyway
+
+  // Keep reuse_index_ sorted by (busy_time desc, id asc). A placement only
+  // grows busy time, so an already-indexed VM can only move left.
+  const auto precedes = [this](VmId a, VmId b) {
+    const util::Seconds ba = vms_[a].busy_time(), bb = vms_[b].busy_time();
+    if (ba != bb) return ba > bb;
+    return a < b;
+  };
+  if (pos_.size() < vms_.size()) pos_.resize(vms_.size(), kInvalidVm);
+  if (first_use) {
+    const auto it =
+        std::lower_bound(reuse_index_.begin(), reuse_index_.end(), id, precedes);
+    const auto slot = static_cast<std::size_t>(it - reuse_index_.begin());
+    reuse_index_.insert(it, id);
+    for (std::size_t i = slot; i < reuse_index_.size(); ++i)
+      pos_[reuse_index_[i]] = static_cast<VmId>(i);
+  } else {
+    std::size_t cur = pos_[id];
+    if (cur >= reuse_index_.size() || reuse_index_[cur] != id) {
+      reuse_dirty_ = true;  // defensive: stale slot, fall back to rebuild
+      return;
+    }
+    while (cur > 0 && precedes(id, reuse_index_[cur - 1])) {
+      reuse_index_[cur] = reuse_index_[cur - 1];
+      pos_[reuse_index_[cur]] = static_cast<VmId>(cur);
+      --cur;
+    }
+    reuse_index_[cur] = id;
+    pos_[id] = static_cast<VmId>(cur);
+  }
+}
+
+void VmPool::rebuild_reuse_index() const {
+  reuse_index_.clear();
+  for (const Vm& v : vms_)
+    if (v.used()) reuse_index_.push_back(v.id());
+  std::sort(reuse_index_.begin(), reuse_index_.end(), [this](VmId a, VmId b) {
+    const util::Seconds ba = vms_[a].busy_time(), bb = vms_[b].busy_time();
+    if (ba != bb) return ba > bb;
+    return a < b;
+  });
+  pos_.assign(vms_.size(), kInvalidVm);
+  for (std::size_t i = 0; i < reuse_index_.size(); ++i)
+    pos_[reuse_index_[i]] = static_cast<VmId>(i);
+  reuse_dirty_ = false;
+}
+
+std::span<const VmId> VmPool::reuse_order() const {
+  if (reuse_dirty_) rebuild_reuse_index();
+  if (g_verify_index.load(std::memory_order_relaxed)) {
+    const std::vector<VmId> incremental = reuse_index_;
+    rebuild_reuse_index();
+    if (incremental != reuse_index_)
+      throw std::logic_error(
+          "VmPool::reuse_order: incremental index diverged from linear sort "
+          "(" +
+          std::to_string(incremental.size()) + " vs " +
+          std::to_string(reuse_index_.size()) + " used VMs)");
+  }
+  return reuse_index_;
 }
 
 }  // namespace cloudwf::cloud

@@ -54,8 +54,9 @@ class Vm {
   /// placement may start.
   [[nodiscard]] util::Seconds available_from() const noexcept;
 
-  /// Total task-occupied seconds.
-  [[nodiscard]] util::Seconds busy_time() const noexcept;
+  /// Total task-occupied seconds. Maintained as a running sum by place()
+  /// (same addition order as summing the placements, so bit-identical).
+  [[nodiscard]] util::Seconds busy_time() const noexcept { return busy_time_; }
 
   /// Rental span: available_from() - first_start().
   [[nodiscard]] util::Seconds span() const noexcept;
@@ -109,12 +110,14 @@ class Vm {
   void clear() noexcept {
     placements_.clear();
     sessions_.clear();
+    busy_time_ = 0;
   }
 
  private:
   VmId id_;
   InstanceSize size_;
   RegionId region_;
+  util::Seconds busy_time_ = 0;
   std::vector<Placement> placements_;
   std::vector<Session> sessions_;
 };
@@ -130,11 +133,43 @@ class VmPool {
   [[nodiscard]] std::size_t size() const noexcept { return vms_.size(); }
   [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
 
+  /// Mutable access marks the reuse index dirty (the caller may change
+  /// placements behind the pool's back); it is rebuilt lazily on the next
+  /// reuse_order() query. Prefer place() for appending placements — it
+  /// keeps the index incremental.
   [[nodiscard]] Vm& vm(VmId id);
   [[nodiscard]] const Vm& vm(VmId id) const;
 
-  [[nodiscard]] std::vector<Vm>& vms() noexcept { return vms_; }
+  [[nodiscard]] std::vector<Vm>& vms() noexcept {
+    reuse_dirty_ = true;
+    ++mutation_epoch_;
+    return vms_;
+  }
   [[nodiscard]] const std::vector<Vm>& vms() const noexcept { return vms_; }
+
+  /// Bumped by every access that may rewrite existing placements (mutable
+  /// vm()/vms(), clear_placements) but not by appends through place()/rent.
+  /// Derived caches (the placement context's level occupancy) compare
+  /// epochs to know when incremental maintenance is unsafe.
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    return mutation_epoch_;
+  }
+
+  /// Appends a placement to `id`'s timeline (see Vm::place) while keeping
+  /// the reuse index incremental — the fast path sim::Schedule::assign uses.
+  void place(VmId id, dag::TaskId task, util::Seconds start, util::Seconds end);
+
+  /// Ids of all used VMs ordered by busy time descending, id ascending on
+  /// ties — the reuse preference order of the StartPar/AllPar policies (the
+  /// first admissible element equals the old linear scan's argmax). Valid
+  /// until the pool is mutated.
+  [[nodiscard]] std::span<const VmId> reuse_order() const;
+
+  /// Globally enables cross-checking the incremental reuse index against a
+  /// freshly sorted one on every reuse_order() query; mismatches throw
+  /// std::logic_error. Test-only (off by default; costs O(V log V) per
+  /// query).
+  static void set_index_verification(bool on) noexcept;
 
   /// Number of VMs that received at least one task.
   [[nodiscard]] std::size_t used_count() const noexcept;
@@ -149,7 +184,17 @@ class VmPool {
   void clear_placements() noexcept;
 
  private:
+  void rebuild_reuse_index() const;
+
   std::vector<Vm> vms_;
+  // Reuse index: used VM ids sorted by (busy_time desc, id asc), maintained
+  // incrementally by place() and rebuilt lazily after any mutation that
+  // bypassed it. pos_[id] is the id's slot in reuse_index_ (kInvalidVm when
+  // unused or stale).
+  mutable std::vector<VmId> reuse_index_;
+  mutable std::vector<VmId> pos_;
+  mutable bool reuse_dirty_ = false;
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace cloudwf::cloud

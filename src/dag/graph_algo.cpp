@@ -1,67 +1,40 @@
 #include "dag/graph_algo.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
+
+#include "dag/structure_cache.hpp"
 
 namespace cloudwf::dag {
 
+// The structural queries delegate to the workflow's lazily built
+// StructureCache (one Kahn pass per workflow instance, shared by every
+// strategy and seed). The cache builders replicate the historical loops
+// exactly, so results are bit-identical to the pre-cache implementations.
+
 std::vector<TaskId> topological_order(const Workflow& wf) {
-  const std::size_t n = wf.task_count();
-  std::vector<std::size_t> indeg(n);
-  for (std::size_t i = 0; i < n; ++i)
-    indeg[i] = wf.predecessors(static_cast<TaskId>(i)).size();
-
-  // Min-heap on id for deterministic output.
-  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
-  for (std::size_t i = 0; i < n; ++i)
-    if (indeg[i] == 0) ready.push(static_cast<TaskId>(i));
-
-  std::vector<TaskId> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const TaskId cur = ready.top();
-    ready.pop();
-    order.push_back(cur);
-    for (TaskId s : wf.successors(cur))
-      if (--indeg[s] == 0) ready.push(s);
-  }
-  if (order.size() != n) throw std::logic_error("topological_order: graph has a cycle");
-  return order;
+  return wf.structure()->topo_order();
 }
 
 std::vector<int> task_levels(const Workflow& wf) {
-  const std::vector<TaskId> order = topological_order(wf);
-  std::vector<int> level(wf.task_count(), 0);
-  for (TaskId t : order)
-    for (TaskId p : wf.predecessors(t))
-      level[t] = std::max(level[t], level[p] + 1);
-  return level;
+  return wf.structure()->levels();
 }
 
 std::vector<std::vector<TaskId>> level_groups(const Workflow& wf) {
-  const std::vector<int> level = task_levels(wf);
-  const int max_level = level.empty() ? -1 : *std::max_element(level.begin(), level.end());
-  std::vector<std::vector<TaskId>> groups(static_cast<std::size_t>(max_level + 1));
-  for (std::size_t i = 0; i < level.size(); ++i)
-    groups[static_cast<std::size_t>(level[i])].push_back(static_cast<TaskId>(i));
-  return groups;  // ids ascend within a level because i ascends
+  return wf.structure()->level_groups();
 }
 
-std::size_t max_width(const Workflow& wf) {
-  std::size_t w = 0;
-  for (const auto& g : level_groups(wf)) w = std::max(w, g.size());
-  return w;
-}
+std::size_t max_width(const Workflow& wf) { return wf.structure()->max_width(); }
 
 std::vector<double> upward_rank(const Workflow& wf, const ExecTimeFn& exec,
                                 const CommTimeFn& comm) {
-  const std::vector<TaskId> order = topological_order(wf);
+  const auto sc = wf.structure();
   std::vector<double> rank(wf.task_count(), 0.0);
+  const std::vector<TaskId>& order = sc->topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     double best = 0.0;
-    for (TaskId s : wf.successors(t))
+    for (TaskId s : sc->succs(t))
       best = std::max(best, comm(t, s) + rank[s]);
     rank[t] = exec(t) + best;
   }
@@ -70,11 +43,11 @@ std::vector<double> upward_rank(const Workflow& wf, const ExecTimeFn& exec,
 
 std::vector<double> downward_rank(const Workflow& wf, const ExecTimeFn& exec,
                                   const CommTimeFn& comm) {
-  const std::vector<TaskId> order = topological_order(wf);
+  const auto sc = wf.structure();
   std::vector<double> rank(wf.task_count(), 0.0);
-  for (TaskId t : order) {
+  for (TaskId t : sc->topo_order()) {
     double best = 0.0;
-    for (TaskId p : wf.predecessors(t))
+    for (TaskId p : sc->preds(t))
       best = std::max(best, rank[p] + exec(p) + comm(p, t));
     rank[t] = best;
   }

@@ -1,0 +1,142 @@
+// StructureCache: every structure-derived quantity the schedulers need,
+// computed once per Workflow instance and shared across strategies, seeds
+// and threads (the flat-core optimisation layer).
+//
+// A workflow's structure is immutable while schedulers run, yet the naive
+// code paths recompute topological order, levels, level groups and HEFT
+// ranks per run — 19 times per sweep cell, once per seed. The cache folds
+// all of that into one build: CSR predecessor/successor adjacency with the
+// per-edge data sizes already resolved (no more edge_index_ hash lookups in
+// est_on), the deterministic Kahn topological order, the paper's level
+// ranking with per-level sizes and groups, the largest predecessor of every
+// task, and key-addressed memo tables for HEFT upward ranks / orders so a
+// strategy family that shares a cost model ranks the DAG exactly once.
+//
+// Every value is bit-identical to the uncached algorithm it replaces: the
+// builders run the same loops in the same order. Tests in
+// tests/dag/structure_cache_test.cpp assert this equivalence property for
+// the paper workflows and randomized DAGs.
+//
+// Thread safety: the eager fields are immutable after construction; the
+// memo tables are guarded by a mutex and store into node-stable std::map
+// entries, so returned references stay valid for the cache's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dag/graph_algo.hpp"
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+class StructureCache {
+ public:
+  /// Builds every eager table in one pass. Throws (like topological_order)
+  /// if the graph has a cycle.
+  explicit StructureCache(const Workflow& wf);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return pred_flat_.size();
+  }
+
+  /// Predecessors / successors of `t` in insertion order (identical to
+  /// Workflow::predecessors / successors).
+  [[nodiscard]] std::span<const TaskId> preds(TaskId t) const noexcept {
+    return {pred_flat_.data() + pred_off_[t], pred_off_[t + 1] - pred_off_[t]};
+  }
+  [[nodiscard]] std::span<const TaskId> succs(TaskId t) const noexcept {
+    return {succ_flat_.data() + succ_off_[t], succ_off_[t + 1] - succ_off_[t]};
+  }
+
+  /// Resolved data (GB) carried by the i-th incoming / outgoing edge of `t`,
+  /// aligned with preds(t) / succs(t): the per-edge override when set,
+  /// otherwise the producer's output_data (== Workflow::edge_data).
+  [[nodiscard]] std::span<const util::Gigabytes> pred_data(TaskId t) const noexcept {
+    return {pred_data_.data() + pred_off_[t], pred_off_[t + 1] - pred_off_[t]};
+  }
+  [[nodiscard]] std::span<const util::Gigabytes> succ_data(TaskId t) const noexcept {
+    return {succ_data_.data() + succ_off_[t], succ_off_[t + 1] - succ_off_[t]};
+  }
+
+  /// Dense id of `t`'s i-th incoming edge in [0, edge_count()) — the slot
+  /// base callers use to index flat per-edge memo tables.
+  [[nodiscard]] std::size_t pred_edge_slot(TaskId t) const noexcept {
+    return pred_off_[t];
+  }
+
+  /// Deterministic Kahn order (min-id tie-break), == dag::topological_order.
+  [[nodiscard]] const std::vector<TaskId>& topo_order() const noexcept {
+    return topo_;
+  }
+
+  /// Level of each task (longest-hop distance from an entry), == task_levels.
+  [[nodiscard]] const std::vector<int>& levels() const noexcept { return levels_; }
+
+  /// Number of tasks per level.
+  [[nodiscard]] const std::vector<std::size_t>& level_sizes() const noexcept {
+    return level_sizes_;
+  }
+
+  /// Tasks grouped by level, ids ascending inside a level, == level_groups.
+  [[nodiscard]] const std::vector<std::vector<TaskId>>& level_groups() const noexcept {
+    return groups_;
+  }
+
+  [[nodiscard]] std::size_t max_width() const noexcept { return max_width_; }
+
+  /// True iff `t` shares its level with at least one other task.
+  [[nodiscard]] bool is_parallel(TaskId t) const noexcept {
+    return level_sizes_[static_cast<std::size_t>(levels_[t])] > 1;
+  }
+
+  /// Predecessor of `t` with the largest work — lowest id on work ties —
+  /// or kInvalidTask for entry tasks (PlacementContext::largest_predecessor).
+  [[nodiscard]] TaskId largest_pred(TaskId t) const noexcept {
+    return largest_pred_[t];
+  }
+
+  /// Task work snapshot taken at build time (invalidation on Workflow
+  /// mutation guarantees it is current).
+  [[nodiscard]] const std::vector<util::Seconds>& works() const noexcept {
+    return works_;
+  }
+
+  /// Each level's tasks ordered by work descending, id ascending on ties —
+  /// the order LevelScheduler and the AllPar1LnS packers place in. Built
+  /// lazily, once.
+  [[nodiscard]] const std::vector<std::vector<TaskId>>& levels_by_work_desc() const;
+
+  /// Memoized HEFT upward rank / order for one cost model. `key` must
+  /// uniquely identify the (exec, comm) model — callers hash the instance
+  /// size and transfer parameters — and exec/comm are only invoked on a
+  /// miss. Bit-identical to dag::upward_rank / dag::heft_order.
+  [[nodiscard]] const std::vector<double>& upward_rank_memo(
+      std::uint64_t key, const ExecTimeFn& exec, const CommTimeFn& comm) const;
+  [[nodiscard]] const std::vector<TaskId>& heft_order_memo(
+      std::uint64_t key, const ExecTimeFn& exec, const CommTimeFn& comm) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> pred_off_, succ_off_;  // CSR offsets, size n_+1
+  std::vector<TaskId> pred_flat_, succ_flat_;
+  std::vector<util::Gigabytes> pred_data_, succ_data_;
+  std::vector<TaskId> topo_;
+  std::vector<int> levels_;
+  std::vector<std::size_t> level_sizes_;
+  std::vector<std::vector<TaskId>> groups_;
+  std::vector<TaskId> largest_pred_;
+  std::vector<util::Seconds> works_;
+  std::size_t max_width_ = 0;
+
+  mutable std::mutex memo_mu_;
+  mutable std::vector<std::vector<TaskId>> work_desc_;  // empty until built
+  mutable std::map<std::uint64_t, std::vector<double>> rank_memo_;
+  mutable std::map<std::uint64_t, std::vector<TaskId>> order_memo_;
+};
+
+}  // namespace cloudwf::dag

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "dag/structure_cache.hpp"
+
 namespace cloudwf::dag {
 
 TaskId Workflow::add_task(std::string name, util::Seconds work,
@@ -20,6 +22,7 @@ TaskId Workflow::add_task(std::string name, util::Seconds work,
   tasks_.push_back(Task{id, std::move(name), work, output_data});
   succ_.emplace_back();
   pred_.emplace_back();
+  structure_cache_.reset();
   return id;
 }
 
@@ -50,6 +53,7 @@ void Workflow::add_edge(TaskId from, TaskId to, util::Gigabytes data) {
   edges_.push_back(Edge{from, to, data});
   succ_[from].push_back(to);
   pred_[to].push_back(from);
+  structure_cache_.reset();
 }
 
 const Task& Workflow::task(TaskId id) const {
@@ -59,7 +63,16 @@ const Task& Workflow::task(TaskId id) const {
 
 Task& Workflow::task(TaskId id) {
   check_task(id);
+  // Handing out a mutable Task lets callers change work/output_data, which
+  // feed the cached largest-predecessor, rank and edge-data tables.
+  structure_cache_.reset();
   return tasks_[id];
+}
+
+std::shared_ptr<const StructureCache> Workflow::structure() const {
+  if (auto cached = structure_cache_.get()) return cached;
+  return structure_cache_.set_if_empty(
+      std::make_shared<const StructureCache>(*this));
 }
 
 TaskId Workflow::task_by_name(std::string_view name) const {

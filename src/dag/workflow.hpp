@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -15,6 +17,55 @@
 #include "util/units.hpp"
 
 namespace cloudwf::dag {
+
+class StructureCache;
+
+namespace detail {
+
+/// Copyable, thread-safe holder for a workflow's lazily built
+/// StructureCache. Copies share the built cache (the structure is equal by
+/// construction); resetting one holder never disturbs another's pointer.
+class StructureCacheSlot {
+ public:
+  StructureCacheSlot() = default;
+  StructureCacheSlot(const StructureCacheSlot& other) : ptr_(other.get()) {}
+  StructureCacheSlot(StructureCacheSlot&& other) noexcept : ptr_(other.get()) {}
+  StructureCacheSlot& operator=(const StructureCacheSlot& other) {
+    auto p = other.get();  // lock ordering: never hold both mutexes
+    std::scoped_lock lock(mu_);
+    ptr_ = std::move(p);
+    return *this;
+  }
+  StructureCacheSlot& operator=(StructureCacheSlot&& other) noexcept {
+    if (this != &other) *this = other;
+    return *this;
+  }
+
+  [[nodiscard]] std::shared_ptr<const StructureCache> get() const {
+    std::scoped_lock lock(mu_);
+    return ptr_;
+  }
+
+  /// First builder wins: stores `built` only if the slot is empty, and
+  /// returns whatever the slot now holds.
+  std::shared_ptr<const StructureCache> set_if_empty(
+      std::shared_ptr<const StructureCache> built) const {
+    std::scoped_lock lock(mu_);
+    if (!ptr_) ptr_ = std::move(built);
+    return ptr_;
+  }
+
+  void reset() noexcept {
+    std::scoped_lock lock(mu_);
+    ptr_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const StructureCache> ptr_;
+};
+
+}  // namespace detail
 
 struct Edge {
   TaskId from = kInvalidTask;
@@ -83,6 +134,14 @@ class Workflow {
   /// (empty graph, unnamed/duplicate-named tasks, non-positive work, cycle).
   void validate() const;
 
+  /// The structure-derived tables (adjacency CSR, topo order, levels, HEFT
+  /// rank memos — see dag/structure_cache.hpp), built lazily on first call
+  /// and shared by every scheduler that runs on this workflow. Invalidated
+  /// by add_task/add_edge and by the mutable task() accessor (task works
+  /// feed the cached largest-predecessor and rank tables). Throws on cyclic
+  /// graphs, like topological_order.
+  [[nodiscard]] std::shared_ptr<const StructureCache> structure() const;
+
  private:
   void check_task(TaskId id) const;
   [[nodiscard]] static std::uint64_t edge_key(TaskId from, TaskId to) noexcept {
@@ -100,6 +159,7 @@ class Workflow {
   // edge cannot create a cycle, so the O(V+E) reachability check is skipped.
   // This keeps generator-scale construction (10^4+ tasks) linear.
   bool all_edges_forward_ = true;
+  detail::StructureCacheSlot structure_cache_;
 };
 
 }  // namespace cloudwf::dag

@@ -78,6 +78,11 @@ class ExperimentRunner {
  private:
   [[nodiscard]] sim::ScheduleMetrics reference_metrics(
       const dag::Workflow& materialized) const;
+  [[nodiscard]] RunResult run_one_on(const scheduling::Strategy& strategy,
+                                     const dag::Workflow& materialized,
+                                     const std::string& workflow_name,
+                                     workload::ScenarioKind kind,
+                                     const sim::ScheduleMetrics& reference) const;
 
   cloud::Platform platform_;
   workload::ScenarioConfig base_config_;

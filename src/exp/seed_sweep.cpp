@@ -37,12 +37,19 @@ std::vector<SeedSweepRow> seed_sweep(const dag::Workflow& structure,
   });
 
   // Aggregation replays the serial iteration order (seed-major), so the
-  // summaries are bit-identical to the single-threaded sweep.
-  std::vector<std::vector<double>> gains(strategies.size());
-  std::vector<std::vector<double>> losses(strategies.size());
-  std::vector<std::size_t> in_square(strategies.size(), 0);
+  // summaries are bit-identical to the single-threaded sweep. The bound is
+  // hoisted and every per-strategy series is reserved up front, so the
+  // inner loop does no allocation.
+  const std::size_t strategy_count = strategies.size();
+  std::vector<std::vector<double>> gains(strategy_count);
+  std::vector<std::vector<double>> losses(strategy_count);
+  std::vector<std::size_t> in_square(strategy_count, 0);
+  for (std::size_t i = 0; i < strategy_count; ++i) {
+    gains[i].reserve(seeds);
+    losses[i].reserve(seeds);
+  }
   for (std::size_t s = 0; s < seeds; ++s) {
-    for (std::size_t i = 0; i < strategies.size(); ++i) {
+    for (std::size_t i = 0; i < strategy_count; ++i) {
       gains[i].push_back(per_seed[s][i].gain);
       losses[i].push_back(per_seed[s][i].loss);
       if (per_seed[s][i].gain >= -1e-9 && per_seed[s][i].loss <= 1e-9)
@@ -51,8 +58,8 @@ std::vector<SeedSweepRow> seed_sweep(const dag::Workflow& structure,
   }
 
   std::vector<SeedSweepRow> rows;
-  rows.reserve(strategies.size());
-  for (std::size_t i = 0; i < strategies.size(); ++i) {
+  rows.reserve(strategy_count);
+  for (std::size_t i = 0; i < strategy_count; ++i) {
     SeedSweepRow row;
     row.strategy = strategies[i].label;
     row.gain_pct = util::summarize(gains[i]);

@@ -26,6 +26,7 @@ enum CounterSlot : std::size_t {
 std::atomic<std::uint64_t> g_generation{1};
 std::atomic<TraceRecorder*> g_recorder{nullptr};
 thread_local TraceRecorder* tl_recorder = nullptr;
+thread_local int tl_suppressed = 0;
 
 // Per-(thread, recorder) sink cache: generation tags make a stale entry
 // (recorder destroyed, another allocated at the same address) detectable.
@@ -235,6 +236,7 @@ void set_global_recorder(TraceRecorder* recorder) noexcept {
 }
 
 TraceRecorder* current_recorder() noexcept {
+  if (tl_suppressed > 0) return nullptr;
   if (TraceRecorder* r = tl_recorder) return r;
   return g_recorder.load(std::memory_order_acquire);
 }
@@ -245,6 +247,10 @@ ScopedRecording::ScopedRecording(TraceRecorder& recorder) noexcept
 }
 
 ScopedRecording::~ScopedRecording() { tl_recorder = previous_; }
+
+SuppressRecording::SuppressRecording() noexcept { ++tl_suppressed; }
+
+SuppressRecording::~SuppressRecording() { --tl_suppressed; }
 
 PhaseScope::PhaseScope(std::string_view name) noexcept
     : recorder_(current_recorder()) {

@@ -183,6 +183,21 @@ class ScopedRecording {
   TraceRecorder* previous_;
 };
 
+/// Scoped thread-local suppression: tracing is disabled on this thread for
+/// the scope's lifetime, overriding both the thread-local and the global
+/// recorder (nests; inner scopes are no-ops). Used around internal scratch
+/// work — e.g. the upgrade schedulers' candidate retimes — whose rent/place
+/// calls are search effort, not schedule construction, and would otherwise
+/// distort the counters the metrics-agreement tests certify.
+class SuppressRecording {
+ public:
+  SuppressRecording() noexcept;
+  ~SuppressRecording();
+
+  SuppressRecording(const SuppressRecording&) = delete;
+  SuppressRecording& operator=(const SuppressRecording&) = delete;
+};
+
 /// RAII wall-clock span: emits a `phase` event (and folds the duration into
 /// the recorder's phase stats) when destroyed. Free when tracing is off —
 /// the constructor captures nullptr and the destructor takes one branch.

@@ -1,7 +1,6 @@
 #include "provisioning/detail.hpp"
 
-#include <algorithm>
-#include <vector>
+#include <span>
 
 #include "obs/trace.hpp"
 
@@ -17,28 +16,29 @@ bool reuse_adds_btu(const PlacementContext& ctx, dag::TaskId t, const cloud::Vm&
 }  // namespace
 
 cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
-  const cloud::VmPool& pool = ctx.schedule().pool();
+  const cloud::VmPool& pool = ctx.pool();
+  // Used VMs by busy time descending (lowest id on ties): the first
+  // admissible entry equals the historical linear scan's "largest
+  // accumulated execution time" argmax, without evaluating est_on for the
+  // VMs it skips.
+  const std::span<const cloud::VmId> order = pool.reuse_order();
 
   if (!ctx.is_parallel_task(t)) {
     // Sequential task: "executed on the VM with the longest execution time —
     // usually their (largest) predecessor". NotExceed rents when reuse would
     // add a BTU.
-    const cloud::Vm* best = nullptr;
-    for (const cloud::Vm& vm : pool.vms()) {
-      if (!vm.used()) continue;
-      if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
-    }
-    if (best == nullptr) return ctx.rent();
-    if (!exceed_ && reuse_adds_btu(ctx, t, *best)) {
+    if (order.empty()) return ctx.rent();
+    const cloud::Vm& best = pool.vm(order.front());
+    if (!exceed_ && reuse_adds_btu(ctx, t, best)) {
       const cloud::VmId id = ctx.rent();
       obs::emit_decision(t, id, 0,
                          "AllParNotExceed: sequential reuse would add a BTU, "
                          "rent");
       return id;
     }
-    obs::emit_decision(t, best->id(), 0,
+    obs::emit_decision(t, best.id(), 0,
                        "AllPar: sequential task, reuse largest-execution VM");
-    return best->id();
+    return best.id();
   }
 
   // Parallel task: its own VM, never shared with a same-level task.
@@ -64,15 +64,12 @@ cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
     }
   }
 
-  const cloud::Vm* best = nullptr;
-  for (const cloud::Vm& vm : pool.vms()) {
-    if (!vm.used() || !admissible(vm)) continue;
-    if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
-  }
-  if (best != nullptr) {
-    obs::emit_decision(t, best->id(), 0,
+  for (cloud::VmId id : order) {
+    const cloud::Vm& vm = pool.vm(id);
+    if (!admissible(vm)) continue;
+    obs::emit_decision(t, vm.id(), 0,
                        "AllPar: reuse level-free largest-execution VM");
-    return best->id();
+    return vm.id();
   }
   const cloud::VmId id = ctx.rent();
   obs::emit_decision(t, id, 0,

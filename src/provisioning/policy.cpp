@@ -1,40 +1,105 @@
 #include "provisioning/policy.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "provisioning/detail.hpp"
 
 namespace cloudwf::provisioning {
 
+namespace {
+constexpr std::size_t kSizePairs = cloud::kSizeCount * cloud::kSizeCount;
+}  // namespace
+
 PlacementContext::PlacementContext(const dag::Workflow& wf, sim::Schedule& schedule,
                                    const cloud::Platform& platform,
                                    cloud::InstanceSize vm_size)
-    : wf_(&wf), schedule_(&schedule), platform_(&platform), vm_size_(vm_size) {
-  levels_ = dag::task_levels(wf);
-  const int max_level =
-      levels_.empty() ? -1 : *std::max_element(levels_.begin(), levels_.end());
-  level_sizes_.assign(static_cast<std::size_t>(max_level + 1), 0);
-  for (int l : levels_) ++level_sizes_[static_cast<std::size_t>(l)];
+    : wf_(&wf),
+      schedule_(&schedule),
+      platform_(&platform),
+      structure_(wf.structure()),
+      vm_size_(vm_size),
+      region_(platform.default_region_id()),
+      boot_time_(platform.boot_time()) {
+  transfer_.assign(structure_->edge_count() * kSizePairs, -1.0);
+}
+
+const std::vector<util::Seconds>& PlacementContext::fill_exec_table(
+    cloud::InstanceSize s) const {
+  std::vector<util::Seconds>& table = exec_[cloud::index_of(s)];
+  const std::vector<util::Seconds>& works = structure_->works();
+  table.reserve(works.size());
+  // Element-wise cloud::exec_time (a division) — not a reciprocal multiply,
+  // which would not be bit-identical.
+  for (util::Seconds w : works) table.push_back(cloud::exec_time(w, s));
+  return table;
+}
+
+util::Seconds PlacementContext::transfer_cached(std::size_t edge_slot,
+                                                util::Gigabytes data,
+                                                const cloud::Vm& from,
+                                                const cloud::Vm& to) const {
+  // Same-VM transfers are exactly zero (TransferModel::time's first case).
+  if (from.id() == to.id()) return 0.0;
+  // The memo covers the overwhelmingly common default-region pair; anything
+  // exotic falls through to the model.
+  if (from.region() != region_ || to.region() != region_)
+    return platform_->transfer_time(data, from, to);
+  util::Seconds& slot =
+      transfer_[edge_slot * kSizePairs +
+                cloud::index_of(from.size()) * cloud::kSizeCount +
+                cloud::index_of(to.size())];
+  if (slot < 0) slot = platform_->transfer_time(data, from, to);
+  return slot;
+}
+
+void PlacementContext::refresh_occupancy(const cloud::Vm& vm) const {
+  // Incremental maintenance is only sound while placements grow append-only
+  // (VmPool::place); any other pool mutation bumps the epoch and the whole
+  // table starts over.
+  const std::uint64_t epoch = pool().mutation_epoch();
+  if (epoch != occupancy_epoch_) {
+    vm_levels_.clear();
+    vm_cursor_.clear();
+    occupancy_epoch_ = epoch;
+  }
+  const std::size_t level_count = structure_->level_sizes().size();
+  const std::size_t needed = (vm.id() + 1) * level_count;
+  if (vm_levels_.size() < needed) {
+    vm_levels_.resize(needed, 0);
+    vm_cursor_.resize(vm.id() + 1, 0);
+  }
+  const auto& placements = vm.placements();
+  std::uint32_t& cursor = vm_cursor_[vm.id()];
+  char* row = vm_levels_.data() + vm.id() * level_count;
+  const std::vector<int>& levels = structure_->levels();
+  for (; cursor < placements.size(); ++cursor)
+    row[static_cast<std::size_t>(levels[placements[cursor].task])] = 1;
 }
 
 bool PlacementContext::vm_hosts_level_of(const cloud::Vm& vm, dag::TaskId t) const {
-  const int level = levels_[t];
-  return std::any_of(vm.placements().begin(), vm.placements().end(),
-                     [&](const cloud::Placement& p) {
-                       return levels_[p.task] == level;
-                     });
+  if (vm.id() == cloud::kInvalidVm || vm.placements().empty())
+    return false;  // hypothetical or fresh VM hosts nothing
+  refresh_occupancy(vm);
+  const std::size_t level_count = structure_->level_sizes().size();
+  return vm_levels_[vm.id() * level_count +
+                    static_cast<std::size_t>(structure_->levels()[t])] != 0;
 }
 
 util::Seconds PlacementContext::est_on(dag::TaskId t, const cloud::Vm& vm) const {
-  util::Seconds est = std::max(vm.available_from(), platform_->boot_time());
-  for (dag::TaskId p : wf_->predecessors(t)) {
-    if (!schedule_->is_assigned(p))
+  util::Seconds est = std::max(vm.available_from(), boot_time_);
+  const std::span<const dag::TaskId> preds = structure_->preds(t);
+  const std::span<const util::Gigabytes> data = structure_->pred_data(t);
+  const std::size_t slot_base = structure_->pred_edge_slot(t);
+  const sim::Schedule& schedule = *schedule_;
+  const cloud::VmPool& vms = pool();
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const dag::TaskId p = preds[i];
+    if (!schedule.is_assigned(p))
       throw std::logic_error("est_on: predecessor '" + wf_->task(p).name +
                              "' not yet assigned");
-    const sim::Assignment& pa = schedule_->assignment(p);
-    const util::Seconds transfer = platform_->transfer_time(
-        wf_->edge_data(p, t), schedule_->pool().vm(pa.vm), vm);
+    const sim::Assignment& pa = schedule.assignment(p);
+    const util::Seconds transfer =
+        transfer_cached(slot_base + i, data[i], vms.vm(pa.vm), vm);
     est = std::max(est, pa.end + transfer);
   }
   return est;
@@ -43,20 +108,14 @@ util::Seconds PlacementContext::est_on(dag::TaskId t, const cloud::Vm& vm) const
 util::Seconds PlacementContext::est_on_new(dag::TaskId t) const {
   // A hypothetical endpoint: kInvalidVm never equals an existing id, so the
   // transfer model treats it as a distinct machine in the default region.
-  const cloud::Vm fresh(cloud::kInvalidVm, vm_size_, region());
+  const cloud::Vm fresh(cloud::kInvalidVm, vm_size_, region_);
   return est_on(t, fresh);
 }
 
 std::optional<dag::TaskId> PlacementContext::largest_predecessor(
     dag::TaskId t) const {
-  const auto& preds = wf_->predecessors(t);
-  if (preds.empty()) return std::nullopt;
-  dag::TaskId best = preds.front();
-  for (dag::TaskId p : preds) {
-    if (wf_->task(p).work > wf_->task(best).work ||
-        (wf_->task(p).work == wf_->task(best).work && p < best))
-      best = p;
-  }
+  const dag::TaskId best = structure_->largest_pred(t);
+  if (best == dag::kInvalidTask) return std::nullopt;
   return best;
 }
 

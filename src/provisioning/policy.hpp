@@ -20,10 +20,11 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cloud/platform.hpp"
-#include "dag/graph_algo.hpp"
+#include "dag/structure_cache.hpp"
 #include "dag/workflow.hpp"
 #include "sim/schedule.hpp"
 
@@ -46,6 +47,14 @@ enum class ProvisioningKind : std::uint8_t {
 
 /// Everything a policy may consult while placing one task, plus the
 /// earliest-start-time arithmetic shared by all schedulers.
+///
+/// Flat-core hot path: the context shares the workflow's StructureCache
+/// (levels, CSR adjacency with resolved edge data, largest predecessors)
+/// instead of recomputing them per run, memoizes per-(task,size) execution
+/// times and per-(edge, size-pair) transfer times, and answers
+/// vm_hosts_level_of from an incrementally maintained per-VM level
+/// occupancy instead of scanning every placement. All answers are
+/// bit-identical to the direct computations they replace.
 class PlacementContext {
  public:
   PlacementContext(const dag::Workflow& wf, sim::Schedule& schedule,
@@ -58,18 +67,29 @@ class PlacementContext {
     return *platform_;
   }
 
-  /// Instance size used for newly rented VMs in this run.
-  [[nodiscard]] cloud::InstanceSize vm_size() const noexcept { return vm_size_; }
-  [[nodiscard]] cloud::RegionId region() const noexcept {
-    return platform_->default_region_id();
+  /// The shared structure tables (adjacency, levels, ranks, …).
+  [[nodiscard]] const dag::StructureCache& structure() const noexcept {
+    return *structure_;
   }
 
+  /// Read-only pool access that leaves the reuse index clean (the mutable
+  /// Schedule::pool() would conservatively invalidate it).
+  [[nodiscard]] const cloud::VmPool& pool() const noexcept {
+    return std::as_const(*schedule_).pool();
+  }
+
+  /// Instance size used for newly rented VMs in this run.
+  [[nodiscard]] cloud::InstanceSize vm_size() const noexcept { return vm_size_; }
+  [[nodiscard]] cloud::RegionId region() const noexcept { return region_; }
+
   /// Level of each task (longest-hop distance from an entry).
-  [[nodiscard]] const std::vector<int>& levels() const { return levels_; }
+  [[nodiscard]] const std::vector<int>& levels() const {
+    return structure_->levels();
+  }
 
   /// True iff the task shares its level with at least one other task.
   [[nodiscard]] bool is_parallel_task(dag::TaskId t) const {
-    return level_sizes_[static_cast<std::size_t>(levels_[t])] > 1;
+    return structure_->is_parallel(t);
   }
 
   /// True iff `vm` already hosts a task of the same level as `t`.
@@ -83,14 +103,15 @@ class PlacementContext {
   /// Earliest start of `t` on a hypothetical fresh VM of vm_size().
   [[nodiscard]] util::Seconds est_on_new(dag::TaskId t) const;
 
-  /// Execution time of `t` on an instance of size `s`.
+  /// Execution time of `t` on an instance of size `s` (memoized per size).
   [[nodiscard]] util::Seconds exec_time(dag::TaskId t, cloud::InstanceSize s) const {
-    return cloud::exec_time(wf_->task(t).work, s);
+    const auto& table = exec_[cloud::index_of(s)];
+    return table.empty() ? fill_exec_table(s)[t] : table[t];
   }
 
   /// Rents a fresh VM of vm_size() in the default region.
   [[nodiscard]] cloud::VmId rent() {
-    return schedule_->rent(vm_size_, region());
+    return schedule_->rent(vm_size_, region_);
   }
 
   /// The predecessor of `t` with the largest work (the paper's "(largest)
@@ -98,12 +119,37 @@ class PlacementContext {
   [[nodiscard]] std::optional<dag::TaskId> largest_predecessor(dag::TaskId t) const;
 
  private:
+  [[nodiscard]] const std::vector<util::Seconds>& fill_exec_table(
+      cloud::InstanceSize s) const;
+  [[nodiscard]] util::Seconds transfer_cached(std::size_t edge_slot,
+                                              util::Gigabytes data,
+                                              const cloud::Vm& from,
+                                              const cloud::Vm& to) const;
+  void refresh_occupancy(const cloud::Vm& vm) const;
+
   const dag::Workflow* wf_;
   sim::Schedule* schedule_;
   const cloud::Platform* platform_;
+  std::shared_ptr<const dag::StructureCache> structure_;
   cloud::InstanceSize vm_size_;
-  std::vector<int> levels_;
-  std::vector<std::size_t> level_sizes_;
+  cloud::RegionId region_;
+  util::Seconds boot_time_;
+
+  // Memoized exec times: one table per instance size, filled on first use.
+  mutable std::array<std::vector<util::Seconds>, cloud::kSizeCount> exec_;
+
+  // Memoized transfer times per (incoming-edge slot, from-size x to-size)
+  // for default-region endpoints on distinct VMs; < 0 means "not yet
+  // computed" (real transfer times are nonnegative).
+  mutable std::vector<util::Seconds> transfer_;
+
+  // Per-VM level occupancy, maintained lazily: vm_cursor_[id] placements of
+  // VM id have been folded into vm_levels_ (a level-count-striped bitset
+  // row per VM). Placements are append-only through VmPool::place; any
+  // other mutation bumps the pool's epoch and drops the whole table.
+  mutable std::vector<std::uint32_t> vm_cursor_;
+  mutable std::vector<char> vm_levels_;
+  mutable std::uint64_t occupancy_epoch_ = 0;
 };
 
 class ProvisioningPolicy {

@@ -4,46 +4,36 @@
 
 namespace cloudwf::provisioning {
 
-namespace {
-/// The reuse target of the StartPar policies: the used VM with the largest
-/// accumulated execution time ("the VM with the largest execution time is
-/// chosen"); lowest id breaks ties for determinism.
-const cloud::Vm* largest_execution_time_vm(const cloud::VmPool& pool) {
-  const cloud::Vm* best = nullptr;
-  for (const cloud::Vm& vm : pool.vms()) {
-    if (!vm.used()) continue;
-    if (best == nullptr || vm.busy_time() > best->busy_time()) best = &vm;
-  }
-  return best;
-}
-}  // namespace
-
 cloud::VmId StartPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
   // Entry ("initial workflow") tasks each get their own VM — this is where
   // the policy's start-up parallelism comes from.
-  if (ctx.workflow().predecessors(t).empty()) {
+  if (ctx.structure().preds(t).empty()) {
     const cloud::VmId id = ctx.rent();
     obs::emit_decision(t, id, 0, "StartPar: entry task, rent");
     return id;
   }
 
-  const cloud::Vm* candidate = largest_execution_time_vm(ctx.schedule().pool());
-  if (candidate == nullptr) return ctx.rent();  // no VM yet (defensive)
+  // The reuse target ("the VM with the largest execution time is chosen"):
+  // the head of the pool's busy-time-ordered reuse index, which equals the
+  // old linear scan's argmax with its lowest-id tie-break.
+  const std::span<const cloud::VmId> order = ctx.pool().reuse_order();
+  if (order.empty()) return ctx.rent();  // no used VM yet (defensive)
+  const cloud::Vm& candidate = ctx.pool().vm(order.front());
 
   if (!exceed_) {
-    const util::Seconds est = ctx.est_on(t, *candidate);
-    const util::Seconds eft = est + ctx.exec_time(t, candidate->size());
-    if (candidate->placement_adds_btu(est, eft)) {
+    const util::Seconds est = ctx.est_on(t, candidate);
+    const util::Seconds eft = est + ctx.exec_time(t, candidate.size());
+    if (candidate.placement_adds_btu(est, eft)) {
       const cloud::VmId id = ctx.rent();
       obs::emit_decision(t, id, est,
                          "StartParNotExceed: reuse would add a BTU, rent");
       return id;
     }
   }
-  obs::emit_decision(t, candidate->id(), 0,
+  obs::emit_decision(t, candidate.id(), 0,
                      exceed_ ? "StartParExceed: reuse largest-execution VM"
                              : "StartParNotExceed: reuse largest-execution VM");
-  return candidate->id();
+  return candidate.id();
 }
 
 }  // namespace cloudwf::provisioning

@@ -48,14 +48,19 @@ cloud::VmId place_chain(provisioning::PlacementContext& ctx,
   for (dag::TaskId t : chain) chain_exec += ctx.exec_time(t, size);
 
   const dag::TaskId head = chain.front();
+  // Busy-time-descending reuse index: the first admissible entry equals the
+  // old full scan's max-busy (lowest id on ties) admissible VM, and the BTU
+  // check (the expensive est_on) is skipped for everything after it.
   const cloud::Vm* reuse = nullptr;
-  for (const cloud::Vm& vm : ctx.schedule().pool().vms()) {
-    if (!vm.used() || vm.size() != size) continue;
+  for (cloud::VmId id : ctx.pool().reuse_order()) {
+    const cloud::Vm& vm = ctx.pool().vm(id);
+    if (vm.size() != size) continue;
     if (ctx.vm_hosts_level_of(vm, head)) continue;
     // NotExceed over the whole chain: the VM's BTU count must not grow.
     const util::Seconds est = ctx.est_on(head, vm);
     if (vm.placement_adds_btu(est, est + chain_exec)) continue;
-    if (reuse == nullptr || vm.busy_time() > reuse->busy_time()) reuse = &vm;
+    reuse = &vm;
+    break;
   }
 
   cloud::VmId vm_id;
@@ -76,7 +81,7 @@ sim::Schedule AllParOneLnSScheduler::run(const dag::Workflow& wf,
                                      cloud::InstanceSize::small);
 
   obs::PhaseScope phase("allpar1lns: place");
-  for (const auto& level : dag::level_groups(wf)) {
+  for (const auto& level : ctx.structure().level_groups()) {
     const LevelChains chains = build_level_chains(wf, level);
     if (obs::enabled())
       obs::emit_ready_set(level.size(),

@@ -1,13 +1,19 @@
 #include "scheduling/cpa_eager.hpp"
 
+#include <array>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "dag/graph_algo.hpp"
+#include "dag/structure_cache.hpp"
 #include "obs/trace.hpp"
 #include "scheduling/upgrade.hpp"
 
 namespace cloudwf::scheduling {
+
+namespace {
+constexpr std::size_t kSizePairs = cloud::kSizeCount * cloud::kSizeCount;
+}  // namespace
 
 CpaEagerScheduler::CpaEagerScheduler(double budget_factor)
     : budget_factor_(budget_factor) {
@@ -21,19 +27,45 @@ sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
-  const util::Money budget =
-      metrics_one_vm_per_task(wf, platform, sizes).total_cost.scaled(budget_factor_);
+  // Scratch retimer: the upgrade loop evaluates the candidate cost once per
+  // iteration; reusing one schedule + transfer memo makes that allocation-free.
+  OneVmPerTaskRetimer retimer(wf, platform);
+  const util::Money budget = retimer.cost(sizes).scaled(budget_factor_);
 
   // Comm between two distinct VMs (one VM per task, so every edge crosses
   // VMs; sizes only matter through link speeds, all >= small's 1 Gb — use
-  // the current sizes for the endpoints).
+  // the current sizes for the endpoints). The critical path is recomputed
+  // once per candidate, so both callbacks are table-backed: exec times per
+  // (size, task) up front, transfer times memoized per (edge, size pair).
+  // Every entry is the result of the identical exec_time / transfer_time
+  // call, keeping the path selection bit-identical.
+  const std::shared_ptr<const dag::StructureCache> sc = wf.structure();
+  std::array<std::vector<util::Seconds>, cloud::kSizeCount> exec_tbl;
+  for (cloud::InstanceSize s : cloud::kAllSizes) {
+    auto& table = exec_tbl[cloud::index_of(s)];
+    table.reserve(wf.task_count());
+    for (const dag::Task& task : wf.tasks())
+      table.push_back(cloud::exec_time(task.work, s));
+  }
+  std::vector<util::Seconds> comm_memo(sc->edge_count() * kSizePairs, -1.0);
+
   const auto comm = [&](dag::TaskId p, dag::TaskId t) {
-    const cloud::Vm from(0, sizes[p], platform.default_region_id());
-    const cloud::Vm to(1, sizes[t], platform.default_region_id());
-    return platform.transfer_time(wf.edge_data(p, t), from, to);
+    const std::span<const dag::TaskId> preds = sc->preds(t);
+    std::size_t k = 0;
+    while (preds[k] != p) ++k;  // p is a predecessor by construction
+    util::Seconds& slot =
+        comm_memo[(sc->pred_edge_slot(t) + k) * kSizePairs +
+                  cloud::index_of(sizes[p]) * cloud::kSizeCount +
+                  cloud::index_of(sizes[t])];
+    if (slot < 0) {
+      const cloud::Vm from(0, sizes[p], platform.default_region_id());
+      const cloud::Vm to(1, sizes[t], platform.default_region_id());
+      slot = platform.transfer_time(sc->pred_data(t)[k], from, to);
+    }
+    return slot;
   };
   const auto exec = [&](dag::TaskId t) {
-    return cloud::exec_time(wf.task(t).work, sizes[t]);
+    return exec_tbl[cloud::index_of(sizes[t])][t];
   };
 
   // Tasks whose upgrade was rejected under the *current* configuration;
@@ -54,7 +86,7 @@ sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
 
     const cloud::InstanceSize previous = sizes[candidate];
     sizes[candidate] = *cloud::next_faster(previous);
-    if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
+    if (retimer.cost(sizes) > budget) {
       sizes[candidate] = previous;
       rejected.insert(candidate);
       if (obs::enabled())

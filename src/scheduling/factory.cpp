@@ -37,17 +37,25 @@ constexpr std::array<ProvisioningKind, 5> kLegendOrder = {
 }  // namespace
 
 std::vector<Strategy> paper_strategies() {
-  std::vector<Strategy> out;
-  out.reserve(19);
-  // Fig. 4 legend: the five provisionings for -s, then -m, then -l...
-  for (cloud::InstanceSize size : kPlotSizes)
-    for (ProvisioningKind kind : kLegendOrder) out.push_back(homogeneous(kind, size));
-  // ...then the four dynamic algorithms.
-  out.push_back({"CPA-Eager", std::make_shared<CpaEagerScheduler>()});
-  out.push_back({"GAIN", std::make_shared<GainScheduler>()});
-  out.push_back({"AllPar1LnS", std::make_shared<AllParOneLnSScheduler>()});
-  out.push_back({"AllPar1LnSDyn", std::make_shared<AllParOneLnSDynScheduler>()});
-  return out;
+  // Schedulers are stateless const objects, so one shared legend serves
+  // every sweep (run_all used to rebuild all 19 — policies included — per
+  // cell). Callers get cheap copies: 19 label strings + refcount bumps.
+  static const std::vector<Strategy> cached = [] {
+    std::vector<Strategy> out;
+    out.reserve(19);
+    // Fig. 4 legend: the five provisionings for -s, then -m, then -l...
+    for (cloud::InstanceSize size : kPlotSizes)
+      for (ProvisioningKind kind : kLegendOrder)
+        out.push_back(homogeneous(kind, size));
+    // ...then the four dynamic algorithms.
+    out.push_back({"CPA-Eager", std::make_shared<CpaEagerScheduler>()});
+    out.push_back({"GAIN", std::make_shared<GainScheduler>()});
+    out.push_back({"AllPar1LnS", std::make_shared<AllParOneLnSScheduler>()});
+    out.push_back(
+        {"AllPar1LnSDyn", std::make_shared<AllParOneLnSDynScheduler>()});
+    return out;
+  }();
+  return cached;
 }
 
 Strategy reference_strategy() {

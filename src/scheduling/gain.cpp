@@ -1,9 +1,10 @@
 #include "scheduling/gain.hpp"
 
+#include <array>
 #include <limits>
-#include <set>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "scheduling/upgrade.hpp"
@@ -21,19 +22,39 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
-  const util::Money budget =
-      metrics_one_vm_per_task(wf, platform, sizes).total_cost.scaled(budget_factor_);
+  // Scratch retimer: one schedule + transfer memo reused across all candidate
+  // evaluations of the gain loop (bit-identical to metrics_one_vm_per_task).
+  OneVmPerTaskRetimer retimer(wf, platform);
+  const util::Money budget = retimer.cost(sizes).scaled(budget_factor_);
   const cloud::Region& region = platform.default_region();
 
-  // Per-task VM rental under OneVMperTask: whole BTUs of the task's runtime.
-  const auto vm_cost = [&](dag::TaskId t, cloud::InstanceSize s) {
-    return cloud::rental_cost(cloud::exec_time(wf.task(t).work, s), s, region);
-  };
+  // The gain matrix's ingredients are fixed per (task, size) — works and
+  // region never change inside the loop — so tabulate them once instead of
+  // recomputing the whole matrix every sweep. Entries are the results of
+  // the identical exec_time / rental_cost calls, so sweeps stay
+  // bit-identical.
+  std::array<std::vector<util::Seconds>, cloud::kSizeCount> exec_tbl;
+  std::array<std::vector<util::Money>, cloud::kSizeCount> cost_tbl;
+  for (cloud::InstanceSize s : cloud::kAllSizes) {
+    const std::size_t si = cloud::index_of(s);
+    exec_tbl[si].reserve(wf.task_count());
+    cost_tbl[si].reserve(wf.task_count());
+    for (const dag::Task& task : wf.tasks()) {
+      const util::Seconds e = cloud::exec_time(task.work, s);
+      exec_tbl[si].push_back(e);
+      cost_tbl[si].push_back(cloud::rental_cost(e, s, region));
+    }
+  }
 
   // (task, target size) pairs rejected for busting the budget in the current
   // configuration. A successful upgrade lowers nothing, so rejections stay
-  // rejected (total cost is non-decreasing in upgrades).
-  std::set<std::pair<dag::TaskId, cloud::InstanceSize>> rejected;
+  // rejected (total cost is non-decreasing in upgrades). Flat bitmask: the
+  // matrix sweep probes every cell every iteration, so lookups are the
+  // inner-loop hot path.
+  std::vector<char> rejected(wf.task_count() * cloud::kSizeCount, 0);
+  const auto rejected_slot = [&](dag::TaskId t, cloud::InstanceSize s) -> char& {
+    return rejected[t * cloud::kSizeCount + cloud::index_of(s)];
+  };
 
   for (;;) {
     // Gain matrix sweep: best (task, size) by gain; ties toward the lower
@@ -44,13 +65,14 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
 
     for (const dag::Task& task : wf.tasks()) {
       const cloud::InstanceSize cur = sizes[task.id];
-      const util::Seconds exec_cur = cloud::exec_time(task.work, cur);
-      const util::Money cost_cur = vm_cost(task.id, cur);
+      const util::Seconds exec_cur = exec_tbl[cloud::index_of(cur)][task.id];
+      const util::Money cost_cur = cost_tbl[cloud::index_of(cur)][task.id];
       for (cloud::InstanceSize target : cloud::kAllSizes) {
         if (cloud::index_of(target) <= cloud::index_of(cur)) continue;
-        if (rejected.contains({task.id, target})) continue;
-        const util::Seconds dt = exec_cur - cloud::exec_time(task.work, target);
-        const util::Money dc = vm_cost(task.id, target) - cost_cur;
+        if (rejected_slot(task.id, target) != 0) continue;
+        const std::size_t ti = cloud::index_of(target);
+        const util::Seconds dt = exec_cur - exec_tbl[ti][task.id];
+        const util::Money dc = cost_tbl[ti][task.id] - cost_cur;
         // A faster VM at no extra BTU cost is an unconditional win.
         const double gain = dc <= util::Money{}
                                 ? std::numeric_limits<double>::infinity()
@@ -66,9 +88,9 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
 
     const cloud::InstanceSize previous = sizes[best_task];
     sizes[best_task] = best_size;
-    if (metrics_one_vm_per_task(wf, platform, sizes).total_cost > budget) {
+    if (retimer.cost(sizes) > budget) {
       sizes[best_task] = previous;
-      rejected.insert({best_task, best_size});
+      rejected_slot(best_task, best_size) = 1;
       if (obs::enabled())
         obs::emit_upgrade(best_task, false, best_gain,
                           "GAIN: best move busts budget");

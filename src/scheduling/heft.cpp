@@ -1,11 +1,29 @@
 #include "scheduling/heft.hpp"
 
+#include <bit>
 #include <stdexcept>
 
-#include "dag/graph_algo.hpp"
+#include "dag/structure_cache.hpp"
 #include "obs/trace.hpp"
 
 namespace cloudwf::scheduling {
+
+namespace {
+/// Memo key for the HEFT rank tables: the rank model is fully determined by
+/// the instance size (speedups and link classes are size-global constants)
+/// and the transfer model's latency parameters, hashed bit-exactly.
+std::uint64_t rank_model_key(cloud::InstanceSize size,
+                             const cloud::Platform& platform) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + cloud::index_of(size);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::bit_cast<std::uint64_t>(platform.transfer().intra_region_latency));
+  mix(std::bit_cast<std::uint64_t>(platform.transfer().inter_region_latency));
+  mix(platform.default_region_id());
+  return h;
+}
+}  // namespace
 
 HeftScheduler::HeftScheduler(provisioning::ProvisioningKind provisioning,
                              cloud::InstanceSize size)
@@ -16,6 +34,7 @@ HeftScheduler::HeftScheduler(provisioning::ProvisioningKind provisioning,
     throw std::invalid_argument(
         "HeftScheduler: AllPar provisionings need level knowledge; use "
         "LevelScheduler (paper Table I)");
+  policy_ = provisioning::make_policy(provisioning_);
 }
 
 std::string HeftScheduler::name() const {
@@ -28,9 +47,11 @@ sim::Schedule HeftScheduler::run(const dag::Workflow& wf,
   wf.validate();
   sim::Schedule schedule(wf);
   provisioning::PlacementContext ctx(wf, schedule, platform, size_);
-  const auto policy = provisioning::make_policy(provisioning_);
+  const dag::StructureCache& sc = ctx.structure();
 
   // Rank-time comm estimate: transfer between two distinct same-size VMs.
+  // The (rank, order) pair is memoized on the structure cache, so all seeds
+  // and strategies sharing this size rank the DAG exactly once.
   const cloud::Vm a(0, size_, platform.default_region_id());
   const cloud::Vm b(1, size_, platform.default_region_id());
   const auto exec = [&](dag::TaskId t) { return ctx.exec_time(t, size_); };
@@ -38,16 +59,16 @@ sim::Schedule HeftScheduler::run(const dag::Workflow& wf,
     return platform.transfer_time(wf.edge_data(p, t), a, b);
   };
 
-  std::vector<dag::TaskId> order;
+  const std::vector<dag::TaskId>* order = nullptr;
   {
     obs::PhaseScope rank_phase("heft: rank");
-    order = dag::heft_order(wf, exec, comm);
+    order = &sc.heft_order_memo(rank_model_key(size_, platform), exec, comm);
   }
-  obs::emit_ready_set(order.size(), "heft upward-rank order");
+  obs::emit_ready_set(order->size(), "heft upward-rank order");
 
   obs::PhaseScope place_phase("heft: place");
-  for (dag::TaskId t : order)
-    place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+  for (dag::TaskId t : *order)
+    place_at_earliest(ctx, t, policy_->choose_vm(t, ctx));
   return schedule;
 }
 

@@ -32,6 +32,9 @@ class HeftScheduler final : public Scheduler {
  private:
   provisioning::ProvisioningKind provisioning_;
   cloud::InstanceSize size_;
+  // Built once per strategy instead of per run. The paper policies are
+  // stateless, so one instance serves concurrent runs safely.
+  std::unique_ptr<provisioning::ProvisioningPolicy> policy_;
 };
 
 }  // namespace cloudwf::scheduling

@@ -26,6 +26,7 @@ LevelScheduler::LevelScheduler(provisioning::ProvisioningKind provisioning,
     throw std::invalid_argument(
         "LevelScheduler: only the AllPar provisionings use level ranking "
         "(paper Table I)");
+  policy_ = provisioning::make_policy(provisioning_);
 }
 
 std::string LevelScheduler::name() const {
@@ -38,17 +39,19 @@ sim::Schedule LevelScheduler::run(const dag::Workflow& wf,
   wf.validate();
   sim::Schedule schedule(wf);
   provisioning::PlacementContext ctx(wf, schedule, platform, size_);
-  const auto policy = provisioning::make_policy(provisioning_);
 
+  // Level groups and the per-level work-descending order come ready-sorted
+  // from the structure cache — shared by both AllPar strategies, every size
+  // and every seed on this workflow instance.
   obs::PhaseScope phase("level-scheduler: place");
   std::size_t level_index = 0;
-  for (const auto& level : dag::level_groups(wf)) {
+  for (const auto& level : ctx.structure().levels_by_work_desc()) {
     if (obs::enabled())
       obs::emit_ready_set(level.size(),
                           "level " + std::to_string(level_index) + " ready set");
     ++level_index;
-    for (dag::TaskId t : level_order_desc(wf, level))
-      place_at_earliest(ctx, t, policy->choose_vm(t, ctx));
+    for (dag::TaskId t : level)
+      place_at_earliest(ctx, t, policy_->choose_vm(t, ctx));
   }
   return schedule;
 }

@@ -25,6 +25,9 @@ class LevelScheduler final : public Scheduler {
  private:
   provisioning::ProvisioningKind provisioning_;
   cloud::InstanceSize size_;
+  // Built once per strategy instead of per run. The paper policies are
+  // stateless, so one instance serves concurrent runs safely.
+  std::unique_ptr<provisioning::ProvisioningPolicy> policy_;
 };
 
 /// The per-level task order used by LevelScheduler and the AllPar1LnS

@@ -4,7 +4,8 @@ namespace cloudwf::scheduling {
 
 void place_at_earliest(provisioning::PlacementContext& ctx, dag::TaskId t,
                        cloud::VmId vm_id) {
-  const cloud::Vm& vm = ctx.schedule().pool().vm(vm_id);
+  // Const pool access keeps the reuse index incremental (see VmPool::vm).
+  const cloud::Vm& vm = ctx.pool().vm(vm_id);
   const util::Seconds est = ctx.est_on(t, vm);
   const util::Seconds eft = est + ctx.exec_time(t, vm.size());
   ctx.schedule().assign(t, vm_id, est, eft);

@@ -1,10 +1,17 @@
 #include "scheduling/upgrade.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "dag/graph_algo.hpp"
+#include "dag/structure_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudwf::scheduling {
+
+namespace {
+constexpr std::size_t kSizePairs = cloud::kSizeCount * cloud::kSizeCount;
+}  // namespace
 
 sim::Schedule retime_one_vm_per_task(const dag::Workflow& wf,
                                      const cloud::Platform& platform,
@@ -34,6 +41,74 @@ sim::ScheduleMetrics metrics_one_vm_per_task(
     std::span<const cloud::InstanceSize> sizes) {
   return sim::compute_metrics(wf, retime_one_vm_per_task(wf, platform, sizes),
                               platform);
+}
+
+OneVmPerTaskRetimer::OneVmPerTaskRetimer(const dag::Workflow& wf,
+                                         const cloud::Platform& platform)
+    : wf_(&wf),
+      platform_(&platform),
+      structure_(wf.structure()),
+      scratch_(wf) {
+  // Scratch rents/placements are search work, not schedule construction —
+  // keep them out of the trace so the placement counters still describe the
+  // schedule being built (the accepted/rejected upgrades are traced by the
+  // algorithms themselves via emit_upgrade).
+  const obs::SuppressRecording quiet;
+  for (std::size_t i = 0; i < wf.task_count(); ++i)
+    (void)scratch_.rent(cloud::InstanceSize::small, platform.default_region_id());
+  transfer_.assign(structure_->edge_count() * kSizePairs, -1.0);
+}
+
+sim::ScheduleMetrics OneVmPerTaskRetimer::metrics(
+    std::span<const cloud::InstanceSize> sizes) {
+  const obs::SuppressRecording quiet;
+  retime(sizes);
+  return sim::compute_metrics(*wf_, scratch_, *platform_);
+}
+
+util::Money OneVmPerTaskRetimer::cost(
+    std::span<const cloud::InstanceSize> sizes) {
+  const obs::SuppressRecording quiet;
+  retime(sizes);
+  // compute_metrics' total_cost is vm_cost + egress_cost; every scratch VM
+  // lives in the default region, so egress is exactly Money{} and the same
+  // rental_cost call is the whole total.
+  return std::as_const(scratch_).pool().rental_cost(platform_->regions());
+}
+
+void OneVmPerTaskRetimer::retime(std::span<const cloud::InstanceSize> sizes) {
+  if (sizes.size() != wf_->task_count())
+    throw std::invalid_argument("OneVmPerTaskRetimer: size vector mismatch");
+
+  scratch_.clear_assignments();
+  cloud::VmPool& pool = scratch_.pool();
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    pool.vm(static_cast<cloud::VmId>(i)).set_size(sizes[i]);
+
+  // Under OneVMperTask every edge crosses two distinct VMs in the default
+  // region, so the per-(edge, size pair) memo always applies; the memoized
+  // value is the result of the identical transfer_time call, so retiming
+  // stays bit-identical to retime_one_vm_per_task.
+  const cloud::VmPool& cpool = std::as_const(pool);
+  for (dag::TaskId t : structure_->topo_order()) {
+    const cloud::Vm& vm = cpool.vm(static_cast<cloud::VmId>(t));
+    util::Seconds est = platform_->boot_time();
+    const std::span<const dag::TaskId> preds = structure_->preds(t);
+    const std::span<const util::Gigabytes> data = structure_->pred_data(t);
+    const std::size_t slot_base = structure_->pred_edge_slot(t);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const sim::Assignment& pa = scratch_.assignment(preds[k]);
+      util::Seconds& slot =
+          transfer_[(slot_base + k) * kSizePairs +
+                    cloud::index_of(cpool.vm(pa.vm).size()) * cloud::kSizeCount +
+                    cloud::index_of(vm.size())];
+      if (slot < 0)
+        slot = platform_->transfer_time(data[k], cpool.vm(pa.vm), vm);
+      est = std::max(est, pa.end + slot);
+    }
+    scratch_.assign(t, vm.id(), est,
+                    est + cloud::exec_time(wf_->task(t).work, vm.size()));
+  }
 }
 
 }  // namespace cloudwf::scheduling

@@ -8,6 +8,7 @@
 // by the per-task size vector.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,5 +30,35 @@ namespace cloudwf::scheduling {
 [[nodiscard]] sim::ScheduleMetrics metrics_one_vm_per_task(
     const dag::Workflow& wf, const cloud::Platform& platform,
     std::span<const cloud::InstanceSize> sizes);
+
+/// Reusable scratch for the upgrade loops: CPA-Eager and GAIN evaluate
+/// metrics_one_vm_per_task once per candidate upgrade, which used to build
+/// a fresh Schedule (N VM rentals, N placement vectors) every time. The
+/// retimer keeps one scratch schedule and a per-edge transfer-time memo —
+/// after warm-up a candidate evaluation allocates nothing. Results are
+/// bit-identical to metrics_one_vm_per_task.
+class OneVmPerTaskRetimer {
+ public:
+  OneVmPerTaskRetimer(const dag::Workflow& wf, const cloud::Platform& platform);
+
+  /// Retimes the scratch schedule for `sizes` and returns its metrics.
+  [[nodiscard]] sim::ScheduleMetrics metrics(
+      std::span<const cloud::InstanceSize> sizes);
+
+  /// Total cost of the retimed schedule for `sizes`. Exactly
+  /// metrics(sizes).total_cost — the scratch is single-region, so egress is
+  /// identically zero — without computing the rest of the metrics. This is
+  /// the budget test CPA-Eager and GAIN run once per candidate.
+  [[nodiscard]] util::Money cost(std::span<const cloud::InstanceSize> sizes);
+
+ private:
+  void retime(std::span<const cloud::InstanceSize> sizes);
+
+  const dag::Workflow* wf_;
+  const cloud::Platform* platform_;
+  std::shared_ptr<const dag::StructureCache> structure_;
+  sim::Schedule scratch_;
+  std::vector<util::Seconds> transfer_;  // per (edge slot, size pair); <0 empty
+};
 
 }  // namespace cloudwf::scheduling

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/trace.hpp"
 
@@ -22,16 +23,19 @@ void Schedule::assign(dag::TaskId task, cloud::VmId vm, util::Seconds start,
     throw std::out_of_range("Schedule::assign: bad task id");
   if (assignments_[task].valid())
     throw std::logic_error("Schedule::assign: task already assigned");
-  cloud::Vm& v = pool_.vm(vm);
+  // Placements go through the pool so its reuse index stays incremental
+  // (const access beforehand — the mutable vm() accessor would mark the
+  // index dirty and force a rebuild on the next policy query).
   if (!obs::enabled()) {
-    v.place(task, start, end);  // validates the interval
+    pool_.place(vm, task, start, end);  // validates the interval
   } else {
     // Canonical placement event: reuse flag + BTU delta come from the VM's
     // session state around the placement, so the trace counters are a
     // second witness to compute_metrics' aggregates for every scheduler.
+    const cloud::Vm& v = std::as_const(pool_).vm(vm);
     const bool reused = v.used();
     const std::int64_t btus_before = v.btus();
-    v.place(task, start, end);
+    pool_.place(vm, task, start, end);
     obs::emit_task_place(task, vm, start, end, reused,
                          static_cast<double>(v.btus() - btus_before));
   }

@@ -1,0 +1,123 @@
+// VmPool reuse-index properties: the incrementally maintained
+// (busy desc, id asc) order must equal a fresh sort after any sequence of
+// appends, and survive every path that dirties it (mutable access, timeline
+// clears). The busy-time cache must equal the summed placements.
+#include "cloud/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cloudwf::cloud {
+namespace {
+
+std::vector<VmId> fresh_sorted_order(const VmPool& pool) {
+  std::vector<VmId> order;
+  for (const Vm& v : pool.vms())
+    if (v.used()) order.push_back(v.id());
+  std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
+    const util::Seconds ba = pool.vm(a).busy_time();
+    const util::Seconds bb = pool.vm(b).busy_time();
+    if (ba != bb) return ba > bb;
+    return a < b;
+  });
+  return order;
+}
+
+void expect_index_matches(const VmPool& pool) {
+  const std::span<const VmId> order = pool.reuse_order();
+  const std::vector<VmId> expected = fresh_sorted_order(pool);
+  ASSERT_EQ(order.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(order[i], expected[i]) << "slot " << i;
+}
+
+util::Seconds summed_busy(const Vm& v) {
+  util::Seconds total = 0;
+  for (const Placement& p : v.placements()) total += p.end - p.start;
+  return total;
+}
+
+TEST(VmPoolIndex, IncrementalOrderEqualsFreshSortUnderRandomAppends) {
+  util::Rng rng(97);
+  VmPool pool;
+  for (int i = 0; i < 12; ++i)
+    (void)pool.rent(InstanceSize::small, 0);
+
+  std::vector<util::Seconds> next_free(12, 0.0);
+  for (dag::TaskId task = 0; task < 200; ++task) {
+    const auto id = static_cast<VmId>(rng.between(0, 11));
+    const util::Seconds start = next_free[id];
+    const util::Seconds end = start + rng.uniform(0.5, 900.0);
+    pool.place(id, task, start, end);
+    next_free[id] = end;
+    if (task % 17 == 0) expect_index_matches(pool);
+  }
+  expect_index_matches(pool);
+  for (const Vm& v : pool.vms())
+    EXPECT_EQ(v.busy_time(), summed_busy(v)) << "vm " << v.id();
+}
+
+TEST(VmPoolIndex, RebuildsAfterMutableAccessAndClear) {
+  VmPool pool;
+  for (int i = 0; i < 4; ++i) (void)pool.rent(InstanceSize::medium, 0);
+  pool.place(2, 0, 0.0, 100.0);
+  pool.place(0, 1, 0.0, 50.0);
+  expect_index_matches(pool);
+
+  // Rewriting a timeline through the mutable accessor must dirty the index.
+  const std::uint64_t epoch_before = pool.mutation_epoch();
+  pool.vm(0).clear();
+  pool.vm(0).place(1, 0.0, 400.0);
+  EXPECT_GT(pool.mutation_epoch(), epoch_before);
+  expect_index_matches(pool);
+  EXPECT_EQ(pool.reuse_order().front(), 0u) << "vm 0 is now the busiest";
+
+  pool.clear_placements();
+  EXPECT_TRUE(pool.reuse_order().empty());
+  pool.place(3, 2, 0.0, 10.0);
+  expect_index_matches(pool);
+}
+
+TEST(VmPoolIndex, AppendsDoNotBumpTheMutationEpoch) {
+  VmPool pool;
+  (void)pool.rent(InstanceSize::small, 0);
+  const std::uint64_t epoch = pool.mutation_epoch();
+  pool.place(0, 0, 0.0, 5.0);
+  pool.place(0, 1, 5.0, 9.0);
+  EXPECT_EQ(pool.mutation_epoch(), epoch)
+      << "append-only growth must keep derived caches incremental";
+}
+
+TEST(VmPoolIndex, VerificationModeAcceptsTheIncrementalIndex) {
+  VmPool::set_index_verification(true);
+  VmPool pool;
+  for (int i = 0; i < 6; ++i) (void)pool.rent(InstanceSize::large, 0);
+  util::Rng rng(7);
+  std::vector<util::Seconds> next_free(6, 0.0);
+  for (dag::TaskId task = 0; task < 60; ++task) {
+    const auto id = static_cast<VmId>(rng.between(0, 5));
+    const util::Seconds end = next_free[id] + rng.uniform(1.0, 50.0);
+    pool.place(id, task, next_free[id], end);
+    next_free[id] = end;
+    EXPECT_NO_THROW((void)pool.reuse_order());
+  }
+  VmPool::set_index_verification(false);
+}
+
+TEST(VmPoolIndex, TiesBreakTowardTheLowerId) {
+  VmPool pool;
+  for (int i = 0; i < 3; ++i) (void)pool.rent(InstanceSize::small, 0);
+  pool.place(2, 0, 0.0, 30.0);
+  pool.place(1, 1, 0.0, 30.0);
+  const std::span<const VmId> order = pool.reuse_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+}  // namespace
+}  // namespace cloudwf::cloud

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate the sweep benchmark against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Both files are written by `bench_parallel_sweep --json FILE` and carry a
+`median_serial_ms` field (median of several serial sweeps, so single-run
+scheduler noise is already absorbed). The check fails when the current
+median is more than THRESHOLD (default 15%) slower than the baseline.
+Getting faster never fails; print a hint to refresh the baseline instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_score(path: str) -> tuple[float, bool]:
+    """Returns (score, normalized): the median sweep time, divided by the
+    same process' calibration-kernel time when both files can offer one.
+    Normalization makes the gate compare machine-relative cost, so a slower
+    or faster CI host moves baseline and current together."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    try:
+        median = float(doc["median_serial_ms"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"{path}: missing or invalid 'median_serial_ms': {exc}")
+    if median <= 0:
+        raise SystemExit(f"{path}: non-positive median_serial_ms ({median})")
+    for key in ("benchmark", "workflow", "seeds"):
+        if key not in doc:
+            raise SystemExit(f"{path}: missing '{key}' field")
+    calibration = float(doc.get("calibration_ms", 0) or 0)
+    if calibration > 0:
+        return median / calibration, True
+    return median, False
+
+
+def raw_median(path: str) -> float:
+    with open(path, encoding="utf-8") as fh:
+        return float(json.load(fh)["median_serial_ms"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_SWEEP.json")
+    parser.add_argument("current", help="freshly measured BENCH_SWEEP.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed relative slowdown (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args()
+
+    baseline, base_norm = load_score(args.baseline)
+    current, cur_norm = load_score(args.current)
+    if base_norm != cur_norm:
+        # One side lacks the calibration anchor: fall back to raw medians so
+        # old and new files stay comparable.
+        baseline = raw_median(args.baseline)
+        current = raw_median(args.current)
+        unit = "ms (raw; one file lacks calibration)"
+    else:
+        unit = "x calibration" if base_norm else "ms (raw)"
+    ratio = current / baseline
+    print(
+        f"baseline: {baseline:.3f} {unit} | current: {current:.3f} {unit} "
+        f"| ratio: {ratio:.3f} (limit {1 + args.threshold:.3f})"
+    )
+
+    if ratio > 1 + args.threshold:
+        print(
+            f"FAIL: sweep regressed {100 * (ratio - 1):.1f}% past the "
+            f"{100 * args.threshold:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    if ratio < 1 / (1 + args.threshold):
+        print(
+            "note: current run is substantially faster than the baseline — "
+            "consider refreshing BENCH_SWEEP.json"
+        )
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
