@@ -1,0 +1,115 @@
+#include "svc/batcher.hpp"
+
+#include "obs/trace.hpp"
+
+namespace cloudwf::svc {
+
+namespace {
+
+std::string batch_key(const QueuedRequest& request) {
+  const bool is_eval = request.kind == QueuedRequest::Kind::evaluate;
+  std::string key = is_eval ? request.evaluate.workflow : request.rank.workflow;
+  key += '|';
+  key += workload::name_of(is_eval ? request.evaluate.scenario
+                                   : request.rank.scenario);
+  return key;
+}
+
+}  // namespace
+
+std::optional<std::future<HttpResponse>> Batcher::submit(
+    QueuedRequest request) {
+  const std::string key = batch_key(request);
+  std::future<HttpResponse> future = request.promise.get_future();
+  bool first_for_key = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queued_ >= cfg_.max_queue) return std::nullopt;  // backpressure: 429
+    std::vector<QueuedRequest>& bucket = pending_[key];
+    first_for_key = bucket.empty();
+    if (!first_for_key)
+      counters_.requests_coalesced.fetch_add(1, std::memory_order_relaxed);
+    bucket.push_back(std::move(request));
+    ++queued_;
+    std::uint64_t peak =
+        counters_.queue_depth_peak.load(std::memory_order_relaxed);
+    while (peak < queued_ && !counters_.queue_depth_peak.compare_exchange_weak(
+                                 peak, queued_, std::memory_order_relaxed)) {
+    }
+  }
+  // One pool job per batch: later same-key arrivals ride along instead of
+  // submitting their own jobs. The future is intentionally dropped —
+  // run_batch fulfils every request's promise itself and never throws.
+  if (first_for_key)
+    static_cast<void>(pool_.submit([this, key] { run_batch(key); }));
+  return future;
+}
+
+std::size_t Batcher::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+void Batcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queued_ == 0 && running_batches_ == 0; });
+}
+
+HttpResponse Batcher::answer(QueuedRequest& request, EvalCache& cache) {
+  HttpResponse response;
+  if (std::chrono::steady_clock::now() > request.deadline) {
+    counters_.timeout_504.fetch_add(1, std::memory_order_relaxed);
+    response.status = 504;
+    response.body = error_body("deadline exceeded while queued");
+    return response;
+  }
+  try {
+    response.body = request.kind == QueuedRequest::Kind::evaluate
+                        ? evaluate_body(request.evaluate, platform_, &cache)
+                        : rank_body(request.rank, platform_, &cache);
+    counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+  } catch (const BadRequest& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+  } catch (const std::exception& e) {
+    counters_.errors_500.fetch_add(1, std::memory_order_relaxed);
+    response.status = 500;
+    response.body = error_body(std::string("evaluation failed: ") + e.what());
+  }
+  return response;
+}
+
+void Batcher::run_batch(const std::string& key) {
+  std::vector<QueuedRequest> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      batch = std::move(it->second);
+      pending_.erase(it);
+      queued_ -= batch.size();
+    }
+    ++running_batches_;
+  }
+  counters_.batches_run.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    obs::PhaseScope phase("svc: batch " + key);
+    EvalCache cache;  // shared across the whole batch: coalesced requests
+                      // with overlapping cells evaluate each cell once
+    for (QueuedRequest& request : batch)
+      request.promise.set_value(answer(request, cache));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --running_batches_;
+    // Notify while holding the mutex: drain()'s waiter may destroy this
+    // Batcher the moment it observes idle, and the lock guarantees that
+    // cannot happen while this worker is still inside notify_all().
+    idle_.notify_all();
+  }
+}
+
+}  // namespace cloudwf::svc

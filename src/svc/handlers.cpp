@@ -1,0 +1,168 @@
+#include "svc/handlers.hpp"
+
+#include "dag/builders.hpp"
+#include "dag/science.hpp"
+#include "obs/trace.hpp"
+#include "scheduling/baselines.hpp"
+#include "scheduling/factory.hpp"
+
+namespace cloudwf::svc {
+
+namespace {
+
+scheduling::Strategy resolve_strategy(const std::string& label) {
+  for (scheduling::Strategy& s : scheduling::baseline_strategies())
+    if (s.label == label) return std::move(s);
+  try {
+    return scheduling::strategy_by_label(label);
+  } catch (const std::invalid_argument&) {
+    throw BadRequest("unknown strategy '" + label +
+                     "' (see `cloudwf list` for the accepted labels)");
+  }
+}
+
+std::string cell_key(const std::string& workflow,
+                     workload::ScenarioKind scenario, std::uint64_t seed,
+                     const std::string& strategy) {
+  std::string key = workflow;
+  key += '|';
+  key += workload::name_of(scenario);
+  key += '|';
+  key += std::to_string(seed);
+  key += '|';
+  key += strategy;
+  return key;
+}
+
+/// The serial evaluation of one cell — identical to what `cloudwf run
+/// --workflow W --strategy S --scenario K --seed N` computes, packaged as a
+/// RunResult (metrics + gain/loss vs the OneVMperTask-s reference).
+exp::RunResult evaluate_cell(const cloud::Platform& platform,
+                             const dag::Workflow& structure,
+                             const scheduling::Strategy& strategy,
+                             workload::ScenarioKind scenario,
+                             std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  const exp::ExperimentRunner runner(platform, cfg,
+                                     exp::ParallelConfig::serial());
+  return runner.run_one(strategy, structure, scenario);
+}
+
+}  // namespace
+
+dag::Workflow workflow_by_name(const std::string& name) {
+  if (name == "montage") return dag::builders::montage24();
+  if (name == "cstem") return dag::builders::cstem();
+  if (name == "mapreduce") return dag::builders::map_reduce();
+  if (name == "sequential") return dag::builders::sequential_chain();
+  if (name == "epigenomics") return dag::science::epigenomics();
+  if (name == "cybershake") return dag::science::cybershake();
+  if (name == "ligo") return dag::science::ligo();
+  if (name == "sipht") return dag::science::sipht();
+  throw BadRequest("unknown workflow '" + name + "'");
+}
+
+void validate_strategy_label(const std::string& label) {
+  (void)resolve_strategy(label);
+}
+
+util::Json run_result_json(const exp::RunResult& result, std::uint64_t seed) {
+  util::Json row = util::Json::object();
+  row["seed"] = static_cast<std::int64_t>(seed);
+  row["strategy"] = result.strategy;
+  row["makespan_s"] = result.metrics.makespan;
+  row["vm_cost_micros"] = result.metrics.vm_cost.micros();
+  row["egress_cost_micros"] = result.metrics.egress_cost.micros();
+  row["total_cost_micros"] = result.metrics.total_cost.micros();
+  row["idle_s"] = result.metrics.total_idle;
+  row["busy_s"] = result.metrics.total_busy;
+  row["vms_used"] = result.metrics.vms_used;
+  row["total_btus"] = result.metrics.total_btus;
+  row["utilization"] = result.metrics.utilization;
+  row["gain_pct"] = result.relative.gain_pct;
+  row["loss_pct"] = result.relative.loss_pct;
+  return row;
+}
+
+std::string evaluate_body(const EvaluateRequest& request,
+                          const cloud::Platform& platform, EvalCache* cache) {
+  obs::PhaseScope phase("svc: evaluate");
+  const scheduling::Strategy strategy = resolve_strategy(request.strategy);
+  const dag::Workflow structure = workflow_by_name(request.workflow);
+
+  util::Json results = util::Json::array();
+  for (std::uint64_t seed = request.seed_begin; seed <= request.seed_end;
+       ++seed) {
+    const exp::RunResult* cell = nullptr;
+    exp::RunResult fresh;
+    if (cache) {
+      const std::string key =
+          cell_key(request.workflow, request.scenario, seed, request.strategy);
+      auto it = cache->run.find(key);
+      if (it == cache->run.end())
+        it = cache->run
+                 .emplace(key, evaluate_cell(platform, structure, strategy,
+                                             request.scenario, seed))
+                 .first;
+      cell = &it->second;
+    } else {
+      fresh =
+          evaluate_cell(platform, structure, strategy, request.scenario, seed);
+      cell = &fresh;
+    }
+    results.push_back(run_result_json(*cell, seed));
+  }
+
+  util::Json body = util::Json::object();
+  body["endpoint"] = "evaluate";
+  body["workflow"] = request.workflow;
+  body["strategy"] = request.strategy;
+  body["scenario"] = std::string(workload::name_of(request.scenario));
+  body["results"] = std::move(results);
+  return body.dump();
+}
+
+std::string rank_body(const RankRequest& request,
+                      const cloud::Platform& platform, EvalCache* cache) {
+  obs::PhaseScope phase("svc: rank");
+  const std::vector<exp::RunResult>* rows = nullptr;
+  std::vector<exp::RunResult> fresh;
+
+  const auto compute = [&] {
+    const dag::Workflow structure = workflow_by_name(request.workflow);
+    workload::ScenarioConfig cfg;
+    cfg.seed = request.seed;
+    const exp::ExperimentRunner runner(platform, cfg,
+                                       exp::ParallelConfig::serial());
+    // Serial inside the worker: the service pool is the parallelism layer,
+    // nesting another pool per request would only oversubscribe it.
+    return runner.run_all(structure, request.scenario,
+                          exp::ParallelConfig::serial());
+  };
+
+  if (cache) {
+    const std::string key =
+        cell_key(request.workflow, request.scenario, request.seed, "*rank*");
+    auto it = cache->rank.find(key);
+    if (it == cache->rank.end()) it = cache->rank.emplace(key, compute()).first;
+    rows = &it->second;
+  } else {
+    fresh = compute();
+    rows = &fresh;
+  }
+
+  util::Json results = util::Json::array();
+  for (const exp::RunResult& row : *rows)
+    results.push_back(run_result_json(row, request.seed));
+
+  util::Json body = util::Json::object();
+  body["endpoint"] = "rank";
+  body["workflow"] = request.workflow;
+  body["scenario"] = std::string(workload::name_of(request.scenario));
+  body["seed"] = static_cast<std::int64_t>(request.seed);
+  body["results"] = std::move(results);
+  return body.dump();
+}
+
+}  // namespace cloudwf::svc

@@ -1,0 +1,114 @@
+// Minimal HTTP/1.1 over POSIX sockets — the service front end's wire layer.
+//
+// Deliberately tiny and dependency-free: blocking I/O, a strict request
+// parser (request line + headers + Content-Length body, bounded sizes), a
+// response serializer, and a keep-alive client used by the load generator,
+// the benches and the tests. No TLS, no chunked encoding, no pipelining —
+// the service speaks JSON over POST/GET with explicit Content-Length, which
+// is all `cloudwf serve` needs and all `cloudwf_load` generates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cloudwf::svc {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< request target, e.g. "/v1/evaluate"
+  std::string version;  ///< "HTTP/1.1"
+  std::map<std::string, std::string> headers;  ///< names lower-cased
+  std::string body;
+
+  /// Header lookup by lower-case name; empty string when absent.
+  [[nodiscard]] std::string_view header(const std::string& name) const;
+
+  /// True when the client asked to keep the connection open (HTTP/1.1
+  /// default unless "Connection: close").
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+  std::string content_type = "application/json";
+  bool close_connection = false;  ///< emit "Connection: close"
+};
+
+/// Reason phrase for the handful of status codes the service emits.
+[[nodiscard]] std::string_view reason_phrase(int status) noexcept;
+
+/// Serializes a response with Content-Length (and Connection: close when
+/// requested).
+[[nodiscard]] std::string serialize_response(const HttpResponse& response);
+
+/// Outcome of reading one request off a socket.
+enum class ReadStatus : std::uint8_t {
+  ok = 0,        ///< a complete request was parsed
+  closed = 1,    ///< peer closed (or shutdown) before any byte arrived
+  malformed = 2, ///< syntactically invalid request (connection unusable)
+  too_large = 3, ///< header block or body exceeded the limits
+};
+
+struct ReadResult {
+  ReadStatus status = ReadStatus::closed;
+  HttpRequest request;       ///< valid when status == ok
+  std::string error;         ///< human-readable detail otherwise
+};
+
+/// Size limits for inbound requests (network input is untrusted).
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+/// Blocking read of one full request from `fd`. `carry` holds bytes already
+/// read past the previous request on this connection (keep-alive); leftover
+/// bytes after this request are written back into it.
+[[nodiscard]] ReadResult read_http_request(int fd, std::string& carry,
+                                           const HttpLimits& limits = {});
+
+/// Blocking write of the whole buffer; false on error/EPIPE.
+[[nodiscard]] bool write_all(int fd, std::string_view data);
+
+/// Parses a complete request held in memory (header block + body already
+/// assembled) — exposed for the unit tests; read_http_request uses it.
+[[nodiscard]] std::optional<HttpRequest> parse_request_head(
+    std::string_view head, std::string* error);
+
+/// Blocking keep-alive HTTP client (loopback testing + load generation).
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port);
+  void disconnect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request and blocks for the response. Reconnects once if the
+  /// server closed the kept-alive connection. Returns nullopt on transport
+  /// failure.
+  [[nodiscard]] std::optional<HttpResponse> request(const std::string& method,
+                                                    const std::string& target,
+                                                    const std::string& body = "");
+
+ private:
+  [[nodiscard]] std::optional<HttpResponse> roundtrip(const std::string& wire);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+  std::string carry_;
+};
+
+}  // namespace cloudwf::svc

@@ -1,0 +1,113 @@
+#include "svc/protocol.hpp"
+
+#include <cmath>
+
+namespace cloudwf::svc {
+
+namespace {
+
+/// Fetches a required string field or throws BadRequest naming it.
+const std::string& required_string(const util::Json& body, const char* key) {
+  const util::Json* field = body.find(key);
+  if (!field) throw BadRequest(std::string("missing required field '") + key + "'");
+  if (!field->is_string())
+    throw BadRequest(std::string("field '") + key + "' must be a string");
+  return field->as_string();
+}
+
+std::uint64_t as_seed(const util::Json& value, const char* what) {
+  if (!value.is_number())
+    throw BadRequest(std::string(what) + " must be a non-negative integer");
+  const double d = value.as_number();
+  if (d < 0 || d != std::floor(d) || d > 9.0e15)
+    throw BadRequest(std::string(what) + " must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+void decode_seed_fields(const util::Json& body, std::uint64_t& begin,
+                        std::uint64_t& end) {
+  const util::Json* seed = body.find("seed");
+  const util::Json* seeds = body.find("seeds");
+  if (seed && seeds)
+    throw BadRequest("give either 'seed' or 'seeds', not both");
+  if (seed) {
+    begin = end = as_seed(*seed, "'seed'");
+    return;
+  }
+  if (!seeds) throw BadRequest("missing required field 'seed' (or 'seeds')");
+  if (!seeds->is_array() || seeds->as_array().size() != 2)
+    throw BadRequest("'seeds' must be a two-element [first, last] array");
+  begin = as_seed(seeds->as_array()[0], "'seeds[0]'");
+  end = as_seed(seeds->as_array()[1], "'seeds[1]'");
+  if (end < begin) throw BadRequest("'seeds' range is inverted");
+  if (end - begin + 1 > kMaxSeedsPerRequest)
+    throw BadRequest("'seeds' range exceeds " +
+                     std::to_string(kMaxSeedsPerRequest) +
+                     " seeds per request");
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_workflows() {
+  static const std::vector<std::string> names = {
+      "montage", "cstem",      "mapreduce", "sequential",
+      "epigenomics", "cybershake", "ligo",      "sipht"};
+  return names;
+}
+
+void validate_workflow_name(const std::string& name) {
+  for (const std::string& known : known_workflows())
+    if (known == name) return;
+  throw BadRequest("unknown workflow '" + name +
+                   "' (montage|cstem|mapreduce|sequential|epigenomics|"
+                   "cybershake|ligo|sipht)");
+}
+
+workload::ScenarioKind parse_scenario(const std::string& name) {
+  for (workload::ScenarioKind kind :
+       {workload::ScenarioKind::pareto, workload::ScenarioKind::best_case,
+        workload::ScenarioKind::worst_case,
+        workload::ScenarioKind::data_intensive}) {
+    if (name == workload::name_of(kind)) return kind;
+  }
+  throw BadRequest("unknown scenario '" + name +
+                   "' (pareto|best-case|worst-case|data-intensive)");
+}
+
+EvaluateRequest decode_evaluate(const util::Json& body) {
+  if (!body.is_object()) throw BadRequest("request body must be a JSON object");
+  EvaluateRequest req;
+  req.workflow = required_string(body, "workflow");
+  validate_workflow_name(req.workflow);
+  req.strategy = required_string(body, "strategy");
+  if (const util::Json* scenario = body.find("scenario")) {
+    if (!scenario->is_string())
+      throw BadRequest("field 'scenario' must be a string");
+    req.scenario = parse_scenario(scenario->as_string());
+  }
+  decode_seed_fields(body, req.seed_begin, req.seed_end);
+  return req;
+}
+
+RankRequest decode_rank(const util::Json& body) {
+  if (!body.is_object()) throw BadRequest("request body must be a JSON object");
+  RankRequest req;
+  req.workflow = required_string(body, "workflow");
+  validate_workflow_name(req.workflow);
+  if (const util::Json* scenario = body.find("scenario")) {
+    if (!scenario->is_string())
+      throw BadRequest("field 'scenario' must be a string");
+    req.scenario = parse_scenario(scenario->as_string());
+  }
+  if (const util::Json* seed = body.find("seed"))
+    req.seed = as_seed(*seed, "'seed'");
+  return req;
+}
+
+std::string error_body(const std::string& message) {
+  util::Json body = util::Json::object();
+  body["error"] = message;
+  return body.dump();
+}
+
+}  // namespace cloudwf::svc

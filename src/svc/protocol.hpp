@@ -1,0 +1,83 @@
+// The service's JSON request/response schema (documented in
+// docs/SERVICE.md).
+//
+// Two compute endpoints plus two introspection endpoints:
+//
+//   POST /v1/evaluate  {"workflow":"montage","strategy":"AllParExceed-m",
+//                       "scenario":"pareto","seed":7}            one seed, or
+//                      {... ,"seeds":[0,29]}                     an inclusive
+//                      seed range — evaluates one strategy per seed.
+//   POST /v1/rank      {"workflow":"montage","scenario":"pareto","seed":7}
+//                      — all 19 paper strategies in legend order.
+//   GET  /health       liveness + capacity snapshot.
+//   GET  /stats        service counters, batching stats, obs counters and
+//                      phase timings.
+//
+// Decoding is strict: unknown workflows/strategies/scenarios, missing
+// fields, type mismatches and malformed JSON all raise BadRequest, which
+// the server maps to 400 with the offending detail (and byte offset for
+// JSON syntax errors — see util::JsonParseError).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::svc {
+
+/// Client-side error: the request cannot be served as written. The server
+/// answers 400 with this message as the "error" field.
+class BadRequest : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Decoded /v1/evaluate payload.
+struct EvaluateRequest {
+  std::string workflow;   ///< named workflow (montage, cstem, ...)
+  std::string strategy;   ///< paper legend label
+  workload::ScenarioKind scenario = workload::ScenarioKind::pareto;
+  std::uint64_t seed_begin = 0;  ///< first seed (inclusive)
+  std::uint64_t seed_end = 0;    ///< last seed (inclusive)
+
+  [[nodiscard]] std::size_t seed_count() const noexcept {
+    return static_cast<std::size_t>(seed_end - seed_begin) + 1;
+  }
+};
+
+/// Decoded /v1/rank payload.
+struct RankRequest {
+  std::string workflow;
+  workload::ScenarioKind scenario = workload::ScenarioKind::pareto;
+  std::uint64_t seed = 0;
+};
+
+/// The workflow names the service accepts (no file paths: network input
+/// must not reach the filesystem loader).
+[[nodiscard]] const std::vector<std::string>& known_workflows();
+
+/// Throws BadRequest if `name` is not a served workflow.
+void validate_workflow_name(const std::string& name);
+
+/// Parses a scenario name; throws BadRequest for unknown names.
+[[nodiscard]] workload::ScenarioKind parse_scenario(const std::string& name);
+
+/// Decodes an /v1/evaluate body. Throws BadRequest on any schema violation
+/// (the caller catches util::JsonParseError separately for syntax errors).
+[[nodiscard]] EvaluateRequest decode_evaluate(const util::Json& body);
+
+/// Decodes a /v1/rank body.
+[[nodiscard]] RankRequest decode_rank(const util::Json& body);
+
+/// {"error": message} — the uniform error body.
+[[nodiscard]] std::string error_body(const std::string& message);
+
+/// Caps on what one request may ask for (admission control at the schema
+/// level: a single request cannot smuggle in an unbounded sweep).
+inline constexpr std::size_t kMaxSeedsPerRequest = 256;
+
+}  // namespace cloudwf::svc

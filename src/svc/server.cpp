@@ -1,0 +1,335 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace cloudwf::svc {
+
+Server::Server(ServerConfig config, cloud::Platform platform)
+    : config_(config),
+      platform_(std::move(platform)),
+      pool_(config.workers == 0 ? 1 : config.workers),
+      batcher_(platform_, pool_, Batcher::Config{config.max_queue},
+               counters_) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind(port " + std::to_string(config_.port) +
+                             "): " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen(): " + err);
+  }
+
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+
+  // The server's recorder becomes the process-global one: connection threads
+  // and pool workers all fall back to it, so request phases and scheduler
+  // counters accumulate for /stats.
+  obs::set_global_recorder(&recorder_);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!started_) return;
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+
+  // 1. Stop accepting: shutdown() wakes the blocked accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Wake connections parked in recv() so they notice the drain; each
+  // finishes (and answers) the request it already read.
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    connections_idle_.wait(lock, [this] { return connection_fds_.empty(); });
+  }
+
+  // 3. Run every admitted batch to completion before the workers exit.
+  batcher_.drain();
+
+  obs::set_global_recorder(nullptr);
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal: end the loop
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
+
+    bool admitted = false;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connection_fds_.size() < config_.max_connections) {
+        connection_fds_.insert(fd);
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse overloaded;
+      overloaded.status = 503;
+      overloaded.body = error_body("connection limit reached");
+      overloaded.close_connection = true;
+      (void)write_all(fd, serialize_response(overloaded));
+      ::close(fd);
+      continue;
+    }
+
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    // Detached: stop() waits on connection_fds_ becoming empty, which each
+    // thread signals as its last act while the server is still alive.
+    std::thread([this, fd] { serve_connection(fd); }).detach();
+  }
+}
+
+void Server::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  std::string carry;
+  for (;;) {
+    const ReadResult read = read_http_request(fd, carry);
+    if (read.status == ReadStatus::closed) break;
+    if (read.status != ReadStatus::ok) {
+      HttpResponse bad;
+      bad.status = read.status == ReadStatus::too_large ? 413 : 400;
+      bad.body = error_body(read.error);
+      bad.close_connection = true;
+      counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+      (void)write_all(fd, serialize_response(bad));
+      break;
+    }
+
+    counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response = dispatch(read.request);
+    const bool draining = stopping_.load(std::memory_order_acquire);
+    response.close_connection =
+        response.close_connection || draining || !read.request.keep_alive();
+    if (!write_all(fd, serialize_response(response))) break;
+    if (response.close_connection) break;
+  }
+
+  ::close(fd);
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.erase(fd);
+    counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    // Notify while still holding the mutex: this thread is detached, and
+    // stop()'s waiter may destroy the Server the moment it sees the set
+    // empty — the lock guarantees that can't happen mid-notify.
+    connections_idle_.notify_all();
+  }
+}
+
+HttpResponse Server::dispatch(const HttpRequest& request) {
+  obs::PhaseScope phase("svc: request " + request.target);
+  HttpResponse response;
+
+  if (request.target == "/health") {
+    counters_.requests_health.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = error_body("use GET for /health");
+      return response;
+    }
+    response.body = health_body();
+    return response;
+  }
+  if (request.target == "/stats") {
+    counters_.requests_stats.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = error_body("use GET for /stats");
+      return response;
+    }
+    response.body = stats_body();
+    return response;
+  }
+  if (request.target == "/v1/evaluate")
+    return handle_compute(request, QueuedRequest::Kind::evaluate);
+  if (request.target == "/v1/rank")
+    return handle_compute(request, QueuedRequest::Kind::rank);
+
+  counters_.not_found_404.fetch_add(1, std::memory_order_relaxed);
+  response.status = 404;
+  response.body = error_body("unknown endpoint '" + request.target +
+                             "' (/health, /stats, /v1/evaluate, /v1/rank)");
+  return response;
+}
+
+HttpResponse Server::handle_compute(const HttpRequest& request,
+                                    QueuedRequest::Kind kind) {
+  const bool is_eval = kind == QueuedRequest::Kind::evaluate;
+  (is_eval ? counters_.requests_evaluate : counters_.requests_rank)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse response;
+  if (request.method != "POST") {
+    response.status = 405;
+    response.body = error_body("use POST with a JSON body");
+    return response;
+  }
+
+  QueuedRequest queued;
+  queued.kind = kind;
+  try {
+    const util::Json body = util::Json::parse(request.body);
+    if (is_eval) {
+      queued.evaluate = decode_evaluate(body);
+      validate_strategy_label(queued.evaluate.strategy);
+    } else {
+      queued.rank = decode_rank(body);
+    }
+  } catch (const util::JsonParseError& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+    return response;
+  } catch (const BadRequest& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+    return response;
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    response.status = 503;
+    response.body = error_body("server is draining");
+    response.close_connection = true;
+    return response;
+  }
+
+  queued.deadline =
+      std::chrono::steady_clock::now() + config_.request_timeout;
+  std::optional<std::future<HttpResponse>> future =
+      batcher_.submit(std::move(queued));
+  if (!future) {
+    counters_.rejected_429.fetch_add(1, std::memory_order_relaxed);
+    response.status = 429;
+    response.body = error_body(
+        "request queue full (" + std::to_string(config_.max_queue) +
+        " waiting) — retry with backoff");
+    return response;
+  }
+  // The worker always fulfils the promise (result, 4xx/5xx or the 504
+  // deadline answer), so this wait is bounded by queue drain time.
+  return future->get();
+}
+
+std::string Server::health_body() const {
+  util::Json body = util::Json::object();
+  body["status"] = stopping_.load(std::memory_order_acquire) ? "draining" : "ok";
+  body["workers"] = pool_.worker_count();
+  body["queue_depth"] = batcher_.queue_depth();
+  body["max_queue"] = config_.max_queue;
+  body["connections_active"] =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  return body.dump();
+}
+
+std::string Server::stats_body() const {
+  const auto count = [](const std::atomic<std::uint64_t>& c) {
+    return static_cast<std::int64_t>(c.load(std::memory_order_relaxed));
+  };
+
+  util::Json service = util::Json::object();
+  service["requests_total"] = count(counters_.requests_total);
+  service["requests_evaluate"] = count(counters_.requests_evaluate);
+  service["requests_rank"] = count(counters_.requests_rank);
+  service["requests_health"] = count(counters_.requests_health);
+  service["requests_stats"] = count(counters_.requests_stats);
+  service["responses_ok"] = count(counters_.responses_ok);
+  service["rejected_429"] = count(counters_.rejected_429);
+  service["bad_request_400"] = count(counters_.bad_request_400);
+  service["not_found_404"] = count(counters_.not_found_404);
+  service["timeout_504"] = count(counters_.timeout_504);
+  service["errors_500"] = count(counters_.errors_500);
+  service["batches_run"] = count(counters_.batches_run);
+  service["requests_coalesced"] = count(counters_.requests_coalesced);
+  service["queue_depth"] = batcher_.queue_depth();
+  service["queue_depth_peak"] = count(counters_.queue_depth_peak);
+  service["connections_total"] = count(counters_.connections_total);
+  service["connections_active"] = count(counters_.connections_active);
+  service["connections_rejected"] = count(counters_.connections_rejected);
+  service["workers"] = pool_.worker_count();
+
+  const obs::CounterSnapshot snap = recorder_.counters();
+  util::Json obs_counters = util::Json::object();
+  obs_counters["events_recorded"] = static_cast<std::int64_t>(snap.events_recorded);
+  obs_counters["events_dropped"] = static_cast<std::int64_t>(snap.events_dropped);
+  obs_counters["vms_rented"] = static_cast<std::int64_t>(snap.vms_rented);
+  obs_counters["vms_reused"] = static_cast<std::int64_t>(snap.vms_reused);
+  obs_counters["btu_extends"] = static_cast<std::int64_t>(snap.btu_extends);
+  obs_counters["tasks_placed"] = static_cast<std::int64_t>(snap.tasks_placed);
+  obs_counters["upgrades_accepted"] =
+      static_cast<std::int64_t>(snap.upgrades_accepted);
+  obs_counters["upgrades_rejected"] =
+      static_cast<std::int64_t>(snap.upgrades_rejected);
+
+  util::Json phases = util::Json::object();
+  for (const auto& [name, stat] : recorder_.phase_stats()) {
+    util::Json row = util::Json::object();
+    row["count"] = static_cast<std::int64_t>(stat.count);
+    row["total_s"] = stat.total;
+    row["min_s"] = stat.min;
+    row["max_s"] = stat.max;
+    phases[name] = std::move(row);
+  }
+
+  util::Json body = util::Json::object();
+  body["service"] = std::move(service);
+  body["obs"] = std::move(obs_counters);
+  body["phases"] = std::move(phases);
+  body["uptime_s"] = recorder_.elapsed();
+  return body.dump();
+}
+
+}  // namespace cloudwf::svc

@@ -1,0 +1,105 @@
+// The long-running simulation service behind `cloudwf serve`.
+//
+// One accept thread hands each TCP connection to a detached connection
+// thread (bounded by max_connections) that speaks keep-alive HTTP/1.1.
+// GET /health and GET /stats are answered inline; POST /v1/evaluate and
+// POST /v1/rank are decoded, admission-checked and enqueued on the Batcher,
+// whose batches execute on a util::ThreadPool of `workers` compute threads.
+// The connection thread blocks on the request's future — the worker always
+// fulfils it (result, 400, 500 or a 504 deadline answer), so no client is
+// ever left hanging.
+//
+// Shutdown (`stop()`, wired to SIGTERM in the CLI) is a graceful drain:
+// the listener closes, in-flight connections are woken and finish their
+// current request, queued work runs to completion, and only then do the
+// compute workers exit. A TraceRecorder spans the server's lifetime as the
+// process-global recorder, so every request contributes obs phases and
+// counters; /stats surfaces them live.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "cloud/platform.hpp"
+#include "obs/trace.hpp"
+#include "svc/batcher.hpp"
+#include "svc/http.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cloudwf::svc {
+
+struct ServerConfig {
+  std::uint16_t port = 8080;  ///< 0 = ephemeral (tests/benches); see port()
+  std::size_t workers = 4;    ///< compute pool size
+  std::size_t max_queue = 64; ///< admission bound — beyond it, 429
+  std::chrono::milliseconds request_timeout{5000};  ///< per-request deadline
+  std::size_t max_connections = 128;  ///< concurrent connections; beyond, 503
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config,
+                  cloud::Platform platform = cloud::Platform::ec2());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts accepting. Throws std::runtime_error when the
+  /// port cannot be bound. Returns once the socket is live — a client may
+  /// connect the moment this returns.
+  void start();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, run every
+  /// queued batch, then stop the workers. Idempotent.
+  void stop();
+
+  /// The bound port (resolves config.port == 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] const ServiceCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const obs::TraceRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+  [[nodiscard]] bool running() const noexcept {
+    return started_ && !stopping_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handle_compute(const HttpRequest& request,
+                                            QueuedRequest::Kind kind);
+  [[nodiscard]] std::string health_body() const;
+  [[nodiscard]] std::string stats_body() const;
+
+  ServerConfig config_;
+  cloud::Platform platform_;
+  ServiceCounters counters_;
+  obs::TraceRecorder recorder_;
+
+  util::ThreadPool pool_;
+  Batcher batcher_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  std::mutex connections_mutex_;
+  std::condition_variable connections_idle_;
+  std::set<int> connection_fds_;
+};
+
+}  // namespace cloudwf::svc

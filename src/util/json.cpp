@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace cloudwf::util {
@@ -15,6 +16,300 @@ Json& Json::operator[](const std::string& key) {
   if (!is_object()) throw std::logic_error("Json::operator[] on non-object");
   return std::get<Object>(value_)[key];
 }
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  throw std::logic_error("Json::as_bool on non-bool");
+}
+
+double Json::as_number() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  throw std::logic_error("Json::as_number on non-number");
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  throw std::logic_error("Json::as_string on non-string");
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  throw std::logic_error("Json::as_array on non-array");
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  throw std::logic_error("Json::as_object on non-object");
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  const Object* o = std::get_if<Object>(&value_);
+  if (!o) return nullptr;
+  const auto it = o->find(key);
+  return it == o->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view, tracking the byte offset of
+/// every failure. Depth-limited so adversarial payloads cannot blow the
+/// stack (the service front end feeds it network input).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(pos_, message);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail("invalid literal (expected '" + std::string(word) + "')");
+    pos_ += word.size();
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    if (eof()) fail("unexpected end of input (expected a value)");
+    switch (peek()) {
+      case 'n':
+        expect_literal("null");
+        return Json(nullptr);
+      case 't':
+        expect_literal("true");
+        return Json(true);
+      case 'f':
+        expect_literal("false");
+        return Json(false);
+      case '"':
+        return Json(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    ++pos_;  // consume '['
+    Json::Array out;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      out.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array (expected ',' or ']')");
+      const char c = text_[pos_];
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    ++pos_;  // consume '{'
+    Json::Object out;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (eof() || peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      out[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (eof()) fail("unterminated object (expected ',' or '}')");
+      const char c = text_[pos_];
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+      ++pos_;
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // consume opening quote
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (eof()) fail("truncated escape sequence");
+      const char esc = text_[pos_];
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("high surrogate not followed by low surrogate");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unexpected low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_digits = digits();
+    if (int_digits == 0) {
+      pos_ = start;
+      fail("invalid character (expected a JSON value)");
+    }
+    // Reject leading zeros ("007"): strict RFC 8259 numbers.
+    if (int_digits > 1) {
+      std::size_t first = start;
+      if (text_[first] == '-') ++first;
+      if (text_[first] == '0') {
+        pos_ = first;
+        fail("leading zero in number");
+      }
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("expected digits after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("expected digits in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
 
 std::string Json::escape(std::string_view s) {
   std::string out;

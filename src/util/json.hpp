@@ -1,16 +1,34 @@
-// Minimal JSON value + serializer (no parsing): enough for the report
-// writers to emit machine-readable results without an external dependency.
+// Minimal JSON value, serializer and strict parser: enough for the report
+// writers to emit machine-readable results and for the service front end to
+// decode request payloads, without an external dependency.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
 namespace cloudwf::util {
+
+/// Parse failure with the exact byte offset of the offending input. The
+/// service layer turns these into 400 Bad Request bodies that point at the
+/// problem instead of silently substituting defaults.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& message)
+      : std::runtime_error("JSON parse error at byte " +
+                           std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 class Json {
  public:
@@ -38,12 +56,43 @@ class Json {
   /// Object field set (the value must hold an object).
   Json& operator[](const std::string& key);
 
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
   [[nodiscard]] bool is_array() const noexcept {
     return std::holds_alternative<Array>(value_);
   }
   [[nodiscard]] bool is_object() const noexcept {
     return std::holds_alternative<Object>(value_);
   }
+
+  // Checked accessors: each throws std::logic_error on a type mismatch
+  // (same contract as push_back / operator[] misuse).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup: nullptr when this value is not an object or the
+  /// key is absent. Never throws — the request decoders branch on it.
+  [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+
+  /// Strict RFC 8259 parse of the complete input: exactly one value, with
+  /// only whitespace around it. Rejects trailing garbage, unterminated
+  /// containers/strings, bad escapes, malformed numbers and inputs nested
+  /// deeper than an internal limit. Throws JsonParseError carrying the byte
+  /// offset of the first offending character.
+  [[nodiscard]] static Json parse(std::string_view text);
 
   /// Compact serialization (numbers via shortest round-trip-ish formatting,
   /// non-finite numbers emitted as null per JSON rules).

@@ -1,0 +1,158 @@
+// Wire-layer tests: strict request parsing, response serialization, and
+// socket reads (keep-alive carry, pipelining, size limits) exercised over a
+// socketpair so no port is bound.
+#include "svc/http.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace cloudwf::svc {
+namespace {
+
+TEST(HttpParse, ParsesRequestLineAndHeaders) {
+  std::string error;
+  const auto req = parse_request_head(
+      "POST /v1/evaluate HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type:  application/json \r\n"
+      "\r\n",
+      &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->target, "/v1/evaluate");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->header("host"), "localhost");
+  EXPECT_EQ(req->header("content-type"), "application/json");  // trimmed
+  EXPECT_EQ(req->header("absent"), "");
+}
+
+TEST(HttpParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_request_head("GET\r\n\r\n", &error));
+  EXPECT_FALSE(parse_request_head("GET /x FTP/1.0\r\n\r\n", &error));
+  EXPECT_FALSE(parse_request_head("GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+                                  &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HttpParse, KeepAliveDefaultsOnForHttp11) {
+  std::string error;
+  auto req = parse_request_head("GET / HTTP/1.1\r\n\r\n", &error);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(req->keep_alive());
+
+  req = parse_request_head("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                           &error);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->keep_alive());
+}
+
+TEST(HttpSerialize, EmitsContentLengthFraming) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = R"({"ok":true})";
+  const std::string wire = serialize_response(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_EQ(wire.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - response.body.size()), response.body);
+}
+
+TEST(HttpSerialize, CloseConnectionHeader) {
+  HttpResponse response;
+  response.close_connection = true;
+  EXPECT_NE(serialize_response(response).find("Connection: close\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpSerialize, ReasonPhrasesForServiceStatuses) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(400), "Bad Request");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(429), "Too Many Requests");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(reason_phrase(504), "Gateway Timeout");
+}
+
+class SocketPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    for (const int fd : fds_)
+      if (fd >= 0) ::close(fd);
+  }
+  void close_writer() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  void send_all(const std::string& data) {
+    ASSERT_EQ(::send(fds_[1], data.data(), data.size(), 0),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(SocketPairTest, ReadsBodyAndKeepsPipelinedLeftovers) {
+  const std::string first =
+      "POST /v1/evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  const std::string second = "GET /health HTTP/1.1\r\n\r\n";
+  send_all(first + second);
+  close_writer();
+
+  std::string carry;
+  ReadResult one = read_http_request(fds_[0], carry);
+  ASSERT_EQ(one.status, ReadStatus::ok) << one.error;
+  EXPECT_EQ(one.request.body, "abcd");
+  EXPECT_FALSE(carry.empty());  // the second request arrived in the same read
+
+  ReadResult two = read_http_request(fds_[0], carry);
+  ASSERT_EQ(two.status, ReadStatus::ok) << two.error;
+  EXPECT_EQ(two.request.target, "/health");
+  EXPECT_TRUE(carry.empty());
+
+  EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::closed);
+}
+
+TEST_F(SocketPairTest, RejectsOversizedDeclaredBody) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  send_all("POST /v1/evaluate HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry, limits).status,
+            ReadStatus::too_large);
+}
+
+TEST_F(SocketPairTest, RejectsOversizedHeaderBlock) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  // No blank-line terminator: the reader must give up once the accumulated
+  // header block passes the limit instead of buffering forever.
+  send_all("GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'x'));
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry, limits).status,
+            ReadStatus::too_large);
+}
+
+TEST_F(SocketPairTest, MalformedContentLengthIsRejected) {
+  send_all("POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n");
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::malformed);
+}
+
+TEST_F(SocketPairTest, PeerCloseMidBodyIsMalformed) {
+  send_all("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf");
+  close_writer();
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::malformed);
+}
+
+}  // namespace
+}  // namespace cloudwf::svc

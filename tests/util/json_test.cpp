@@ -67,5 +67,96 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(arr["k"] = 1, std::logic_error);
 }
 
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-7").as_number(), -7.0);
+  EXPECT_EQ(Json::parse("2.5e3").as_number(), 2500.0);
+  EXPECT_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  [1, 2]  ").as_array().size(), 2u);
+}
+
+TEST(JsonParse, StructuresRoundTripThroughDump) {
+  const char* docs[] = {
+      "{\"a\":\"x\",\"b\":2}",
+      "{\"results\":[{\"ok\":true}]}",
+      "[1,\"two\",[],{\"k\":null}]",
+      "{\"nested\":{\"deep\":[0.5,-3,\"s\"]}}",
+  };
+  for (const char* doc : docs)
+    EXPECT_EQ(Json::parse(doc).dump(), doc) << doc;
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> one 4-byte UTF-8 code point (U+1F600).
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, FindAndCheckedAccess) {
+  const Json doc = Json::parse(R"({"workflow":"montage","seed":7})");
+  ASSERT_NE(doc.find("workflow"), nullptr);
+  EXPECT_EQ(doc.find("workflow")->as_string(), "montage");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW((void)doc.find("seed")->as_string(), std::logic_error);
+}
+
+/// Every malformed payload must throw JsonParseError naming the exact byte
+/// offset — the service echoes these to clients, so they are part of the
+/// contract.
+TEST(JsonParse, MalformedPayloadsReportByteOffsets) {
+  struct Case {
+    const char* text;
+    std::size_t offset;
+  };
+  const Case cases[] = {
+      {"", 0},                        // empty input
+      {"   ", 3},                     // whitespace only
+      {"{\"workflow\": montage}", 13},  // bare word value
+      {"{\"a\":1,}", 7},              // trailing comma in object
+      {"[1,2,]", 5},                  // trailing comma in array
+      {"[1 2]", 3},                   // missing comma
+      {"{\"a\" 1}", 5},               // missing colon
+      {"{1: 2}", 1},                  // non-string key
+      {"\"unterminated", 13},         // unterminated string
+      {"{\"a\":1} trailing", 8},      // trailing characters
+      {"007", 0},                     // leading zero
+      {"1.", 2},                      // missing fraction digits
+      {"1e", 2},                      // missing exponent digits
+      {"\"bad \\x escape\"", 6},      // invalid escape character
+      {"\"\\ud800 lonely\"", 7},      // unpaired high surrogate
+      {"nul", 0},                     // truncated literal
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)Json::parse(c.text);
+      FAIL() << "expected JsonParseError for: " << c.text;
+    } catch (const JsonParseError& e) {
+      EXPECT_EQ(e.offset(), c.offset) << c.text << " -> " << e.what();
+      EXPECT_NE(std::string(e.what()).find("JSON parse error at byte"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_THROW(Json::parse("\"tab\there\""), JsonParseError);
+  EXPECT_THROW(Json::parse("\"nl\nhere\""), JsonParseError);
+}
+
+TEST(JsonParse, DepthLimitStopsAdversarialNesting) {
+  // 200 nested arrays: must throw, not overflow the stack.
+  const std::string deep(200, '[');
+  EXPECT_THROW(Json::parse(deep), JsonParseError);
+  // 100 levels is within the limit and parses fine.
+  const std::string ok = std::string(100, '[') + std::string(100, ']');
+  EXPECT_NO_THROW((void)Json::parse(ok));
+}
+
 }  // namespace
 }  // namespace cloudwf::util

@@ -119,5 +119,89 @@ TEST(ThreadPool, ManyMoreWorkersThanJobs) {
   EXPECT_EQ(fut.get(), 42);
 }
 
+TEST(ThreadPool, ShutdownWithDeepQueueBehindBlockedWorkers) {
+  // Both workers are parked on a gate while 300 more jobs pile up, then the
+  // pool is destroyed with the queue still deep: the destructor must run
+  // every queued job (no broken promises), and only then return.
+  std::atomic<int> ran{0};
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 2; ++i)
+      futures.push_back(pool.submit([open, &ran] {
+        open.wait();
+        ++ran;
+      }));
+    for (int i = 0; i < 300; ++i)
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    EXPECT_LE(ran.load(), 0);  // gate closed: nothing can have finished
+    gate.set_value();
+  }  // ~ThreadPool drains the 300 queued jobs
+  EXPECT_EQ(ran.load(), 302);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+TEST(ThreadPool, QueuedExceptionsSurviveShutdown) {
+  // Exceptions thrown by jobs that only run during destructor drain still
+  // arrive intact on their futures afterwards.
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(1);
+    auto block = pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 40; ++i)
+      futures.push_back(pool.submit([i]() -> int {
+        if (i % 4 == 0) throw std::runtime_error("job " + std::to_string(i));
+        return i;
+      }));
+    block.get();
+  }
+  for (int i = 0; i < 40; ++i) {
+    if (i % 4 == 0) {
+      try {
+        (void)futures[static_cast<std::size_t>(i)].get();
+        FAIL() << "job " << i << " should have thrown";
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "job " + std::to_string(i));
+      }
+    } else {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionStormUnderConcurrentLoad) {
+  // Half the jobs throw while four producers submit concurrently: every
+  // future must resolve to exactly its own outcome, and the pool must stay
+  // serviceable throughout.
+  ThreadPool pool(4);
+  std::atomic<int> ok_count{0}, error_count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &ok_count, &error_count] {
+      for (int i = 0; i < 100; ++i) {
+        auto fut = pool.submit([i]() -> int {
+          if (i % 2 == 0) throw std::invalid_argument("even");
+          return i;
+        });
+        try {
+          ok_count += fut.get() > 0 ? 1 : 0;
+        } catch (const std::invalid_argument&) {
+          ++error_count;
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(ok_count.load(), 200);
+  EXPECT_EQ(error_count.load(), 200);
+}
+
 }  // namespace
 }  // namespace cloudwf::util

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Gate the sweep benchmark against a committed baseline.
+"""Gate a benchmark JSON against a committed baseline.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
 
-Both files are written by `bench_parallel_sweep --json FILE` and carry a
-`median_serial_ms` field (median of several serial sweeps, so single-run
-scheduler noise is already absorbed). The check fails when the current
-median is more than THRESHOLD (default 15%) slower than the baseline.
-Getting faster never fails; print a hint to refresh the baseline instead.
+Two baseline kinds are auto-detected from the file contents:
+
+  - sweep (BENCH_SWEEP.json, written by `bench_parallel_sweep --json`):
+    carries `median_serial_ms` — a *cost*, lower is better. Fails when the
+    current median is more than THRESHOLD slower than the baseline.
+  - service (BENCH_SERVICE.json, written by `bench_service --json` or
+    `cloudwf_load --json`): carries `requests_per_second` — a *rate*,
+    higher is better. Fails when current throughput drops more than
+    THRESHOLD below the baseline, or when the current run recorded errors.
+
+Both kinds normalize by the file's `calibration_ms` (the same fixed
+splitmix64 kernel timed in the same process) when both sides carry one, so
+the gate compares machine-relative scores: a slower or faster CI host moves
+baseline and current together. Getting faster never fails; a hint to
+refresh the baseline is printed instead.
 """
 
 from __future__ import annotations
@@ -18,72 +28,116 @@ import json
 import sys
 
 
-def load_score(path: str) -> tuple[float, bool]:
-    """Returns (score, normalized): the median sweep time, divided by the
-    same process' calibration-kernel time when both files can offer one.
-    Normalization makes the gate compare machine-relative cost, so a slower
-    or faster CI host moves baseline and current together."""
+def load_doc(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: expected a JSON object")
+    return doc
+
+
+def kind_of(doc: dict, path: str) -> str:
+    if "requests_per_second" in doc:
+        return "service"
+    if "median_serial_ms" in doc:
+        return "sweep"
+    raise SystemExit(
+        f"{path}: neither 'median_serial_ms' (sweep) nor "
+        f"'requests_per_second' (service) present"
+    )
+
+
+def metric(doc: dict, path: str, field: str) -> float:
     try:
-        median = float(doc["median_serial_ms"])
+        value = float(doc[field])
     except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"{path}: missing or invalid 'median_serial_ms': {exc}")
-    if median <= 0:
-        raise SystemExit(f"{path}: non-positive median_serial_ms ({median})")
-    for key in ("benchmark", "workflow", "seeds"):
-        if key not in doc:
-            raise SystemExit(f"{path}: missing '{key}' field")
-    calibration = float(doc.get("calibration_ms", 0) or 0)
-    if calibration > 0:
-        return median / calibration, True
-    return median, False
+        raise SystemExit(f"{path}: missing or invalid '{field}': {exc}")
+    if value <= 0:
+        raise SystemExit(f"{path}: non-positive {field} ({value})")
+    return value
 
 
-def raw_median(path: str) -> float:
-    with open(path, encoding="utf-8") as fh:
-        return float(json.load(fh)["median_serial_ms"])
+def calibration(doc: dict) -> float:
+    try:
+        return float(doc.get("calibration_ms", 0) or 0)
+    except (TypeError, ValueError):
+        return 0.0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_SWEEP.json")
-    parser.add_argument("current", help="freshly measured BENCH_SWEEP.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.15,
-        help="allowed relative slowdown (default 0.15 = 15%%)",
+        help="allowed relative regression (default 0.15 = 15%%)",
     )
     args = parser.parse_args()
 
-    baseline, base_norm = load_score(args.baseline)
-    current, cur_norm = load_score(args.current)
-    if base_norm != cur_norm:
-        # One side lacks the calibration anchor: fall back to raw medians so
-        # old and new files stay comparable.
-        baseline = raw_median(args.baseline)
-        current = raw_median(args.current)
-        unit = "ms (raw; one file lacks calibration)"
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    kind = kind_of(base_doc, args.baseline)
+    if kind_of(cur_doc, args.current) != kind:
+        raise SystemExit(
+            f"baseline is a {kind} file but current is not — "
+            f"compare like with like"
+        )
+
+    # Both sides need the calibration anchor for normalization; otherwise
+    # fall back to raw numbers so old and new files stay comparable.
+    base_cal, cur_cal = calibration(base_doc), calibration(cur_doc)
+    normalized = base_cal > 0 and cur_cal > 0
+
+    if kind == "sweep":
+        for key in ("benchmark", "workflow", "seeds"):
+            if key not in base_doc:
+                raise SystemExit(f"{args.baseline}: missing '{key}' field")
+        base = metric(base_doc, args.baseline, "median_serial_ms")
+        cur = metric(cur_doc, args.current, "median_serial_ms")
+        if normalized:
+            base, cur, unit = base / base_cal, cur / cur_cal, "x calibration"
+        else:
+            unit = "ms (raw)"
+        ratio = cur / base  # cost: higher current = regression
+        what = "sweep"
     else:
-        unit = "x calibration" if base_norm else "ms (raw)"
-    ratio = current / baseline
+        errors = int(cur_doc.get("errors", 0) or 0)
+        if errors > 0:
+            print(
+                f"FAIL: current service run recorded {errors} failed "
+                f"requests",
+                file=sys.stderr,
+            )
+            return 1
+        base = metric(base_doc, args.baseline, "requests_per_second")
+        cur = metric(cur_doc, args.current, "requests_per_second")
+        if normalized:
+            # req/s x calibration-ms: a machine-independent throughput score
+            # (requests per calibration-kernel unit of CPU speed).
+            base, cur, unit = base * base_cal, cur * cur_cal, "x calibration"
+        else:
+            unit = "req/s (raw)"
+        ratio = base / cur  # rate: lower current = regression
+        what = "service throughput"
+
     print(
-        f"baseline: {baseline:.3f} {unit} | current: {current:.3f} {unit} "
-        f"| ratio: {ratio:.3f} (limit {1 + args.threshold:.3f})"
+        f"kind: {kind} | baseline: {base:.3f} {unit} | current: {cur:.3f} "
+        f"{unit} | ratio: {ratio:.3f} (limit {1 + args.threshold:.3f})"
     )
 
     if ratio > 1 + args.threshold:
         print(
-            f"FAIL: sweep regressed {100 * (ratio - 1):.1f}% past the "
+            f"FAIL: {what} regressed {100 * (ratio - 1):.1f}% past the "
             f"{100 * args.threshold:.0f}% budget",
             file=sys.stderr,
         )
         return 1
     if ratio < 1 / (1 + args.threshold):
         print(
-            "note: current run is substantially faster than the baseline — "
-            "consider refreshing BENCH_SWEEP.json"
+            "note: current run is substantially better than the baseline — "
+            "consider refreshing it"
         )
     print("OK: within budget")
     return 0

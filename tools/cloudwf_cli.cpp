@@ -15,10 +15,13 @@
 //                   [--scenario ...] [--seed N]
 //   cloudwf trace   --workflow <name|file> --strategy <label>
 //                   [--scenario ...] [--seed N] [--out <prefix>]
+//   cloudwf serve   [--port N] [--workers N] [--queue-depth N]
+//                   [--timeout-ms N] [--max-connections N]
 //   cloudwf help
 //
 // Workflow names: montage, cstem, mapreduce, sequential; anything else is
 // treated as a workflow file in the dag/io text format.
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -46,6 +49,7 @@
 #include "sim/schedule_diff.hpp"
 #include "sim/validator.hpp"
 #include "sim/vm_report.hpp"
+#include "svc/server.hpp"
 
 namespace {
 
@@ -80,7 +84,9 @@ Args parse_args(int argc, char** argv) {
     if (name == "workflow" || name == "strategy" || name == "scenario" ||
         name == "seed" || name == "objective" || name == "dot" ||
         name == "budget" || name == "deadline" || name == "out" ||
-        name == "vs") {
+        name == "vs" || name == "port" || name == "workers" ||
+        name == "queue-depth" || name == "timeout-ms" ||
+        name == "max-connections") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -368,11 +374,76 @@ int cmd_plan(const Args& args) {
   return outcome.feasible ? 0 : 2;
 }
 
+int cmd_serve(const Args& args) {
+  svc::ServerConfig config;
+  if (const auto port = args.option("port"))
+    config.port = static_cast<std::uint16_t>(std::stoul(*port));
+  if (const auto workers = args.option("workers"))
+    config.workers = std::stoul(*workers);
+  if (const auto depth = args.option("queue-depth"))
+    config.max_queue = std::stoul(*depth);
+  if (const auto timeout = args.option("timeout-ms"))
+    config.request_timeout = std::chrono::milliseconds(std::stoul(*timeout));
+  if (const auto conns = args.option("max-connections"))
+    config.max_connections = std::stoul(*conns);
+
+  // Block SIGTERM/SIGINT before any thread exists so every service thread
+  // inherits the mask; the main thread then sigwait()s and turns the signal
+  // into a graceful drain instead of an abrupt exit.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  svc::Server server(config);
+  server.start();
+  std::cout << "cloudwf serve: listening on 127.0.0.1:" << server.port()
+            << " (" << config.workers << " workers, queue depth "
+            << config.max_queue << ", timeout "
+            << config.request_timeout.count() << " ms)\n"
+            << "endpoints: GET /health, GET /stats, POST /v1/evaluate, "
+               "POST /v1/rank — SIGTERM drains and exits\n"
+            << std::flush;
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::cout << "cloudwf serve: received "
+            << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining...\n"
+            << std::flush;
+  server.stop();
+
+  const svc::ServiceCounters& counters = server.counters();
+  std::cout << "cloudwf serve: drained — "
+            << counters.requests_total.load() << " requests ("
+            << counters.responses_ok.load() << " ok, "
+            << counters.rejected_429.load() << " rejected 429, "
+            << counters.batches_run.load() << " batches, "
+            << counters.requests_coalesced.load() << " coalesced)\n";
+  return 0;
+}
+
+// Every subcommand, one per line, in dispatch order — `help`, `run`,
+// `serve` and `trace` all come from this single table so the listing can
+// not drift out of sync with what main() accepts.
 constexpr const char* kUsage =
-    "usage: cloudwf "
-    "<list|run|compare|advise|plan|report|artifacts|diff|trace|help> "
-    "[options]\n"
-    "see the header of tools/cloudwf_cli.cpp for details\n";
+    "usage: cloudwf <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list       workflows, strategies and scenarios\n"
+    "  run        one strategy on one workflow (--workflow, --strategy)\n"
+    "  compare    all 19 paper strategies on one workflow (--workflow)\n"
+    "  advise     feature-based strategy advice (--workflow)\n"
+    "  plan       cheapest feasible strategy under constraints (--workflow)\n"
+    "  report     full markdown reproduction report\n"
+    "  artifacts  write the reproduction artifact bundle\n"
+    "  diff       compare two strategies' schedules (--strategy, --vs)\n"
+    "  trace      run one strategy with obs tracing (--workflow, --strategy)\n"
+    "  serve      long-running HTTP simulation service (--port, --workers)\n"
+    "  help       this listing\n"
+    "\n"
+    "see the header of tools/cloudwf_cli.cpp for per-command options\n";
 
 }  // namespace
 
@@ -388,6 +459,7 @@ int main(int argc, char** argv) {
     if (args.command == "artifacts") return cmd_artifacts(args);
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "help" || args.command == "--help") {
       std::cout << kUsage;  // asked-for help goes to stdout and succeeds
       return 0;

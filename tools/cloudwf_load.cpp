@@ -1,0 +1,264 @@
+// cloudwf_load — load generator for `cloudwf serve`.
+//
+//   cloudwf_load --port N [--host 127.0.0.1] [--requests 200]
+//                [--concurrency 4] [--mode closed|open] [--rate 200]
+//                [--endpoint evaluate|rank|health|mix]
+//                [--workflow montage] [--strategy AllParExceed-m]
+//                [--scenario pareto] [--seeds 100] [--tolerate-429]
+//                [--json FILE]
+//
+// Two standard load models:
+//
+//  - closed (default): `concurrency` connections, each firing its next
+//    request the moment the previous response lands — measures sustainable
+//    throughput at a fixed multiprogramming level.
+//  - open: request start times are scheduled on a fixed global rate
+//    (`--rate` req/s) regardless of completions, and latency is measured
+//    from the *scheduled* start, so queueing delay behind a slow response
+//    is charged to the result (no coordinated omission).
+//
+// Per-request latencies feed a p50/p95/p99 report; --json writes the
+// BENCH_SERVICE.json shape tools/check_bench_regression.py gates on.
+// Exit status is nonzero when any request failed (non-2xx or transport),
+// except 429 rejections when --tolerate-429 is given.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/http.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using cloudwf::svc::HttpClient;
+using cloudwf::svc::HttpResponse;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t requests = 200;
+  std::size_t concurrency = 4;
+  std::string mode = "closed";
+  double rate = 200.0;  // open-loop target req/s
+  std::string endpoint = "evaluate";
+  std::string workflow = "montage";
+  std::string strategy = "AllParExceed-m";
+  std::string scenario = "pareto";
+  std::size_t seeds = 100;  // seed values cycle over [0, seeds)
+  bool tolerate_429 = false;
+  std::string json_path;
+};
+
+struct RequestSpec {
+  std::string method;
+  std::string target;
+  std::string body;
+};
+
+RequestSpec make_spec(const Options& opt, std::size_t index) {
+  const std::uint64_t seed = opt.seeds == 0 ? 0 : index % opt.seeds;
+  std::string kind = opt.endpoint;
+  if (kind == "mix") {
+    // Deterministic 3:1:1 evaluate/rank/health blend.
+    const std::size_t slot = index % 5;
+    kind = slot < 3 ? "evaluate" : (slot == 3 ? "rank" : "health");
+  }
+  if (kind == "health") return {"GET", "/health", ""};
+  if (kind == "stats") return {"GET", "/stats", ""};
+
+  cloudwf::util::Json body = cloudwf::util::Json::object();
+  body["workflow"] = opt.workflow;
+  body["scenario"] = opt.scenario;
+  body["seed"] = static_cast<std::int64_t>(seed);
+  if (kind == "rank") return {"POST", "/v1/rank", body.dump()};
+  body["strategy"] = opt.strategy;
+  return {"POST", "/v1/evaluate", body.dump()};
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;  // successful requests only
+  std::map<int, std::uint64_t> status_counts;
+  std::uint64_t transport_errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") opt.host = value();
+    else if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::stoul(value()));
+    else if (arg == "--requests") opt.requests = std::stoul(value());
+    else if (arg == "--concurrency") opt.concurrency = std::stoul(value());
+    else if (arg == "--mode") opt.mode = value();
+    else if (arg == "--rate") opt.rate = std::stod(value());
+    else if (arg == "--endpoint") opt.endpoint = value();
+    else if (arg == "--workflow") opt.workflow = value();
+    else if (arg == "--strategy") opt.strategy = value();
+    else if (arg == "--scenario") opt.scenario = value();
+    else if (arg == "--seeds") opt.seeds = std::stoul(value());
+    else if (arg == "--tolerate-429") opt.tolerate_429 = true;
+    else if (arg == "--json") opt.json_path = value();
+    else {
+      std::cerr << "usage: cloudwf_load --port N [--host H] [--requests N]\n"
+                   "  [--concurrency C] [--mode closed|open] [--rate R]\n"
+                   "  [--endpoint evaluate|rank|health|stats|mix]\n"
+                   "  [--workflow W] [--strategy S] [--scenario K] [--seeds N]\n"
+                   "  [--tolerate-429] [--json FILE]\n";
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::cerr << "error: --port is required\n";
+    return 2;
+  }
+  if (opt.mode != "closed" && opt.mode != "open") {
+    std::cerr << "error: --mode must be closed or open\n";
+    return 2;
+  }
+  if (opt.concurrency == 0) opt.concurrency = 1;
+  if (opt.concurrency > opt.requests) opt.concurrency = opt.requests;
+
+  const bool open_loop = opt.mode == "open";
+  std::vector<WorkerResult> results(opt.concurrency);
+  std::atomic<std::size_t> next_index{0};
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(opt.concurrency);
+  for (std::size_t w = 0; w < opt.concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& mine = results[w];
+      HttpClient client;
+      if (!client.connect(opt.host, opt.port)) {
+        // Count every request this worker would have issued as failed.
+        ++mine.transport_errors;
+        return;
+      }
+      for (;;) {
+        const std::size_t index =
+            next_index.fetch_add(1, std::memory_order_relaxed);
+        if (index >= opt.requests) return;
+        const RequestSpec spec = make_spec(opt, index);
+
+        Clock::time_point begin = Clock::now();
+        if (open_loop) {
+          // Scheduled start: t0 + index/rate. Latency is measured from the
+          // schedule, so a late start (previous response still pending on
+          // this connection) shows up in the tail instead of vanishing.
+          const auto scheduled =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(index) / opt.rate));
+          std::this_thread::sleep_until(scheduled);
+          begin = scheduled;
+        }
+
+        const std::optional<HttpResponse> response =
+            client.request(spec.method, spec.target, spec.body);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count();
+        if (!response) {
+          ++mine.transport_errors;
+          if (!client.connect(opt.host, opt.port)) return;
+          continue;
+        }
+        ++mine.status_counts[response->status];
+        if (response->status >= 200 && response->status < 300)
+          mine.latencies_ms.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  std::map<int, std::uint64_t> statuses;
+  std::uint64_t transport_errors = 0;
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    transport_errors += r.transport_errors;
+    for (const auto& [status, count] : r.status_counts)
+      statuses[status] += count;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::uint64_t ok = 0, rejected = 0, errors = transport_errors;
+  for (const auto& [status, count] : statuses) {
+    if (status >= 200 && status < 300) ok += count;
+    else if (status == 429) rejected += count;
+    else errors += count;
+  }
+  if (!opt.tolerate_429) errors += rejected;
+
+  using cloudwf::util::format_double;
+  using cloudwf::util::percentile;
+  const double throughput = wall_s > 0 ? static_cast<double>(ok) / wall_s : 0;
+  const double p50 = latencies.empty() ? 0 : percentile(latencies, 50);
+  const double p95 = latencies.empty() ? 0 : percentile(latencies, 95);
+  const double p99 = latencies.empty() ? 0 : percentile(latencies, 99);
+
+  std::cout << "cloudwf_load: " << opt.mode << "-loop, " << opt.requests
+            << " requests, " << opt.concurrency << " connections, endpoint "
+            << opt.endpoint << '\n'
+            << "  wall        " << format_double(wall_s, 2) << " s\n"
+            << "  ok          " << ok << " (" << format_double(throughput, 1)
+            << " req/s)\n"
+            << "  rejected429 " << rejected << '\n'
+            << "  errors      " << errors << '\n';
+  if (!latencies.empty()) {
+    std::cout << "  latency ms  p50 " << format_double(p50, 2) << " | p95 "
+              << format_double(p95, 2) << " | p99 " << format_double(p99, 2)
+              << " | max " << format_double(latencies.back(), 2) << '\n';
+  }
+  for (const auto& [status, count] : statuses)
+    if (status < 200 || status >= 300)
+      std::cout << "  status " << status << "     x" << count << '\n';
+
+  if (!opt.json_path.empty()) {
+    cloudwf::util::Json doc = cloudwf::util::Json::object();
+    doc["benchmark"] = "cloudwf_load";
+    doc["mode"] = opt.mode;
+    doc["endpoint"] = opt.endpoint;
+    doc["requests"] = opt.requests;
+    doc["concurrency"] = opt.concurrency;
+    doc["ok"] = static_cast<std::int64_t>(ok);
+    doc["rejected_429"] = static_cast<std::int64_t>(rejected);
+    doc["errors"] = static_cast<std::int64_t>(errors);
+    doc["wall_s"] = wall_s;
+    doc["requests_per_second"] = throughput;
+    doc["p50_ms"] = p50;
+    doc["p95_ms"] = p95;
+    doc["p99_ms"] = p99;
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << opt.json_path << '\n';
+      return 1;
+    }
+    out << doc.dump() << '\n';
+    std::cout << "wrote " << opt.json_path << '\n';
+  }
+
+  return errors > 0 ? 1 : 0;
+}
