@@ -1,5 +1,6 @@
 #include "dag/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -31,10 +32,20 @@ namespace {
 }
 
 double parse_number(std::size_t line_no, const std::string& token) {
+  // stod accepts "inf", "nan" and hex floats; none of them are numbers a
+  // workflow file may carry (inf work passes add_task's work > 0 check and
+  // then poisons every downstream time computation), so restrict the
+  // alphabet to plain decimal/scientific notation before converting.
+  for (const char c : token) {
+    const bool plain = (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                       c == '+' || c == 'e' || c == 'E';
+    if (!plain) fail(line_no, "bad number '" + token + "'");
+  }
   try {
     std::size_t pos = 0;
     const double v = std::stod(token, &pos);
     if (pos != token.size()) fail(line_no, "trailing characters in number '" + token + "'");
+    if (!std::isfinite(v)) fail(line_no, "number out of range '" + token + "'");
     return v;
   } catch (const std::logic_error&) {
     fail(line_no, "bad number '" + token + "'");
@@ -81,7 +92,13 @@ Workflow parse_workflow(std::istream& in) {
       ls >> from >> to;
       if (from.empty() || to.empty()) fail(line_no, "edge needs <from> <to>");
       double data = -1;
-      if (ls >> data_tok) data = parse_number(line_no, data_tok);
+      if (ls >> data_tok) {
+        data = parse_number(line_no, data_tok);
+        // An explicit negative would silently flip to "inherit the
+        // producer's output_data" (the in-memory sentinel); a file that
+        // writes one almost certainly meant something else.
+        if (data < 0) fail(line_no, "edge data must be >= 0");
+      }
       try {
         wf.add_edge(wf.task_by_name(from), wf.task_by_name(to), data);
       } catch (const std::exception& e) {
@@ -92,7 +109,13 @@ Workflow parse_workflow(std::istream& in) {
     }
   }
   if (!named) throw std::runtime_error("workflow parse error: missing 'workflow' line");
-  wf.validate();
+  try {
+    wf.validate();
+  } catch (const std::logic_error& e) {
+    // validate() throws logic_error (e.g. "workflow is empty"); the parser's
+    // contract is runtime_error — don't leak the internal exception type.
+    throw std::runtime_error(std::string("workflow parse error: ") + e.what());
+  }
   return wf;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/schedule_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -78,6 +79,11 @@ Schedule parse_schedule(const dag::Workflow& wf, std::istream& in) {
       double end = 0;
       if (!(ls >> task_name >> vm_id >> start >> end))
         fail(line_no, "place needs <task> <vm> <start> <end>");
+      // operator>> accepts "inf"/"nan"; a NaN interval slips past Vm::place's
+      // comparisons (all false on NaN) and reaches btus_for, where
+      // ceil(NaN) -> int64 is undefined. Refuse non-finite times here.
+      if (!std::isfinite(start) || !std::isfinite(end))
+        fail(line_no, "non-finite placement time");
       if (vm_id >= vms_declared) fail(line_no, "placement on undeclared VM");
       try {
         schedule.assign(wf.task_by_name(task_name),

@@ -52,6 +52,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
     default: return "Unknown";
@@ -113,8 +114,13 @@ std::optional<HttpRequest> parse_request_head(std::string_view head,
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos || colon == 0)
       return set_error("malformed header line");
-    req.headers[to_lower(trim(line.substr(0, colon)))] =
-        std::string(trim(line.substr(colon + 1)));
+    std::string name = to_lower(trim(line.substr(0, colon)));
+    // Duplicates are rejected outright: silently keeping either copy is the
+    // classic request-smuggling vector (two Content-Length values, and this
+    // parser and an upstream proxy may pick different ones).
+    if (req.headers.count(name))
+      return set_error("duplicate header '" + name + "'");
+    req.headers[std::move(name)] = std::string(trim(line.substr(colon + 1)));
   }
   return req;
 }
@@ -163,9 +169,27 @@ ReadResult read_http_request(int fd, std::string& carry,
     return result;
   }
 
-  // Phase 2: read the declared body.
+  // This server only speaks explicit Content-Length. A Transfer-Encoding
+  // request must not fall through: ignoring it would leave the chunked body
+  // bytes in the buffer to be misparsed as the next pipelined request.
+  if (head->headers.count("transfer-encoding")) {
+    result.status = ReadStatus::not_implemented;
+    result.error = "Transfer-Encoding is not supported (use Content-Length)";
+    return result;
+  }
+
+  // Phase 2: read the declared body. An empty Content-Length value is
+  // malformed, not zero — header() can't tell absent from empty, so look up
+  // the header map directly.
   std::size_t content_length = 0;
-  if (const std::string_view cl = head->header("content-length"); !cl.empty()) {
+  if (const auto cl_it = head->headers.find("content-length");
+      cl_it != head->headers.end()) {
+    const std::string& cl = cl_it->second;
+    if (cl.empty()) {
+      result.status = ReadStatus::malformed;
+      result.error = "invalid Content-Length";
+      return result;
+    }
     for (const char c : cl) {
       if (c < '0' || c > '9') {
         result.status = ReadStatus::malformed;

@@ -51,6 +51,7 @@ enum class ReadStatus : std::uint8_t {
   closed = 1,    ///< peer closed (or shutdown) before any byte arrived
   malformed = 2, ///< syntactically invalid request (connection unusable)
   too_large = 3, ///< header block or body exceeded the limits
+  not_implemented = 4,  ///< valid HTTP the server refuses to speak (chunked)
 };
 
 struct ReadResult {

@@ -140,7 +140,9 @@ void Server::serve_connection(int fd) {
     if (read.status == ReadStatus::closed) break;
     if (read.status != ReadStatus::ok) {
       HttpResponse bad;
-      bad.status = read.status == ReadStatus::too_large ? 413 : 400;
+      bad.status = read.status == ReadStatus::too_large        ? 413
+                   : read.status == ReadStatus::not_implemented ? 501
+                                                                 : 400;
       bad.body = error_body(read.error);
       bad.close_connection = true;
       counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);

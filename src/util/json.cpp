@@ -300,7 +300,16 @@ class Parser {
       if (digits() == 0) fail("expected digits in exponent");
     }
     const std::string token(text_.substr(start, pos_ - start));
-    return Json(std::strtod(token.c_str(), nullptr));
+    const double value = std::strtod(token.c_str(), nullptr);
+    // strtod saturates "1e999" to +-inf, which has no JSON representation —
+    // storing it would make dump() emit null and silently change the value.
+    // Report it at the number's first byte instead. (Underflow to 0.0 or a
+    // denormal is fine: the result is still a faithful nearest double.)
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number overflows double range");
+    }
+    return Json(value);
   }
 
   std::string_view text_;
@@ -360,7 +369,9 @@ void Json::dump_to(std::string& out) const {
     if (!std::isfinite(*d)) {
       out += "null";  // JSON has no NaN/Inf
     } else if (*d == static_cast<double>(static_cast<std::int64_t>(*d)) &&
-               std::abs(*d) < 9.0e15) {
+               std::abs(*d) < 9.0e15 && !(*d == 0.0 && std::signbit(*d))) {
+      // Negative zero is excluded: int64(-0.0) == 0 would print "0" and the
+      // sign bit would not survive a round-trip. %g prints "-0" below.
       out += std::to_string(static_cast<std::int64_t>(*d));
     } else {
       char buf[32];

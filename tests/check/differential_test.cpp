@@ -1,0 +1,83 @@
+#include "check/differential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::check {
+namespace {
+
+TEST(Differential, FixedSeedSweepIsCleanAndCountsSchedules) {
+  DifferentialConfig config;
+  config.cases = 6;
+  config.seed = 0x5eed0001;
+  config.fast_path_threads = 2;
+  const DifferentialResult result = run_differential(config);
+
+  EXPECT_TRUE(result.ok()) << result.to_json().dump();
+  ASSERT_EQ(result.cases.size(), 6u);
+  for (const CaseInfo& c : result.cases) {
+    EXPECT_GT(c.tasks, 0u);
+    EXPECT_GT(c.edges, 0u);
+  }
+  // Per case: naive reference + 19 naive strategies + 19 fast-side oracle
+  // passes = 39 schedules.
+  EXPECT_EQ(result.schedules_checked, 6u * 39u);
+}
+
+TEST(Differential, SameSeedSameReport) {
+  DifferentialConfig config;
+  config.cases = 3;
+  config.seed = 0xfeedbeef;
+  const DifferentialResult a = run_differential(config);
+  const DifferentialResult b = run_differential(config);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(a.cases[i].dag_seed, b.cases[i].dag_seed);
+    EXPECT_EQ(a.cases[i].scenario_seed, b.cases[i].scenario_seed);
+    EXPECT_EQ(a.cases[i].scenario, b.cases[i].scenario);
+  }
+}
+
+TEST(Differential, DifferentSeedsGenerateDifferentCases) {
+  DifferentialConfig a;
+  a.cases = 2;
+  a.seed = 1;
+  DifferentialConfig b = a;
+  b.seed = 2;
+  const DifferentialResult ra = run_differential(a);
+  const DifferentialResult rb = run_differential(b);
+  EXPECT_NE(ra.cases[0].dag_seed, rb.cases[0].dag_seed);
+}
+
+TEST(Differential, ProgressCallbackFiresPerCase) {
+  DifferentialConfig config;
+  config.cases = 3;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  const DifferentialResult result = run_differential(
+      config, [&calls, &last_done](std::size_t done, std::size_t total) {
+        ++calls;
+        last_done = done;
+        EXPECT_EQ(total, 3u);
+      });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_done, 3u);
+}
+
+TEST(Differential, DivergenceSerializesMachineReadably) {
+  Divergence d;
+  d.case_index = 4;
+  d.strategy = "GAIN";
+  d.side = "naive";
+  d.kind = "oracle";
+  d.detail = "precedence: ...";
+  const util::Json j = d.to_json();
+  EXPECT_EQ(j.find("case")->as_number(), 4.0);
+  EXPECT_EQ(j.find("strategy")->as_string(), "GAIN");
+  EXPECT_EQ(j.find("side")->as_string(), "naive");
+  EXPECT_EQ(j.find("kind")->as_string(), "oracle");
+}
+
+}  // namespace
+}  // namespace cloudwf::check

@@ -1,0 +1,163 @@
+#include "check/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/experiment.hpp"
+#include "scheduling/factory.hpp"
+
+namespace cloudwf::check {
+namespace {
+
+bool has_violation(const OracleReport& report, const std::string& invariant) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&invariant](const Violation& v) {
+                       return v.invariant == invariant;
+                     });
+}
+
+struct Fixture {
+  dag::Workflow wf{"oracle"};
+  cloud::Platform platform = cloud::Platform::ec2();
+
+  Fixture() {
+    const dag::TaskId a = wf.add_task("a", 100.0);
+    const dag::TaskId b = wf.add_task("b", 200.0);
+    wf.add_edge(a, b);
+  }
+};
+
+TEST(Oracle, AcceptsFeasibleSchedule) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 100.0, 300.0);
+  const OracleReport report = check_schedule(f.wf, s, f.platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NO_THROW(check_schedule_or_throw(f.wf, s, f.platform));
+}
+
+TEST(Oracle, FlagsUnassignedTask) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  const OracleReport report = check_schedule(f.wf, s, f.platform);
+  EXPECT_TRUE(has_violation(report, "assignment"));
+  EXPECT_THROW(check_schedule_or_throw(f.wf, s, f.platform), std::logic_error);
+}
+
+TEST(Oracle, FlagsWrongDuration) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 100.0, 250.0);  // 150 s instead of 200 s on small
+  EXPECT_TRUE(has_violation(check_schedule(f.wf, s, f.platform), "duration"));
+}
+
+TEST(Oracle, FlagsPrecedenceViolation) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId v0 = s.rent(cloud::InstanceSize::small, 0);
+  const cloud::VmId v1 = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, v0, 0.0, 100.0);
+  s.assign(1, v1, 50.0, 250.0);  // starts before its predecessor finishes
+  EXPECT_TRUE(has_violation(check_schedule(f.wf, s, f.platform), "precedence"));
+}
+
+TEST(Oracle, FlagsTimelineTableMismatch) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 100.0, 300.0);
+  s.pool().vm(vm).clear();  // timeline wiped; the task table still points here
+  EXPECT_TRUE(
+      has_violation(check_schedule(f.wf, s, f.platform), "table-timeline"));
+}
+
+TEST(Oracle, FlagsTaskStartingBeforeBoot) {
+  Fixture f;
+  f.platform.set_boot_time(60.0);
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);  // boots at 60 s, starts at 0
+  s.assign(1, vm, 100.0, 300.0);
+  EXPECT_TRUE(has_violation(check_schedule(f.wf, s, f.platform), "boot"));
+
+  sim::Schedule ok(f.wf);
+  const cloud::VmId w = ok.rent(cloud::InstanceSize::small, 0);
+  ok.assign(0, w, 60.0, 160.0);
+  ok.assign(1, w, 160.0, 360.0);
+  EXPECT_TRUE(check_schedule(f.wf, ok, f.platform).ok());
+}
+
+TEST(Oracle, BillingRecomputeAgreesAcrossSessions) {
+  // Two placements more than a paid BTU apart: the VM is released at the
+  // boundary and re-rented, i.e. two sessions of one BTU each — cheaper than
+  // one stretched three-BTU session. The oracle must re-derive exactly that.
+  Fixture f;
+  dag::Workflow wf{"sessions"};
+  const dag::TaskId a = wf.add_task("a", 100.0);
+  (void)wf.add_task("b", 200.0);
+  (void)a;
+  sim::Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  s.assign(1, vm, 8000.0, 8200.0);  // past paid_end = 3600 s
+  ASSERT_EQ(s.pool().vm(static_cast<cloud::VmId>(vm)).sessions().size(), 2u);
+  const OracleReport report = check_schedule(wf, s, f.platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Oracle, BillingExactBtuBoundaryAgrees) {
+  dag::Workflow wf{"boundary"};
+  (void)wf.add_task("a", 3600.0);  // exactly one BTU on small
+  cloud::Platform platform = cloud::Platform::ec2();
+  sim::Schedule s(wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 3600.0);
+  const OracleReport report = check_schedule(wf, s, platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Oracle, CleanStrategySchedulesPassEveryCheck) {
+  // All 19 production strategies on a materialized paper workflow: the
+  // oracle (including billing + metrics recompute) must find nothing.
+  exp::ExperimentRunner runner;
+  const std::vector<dag::Workflow> workflows = exp::paper_workflows();
+  const dag::Workflow wf =
+      runner.materialize(workflows.front(), workload::ScenarioKind::pareto);
+  for (const scheduling::Strategy& strategy : scheduling::paper_strategies()) {
+    const sim::Schedule s = strategy.scheduler->run(wf, runner.platform());
+    const OracleReport report = check_schedule(wf, s, runner.platform());
+    EXPECT_TRUE(report.ok())
+        << strategy.label << ":\n" << report.to_string();
+  }
+}
+
+TEST(Oracle, ReportSerializesMachineReadably) {
+  Fixture f;
+  sim::Schedule s(f.wf);
+  const cloud::VmId vm = s.rent(cloud::InstanceSize::small, 0);
+  s.assign(0, vm, 0.0, 100.0);
+  const OracleReport report = check_schedule(f.wf, s, f.platform);
+  ASSERT_FALSE(report.ok());
+
+  const util::Json j = report.to_json();
+  EXPECT_EQ(j.find("workflow")->as_string(), "oracle");
+  EXPECT_FALSE(j.find("ok")->as_bool());
+  const util::Json::Array& violations = j.find("violations")->as_array();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].find("invariant")->as_string(), "assignment");
+  EXPECT_FALSE(violations[0].find("detail")->as_string().empty());
+
+  // Round-trips through the strict parser.
+  EXPECT_NO_THROW((void)util::Json::parse(j.dump()));
+}
+
+}  // namespace
+}  // namespace cloudwf::check

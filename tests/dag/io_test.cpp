@@ -105,5 +105,49 @@ TEST(Dot, DataAnnotations) {
   EXPECT_NE(to_dot(wf, opts).find("2GB"), std::string::npos);
 }
 
+// --- regressions found by the fuzz/correctness harness (PR 5) ---
+
+TEST(WorkflowIo, RejectsNonFiniteNumbers) {
+  // Pre-fix: stod happily parsed "inf"/"nan"; +inf work passes the
+  // work > 0 validation and poisons every downstream time computation.
+  EXPECT_THROW((void)parse_workflow_string("workflow w\ntask a inf\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow w\ntask a nan\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workflow_string("workflow w\ntask a 1e999\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_workflow_string("workflow w\ntask a 10 infinity\n"),
+      std::runtime_error);
+}
+
+TEST(WorkflowIo, EmptyWorkflowIsARuntimeErrorNotLogicError) {
+  // Pre-fix: the final validate() call leaked std::logic_error ("workflow
+  // is empty") out of a parser documented to throw std::runtime_error.
+  try {
+    (void)parse_workflow_string("workflow x\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+  }
+}
+
+TEST(WorkflowIo, RejectsHexNumbers) {
+  EXPECT_THROW((void)parse_workflow_string("workflow w\ntask a 0x10\n"),
+               std::runtime_error);
+}
+
+TEST(WorkflowIo, RejectsNegativeExplicitEdgeData) {
+  // Pre-fix: an explicit negative silently meant "inherit the producer's
+  // output_data" (the in-memory sentinel leaked into the file format).
+  EXPECT_THROW((void)parse_workflow_string(
+                   "workflow w\ntask a 10\ntask b 10\nedge a b -5\n"),
+               std::runtime_error);
+  // Explicit zero stays a legal override.
+  const Workflow wf = parse_workflow_string(
+      "workflow w\ntask a 10 2.5\ntask b 10\nedge a b 0\n");
+  EXPECT_EQ(wf.edge_data(0, 1), 0.0);
+}
+
 }  // namespace
 }  // namespace cloudwf::dag

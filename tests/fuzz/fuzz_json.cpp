@@ -1,0 +1,33 @@
+// Fuzz target: util/json strict parser + serializer.
+//
+// Property: parse either throws JsonParseError (with an in-bounds byte
+// offset) or yields a value whose dump() is a serialization fixed point —
+// dump(parse(dump(v))) == dump(v). Anything else (another exception type, a
+// crash, an out-of-range offset, a non-idempotent dump) is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using cloudwf::util::Json;
+  using cloudwf::util::JsonParseError;
+
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  Json value;
+  try {
+    value = Json::parse(input);
+  } catch (const JsonParseError& e) {
+    if (e.offset() > input.size()) __builtin_trap();  // offset out of bounds
+    return 0;
+  }
+
+  // Round-trip: the dump of a parsed value must itself parse, and reach a
+  // fixed point immediately (no drift, no silent saturation).
+  const std::string once = value.dump();
+  const Json reparsed = Json::parse(once);  // must not throw
+  if (reparsed.dump() != once) __builtin_trap();
+  return 0;
+}

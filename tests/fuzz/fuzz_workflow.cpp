@@ -1,0 +1,38 @@
+// Fuzz target: dag/io workflow text parser.
+//
+// Property: parse_workflow_string either throws std::runtime_error (never
+// any other type — logic_error leaks from validate() were a real pre-fix
+// bug) or yields a validated, acyclic workflow whose serialization is a
+// fixed point under reparse.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dag/io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using cloudwf::dag::parse_workflow_string;
+  using cloudwf::dag::serialize_workflow;
+  using cloudwf::dag::Workflow;
+
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  Workflow wf;
+  try {
+    wf = parse_workflow_string(input);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejection is the expected outcome for most inputs
+  }
+
+  // Accepted inputs must be fully valid: acyclic, positive finite work,
+  // unique names — validate() re-checks all of it and must not throw.
+  wf.validate();
+  if (!wf.is_acyclic()) __builtin_trap();
+
+  // Serialization fixed point: what we write, we read back identically.
+  const std::string once = serialize_workflow(wf);
+  const Workflow reparsed = parse_workflow_string(once);  // must not throw
+  if (serialize_workflow(reparsed) != once) __builtin_trap();
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "check/oracle.hpp"
+#include "cloud/billing.hpp"
+#include "cloud/spot.hpp"
 #include "dag/builders.hpp"
 #include "scheduling/factory.hpp"
 #include "workload/scenario.hpp"
@@ -101,6 +104,119 @@ TEST(Faults, RetryCapBoundsAttempts) {
   const FaultyReplayResult r = replay_with_faults(wf, s, platform, model, rng);
   EXPECT_EQ(r.failures, 5u);
   EXPECT_GT(r.makespan, 3600.0);
+}
+
+// --- correctness-harness coverage (PR 5) ---
+
+TEST(Faults, ZeroRateBitIdenticalOnAllWorkflowsAndStrategies) {
+  // The zero-rate path must reproduce EventSimulator::replay *bit for bit*
+  // (not within a tolerance): both walk the same event machinery, and any
+  // drift would mean the fault path reorders or re-rounds arithmetic.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const workload::ScenarioConfig cfg;
+  for (const dag::Workflow& structure :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::builders::map_reduce(), dag::builders::sequential_chain()}) {
+    const dag::Workflow wf = workload::apply_scenario(structure, cfg);
+    for (const scheduling::Strategy& strat : scheduling::paper_strategies()) {
+      const Schedule schedule = strat.scheduler->run(wf, platform);
+      util::Rng rng(99);
+      const FaultyReplayResult faulty =
+          replay_with_faults(wf, schedule, platform, FaultModel{}, rng);
+      const ReplayResult plain = EventSimulator(platform).replay(wf, schedule);
+      ASSERT_EQ(faulty.failures, 0u) << wf.name() << '/' << strat.label;
+      EXPECT_EQ(faulty.makespan, plain.makespan)
+          << wf.name() << '/' << strat.label;
+      for (const dag::Task& t : wf.tasks()) {
+        EXPECT_EQ(faulty.tasks[t.id].start, plain.tasks[t.id].start)
+            << wf.name() << '/' << strat.label << '/' << t.name;
+        EXPECT_EQ(faulty.tasks[t.id].end, plain.tasks[t.id].end)
+            << wf.name() << '/' << strat.label << '/' << t.name;
+      }
+    }
+  }
+}
+
+TEST(Faults, RetryCapPathIsBilledCorrectly) {
+  // Force every attempt to fail up to the cap, then rebuild a schedule from
+  // the replayed interval and check the money: the pool's answer must equal
+  // the independent BTU quantization of the stretched busy span.
+  dag::Workflow wf("f");
+  (void)wf.add_task("t", 3600.0);
+  const cloud::Platform platform = cloud::Platform::ec2();
+  Schedule planned(wf);
+  const cloud::VmId vm = planned.rent(cloud::InstanceSize::small, 0);
+  planned.assign(0, vm, 0.0, 3600.0);
+
+  FaultModel model;
+  model.failures_per_vm_hour = 1e9;
+  model.max_retries_per_task = 7;
+  util::Rng rng(11);
+  const FaultyReplayResult r =
+      replay_with_faults(wf, planned, platform, model, rng);
+  ASSERT_EQ(r.failures, 7u);
+  // The stretched run covers at least the cap's detection delays plus the
+  // final full attempt, and exactly start + effective time.
+  const util::Seconds span = r.tasks[0].end - r.tasks[0].start;
+  EXPECT_GE(span, 3600.0 + 7 * model.detection_delay);
+  EXPECT_EQ(r.makespan, r.tasks[0].end);
+
+  Schedule billed(wf);
+  const cloud::VmId bvm = billed.rent(cloud::InstanceSize::small, 0);
+  billed.assign(0, bvm, r.tasks[0].start, r.tasks[0].end);
+  const cloud::Region& region = platform.region(0);
+  EXPECT_EQ(billed.pool().rental_cost(platform.regions()),
+            cloud::rental_cost(span, cloud::InstanceSize::small, region));
+  EXPECT_EQ(billed.pool().vm(bvm).btus(), cloud::btus_for(span));
+
+  // The oracle's independent billing recompute agrees on the stretched
+  // placements too (the duration invariant is violated by construction —
+  // the run no longer equals work/speedup — but billing must not be).
+  const check::OracleReport report =
+      check::check_schedule(wf, billed, platform);
+  for (const check::Violation& v : report.violations)
+    EXPECT_NE(v.invariant, "billing") << v.detail;
+}
+
+TEST(Faults, SpotEvictionRateDrivesReplayPenalty) {
+  // The spot-study interplay: an eviction-free price path must leave the
+  // replay untouched, and a path the bid always loses to must stretch it.
+  Fixture f;
+  const ReplayResult clean = EventSimulator(f.platform).replay(f.wf, f.schedule);
+  const util::Money on_demand =
+      f.platform.region(0).price(cloud::InstanceSize::small);
+  const cloud::SpotMarketModel market;
+  util::Rng price_rng(5);
+  const cloud::SpotPriceSeries series(on_demand, market, 4 * util::kBtu,
+                                      price_rng);
+
+  const auto penalty_rate = [&](double bid_fraction) {
+    // Same conversion exp::spot_study applies: per-tick exceedance
+    // probability -> Poisson failures per VM-hour.
+    return series.exceedance_fraction(on_demand.scaled(bid_fraction)) *
+           (3600.0 / market.tick);
+  };
+
+  // Bidding above the cap can never be outbid: zero rate, bitwise-clean replay.
+  FaultModel no_evictions;
+  no_evictions.failures_per_vm_hour = penalty_rate(2.0);
+  ASSERT_EQ(no_evictions.failures_per_vm_hour, 0.0);
+  util::Rng rng_a(21);
+  const FaultyReplayResult untouched =
+      replay_with_faults(f.wf, f.schedule, f.platform, no_evictions, rng_a);
+  EXPECT_EQ(untouched.makespan, clean.makespan);
+  EXPECT_EQ(untouched.failures, 0u);
+
+  // Bidding below the price floor loses every tick: maximal eviction rate.
+  FaultModel evicted;
+  evicted.failures_per_vm_hour = penalty_rate(0.01);
+  ASSERT_GT(evicted.failures_per_vm_hour, 0.0);
+  util::Rng rng_b(21);
+  const FaultyReplayResult stretched =
+      replay_with_faults(f.wf, f.schedule, f.platform, evicted, rng_b);
+  EXPECT_GT(stretched.failures, 0u);
+  EXPECT_GT(stretched.makespan, clean.makespan);
+  EXPECT_GT(stretched.time_lost, 0.0);
 }
 
 TEST(Faults, NegativeRateRejected) {

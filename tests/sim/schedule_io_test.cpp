@@ -98,5 +98,25 @@ TEST(ScheduleIo, FileRoundTrip) {
   EXPECT_THROW((void)load_schedule(f.wf, path.string()), std::runtime_error);
 }
 
+// --- regression found by the fuzz/correctness harness (PR 5) ---
+
+TEST(ScheduleIoHardening, RejectsNonFinitePlacementTimes) {
+  // Pre-fix: operator>> accepts "inf"/"nan"; a NaN interval slips past
+  // Vm::place's comparisons (all false on NaN) and reaches btus_for, where
+  // ceil(NaN) -> int64 is undefined behavior.
+  dag::Workflow wf{"w"};
+  (void)wf.add_task("a", 100.0);
+  for (const char* times : {"inf 100", "0 inf", "nan 100", "0 nan"}) {
+    const std::string text = "schedule w\nvm 0 small 0\nplace a 0 " +
+                             std::string(times) + "\n";
+    EXPECT_THROW((void)parse_schedule_string(wf, text), std::runtime_error)
+        << times;
+  }
+  // The well-formed equivalent still loads.
+  const Schedule ok =
+      parse_schedule_string(wf, "schedule w\nvm 0 small 0\nplace a 0 0 100\n");
+  EXPECT_TRUE(ok.complete());
+}
+
 }  // namespace
 }  // namespace cloudwf::sim

@@ -154,5 +154,52 @@ TEST_F(SocketPairTest, PeerCloseMidBodyIsMalformed) {
   EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::malformed);
 }
 
+// --- regressions found by the fuzz/correctness harness (PR 5) ---
+
+TEST(HttpParse, RejectsDuplicateHeaders) {
+  // Pre-fix: the header map silently kept the last duplicate — with two
+  // Content-Length values, this parser and any proxy in front of it could
+  // frame the body differently (request smuggling).
+  std::string error;
+  EXPECT_FALSE(parse_request_head(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 0\r\n\r\n",
+      &error));
+  EXPECT_NE(error.find("duplicate header"), std::string::npos);
+
+  // Case-insensitive: the same name in different casing is still a duplicate.
+  EXPECT_FALSE(parse_request_head(
+      "GET / HTTP/1.1\r\nX-Tag: a\r\nx-tag: b\r\n\r\n", &error));
+}
+
+TEST_F(SocketPairTest, RejectsTransferEncodingAsNotImplemented) {
+  // Pre-fix: Transfer-Encoding was ignored, so the chunked body bytes stayed
+  // in the buffer and were parsed as the next pipelined request.
+  send_all(
+      "POST /v1/evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nabcd\r\n0\r\n\r\n");
+  std::string carry;
+  const ReadResult r = read_http_request(fds_[0], carry);
+  EXPECT_EQ(r.status, ReadStatus::not_implemented);
+  EXPECT_NE(r.error.find("Transfer-Encoding"), std::string::npos);
+}
+
+TEST_F(SocketPairTest, EmptyContentLengthIsMalformedNotZero) {
+  send_all("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n");
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::malformed);
+}
+
+TEST_F(SocketPairTest, HugeContentLengthCannotOverflow) {
+  // 20 digits overflow std::size_t if accumulated naively; the limit check
+  // inside the digit loop must fire before any wraparound.
+  send_all("POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n");
+  std::string carry;
+  EXPECT_EQ(read_http_request(fds_[0], carry).status, ReadStatus::too_large);
+}
+
+TEST(HttpSerialize, NotImplementedReasonPhrase) {
+  EXPECT_EQ(reason_phrase(501), "Not Implemented");
+}
+
 }  // namespace
 }  // namespace cloudwf::svc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 namespace cloudwf::util {
@@ -147,6 +148,57 @@ TEST(JsonParse, MalformedPayloadsReportByteOffsets) {
 TEST(JsonParse, RejectsControlCharactersInStrings) {
   EXPECT_THROW(Json::parse("\"tab\there\""), JsonParseError);
   EXPECT_THROW(Json::parse("\"nl\nhere\""), JsonParseError);
+}
+
+// --- regressions found by the fuzz/correctness harness (PR 5) ---
+
+TEST(JsonNumbers, NegativeZeroRoundTripsExactly) {
+  // Pre-fix: dump()'s integer fast path printed -0.0 as "0", dropping the
+  // sign bit on a round-trip.
+  const Json parsed = Json::parse("-0");
+  ASSERT_TRUE(parsed.is_number());
+  EXPECT_TRUE(std::signbit(parsed.as_number()));
+  EXPECT_EQ(parsed.dump(), "-0");
+  EXPECT_TRUE(std::signbit(Json::parse(parsed.dump()).as_number()));
+  // Positive zero is untouched.
+  EXPECT_EQ(Json::parse("0").dump(), "0");
+  EXPECT_EQ(Json::parse("-0.5").dump(), "-0.5");
+}
+
+TEST(JsonNumbers, ExponentOverflowIsAByteOffsetErrorNotInf) {
+  // Pre-fix: strtod saturated "1e999" to inf, which dump() then emitted as
+  // null — a silent value change. Now it's a parse error at the number.
+  try {
+    (void)Json::parse("1e999");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 0u);
+  }
+  try {
+    (void)Json::parse("[1, -2e9999]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);  // points at the '-' of the bad number
+  }
+  // Underflow is not overflow: a denormal/zero result is a faithful double.
+  EXPECT_NO_THROW((void)Json::parse("1e-999"));
+  EXPECT_EQ(Json::parse("1e-999").as_number(), 0.0);
+}
+
+TEST(JsonParse, DepthLimitAppliesThroughObjectKeys) {
+  // Nesting alternating through object values must hit the same limit as
+  // pure arrays — and report a byte offset, never saturate or crash.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "{\"k\":";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "}";
+  EXPECT_THROW((void)Json::parse(deep), JsonParseError);
+
+  std::string ok;
+  for (int i = 0; i < 60; ++i) ok += "{\"k\":[";
+  ok += "null";
+  for (int i = 0; i < 60; ++i) ok += "]}";
+  EXPECT_NO_THROW((void)Json::parse(ok));
 }
 
 TEST(JsonParse, DepthLimitStopsAdversarialNesting) {

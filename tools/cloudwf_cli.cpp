@@ -17,6 +17,7 @@
 //                   [--scenario ...] [--seed N] [--out <prefix>]
 //   cloudwf serve   [--port N] [--workers N] [--queue-depth N]
 //                   [--timeout-ms N] [--max-connections N]
+//   cloudwf check   [--cases N] [--seed N] [--threads N] [--json]
 //   cloudwf help
 //
 // Workflow names: montage, cstem, mapreduce, sequential; anything else is
@@ -32,6 +33,7 @@
 
 #include "adaptive/advisor.hpp"
 #include "adaptive/markdown_report.hpp"
+#include "check/differential.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_sim.hpp"
@@ -86,7 +88,7 @@ Args parse_args(int argc, char** argv) {
         name == "budget" || name == "deadline" || name == "out" ||
         name == "vs" || name == "port" || name == "workers" ||
         name == "queue-depth" || name == "timeout-ms" ||
-        name == "max-connections") {
+        name == "max-connections" || name == "cases" || name == "threads") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -424,6 +426,34 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_check(const Args& args) {
+  check::DifferentialConfig config;
+  if (const auto cases = args.option("cases")) config.cases = std::stoul(*cases);
+  if (const auto seed = args.option("seed")) config.seed = std::stoull(*seed);
+  if (const auto threads = args.option("threads"))
+    config.fast_path_threads = std::stoul(*threads);
+  const bool json = args.flag("json");
+
+  const check::DifferentialResult result = check::run_differential(
+      config, [json](std::size_t done, std::size_t total) {
+        if (!json && (done % 10 == 0 || done == total))
+          std::cerr << "check: " << done << "/" << total << " cases\r"
+                    << (done == total ? "\n" : "") << std::flush;
+      });
+
+  if (json) {
+    std::cout << result.to_json().dump() << '\n';
+  } else {
+    std::cout << "differential check: " << result.cases.size() << " cases, "
+              << result.schedules_checked << " schedules checked, "
+              << result.divergences.size() << " divergences\n";
+    for (const check::Divergence& d : result.divergences)
+      std::cout << "  case " << d.case_index << " " << d.strategy << " ["
+                << d.side << "/" << d.kind << "]: " << d.detail << '\n';
+  }
+  return result.ok() ? 0 : 2;
+}
+
 // Every subcommand, one per line, in dispatch order — `help`, `run`,
 // `serve` and `trace` all come from this single table so the listing can
 // not drift out of sync with what main() accepts.
@@ -441,6 +471,7 @@ constexpr const char* kUsage =
     "  diff       compare two strategies' schedules (--strategy, --vs)\n"
     "  trace      run one strategy with obs tracing (--workflow, --strategy)\n"
     "  serve      long-running HTTP simulation service (--port, --workers)\n"
+    "  check      randomized differential + oracle sweep (--cases, --seed)\n"
     "  help       this listing\n"
     "\n"
     "see the header of tools/cloudwf_cli.cpp for per-command options\n";
@@ -460,6 +491,7 @@ int main(int argc, char** argv) {
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "check") return cmd_check(args);
     if (args.command == "help" || args.command == "--help") {
       std::cout << kUsage;  // asked-for help goes to stdout and succeeds
       return 0;
