@@ -1,10 +1,12 @@
 #include "check/differential.hpp"
 
+#include <array>
 #include <cmath>
 #include <sstream>
 
 #include "check/oracle.hpp"
 #include "dag/generators.hpp"
+#include "dag/science.hpp"
 #include "exp/experiment.hpp"
 #include "scheduling/factory.hpp"
 #include "sim/validator.hpp"
@@ -93,9 +95,35 @@ std::string diff_relative(const sim::GainLoss& fast, const sim::GainLoss& naive)
   return os.str();
 }
 
+/// The four science families the differential samples (montage's ring
+/// builder is exercised by its own suite; these four cover the wide /
+/// deep / fan-in regimes the paper's schedulers branch on).
+constexpr std::array<dag::science::Family, 4> kDiffFamilies = {
+    dag::science::Family::epigenomics, dag::science::Family::cybershake,
+    dag::science::Family::ligo, dag::science::Family::sipht};
+
 /// Random DAG shape for case `i`, diverse enough to hit every structural
-/// regime the schedulers branch on (chains, wide levels, skip edges).
-dag::Workflow random_case_dag(std::size_t index, util::Rng& rng) {
+/// regime the schedulers branch on (chains, wide levels, skip edges) —
+/// plus, for a config-controlled fraction of cases, real Pegasus-family
+/// shapes at 50-500 tasks, where level widths dwarf anything the small
+/// layered generator produces.
+dag::Workflow random_case_dag(std::size_t index, util::Rng& rng,
+                              const DifferentialConfig& config) {
+  if (index == 0 && config.large_case_tasks > 0) {
+    const dag::science::Family family =
+        kDiffFamilies[rng.below(kDiffFamilies.size())];
+    dag::Workflow wf = dag::science::scaled(family, config.large_case_tasks);
+    wf.set_name("diff-large-" + std::string(dag::science::name_of(family)));
+    return wf;
+  }
+  if (rng.chance(config.science_fraction)) {
+    const dag::science::Family family =
+        kDiffFamilies[rng.below(kDiffFamilies.size())];
+    const std::size_t target = 50 + rng.below(451);  // 50-500 tasks
+    dag::Workflow wf = dag::science::scaled(family, target);
+    wf.set_name("diff-sci-" + std::to_string(index));
+    return wf;
+  }
   dag::generators::LayeredConfig cfg;
   cfg.levels = static_cast<std::size_t>(rng.between(2, 8));
   cfg.min_width = 1;
@@ -125,7 +153,7 @@ DifferentialResult run_differential(
     const std::uint64_t pick = util::splitmix64(stream);
 
     util::Rng dag_rng(dag_seed);
-    const dag::Workflow structure = random_case_dag(i, dag_rng);
+    const dag::Workflow structure = random_case_dag(i, dag_rng, config);
 
     workload::ScenarioConfig scenario;
     scenario.kind = workload::kAllScenarios[pick % workload::kAllScenarios.size()];

@@ -34,6 +34,19 @@ struct DifferentialConfig {
   /// Workers for the fast path's run_all (the naive side is always serial).
   /// 0 = hardware concurrency.
   std::size_t fast_path_threads = 1;
+
+  /// Fraction of cases drawn as Pegasus-family science shapes (epigenomics /
+  /// cybershake / ligo / sipht, scaled to 50-500 tasks via
+  /// dag::science::scaled) instead of random layered DAGs. Science shapes
+  /// exercise the wide-level and deep-chain regimes the small layered
+  /// generator cannot reach.
+  double science_fraction = 0.25;
+
+  /// If > 0, case 0 is a fixed science-family instance scaled to at least
+  /// this many tasks (family still drawn from `seed`). All 19 strategies run
+  /// on both sides with oracle + bitwise metric comparison, same as any
+  /// other case — this is the large-DAG differential gate.
+  std::size_t large_case_tasks = 0;
 };
 
 /// One disagreement between the fast path and the naive reference, or an

@@ -23,10 +23,23 @@ util::Seconds Vm::available_from() const noexcept {
 
 util::Seconds Vm::span() const noexcept { return available_from() - first_start(); }
 
+std::vector<Vm::Session> Vm::sessions() const {
+  // Replay of place()'s session logic over the placement timeline — the
+  // same extend-or-open decisions in the same order, so the materialized
+  // list is bitwise what the removed per-VM vector used to hold.
+  std::vector<Session> out;
+  out.reserve(session_count_);
+  for (const Placement& p : placements_) {
+    if (out.empty() || util::time_gt(p.start, out.back().paid_end()))
+      out.push_back(Session{p.start, p.end});
+    else
+      out.back().end = p.end;
+  }
+  return out;
+}
+
 std::int64_t Vm::btus() const {
-  std::int64_t total = 0;
-  for (const Session& s : sessions_) total += s.btus();
-  return total;
+  return session_count_ == 0 ? 0 : closed_btus_ + last_session_.btus();
 }
 
 util::Seconds Vm::paid_time() const {
@@ -43,9 +56,8 @@ util::Money Vm::cost(const Region& region) const {
 
 bool Vm::placement_adds_btu(util::Seconds start, util::Seconds end) const {
   if (!used()) return true;
-  const Session& last = sessions_.back();
-  if (util::time_gt(start, last.paid_end())) return true;  // new session
-  return btus_for(end - last.start) > last.btus();
+  if (util::time_gt(start, last_session_.paid_end())) return true;  // new session
+  return btus_for(end - last_session_.start) > last_session_.btus();
 }
 
 void Vm::place(dag::TaskId task, util::Seconds start, util::Seconds end) {
@@ -56,10 +68,14 @@ void Vm::place(dag::TaskId task, util::Seconds start, util::Seconds end) {
   if (util::time_gt(available_from(), start))
     throw std::logic_error("Vm::place: overlaps previous placement (append-only)");
 
-  if (sessions_.empty() || util::time_gt(start, sessions_.back().paid_end())) {
-    sessions_.push_back(Session{start, end});
+  if (session_count_ == 0 || util::time_gt(start, last_session_.paid_end())) {
+    // A closed session's span is final — fold its BTUs into the running sum
+    // (same int64 addition order as summing the historical session list).
+    if (session_count_ > 0) closed_btus_ += last_session_.btus();
+    last_session_ = Session{start, end};
+    ++session_count_;
   } else {
-    sessions_.back().end = end;
+    last_session_.end = end;
   }
   placements_.push_back(Placement{task, start, end});
   busy_time_ += end - start;  // same addition order as the historical re-sum

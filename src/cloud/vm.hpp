@@ -76,8 +76,21 @@ class Vm {
     }
   };
 
-  [[nodiscard]] const std::vector<Session>& sessions() const noexcept {
-    return sessions_;
+  /// All billing sessions, materialized on demand by replaying the
+  /// placement timeline (cold consumers: gantt, reports, tests). The hot
+  /// paths never build this list — place() maintains the last session and
+  /// the closed sessions' BTU sum as running aggregates, so billing queries
+  /// are O(1) instead of O(sessions) and a VM carries one vector fewer.
+  [[nodiscard]] std::vector<Session> sessions() const;
+
+  /// Number of billing sessions (O(1)).
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return session_count_;
+  }
+
+  /// The still-open last session. Precondition: used().
+  [[nodiscard]] const Session& last_session() const noexcept {
+    return last_session_;
   }
 
   /// Whole BTUs billed across all sessions (0 if the VM was never used).
@@ -109,8 +122,10 @@ class Vm {
   /// Removes all placements (used by the retiming upgrade schedulers).
   void clear() noexcept {
     placements_.clear();
-    sessions_.clear();
     busy_time_ = 0;
+    closed_btus_ = 0;
+    session_count_ = 0;
+    last_session_ = Session{};
   }
 
  private:
@@ -118,8 +133,10 @@ class Vm {
   InstanceSize size_;
   RegionId region_;
   util::Seconds busy_time_ = 0;
+  std::int64_t closed_btus_ = 0;  ///< BTU sum of all sessions before the last
+  std::size_t session_count_ = 0;
+  Session last_session_{};
   std::vector<Placement> placements_;
-  std::vector<Session> sessions_;
 };
 
 class VmPool {

@@ -55,6 +55,81 @@ Workflow random_layered(const LayeredConfig& cfg, util::Rng& rng) {
   return wf;
 }
 
+Workflow random_layered_count(const CountConfig& cfg, util::Rng& rng) {
+  if (cfg.tasks == 0)
+    throw std::invalid_argument("random_layered_count: tasks == 0");
+  if (cfg.levels > cfg.tasks)
+    throw std::invalid_argument("random_layered_count: more levels than tasks");
+  if (cfg.edge_density < 0 || cfg.edge_density > 1 || cfg.skip_density < 0 ||
+      cfg.skip_density > 1)
+    throw std::invalid_argument("random_layered_count: densities must be in [0,1]");
+
+  const std::size_t n = cfg.tasks;
+  std::size_t levels = cfg.levels;
+  if (levels == 0) {
+    // ~sqrt(n) levels, jittered 0.5x-1.5x, keeps both dimensions growing
+    // with n so neither the width nor the depth regime degenerates.
+    std::size_t base = 1;
+    while ((base + 1) * (base + 1) <= n) ++base;
+    const std::size_t lo = base / 2 + 1;
+    const std::size_t hi = base + base / 2 + 1;
+    levels = static_cast<std::size_t>(rng.between(
+        static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    if (levels > n) levels = n;
+  }
+
+  // Exact-count widths: one task pinned per level, the rest spread uniformly.
+  std::vector<std::size_t> width(levels, 1);
+  for (std::size_t extra = n - levels; extra > 0; --extra)
+    ++width[rng.below(levels)];
+
+  Workflow wf("layered");
+  std::vector<std::vector<TaskId>> layers(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    layers[l].reserve(width[l]);
+    for (std::size_t i = 0; i < width[l]; ++i)
+      layers[l].push_back(
+          wf.add_task("L" + std::to_string(l) + "_" + std::to_string(i)));
+  }
+
+  // Adjacent-layer wiring, same scheme as random_layered: density edges plus
+  // a guaranteed predecessor for connectivity.
+  for (std::size_t l = 1; l < levels; ++l) {
+    for (TaskId t : layers[l]) {
+      bool has_pred = false;
+      for (TaskId p : layers[l - 1]) {
+        if (rng.chance(cfg.edge_density)) {
+          wf.add_edge(p, t);
+          has_pred = true;
+        }
+      }
+      if (!has_pred) {
+        const auto& prev = layers[l - 1];
+        wf.add_edge(prev[rng.below(prev.size())], t);
+      }
+    }
+  }
+
+  // Budgeted skip edges: instead of a coin per (earlier task, task) pair —
+  // quadratic at 10^4 tasks — draw skip_density * n random candidate pairs
+  // spanning at least two levels and add the ones that are new.
+  if (cfg.allow_skip_edges && levels >= 3 && cfg.skip_density > 0) {
+    const auto budget =
+        static_cast<std::size_t>(cfg.skip_density * static_cast<double>(n));
+    for (std::size_t k = 0; k < budget; ++k) {
+      const std::size_t to_layer =
+          2 + rng.below(levels - 2);  // in [2, levels)
+      const std::size_t from_layer = rng.below(to_layer - 1);  // skips >= 1
+      const TaskId from = layers[from_layer][rng.below(width[from_layer])];
+      const TaskId to = layers[to_layer][rng.below(width[to_layer])];
+      if (!wf.has_edge(from, to)) wf.add_edge(from, to);
+    }
+  }
+
+  wf.validate();
+  return wf;
+}
+
 Workflow fork_join(std::size_t stages, std::size_t width) {
   if (stages == 0 || width == 0)
     throw std::invalid_argument("fork_join: stages and width must be positive");

@@ -27,6 +27,24 @@ struct LayeredConfig {
 /// upper bound and the graph is connected enough to be a workflow.
 [[nodiscard]] Workflow random_layered(const LayeredConfig& cfg, util::Rng& rng);
 
+/// Shape knobs for the exact-count layered generator. Unlike LayeredConfig,
+/// the task count is a hard target, not an emergent property.
+struct CountConfig {
+  std::size_t tasks = 1000;        ///< exact task count of the instance (>= 1)
+  std::size_t levels = 0;          ///< 0 = pick ~sqrt(tasks) levels from rng
+  double edge_density = 0.5;       ///< probability of an edge layer k -> k+1
+  bool allow_skip_edges = true;    ///< also allow edges jumping over layers
+  double skip_density = 0.02;     ///< probability of a skip edge (per pair)
+};
+
+/// Random layered DAG with exactly cfg.tasks tasks: one task is pinned to
+/// every level (so level count is exact too), the rest are spread uniformly,
+/// and edges are wired like random_layered — every non-entry task keeps at
+/// least one predecessor in the previous layer. Deterministic in (cfg, rng
+/// state). Skip-edge sampling is budgeted (expected skip_density fraction of
+/// adjacent-pair count) so generation stays near-linear at 10^4+ tasks.
+[[nodiscard]] Workflow random_layered_count(const CountConfig& cfg, util::Rng& rng);
+
 /// Fork-join: entry -> width parallel tasks -> join, repeated `stages` times.
 /// width = 1 degenerates to a sequential chain.
 [[nodiscard]] Workflow fork_join(std::size_t stages, std::size_t width);

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "dag/builders.hpp"
+
 namespace cloudwf::dag::science {
 
 Workflow epigenomics(std::size_t chunks) {
@@ -127,6 +129,132 @@ Workflow sipht(std::size_t patsers) {
 
   wf.validate();
   return wf;
+}
+
+Workflow montage(std::size_t projections) { return builders::montage(projections); }
+
+std::string_view name_of(Family f) noexcept {
+  constexpr std::array<std::string_view, 5> names = {
+      "epigenomics", "cybershake", "ligo", "sipht", "montage"};
+  return names[static_cast<std::size_t>(f)];
+}
+
+Family family_by_name(std::string_view name) {
+  for (Family f : kAllFamilies)
+    if (name_of(f) == name) return f;
+  throw std::invalid_argument("family_by_name: unknown science family '" +
+                              std::string(name) + "'");
+}
+
+namespace {
+
+/// Default secondary knobs (the builders' default arguments).
+constexpr std::size_t kCybershakeSynths = 4;
+constexpr std::size_t kLigoGroupSize = 3;
+
+/// Smallest k >= lo with count(k) >= target, for affine count formulas.
+std::size_t smallest_reaching(std::size_t target, std::size_t lo,
+                              std::size_t per_unit, std::size_t constant) {
+  if (constant + lo * per_unit >= target) return lo;
+  // ceil((target - constant) / per_unit), never below lo.
+  return (target - constant + per_unit - 1) / per_unit;
+}
+
+}  // namespace
+
+ScaledParams scaled_params(Family f, std::size_t target_tasks) {
+  if (target_tasks == 0)
+    throw std::invalid_argument("scaled_params: target_tasks must be >= 1");
+  ScaledParams p;
+  p.family = f;
+  switch (f) {
+    case Family::epigenomics:
+      p.primary = smallest_reaching(target_tasks, 1, 4, 4);
+      p.tasks = epigenomics_tasks(p.primary);
+      break;
+    case Family::cybershake:
+      p.secondary = kCybershakeSynths;
+      p.primary =
+          smallest_reaching(target_tasks, 1, 1 + 2 * kCybershakeSynths, 2);
+      p.tasks = cybershake_tasks(p.primary, p.secondary);
+      break;
+    case Family::ligo:
+      p.secondary = kLigoGroupSize;
+      p.primary = smallest_reaching(target_tasks, 1, 3 * kLigoGroupSize + 2, 1);
+      p.tasks = ligo_tasks(p.primary, p.secondary);
+      break;
+    case Family::sipht:
+      p.primary = smallest_reaching(target_tasks, 1, 1, 9);
+      p.tasks = sipht_tasks(p.primary);
+      break;
+    case Family::montage:
+      // projections must be even and >= 4: with p = 2h, tasks = 7h + 3.
+      p.primary = smallest_reaching(target_tasks, 2, 7, 3) * 2;
+      p.tasks = montage_tasks(p.primary);
+      break;
+  }
+  return p;
+}
+
+Workflow scaled(Family f, std::size_t target_tasks) {
+  const ScaledParams p = scaled_params(f, target_tasks);
+  switch (f) {
+    case Family::epigenomics:
+      return epigenomics(p.primary);
+    case Family::cybershake:
+      return cybershake(p.primary, p.secondary);
+    case Family::ligo:
+      return ligo(p.primary, p.secondary);
+    case Family::sipht:
+      return sipht(p.primary);
+    case Family::montage:
+      return montage(p.primary);
+  }
+  throw std::invalid_argument("scaled: unknown family");
+}
+
+ShapeInvariants expected_invariants(const ScaledParams& p) {
+  ShapeInvariants inv;
+  inv.tasks = p.tasks;
+  switch (p.family) {
+    case Family::epigenomics:
+      // split / filter / sol / bfq / map / merge / index / pileup.
+      inv.levels = 8;
+      inv.max_width = p.primary;
+      inv.entries = 1;
+      inv.exits = 1;
+      break;
+    case Family::cybershake:
+      // extracts / synths / (peaks + ZipSeis) / ZipPSA; ZipSeis shares the
+      // peaks' level because both hang off the synth level.
+      inv.levels = 4;
+      inv.max_width = p.primary * p.secondary + 1;
+      inv.entries = p.primary;
+      inv.exits = 2;
+      break;
+    case Family::ligo:
+      // banks / inspirals / thinca / trigbank / inspiral2 / thinca2.
+      inv.levels = 6;
+      inv.max_width = p.primary * p.secondary;
+      inv.entries = p.primary * p.secondary;
+      inv.exits = 1;
+      break;
+    case Family::sipht:
+      // (patsers + 4 analyses) / concat / srna / ffn / paralogues / annotate.
+      inv.levels = 6;
+      inv.max_width = p.primary + 4;
+      inv.entries = p.primary + 4;
+      inv.exits = 1;
+      break;
+    case Family::montage:
+      // projections / diffs / concat / bgmodel / backgrounds / add.
+      inv.levels = 6;
+      inv.max_width = p.primary + p.primary / 2;
+      inv.entries = p.primary;
+      inv.exits = 1;
+      break;
+  }
+  return inv;
 }
 
 }  // namespace cloudwf::dag::science

@@ -5,9 +5,17 @@
 // from different workloads".
 //
 // Structure only (works = 1 s); apply a workload scenario before running.
+//
+// Every builder is parametric, with a closed-form task-count formula and
+// published structural invariants (level count, max width, entry/exit
+// counts), so instances can be scaled from the paper's tens of tasks to the
+// 10^3-10^4 range the Pegasus literature evaluates. `scaled(family, n)`
+// picks the smallest parameters whose instance reaches n tasks.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <string_view>
 
 #include "dag/workflow.hpp"
 
@@ -42,5 +50,83 @@ namespace cloudwf::dag::science {
 /// the final Annotate. Tasks: patsers + 1 + 4 + 1 + 2 + 1. Mostly a wide
 /// first level with a sequential analysis tail.
 [[nodiscard]] Workflow sipht(std::size_t patsers = 8);
+
+/// Montage (astronomy mosaics): the paper's Fig. 2a shape at parametric
+/// width — `projections` mProjectPP roots, a ring + chords of mDiffFit
+/// pairs, the mConcatFit -> mBgModel bottleneck, per-projection
+/// mBackground, and the final mAdd. Delegates to dag::builders::montage
+/// (montage(6) is the paper's 24-task instance). `projections` must be
+/// even and >= 4. Tasks: 3*projections + projections/2 + 3.
+[[nodiscard]] Workflow montage(std::size_t projections = 6);
+
+/// The five Pegasus-family shapes, in a fixed presentation order.
+enum class Family : unsigned char {
+  epigenomics = 0,
+  cybershake = 1,
+  ligo = 2,
+  sipht = 3,
+  montage = 4,
+};
+
+inline constexpr std::array<Family, 5> kAllFamilies = {
+    Family::epigenomics, Family::cybershake, Family::ligo, Family::sipht,
+    Family::montage};
+
+[[nodiscard]] std::string_view name_of(Family f) noexcept;
+
+/// Inverse of name_of; throws std::invalid_argument for unknown names.
+[[nodiscard]] Family family_by_name(std::string_view name);
+
+/// Exact task counts of the builders above, as closed-form functions of
+/// their parameters (asserted by tests/dag/science_test.cpp at many sizes).
+[[nodiscard]] constexpr std::size_t epigenomics_tasks(std::size_t chunks) noexcept {
+  return 4 * chunks + 4;
+}
+[[nodiscard]] constexpr std::size_t cybershake_tasks(
+    std::size_t sites, std::size_t synths_per_site) noexcept {
+  return sites * (1 + 2 * synths_per_site) + 2;
+}
+[[nodiscard]] constexpr std::size_t ligo_tasks(std::size_t groups,
+                                               std::size_t group_size) noexcept {
+  return groups * (3 * group_size + 2) + 1;
+}
+[[nodiscard]] constexpr std::size_t sipht_tasks(std::size_t patsers) noexcept {
+  return patsers + 9;
+}
+[[nodiscard]] constexpr std::size_t montage_tasks(std::size_t projections) noexcept {
+  return 3 * projections + projections / 2 + 3;
+}
+
+/// The parameters `scaled` chose for a target size: the primary knob is the
+/// one that grows (chunks / sites / groups / patsers / projections), the
+/// secondary stays at the builder's default (cybershake synths_per_site = 4,
+/// ligo group_size = 3; 0 for the single-knob families).
+struct ScaledParams {
+  Family family = Family::epigenomics;
+  std::size_t primary = 1;
+  std::size_t secondary = 0;
+  std::size_t tasks = 0;  ///< exact task count of the resulting instance
+};
+
+/// Smallest parameters whose instance has at least `target_tasks` tasks
+/// (`target_tasks` >= 1).
+[[nodiscard]] ScaledParams scaled_params(Family f, std::size_t target_tasks);
+
+/// Builds the family at `scaled_params(f, target_tasks)`. The instance name
+/// is the family name (workflow names stay scenario-key-stable across sizes).
+[[nodiscard]] Workflow scaled(Family f, std::size_t target_tasks);
+
+/// Structural invariants of a family instance — the published shape
+/// contract the property tests hold every scaled instance to.
+struct ShapeInvariants {
+  std::size_t tasks = 0;       ///< == the *_tasks formula
+  std::size_t levels = 0;      ///< longest-path level count
+  std::size_t max_width = 0;   ///< largest level size
+  std::size_t entries = 0;     ///< tasks with no predecessors
+  std::size_t exits = 0;       ///< tasks with no successors
+};
+
+/// Closed-form invariants for the instance `scaled_params` describes.
+[[nodiscard]] ShapeInvariants expected_invariants(const ScaledParams& p);
 
 }  // namespace cloudwf::dag::science

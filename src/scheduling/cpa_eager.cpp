@@ -27,10 +27,12 @@ sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
-  // Scratch retimer: the upgrade loop evaluates the candidate cost once per
-  // iteration; reusing one schedule + transfer memo makes that allocation-free.
+  // Primed retimer: the upgrade loop evaluates the candidate cost once per
+  // iteration; set_size re-times only the slice the candidate's size change
+  // reaches instead of the whole DAG (bit-identical to cost(sizes)).
   OneVmPerTaskRetimer retimer(wf, platform);
-  const util::Money budget = retimer.cost(sizes).scaled(budget_factor_);
+  retimer.prime(sizes);
+  const util::Money budget = retimer.primed_cost().scaled(budget_factor_);
 
   // Comm between two distinct VMs (one VM per task, so every edge crosses
   // VMs; sizes only matter through link speeds, all >= small's 1 Gb — use
@@ -86,8 +88,9 @@ sim::Schedule CpaEagerScheduler::run(const dag::Workflow& wf,
 
     const cloud::InstanceSize previous = sizes[candidate];
     sizes[candidate] = *cloud::next_faster(previous);
-    if (retimer.cost(sizes) > budget) {
+    if (retimer.set_size(candidate, sizes[candidate]) > budget) {
       sizes[candidate] = previous;
+      (void)retimer.set_size(candidate, previous);  // revert, bitwise exact
       rejected.insert(candidate);
       if (obs::enabled())
         obs::emit_upgrade(candidate, false,

@@ -59,7 +59,7 @@ cloud::VmId BestFitReuse::choose_vm(dag::TaskId t,
     const util::Seconds eft = est + ctx.exec_time(t, vm.size());
     if (vm.placement_adds_btu(est, eft)) continue;  // would grow: not a fit
     // Leftover headroom in the VM's current session after the task.
-    const util::Seconds leftover = vm.sessions().back().paid_end() - eft;
+    const util::Seconds leftover = vm.last_session().paid_end() - eft;
     if (best == nullptr || leftover < best_leftover) {
       best = &vm;
       best_leftover = leftover;

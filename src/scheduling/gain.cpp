@@ -2,6 +2,7 @@
 
 #include <array>
 #include <limits>
+#include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -22,10 +23,13 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
   wf.validate();
   std::vector<cloud::InstanceSize> sizes(wf.task_count(), cloud::InstanceSize::small);
 
-  // Scratch retimer: one schedule + transfer memo reused across all candidate
-  // evaluations of the gain loop (bit-identical to metrics_one_vm_per_task).
+  // Primed retimer: one full retime caches per-task times and exact per-VM
+  // cost contributions; each candidate's budget test then re-times only the
+  // slice its size change actually reaches (bit-identical to the full
+  // cost(sizes) call it replaces — see OneVmPerTaskRetimer::set_size).
   OneVmPerTaskRetimer retimer(wf, platform);
-  const util::Money budget = retimer.cost(sizes).scaled(budget_factor_);
+  retimer.prime(sizes);
+  const util::Money budget = retimer.primed_cost().scaled(budget_factor_);
   const cloud::Region& region = platform.default_region();
 
   // The gain matrix's ingredients are fixed per (task, size) — works and
@@ -56,46 +60,68 @@ sim::Schedule GainScheduler::run(const dag::Workflow& wf,
     return rejected[t * cloud::kSizeCount + cloud::index_of(s)];
   };
 
-  for (;;) {
-    // Gain matrix sweep: best (task, size) by gain; ties toward the lower
-    // task id then the smaller target size, for determinism.
-    dag::TaskId best_task = dag::kInvalidTask;
-    cloud::InstanceSize best_size = cloud::InstanceSize::small;
-    double best_gain = -1.0;
-
-    for (const dag::Task& task : wf.tasks()) {
-      const cloud::InstanceSize cur = sizes[task.id];
-      const util::Seconds exec_cur = exec_tbl[cloud::index_of(cur)][task.id];
-      const util::Money cost_cur = cost_tbl[cloud::index_of(cur)][task.id];
-      for (cloud::InstanceSize target : cloud::kAllSizes) {
-        if (cloud::index_of(target) <= cloud::index_of(cur)) continue;
-        if (rejected_slot(task.id, target) != 0) continue;
-        const std::size_t ti = cloud::index_of(target);
-        const util::Seconds dt = exec_cur - exec_tbl[ti][task.id];
-        const util::Money dc = cost_tbl[ti][task.id] - cost_cur;
-        // A faster VM at no extra BTU cost is an unconditional win.
-        const double gain = dc <= util::Money{}
-                                ? std::numeric_limits<double>::infinity()
-                                : dt / dc.dollars();
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_task = task.id;
-          best_size = target;
-        }
-      }
+  // Gain frontier: a lazy max-heap over the candidate cells. The matrix
+  // sweep this replaces scanned every (task, target) cell per iteration —
+  // O(n) per upgrade, O(n^2) per run; the heap pops the same argmax in
+  // O(log n). The sweep kept strict improvements while scanning tasks then
+  // targets ascending, so its pick is the max gain with the lowest task id
+  // and smallest target on ties — exactly this comparator's top. A cell's
+  // gain depends only on its own task's current size, so an accepted
+  // upgrade invalidates just that task's cells: stale entries (recorded
+  // `cur` no longer current, or cell meanwhile rejected) are dropped when
+  // they surface.
+  struct Cell {
+    double gain;
+    dag::TaskId task;
+    cloud::InstanceSize cur;
+    cloud::InstanceSize target;
+  };
+  const auto after = [](const Cell& a, const Cell& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.task != b.task) return a.task > b.task;
+    return cloud::index_of(a.target) > cloud::index_of(b.target);
+  };
+  std::priority_queue<Cell, std::vector<Cell>, decltype(after)> frontier(after);
+  const auto push_cells = [&](dag::TaskId t) {
+    const cloud::InstanceSize cur = sizes[t];
+    const util::Seconds exec_cur = exec_tbl[cloud::index_of(cur)][t];
+    const util::Money cost_cur = cost_tbl[cloud::index_of(cur)][t];
+    for (cloud::InstanceSize target : cloud::kAllSizes) {
+      if (cloud::index_of(target) <= cloud::index_of(cur)) continue;
+      if (rejected_slot(t, target) != 0) continue;
+      const std::size_t ti = cloud::index_of(target);
+      const util::Seconds dt = exec_cur - exec_tbl[ti][t];
+      const util::Money dc = cost_tbl[ti][t] - cost_cur;
+      // A faster VM at no extra BTU cost is an unconditional win.
+      const double gain = dc <= util::Money{}
+                              ? std::numeric_limits<double>::infinity()
+                              : dt / dc.dollars();
+      frontier.push(Cell{gain, t, cur, target});
     }
-    if (best_task == dag::kInvalidTask || best_gain <= 0) break;
+  };
+  for (const dag::Task& task : wf.tasks()) push_cells(task.id);
 
-    const cloud::InstanceSize previous = sizes[best_task];
-    sizes[best_task] = best_size;
-    if (retimer.cost(sizes) > budget) {
-      sizes[best_task] = previous;
-      rejected_slot(best_task, best_size) = 1;
+  for (;;) {
+    while (!frontier.empty() &&
+           (sizes[frontier.top().task] != frontier.top().cur ||
+            rejected_slot(frontier.top().task, frontier.top().target) != 0))
+      frontier.pop();
+    if (frontier.empty()) break;
+    const Cell best = frontier.top();
+    if (best.gain <= 0) break;
+    frontier.pop();
+
+    if (retimer.set_size(best.task, best.target) > budget) {
+      (void)retimer.set_size(best.task, best.cur);  // revert, bitwise exact
+      rejected_slot(best.task, best.target) = 1;
       if (obs::enabled())
-        obs::emit_upgrade(best_task, false, best_gain,
+        obs::emit_upgrade(best.task, false, best.gain,
                           "GAIN: best move busts budget");
-    } else if (obs::enabled()) {
-      obs::emit_upgrade(best_task, true, best_gain, "GAIN: gain-matrix move");
+    } else {
+      sizes[best.task] = best.target;
+      push_cells(best.task);
+      if (obs::enabled())
+        obs::emit_upgrade(best.task, true, best.gain, "GAIN: gain-matrix move");
     }
   }
 

@@ -1,8 +1,10 @@
 #include "scheduling/upgrade.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "cloud/billing.hpp"
 #include "dag/graph_algo.hpp"
 #include "dag/structure_cache.hpp"
 #include "obs/trace.hpp"
@@ -74,6 +76,92 @@ util::Money OneVmPerTaskRetimer::cost(
   // lives in the default region, so egress is exactly Money{} and the same
   // rental_cost call is the whole total.
   return std::as_const(scratch_).pool().rental_cost(platform_->regions());
+}
+
+void OneVmPerTaskRetimer::prime(std::span<const cloud::InstanceSize> sizes) {
+  if (sizes.size() != wf_->task_count())
+    throw std::invalid_argument("OneVmPerTaskRetimer::prime: size vector mismatch");
+  inc_sizes_.assign(sizes.begin(), sizes.end());
+  const std::size_t n = wf_->task_count();
+  est_.resize(n);
+  end_.resize(n);
+  contrib_.assign(n, util::Money{});
+  total_ = util::Money{};
+  if (topo_pos_.size() != n) {
+    topo_pos_.resize(n);
+    const std::vector<dag::TaskId>& topo = structure_->topo_order();
+    for (std::size_t i = 0; i < topo.size(); ++i) topo_pos_[topo[i]] = i;
+    queued_.assign(n, 0);
+  }
+  const cloud::Region& region = platform_->default_region();
+  for (dag::TaskId t : structure_->topo_order()) {
+    retime_task(t);
+    contrib_[t] = region.price(inc_sizes_[t]) * cloud::btus_for(end_[t] - est_[t]);
+    total_ += contrib_[t];
+  }
+}
+
+util::Money OneVmPerTaskRetimer::set_size(dag::TaskId task,
+                                          cloud::InstanceSize size) {
+  if (inc_sizes_.empty())
+    throw std::logic_error("OneVmPerTaskRetimer::set_size: call prime() first");
+  if (task >= inc_sizes_.size())
+    throw std::invalid_argument("OneVmPerTaskRetimer::set_size: bad task");
+  inc_sizes_[task] = size;
+
+  const auto push = [this](dag::TaskId t) {
+    if (queued_[t] == 0) {
+      queued_[t] = 1;
+      dirty_.push(topo_pos_[t]);
+    }
+  };
+  // Seeds: the task itself (exec time and inbound transfers change) and its
+  // direct successors (their inbound transfer from `task` is keyed on the
+  // producer's size even when the producer's finish time stands still).
+  push(task);
+  for (dag::TaskId s : structure_->succs(task)) push(s);
+
+  const cloud::Region& region = platform_->default_region();
+  const std::vector<dag::TaskId>& topo = structure_->topo_order();
+  while (!dirty_.empty()) {
+    const dag::TaskId u = topo[dirty_.top()];
+    dirty_.pop();
+    queued_[u] = 0;
+    const util::Seconds old_end = end_[u];
+    retime_task(u);
+    // Recompute the contribution unconditionally: when nothing changed the
+    // subtraction and re-addition cancel exactly (integer micro-dollars).
+    total_ -= contrib_[u];
+    contrib_[u] = region.price(inc_sizes_[u]) * cloud::btus_for(end_[u] - est_[u]);
+    total_ += contrib_[u];
+    if (end_[u] != old_end)
+      for (dag::TaskId s : structure_->succs(u)) push(s);
+  }
+  return total_;
+}
+
+void OneVmPerTaskRetimer::retime_task(dag::TaskId t) {
+  util::Seconds est = platform_->boot_time();
+  const std::span<const dag::TaskId> preds = structure_->preds(t);
+  const std::span<const util::Gigabytes> data = structure_->pred_data(t);
+  const std::size_t slot_base = structure_->pred_edge_slot(t);
+  for (std::size_t k = 0; k < preds.size(); ++k) {
+    util::Seconds& slot =
+        transfer_[(slot_base + k) * kSizePairs +
+                  cloud::index_of(inc_sizes_[preds[k]]) * cloud::kSizeCount +
+                  cloud::index_of(inc_sizes_[t])];
+    if (slot < 0) {
+      // Same-sized scratch endpoints in the default region — transfer_time
+      // depends on sizes and regions only, so the memoized value equals the
+      // one retime() fills from the scratch pool's VMs.
+      const cloud::Vm from(0, inc_sizes_[preds[k]], platform_->default_region_id());
+      const cloud::Vm to(1, inc_sizes_[t], platform_->default_region_id());
+      slot = platform_->transfer_time(data[k], from, to);
+    }
+    est = std::max(est, end_[preds[k]] + slot);
+  }
+  est_[t] = est;
+  end_[t] = est + cloud::exec_time(wf_->task(t).work, inc_sizes_[t]);
 }
 
 void OneVmPerTaskRetimer::retime(std::span<const cloud::InstanceSize> sizes) {

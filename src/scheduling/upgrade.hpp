@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <queue>
 #include <span>
 #include <vector>
 
@@ -51,14 +52,50 @@ class OneVmPerTaskRetimer {
   /// the budget test CPA-Eager and GAIN run once per candidate.
   [[nodiscard]] util::Money cost(std::span<const cloud::InstanceSize> sizes);
 
+  /// Incremental cost interface for the upgrade loops, which change one
+  /// task's size per candidate. cost(sizes) is a full O(V + E) retime; at
+  /// 10^4 tasks that one call per candidate is the quadratic corner that
+  /// dominated the whole 19-strategy sweep. prime() runs the same pass once
+  /// and keeps each task's start/finish plus its VM's exact cost
+  /// contribution; set_size() then re-times only the tasks whose inputs can
+  /// have changed — the resized task, its direct successors (their inbound
+  /// transfer time depends on the producer's size), and transitively every
+  /// task whose finish time actually moved (bitwise cutoff).
+  ///
+  /// Every cached number is produced by the same arithmetic the full retime
+  /// runs — the same transfer memo slots, the same exec_time calls, the
+  /// same (est + exec) - est session span fed to btus_for — and the total
+  /// is a sum of integer micro-dollars, so set_size() returns exactly what
+  /// cost() would on the updated vector, not an approximation of it.
+  void prime(std::span<const cloud::InstanceSize> sizes);
+  [[nodiscard]] util::Money primed_cost() const noexcept { return total_; }
+
+  /// Changes `task` to `size` and returns the new total cost. The change
+  /// commits: call again with the previous size to revert (the recomputed
+  /// slice lands on bitwise-identical state — times are a pure function of
+  /// the size vector).
+  util::Money set_size(dag::TaskId task, cloud::InstanceSize size);
+
  private:
   void retime(std::span<const cloud::InstanceSize> sizes);
+  void retime_task(dag::TaskId t);
 
   const dag::Workflow* wf_;
   const cloud::Platform* platform_;
   std::shared_ptr<const dag::StructureCache> structure_;
   sim::Schedule scratch_;
   std::vector<util::Seconds> transfer_;  // per (edge slot, size pair); <0 empty
+
+  // Incremental state, valid after prime().
+  std::vector<cloud::InstanceSize> inc_sizes_;
+  std::vector<util::Seconds> est_, end_;    // per-task start / finish
+  std::vector<util::Money> contrib_;        // per-VM rental cost
+  util::Money total_;
+  std::vector<std::size_t> topo_pos_;       // task -> position in topo order
+  std::vector<char> queued_;
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      dirty_;  // pending recomputes, drained in topological order
 };
 
 }  // namespace cloudwf::scheduling

@@ -99,7 +99,7 @@ ElasticResult run_elastic(const dag::Workflow& wf,
         if (v.retired || v.free_at > now) continue;
         const cloud::Vm& vm = schedule.pool().vm(v.id);
         if (vm.used() &&
-            util::time_gt(now, vm.sessions().back().paid_end()))
+            util::time_gt(now, vm.last_session().paid_end()))
           v.retired = true;
       }
       if (active_count() == 0) {

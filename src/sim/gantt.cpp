@@ -140,12 +140,13 @@ std::string gantt_csv(const dag::Workflow& wf, const Schedule& schedule) {
   std::ostringstream os;
   os << "vm,size,region,session,task,start,end\n";
   for (const cloud::Vm& vm : schedule.pool().vms()) {
+    const std::vector<cloud::Vm::Session> sessions = vm.sessions();
     for (const cloud::Placement& p : vm.placements()) {
       // Which session does this placement belong to? The last one whose
       // start is <= the placement's start.
       std::size_t session = 0;
-      for (std::size_t s = 0; s < vm.sessions().size(); ++s)
-        if (vm.sessions()[s].start <= p.start + util::kTimeEpsilon) session = s;
+      for (std::size_t s = 0; s < sessions.size(); ++s)
+        if (sessions[s].start <= p.start + util::kTimeEpsilon) session = s;
       os << vm.id() << ',' << cloud::name_of(vm.size()) << ','
          << static_cast<int>(vm.region()) << ',' << session << ','
          << wf.task(p.task).name << ',' << util::format_double(p.start, 3) << ','

@@ -13,7 +13,7 @@ std::vector<VmReportRow> vm_report(const Schedule& schedule,
     row.size = vm.size();
     row.region = vm.region();
     row.tasks = vm.placements().size();
-    row.sessions = vm.sessions().size();
+    row.sessions = vm.session_count();
     row.btus = vm.btus();
     row.busy = vm.busy_time();
     row.idle = vm.idle_time();

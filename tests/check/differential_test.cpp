@@ -65,6 +65,37 @@ TEST(Differential, ProgressCallbackFiresPerCase) {
   EXPECT_EQ(last_done, 3u);
 }
 
+TEST(Differential, ScienceShapesReachSizesLayeredCannot) {
+  // With science_fraction = 1 every case is a Pegasus-family instance scaled
+  // to 50-500 tasks — far beyond the 8x6 layered generator's ceiling.
+  DifferentialConfig config;
+  config.cases = 3;
+  config.seed = 0x5c1e9ce;
+  config.science_fraction = 1.0;
+  const DifferentialResult result = run_differential(config);
+  EXPECT_TRUE(result.ok()) << result.to_json().dump();
+  for (const CaseInfo& c : result.cases) {
+    EXPECT_GE(c.tasks, 50u);
+    EXPECT_LE(c.tasks, 520u);  // scaled() overshoots by < one unit of growth
+  }
+}
+
+TEST(Differential, LargeDagFixedSeedAllStrategiesBitwise) {
+  // The large-DAG gate: one fixed >= 1000-task science instance, all 19
+  // strategies on both the flat-core fast path and the cold naive reference,
+  // oracle on every schedule, metrics compared bitwise.
+  DifferentialConfig config;
+  config.cases = 1;
+  config.seed = 0x1a46eDA6;
+  config.large_case_tasks = 1000;
+  const DifferentialResult result = run_differential(config);
+  EXPECT_TRUE(result.ok()) << result.to_json().dump();
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_GE(result.cases[0].tasks, 1000u);
+  // reference + 19 naive + 19 fast-side oracle passes.
+  EXPECT_EQ(result.schedules_checked, 39u);
+}
+
 TEST(Differential, DivergenceSerializesMachineReadably) {
   Divergence d;
   d.case_index = 4;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 
+#include "dag/science.hpp"
 #include "exp/experiment.hpp"
 #include "scheduling/factory.hpp"
 
@@ -137,6 +139,29 @@ TEST(Oracle, CleanStrategySchedulesPassEveryCheck) {
     EXPECT_TRUE(report.ok())
         << strategy.label << ":\n" << report.to_string();
   }
+}
+
+TEST(Oracle, ScalesNearLinearlyToTenThousandPlacements) {
+  // Every oracle pass (assignment, duration, overlap, precedence, boot,
+  // billing, metrics recompute) walks placements, edges, or VMs linearly.
+  // Guard that contract at the 10^4 scale this repo now targets: checking a
+  // 10,004-placement schedule must stay comfortably sub-linear-in-seconds.
+  // The bound is deliberately loose (sanitizer builds run this too); the
+  // real regression gate for throughput lives in bench_large_dag.
+  exp::ExperimentRunner runner;
+  const dag::Workflow wf = dag::science::scaled(dag::science::Family::epigenomics, 10000);
+  ASSERT_GE(wf.task_count(), 10000u);
+  const scheduling::Strategy strategy =
+      scheduling::strategy_by_label("AllParExceed-s");
+  const sim::Schedule s = strategy.scheduler->run(wf, runner.platform());
+
+  const auto start = std::chrono::steady_clock::now();
+  const OracleReport report = check_schedule(wf, s, runner.platform());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_LT(elapsed.count(), 15000) << "oracle took " << elapsed.count()
+                                    << " ms on a 10^4-placement schedule";
 }
 
 TEST(Oracle, ReportSerializesMachineReadably) {

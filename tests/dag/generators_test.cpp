@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dag/graph_algo.hpp"
+#include "dag/io.hpp"
 
 namespace cloudwf::dag::generators {
 namespace {
@@ -54,6 +55,70 @@ TEST(RandomLayered, RejectsBadConfig) {
   cfg = LayeredConfig{};
   cfg.edge_density = 1.5;
   EXPECT_THROW((void)random_layered(cfg, rng), std::invalid_argument);
+}
+
+TEST(RandomLayeredCount, HitsExactTaskAndLevelCounts) {
+  for (const std::size_t target : {1ul, 7ul, 64ul, 1000ul, 10000ul}) {
+    util::Rng rng(target);
+    CountConfig cfg;
+    cfg.tasks = target;
+    const Workflow wf = random_layered_count(cfg, rng);
+    SCOPED_TRACE("target=" + std::to_string(target));
+    EXPECT_EQ(wf.task_count(), target);
+    EXPECT_NO_THROW(wf.validate());
+  }
+}
+
+TEST(RandomLayeredCount, PinsRequestedLevelCount) {
+  util::Rng rng(3);
+  CountConfig cfg;
+  cfg.tasks = 500;
+  cfg.levels = 25;
+  const Workflow wf = random_layered_count(cfg, rng);
+  EXPECT_EQ(wf.task_count(), 500u);
+  // One task is pinned per layer and every non-entry task keeps a
+  // previous-layer predecessor, so the level structure is exactly the layers.
+  EXPECT_EQ(level_groups(wf).size(), 25u);
+}
+
+TEST(RandomLayeredCount, DeterministicPerSeed) {
+  CountConfig cfg;
+  cfg.tasks = 2000;
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const Workflow a = random_layered_count(cfg, r1);
+  const Workflow b = random_layered_count(cfg, r2);
+  EXPECT_EQ(serialize_workflow(a), serialize_workflow(b));
+}
+
+TEST(RandomLayeredCount, RejectsBadConfig) {
+  util::Rng rng(1);
+  CountConfig cfg;
+  cfg.tasks = 0;
+  EXPECT_THROW((void)random_layered_count(cfg, rng), std::invalid_argument);
+  cfg = CountConfig{};
+  cfg.tasks = 5;
+  cfg.levels = 9;  // more pinned levels than tasks
+  EXPECT_THROW((void)random_layered_count(cfg, rng), std::invalid_argument);
+  cfg = CountConfig{};
+  cfg.edge_density = -0.1;
+  EXPECT_THROW((void)random_layered_count(cfg, rng), std::invalid_argument);
+}
+
+TEST(RandomLayeredCount, TenThousandTasksSerializeRoundTripFixedPoint) {
+  // serialize -> parse -> reserialize must be a fixed point at 10^4 tasks:
+  // the text format carries every structural and numeric field exactly.
+  util::Rng rng(0xD1A6);
+  CountConfig cfg;
+  cfg.tasks = 10000;
+  const Workflow wf = random_layered_count(cfg, rng);
+  ASSERT_EQ(wf.task_count(), 10000u);
+  const std::string once = serialize_workflow(wf);
+  const Workflow parsed = parse_workflow_string(once);
+  EXPECT_NO_THROW(parsed.validate());
+  EXPECT_EQ(parsed.task_count(), wf.task_count());
+  EXPECT_EQ(parsed.edge_count(), wf.edge_count());
+  EXPECT_EQ(serialize_workflow(parsed), once);
 }
 
 TEST(ForkJoin, ShapeAndWidth) {

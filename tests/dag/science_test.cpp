@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "adaptive/features.hpp"
 #include "dag/graph_algo.hpp"
 #include "scheduling/factory.hpp"
@@ -85,6 +87,74 @@ TEST(ScienceSuite, ParameterizationScales) {
   EXPECT_EQ(cybershake(3, 5).task_count(), 3 + 30 + 2u);
   EXPECT_EQ(ligo(4, 2).task_count(), 16 + 4 + 4 + 8 + 1u);
   EXPECT_EQ(sipht(20).task_count(), 20 + 9u);
+}
+
+TEST(Scaled, CountFormulasMatchBuilders) {
+  EXPECT_EQ(epigenomics_tasks(4), epigenomics(4).task_count());
+  EXPECT_EQ(cybershake_tasks(2, 4), cybershake(2, 4).task_count());
+  EXPECT_EQ(ligo_tasks(2, 3), ligo(2, 3).task_count());
+  EXPECT_EQ(sipht_tasks(8), sipht(8).task_count());
+  EXPECT_EQ(montage_tasks(6), montage(6).task_count());
+  EXPECT_EQ(montage_tasks(6), 24u);  // the paper's 24-task montage
+}
+
+TEST(Scaled, FamilyNamesRoundTrip) {
+  for (Family f : kAllFamilies) EXPECT_EQ(family_by_name(name_of(f)), f);
+  EXPECT_THROW((void)family_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Scaled, ReachesTargetWithBoundedOvershoot) {
+  // tasks(k) is affine with per-unit growth <= 11 (ligo's 3*gs + 2), so the
+  // smallest instance at or above the target overshoots by < 11 tasks —
+  // except below a family's smallest instance, where that floor is returned
+  // (montage's minimum is 17 tasks, ligo's 12).
+  const std::size_t targets[] = {1, 10, 50, 100, 1000, 10000};
+  for (const Family f : kAllFamilies) {
+    const std::size_t floor_tasks = scaled_params(f, 1).tasks;
+    for (const std::size_t target : targets) {
+      const ScaledParams p = scaled_params(f, target);
+      EXPECT_GE(p.tasks, target) << name_of(f) << " @ " << target;
+      EXPECT_LT(p.tasks, std::max(target + 11, floor_tasks + 1))
+          << name_of(f) << " @ " << target;
+      const Workflow wf = scaled(f, target);
+      EXPECT_EQ(wf.task_count(), p.tasks) << name_of(f) << " @ " << target;
+    }
+  }
+}
+
+TEST(Scaled, EpigenomicsHitsPowerOfTenTargetsExactly) {
+  // 4c + 4: both 1000 and 10000 are on the lattice — the bench instances.
+  EXPECT_EQ(scaled_params(Family::epigenomics, 1000).tasks, 1000u);
+  EXPECT_EQ(scaled_params(Family::epigenomics, 10000).tasks, 10000u);
+}
+
+TEST(Scaled, StructuralInvariantsHoldAtParametricSizes) {
+  const std::size_t targets[] = {24, 120, 500, 1000};
+  for (const Family f : kAllFamilies) {
+    for (const std::size_t target : targets) {
+      const ScaledParams p = scaled_params(f, target);
+      const ShapeInvariants inv = expected_invariants(p);
+      const Workflow wf = scaled(f, target);
+      SCOPED_TRACE(std::string(name_of(f)) + " @ " + std::to_string(target));
+      EXPECT_TRUE(wf.is_acyclic());
+      EXPECT_EQ(wf.task_count(), inv.tasks);
+      EXPECT_EQ(level_groups(wf).size(), inv.levels);
+      EXPECT_EQ(max_width(wf), inv.max_width);
+      EXPECT_EQ(wf.entry_tasks().size(), inv.entries);
+      EXPECT_EQ(wf.exit_tasks().size(), inv.exits);
+    }
+  }
+}
+
+TEST(Scaled, TenThousandTaskInstancesValidate) {
+  // The top of the DAG axis: every family builds, validates and levels at
+  // 10^4 tasks in well under a second (the builders are linear).
+  for (const Family f : kAllFamilies) {
+    const Workflow wf = scaled(f, 10000);
+    EXPECT_GE(wf.task_count(), 10000u);
+    EXPECT_NO_THROW(wf.validate());
+    EXPECT_FALSE(wf.structure()->level_groups().empty());
+  }
 }
 
 }  // namespace

@@ -46,7 +46,13 @@ void run_one(const std::string& input) {
 std::string mutate(const std::string& base, const std::string& donor,
                    cloudwf::util::Rng& rng) {
   std::string out = base;
-  const int steps = static_cast<int>(rng.between(1, 8));
+  // The edit budget scales with the input: 1-8 byte edits meaningfully
+  // perturb a 40-byte JSON probe but vanish inside a 10^4-task workflow
+  // file, so large corpus entries earn proportionally more steps (capped to
+  // keep a single mutation cheap).
+  const auto max_steps = static_cast<std::int64_t>(
+      std::min<std::size_t>(128, 8 + base.size() / 256));
+  const int steps = static_cast<int>(rng.between(1, max_steps));
   for (int i = 0; i < steps; ++i) {
     switch (rng.below(5)) {
       case 0:  // flip a bit

@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "dag/builders.hpp"
+#include "dag/science.hpp"
 #include "scheduling/cpa_eager.hpp"
 #include "scheduling/gain.hpp"
 #include "scheduling/heft.hpp"
 #include "scheduling/upgrade.hpp"
 #include "sim/metrics.hpp"
 #include "sim/validator.hpp"
+#include "util/rng.hpp"
 #include "workload/scenario.hpp"
 
 namespace cloudwf::scheduling {
@@ -56,6 +58,40 @@ TEST(Retime, SizeVectorMismatchRejected) {
   EXPECT_THROW(
       (void)retime_one_vm_per_task(wf, cloud::Platform::ec2(), wrong),
       std::invalid_argument);
+}
+
+TEST(Retime, IncrementalSetSizeMatchesFullRetimeBitwise) {
+  // The contract the upgrade loops lean on: after prime(), every set_size()
+  // returns exactly what a full cost(sizes) recompute would — at exact
+  // integer micro-dollars, no tolerance — including reverts.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  for (const dag::Workflow& base :
+       {dag::builders::montage24(), dag::builders::cstem(),
+        dag::science::scaled(dag::science::Family::epigenomics, 200)}) {
+    const dag::Workflow wf = pareto(base);
+    std::vector<InstanceSize> sizes(wf.task_count(), InstanceSize::small);
+
+    OneVmPerTaskRetimer incremental(wf, platform);
+    incremental.prime(sizes);
+    OneVmPerTaskRetimer full(wf, platform);
+    EXPECT_EQ(incremental.primed_cost(), full.cost(sizes)) << wf.name();
+
+    util::Rng rng(0xB17);
+    for (int step = 0; step < 60; ++step) {
+      const auto task = static_cast<dag::TaskId>(rng.below(wf.task_count()));
+      const auto size = cloud::kAllSizes[rng.below(cloud::kAllSizes.size())];
+      const InstanceSize previous = sizes[task];
+      sizes[task] = size;
+      const util::Money inc = incremental.set_size(task, size);
+      EXPECT_EQ(inc, full.cost(sizes))
+          << wf.name() << " step " << step << " task " << task;
+      if (step % 3 == 2) {  // revert must land on bitwise-identical state
+        sizes[task] = previous;
+        EXPECT_EQ(incremental.set_size(task, previous), full.cost(sizes))
+            << wf.name() << " revert at step " << step;
+      }
+    }
+  }
 }
 
 TEST(CpaEager, RespectsBudgetAndImprovesMakespan) {

@@ -17,11 +17,14 @@
 //                   [--scenario ...] [--seed N] [--out <prefix>]
 //   cloudwf serve   [--port N] [--workers N] [--queue-depth N]
 //                   [--timeout-ms N] [--max-connections N]
-//   cloudwf check   [--cases N] [--seed N] [--threads N] [--json]
+//   cloudwf check   [--cases N] [--seed N] [--threads N] [--large-tasks N]
+//                   [--json]
 //   cloudwf help
 //
-// Workflow names: montage, cstem, mapreduce, sequential; anything else is
-// treated as a workflow file in the dag/io text format.
+// Workflow names: montage, cstem, mapreduce, sequential, epigenomics,
+// cybershake, ligo, sipht; "family:N" scales a Pegasus family to >= N tasks
+// (e.g. epigenomics:1000); anything else is treated as a workflow file in
+// the dag/io text format.
 #include <csignal>
 #include <iostream>
 #include <map>
@@ -88,7 +91,8 @@ Args parse_args(int argc, char** argv) {
         name == "budget" || name == "deadline" || name == "out" ||
         name == "vs" || name == "port" || name == "workers" ||
         name == "queue-depth" || name == "timeout-ms" ||
-        name == "max-connections" || name == "cases" || name == "threads") {
+        name == "max-connections" || name == "cases" || name == "threads" ||
+        name == "large-tasks") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -108,6 +112,14 @@ dag::Workflow resolve_workflow(const std::string& spec) {
   if (spec == "cybershake") return dag::science::cybershake();
   if (spec == "ligo") return dag::science::ligo();
   if (spec == "sipht") return dag::science::sipht();
+  // "family:N" scales a Pegasus family to >= N tasks, e.g. epigenomics:1000.
+  if (const std::size_t colon = spec.find(':');
+      colon != std::string::npos && spec.find("->") == std::string::npos) {
+    const std::string head = spec.substr(0, colon);
+    for (const dag::science::Family f : dag::science::kAllFamilies)
+      if (head == dag::science::name_of(f))
+        return dag::science::scaled(f, std::stoul(spec.substr(colon + 1)));
+  }
   // A spec containing "->" is an inline edge-DSL workflow
   // (e.g. --workflow "a:600 -> b; a -> c; b, c -> d").
   if (spec.find("->") != std::string::npos)
@@ -432,6 +444,8 @@ int cmd_check(const Args& args) {
   if (const auto seed = args.option("seed")) config.seed = std::stoull(*seed);
   if (const auto threads = args.option("threads"))
     config.fast_path_threads = std::stoul(*threads);
+  if (const auto large = args.option("large-tasks"))
+    config.large_case_tasks = std::stoul(*large);
   const bool json = args.flag("json");
 
   const check::DifferentialResult result = check::run_differential(
