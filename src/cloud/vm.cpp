@@ -130,6 +130,7 @@ util::Seconds VmPool::total_idle_time() const {
 
 void VmPool::clear_placements() noexcept {
   for (Vm& v : vms_) v.clear();
+  placement_log_.clear();
   reuse_dirty_ = true;  // index empties; rebuilt lazily if queried again
   ++mutation_epoch_;
 }
@@ -140,6 +141,7 @@ void VmPool::place(VmId id, dag::TaskId task, util::Seconds start,
   Vm& v = vms_[id];
   const bool first_use = !v.used();
   v.place(task, start, end);
+  placement_log_.push_back(id);
   if (reuse_dirty_) return;  // a query will rebuild from scratch anyway
 
   // Keep reuse_index_ sorted by (busy_time desc, id asc). A placement only

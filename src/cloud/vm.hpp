@@ -182,6 +182,16 @@ class VmPool {
   /// until the pool is mutated.
   [[nodiscard]] std::span<const VmId> reuse_order() const;
 
+  /// One entry per place() append, in append order: the id of the VM whose
+  /// busy time just grew. Derived caches (PlacementContext's AllPar
+  /// candidate heap) fold the suffix since their last sync instead of
+  /// rescanning the pool. Reset by clear_placements(); mutations that
+  /// bypass place() bump mutation_epoch(), which tells consumers to resync
+  /// from scratch.
+  [[nodiscard]] const std::vector<VmId>& placement_log() const noexcept {
+    return placement_log_;
+  }
+
   /// Globally enables cross-checking the incremental reuse index against a
   /// freshly sorted one on every reuse_order() query; mismatches throw
   /// std::logic_error. Test-only (off by default; costs O(V log V) per
@@ -204,6 +214,7 @@ class VmPool {
   void rebuild_reuse_index() const;
 
   std::vector<Vm> vms_;
+  std::vector<VmId> placement_log_;
   // Reuse index: used VM ids sorted by (busy_time desc, id asc), maintained
   // incrementally by place() and rebuilt lazily after any mutation that
   // bypassed it. pos_[id] is the id's slot in reuse_index_ (kInvalidVm when

@@ -64,12 +64,13 @@ cloud::VmId AllPar::choose_vm(dag::TaskId t, PlacementContext& ctx) {
     }
   }
 
-  for (cloud::VmId id : order) {
-    const cloud::Vm& vm = pool.vm(id);
-    if (!admissible(vm)) continue;
-    obs::emit_decision(t, vm.id(), 0,
+  // Indexed candidate scan: same first-admissible answer as walking `order`,
+  // without paying O(width) level-host skips per task (docs/PERFORMANCE.md).
+  if (const cloud::VmId best = ctx.best_parallel_reuse(t, exceed_);
+      best != cloud::kInvalidVm) {
+    obs::emit_decision(t, best, 0,
                        "AllPar: reuse level-free largest-execution VM");
-    return vm.id();
+    return best;
   }
   const cloud::VmId id = ctx.rent();
   obs::emit_decision(t, id, 0,

@@ -1,6 +1,9 @@
 #include "provisioning/policy.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "provisioning/detail.hpp"
 
@@ -8,6 +11,10 @@ namespace cloudwf::provisioning {
 
 namespace {
 constexpr std::size_t kSizePairs = cloud::kSizeCount * cloud::kSizeCount;
+
+// Scan verification (tests): every best_parallel_reuse answer is compared
+// against the historical linear walk over reuse_order().
+std::atomic<bool> g_verify_scan{false};
 }  // namespace
 
 PlacementContext::PlacementContext(const dag::Workflow& wf, sim::Schedule& schedule,
@@ -117,6 +124,105 @@ std::optional<dag::TaskId> PlacementContext::largest_predecessor(
   const dag::TaskId best = structure_->largest_pred(t);
   if (best == dag::kInvalidTask) return std::nullopt;
   return best;
+}
+
+void PlacementContext::set_scan_verification(bool on) noexcept {
+  g_verify_scan.store(on, std::memory_order_relaxed);
+}
+
+bool PlacementContext::reuse_is_admissible(dag::TaskId t, const cloud::Vm& vm,
+                                           bool exceed) const {
+  if (vm_hosts_level_of(vm, t)) return false;
+  if (!exceed) {
+    const util::Seconds est = est_on(t, vm);
+    if (vm.placement_adds_btu(est, est + exec_time(t, vm.size()))) return false;
+  }
+  return true;
+}
+
+cloud::VmId PlacementContext::linear_parallel_reuse(dag::TaskId t,
+                                                    bool exceed) const {
+  for (cloud::VmId id : pool().reuse_order())
+    if (reuse_is_admissible(t, pool().vm(id), exceed)) return id;
+  return cloud::kInvalidVm;
+}
+
+cloud::VmId PlacementContext::best_parallel_reuse(dag::TaskId t, bool exceed) {
+  const cloud::VmPool& pool = this->pool();
+  const int level = structure_->levels()[t];
+  const std::uint64_t epoch = pool.mutation_epoch();
+  const std::vector<cloud::VmId>& log = pool.placement_log();
+
+  bool rebuild = !scan_valid_ || scan_epoch_ != epoch || scan_level_ != level;
+  if (!rebuild) {
+    // Fold placements since the last scan. A same-level placement turned
+    // its VM into a host of this level — the walk below unlinks it — and a
+    // surviving candidate's busy time is untouched, so the snapshot order
+    // stays exact. Anything else (a caller interleaving levels grew a
+    // candidate's busy time, or put a fresh VM into use) invalidates the
+    // snapshot's order: rebuild.
+    for (; scan_log_cursor_ < log.size(); ++scan_log_cursor_) {
+      const cloud::Vm& v = pool.vm(log[scan_log_cursor_]);
+      if (vm_hosts_level_of(v, t)) continue;
+      if (v.id() < scan_in_list_.size() && scan_in_list_[v.id()] != 0 &&
+          v.busy_time() == scan_busy_[v.id()])
+        continue;  // zero-growth append: order unchanged
+      rebuild = true;
+      break;
+    }
+  }
+
+  if (rebuild) {
+    const std::span<const cloud::VmId> order = pool.reuse_order();
+    scan_next_.assign(pool.size(), cloud::kInvalidVm);
+    scan_busy_.resize(pool.size());
+    scan_in_list_.assign(pool.size(), 0);
+    scan_head_ = cloud::kInvalidVm;
+    cloud::VmId* tail = &scan_head_;
+    for (const cloud::VmId id : order) {
+      *tail = id;
+      tail = &scan_next_[id];
+      scan_busy_[id] = pool.vm(id).busy_time();
+      scan_in_list_[id] = 1;
+    }
+    scan_level_ = level;
+    scan_epoch_ = epoch;
+    scan_log_cursor_ = log.size();
+    scan_valid_ = true;
+  }
+
+  // Walk the survivors in (busy desc, id asc) order — exactly the
+  // reuse_order() walk with the already-detected hosts of this level
+  // removed. Hosts met for the first time are unlinked as we pass.
+  cloud::VmId winner = cloud::kInvalidVm;
+  cloud::VmId* link = &scan_head_;
+  while (*link != cloud::kInvalidVm) {
+    const cloud::Vm& vm = pool.vm(*link);
+    if (vm_hosts_level_of(vm, t)) {  // hosts the level: gone for good
+      scan_in_list_[*link] = 0;
+      *link = scan_next_[vm.id()];
+      continue;
+    }
+    if (!exceed) {
+      const util::Seconds est = est_on(t, vm);
+      if (vm.placement_adds_btu(est, est + exec_time(t, vm.size()))) {
+        link = &scan_next_[vm.id()];  // BTU admissibility is per-task: keep
+        continue;
+      }
+    }
+    winner = vm.id();
+    break;
+  }
+
+  if (g_verify_scan.load(std::memory_order_relaxed)) {
+    const cloud::VmId reference = linear_parallel_reuse(t, exceed);
+    if (reference != winner)
+      throw std::logic_error(
+          "PlacementContext::best_parallel_reuse: indexed answer " +
+          std::to_string(winner) + " diverged from linear scan " +
+          std::to_string(reference) + " for task " + std::to_string(t));
+  }
+  return winner;
 }
 
 std::unique_ptr<ProvisioningPolicy> make_policy(ProvisioningKind kind) {

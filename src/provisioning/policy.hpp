@@ -118,6 +118,25 @@ class PlacementContext {
   /// predecessor"); nullopt for entry tasks.
   [[nodiscard]] std::optional<dag::TaskId> largest_predecessor(dag::TaskId t) const;
 
+  /// AllPar's parallel-task reuse scan: the used VM with the largest busy
+  /// time (lowest id on ties) that does not already host `t`'s level and —
+  /// unless `exceed` — whose reuse would not add a BTU. kInvalidVm when no
+  /// such VM exists (the caller rents). Equals the first admissible element
+  /// of a linear walk over reuse_order(), but answered from a candidate
+  /// list bound to `t`'s level: while a level is being placed, a surviving
+  /// candidate's busy time is frozen (any same-level placement turns its VM
+  /// into a host), so one reuse_order() snapshot stays exactly sorted and
+  /// hosts are unlinked in O(1) when a walk first meets them instead of
+  /// being re-skipped by every later task. The pool's placement_log() tells
+  /// the scan which VMs changed between calls; any change that is not a
+  /// same-level host (a foreign caller interleaving levels) rebuilds the
+  /// snapshot. Turns the per-level O(width²) host-skip scan into O(width).
+  [[nodiscard]] cloud::VmId best_parallel_reuse(dag::TaskId t, bool exceed);
+
+  /// Globally cross-checks every best_parallel_reuse answer against the
+  /// historical linear scan; mismatches throw std::logic_error. Test-only.
+  static void set_scan_verification(bool on) noexcept;
+
  private:
   [[nodiscard]] const std::vector<util::Seconds>& fill_exec_table(
       cloud::InstanceSize s) const;
@@ -143,6 +162,10 @@ class PlacementContext {
   // computed" (real transfer times are nonnegative).
   mutable std::vector<util::Seconds> transfer_;
 
+  [[nodiscard]] bool reuse_is_admissible(dag::TaskId t, const cloud::Vm& vm,
+                                         bool exceed) const;
+  [[nodiscard]] cloud::VmId linear_parallel_reuse(dag::TaskId t, bool exceed) const;
+
   // Per-VM level occupancy, maintained lazily: vm_cursor_[id] placements of
   // VM id have been folded into vm_levels_ (a level-count-striped bitset
   // row per VM). Placements are append-only through VmPool::place; any
@@ -150,6 +173,20 @@ class PlacementContext {
   mutable std::vector<std::uint32_t> vm_cursor_;
   mutable std::vector<char> vm_levels_;
   mutable std::uint64_t occupancy_epoch_ = 0;
+
+  // AllPar candidate list (best_parallel_reuse): a reuse_order() snapshot
+  // threaded as a singly linked list (scan_next_ indexed by VM id,
+  // kInvalidVm-terminated), valid for one (level, pool epoch) pair with
+  // per-member busy-time snapshots in scan_busy_. Advanced between scans by
+  // folding the pool's placement_log() suffix past scan_log_cursor_.
+  std::vector<cloud::VmId> scan_next_;
+  std::vector<util::Seconds> scan_busy_;
+  std::vector<char> scan_in_list_;
+  cloud::VmId scan_head_ = cloud::kInvalidVm;
+  int scan_level_ = -1;
+  std::uint64_t scan_epoch_ = 0;
+  std::size_t scan_log_cursor_ = 0;
+  bool scan_valid_ = false;
 };
 
 class ProvisioningPolicy {

@@ -46,6 +46,7 @@ struct ServiceCounters {
   std::atomic<std::uint64_t> requests_rank{0};
   std::atomic<std::uint64_t> requests_health{0};
   std::atomic<std::uint64_t> requests_stats{0};
+  std::atomic<std::uint64_t> requests_tenants{0};
   std::atomic<std::uint64_t> responses_ok{0};
   std::atomic<std::uint64_t> rejected_429{0};
   std::atomic<std::uint64_t> bad_request_400{0};

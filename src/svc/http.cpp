@@ -366,9 +366,10 @@ std::optional<HttpResponse> HttpClient::roundtrip(const std::string& wire) {
   return response;
 }
 
-std::optional<HttpResponse> HttpClient::request(const std::string& method,
-                                                const std::string& target,
-                                                const std::string& body) {
+std::optional<HttpResponse> HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string wire;
   wire.reserve(body.size() + 128);
   wire += method;
@@ -378,6 +379,12 @@ std::optional<HttpResponse> HttpClient::request(const std::string& method,
   wire += host_;
   wire += "\r\nContent-Type: application/json\r\nContent-Length: ";
   wire += std::to_string(body.size());
+  for (const auto& [name, value] : extra_headers) {
+    wire += "\r\n";
+    wire += name;
+    wire += ": ";
+    wire += value;
+  }
   wire += "\r\n\r\n";
   wire += body;
 

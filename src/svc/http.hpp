@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace cloudwf::svc {
 
@@ -98,10 +100,13 @@ class HttpClient {
 
   /// Sends one request and blocks for the response. Reconnects once if the
   /// server closed the kept-alive connection. Returns nullopt on transport
-  /// failure.
-  [[nodiscard]] std::optional<HttpResponse> request(const std::string& method,
-                                                    const std::string& target,
-                                                    const std::string& body = "");
+  /// failure. `extra_headers` are emitted verbatim after the standard ones
+  /// (e.g. {"X-Tenant", "alice"} for the multi-tenant endpoints).
+  [[nodiscard]] std::optional<HttpResponse> request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
  private:
   [[nodiscard]] std::optional<HttpResponse> roundtrip(const std::string& wire);

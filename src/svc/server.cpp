@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -195,6 +196,7 @@ HttpResponse Server::dispatch(const HttpRequest& request) {
     response.body = stats_body();
     return response;
   }
+  if (request.target == "/v1/tenants") return handle_tenants(request);
   if (request.target == "/v1/evaluate")
     return handle_compute(request, QueuedRequest::Kind::evaluate);
   if (request.target == "/v1/rank")
@@ -202,9 +204,96 @@ HttpResponse Server::dispatch(const HttpRequest& request) {
 
   counters_.not_found_404.fetch_add(1, std::memory_order_relaxed);
   response.status = 404;
-  response.body = error_body("unknown endpoint '" + request.target +
-                             "' (/health, /stats, /v1/evaluate, /v1/rank)");
+  response.body = error_body(
+      "unknown endpoint '" + request.target +
+      "' (/health, /stats, /v1/tenants, /v1/evaluate, /v1/rank)");
   return response;
+}
+
+HttpResponse Server::handle_tenants(const HttpRequest& request) {
+  counters_.requests_tenants.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response;
+
+  const auto tenant_json = [](tenant::TenantId id,
+                              const tenant::TenantSpec& spec) {
+    util::Json row = util::Json::object();
+    row["tenant"] = static_cast<std::int64_t>(id);
+    row["name"] = spec.name;
+    row["weight"] = spec.weight;
+    if (spec.max_running != std::numeric_limits<std::size_t>::max())
+      row["max_running"] = static_cast<std::int64_t>(spec.max_running);
+    return row;
+  };
+
+  if (request.method == "GET") {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    util::Json list = util::Json::array();
+    for (tenant::TenantId id = 0; id < tenants_.size(); ++id)
+      list.push_back(tenant_json(id, tenants_.spec(id)));
+    util::Json body = util::Json::object();
+    body["tenants"] = std::move(list);
+    response.body = body.dump();
+    return response;
+  }
+  if (request.method != "POST") {
+    response.status = 405;
+    response.body = error_body("use POST to register or GET to list tenants");
+    return response;
+  }
+
+  tenant::TenantSpec spec;
+  try {
+    const util::Json body = util::Json::parse(request.body);
+    const util::Json* name = body.find("name");
+    if (name == nullptr) throw BadRequest("missing field 'name'");
+    spec.name = name->as_string();
+    if (const util::Json* weight = body.find("weight"))
+      spec.weight = weight->as_number();
+    if (const util::Json* quota = body.find("max_running")) {
+      const double q = quota->as_number();
+      if (q < 1.0 || q != static_cast<double>(static_cast<std::size_t>(q)))
+        throw BadRequest("'max_running' must be a positive integer");
+      spec.max_running = static_cast<std::size_t>(q);
+    }
+  } catch (const util::JsonParseError& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+    return response;
+  } catch (const std::exception& e) {  // BadRequest / Json type errors
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+    return response;
+  }
+
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  try {
+    const tenant::TenantId id = tenants_.add(std::move(spec));
+    tenant_usage_.resize(tenants_.size());
+    response.status = 201;
+    response.body = tenant_json(id, tenants_.spec(id)).dump();
+  } catch (const std::invalid_argument& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = error_body(e.what());
+  }
+  return response;
+}
+
+std::optional<tenant::TenantId> Server::resolve_tenant(
+    const HttpRequest& request, HttpResponse* error) {
+  const std::string_view header = request.header("x-tenant");
+  if (header.empty()) return tenant::kInvalidTenant;  // anonymous is fine
+  const std::string name(header);
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  if (const std::optional<tenant::TenantId> id = tenants_.find(name))
+    return id;
+  counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+  error->status = 400;
+  error->body = error_body("unknown tenant '" + name +
+                           "' — register it via POST /v1/tenants");
+  return std::nullopt;
 }
 
 HttpResponse Server::handle_compute(const HttpRequest& request,
@@ -218,6 +307,14 @@ HttpResponse Server::handle_compute(const HttpRequest& request,
     response.status = 405;
     response.body = error_body("use POST with a JSON body");
     return response;
+  }
+
+  const std::optional<tenant::TenantId> tid =
+      resolve_tenant(request, &response);
+  if (!tid) return response;  // unknown X-Tenant: 400 already filled in
+  if (*tid != tenant::kInvalidTenant) {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    (is_eval ? tenant_usage_[*tid].evaluate : tenant_usage_[*tid].rank) += 1;
   }
 
   QueuedRequest queued;
@@ -288,6 +385,7 @@ std::string Server::stats_body() const {
   service["requests_rank"] = count(counters_.requests_rank);
   service["requests_health"] = count(counters_.requests_health);
   service["requests_stats"] = count(counters_.requests_stats);
+  service["requests_tenants"] = count(counters_.requests_tenants);
   service["responses_ok"] = count(counters_.responses_ok);
   service["rejected_429"] = count(counters_.rejected_429);
   service["bad_request_400"] = count(counters_.bad_request_400);
@@ -326,10 +424,23 @@ std::string Server::stats_body() const {
     phases[name] = std::move(row);
   }
 
+  util::Json tenants = util::Json::object();
+  {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    for (tenant::TenantId id = 0; id < tenants_.size(); ++id) {
+      util::Json row = util::Json::object();
+      row["requests_evaluate"] =
+          static_cast<std::int64_t>(tenant_usage_[id].evaluate);
+      row["requests_rank"] = static_cast<std::int64_t>(tenant_usage_[id].rank);
+      tenants[tenants_.spec(id).name] = std::move(row);
+    }
+  }
+
   util::Json body = util::Json::object();
   body["service"] = std::move(service);
   body["obs"] = std::move(obs_counters);
   body["phases"] = std::move(phases);
+  body["tenants"] = std::move(tenants);
   body["uptime_s"] = recorder_.elapsed();
   return body.dump();
 }

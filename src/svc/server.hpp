@@ -23,14 +23,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cloud/platform.hpp"
 #include "obs/trace.hpp"
 #include "svc/batcher.hpp"
 #include "svc/http.hpp"
+#include "tenant/tenant.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cloudwf::svc {
@@ -80,6 +83,12 @@ class Server {
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
   [[nodiscard]] HttpResponse handle_compute(const HttpRequest& request,
                                             QueuedRequest::Kind kind);
+  [[nodiscard]] HttpResponse handle_tenants(const HttpRequest& request);
+  /// Resolves the X-Tenant header: nullopt + a filled 400 response for an
+  /// unregistered name, a valid id for a registered one, kInvalidTenant
+  /// (anonymous, always accepted) when the header is absent.
+  [[nodiscard]] std::optional<tenant::TenantId> resolve_tenant(
+      const HttpRequest& request, HttpResponse* error);
   [[nodiscard]] std::string health_body() const;
   [[nodiscard]] std::string stats_body() const;
 
@@ -100,6 +109,17 @@ class Server {
   std::mutex connections_mutex_;
   std::condition_variable connections_idle_;
   std::set<int> connection_fds_;
+
+  /// Tenant accounts (POST /v1/tenants) and their request counters,
+  /// surfaced per tenant in /stats. Guarded by tenants_mutex_: connection
+  /// threads register and count concurrently.
+  struct TenantUsage {
+    std::uint64_t evaluate = 0;
+    std::uint64_t rank = 0;
+  };
+  mutable std::mutex tenants_mutex_;
+  tenant::TenantRegistry tenants_;
+  std::vector<TenantUsage> tenant_usage_;  ///< indexed by TenantId
 };
 
 }  // namespace cloudwf::svc

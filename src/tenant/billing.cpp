@@ -1,0 +1,91 @@
+#include "tenant/billing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::tenant {
+
+BillingBreakdown attribute_billing(
+    const cloud::VmPool& pool, std::span<const cloud::Region> regions,
+    const TenantRegistry& registry,
+    const std::function<TenantId(dag::TaskId)>& tenant_of) {
+  if (registry.empty())
+    throw std::invalid_argument("attribute_billing: empty tenant registry");
+
+  BillingBreakdown out;
+  out.bills.resize(registry.size());
+  for (TenantId tid = 0; tid < registry.size(); ++tid)
+    out.bills[tid].tenant = tid;
+
+  std::vector<util::Seconds> busy_on_vm(registry.size(), 0.0);
+  std::vector<TenantId> participants;  // sorted ascending, per VM
+  for (const cloud::Vm& vm : pool.vms()) {
+    if (vm.placements().empty()) continue;  // unused: zero cost, nothing owed
+
+    participants.clear();
+    for (const cloud::Placement& p : vm.placements()) {
+      const TenantId tid = tenant_of(p.task);
+      if (tid >= registry.size())
+        throw std::invalid_argument(
+            "attribute_billing: tenant_of returned an unregistered id");
+      if (busy_on_vm[tid] == 0.0 &&
+          std::find(participants.begin(), participants.end(), tid) ==
+              participants.end())
+        participants.push_back(tid);
+      busy_on_vm[tid] += p.end - p.start;
+    }
+    std::sort(participants.begin(), participants.end());
+
+    const cloud::Region& region = regions[vm.region()];
+    const std::int64_t total_micros = vm.cost(region).micros();
+    const util::Seconds idle = vm.idle_time();
+    double weight_sum = 0.0;
+    for (const TenantId tid : participants)
+      weight_sum += registry.spec(tid).weight;
+
+    double total_share = 0.0;
+    for (const TenantId tid : participants)
+      total_share +=
+          busy_on_vm[tid] + idle * (registry.spec(tid).weight / weight_sum);
+
+    // Telescoping cumulative split of the integer cost: monotone partial
+    // sums, last participant pinned to the full amount, so the per-VM
+    // bills sum exactly to the VM's cost by construction. Shares are
+    // positive on any used VM; the equal-by-count fallback only covers the
+    // degenerate all-zero-duration timeline.
+    const std::size_t n = participants.size();
+    double cum_share = 0.0;
+    std::int64_t prev = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const TenantId tid = participants[k];
+      const double idle_k = idle * (registry.spec(tid).weight / weight_sum);
+      out.bills[tid].busy += busy_on_vm[tid];
+      out.bills[tid].idle_share += idle_k;
+      ++out.bills[tid].vms_touched;
+      cum_share += busy_on_vm[tid] + idle_k;
+
+      std::int64_t cum;
+      if (k + 1 == n) {
+        cum = total_micros;
+      } else {
+        const double fraction =
+            total_share > 0.0
+                ? cum_share / total_share
+                : static_cast<double>(k + 1) / static_cast<double>(n);
+        cum = std::clamp<std::int64_t>(
+            std::llround(static_cast<double>(total_micros) * fraction), prev,
+            total_micros);
+      }
+      out.bills[tid].cost =
+          out.bills[tid].cost + util::Money::from_micros(cum - prev);
+      prev = cum;
+      busy_on_vm[tid] = 0.0;  // reset the scratch slot for the next VM
+    }
+  }
+
+  for (const TenantBill& b : out.bills) out.total = out.total + b.cost;
+  return out;
+}
+
+}  // namespace cloudwf::tenant

@@ -1,0 +1,57 @@
+// BillingAttributor: splits a shared pool's BTU rental charges across the
+// tenants that used it, in integer micro-dollars, such that the per-tenant
+// bills recompose bitwise to cloud::VmPool::rental_cost.
+//
+// Each used VM's cost is apportioned independently:
+//   - direct usage: every tenant's busy seconds on the VM (from the
+//     placement timeline, mapped to tenants by global task id);
+//   - idle apportionment: the VM's paid-but-idle seconds are shared among
+//     the tenants that touched the VM, proportionally to their registry
+//     weights (the tenants keeping the VM warm split the slack).
+// A tenant's share of the VM is busy + idle * w/W; the VM's integer cost
+// is split by telescoping cumulative rounding (bill_k = round(C * cum_k) -
+// round(C * cum_{k-1})), with the last participant's cumulative pinned to
+// the full cost — so per-VM bills sum EXACTLY to the VM's cost and the
+// grand total recomposes exactly, never "approximately", to the pool's.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "cloud/vm.hpp"
+#include "tenant/tenant.hpp"
+#include "util/money.hpp"
+
+namespace cloudwf::tenant {
+
+struct TenantBill {
+  TenantId tenant = kInvalidTenant;
+  /// Exact share of the pool's rental cost, in integer micros.
+  util::Money cost;
+  /// Task-occupied seconds this tenant ran across the pool.
+  util::Seconds busy = 0.0;
+  /// Weighted share of paid-but-idle seconds apportioned to this tenant.
+  util::Seconds idle_share = 0.0;
+  /// Used VMs this tenant had at least one placement on.
+  std::size_t vms_touched = 0;
+};
+
+struct BillingBreakdown {
+  /// One bill per registered tenant (zero bills included), by TenantId.
+  std::vector<TenantBill> bills;
+  /// Sum of bills; bitwise equal to pool.rental_cost(regions).
+  util::Money total;
+};
+
+/// Attributes the pool's rental charges. `tenant_of` maps a placement's
+/// (global) task id to the owning tenant; it must return a registered id
+/// for every task placed on a used VM. Throws std::invalid_argument on an
+/// empty registry or an out-of-range tenant id.
+[[nodiscard]] BillingBreakdown attribute_billing(
+    const cloud::VmPool& pool, std::span<const cloud::Region> regions,
+    const TenantRegistry& registry,
+    const std::function<TenantId(dag::TaskId)>& tenant_of);
+
+}  // namespace cloudwf::tenant

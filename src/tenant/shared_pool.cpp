@@ -1,0 +1,354 @@
+#include "tenant/shared_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "cloud/billing.hpp"
+#include "dag/structure_cache.hpp"
+#include "sim/online.hpp"
+
+namespace cloudwf::tenant {
+
+namespace {
+
+struct Event {
+  enum Kind : std::uint8_t { ready = 0, completion = 1 };
+  util::Seconds time = 0;
+  std::uint32_t job = 0;
+  dag::TaskId task = dag::kInvalidTask;
+  Kind kind = ready;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.job != b.job) return a.job > b.job;
+    if (a.task != b.task) return a.task > b.task;
+    return a.kind > b.kind;
+  }
+};
+
+struct QueuedTask {
+  std::uint32_t job = 0;
+  dag::TaskId task = dag::kInvalidTask;
+};
+
+/// The whole simulation state; run() drives it to completion.
+class Simulator {
+ public:
+  Simulator(const TenantRegistry& registry, std::span<const JobSpec> jobs,
+            const cloud::Platform& platform, const SimConfig& cfg)
+      : registry_(registry),
+        jobs_(jobs),
+        platform_(platform),
+        cfg_(cfg),
+        boot_(platform.boot_time()),
+        region_(platform.default_region_id()) {}
+
+  MultiTenantResult run();
+
+ private:
+  [[nodiscard]] util::Seconds exec_est(std::uint32_t j, dag::TaskId t,
+                                       cloud::InstanceSize s) const {
+    return cloud::exec_time(structure_[j]->works()[t], s);
+  }
+
+  /// Earliest start of (j, t) on `vm`: the same max-fold as
+  /// PlacementContext::est_on over the job's own predecessors.
+  [[nodiscard]] util::Seconds est_on(std::uint32_t j, dag::TaskId t,
+                                     const cloud::Vm& vm) const {
+    util::Seconds est = std::max(vm.available_from(), boot_);
+    const dag::StructureCache& sc = *structure_[j];
+    const std::span<const dag::TaskId> preds = sc.preds(t);
+    const std::span<const util::Gigabytes> data = sc.pred_data(t);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      const sim::Assignment& pa = result_.jobs[j].tasks[preds[i]];
+      const util::Seconds transfer =
+          pa.vm == vm.id()
+              ? 0.0
+              : platform_.transfer_time(data[i], result_.pool.vm(pa.vm), vm);
+      est = std::max(est, pa.end + transfer);
+    }
+    return est;
+  }
+
+  [[nodiscard]] bool allowed(cloud::VmId vm, TenantId tenant) const {
+    return cfg_.policy != SharingPolicy::exclusive ||
+           result_.vm_owner[vm] == tenant;
+  }
+
+  cloud::VmId rent(TenantId tenant) {
+    const cloud::VmId id =
+        result_.pool.rent(cfg_.vm_size, region_).id();
+    result_.vm_owner.push_back(tenant);
+    return id;
+  }
+
+  /// Mirrors the provisioning policy's choose_vm restricted to the VMs the
+  /// sharing policy lets `tenant` touch.
+  cloud::VmId choose_vm(std::uint32_t j, dag::TaskId t, TenantId tenant) {
+    using provisioning::ProvisioningKind;
+    if (cfg_.provisioning == ProvisioningKind::one_vm_per_task)
+      return rent(tenant);
+
+    // StartPar[Not]Exceed. Entry tasks each get their own VM.
+    if (structure_[j]->preds(t).empty()) return rent(tenant);
+    const cloud::Vm* candidate = nullptr;
+    for (const cloud::VmId id : result_.pool.reuse_order()) {
+      if (!allowed(id, tenant)) continue;
+      candidate = &std::as_const(result_.pool).vm(id);
+      break;
+    }
+    if (candidate == nullptr) return rent(tenant);
+    if (cfg_.provisioning == ProvisioningKind::start_par_not_exceed) {
+      const util::Seconds est =
+          std::max(est_on(j, t, *candidate), now_);
+      const util::Seconds eft = est + exec_est(j, t, candidate->size());
+      if (candidate->placement_adds_btu(est, eft)) return rent(tenant);
+    }
+    return candidate->id();
+  }
+
+  void dispatch_one(const QueuedTask& head, TenantId tenant) {
+    const std::uint32_t j = head.job;
+    const dag::TaskId t = head.task;
+    const cloud::VmId vm_id = choose_vm(j, t, tenant);
+    const cloud::Vm& vm = std::as_const(result_.pool).vm(vm_id);
+    // A dispatch decided at now_ cannot start in the past: a quota-deferred
+    // task starts no earlier than the instant its slot freed. Without
+    // deferral est >= now_ already (run_online equivalence).
+    const util::Seconds est = std::max(est_on(j, t, vm), now_);
+    const util::Seconds actual_end =
+        est + cloud::exec_time(result_.jobs[j].actual_works[t], vm.size());
+    result_.pool.place(vm_id, result_.task_base[j] + t, est, actual_end);
+    result_.jobs[j].tasks[t] = sim::Assignment{vm_id, est, actual_end};
+    ++running_[tenant];
+    ++result_.dispatched;
+    events_.push(Event{actual_end, j, t, Event::completion});
+  }
+
+  /// Deficit-weighted round-robin over the tenant queues at sim time now_.
+  /// Each round credits quantum x weight; a queue head is dispatched while
+  /// affordable and under quota. Quota-blocked queues keep their deficit
+  /// and wait for a completion; under-funded heads accumulate deficit
+  /// across rounds until affordable.
+  void dispatch_all() {
+    const std::size_t n = registry_.size();
+    for (;;) {
+      bool progress = false;
+      bool starved = false;
+      for (TenantId tid = 0; tid < n; ++tid) {
+        std::deque<QueuedTask>& q = queues_[tid];
+        if (q.empty()) {
+          deficit_[tid] = 0.0;  // classic DRR: no hoarding while idle
+          continue;
+        }
+        deficit_[tid] += cfg_.drr_quantum * weight_[tid];
+        while (!q.empty()) {
+          const QueuedTask head = q.front();
+          if (running_[tid] >= registry_.spec(tid).max_running) {
+            ++result_.tenants[tid].quota_deferrals;
+            break;
+          }
+          const util::Seconds cost = exec_est(head.job, head.task, cfg_.vm_size);
+          if (deficit_[tid] < cost) {
+            starved = true;
+            break;
+          }
+          dispatch_one(head, tid);
+          q.pop_front();
+          deficit_[tid] -= cost;
+          progress = true;
+        }
+        if (q.empty()) deficit_[tid] = 0.0;
+      }
+      if (!progress && !starved) break;
+    }
+  }
+
+  const TenantRegistry& registry_;
+  std::span<const JobSpec> jobs_;
+  const cloud::Platform& platform_;
+  const SimConfig& cfg_;
+  util::Seconds boot_;
+  cloud::RegionId region_;
+  util::Seconds now_ = 0;
+
+  MultiTenantResult result_;
+  std::vector<std::shared_ptr<const dag::StructureCache>> structure_;
+  std::vector<std::vector<std::size_t>> waiting_;    // per job, per task
+  std::vector<std::vector<util::Seconds>> ready_at_;  // per job, per task
+  std::vector<std::deque<QueuedTask>> queues_;        // per tenant
+  std::vector<double> deficit_;                       // per tenant
+  std::vector<double> weight_;                        // per tenant
+  std::vector<std::size_t> running_;                  // per tenant
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+MultiTenantResult Simulator::run() {
+  using provisioning::ProvisioningKind;
+  if (registry_.empty())
+    throw std::invalid_argument("run_shared_pool: empty tenant registry");
+  if (cfg_.provisioning == ProvisioningKind::all_par_not_exceed ||
+      cfg_.provisioning == ProvisioningKind::all_par_exceed)
+    throw std::invalid_argument(
+        "run_shared_pool: AllPar level exclusivity is undefined across "
+        "concurrent workflows; use a StartPar or OneVMperTask kind");
+  if (!(cfg_.drr_quantum > 0.0))
+    throw std::invalid_argument("run_shared_pool: non-positive DRR quantum");
+  if (jobs_.empty())
+    throw std::invalid_argument("run_shared_pool: empty job list");
+
+  const std::size_t n_jobs = jobs_.size();
+  result_.config = cfg_;
+  result_.jobs.resize(n_jobs);
+  result_.tenants.resize(registry_.size());
+  result_.task_base.resize(n_jobs);
+  structure_.resize(n_jobs);
+  waiting_.resize(n_jobs);
+  ready_at_.resize(n_jobs);
+  queues_.resize(registry_.size());
+  deficit_.assign(registry_.size(), 0.0);
+  running_.assign(registry_.size(), 0);
+  weight_.resize(registry_.size());
+  for (TenantId tid = 0; tid < registry_.size(); ++tid)
+    weight_[tid] = cfg_.policy == SharingPolicy::weighted_fair
+                       ? registry_.spec(tid).weight
+                       : 1.0;
+
+  // Per-job setup: validation, global task-id bases, actual runtimes
+  // (split per job so draws are independent of job order), entry events.
+  util::Rng actuals_root(cfg_.actuals_seed);
+  const sim::RuntimeErrorModel error{cfg_.sigma};
+  dag::TaskId base = 0;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const JobSpec& spec = jobs_[j];
+    if (spec.tenant >= registry_.size())
+      throw std::invalid_argument("run_shared_pool: job " + std::to_string(j) +
+                                  " names an unknown tenant");
+    if (spec.arrival < 0)
+      throw std::invalid_argument("run_shared_pool: negative arrival");
+    spec.workflow.validate();
+    result_.task_base[j] = base;
+    base += static_cast<dag::TaskId>(spec.workflow.task_count());
+
+    structure_[j] = spec.workflow.structure();
+    util::Rng job_rng = actuals_root.split();
+    result_.jobs[j].actual_works =
+        error.sample_actual_works(spec.workflow, job_rng);
+    result_.jobs[j].tasks.assign(spec.workflow.task_count(), sim::Assignment{});
+
+    const util::Seconds release = std::max(spec.arrival, boot_);
+    waiting_[j].resize(spec.workflow.task_count());
+    ready_at_[j].assign(spec.workflow.task_count(), release);
+    for (const dag::Task& t : spec.workflow.tasks()) {
+      waiting_[j][t.id] = structure_[j]->preds(t.id).size();
+      if (waiting_[j][t.id] == 0)
+        events_.push(Event{release, static_cast<std::uint32_t>(j), t.id,
+                           Event::ready});
+    }
+  }
+
+  // Event loop: drain every event at one instant (completions free quota
+  // slots and release successors; ready events surface queued tasks), then
+  // run the dispatcher. Newly-ready tasks are appended sorted by
+  // (job, task) so FIFO order within a tenant equals run_online's
+  // (time, task) dispatch order.
+  std::vector<QueuedTask> fresh;
+  while (!events_.empty()) {
+    now_ = events_.top().time;
+    fresh.clear();
+    while (!events_.empty() && events_.top().time == now_) {
+      const Event e = events_.top();
+      events_.pop();
+      if (e.kind == Event::ready) {
+        fresh.push_back(QueuedTask{e.job, e.task});
+        continue;
+      }
+      const TenantId tid = jobs_[e.job].tenant;
+      --running_[tid];
+      const util::Seconds end = result_.jobs[e.job].tasks[e.task].end;
+      for (const dag::TaskId s : structure_[e.job]->succs(e.task)) {
+        ready_at_[e.job][s] = std::max(ready_at_[e.job][s], end);
+        if (--waiting_[e.job][s] == 0)
+          events_.push(Event{ready_at_[e.job][s], e.job, s, Event::ready});
+      }
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [](const QueuedTask& a, const QueuedTask& b) {
+                if (a.job != b.job) return a.job < b.job;
+                return a.task < b.task;
+              });
+    for (const QueuedTask& item : fresh)
+      queues_[jobs_[item.job].tenant].push_back(item);
+    dispatch_all();
+  }
+
+  for (const std::deque<QueuedTask>& q : queues_)
+    if (!q.empty())
+      throw std::logic_error(
+          "run_shared_pool: tasks left undispatched (quota deadlock?)");
+
+  // Post-pass aggregates: per-job completions, per-tenant stats.
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    JobResult& job = result_.jobs[j];
+    TenantStats& stats = result_.tenants[jobs_[j].tenant];
+    util::Seconds completion = jobs_[j].arrival;
+    for (const sim::Assignment& a : job.tasks) {
+      completion = std::max(completion, a.end);
+      stats.busy += a.duration();
+      ++stats.tasks;
+    }
+    job.completion = completion;
+    result_.makespan = std::max(result_.makespan, completion);
+    ++stats.jobs;
+    stats.total_flow += completion - jobs_[j].arrival;
+  }
+  for (const TenantId owner : result_.vm_owner)
+    ++result_.tenants[owner].vms_rented;
+  return std::move(result_);
+}
+
+}  // namespace
+
+std::size_t MultiTenantResult::job_of(dag::TaskId global) const {
+  const auto it =
+      std::upper_bound(task_base.begin(), task_base.end(), global);
+  if (it == task_base.begin())
+    throw std::out_of_range("MultiTenantResult::job_of: bad global id");
+  return static_cast<std::size_t>(it - task_base.begin()) - 1;
+}
+
+TenantId MultiTenantResult::tenant_of(dag::TaskId global,
+                                      std::span<const JobSpec> jobs_in) const {
+  return jobs_in[job_of(global)].tenant;
+}
+
+MultiTenantResult run_shared_pool(const TenantRegistry& registry,
+                                  std::span<const JobSpec> jobs,
+                                  const cloud::Platform& platform,
+                                  const SimConfig& cfg) {
+  return Simulator(registry, jobs, platform, cfg).run();
+}
+
+std::vector<util::Seconds> poisson_arrivals(std::size_t count, double lambda,
+                                            util::Rng& rng) {
+  if (!(lambda > 0.0))
+    throw std::invalid_argument("poisson_arrivals: non-positive rate");
+  std::vector<util::Seconds> out;
+  out.reserve(count);
+  util::Seconds t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Inverse-CDF exponential draw; uniform() < 1 so the log argument > 0.
+    t += -std::log(1.0 - rng.uniform()) / lambda;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace cloudwf::tenant

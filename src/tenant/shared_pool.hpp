@@ -1,0 +1,120 @@
+// SharedPoolSimulator: N tenants' workflow arrivals dispatched online
+// against ONE cloud::VmPool under a resource-sharing policy.
+//
+// This is the multi-tenant counterpart of scheduling::run_online. Jobs
+// (tenant, workflow, arrival time) release their entry tasks at
+// max(arrival, boot); ready tasks wait in per-tenant FIFO queues ordered by
+// (ready time, job, task); a deficit-weighted round-robin dispatcher picks
+// across tenants (quantum x weight budget per round, estimated execution
+// seconds as the per-task cost, quota-blocked queues skip without losing
+// deficit); and VM choice mirrors the StartPar/OneVMperTask provisioning
+// policies restricted to the VMs the sharing policy allows the tenant to
+// touch. Estimates drive every decision; execution takes the actual
+// (error-perturbed) runtime, exactly like run_online.
+//
+// With a single tenant, a single job arriving at 0 and no quota pressure,
+// the produced placements are bit-identical to run_online with the same
+// provisioning kind — pinned by tests/tenant/shared_pool_test.cpp.
+//
+// The AllPar kinds are rejected: their level-exclusivity rule is defined
+// against one DAG's level structure and has no meaning across concurrently
+// running workflows that interleave on the pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "cloud/vm.hpp"
+#include "dag/workflow.hpp"
+#include "provisioning/policy.hpp"
+#include "sim/schedule.hpp"
+#include "tenant/tenant.hpp"
+#include "util/rng.hpp"
+
+namespace cloudwf::tenant {
+
+/// One workflow instance owned by one tenant, arriving at `arrival`.
+/// The workflow's task works must already be materialized (scenario
+/// applied); they are the dispatcher's runtime estimates.
+struct JobSpec {
+  TenantId tenant = kInvalidTenant;
+  dag::Workflow workflow;
+  util::Seconds arrival = 0.0;
+};
+
+struct SimConfig {
+  SharingPolicy policy = SharingPolicy::shared;
+  /// VM rent-or-reuse rule. Only one_vm_per_task and the two StartPar kinds
+  /// are accepted (see the header comment).
+  provisioning::ProvisioningKind provisioning =
+      provisioning::ProvisioningKind::start_par_not_exceed;
+  cloud::InstanceSize vm_size = cloud::InstanceSize::small;
+  /// Deficit-round-robin quantum in estimated-execution seconds credited
+  /// per tenant per dispatch round (scaled by weight under weighted_fair).
+  util::Seconds drr_quantum = 3600.0;
+  /// Runtime-estimate error (sim::RuntimeErrorModel's sigma); 0 = actual
+  /// runtimes equal the estimates.
+  double sigma = 0.0;
+  /// Seed for the per-job actual-runtime draws (split per job, so a job's
+  /// actuals do not depend on how many jobs precede it).
+  std::uint64_t actuals_seed = 0x7e2013;
+};
+
+struct JobResult {
+  /// Per-task placements, indexed by the job's local task ids.
+  std::vector<sim::Assignment> tasks;
+  /// The actual (error-perturbed) reference works execution used.
+  std::vector<util::Seconds> actual_works;
+  /// Latest task finish (>= arrival).
+  util::Seconds completion = 0.0;
+};
+
+struct TenantStats {
+  std::size_t jobs = 0;
+  std::size_t tasks = 0;
+  std::size_t vms_rented = 0;
+  /// Dispatch attempts deferred because the tenant sat at its quota.
+  std::size_t quota_deferrals = 0;
+  /// Task-occupied seconds across the pool.
+  util::Seconds busy = 0.0;
+  /// Sum over jobs of (completion - arrival) — per-tenant flow time.
+  util::Seconds total_flow = 0.0;
+};
+
+struct MultiTenantResult {
+  SimConfig config;
+  cloud::VmPool pool;
+  std::vector<JobResult> jobs;          ///< parallel to the input span
+  std::vector<TenantStats> tenants;     ///< indexed by TenantId
+  std::vector<TenantId> vm_owner;       ///< renting tenant per VmId
+  /// Global task-id base per job: pool placements carry base[j] + local id,
+  /// so concurrent jobs never collide on the shared timeline.
+  std::vector<dag::TaskId> task_base;
+  util::Seconds makespan = 0.0;
+  std::size_t dispatched = 0;
+
+  /// Job index owning a pool placement's global task id.
+  [[nodiscard]] std::size_t job_of(dag::TaskId global) const;
+  /// The tenant owning that global task id (via the job).
+  [[nodiscard]] TenantId tenant_of(dag::TaskId global,
+                                   std::span<const JobSpec> jobs_in) const;
+};
+
+/// Runs the shared-pool simulation to completion. Deterministic in
+/// (registry, jobs, platform, cfg). Throws std::invalid_argument on an
+/// AllPar provisioning kind, an empty registry/job list, an unknown tenant
+/// id, a negative arrival, a non-positive quantum, or an invalid workflow.
+[[nodiscard]] MultiTenantResult run_shared_pool(const TenantRegistry& registry,
+                                                std::span<const JobSpec> jobs,
+                                                const cloud::Platform& platform,
+                                                const SimConfig& cfg);
+
+/// Exponential inter-arrival times with rate `lambda` per second: `count`
+/// arrival instants, strictly increasing from 0. Deterministic in `rng`.
+[[nodiscard]] std::vector<util::Seconds> poisson_arrivals(std::size_t count,
+                                                          double lambda,
+                                                          util::Rng& rng);
+
+}  // namespace cloudwf::tenant

@@ -1,0 +1,41 @@
+#include "tenant/tenant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::tenant {
+
+std::optional<SharingPolicy> parse_policy(std::string_view name) noexcept {
+  for (const SharingPolicy p : kAllSharingPolicies)
+    if (name == name_of(p)) return p;
+  return std::nullopt;
+}
+
+TenantId TenantRegistry::add(TenantSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("TenantRegistry::add: empty tenant name");
+  if (find(spec.name))
+    throw std::invalid_argument("TenantRegistry::add: duplicate tenant name '" +
+                                spec.name + "'");
+  if (!(spec.weight > 0.0) || !std::isfinite(spec.weight))
+    throw std::invalid_argument(
+        "TenantRegistry::add: weight must be positive and finite");
+  if (spec.max_running == 0)
+    throw std::invalid_argument("TenantRegistry::add: zero quota");
+  tenants_.push_back(std::move(spec));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+const TenantSpec& TenantRegistry::spec(TenantId id) const {
+  if (id >= tenants_.size())
+    throw std::out_of_range("TenantRegistry::spec: bad id");
+  return tenants_[id];
+}
+
+std::optional<TenantId> TenantRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i)
+    if (tenants_[i].name == name) return static_cast<TenantId>(i);
+  return std::nullopt;
+}
+
+}  // namespace cloudwf::tenant

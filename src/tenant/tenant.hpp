@@ -1,0 +1,89 @@
+// TenantRegistry: the multi-tenant platform's account book — tenant ids,
+// fair-share weights and concurrency quotas — plus the resource-sharing
+// policy menu the shared-pool simulator runs under.
+//
+// The paper evaluates provisioning strategies for a single workflow owner;
+// the multi-tenant layer runs N tenants' workflow arrivals against ONE
+// cloud::VmPool (Hilman et al.'s Workflow-as-a-Service regime, PAPERS.md).
+// A tenant is a stable id with a human-readable unique name, a weight used
+// by the deficit-weighted round-robin dispatcher, and a quota capping how
+// many of its tasks may run concurrently (== VMs it occupies at once).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudwf::tenant {
+
+using TenantId = std::uint32_t;
+inline constexpr TenantId kInvalidTenant =
+    std::numeric_limits<TenantId>::max();
+
+/// How the shared VM pool is carved up between tenants:
+///   exclusive     — partitioned baseline: a tenant only ever reuses VMs it
+///                   rented itself (no cross-tenant reuse); weights ignored;
+///   shared        — cross-tenant idle-VM reuse: any tenant may append to
+///                   any VM (the warm-pool win); weights ignored;
+///   weighted_fair — cross-tenant reuse + deficit-weighted round-robin
+///                   dispatch by registry weight, with per-tenant
+///                   concurrency quotas as the fairness backstop.
+enum class SharingPolicy : std::uint8_t {
+  exclusive = 0,
+  shared = 1,
+  weighted_fair = 2,
+};
+
+inline constexpr std::array<SharingPolicy, 3> kAllSharingPolicies = {
+    SharingPolicy::exclusive, SharingPolicy::shared,
+    SharingPolicy::weighted_fair};
+
+[[nodiscard]] constexpr std::string_view name_of(SharingPolicy p) noexcept {
+  constexpr std::array<std::string_view, 3> names = {"exclusive", "shared",
+                                                     "weighted-fair"};
+  return names[static_cast<std::size_t>(p)];
+}
+
+/// Parses a policy name as printed by name_of; nullopt on anything else.
+[[nodiscard]] std::optional<SharingPolicy> parse_policy(
+    std::string_view name) noexcept;
+
+struct TenantSpec {
+  std::string name;
+  /// Fair-share weight (> 0) for the weighted_fair dispatcher.
+  double weight = 1.0;
+  /// Max tasks of this tenant running at any instant (>= 1); each running
+  /// task occupies one VM, so this is also the tenant's concurrency cap on
+  /// the shared pool. Unlimited by default.
+  std::size_t max_running = std::numeric_limits<std::size_t>::max();
+};
+
+class TenantRegistry {
+ public:
+  /// Registers a tenant and returns its id (== registration order).
+  /// Throws std::invalid_argument on an empty or duplicate name, a
+  /// non-positive/non-finite weight, or a zero quota.
+  TenantId add(TenantSpec spec);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tenants_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tenants_.empty(); }
+
+  /// Throws std::out_of_range on an unknown id.
+  [[nodiscard]] const TenantSpec& spec(TenantId id) const;
+
+  /// Id for a registered name; nullopt when absent.
+  [[nodiscard]] std::optional<TenantId> find(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<TenantSpec>& specs() const noexcept {
+    return tenants_;
+  }
+
+ private:
+  std::vector<TenantSpec> tenants_;
+};
+
+}  // namespace cloudwf::tenant

@@ -1,0 +1,127 @@
+// Oracle certification of the dispatch-time simulators' billing: run_online
+// and run_elastic make rent/stop decisions mid-run (a reused VM can sit
+// idle past a paid-BTU boundary, which is a stop + re-rent in the billing
+// replay), and every schedule they emit must satisfy the full invariant
+// set — session segmentation included.
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "dag/builders.hpp"
+#include "dag/generators.hpp"
+#include "scheduling/online_dispatch.hpp"
+#include "sim/elastic.hpp"
+#include "sim/online.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::check {
+namespace {
+
+using provisioning::ProvisioningKind;
+
+dag::Workflow pareto_montage() {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(dag::builders::montage24(), cfg);
+}
+
+dag::Workflow layered(std::uint64_t seed, workload::ScenarioKind kind) {
+  dag::generators::LayeredConfig cfg;
+  cfg.levels = 7;
+  cfg.max_width = 6;
+  util::Rng rng(seed);
+  dag::Workflow wf = dag::generators::random_layered(cfg, rng);
+  workload::ScenarioConfig scenario;
+  scenario.kind = kind;
+  scenario.seed = seed;
+  return workload::apply_scenario(wf, scenario);
+}
+
+/// The workflow as it actually ran: online dispatch executes tasks for
+/// their actual (error-perturbed) durations, so the oracle must audit
+/// against the actual works, not the estimates.
+dag::Workflow with_actual_works(const dag::Workflow& wf,
+                                std::span<const util::Seconds> actuals) {
+  dag::Workflow out = wf;
+  for (dag::TaskId t = 0; t < out.task_count(); ++t)
+    out.task(t).work = actuals[t];
+  return out;
+}
+
+TEST(DispatchBilling, OnlineSchedulesPassTheOracle) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow workflows[] = {
+      pareto_montage(), layered(31, workload::ScenarioKind::pareto),
+      layered(32, workload::ScenarioKind::data_intensive)};
+  constexpr ProvisioningKind kinds[] = {
+      ProvisioningKind::one_vm_per_task, ProvisioningKind::start_par_not_exceed,
+      ProvisioningKind::start_par_exceed, ProvisioningKind::all_par_not_exceed,
+      ProvisioningKind::all_par_exceed};
+  for (const dag::Workflow& wf : workflows) {
+    for (const ProvisioningKind kind : kinds) {
+      for (const double sigma : {0.0, 0.3}) {
+        util::Rng rng(0xd15b111 ^ static_cast<std::uint64_t>(kind));
+        const auto actuals =
+            sim::RuntimeErrorModel{sigma}.sample_actual_works(wf, rng);
+        const scheduling::OnlineResult result = scheduling::run_online(
+            wf, platform, kind, cloud::InstanceSize::small, actuals);
+        const dag::Workflow ran = with_actual_works(wf, actuals);
+        const OracleReport report =
+            check_schedule(ran, result.schedule, platform);
+        EXPECT_TRUE(report.ok())
+            << wf.name() << "/" << provisioning::name_of(kind)
+            << "/sigma=" << sigma << "\n"
+            << report.to_string();
+      }
+    }
+  }
+}
+
+TEST(DispatchBilling, ElasticSchedulesPassTheOracle) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const dag::Workflow workflows[] = {
+      pareto_montage(), layered(33, workload::ScenarioKind::pareto)};
+  for (const dag::Workflow& wf : workflows) {
+    for (const std::size_t max_pool : {2u, 8u, 32u}) {
+      sim::ElasticPolicy policy;
+      policy.max_pool = max_pool;
+      const sim::ElasticResult result = sim::run_elastic(wf, platform, policy);
+      const OracleReport report =
+          check_schedule(wf, result.schedule, platform);
+      EXPECT_TRUE(report.ok()) << wf.name() << "/max_pool=" << max_pool << "\n"
+                               << report.to_string();
+    }
+  }
+}
+
+// Engineered mid-run stop + re-rent: a huge cross-VM transfer parks the
+// reused VM idle past its paid-BTU boundary, so its timeline bills two
+// sessions. The oracle's independent rent/stop replay must agree with the
+// pool's session accounting — this is the invariant that would catch a
+// dispatcher billing continuation where the paper's model re-rents.
+TEST(DispatchBilling, MidRunReRentBillsTwoSessionsAndPassesOracle) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf("re-rent");
+  const dag::TaskId big = wf.add_task("big", 300.0);
+  const dag::TaskId slow = wf.add_task("slow", 200.0, /*output_data=*/600.0);
+  const dag::TaskId join = wf.add_task("join", 50.0);
+  wf.add_edge(big, join, 0.0);
+  wf.add_edge(slow, join);  // 600 GB off-VM: hours of transfer
+
+  std::vector<util::Seconds> actuals = {300.0, 200.0, 50.0};
+  const scheduling::OnlineResult result =
+      scheduling::run_online(wf, platform, ProvisioningKind::start_par_exceed,
+                             cloud::InstanceSize::small, actuals);
+
+  // Entry tasks rent their own VMs; `join` reuses the busiest (big's VM)
+  // and must wait for slow's data, landing far past the paid window.
+  ASSERT_EQ(result.schedule.pool().size(), 2u);
+  const sim::Assignment& a = result.schedule.assignment(join);
+  EXPECT_EQ(a.vm, result.schedule.assignment(big).vm);
+  EXPECT_GT(a.start, result.schedule.assignment(big).end + 3600.0);
+  EXPECT_EQ(result.schedule.pool().vm(a.vm).btus(), 2);
+
+  const OracleReport report = check_schedule(wf, result.schedule, platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace cloudwf::check

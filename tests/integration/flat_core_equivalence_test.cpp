@@ -10,10 +10,13 @@
 #include <vector>
 
 #include "cloud/vm.hpp"
+#include "dag/generators.hpp"
 #include "exp/experiment.hpp"
+#include "provisioning/policy.hpp"
 #include "scheduling/factory.hpp"
 #include "scheduling/upgrade.hpp"
 #include "sim/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace cloudwf {
 namespace {
@@ -21,6 +24,15 @@ namespace {
 struct IndexVerificationGuard {
   IndexVerificationGuard() { cloud::VmPool::set_index_verification(true); }
   ~IndexVerificationGuard() { cloud::VmPool::set_index_verification(false); }
+};
+
+struct ScanVerificationGuard {
+  ScanVerificationGuard() {
+    provisioning::PlacementContext::set_scan_verification(true);
+  }
+  ~ScanVerificationGuard() {
+    provisioning::PlacementContext::set_scan_verification(false);
+  }
 };
 
 TEST(FlatCoreEquivalence, AllStrategiesOnAllWorkflowsUnderIndexVerification) {
@@ -45,6 +57,30 @@ TEST(FlatCoreEquivalence, AllStrategiesOnAllWorkflowsUnderIndexVerification) {
       EXPECT_EQ(one.relative.gain_pct, all[i].relative.gain_pct) << at;
       EXPECT_EQ(one.relative.loss_pct, all[i].relative.loss_pct) << at;
     }
+  }
+}
+
+// The AllPar candidate heap (PlacementContext::best_parallel_reuse) must
+// return exactly the linear reuse_order() walk's first admissible VM on
+// every query the schedulers issue. Scan-verification mode cross-checks
+// each answer in place; the paper workflows cover the level-by-level query
+// stream and the wide random DAGs cover HEFT's level-interleaved one.
+TEST(FlatCoreEquivalence, AllParCandidateHeapMatchesLinearScan) {
+  const ScanVerificationGuard guard;
+  const exp::ExperimentRunner runner;
+
+  for (const dag::Workflow& structure : exp::paper_workflows())
+    (void)runner.run_all(structure, workload::ScenarioKind::pareto);
+
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    util::Rng rng(seed);
+    dag::generators::LayeredConfig cfg;
+    cfg.levels = 8;
+    cfg.max_width = 24;  // wide levels: the scan's quadratic regime
+    dag::Workflow wf = dag::generators::random_layered(cfg, rng);
+    for (const auto kind : {workload::ScenarioKind::pareto,
+                            workload::ScenarioKind::data_intensive})
+      (void)runner.run_all(wf, kind);
   }
 }
 

@@ -1,0 +1,202 @@
+#include "tenant/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dag/builders.hpp"
+#include "tenant/shared_pool.hpp"
+#include "util/units.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::tenant {
+namespace {
+
+TenantRegistry abc_registry() {
+  TenantRegistry reg;
+  (void)reg.add({.name = "a", .weight = 1.0});
+  (void)reg.add({.name = "b", .weight = 3.0});
+  (void)reg.add({.name = "c", .weight = 2.0});
+  return reg;
+}
+
+/// tenant_of for hand-built pools: task id / 100 is the tenant.
+TenantId by_century(dag::TaskId t) { return static_cast<TenantId>(t / 100); }
+
+TEST(BillingAttributor, SplitsOneVmExactlyByWeightedShare) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const TenantRegistry reg = abc_registry();
+  cloud::VmPool pool;
+  const cloud::VmId id =
+      pool.rent(cloud::InstanceSize::small, platform.default_region_id()).id();
+  // One 1-BTU session, mostly idle: tenant a busy 10 s, tenant b busy 30 s.
+  pool.place(id, 0, 0.0, 10.0);
+  pool.place(id, 100, 10.0, 40.0);
+
+  const BillingBreakdown out =
+      attribute_billing(pool, platform.regions(), reg, by_century);
+  const util::Money total = pool.rental_cost(platform.regions());
+  EXPECT_EQ(out.total, total);
+  EXPECT_EQ(out.bills[0].cost + out.bills[1].cost, total);
+  EXPECT_EQ(out.bills[2].cost, util::Money{});  // never touched the pool
+
+  EXPECT_DOUBLE_EQ(out.bills[0].busy, 10.0);
+  EXPECT_DOUBLE_EQ(out.bills[1].busy, 30.0);
+  // idle = 3600 - 40 split 1:3 between a and b.
+  EXPECT_DOUBLE_EQ(out.bills[0].idle_share, 3560.0 * 0.25);
+  EXPECT_DOUBLE_EQ(out.bills[1].idle_share, 3560.0 * 0.75);
+  EXPECT_EQ(out.bills[0].vms_touched, 1u);
+  EXPECT_EQ(out.bills[2].vms_touched, 0u);
+  // b's share (30 + 2670) dwarfs a's (10 + 890): the bill must reflect it.
+  EXPECT_GT(out.bills[1].cost, out.bills[0].cost);
+}
+
+// A VM whose rental is idle-heavy across a re-rent boundary: the placement
+// at 2 x kBtu starts past the first session's paid window, so the replay
+// opens a second session. Both BTUs must still be fully attributed.
+TEST(BillingAttributor, IdleOnlyBtusAreStillSplitExactly) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const TenantRegistry reg = abc_registry();
+  cloud::VmPool pool;
+  const cloud::VmId id =
+      pool.rent(cloud::InstanceSize::large, platform.default_region_id()).id();
+  pool.place(id, 0, 0.0, 5.0);
+  pool.place(id, 100, 2.0 * util::kBtu, 2.0 * util::kBtu + 5.0);
+  ASSERT_EQ(pool.vm(id).btus(), 2);
+
+  const BillingBreakdown out =
+      attribute_billing(pool, platform.regions(), reg, by_century);
+  EXPECT_EQ(out.total, pool.rental_cost(platform.regions()));
+  EXPECT_EQ(out.bills[0].cost + out.bills[1].cost + out.bills[2].cost,
+            out.total);
+  // 7190 of 7210 paid seconds are idle; busy is 10 in total.
+  EXPECT_DOUBLE_EQ(out.bills[0].busy + out.bills[1].busy, 10.0);
+  EXPECT_DOUBLE_EQ(out.bills[0].idle_share + out.bills[1].idle_share,
+                   pool.vm(id).idle_time());
+}
+
+// Boundary placements: ending exactly on the BTU edge stays one BTU;
+// starting exactly at the paid end extends the session (no re-rent);
+// starting just past it opens a new one. Attribution recomposes in all
+// three shapes.
+TEST(BillingAttributor, BtuBoundaryShapesRecompose) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const TenantRegistry reg = abc_registry();
+
+  const auto check_exact = [&](const cloud::VmPool& pool) {
+    const BillingBreakdown out =
+        attribute_billing(pool, platform.regions(), reg, by_century);
+    EXPECT_EQ(out.total, pool.rental_cost(platform.regions()));
+    util::Money sum;
+    for (const TenantBill& b : out.bills) sum += b.cost;
+    EXPECT_EQ(sum, out.total);
+  };
+
+  {
+    cloud::VmPool pool;  // ends exactly on the edge: 1 BTU
+    const cloud::VmId id = pool.rent(cloud::InstanceSize::small,
+                                     platform.default_region_id()).id();
+    pool.place(id, 0, 0.0, util::kBtu);
+    ASSERT_EQ(pool.vm(id).btus(), 1);
+    check_exact(pool);
+  }
+  {
+    cloud::VmPool pool;  // next task starts at the paid end: extends to 2
+    const cloud::VmId id = pool.rent(cloud::InstanceSize::small,
+                                     platform.default_region_id()).id();
+    pool.place(id, 0, 0.0, 100.0);
+    pool.place(id, 100, util::kBtu, util::kBtu + 100.0);
+    ASSERT_EQ(pool.vm(id).btus(), 2);
+    check_exact(pool);
+  }
+  {
+    cloud::VmPool pool;  // starts past the paid end: stop + re-rent, still 2
+    const cloud::VmId id = pool.rent(cloud::InstanceSize::small,
+                                     platform.default_region_id()).id();
+    pool.place(id, 0, 0.0, 100.0);
+    pool.place(id, 100, util::kBtu + 50.0, util::kBtu + 150.0);
+    ASSERT_EQ(pool.vm(id).btus(), 2);
+    check_exact(pool);
+  }
+}
+
+TEST(BillingAttributor, UnusedVmsAndUnusedTenantsCostNothing) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const TenantRegistry reg = abc_registry();
+  cloud::VmPool pool;
+  const cloud::VmId used =
+      pool.rent(cloud::InstanceSize::small, platform.default_region_id()).id();
+  (void)pool.rent(cloud::InstanceSize::xlarge, platform.default_region_id());
+  pool.place(used, 200, 0.0, 50.0);  // only tenant c computes
+
+  const BillingBreakdown out =
+      attribute_billing(pool, platform.regions(), reg, by_century);
+  EXPECT_EQ(out.total, pool.rental_cost(platform.regions()));
+  EXPECT_EQ(out.bills[0].cost, util::Money{});
+  EXPECT_EQ(out.bills[1].cost, util::Money{});
+  EXPECT_EQ(out.bills[2].cost, out.total);
+  EXPECT_EQ(out.bills[2].vms_touched, 1u);
+}
+
+TEST(BillingAttributor, RejectsBadInputs) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  cloud::VmPool pool;
+  const cloud::VmId id =
+      pool.rent(cloud::InstanceSize::small, platform.default_region_id()).id();
+  pool.place(id, 0, 0.0, 10.0);
+
+  TenantRegistry empty;
+  EXPECT_THROW(
+      (void)attribute_billing(pool, platform.regions(), empty, by_century),
+      std::invalid_argument);
+  TenantRegistry one;
+  (void)one.add({.name = "a"});
+  EXPECT_THROW((void)attribute_billing(pool, platform.regions(), one,
+                                       [](dag::TaskId) -> TenantId { return 7; }),
+               std::invalid_argument);
+}
+
+// End-to-end recomposition across every sharing policy on a real
+// multi-tenant run — the acceptance criterion of the subsystem.
+TEST(BillingAttributor, RecomposesAcrossPoliciesOnRealRuns) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  TenantRegistry reg = abc_registry();
+  workload::ScenarioConfig scenario;
+  std::vector<JobSpec> jobs;
+  jobs.push_back({.tenant = 0,
+                  .workflow = workload::apply_scenario(
+                      dag::builders::montage24(), scenario),
+                  .arrival = 0.0});
+  scenario.seed = 99;
+  jobs.push_back({.tenant = 1,
+                  .workflow = workload::apply_scenario(
+                      dag::builders::montage24(), scenario),
+                  .arrival = 200.0});
+  scenario.seed = 123;
+  jobs.push_back({.tenant = 2,
+                  .workflow = workload::apply_scenario(
+                      dag::builders::montage24(), scenario),
+                  .arrival = 500.0});
+
+  for (const SharingPolicy policy : kAllSharingPolicies) {
+    SimConfig cfg;
+    cfg.policy = policy;
+    cfg.sigma = 0.15;
+    const MultiTenantResult mt = run_shared_pool(reg, jobs, platform, cfg);
+    const BillingBreakdown out = attribute_billing(
+        mt.pool, platform.regions(), reg,
+        [&](dag::TaskId global) { return mt.tenant_of(global, jobs); });
+    EXPECT_EQ(out.total, mt.pool.rental_cost(platform.regions()))
+        << name_of(policy);
+    util::Money sum;
+    for (const TenantBill& b : out.bills) sum += b.cost;
+    EXPECT_EQ(sum, out.total) << name_of(policy);
+    for (const TenantBill& b : out.bills) {
+      EXPECT_GT(b.cost.micros(), 0) << name_of(policy);
+      EXPECT_GT(b.busy, 0.0) << name_of(policy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::tenant

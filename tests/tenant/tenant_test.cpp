@@ -1,0 +1,69 @@
+#include "tenant/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace cloudwf::tenant {
+namespace {
+
+TEST(TenantRegistry, AddAssignsSequentialIds) {
+  TenantRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.add({.name = "alice"}), 0u);
+  EXPECT_EQ(reg.add({.name = "bob", .weight = 2.0}), 1u);
+  EXPECT_EQ(reg.add({.name = "carol", .max_running = 4}), 2u);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.spec(1).name, "bob");
+  EXPECT_DOUBLE_EQ(reg.spec(1).weight, 2.0);
+  EXPECT_EQ(reg.spec(2).max_running, 4u);
+  EXPECT_EQ(reg.spec(0).max_running, std::numeric_limits<std::size_t>::max());
+}
+
+TEST(TenantRegistry, FindByName) {
+  TenantRegistry reg;
+  (void)reg.add({.name = "alice"});
+  (void)reg.add({.name = "bob"});
+  ASSERT_TRUE(reg.find("bob").has_value());
+  EXPECT_EQ(*reg.find("bob"), 1u);
+  EXPECT_FALSE(reg.find("mallory").has_value());
+}
+
+TEST(TenantRegistry, RejectsBadSpecs) {
+  TenantRegistry reg;
+  (void)reg.add({.name = "alice"});
+  EXPECT_THROW((void)reg.add({.name = ""}), std::invalid_argument);
+  EXPECT_THROW((void)reg.add({.name = "alice"}), std::invalid_argument);
+  EXPECT_THROW((void)reg.add({.name = "b", .weight = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.add({.name = "b", .weight = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)reg.add({.name = "b",
+                     .weight = std::numeric_limits<double>::infinity()}),
+      std::invalid_argument);
+  EXPECT_THROW((void)reg.add({.name = "b", .max_running = 0}),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);  // nothing half-registered
+}
+
+TEST(TenantRegistry, SpecThrowsOnBadId) {
+  TenantRegistry reg;
+  (void)reg.add({.name = "alice"});
+  EXPECT_THROW((void)reg.spec(1), std::out_of_range);
+  EXPECT_THROW((void)reg.spec(kInvalidTenant), std::out_of_range);
+}
+
+TEST(SharingPolicy, NamesRoundTrip) {
+  for (const SharingPolicy p : kAllSharingPolicies) {
+    const auto parsed = parse_policy(name_of(p));
+    ASSERT_TRUE(parsed.has_value()) << name_of(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_policy("round-robin").has_value());
+  EXPECT_FALSE(parse_policy("").has_value());
+}
+
+}  // namespace
+}  // namespace cloudwf::tenant

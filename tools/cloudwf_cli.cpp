@@ -19,6 +19,10 @@
 //                   [--timeout-ms N] [--max-connections N]
 //   cloudwf check   [--cases N] [--seed N] [--threads N] [--large-tasks N]
 //                   [--json]
+//   cloudwf mtsim   [--tenants N] [--policy exclusive|shared|weighted-fair]
+//                   [--arrival lambda] [--jobs M] [--workflow <name|file>]
+//                   [--provisioning <kind>] [--sigma S] [--quota Q]
+//                   [--quantum S] [--seed N] [--json]
 //   cloudwf help
 //
 // Workflow names: montage, cstem, mapreduce, sequential, epigenomics,
@@ -49,12 +53,16 @@
 #include "exp/pareto_front.hpp"
 #include "exp/planner.hpp"
 #include "exp/report.hpp"
+#include "check/mt_oracle.hpp"
 #include "scheduling/baselines.hpp"
 #include "sim/gantt.hpp"
+#include "tenant/billing.hpp"
+#include "tenant/shared_pool.hpp"
 #include "sim/schedule_diff.hpp"
 #include "sim/validator.hpp"
 #include "sim/vm_report.hpp"
 #include "svc/server.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -92,7 +100,9 @@ Args parse_args(int argc, char** argv) {
         name == "vs" || name == "port" || name == "workers" ||
         name == "queue-depth" || name == "timeout-ms" ||
         name == "max-connections" || name == "cases" || name == "threads" ||
-        name == "large-tasks") {
+        name == "large-tasks" || name == "tenants" || name == "policy" ||
+        name == "arrival" || name == "jobs" || name == "provisioning" ||
+        name == "sigma" || name == "quota" || name == "quantum") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -468,6 +478,146 @@ int cmd_check(const Args& args) {
   return result.ok() ? 0 : 2;
 }
 
+// Multi-tenant shared-pool simulation: N tenants (weights 1..N), M jobs of
+// the same materialized workflow assigned round-robin, Poisson arrivals,
+// one shared VM pool under the chosen sharing policy. Every run is oracle-
+// checked and billed; --json emits the full deterministic result (the CI
+// determinism gate diffs two fixed-seed runs byte-for-byte).
+int cmd_mtsim(const Args& args) {
+  const std::size_t tenant_count =
+      std::stoul(args.option("tenants").value_or("3"));
+  if (tenant_count == 0) throw std::runtime_error("--tenants must be >= 1");
+  const std::string policy_name = args.option("policy").value_or("shared");
+  const std::optional<tenant::SharingPolicy> policy =
+      tenant::parse_policy(policy_name);
+  if (!policy)
+    throw std::runtime_error("unknown policy '" + policy_name +
+                             "' (exclusive|shared|weighted-fair)");
+  const double lambda = std::stod(args.option("arrival").value_or("0.002"));
+  if (lambda <= 0.0) throw std::runtime_error("--arrival must be > 0");
+  const std::size_t job_count =
+      std::stoul(args.option("jobs").value_or(std::to_string(2 * tenant_count)));
+  const std::uint64_t seed = std::stoull(args.option("seed").value_or("0"));
+
+  tenant::SimConfig cfg;
+  cfg.policy = *policy;
+  cfg.sigma = std::stod(args.option("sigma").value_or("0"));
+  cfg.actuals_seed = 0x7e2013u ^ seed;
+  if (const auto quantum = args.option("quantum"))
+    cfg.drr_quantum = std::stod(*quantum);
+  if (const auto prov = args.option("provisioning")) {
+    bool found = false;
+    for (const provisioning::ProvisioningKind kind :
+         {provisioning::ProvisioningKind::one_vm_per_task,
+          provisioning::ProvisioningKind::start_par_not_exceed,
+          provisioning::ProvisioningKind::start_par_exceed}) {
+      if (*prov == provisioning::name_of(kind)) {
+        cfg.provisioning = kind;
+        found = true;
+      }
+    }
+    if (!found)
+      throw std::runtime_error(
+          "unknown provisioning '" + *prov +
+          "' (OneVMperTask|StartParNotExceed|StartParExceed)");
+  }
+
+  tenant::TenantRegistry registry;
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    tenant::TenantSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.weight = static_cast<double>(i + 1);  // distinct fair-share weights
+    if (const auto quota = args.option("quota"))
+      spec.max_running = std::stoul(*quota);
+    registry.add(std::move(spec));
+  }
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow wf = materialize_or_keep(
+      runner, resolve_workflow(args.option("workflow").value_or("montage")),
+      args);
+
+  util::Rng arrival_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const std::vector<util::Seconds> arrivals =
+      tenant::poisson_arrivals(job_count, lambda, arrival_rng);
+  std::vector<tenant::JobSpec> jobs;
+  jobs.reserve(job_count);
+  for (std::size_t j = 0; j < job_count; ++j)
+    jobs.push_back({static_cast<tenant::TenantId>(j % tenant_count), wf,
+                    arrivals[j]});
+
+  const tenant::MultiTenantResult result =
+      tenant::run_shared_pool(registry, jobs, runner.platform(), cfg);
+  const check::OracleReport report =
+      check::check_multi_tenant(registry, jobs, result, runner.platform());
+  const tenant::BillingBreakdown billing = tenant::attribute_billing(
+      result.pool, runner.platform().regions(), registry,
+      [&](dag::TaskId global) { return result.tenant_of(global, jobs); });
+
+  if (args.flag("json")) {
+    util::Json body = util::Json::object();
+    util::Json config = util::Json::object();
+    config["tenants"] = static_cast<std::int64_t>(tenant_count);
+    config["policy"] = std::string(tenant::name_of(cfg.policy));
+    config["provisioning"] =
+        std::string(provisioning::name_of(cfg.provisioning));
+    config["arrival"] = lambda;
+    config["jobs"] = static_cast<std::int64_t>(job_count);
+    config["workflow"] = std::string(wf.name());
+    config["sigma"] = cfg.sigma;
+    config["seed"] = static_cast<std::int64_t>(seed);
+    body["config"] = std::move(config);
+    body["makespan_s"] = result.makespan;
+    body["dispatched"] = static_cast<std::int64_t>(result.dispatched);
+    body["pool_vms"] = static_cast<std::int64_t>(result.pool.size());
+    body["rental_cost_micros"] = billing.total.micros();
+    body["oracle_ok"] = report.ok();
+    util::Json rows = util::Json::array();
+    for (tenant::TenantId id = 0; id < registry.size(); ++id) {
+      const tenant::TenantStats& stats = result.tenants[id];
+      const tenant::TenantBill& bill = billing.bills[id];
+      util::Json row = util::Json::object();
+      row["name"] = registry.spec(id).name;
+      row["weight"] = registry.spec(id).weight;
+      row["jobs"] = static_cast<std::int64_t>(stats.jobs);
+      row["tasks"] = static_cast<std::int64_t>(stats.tasks);
+      row["vms_rented"] = static_cast<std::int64_t>(stats.vms_rented);
+      row["quota_deferrals"] =
+          static_cast<std::int64_t>(stats.quota_deferrals);
+      row["busy_s"] = stats.busy;
+      row["flow_s"] = stats.total_flow;
+      row["bill_micros"] = bill.cost.micros();
+      row["idle_share_s"] = bill.idle_share;
+      rows.push_back(std::move(row));
+    }
+    body["tenants_detail"] = std::move(rows);
+    std::cout << body.dump() << '\n';
+    return report.ok() ? 0 : 2;
+  }
+
+  std::cout << "mtsim: " << tenant_count << " tenants, " << job_count
+            << " jobs of " << wf.name() << " (" << wf.task_count()
+            << " tasks each), policy " << tenant::name_of(cfg.policy)
+            << ", provisioning " << provisioning::name_of(cfg.provisioning)
+            << ", lambda " << lambda << "/s\n"
+            << "  makespan    " << result.makespan << " s\n"
+            << "  pool        " << result.pool.size() << " VMs, rental "
+            << billing.total.to_string() << '\n'
+            << "  oracle      " << (report.ok() ? "ok" : "VIOLATIONS") << '\n';
+  for (tenant::TenantId id = 0; id < registry.size(); ++id) {
+    const tenant::TenantStats& stats = result.tenants[id];
+    const tenant::TenantBill& bill = billing.bills[id];
+    std::cout << "  " << registry.spec(id).name << " (w="
+              << registry.spec(id).weight << "): " << stats.jobs << " jobs, "
+              << stats.tasks << " tasks, " << stats.vms_rented
+              << " VMs rented, busy " << stats.busy << " s, flow "
+              << stats.total_flow << " s, bill " << bill.cost.to_string()
+              << " (" << stats.quota_deferrals << " quota deferrals)\n";
+  }
+  if (!report.ok()) std::cout << report.to_string() << '\n';
+  return report.ok() ? 0 : 2;
+}
+
 // Every subcommand, one per line, in dispatch order — `help`, `run`,
 // `serve` and `trace` all come from this single table so the listing can
 // not drift out of sync with what main() accepts.
@@ -486,6 +636,8 @@ constexpr const char* kUsage =
     "  trace      run one strategy with obs tracing (--workflow, --strategy)\n"
     "  serve      long-running HTTP simulation service (--port, --workers)\n"
     "  check      randomized differential + oracle sweep (--cases, --seed)\n"
+    "  mtsim      multi-tenant shared-pool simulation (--tenants, --policy,\n"
+    "             --arrival, --jobs, --quota; oracle-checked and billed)\n"
     "  help       this listing\n"
     "\n"
     "see the header of tools/cloudwf_cli.cpp for per-command options\n";
@@ -506,6 +658,7 @@ int main(int argc, char** argv) {
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "check") return cmd_check(args);
+    if (args.command == "mtsim") return cmd_mtsim(args);
     if (args.command == "help" || args.command == "--help") {
       std::cout << kUsage;  // asked-for help goes to stdout and succeeds
       return 0;

@@ -4,8 +4,8 @@
 //                [--concurrency 4] [--mode closed|open] [--rate 200]
 //                [--endpoint evaluate|rank|health|mix]
 //                [--workflow montage] [--strategy AllParExceed-m]
-//                [--scenario pareto] [--seeds 100] [--tolerate-429]
-//                [--json FILE]
+//                [--scenario pareto] [--seeds 100] [--tenants N]
+//                [--tolerate-429] [--json FILE]
 //
 // Two standard load models:
 //
@@ -16,6 +16,10 @@
 //    (`--rate` req/s) regardless of completions, and latency is measured
 //    from the *scheduled* start, so queueing delay behind a slow response
 //    is charged to the result (no coordinated omission).
+//
+// --tenants N registers t0..tN-1 via POST /v1/tenants before the run and
+// cycles an X-Tenant header across the traffic (every (N+1)-th request
+// stays anonymous), exercising the multi-tenant request path under load.
 //
 // Per-request latencies feed a p50/p95/p99 report; --json writes the
 // BENCH_SERVICE.json shape tools/check_bench_regression.py gates on.
@@ -55,6 +59,7 @@ struct Options {
   std::string strategy = "AllParExceed-m";
   std::string scenario = "pareto";
   std::size_t seeds = 100;  // seed values cycle over [0, seeds)
+  std::size_t tenants = 0;  // 0 = all-anonymous traffic
   bool tolerate_429 = false;
   std::string json_path;
 };
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
     else if (arg == "--strategy") opt.strategy = value();
     else if (arg == "--scenario") opt.scenario = value();
     else if (arg == "--seeds") opt.seeds = std::stoul(value());
+    else if (arg == "--tenants") opt.tenants = std::stoul(value());
     else if (arg == "--tolerate-429") opt.tolerate_429 = true;
     else if (arg == "--json") opt.json_path = value();
     else {
@@ -122,7 +128,7 @@ int main(int argc, char** argv) {
                    "  [--concurrency C] [--mode closed|open] [--rate R]\n"
                    "  [--endpoint evaluate|rank|health|stats|mix]\n"
                    "  [--workflow W] [--strategy S] [--scenario K] [--seeds N]\n"
-                   "  [--tolerate-429] [--json FILE]\n";
+                   "  [--tenants N] [--tolerate-429] [--json FILE]\n";
       return 2;
     }
   }
@@ -136,6 +142,29 @@ int main(int argc, char** argv) {
   }
   if (opt.concurrency == 0) opt.concurrency = 1;
   if (opt.concurrency > opt.requests) opt.concurrency = opt.requests;
+
+  // Tenant names cycled into X-Tenant headers; index `opt.tenants` (the
+  // last slot of the cycle) means "send anonymously".
+  std::vector<std::string> tenant_names;
+  for (std::size_t i = 0; i < opt.tenants; ++i)
+    tenant_names.push_back("t" + std::to_string(i));
+  if (!tenant_names.empty()) {
+    HttpClient admin;
+    if (!admin.connect(opt.host, opt.port)) {
+      std::cerr << "error: cannot connect to register tenants\n";
+      return 1;
+    }
+    for (const std::string& name : tenant_names) {
+      const auto response = admin.request("POST", "/v1/tenants",
+                                          R"({"name":")" + name + R"("})");
+      // 400 means the name is already registered (reusing a live server
+      // across runs) — that's fine; anything else is a hard failure.
+      if (!response || (response->status != 201 && response->status != 400)) {
+        std::cerr << "error: registering tenant " << name << " failed\n";
+        return 1;
+      }
+    }
+  }
 
   const bool open_loop = opt.mode == "open";
   std::vector<WorkerResult> results(opt.concurrency);
@@ -172,8 +201,14 @@ int main(int argc, char** argv) {
           begin = scheduled;
         }
 
+        std::vector<std::pair<std::string, std::string>> headers;
+        if (!tenant_names.empty()) {
+          const std::size_t slot = index % (tenant_names.size() + 1);
+          if (slot < tenant_names.size())
+            headers.emplace_back("X-Tenant", tenant_names[slot]);
+        }
         const std::optional<HttpResponse> response =
-            client.request(spec.method, spec.target, spec.body);
+            client.request(spec.method, spec.target, spec.body, headers);
         const double ms =
             std::chrono::duration<double, std::milli>(Clock::now() - begin)
                 .count();
