@@ -1,6 +1,7 @@
 #include "svc/batcher.hpp"
 
 #include "obs/trace.hpp"
+#include "svc/binproto.hpp"
 
 namespace cloudwf::svc {
 
@@ -27,8 +28,17 @@ std::optional<std::future<HttpResponse>> Batcher::submit(
     if (queued_ >= cfg_.max_queue) return std::nullopt;  // backpressure: 429
     std::vector<QueuedRequest>& bucket = pending_[key];
     first_for_key = bucket.empty();
-    if (!first_for_key)
+    if (first_for_key) {
+      // The opening tenant enrolls the batch in its DRR deque. Later
+      // same-key arrivals (any tenant) coalesce into the bucket and ride
+      // on this entry.
+      TenantQueue& tq = tenant_queues_[request.tenant];
+      tq.weight = request.tenant_weight;
+      if (tq.keys.empty()) ring_.push_back(request.tenant);
+      tq.keys.push_back(key);
+    } else {
       counters_.requests_coalesced.fetch_add(1, std::memory_order_relaxed);
+    }
     bucket.push_back(std::move(request));
     ++queued_;
     std::uint64_t peak =
@@ -38,10 +48,13 @@ std::optional<std::future<HttpResponse>> Batcher::submit(
     }
   }
   // One pool job per batch: later same-key arrivals ride along instead of
-  // submitting their own jobs. The future is intentionally dropped —
-  // run_batch fulfils every request's promise itself and never throws.
+  // submitting their own jobs. Which waiting batch the job actually takes
+  // is decided by the DRR pick when a worker runs it, so #jobs == #batches
+  // but job order is tenant-weighted, not FCFS. The future is intentionally
+  // dropped — run_batch fulfils every request's promise itself and never
+  // throws.
   if (first_for_key)
-    static_cast<void>(pool_.submit([this, key] { run_batch(key); }));
+    static_cast<void>(pool_.submit([this] { run_batch(); }));
   return future;
 }
 
@@ -55,37 +68,89 @@ void Batcher::drain() {
   idle_.wait(lock, [this] { return queued_ == 0 && running_batches_ == 0; });
 }
 
+std::string Batcher::pick_key() {
+  // Each pass grants the front tenant `weight` credit; a whole credit buys
+  // its oldest waiting batch. Tenants leave the ring when their deque
+  // empties (deficit reset: idle tenants must not bank credit). Bounded
+  // spins guard against sub-1.0 weights starving the loop; the fallback
+  // (oldest key in map order) keeps liveness no matter what.
+  for (std::size_t spin = 0; spin < 64 + ring_.size() * 64; ++spin) {
+    if (ring_.empty()) break;
+    const tenant::TenantId id = ring_.front();
+    ring_.pop_front();
+    TenantQueue& tq = tenant_queues_[id];
+    // Keys whose bucket was already taken (possible only after a fallback
+    // pick below) are dead — discard them instead of serving air.
+    while (!tq.keys.empty() && pending_.find(tq.keys.front()) == pending_.end())
+      tq.keys.pop_front();
+    if (tq.keys.empty()) {
+      tq.deficit = 0.0;
+      continue;  // drop from the ring
+    }
+    tq.deficit += tq.weight;
+    if (tq.deficit < 1.0) {
+      ring_.push_back(id);
+      continue;
+    }
+    tq.deficit -= 1.0;
+    std::string key = std::move(tq.keys.front());
+    tq.keys.pop_front();
+    if (tq.keys.empty())
+      tq.deficit = 0.0;
+    else
+      ring_.push_back(id);
+    return key;
+  }
+  return pending_.empty() ? std::string() : pending_.begin()->first;
+}
+
 HttpResponse Batcher::answer(QueuedRequest& request, EvalCache& cache) {
   HttpResponse response;
+  const bool binary = request.binary;
+  if (binary) response.content_type = kBinaryContentType;
+  const auto error_payload = [binary](int status, const std::string& message) {
+    return binary ? bin_error_frame(status, message) : error_body(message);
+  };
+
   if (std::chrono::steady_clock::now() > request.deadline) {
     counters_.timeout_504.fetch_add(1, std::memory_order_relaxed);
     response.status = 504;
-    response.body = error_body("deadline exceeded while queued");
+    response.body = error_payload(504, "deadline exceeded while queued");
     return response;
   }
   try {
-    response.body = request.kind == QueuedRequest::Kind::evaluate
-                        ? evaluate_body(request.evaluate, platform_, &cache)
-                        : rank_body(request.rank, platform_, &cache);
+    const bool is_eval = request.kind == QueuedRequest::Kind::evaluate;
+    if (binary)
+      response.body = is_eval
+                          ? evaluate_body_bin(request.evaluate, platform_, &cache)
+                          : rank_body_bin(request.rank, platform_, &cache);
+    else
+      response.body = is_eval ? evaluate_body(request.evaluate, platform_, &cache)
+                              : rank_body(request.rank, platform_, &cache);
     counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
   } catch (const BadRequest& e) {
     counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
     response.status = 400;
-    response.body = error_body(e.what());
+    response.body = error_payload(400, e.what());
   } catch (const std::exception& e) {
     counters_.errors_500.fetch_add(1, std::memory_order_relaxed);
     response.status = 500;
-    response.body = error_body(std::string("evaluation failed: ") + e.what());
+    response.body =
+        error_payload(500, std::string("evaluation failed: ") + e.what());
   }
   return response;
 }
 
-void Batcher::run_batch(const std::string& key) {
+void Batcher::run_batch() {
+  std::string key;
   std::vector<QueuedRequest> batch;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = pending_.find(key);
+    key = pick_key();
+    auto it = pending_.find(key);
+    if (it == pending_.end() && !pending_.empty()) it = pending_.begin();
     if (it != pending_.end()) {
+      key = it->first;
       batch = std::move(it->second);
       pending_.erase(it);
       queued_ -= batch.size();
@@ -98,8 +163,16 @@ void Batcher::run_batch(const std::string& key) {
     obs::PhaseScope phase("svc: batch " + key);
     EvalCache cache;  // shared across the whole batch: coalesced requests
                       // with overlapping cells evaluate each cell once
-    for (QueuedRequest& request : batch)
-      request.promise.set_value(answer(request, cache));
+    for (QueuedRequest& request : batch) {
+      HttpResponse response = answer(request, cache);
+      if (request.on_ready) {
+        HttpResponse copy = response;
+        request.promise.set_value(std::move(response));
+        request.on_ready(std::move(copy));
+      } else {
+        request.promise.set_value(std::move(response));
+      }
+    }
   }
 
   {

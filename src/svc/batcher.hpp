@@ -16,12 +16,22 @@
 // growth and collapsing tail latency. Per-request deadlines are checked
 // when a worker picks the request up — a request that waited out its
 // deadline in the queue is answered 504 without burning compute.
+//
+// Batch pick order is tenant-weighted, not FCFS: each tenant (anonymous
+// traffic counts as one synthetic tenant) owns a deque of the batch keys
+// it opened, and a deficit-round-robin ring over the tenants decides which
+// waiting batch the next free worker takes — one credit of `weight` per
+// ring pass, one batch per whole credit. A flood of anonymous batches can
+// therefore delay a registered tenant's request by at most ~one batch per
+// ring pass instead of the whole flood (pinned by the batcher fairness
+// test).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
@@ -34,6 +44,7 @@
 #include "svc/handlers.hpp"
 #include "svc/http.hpp"
 #include "svc/protocol.hpp"
+#include "tenant/tenant.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cloudwf::svc {
@@ -59,6 +70,8 @@ struct ServiceCounters {
   std::atomic<std::uint64_t> connections_total{0};
   std::atomic<std::uint64_t> connections_rejected{0};
   std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> cache_hits{0};    ///< response-cache hits
+  std::atomic<std::uint64_t> cache_misses{0};  ///< response-cache misses
 };
 
 /// One admitted compute request waiting for a worker.
@@ -66,10 +79,18 @@ struct QueuedRequest {
   enum class Kind : std::uint8_t { evaluate, rank };
 
   Kind kind = Kind::evaluate;
+  bool binary = false;       ///< answer with a binproto frame, not JSON
   EvaluateRequest evaluate;  ///< valid when kind == evaluate
   RankRequest rank;          ///< valid when kind == rank
+  tenant::TenantId tenant = tenant::kInvalidTenant;  ///< anonymous by default
+  double tenant_weight = 1.0;  ///< DRR credit per ring pass (registry weight)
   std::chrono::steady_clock::time_point deadline;
   std::promise<HttpResponse> promise;
+  /// Optional completion hook, invoked on the worker thread right after the
+  /// promise is fulfilled, with a copy of the same response. The event loop
+  /// uses it to marshal the answer back to the owning loop without a
+  /// blocking future wait.
+  std::function<void(HttpResponse&&)> on_ready;
 };
 
 class Batcher {
@@ -101,7 +122,10 @@ class Batcher {
   void drain();
 
  private:
-  void run_batch(const std::string& key);
+  void run_batch();
+  /// Deficit-weighted choice of the next batch key (mutex_ held). Empty
+  /// string when nothing is pending (a vacuous batch).
+  [[nodiscard]] std::string pick_key();
   [[nodiscard]] HttpResponse answer(QueuedRequest& request, EvalCache& cache);
 
   const cloud::Platform& platform_;
@@ -114,6 +138,17 @@ class Batcher {
   std::map<std::string, std::vector<QueuedRequest>> pending_;
   std::size_t queued_ = 0;          ///< sum of pending_ sizes
   std::size_t running_batches_ = 0;
+
+  /// DRR state (mutex_ held). A tenant appears in ring_ iff it has batch
+  /// keys waiting; each pending_ bucket is referenced by exactly one
+  /// tenant's deque (the tenant whose request opened it).
+  struct TenantQueue {
+    double weight = 1.0;
+    double deficit = 0.0;
+    std::deque<std::string> keys;
+  };
+  std::map<tenant::TenantId, TenantQueue> tenant_queues_;
+  std::deque<tenant::TenantId> ring_;
 };
 
 }  // namespace cloudwf::svc

@@ -85,17 +85,17 @@ util::Json run_result_json(const exp::RunResult& result, std::uint64_t seed) {
   return row;
 }
 
-std::string evaluate_body(const EvaluateRequest& request,
-                          const cloud::Platform& platform, EvalCache* cache) {
+std::vector<ResultRow> evaluate_rows(const EvaluateRequest& request,
+                                     const cloud::Platform& platform,
+                                     EvalCache* cache) {
   obs::PhaseScope phase("svc: evaluate");
   const scheduling::Strategy strategy = resolve_strategy(request.strategy);
   const dag::Workflow structure = workflow_by_name(request.workflow);
 
-  util::Json results = util::Json::array();
+  std::vector<ResultRow> rows;
+  rows.reserve(request.seed_count());
   for (std::uint64_t seed = request.seed_begin; seed <= request.seed_end;
        ++seed) {
-    const exp::RunResult* cell = nullptr;
-    exp::RunResult fresh;
     if (cache) {
       const std::string key =
           cell_key(request.workflow, request.scenario, seed, request.strategy);
@@ -105,30 +105,19 @@ std::string evaluate_body(const EvaluateRequest& request,
                  .emplace(key, evaluate_cell(platform, structure, strategy,
                                              request.scenario, seed))
                  .first;
-      cell = &it->second;
+      rows.push_back({seed, it->second});
     } else {
-      fresh =
-          evaluate_cell(platform, structure, strategy, request.scenario, seed);
-      cell = &fresh;
+      rows.push_back({seed, evaluate_cell(platform, structure, strategy,
+                                          request.scenario, seed)});
     }
-    results.push_back(run_result_json(*cell, seed));
   }
-
-  util::Json body = util::Json::object();
-  body["endpoint"] = "evaluate";
-  body["workflow"] = request.workflow;
-  body["strategy"] = request.strategy;
-  body["scenario"] = std::string(workload::name_of(request.scenario));
-  body["results"] = std::move(results);
-  return body.dump();
+  return rows;
 }
 
-std::string rank_body(const RankRequest& request,
-                      const cloud::Platform& platform, EvalCache* cache) {
+std::vector<ResultRow> rank_rows(const RankRequest& request,
+                                 const cloud::Platform& platform,
+                                 EvalCache* cache) {
   obs::PhaseScope phase("svc: rank");
-  const std::vector<exp::RunResult>* rows = nullptr;
-  std::vector<exp::RunResult> fresh;
-
   const auto compute = [&] {
     const dag::Workflow structure = workflow_by_name(request.workflow);
     workload::ScenarioConfig cfg;
@@ -141,20 +130,46 @@ std::string rank_body(const RankRequest& request,
                           exp::ParallelConfig::serial());
   };
 
+  const std::vector<exp::RunResult>* results = nullptr;
+  std::vector<exp::RunResult> fresh;
   if (cache) {
     const std::string key =
         cell_key(request.workflow, request.scenario, request.seed, "*rank*");
     auto it = cache->rank.find(key);
     if (it == cache->rank.end()) it = cache->rank.emplace(key, compute()).first;
-    rows = &it->second;
+    results = &it->second;
   } else {
     fresh = compute();
-    rows = &fresh;
+    results = &fresh;
   }
 
+  std::vector<ResultRow> rows;
+  rows.reserve(results->size());
+  for (const exp::RunResult& row : *results)
+    rows.push_back({request.seed, row});
+  return rows;
+}
+
+std::string evaluate_body(const EvaluateRequest& request,
+                          const cloud::Platform& platform, EvalCache* cache) {
   util::Json results = util::Json::array();
-  for (const exp::RunResult& row : *rows)
-    results.push_back(run_result_json(row, request.seed));
+  for (const ResultRow& row : evaluate_rows(request, platform, cache))
+    results.push_back(run_result_json(row.result, row.seed));
+
+  util::Json body = util::Json::object();
+  body["endpoint"] = "evaluate";
+  body["workflow"] = request.workflow;
+  body["strategy"] = request.strategy;
+  body["scenario"] = std::string(workload::name_of(request.scenario));
+  body["results"] = std::move(results);
+  return body.dump();
+}
+
+std::string rank_body(const RankRequest& request,
+                      const cloud::Platform& platform, EvalCache* cache) {
+  util::Json results = util::Json::array();
+  for (const ResultRow& row : rank_rows(request, platform, cache))
+    results.push_back(run_result_json(row.result, row.seed));
 
   util::Json body = util::Json::object();
   body["endpoint"] = "rank";

@@ -40,6 +40,26 @@ struct EvalCache {
 [[nodiscard]] util::Json run_result_json(const exp::RunResult& result,
                                          std::uint64_t seed);
 
+/// One evaluated cell with the seed it answers for. Both wire encoders
+/// (JSON evaluate_body/rank_body and the binary bodies in binproto.cpp)
+/// derive their responses from these rows, so the two protocols always
+/// report identical data for the same request.
+struct ResultRow {
+  std::uint64_t seed = 0;
+  exp::RunResult result;
+};
+
+/// Rows of a /v1/evaluate answer: the strategy evaluated on every seed of
+/// the request's range, in seed order.
+[[nodiscard]] std::vector<ResultRow> evaluate_rows(
+    const EvaluateRequest& request, const cloud::Platform& platform,
+    EvalCache* cache = nullptr);
+
+/// Rows of a /v1/rank answer: all 19 paper strategies in legend order.
+[[nodiscard]] std::vector<ResultRow> rank_rows(const RankRequest& request,
+                                               const cloud::Platform& platform,
+                                               EvalCache* cache = nullptr);
+
 /// Body of a /v1/evaluate response: the strategy evaluated on every seed of
 /// the request's range, in seed order.
 [[nodiscard]] std::string evaluate_body(const EvaluateRequest& request,

@@ -125,25 +125,95 @@ std::optional<HttpRequest> parse_request_head(std::string_view head,
   return req;
 }
 
+ParseResult parse_http_request(std::string_view buffer,
+                               const HttpLimits& limits) {
+  ParseResult result;
+  const auto fail = [&](ParseStatus status, std::string_view message) {
+    result.status = status;
+    result.error = std::string(message);
+    return result;
+  };
+
+  // Header block first: everything up to the blank line. An over-long
+  // prefix with no terminator in sight is rejected before more bytes are
+  // read (network input is untrusted).
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_header_bytes)
+      return fail(ParseStatus::too_large, "header block exceeds limit");
+    return result;  // need_more
+  }
+
+  std::string error;
+  std::optional<HttpRequest> head =
+      parse_request_head(buffer.substr(0, head_end + 4), &error);
+  if (!head) return fail(ParseStatus::malformed, error);
+
+  // This server only speaks explicit Content-Length. A Transfer-Encoding
+  // request must not fall through: ignoring it would leave the chunked body
+  // bytes in the buffer to be misparsed as the next pipelined request.
+  if (head->headers.count("transfer-encoding"))
+    return fail(ParseStatus::not_implemented,
+                "Transfer-Encoding is not supported (use Content-Length)");
+
+  // An empty Content-Length value is malformed, not zero — header() can't
+  // tell absent from empty, so look up the header map directly.
+  std::size_t content_length = 0;
+  if (const auto cl_it = head->headers.find("content-length");
+      cl_it != head->headers.end()) {
+    const std::string& cl = cl_it->second;
+    if (cl.empty()) return fail(ParseStatus::malformed, "invalid Content-Length");
+    for (const char c : cl) {
+      if (c < '0' || c > '9')
+        return fail(ParseStatus::malformed, "invalid Content-Length");
+      content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+      if (content_length > limits.max_body_bytes)
+        return fail(ParseStatus::too_large, "body exceeds limit");
+    }
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (buffer.size() < body_start + content_length) return result;  // need_more
+
+  result.status = ParseStatus::ok;
+  result.request = std::move(*head);
+  result.request.body = std::string(buffer.substr(body_start, content_length));
+  result.consumed = body_start + content_length;
+  return result;
+}
+
 ReadResult read_http_request(int fd, std::string& carry,
                              const HttpLimits& limits) {
   ReadResult result;
   std::string buffer = std::move(carry);
   carry.clear();
 
-  // Phase 1: accumulate until the blank line ends the header block.
-  std::size_t head_end;
-  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-    if (buffer.size() > limits.max_header_bytes) {
-      result.status = ReadStatus::too_large;
-      result.error = "header block exceeds limit";
+  for (;;) {
+    ParseResult parsed = parse_http_request(buffer, limits);
+    if (parsed.status == ParseStatus::ok) {
+      result.status = ReadStatus::ok;
+      result.request = std::move(parsed.request);
+      carry = buffer.substr(parsed.consumed);  // pipelined leftovers
       return result;
     }
-    char chunk[4096];
+    if (parsed.status != ParseStatus::need_more) {
+      result.status = parsed.status == ParseStatus::too_large
+                          ? ReadStatus::too_large
+                      : parsed.status == ParseStatus::not_implemented
+                          ? ReadStatus::not_implemented
+                          : ReadStatus::malformed;
+      result.error = std::move(parsed.error);
+      return result;
+    }
+
+    // Whether the header block has completed decides how an abrupt end of
+    // stream is reported (the error texts are part of the service's 400s).
+    const bool in_body = buffer.find("\r\n\r\n") != std::string::npos;
+    char chunk[8192];
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      result.status = ReadStatus::closed;
+      result.status = in_body ? ReadStatus::malformed : ReadStatus::closed;
       result.error = std::strerror(errno);
       return result;
     }
@@ -152,82 +222,13 @@ ReadResult read_http_request(int fd, std::string& carry,
         result.status = ReadStatus::closed;
       } else {
         result.status = ReadStatus::malformed;
-        result.error = "connection closed mid-request";
+        result.error =
+            in_body ? "connection closed mid-body" : "connection closed mid-request";
       }
       return result;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
-
-  std::string error;
-  std::optional<HttpRequest> head =
-      parse_request_head(std::string_view(buffer).substr(0, head_end + 4),
-                         &error);
-  if (!head) {
-    result.status = ReadStatus::malformed;
-    result.error = error;
-    return result;
-  }
-
-  // This server only speaks explicit Content-Length. A Transfer-Encoding
-  // request must not fall through: ignoring it would leave the chunked body
-  // bytes in the buffer to be misparsed as the next pipelined request.
-  if (head->headers.count("transfer-encoding")) {
-    result.status = ReadStatus::not_implemented;
-    result.error = "Transfer-Encoding is not supported (use Content-Length)";
-    return result;
-  }
-
-  // Phase 2: read the declared body. An empty Content-Length value is
-  // malformed, not zero — header() can't tell absent from empty, so look up
-  // the header map directly.
-  std::size_t content_length = 0;
-  if (const auto cl_it = head->headers.find("content-length");
-      cl_it != head->headers.end()) {
-    const std::string& cl = cl_it->second;
-    if (cl.empty()) {
-      result.status = ReadStatus::malformed;
-      result.error = "invalid Content-Length";
-      return result;
-    }
-    for (const char c : cl) {
-      if (c < '0' || c > '9') {
-        result.status = ReadStatus::malformed;
-        result.error = "invalid Content-Length";
-        return result;
-      }
-      content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
-      if (content_length > limits.max_body_bytes) {
-        result.status = ReadStatus::too_large;
-        result.error = "body exceeds limit";
-        return result;
-      }
-    }
-  }
-
-  const std::size_t body_start = head_end + 4;
-  while (buffer.size() < body_start + content_length) {
-    char chunk[8192];
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      result.status = ReadStatus::malformed;
-      result.error = std::strerror(errno);
-      return result;
-    }
-    if (n == 0) {
-      result.status = ReadStatus::malformed;
-      result.error = "connection closed mid-body";
-      return result;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-
-  result.status = ReadStatus::ok;
-  result.request = std::move(*head);
-  result.request.body = buffer.substr(body_start, content_length);
-  carry = buffer.substr(body_start + content_length);  // pipelined leftovers
-  return result;
 }
 
 bool write_all(int fd, std::string_view data) {
@@ -369,7 +370,8 @@ std::optional<HttpResponse> HttpClient::roundtrip(const std::string& wire) {
 std::optional<HttpResponse> HttpClient::request(
     const std::string& method, const std::string& target,
     const std::string& body,
-    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    const std::string& content_type) {
   std::string wire;
   wire.reserve(body.size() + 128);
   wire += method;
@@ -377,7 +379,9 @@ std::optional<HttpResponse> HttpClient::request(
   wire += target;
   wire += " HTTP/1.1\r\nHost: ";
   wire += host_;
-  wire += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  wire += "\r\nContent-Type: ";
+  wire += content_type;
+  wire += "\r\nContent-Length: ";
   wire += std::to_string(body.size());
   for (const auto& [name, value] : extra_headers) {
     wire += "\r\n";

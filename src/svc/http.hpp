@@ -68,6 +68,30 @@ struct HttpLimits {
   std::size_t max_body_bytes = 1024 * 1024;
 };
 
+/// Outcome of one incremental parse attempt over an in-memory buffer.
+enum class ParseStatus : std::uint8_t {
+  need_more = 0,  ///< the buffer holds a valid prefix; read more bytes
+  ok = 1,         ///< a complete request was parsed (`consumed` bytes)
+  malformed = 2,
+  too_large = 3,
+  not_implemented = 4,
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::need_more;
+  HttpRequest request;        ///< valid when status == ok
+  std::string error;          ///< human-readable detail on failure
+  std::size_t consumed = 0;   ///< bytes of the buffer this request occupied
+};
+
+/// Incremental request parser: examines `buffer` (the unconsumed inbound
+/// bytes of one connection) and either produces a complete request, asks
+/// for more bytes, or rejects the prefix. Pure function of the buffer —
+/// the event loop calls it after every read, and the blocking
+/// read_http_request is a recv() loop around it.
+[[nodiscard]] ParseResult parse_http_request(std::string_view buffer,
+                                             const HttpLimits& limits = {});
+
 /// Blocking read of one full request from `fd`. `carry` holds bytes already
 /// read past the previous request on this connection (keep-alive); leftover
 /// bytes after this request are written back into it.
@@ -102,11 +126,14 @@ class HttpClient {
   /// server closed the kept-alive connection. Returns nullopt on transport
   /// failure. `extra_headers` are emitted verbatim after the standard ones
   /// (e.g. {"X-Tenant", "alice"} for the multi-tenant endpoints).
+  /// `content_type` selects the protocol (JSON by default; the compact
+  /// binary protocol sends svc::kBinaryContentType — see svc/binproto.hpp).
   [[nodiscard]] std::optional<HttpResponse> request(
       const std::string& method, const std::string& target,
       const std::string& body = "",
       const std::vector<std::pair<std::string, std::string>>& extra_headers =
-          {});
+          {},
+      const std::string& content_type = "application/json");
 
  private:
   [[nodiscard]] std::optional<HttpResponse> roundtrip(const std::string& wire);

@@ -17,6 +17,13 @@
 // fields, type mismatches and malformed JSON all raise BadRequest, which
 // the server maps to 400 with the offending detail (and byte offset for
 // JSON syntax errors — see util::JsonParseError).
+//
+// JSON is the default wire format, not the only one: the same request
+// structs (EvaluateRequest/RankRequest) also travel as compact binary
+// frames when a request negotiates `Content-Type:
+// application/x-cloudwf-bin` — see svc/binproto.hpp. The semantic checks
+// below (known workflow, strategy label, seed-range cap) run identically
+// for both formats at the server boundary.
 #pragma once
 
 #include <cstdint>

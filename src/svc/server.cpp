@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,10 +9,61 @@
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "svc/binproto.hpp"
 #include "util/json.hpp"
 
 namespace cloudwf::svc {
+
+namespace {
+
+std::size_t resolve_loop_count(std::size_t configured) {
+  if (configured != 0) return configured;
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const std::size_t auto_loops = cores / 4;
+  return auto_loops < 1 ? 1 : (auto_loops > 4 ? 4 : auto_loops);
+}
+
+/// Semantic validation shared with the JSON path (decode_evaluate /
+/// decode_rank run it inline; binary frames arrive pre-parsed and get the
+/// same checks here so both protocols refuse identical requests).
+void validate_evaluate(const EvaluateRequest& request) {
+  validate_workflow_name(request.workflow);
+  validate_strategy_label(request.strategy);
+  if (request.seed_end < request.seed_begin)
+    throw BadRequest("'seeds' range is inverted");
+  if (request.seed_end - request.seed_begin + 1 > kMaxSeedsPerRequest)
+    throw BadRequest("'seeds' range exceeds " +
+                     std::to_string(kMaxSeedsPerRequest) +
+                     " seeds per request");
+}
+
+void validate_rank(const RankRequest& request) {
+  validate_workflow_name(request.workflow);
+}
+
+/// Cache key: the full request identity. Two requests with equal keys are
+/// guaranteed byte-identical answers (deterministic handlers).
+std::string compute_cache_key(bool binary, QueuedRequest::Kind kind,
+                              const QueuedRequest& queued) {
+  std::string key = binary ? "bin|" : "json|";
+  if (kind == QueuedRequest::Kind::evaluate) {
+    const EvaluateRequest& req = queued.evaluate;
+    key += "evaluate|" + req.workflow + '|';
+    key += workload::name_of(req.scenario);
+    key += '|' + req.strategy + '|' + std::to_string(req.seed_begin) + '-' +
+           std::to_string(req.seed_end);
+  } else {
+    const RankRequest& req = queued.rank;
+    key += "rank|" + req.workflow + '|';
+    key += workload::name_of(req.scenario);
+    key += '|' + std::to_string(req.seed);
+  }
+  return key;
+}
+
+}  // namespace
 
 Server::Server(ServerConfig config, cloud::Platform platform)
     : config_(config),
@@ -27,8 +77,9 @@ Server::~Server() { stop(); }
 void Server::start() {
   if (started_) throw std::logic_error("Server::start called twice");
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -42,7 +93,7 @@ void Server::start() {
     throw std::runtime_error("bind(port " + std::to_string(config_.port) +
                              "): " + err);
   }
-  if (::listen(fd, 128) != 0) {
+  if (::listen(fd, 256) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("listen(): " + err);
@@ -54,160 +105,232 @@ void Server::start() {
   listen_fd_ = fd;
   started_ = true;
 
-  // The server's recorder becomes the process-global one: connection threads
-  // and pool workers all fall back to it, so request phases and scheduler
+  // The server's recorder becomes the process-global one: loop threads and
+  // pool workers all fall back to it, so request phases and scheduler
   // counters accumulate for /stats.
   obs::set_global_recorder(&recorder_);
 
-  acceptor_ = std::thread([this] { accept_loop(); });
+  EventLoop::SharedCounters shared;
+  shared.connections_total = &counters_.connections_total;
+  shared.connections_active = &counters_.connections_active;
+  shared.connections_rejected = &counters_.connections_rejected;
+  shared.requests_total = &counters_.requests_total;
+  shared.bad_request_400 = &counters_.bad_request_400;
+
+  EventLoop::Config loop_cfg;
+  loop_cfg.listen_fd = listen_fd_;
+  loop_cfg.max_connections = config_.max_connections;
+  loop_cfg.counters = shared;
+
+  const std::size_t loop_count = resolve_loop_count(config_.event_loop_threads);
+  loops_.reserve(loop_count);
+  for (std::size_t i = 0; i < loop_count; ++i)
+    loops_.push_back(std::make_unique<EventLoop>(
+        loop_cfg, [this](HttpRequest&& request, HttpResponse& sync,
+                         EventLoop::Completion done) {
+          return dispatch(std::move(request), sync, std::move(done));
+        }));
+  for (auto& loop : loops_) loop->start();
 }
 
 void Server::stop() {
-  if (!started_) return;
-  if (stopping_.exchange(true)) {
-    if (acceptor_.joinable()) acceptor_.join();
-    return;
-  }
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
 
-  // 1. Stop accepting: shutdown() wakes the blocked accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
+  // 1. Every loop stops accepting, closes idle connections, answers what it
+  // already read (with Connection: close) and exits once its last in-flight
+  // completion is written out.
+  for (auto& loop : loops_) loop->request_stop();
+  for (auto& loop : loops_) loop->join();
+
+  // 2. Run every admitted batch to completion before the workers exit.
+  batcher_.drain();
+
+  // 3. Only now close the listen socket: the loops deregistered it from
+  // their epoll sets while draining, and closing it last means a connect()
+  // racing the drain is refused instead of landing on a recycled fd.
   ::close(listen_fd_);
   listen_fd_ = -1;
-
-  // 2. Wake connections parked in recv() so they notice the drain; each
-  // finishes (and answers) the request it already read.
-  {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  {
-    std::unique_lock<std::mutex> lock(connections_mutex_);
-    connections_idle_.wait(lock, [this] { return connection_fds_.empty(); });
-  }
-
-  // 3. Run every admitted batch to completion before the workers exit.
-  batcher_.drain();
 
   obs::set_global_recorder(nullptr);
 }
 
-void Server::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener shut down (stop()) or fatal: end the loop
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
-
-    bool admitted = false;
-    {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
-      if (connection_fds_.size() < config_.max_connections) {
-        connection_fds_.insert(fd);
-        admitted = true;
-      }
-    }
-    if (!admitted) {
-      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
-      HttpResponse overloaded;
-      overloaded.status = 503;
-      overloaded.body = error_body("connection limit reached");
-      overloaded.close_connection = true;
-      (void)write_all(fd, serialize_response(overloaded));
-      ::close(fd);
-      continue;
-    }
-
-    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    // Detached: stop() waits on connection_fds_ becoming empty, which each
-    // thread signals as its last act while the server is still alive.
-    std::thread([this, fd] { serve_connection(fd); }).detach();
-  }
-}
-
-void Server::serve_connection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-  std::string carry;
-  for (;;) {
-    const ReadResult read = read_http_request(fd, carry);
-    if (read.status == ReadStatus::closed) break;
-    if (read.status != ReadStatus::ok) {
-      HttpResponse bad;
-      bad.status = read.status == ReadStatus::too_large        ? 413
-                   : read.status == ReadStatus::not_implemented ? 501
-                                                                 : 400;
-      bad.body = error_body(read.error);
-      bad.close_connection = true;
-      counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
-      (void)write_all(fd, serialize_response(bad));
-      break;
-    }
-
-    counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
-    HttpResponse response = dispatch(read.request);
-    const bool draining = stopping_.load(std::memory_order_acquire);
-    response.close_connection =
-        response.close_connection || draining || !read.request.keep_alive();
-    if (!write_all(fd, serialize_response(response))) break;
-    if (response.close_connection) break;
-  }
-
-  ::close(fd);
-  {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_fds_.erase(fd);
-    counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-    // Notify while still holding the mutex: this thread is detached, and
-    // stop()'s waiter may destroy the Server the moment it sees the set
-    // empty — the lock guarantees that can't happen mid-notify.
-    connections_idle_.notify_all();
-  }
-}
-
-HttpResponse Server::dispatch(const HttpRequest& request) {
-  obs::PhaseScope phase("svc: request " + request.target);
-  HttpResponse response;
-
+bool Server::dispatch(HttpRequest&& request, HttpResponse& sync,
+                      EventLoop::Completion done) {
   if (request.target == "/health") {
     counters_.requests_health.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "GET") {
-      response.status = 405;
-      response.body = error_body("use GET for /health");
-      return response;
+      sync.status = 405;
+      sync.body = error_body("use GET for /health");
+      return true;
     }
-    response.body = health_body();
-    return response;
+    sync.body = health_body();
+    return true;
   }
   if (request.target == "/stats") {
     counters_.requests_stats.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "GET") {
-      response.status = 405;
-      response.body = error_body("use GET for /stats");
-      return response;
+      sync.status = 405;
+      sync.body = error_body("use GET for /stats");
+      return true;
     }
-    response.body = stats_body();
-    return response;
+    sync.body = stats_body();
+    return true;
   }
-  if (request.target == "/v1/tenants") return handle_tenants(request);
+  if (request.target == "/v1/tenants") {
+    sync = handle_tenants(request);
+    return true;
+  }
   if (request.target == "/v1/evaluate")
-    return handle_compute(request, QueuedRequest::Kind::evaluate);
+    return handle_compute(std::move(request), QueuedRequest::Kind::evaluate,
+                          sync, std::move(done));
   if (request.target == "/v1/rank")
-    return handle_compute(request, QueuedRequest::Kind::rank);
+    return handle_compute(std::move(request), QueuedRequest::Kind::rank, sync,
+                          std::move(done));
 
   counters_.not_found_404.fetch_add(1, std::memory_order_relaxed);
-  response.status = 404;
-  response.body = error_body(
+  sync.status = 404;
+  sync.body = error_body(
       "unknown endpoint '" + request.target +
       "' (/health, /stats, /v1/tenants, /v1/evaluate, /v1/rank)");
-  return response;
+  return true;
+}
+
+std::optional<tenant::TenantId> Server::resolve_tenant(
+    const HttpRequest& request, HttpResponse* error, double* weight) {
+  *weight = 1.0;
+  const std::string_view header = request.header("x-tenant");
+  if (header.empty()) return tenant::kInvalidTenant;  // anonymous is fine
+  const std::string name(header);
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  if (const std::optional<tenant::TenantId> id = tenants_.find(name)) {
+    *weight = tenants_.spec(*id).weight;
+    return id;
+  }
+  counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+  error->status = 400;
+  error->body = error_body("unknown tenant '" + name +
+                           "' — register it via POST /v1/tenants");
+  return std::nullopt;
+}
+
+bool Server::handle_compute(HttpRequest&& request, QueuedRequest::Kind kind,
+                            HttpResponse& sync, EventLoop::Completion done) {
+  const bool is_eval = kind == QueuedRequest::Kind::evaluate;
+  (is_eval ? counters_.requests_evaluate : counters_.requests_rank)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  const bool binary = request.header("content-type") == kBinaryContentType;
+  const auto fail = [&](int status, const std::string& message) {
+    sync.status = status;
+    if (binary) {
+      sync.content_type = kBinaryContentType;
+      sync.body = bin_error_frame(status, message);
+    } else {
+      sync.body = error_body(message);
+    }
+    return true;
+  };
+
+  if (request.method != "POST")
+    return fail(405, binary ? "use POST with a binary frame body"
+                            : "use POST with a JSON body");
+
+  double weight = 1.0;
+  const std::optional<tenant::TenantId> tid =
+      resolve_tenant(request, &sync, &weight);
+  if (!tid) {
+    // resolve_tenant filled a JSON 400; re-encode for binary clients.
+    if (binary) return fail(400, "unknown tenant — register it via POST /v1/tenants");
+    return true;
+  }
+  if (*tid != tenant::kInvalidTenant) {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    (is_eval ? tenant_usage_[*tid].evaluate : tenant_usage_[*tid].rank) += 1;
+  }
+
+  QueuedRequest queued;
+  queued.kind = kind;
+  queued.binary = binary;
+  queued.tenant = *tid;
+  queued.tenant_weight = weight;
+  try {
+    if (binary) {
+      BinFrame frame = decode_frame(request.body);
+      if (is_eval) {
+        auto* decoded = std::get_if<EvaluateRequest>(&frame);
+        if (decoded == nullptr)
+          throw BadRequest("expected an evaluate_request frame");
+        queued.evaluate = std::move(*decoded);
+        validate_evaluate(queued.evaluate);
+      } else {
+        auto* decoded = std::get_if<RankRequest>(&frame);
+        if (decoded == nullptr) throw BadRequest("expected a rank_request frame");
+        queued.rank = std::move(*decoded);
+        validate_rank(queued.rank);
+      }
+    } else {
+      const util::Json body = util::Json::parse(request.body);
+      if (is_eval) {
+        queued.evaluate = decode_evaluate(body);
+        validate_strategy_label(queued.evaluate.strategy);
+      } else {
+        queued.rank = decode_rank(body);
+      }
+    }
+  } catch (const BinProtoError& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    return fail(400, "binary frame error at offset " +
+                         std::to_string(e.offset) + ": " + e.what());
+  } catch (const util::JsonParseError& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    return fail(400, e.what());
+  } catch (const BadRequest& e) {
+    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
+    return fail(400, e.what());
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    sync.close_connection = true;
+    return fail(503, "server is draining");
+  }
+
+  // Deterministic handlers: an identical earlier answer is this answer.
+  std::string cache_key;
+  if (config_.response_cache_entries > 0) {
+    cache_key = compute_cache_key(binary, kind, queued);
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = response_cache_.find(cache_key);
+    if (it != response_cache_.end()) {
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+      sync.body = it->second.body;
+      sync.content_type = it->second.content_type;
+      return true;
+    }
+    counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  queued.deadline = std::chrono::steady_clock::now() + config_.request_timeout;
+  queued.on_ready = [this, key = std::move(cache_key),
+                     done = std::move(done)](HttpResponse&& response) mutable {
+    if (!key.empty() && response.status == 200) {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (response_cache_.size() >= config_.response_cache_entries)
+        response_cache_.clear();
+      response_cache_[key] = {response.body, response.content_type};
+    }
+    done(std::move(response));
+  };
+
+  if (!batcher_.submit(std::move(queued))) {
+    counters_.rejected_429.fetch_add(1, std::memory_order_relaxed);
+    return fail(429, "request queue full (" + std::to_string(config_.max_queue) +
+                         " waiting) — retry with backoff");
+  }
+  return false;  // the batch worker answers through on_ready -> done
 }
 
 HttpResponse Server::handle_tenants(const HttpRequest& request) {
@@ -281,91 +404,10 @@ HttpResponse Server::handle_tenants(const HttpRequest& request) {
   return response;
 }
 
-std::optional<tenant::TenantId> Server::resolve_tenant(
-    const HttpRequest& request, HttpResponse* error) {
-  const std::string_view header = request.header("x-tenant");
-  if (header.empty()) return tenant::kInvalidTenant;  // anonymous is fine
-  const std::string name(header);
-  const std::lock_guard<std::mutex> lock(tenants_mutex_);
-  if (const std::optional<tenant::TenantId> id = tenants_.find(name))
-    return id;
-  counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
-  error->status = 400;
-  error->body = error_body("unknown tenant '" + name +
-                           "' — register it via POST /v1/tenants");
-  return std::nullopt;
-}
-
-HttpResponse Server::handle_compute(const HttpRequest& request,
-                                    QueuedRequest::Kind kind) {
-  const bool is_eval = kind == QueuedRequest::Kind::evaluate;
-  (is_eval ? counters_.requests_evaluate : counters_.requests_rank)
-      .fetch_add(1, std::memory_order_relaxed);
-
-  HttpResponse response;
-  if (request.method != "POST") {
-    response.status = 405;
-    response.body = error_body("use POST with a JSON body");
-    return response;
-  }
-
-  const std::optional<tenant::TenantId> tid =
-      resolve_tenant(request, &response);
-  if (!tid) return response;  // unknown X-Tenant: 400 already filled in
-  if (*tid != tenant::kInvalidTenant) {
-    const std::lock_guard<std::mutex> lock(tenants_mutex_);
-    (is_eval ? tenant_usage_[*tid].evaluate : tenant_usage_[*tid].rank) += 1;
-  }
-
-  QueuedRequest queued;
-  queued.kind = kind;
-  try {
-    const util::Json body = util::Json::parse(request.body);
-    if (is_eval) {
-      queued.evaluate = decode_evaluate(body);
-      validate_strategy_label(queued.evaluate.strategy);
-    } else {
-      queued.rank = decode_rank(body);
-    }
-  } catch (const util::JsonParseError& e) {
-    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
-    response.status = 400;
-    response.body = error_body(e.what());
-    return response;
-  } catch (const BadRequest& e) {
-    counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);
-    response.status = 400;
-    response.body = error_body(e.what());
-    return response;
-  }
-
-  if (stopping_.load(std::memory_order_acquire)) {
-    response.status = 503;
-    response.body = error_body("server is draining");
-    response.close_connection = true;
-    return response;
-  }
-
-  queued.deadline =
-      std::chrono::steady_clock::now() + config_.request_timeout;
-  std::optional<std::future<HttpResponse>> future =
-      batcher_.submit(std::move(queued));
-  if (!future) {
-    counters_.rejected_429.fetch_add(1, std::memory_order_relaxed);
-    response.status = 429;
-    response.body = error_body(
-        "request queue full (" + std::to_string(config_.max_queue) +
-        " waiting) — retry with backoff");
-    return response;
-  }
-  // The worker always fulfils the promise (result, 4xx/5xx or the 504
-  // deadline answer), so this wait is bounded by queue drain time.
-  return future->get();
-}
-
 std::string Server::health_body() const {
   util::Json body = util::Json::object();
-  body["status"] = stopping_.load(std::memory_order_acquire) ? "draining" : "ok";
+  body["status"] =
+      stopping_.load(std::memory_order_acquire) ? "draining" : "ok";
   body["workers"] = pool_.worker_count();
   body["queue_depth"] = batcher_.queue_depth();
   body["max_queue"] = config_.max_queue;
@@ -401,10 +443,34 @@ std::string Server::stats_body() const {
   service["connections_rejected"] = count(counters_.connections_rejected);
   service["workers"] = pool_.worker_count();
 
+  util::Json event_loops = util::Json::array();
+  for (const auto& loop : loops_) {
+    const EventLoopStats& stats = loop->stats();
+    util::Json row = util::Json::object();
+    row["connections_open"] = count(stats.connections_open);
+    row["connections_accepted"] = count(stats.connections_accepted);
+    row["epoll_wakeups"] = count(stats.epoll_wakeups);
+    row["read_stalls"] = count(stats.read_stalls);
+    row["write_stalls"] = count(stats.write_stalls);
+    row["completions"] = count(stats.completions);
+    event_loops.push_back(std::move(row));
+  }
+
+  util::Json cache = util::Json::object();
+  cache["capacity"] = static_cast<std::int64_t>(config_.response_cache_entries);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache["entries"] = static_cast<std::int64_t>(response_cache_.size());
+  }
+  cache["hits"] = count(counters_.cache_hits);
+  cache["misses"] = count(counters_.cache_misses);
+
   const obs::CounterSnapshot snap = recorder_.counters();
   util::Json obs_counters = util::Json::object();
-  obs_counters["events_recorded"] = static_cast<std::int64_t>(snap.events_recorded);
-  obs_counters["events_dropped"] = static_cast<std::int64_t>(snap.events_dropped);
+  obs_counters["events_recorded"] =
+      static_cast<std::int64_t>(snap.events_recorded);
+  obs_counters["events_dropped"] =
+      static_cast<std::int64_t>(snap.events_dropped);
   obs_counters["vms_rented"] = static_cast<std::int64_t>(snap.vms_rented);
   obs_counters["vms_reused"] = static_cast<std::int64_t>(snap.vms_reused);
   obs_counters["btu_extends"] = static_cast<std::int64_t>(snap.btu_extends);
@@ -438,6 +504,8 @@ std::string Server::stats_body() const {
 
   util::Json body = util::Json::object();
   body["service"] = std::move(service);
+  body["event_loops"] = std::move(event_loops);
+  body["cache"] = std::move(cache);
   body["obs"] = std::move(obs_counters);
   body["phases"] = std::move(phases);
   body["tenants"] = std::move(tenants);

@@ -1,37 +1,45 @@
 // The long-running simulation service behind `cloudwf serve`.
 //
-// One accept thread hands each TCP connection to a detached connection
-// thread (bounded by max_connections) that speaks keep-alive HTTP/1.1.
-// GET /health and GET /stats are answered inline; POST /v1/evaluate and
-// POST /v1/rank are decoded, admission-checked and enqueued on the Batcher,
-// whose batches execute on a util::ThreadPool of `workers` compute threads.
-// The connection thread blocks on the request's future — the worker always
-// fulfils it (result, 400, 500 or a 504 deadline answer), so no client is
-// ever left hanging.
+// The network path is event-driven: `event_loop_threads` EventLoops share
+// one nonblocking listen socket (EPOLLEXCLUSIVE) and run every accept, read
+// and write without ever blocking a thread on a single connection. The
+// server plugs in as the loops' dispatcher: GET /health, GET /stats and
+// /v1/tenants are answered inline on the loop thread, while POST
+// /v1/evaluate and /v1/rank are decoded (JSON, or the compact binary
+// protocol when Content-Type is application/x-cloudwf-bin),
+// admission-checked and enqueued on the Batcher, whose batches execute on
+// a util::ThreadPool of `workers` compute threads. The batch worker hands
+// the finished response back to the owning loop through the request's
+// on_ready hook — no thread ever parks on a future.
+//
+// Because every handler body is a pure function of the request (fixed
+// platform, seeded RNG), identical compute requests can be answered from a
+// bounded response cache without running a batch; `response_cache_entries`
+// sizes it (0 disables). Batch admission is tenant-weighted
+// deficit-round-robin — see batcher.hpp.
 //
 // Shutdown (`stop()`, wired to SIGTERM in the CLI) is a graceful drain:
-// the listener closes, in-flight connections are woken and finish their
-// current request, queued work runs to completion, and only then do the
-// compute workers exit. A TraceRecorder spans the server's lifetime as the
-// process-global recorder, so every request contributes obs phases and
-// counters; /stats surfaces them live.
+// the loops stop accepting, idle connections close, in-flight requests are
+// answered with `Connection: close`, queued batches run to completion, and
+// only then do the compute workers exit. A TraceRecorder spans the
+// server's lifetime as the process-global recorder; /stats surfaces its
+// phases and counters live, along with per-loop epoll statistics.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/platform.hpp"
 #include "obs/trace.hpp"
 #include "svc/batcher.hpp"
+#include "svc/event_loop.hpp"
 #include "svc/http.hpp"
 #include "tenant/tenant.hpp"
 #include "util/thread_pool.hpp"
@@ -44,6 +52,8 @@ struct ServerConfig {
   std::size_t max_queue = 64; ///< admission bound — beyond it, 429
   std::chrono::milliseconds request_timeout{5000};  ///< per-request deadline
   std::size_t max_connections = 128;  ///< concurrent connections; beyond, 503
+  std::size_t event_loop_threads = 0;  ///< 0 = auto (cores/4, clamped to 1..4)
+  std::size_t response_cache_entries = 8192;  ///< 0 disables the cache
 };
 
 class Server {
@@ -55,13 +65,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts accepting. Throws std::runtime_error when the
-  /// port cannot be bound. Returns once the socket is live — a client may
-  /// connect the moment this returns.
+  /// Binds, listens and starts the event loops. Throws std::runtime_error
+  /// when the port cannot be bound. Returns once the socket is live — a
+  /// client may connect the moment this returns.
   void start();
 
   /// Graceful drain: stop accepting, finish in-flight requests, run every
-  /// queued batch, then stop the workers. Idempotent.
+  /// queued batch, then stop the workers. Idempotent, thread-safe.
   void stop();
 
   /// The bound port (resolves config.port == 0 to the kernel's choice).
@@ -76,19 +86,25 @@ class Server {
   [[nodiscard]] bool running() const noexcept {
     return started_ && !stopping_.load(std::memory_order_acquire);
   }
+  /// Event loops actually running (resolved from config).
+  [[nodiscard]] std::size_t event_loop_count() const noexcept {
+    return loops_.size();
+  }
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
-  [[nodiscard]] HttpResponse handle_compute(const HttpRequest& request,
-                                            QueuedRequest::Kind kind);
+  /// EventLoop dispatcher: answers inline (returns true, fills `sync`) or
+  /// defers to the batcher (returns false after capturing `done`).
+  bool dispatch(HttpRequest&& request, HttpResponse& sync,
+                EventLoop::Completion done);
+  bool handle_compute(HttpRequest&& request, QueuedRequest::Kind kind,
+                      HttpResponse& sync, EventLoop::Completion done);
   [[nodiscard]] HttpResponse handle_tenants(const HttpRequest& request);
   /// Resolves the X-Tenant header: nullopt + a filled 400 response for an
   /// unregistered name, a valid id for a registered one, kInvalidTenant
-  /// (anonymous, always accepted) when the header is absent.
+  /// (anonymous, always accepted) when the header is absent. Fills `weight`
+  /// with the tenant's DRR weight (1.0 for anonymous).
   [[nodiscard]] std::optional<tenant::TenantId> resolve_tenant(
-      const HttpRequest& request, HttpResponse* error);
+      const HttpRequest& request, HttpResponse* error, double* weight);
   [[nodiscard]] std::string health_body() const;
   [[nodiscard]] std::string stats_body() const;
 
@@ -104,14 +120,25 @@ class Server {
   std::uint16_t port_ = 0;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
 
-  std::mutex connections_mutex_;
-  std::condition_variable connections_idle_;
-  std::set<int> connection_fds_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+
+  /// Bounded cache of successful compute responses, keyed by the full
+  /// request identity (protocol, endpoint, workflow, scenario, strategy,
+  /// seeds). Sound because handler bodies are deterministic pure functions
+  /// of the request. Cleared wholesale when full — the workload's key space
+  /// is small, so eviction sophistication buys nothing.
+  struct CachedResponse {
+    std::string body;
+    std::string content_type;
+  };
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::string, CachedResponse> response_cache_;
 
   /// Tenant accounts (POST /v1/tenants) and their request counters,
-  /// surfaced per tenant in /stats. Guarded by tenants_mutex_: connection
+  /// surfaced per tenant in /stats. Guarded by tenants_mutex_: loop
   /// threads register and count concurrently.
   struct TenantUsage {
     std::uint64_t evaluate = 0;

@@ -1,0 +1,195 @@
+// check_faulty_replay: the schedule-invariant oracle extended to
+// fault-injected replays. A genuine replay_with_faults run must audit
+// clean at any failure rate; corrupting the replayed intervals in each of
+// the ways the invariants guard against must be caught.
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "dag/builders.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/faults.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::check {
+namespace {
+
+struct Fixture {
+  cloud::Platform platform = cloud::Platform::ec2();
+  dag::Workflow wf;
+  sim::Schedule schedule;
+
+  Fixture()
+      : wf(make_wf()),
+        schedule(
+            scheduling::reference_strategy().scheduler->run(wf, platform)) {}
+
+  static dag::Workflow make_wf() {
+    workload::ScenarioConfig cfg;
+    return workload::apply_scenario(dag::builders::montage24(), cfg);
+  }
+
+  [[nodiscard]] sim::FaultyReplayResult replay(double rate,
+                                               std::uint64_t seed) const {
+    sim::FaultModel model;
+    model.failures_per_vm_hour = rate;
+    util::Rng rng(seed);
+    return sim::replay_with_faults(wf, schedule, platform, model, rng);
+  }
+};
+
+bool has_violation(const ReplayAudit& audit, const std::string& invariant) {
+  for (const Violation& v : audit.report.violations)
+    if (v.invariant == invariant) return true;
+  return false;
+}
+
+TEST(FaultsOracle, ZeroRateReplayAuditsClean) {
+  Fixture f;
+  const sim::FaultyReplayResult replay = f.replay(0.0, 1);
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  EXPECT_TRUE(audit.ok()) << audit.report.to_string();
+  EXPECT_GT(audit.replayed_btus, 0);
+  EXPECT_GT(audit.replayed_busy, 0.0);
+}
+
+TEST(FaultsOracle, FaultyReplaysAuditCleanAcrossRatesAndSeeds) {
+  Fixture f;
+  for (const double rate : {0.5, 2.0, 10.0}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const sim::FaultyReplayResult replay = f.replay(rate, seed);
+      const ReplayAudit audit =
+          check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+      EXPECT_TRUE(audit.ok()) << "rate " << rate << " seed " << seed << ":\n"
+                              << audit.report.to_string();
+    }
+  }
+}
+
+TEST(FaultsOracle, StretchedBillNeverUndercutsBusyTime) {
+  // The re-derived bill pays whole BTUs per session, so paid seconds must
+  // cover the stretched busy seconds it was derived from.
+  Fixture f;
+  const sim::FaultyReplayResult replay = f.replay(2.0, 7);
+  ASSERT_GT(replay.failures, 0u);
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  ASSERT_TRUE(audit.ok()) << audit.report.to_string();
+  EXPECT_GE(static_cast<double>(audit.replayed_btus) * util::kBtu,
+            audit.replayed_busy - util::kTimeEpsilon);
+  // And retries only add busy seconds relative to the fault-free replay.
+  const ReplayAudit baseline =
+      check_faulty_replay(f.wf, f.schedule, f.platform, f.replay(0.0, 7));
+  EXPECT_GE(audit.replayed_busy, baseline.replayed_busy);
+}
+
+TEST(FaultsOracle, CatchesShortenedInterval) {
+  Fixture f;
+  sim::FaultyReplayResult replay = f.replay(0.0, 1);
+  replay.tasks[0].end = replay.tasks[0].start;  // ran in zero time
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_violation(audit, "replay-duration"))
+      << audit.report.to_string();
+}
+
+TEST(FaultsOracle, CatchesUnaccountedStretch) {
+  Fixture f;
+  sim::FaultyReplayResult replay = f.replay(2.0, 7);
+  ASSERT_GT(replay.time_lost, 0.0);
+  replay.time_lost = 0.0;  // intervals still carry the stretch
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  EXPECT_TRUE(has_violation(audit, "replay-accounting"))
+      << audit.report.to_string();
+}
+
+TEST(FaultsOracle, CatchesTimeTravelAgainstFaultFreeBaseline) {
+  Fixture f;
+  sim::FaultyReplayResult replay = f.replay(2.0, 7);
+  // Pick a task whose replay was actually delayed and pull it before the
+  // fault-free baseline: monotonicity must flag it.
+  const sim::ReplayResult plain =
+      sim::EventSimulator(f.platform).replay(f.wf, f.schedule);
+  for (const dag::Task& t : f.wf.tasks()) {
+    if (replay.tasks[t.id].start > plain.tasks[t.id].start + 1.0) {
+      const double duration =
+          replay.tasks[t.id].end - replay.tasks[t.id].start;
+      replay.tasks[t.id].start = plain.tasks[t.id].start - 5.0;
+      replay.tasks[t.id].end = replay.tasks[t.id].start + duration;
+      break;
+    }
+  }
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_violation(audit, "replay-monotonic"))
+      << audit.report.to_string();
+}
+
+TEST(FaultsOracle, CatchesSameVmOverlap) {
+  // The reference strategy gives every task its own VM, so build a packing
+  // schedule that actually reuses machines before sliding tasks together.
+  Fixture f;
+  const sim::Schedule packed =
+      scheduling::strategy_by_label("StartParNotExceed-s")
+          .scheduler->run(f.wf, f.platform);
+  sim::FaultModel model;
+  model.failures_per_vm_hour = 0.0;
+  util::Rng rng(1);
+  sim::FaultyReplayResult replay =
+      sim::replay_with_faults(f.wf, packed, f.platform, model, rng);
+  // Find a VM running two tasks and slide the second onto the first.
+  bool corrupted = false;
+  for (const cloud::Vm& vm : packed.pool().vms()) {
+    const auto& ps = vm.placements();
+    if (ps.size() < 2) continue;
+    sim::ReplayedTask& second = replay.tasks[ps[1].task];
+    const double duration = second.end - second.start;
+    second.start = replay.tasks[ps[0].task].start;
+    second.end = second.start + duration;
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted) << "packing schedule has no VM with two tasks";
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, packed, f.platform, replay);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_violation(audit, "replay-overlap"))
+      << audit.report.to_string();
+}
+
+TEST(FaultsOracle, CatchesPrecedenceViolation) {
+  Fixture f;
+  sim::FaultyReplayResult replay = f.replay(0.0, 1);
+  // Pull one edge's consumer to time zero: it now starts before its
+  // producer (plus transfer) finishes.
+  const dag::Edge edge = f.wf.edges().front();
+  const double duration =
+      replay.tasks[edge.to].end - replay.tasks[edge.to].start;
+  replay.tasks[edge.to].start = 0.0;
+  replay.tasks[edge.to].end = duration;
+  const ReplayAudit audit =
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_violation(audit, "replay-precedence"))
+      << audit.report.to_string();
+}
+
+TEST(FaultsOracle, CatchesWrongMakespanAndSize) {
+  Fixture f;
+  sim::FaultyReplayResult replay = f.replay(0.0, 1);
+  replay.makespan *= 2.0;
+  EXPECT_TRUE(has_violation(
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay),
+      "replay-makespan"));
+
+  replay.tasks.pop_back();
+  EXPECT_TRUE(has_violation(
+      check_faulty_replay(f.wf, f.schedule, f.platform, replay),
+      "replay-size"));
+}
+
+}  // namespace
+}  // namespace cloudwf::check

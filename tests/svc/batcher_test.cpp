@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -166,6 +169,110 @@ TEST(Batcher, BadWorkflowInQueueAnswers400) {
   const HttpResponse response = future->get();
   EXPECT_EQ(response.status, 400);
   EXPECT_EQ(counters.bad_request_400.load(), 1u);
+}
+
+TEST(Batcher, TenantWeightedPickPreventsStarvation) {
+  // Six anonymous batches are queued first; a registered tenant's batch
+  // arrives last. FCFS would answer the tenant 7th — the DRR ring must
+  // alternate, answering it on the second pick.
+  const cloud::Platform platform = cloud::Platform::ec2();
+  ServiceCounters counters;
+  GatedPool gated;
+  Batcher batcher(platform, gated.pool(), {.max_queue = 64}, counters);
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto tagged = [&](QueuedRequest q, std::string label) {
+    q.on_ready = [&order_mutex, &order,
+                  label = std::move(label)](HttpResponse&&) {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(label);
+    };
+    return q;
+  };
+
+  // Distinct (workflow, scenario) keys so nothing coalesces: the anonymous
+  // flood owns six waiting batches before the tenant submits one.
+  const std::string anon_wfs[] = {"montage", "cstem", "mapreduce",
+                                  "sequential", "ligo", "sipht"};
+  std::vector<std::future<HttpResponse>> futures;
+  for (const std::string& wf : anon_wfs) {
+    auto future = batcher.submit(tagged(make_eval(0, far_deadline(), wf),
+                                        "anon:" + wf));
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+
+  QueuedRequest vip = make_eval(0, far_deadline(), "epigenomics");
+  vip.tenant = 0;
+  vip.tenant_weight = 1.0;
+  auto vip_future = batcher.submit(tagged(std::move(vip), "tenant"));
+  ASSERT_TRUE(vip_future.has_value());
+  futures.push_back(std::move(*vip_future));
+
+  gated.release();
+  batcher.drain();
+  for (auto& future : futures) EXPECT_EQ(future.get().status, 200);
+
+  ASSERT_EQ(order.size(), 7u);
+  const auto at = std::find(order.begin(), order.end(), "tenant");
+  ASSERT_NE(at, order.end());
+  EXPECT_EQ(at - order.begin(), 1)
+      << "tenant batch served " << (at - order.begin() + 1)
+      << "th — starved behind the anonymous flood";
+}
+
+TEST(Batcher, HeavierWeightBuysMoreBatchesPerPass) {
+  // A weight-2 tenant with two waiting batches gets one per ring pass per
+  // credit: its batches land 2nd and 4th against a six-deep anonymous
+  // backlog (FCFS would answer them 7th and 8th).
+  const cloud::Platform platform = cloud::Platform::ec2();
+  ServiceCounters counters;
+  GatedPool gated;
+  Batcher batcher(platform, gated.pool(), {.max_queue = 64}, counters);
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto tagged = [&](QueuedRequest q, std::string label) {
+    q.on_ready = [&order_mutex, &order,
+                  label = std::move(label)](HttpResponse&&) {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(label);
+    };
+    return q;
+  };
+
+  const std::string anon_wfs[] = {"montage", "cstem", "mapreduce",
+                                  "sequential", "ligo", "sipht"};
+  std::vector<std::future<HttpResponse>> futures;
+  for (const std::string& wf : anon_wfs) {
+    auto future = batcher.submit(tagged(make_eval(0, far_deadline(), wf),
+                                        "anon:" + wf));
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+  for (const std::string& wf : {std::string("epigenomics"),
+                                std::string("cybershake")}) {
+    QueuedRequest vip = make_eval(0, far_deadline(), wf);
+    vip.tenant = 0;
+    vip.tenant_weight = 2.0;
+    auto future = batcher.submit(tagged(std::move(vip), "tenant:" + wf));
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+
+  gated.release();
+  batcher.drain();
+  for (auto& future : futures) EXPECT_EQ(future.get().status, 200);
+
+  ASSERT_EQ(order.size(), 8u);
+  std::vector<std::ptrdiff_t> tenant_positions;
+  for (auto it = order.begin(); it != order.end(); ++it)
+    if (it->rfind("tenant:", 0) == 0)
+      tenant_positions.push_back(it - order.begin());
+  ASSERT_EQ(tenant_positions.size(), 2u);
+  EXPECT_LE(tenant_positions[0], 1);
+  EXPECT_LE(tenant_positions[1], 3);
 }
 
 TEST(Batcher, DrainWaitsForQueuedWork) {

@@ -1,0 +1,236 @@
+// Compact binary protocol: byte-exact round trips for every frame kind,
+// strict decode errors with in-bounds byte offsets, and fixed-point
+// agreement with the JSON encoding's source values.
+#include "svc/binproto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cloud/platform.hpp"
+
+namespace cloudwf::svc {
+namespace {
+
+BinResultRow sample_row(std::uint64_t seed) {
+  BinResultRow row;
+  row.seed = seed;
+  row.strategy = "AllParExceed-m";
+  row.makespan_us = 1234567;
+  row.vm_cost_micros = 950000;
+  row.egress_cost_micros = 12000;
+  row.total_cost_micros = 962000;
+  row.idle_us = 88000000;
+  row.busy_us = 1234000;
+  row.vms_used = 7;
+  row.total_btus = 9;
+  row.utilization_ppm = 137000;
+  row.gain_pct_ppm = -4500000;
+  row.loss_pct_ppm = 12250000;
+  return row;
+}
+
+template <typename T>
+T roundtrip(const T& frame) {
+  const std::string wire = encode_frame(frame);
+  const BinFrame decoded = decode_frame(wire);
+  // Decode -> encode is a fixed point: identical bytes back.
+  EXPECT_EQ(encode_frame(decoded), wire);
+  return std::get<T>(decoded);
+}
+
+TEST(BinProto, EvaluateRequestRoundTrip) {
+  EvaluateRequest req;
+  req.workflow = "montage";
+  req.strategy = "AllParExceed-m";
+  req.scenario = workload::ScenarioKind::data_intensive;
+  req.seed_begin = 3;
+  req.seed_end = 31;
+  const EvaluateRequest back = roundtrip(req);
+  EXPECT_EQ(back.workflow, req.workflow);
+  EXPECT_EQ(back.strategy, req.strategy);
+  EXPECT_EQ(back.scenario, req.scenario);
+  EXPECT_EQ(back.seed_begin, req.seed_begin);
+  EXPECT_EQ(back.seed_end, req.seed_end);
+}
+
+TEST(BinProto, RankRequestRoundTrip) {
+  RankRequest req;
+  req.workflow = "cstem";
+  req.scenario = workload::ScenarioKind::pareto;
+  req.seed = std::numeric_limits<std::uint64_t>::max();
+  const RankRequest back = roundtrip(req);
+  EXPECT_EQ(back.workflow, req.workflow);
+  EXPECT_EQ(back.scenario, req.scenario);
+  EXPECT_EQ(back.seed, req.seed);
+}
+
+TEST(BinProto, ResponsesRoundTripWithRows) {
+  BinEvaluateResponse eval;
+  eval.workflow = "montage";
+  eval.scenario = workload::ScenarioKind::worst_case;
+  eval.strategy = "StartParExceed-1";
+  eval.rows = {sample_row(0), sample_row(1), sample_row(2)};
+  const BinEvaluateResponse eval_back = roundtrip(eval);
+  EXPECT_EQ(eval_back.rows, eval.rows);
+  EXPECT_EQ(eval_back.strategy, eval.strategy);
+
+  BinRankResponse rank;
+  rank.workflow = "mapreduce";
+  rank.scenario = workload::ScenarioKind::pareto;
+  rank.seed = 42;
+  rank.rows = {sample_row(42)};
+  const BinRankResponse rank_back = roundtrip(rank);
+  EXPECT_EQ(rank_back.rows, rank.rows);
+  EXPECT_EQ(rank_back.seed, 42u);
+}
+
+TEST(BinProto, ErrorFrameRoundTrip) {
+  BinError err;
+  err.status = 429;
+  err.message = "request queue full — retry with backoff";
+  const BinError back = roundtrip(err);
+  EXPECT_EQ(back.status, 429);
+  EXPECT_EQ(back.message, err.message);
+  // bin_error_frame is the same encoding.
+  EXPECT_EQ(bin_error_frame(429, err.message), encode_frame(err));
+}
+
+TEST(BinProto, FixedPointMatchesMoneyMicros) {
+  // Costs ride through the wire as the exact micro-dollars Money holds —
+  // no float in between.
+  exp::RunResult result;
+  result.strategy = "AllParExceed-m";
+  result.metrics.makespan = 12.5;
+  result.metrics.vm_cost = util::Money::from_micros(950000);
+  result.metrics.egress_cost = util::Money::from_micros(12345);
+  result.metrics.total_cost = util::Money::from_micros(962345);
+  result.metrics.utilization = 0.137;
+  const BinResultRow row = bin_row(result, 5);
+  EXPECT_EQ(row.seed, 5u);
+  EXPECT_EQ(row.vm_cost_micros, 950000);
+  EXPECT_EQ(row.egress_cost_micros, 12345);
+  EXPECT_EQ(row.total_cost_micros, 962345);
+  EXPECT_EQ(row.makespan_us, 12500000);
+  EXPECT_EQ(row.utilization_ppm, 137000);
+}
+
+std::size_t error_offset(const std::string& wire) {
+  try {
+    (void)decode_frame(wire);
+  } catch (const BinProtoError& e) {
+    return e.offset;
+  }
+  ADD_FAILURE() << "decode_frame accepted a malformed frame";
+  return 0;
+}
+
+TEST(BinProto, LengthPrefixMismatchIsOffsetZero) {
+  RankRequest req;
+  req.workflow = "montage";
+  std::string wire = encode_frame(req);
+  wire.push_back('\0');  // trailing garbage: declared length now short
+  EXPECT_EQ(error_offset(wire), 0u);
+}
+
+TEST(BinProto, BadVersionAndKindReportTheirOffsets) {
+  RankRequest req;
+  req.workflow = "montage";
+  std::string good = encode_frame(req);
+
+  std::string bad_version = good;
+  bad_version[4] = 9;
+  EXPECT_EQ(error_offset(bad_version), 4u);
+
+  std::string bad_kind = good;
+  bad_kind[5] = 99;
+  EXPECT_EQ(error_offset(bad_kind), 5u);
+}
+
+TEST(BinProto, TruncationOffsetsStayInBounds) {
+  BinEvaluateResponse resp;
+  resp.workflow = "montage";
+  resp.strategy = "AllParExceed-m";
+  resp.rows = {sample_row(1), sample_row(2)};
+  const std::string wire = encode_frame(resp);
+  // Chop the frame at every length and re-point the prefix at the truncated
+  // payload: every failure must carry an offset inside the buffer.
+  for (std::size_t cut = 4; cut < wire.size(); ++cut) {
+    std::string t = wire.substr(0, cut);
+    const std::uint32_t payload = static_cast<std::uint32_t>(cut - 4);
+    for (int i = 0; i < 4; ++i)
+      t[static_cast<std::size_t>(i)] =
+          static_cast<char>((payload >> (8 * i)) & 0xff);
+    try {
+      (void)decode_frame(t);  // a prefix may happen to parse — fine
+    } catch (const BinProtoError& e) {
+      EXPECT_LE(e.offset, t.size()) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(BinProto, HostileRowCountIsRejectedBeforeAllocating) {
+  // A rank_response claiming 4 billion rows in a 30-byte payload must be
+  // refused at the count, not by attempting the allocation.
+  std::string payload;
+  const auto put_u16 = [&payload](std::uint16_t v) {
+    payload.push_back(static_cast<char>(v & 0xff));
+    payload.push_back(static_cast<char>(v >> 8));
+  };
+  put_u16(2);
+  payload += "wf";          // workflow
+  payload.push_back(0);     // scenario
+  payload.append(8, '\0');  // seed
+  payload.append(4, '\xff');  // row count = 2^32 - 1
+
+  std::string wire;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size() + 2);
+  for (int i = 0; i < 4; ++i)
+    wire.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  wire.push_back(static_cast<char>(kBinaryVersion));
+  wire.push_back(static_cast<char>(FrameKind::rank_response));
+  wire += payload;
+
+  try {
+    (void)decode_frame(wire);
+    FAIL() << "hostile row count decoded";
+  } catch (const BinProtoError& e) {
+    EXPECT_LE(e.offset, wire.size());
+    EXPECT_NE(std::string(e.what()).find("row count"), std::string::npos);
+  }
+}
+
+TEST(BinProto, UnknownScenarioCodeRejected) {
+  RankRequest req;
+  req.workflow = "montage";
+  std::string wire = encode_frame(req);
+  // scenario byte sits right after the u16 len + "montage".
+  const std::size_t scenario_at = 4 + 1 + 1 + 2 + 7;
+  wire[scenario_at] = 17;
+  EXPECT_EQ(error_offset(wire), scenario_at);
+}
+
+TEST(BinProto, ServiceBodiesDecodeToMatchingFrames) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  EvaluateRequest eval;
+  eval.workflow = "montage";
+  eval.strategy = "AllParExceed-m";
+  eval.seed_begin = eval.seed_end = 3;
+  const BinFrame eval_frame = decode_frame(evaluate_body_bin(eval, platform));
+  const auto& eval_resp = std::get<BinEvaluateResponse>(eval_frame);
+  ASSERT_EQ(eval_resp.rows.size(), 1u);
+  EXPECT_EQ(eval_resp.rows[0].seed, 3u);
+  EXPECT_EQ(eval_resp.rows[0].strategy, "AllParExceed-m");
+  EXPECT_GT(eval_resp.rows[0].makespan_us, 0);
+  EXPECT_GT(eval_resp.rows[0].total_cost_micros, 0);
+
+  RankRequest rank;
+  rank.workflow = "montage";
+  rank.seed = 3;
+  const BinFrame rank_frame = decode_frame(rank_body_bin(rank, platform));
+  const auto& rank_resp = std::get<BinRankResponse>(rank_frame);
+  EXPECT_GT(rank_resp.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudwf::svc

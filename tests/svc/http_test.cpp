@@ -201,5 +201,75 @@ TEST(HttpSerialize, NotImplementedReasonPhrase) {
   EXPECT_EQ(reason_phrase(501), "Not Implemented");
 }
 
+// --- incremental parser (the event loop's per-read entry point) ---
+
+TEST(HttpIncremental, ByteAtATimeNeedsMoreUntilComplete) {
+  const std::string wire =
+      "POST /v1/evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  // Every strict prefix is "need_more"; only the full buffer parses.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const ParseResult r = parse_http_request(wire.substr(0, n));
+    EXPECT_EQ(r.status, ParseStatus::need_more) << "prefix length " << n;
+  }
+  const ParseResult full = parse_http_request(wire);
+  ASSERT_EQ(full.status, ParseStatus::ok) << full.error;
+  EXPECT_EQ(full.request.body, "abcd");
+  EXPECT_EQ(full.consumed, wire.size());
+}
+
+TEST(HttpIncremental, ConsumedStopsAtRequestBoundary) {
+  const std::string first = "GET /health HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /stats HTTP/1.1\r\n\r\n";
+  const std::string buffer = first + second;
+  const ParseResult one = parse_http_request(buffer);
+  ASSERT_EQ(one.status, ParseStatus::ok);
+  EXPECT_EQ(one.request.target, "/health");
+  EXPECT_EQ(one.consumed, first.size());
+  // The event loop erases `consumed` bytes and parses again.
+  const ParseResult two =
+      parse_http_request(std::string_view(buffer).substr(one.consumed));
+  ASSERT_EQ(two.status, ParseStatus::ok);
+  EXPECT_EQ(two.request.target, "/stats");
+  EXPECT_EQ(two.consumed, second.size());
+}
+
+TEST(HttpIncremental, RejectionsMapToTheirStatuses) {
+  EXPECT_EQ(parse_http_request("GET\r\n\r\n").status, ParseStatus::malformed);
+  EXPECT_EQ(
+      parse_http_request("POST / HTTP/1.1\r\nContent-Length: huh\r\n\r\n")
+          .status,
+      ParseStatus::malformed);
+  EXPECT_EQ(parse_http_request(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .status,
+            ParseStatus::not_implemented);
+
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  EXPECT_EQ(parse_http_request(
+                "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n", limits)
+                .status,
+            ParseStatus::too_large);
+  // An unterminated header block past the cap must fail, not ask for more.
+  limits.max_header_bytes = 32;
+  EXPECT_EQ(
+      parse_http_request("GET / HTTP/1.1\r\nX-Pad: " + std::string(64, 'x'),
+                         limits)
+          .status,
+      ParseStatus::too_large);
+}
+
+TEST(HttpIncremental, AgreesWithBlockingReaderOnABody) {
+  const std::string wire =
+      "POST /v1/rank HTTP/1.1\r\nContent-Type: application/json\r\n"
+      "Content-Length: 2\r\n\r\n{}";
+  const ParseResult r = parse_http_request(wire);
+  ASSERT_EQ(r.status, ParseStatus::ok);
+  EXPECT_EQ(r.request.method, "POST");
+  EXPECT_EQ(r.request.target, "/v1/rank");
+  EXPECT_EQ(r.request.header("content-type"), "application/json");
+  EXPECT_EQ(r.request.body, "{}");
+}
+
 }  // namespace
 }  // namespace cloudwf::svc

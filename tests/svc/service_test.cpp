@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "svc/binproto.hpp"
 #include "svc/handlers.hpp"
 #include "svc/http.hpp"
 #include "util/json.hpp"
@@ -180,6 +181,143 @@ TEST_F(ServiceTest, ConcurrentResponsesMatchSerialAnswersByteForByte) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(server_->counters().responses_ok.load(), 0u);
+}
+
+TEST_F(ServiceTest, StatsExposeEventLoopsAndResponseCache) {
+  ASSERT_TRUE(get("/health").has_value());
+  const auto response = get("/stats");
+  ASSERT_TRUE(response.has_value());
+  const Json body = Json::parse(response->body);
+  const auto& loops = body.as_object().at("event_loops").as_array();
+  ASSERT_EQ(loops.size(), server_->event_loop_count());
+  ASSERT_FALSE(loops.empty());
+  // This client's connection is open and has served at least one request.
+  double open = 0, accepted = 0, wakeups = 0;
+  for (const Json& loop : loops) {
+    const auto& obj = loop.as_object();
+    open += obj.at("connections_open").as_number();
+    accepted += obj.at("connections_accepted").as_number();
+    wakeups += obj.at("epoll_wakeups").as_number();
+  }
+  EXPECT_GE(open, 1.0);
+  EXPECT_GE(accepted, 1.0);
+  EXPECT_GE(wakeups, 1.0);
+  const auto& cache = body.as_object().at("cache").as_object();
+  EXPECT_GT(cache.at("capacity").as_number(), 0.0);
+}
+
+// The binary protocol's acceptance criterion mirrors the JSON one: answers
+// computed concurrently through the service are byte-identical to the
+// direct binary handler bodies, and errors come back as decodable frames.
+TEST_F(ServiceTest, ConcurrentBinaryResponsesMatchHandlerBytes) {
+  const cloud::Platform platform = cloud::Platform::ec2();
+  struct Case {
+    std::string target;
+    std::string request_frame;
+    std::string expected_body;
+  };
+  std::vector<Case> cases;
+  for (const std::uint64_t seed : {0, 1, 7}) {
+    EvaluateRequest request;
+    request.workflow = "montage";
+    request.strategy = "AllParExceed-m";
+    request.seed_begin = request.seed_end = seed;
+    cases.push_back({"/v1/evaluate", encode_frame(request),
+                     evaluate_body_bin(request, platform)});
+  }
+  {
+    RankRequest request;
+    request.workflow = "mapreduce";
+    request.seed = 3;
+    cases.push_back({"/v1/rank", encode_frame(request),
+                     rank_body_bin(request, platform)});
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.connect("127.0.0.1", server_->port())) {
+        ++mismatches;
+        return;
+      }
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        for (std::size_t c = 0; c < cases.size(); ++c) {
+          const Case& item = cases[(c + static_cast<std::size_t>(t)) %
+                                   cases.size()];
+          const auto response =
+              client.request("POST", item.target, item.request_frame, {},
+                             kBinaryContentType);
+          if (!response || response->status != 200 ||
+              response->content_type != kBinaryContentType ||
+              response->body != item.expected_body)
+            ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ServiceTest, BinaryErrorsAreDecodableFrames) {
+  EvaluateRequest bad;
+  bad.workflow = "no-such-dag";
+  bad.strategy = "GAIN";
+  const auto response = client_.request("POST", "/v1/evaluate",
+                                        encode_frame(bad), {},
+                                        kBinaryContentType);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 400);
+  const BinFrame frame = decode_frame(response->body);
+  const auto* err = std::get_if<BinError>(&frame);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->status, 400);
+  EXPECT_NE(err->message.find("unknown workflow"), std::string::npos)
+      << err->message;
+
+  // A malformed frame reports its byte offset, still as a binary frame.
+  const auto garbage = client_.request("POST", "/v1/evaluate", "\x01\x02",
+                                       {}, kBinaryContentType);
+  ASSERT_TRUE(garbage.has_value());
+  EXPECT_EQ(garbage->status, 400);
+  const BinFrame gframe = decode_frame(garbage->body);
+  const auto* gerr = std::get_if<BinError>(&gframe);
+  ASSERT_NE(gerr, nullptr);
+  EXPECT_NE(gerr->message.find("binary frame error"), std::string::npos)
+      << gerr->message;
+}
+
+TEST(ServiceConfig, MultipleEventLoopsShareTheListener) {
+  ServerConfig config;
+  config.port = 0;
+  config.workers = 2;
+  config.event_loop_threads = 3;
+  Server server(config);
+  server.start();
+  EXPECT_EQ(server.event_loop_count(), 3u);
+
+  // Enough concurrent connections that EPOLLEXCLUSIVE spreads accepts; every
+  // one must be served regardless of which loop owns it.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 5; ++i) {
+        const auto response = client.request("GET", "/health");
+        if (!response || response->status != 200) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
 }
 
 TEST(ServiceOverload, OverCapacityLoadIsRejectedNotQueued) {

@@ -17,6 +17,7 @@
 //                   [--scenario ...] [--seed N] [--out <prefix>]
 //   cloudwf serve   [--port N] [--workers N] [--queue-depth N]
 //                   [--timeout-ms N] [--max-connections N]
+//                   [--event-loop-threads N] [--response-cache N]
 //   cloudwf check   [--cases N] [--seed N] [--threads N] [--large-tasks N]
 //                   [--json]
 //   cloudwf mtsim   [--tenants N] [--policy exclusive|shared|weighted-fair]
@@ -99,7 +100,8 @@ Args parse_args(int argc, char** argv) {
         name == "budget" || name == "deadline" || name == "out" ||
         name == "vs" || name == "port" || name == "workers" ||
         name == "queue-depth" || name == "timeout-ms" ||
-        name == "max-connections" || name == "cases" || name == "threads" ||
+        name == "max-connections" || name == "event-loop-threads" ||
+        name == "response-cache" || name == "cases" || name == "threads" ||
         name == "large-tasks" || name == "tenants" || name == "policy" ||
         name == "arrival" || name == "jobs" || name == "provisioning" ||
         name == "sigma" || name == "quota" || name == "quantum") {
@@ -410,6 +412,10 @@ int cmd_serve(const Args& args) {
     config.request_timeout = std::chrono::milliseconds(std::stoul(*timeout));
   if (const auto conns = args.option("max-connections"))
     config.max_connections = std::stoul(*conns);
+  if (const auto loops = args.option("event-loop-threads"))
+    config.event_loop_threads = std::stoul(*loops);
+  if (const auto cache = args.option("response-cache"))
+    config.response_cache_entries = std::stoul(*cache);
 
   // Block SIGTERM/SIGINT before any thread exists so every service thread
   // inherits the mask; the main thread then sigwait()s and turns the signal
@@ -423,7 +429,8 @@ int cmd_serve(const Args& args) {
   svc::Server server(config);
   server.start();
   std::cout << "cloudwf serve: listening on 127.0.0.1:" << server.port()
-            << " (" << config.workers << " workers, queue depth "
+            << " (" << server.event_loop_count() << " event loops, "
+            << config.workers << " workers, queue depth "
             << config.max_queue << ", timeout "
             << config.request_timeout.count() << " ms)\n"
             << "endpoints: GET /health, GET /stats, POST /v1/evaluate, "

@@ -5,7 +5,7 @@
 //                [--endpoint evaluate|rank|health|mix]
 //                [--workflow montage] [--strategy AllParExceed-m]
 //                [--scenario pareto] [--seeds 100] [--tenants N]
-//                [--tolerate-429] [--json FILE]
+//                [--binary] [--tolerate-429] [--json FILE]
 //
 // Two standard load models:
 //
@@ -20,6 +20,11 @@
 // --tenants N registers t0..tN-1 via POST /v1/tenants before the run and
 // cycles an X-Tenant header across the traffic (every (N+1)-th request
 // stays anonymous), exercising the multi-tenant request path under load.
+//
+// --binary switches the compute endpoints to the compact binary protocol
+// (svc/binproto.hpp): requests are encoded frames sent with the binary
+// Content-Type, and every 2xx response body must decode back to the
+// matching response frame — a decode failure counts as an error.
 //
 // Per-request latencies feed a p50/p95/p99 report; --json writes the
 // BENCH_SERVICE.json shape tools/check_bench_regression.py gates on.
@@ -36,7 +41,9 @@
 #include <thread>
 #include <vector>
 
+#include "svc/binproto.hpp"
 #include "svc/http.hpp"
+#include "svc/protocol.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -60,6 +67,7 @@ struct Options {
   std::string scenario = "pareto";
   std::size_t seeds = 100;  // seed values cycle over [0, seeds)
   std::size_t tenants = 0;  // 0 = all-anonymous traffic
+  bool binary = false;      // compact binary protocol for compute endpoints
   bool tolerate_429 = false;
   std::string json_path;
 };
@@ -68,6 +76,7 @@ struct RequestSpec {
   std::string method;
   std::string target;
   std::string body;
+  bool binary = false;  // body is a binproto frame; response must decode
 };
 
 RequestSpec make_spec(const Options& opt, std::size_t index) {
@@ -78,23 +87,54 @@ RequestSpec make_spec(const Options& opt, std::size_t index) {
     const std::size_t slot = index % 5;
     kind = slot < 3 ? "evaluate" : (slot == 3 ? "rank" : "health");
   }
-  if (kind == "health") return {"GET", "/health", ""};
-  if (kind == "stats") return {"GET", "/stats", ""};
+  if (kind == "health") return {"GET", "/health", "", false};
+  if (kind == "stats") return {"GET", "/stats", "", false};
+
+  if (opt.binary) {
+    const cloudwf::workload::ScenarioKind scenario =
+        cloudwf::svc::parse_scenario(opt.scenario);
+    if (kind == "rank") {
+      cloudwf::svc::RankRequest req;
+      req.workflow = opt.workflow;
+      req.scenario = scenario;
+      req.seed = seed;
+      return {"POST", "/v1/rank", cloudwf::svc::encode_frame(req), true};
+    }
+    cloudwf::svc::EvaluateRequest req;
+    req.workflow = opt.workflow;
+    req.strategy = opt.strategy;
+    req.scenario = scenario;
+    req.seed_begin = req.seed_end = seed;
+    return {"POST", "/v1/evaluate", cloudwf::svc::encode_frame(req), true};
+  }
 
   cloudwf::util::Json body = cloudwf::util::Json::object();
   body["workflow"] = opt.workflow;
   body["scenario"] = opt.scenario;
   body["seed"] = static_cast<std::int64_t>(seed);
-  if (kind == "rank") return {"POST", "/v1/rank", body.dump()};
+  if (kind == "rank") return {"POST", "/v1/rank", body.dump(), false};
   body["strategy"] = opt.strategy;
-  return {"POST", "/v1/evaluate", body.dump()};
+  return {"POST", "/v1/evaluate", body.dump(), false};
 }
 
 struct WorkerResult {
   std::vector<double> latencies_ms;  // successful requests only
   std::map<int, std::uint64_t> status_counts;
   std::uint64_t transport_errors = 0;
+  std::uint64_t decode_errors = 0;  // 2xx whose binary body failed to decode
 };
+
+/// A binary 2xx body must decode to the response frame matching its target.
+bool binary_response_ok(const std::string& target, const std::string& body) {
+  try {
+    const cloudwf::svc::BinFrame frame = cloudwf::svc::decode_frame(body);
+    if (target == "/v1/rank")
+      return std::holds_alternative<cloudwf::svc::BinRankResponse>(frame);
+    return std::holds_alternative<cloudwf::svc::BinEvaluateResponse>(frame);
+  } catch (const cloudwf::svc::BinProtoError&) {
+    return false;
+  }
+}
 
 }  // namespace
 
@@ -121,6 +161,7 @@ int main(int argc, char** argv) {
     else if (arg == "--scenario") opt.scenario = value();
     else if (arg == "--seeds") opt.seeds = std::stoul(value());
     else if (arg == "--tenants") opt.tenants = std::stoul(value());
+    else if (arg == "--binary") opt.binary = true;
     else if (arg == "--tolerate-429") opt.tolerate_429 = true;
     else if (arg == "--json") opt.json_path = value();
     else {
@@ -128,7 +169,7 @@ int main(int argc, char** argv) {
                    "  [--concurrency C] [--mode closed|open] [--rate R]\n"
                    "  [--endpoint evaluate|rank|health|stats|mix]\n"
                    "  [--workflow W] [--strategy S] [--scenario K] [--seeds N]\n"
-                   "  [--tenants N] [--tolerate-429] [--json FILE]\n";
+                   "  [--tenants N] [--binary] [--tolerate-429] [--json FILE]\n";
       return 2;
     }
   }
@@ -207,8 +248,10 @@ int main(int argc, char** argv) {
           if (slot < tenant_names.size())
             headers.emplace_back("X-Tenant", tenant_names[slot]);
         }
-        const std::optional<HttpResponse> response =
-            client.request(spec.method, spec.target, spec.body, headers);
+        const std::optional<HttpResponse> response = client.request(
+            spec.method, spec.target, spec.body, headers,
+            spec.binary ? std::string(cloudwf::svc::kBinaryContentType)
+                        : "application/json");
         const double ms =
             std::chrono::duration<double, std::milli>(Clock::now() - begin)
                 .count();
@@ -218,8 +261,13 @@ int main(int argc, char** argv) {
           continue;
         }
         ++mine.status_counts[response->status];
-        if (response->status >= 200 && response->status < 300)
+        if (response->status >= 200 && response->status < 300) {
+          if (spec.binary && !binary_response_ok(spec.target, response->body)) {
+            ++mine.decode_errors;
+            continue;
+          }
           mine.latencies_ms.push_back(ms);
+        }
       }
     });
   }
@@ -230,10 +278,12 @@ int main(int argc, char** argv) {
   std::vector<double> latencies;
   std::map<int, std::uint64_t> statuses;
   std::uint64_t transport_errors = 0;
+  std::uint64_t decode_errors = 0;
   for (const WorkerResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
     transport_errors += r.transport_errors;
+    decode_errors += r.decode_errors;
     for (const auto& [status, count] : r.status_counts)
       statuses[status] += count;
   }
@@ -245,6 +295,9 @@ int main(int argc, char** argv) {
     else if (status == 429) rejected += count;
     else errors += count;
   }
+  // A 2xx whose binary body failed to decode is an error, not a success.
+  ok -= decode_errors;
+  errors += decode_errors;
   if (!opt.tolerate_429) errors += rejected;
 
   using cloudwf::util::format_double;
@@ -256,7 +309,7 @@ int main(int argc, char** argv) {
 
   std::cout << "cloudwf_load: " << opt.mode << "-loop, " << opt.requests
             << " requests, " << opt.concurrency << " connections, endpoint "
-            << opt.endpoint << '\n'
+            << opt.endpoint << (opt.binary ? " (binary)" : "") << '\n'
             << "  wall        " << format_double(wall_s, 2) << " s\n"
             << "  ok          " << ok << " (" << format_double(throughput, 1)
             << " req/s)\n"
@@ -276,6 +329,7 @@ int main(int argc, char** argv) {
     doc["benchmark"] = "cloudwf_load";
     doc["mode"] = opt.mode;
     doc["endpoint"] = opt.endpoint;
+    doc["protocol"] = opt.binary ? "binary" : "json";
     doc["requests"] = opt.requests;
     doc["concurrency"] = opt.concurrency;
     doc["ok"] = static_cast<std::int64_t>(ok);
