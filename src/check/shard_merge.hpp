@@ -1,0 +1,60 @@
+// Shard-merge oracle: independent verification of a merged distributed
+// sweep (dist/coordinator + exp/merge_shards).
+//
+// The fabric's guarantee is that a merged sweep is byte-identical to the
+// serial run of the same grid. This checker certifies a merged row set
+// without trusting the fabric's own merge bookkeeping:
+//
+//   merge-size    the merged row count equals the grid's flat cell count;
+//   merge-order   every row carries the seed and strategy label of its flat
+//                 index's cell (catches shuffled or mis-concatenated
+//                 merges over the WHOLE sweep, cheaply — no re-execution);
+//   merge-cell    a random sample of cells is re-executed through the exact
+//                 single-cell shard path (exp::run_shard) and the re-run
+//                 fixed-point row must equal the merged row bit for bit;
+//   merge-oracle  each sampled cell's schedule is rebuilt from scratch and
+//                 run through the full 8-invariant schedule oracle
+//                 (check/oracle.hpp) — a merged row certified here is
+//                 backed by a feasible, correctly billed schedule, not just
+//                 a self-consistent number.
+//
+// Sampling is deterministic in the config seed, so CI reruns check the
+// same cells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "cloud/platform.hpp"
+#include "exp/sweep_grid.hpp"
+#include "util/json.hpp"
+
+namespace cloudwf::check {
+
+struct ShardMergeConfig {
+  /// Cells re-executed and oracle-checked (capped at the grid size).
+  std::size_t samples = 12;
+  /// Sampling stream seed — same seed, same sampled cells.
+  std::uint64_t seed = 0x5eedFab5;
+};
+
+struct ShardMergeReport {
+  std::size_t cells_checked = 0;   ///< rows passing the cheap order check
+  std::size_t cells_verified = 0;  ///< sampled cells re-run + oracle-checked
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Verifies `merged` as the full sweep of `grid` (canonical cell order).
+/// Throws std::invalid_argument only if `grid` itself is malformed; every
+/// disagreement with the merged rows is a reported violation, not a throw.
+[[nodiscard]] ShardMergeReport check_shard_merge(
+    const exp::SweepGridSpec& grid, const std::vector<exp::SweepRow>& merged,
+    const cloud::Platform& platform, const ShardMergeConfig& config = {});
+
+}  // namespace cloudwf::check

@@ -69,11 +69,18 @@ std::vector<RunResult> ExperimentRunner::run_all(const dag::Workflow& structure,
 std::vector<RunResult> ExperimentRunner::run_all(
     const dag::Workflow& structure, workload::ScenarioKind kind,
     const ParallelConfig& parallel) const {
+  return run_many(scheduling::paper_strategies(), structure, kind, parallel);
+}
+
+std::vector<RunResult> ExperimentRunner::run_many(
+    const std::vector<scheduling::Strategy>& strategies,
+    const dag::Workflow& structure, workload::ScenarioKind kind,
+    const ParallelConfig& parallel) const {
   // Flat-core hot loop: materialize once, pre-build the structure cache all
   // jobs share and run the OneVMperTask-s reference once (the old path
   // recomputed it inside every one of the 19 jobs). Each job is then a pure
   // function of its strategy — schedulers are stateless const objects — and
-  // parallel_map returns results in legend order, so the output is
+  // parallel_map returns results in the given order, so the output is
   // bit-identical to the serial loop for any worker count.
   const dag::Workflow materialized = materialize(structure, kind);
   (void)materialized.structure();
@@ -82,8 +89,6 @@ std::vector<RunResult> ExperimentRunner::run_all(
     return reference_metrics(materialized);
   }();
 
-  const std::vector<scheduling::Strategy> strategies =
-      scheduling::paper_strategies();
   return parallel_map(strategies.size(), parallel, [&](std::size_t i) {
     return run_one_on(strategies[i], materialized, structure.name(), kind,
                       reference);

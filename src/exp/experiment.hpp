@@ -67,6 +67,17 @@ class ExperimentRunner {
       const dag::Workflow& structure, workload::ScenarioKind kind,
       const ParallelConfig& parallel) const;
 
+  /// Runs an explicit strategy subset on one workflow under one scenario:
+  /// materializes once, computes the OneVMperTask-s reference once, then
+  /// evaluates the subset in the given order. run_all is run_many over all
+  /// 19 paper strategies, so a subset's rows are bit-identical to the
+  /// corresponding slice of a full run — the property distributed shards
+  /// (exp/sweep_grid) rely on.
+  [[nodiscard]] std::vector<RunResult> run_many(
+      const std::vector<scheduling::Strategy>& strategies,
+      const dag::Workflow& structure, workload::ScenarioKind kind,
+      const ParallelConfig& parallel) const;
+
   /// Full grid: every paper workflow x every scenario x every strategy.
   [[nodiscard]] std::vector<RunResult> run_grid() const;
 

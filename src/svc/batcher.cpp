@@ -8,6 +8,12 @@ namespace cloudwf::svc {
 namespace {
 
 std::string batch_key(const QueuedRequest& request) {
+  // Shards never coalesce: each is a distinct batch job keyed by its own
+  // slice (two shards share no cells, so there is nothing to share).
+  if (request.kind == QueuedRequest::Kind::shard)
+    return "shard|" + std::to_string(request.shard.shard_id) + '|' +
+           std::to_string(request.shard.cell_begin) + '-' +
+           std::to_string(request.shard.cell_end);
   const bool is_eval = request.kind == QueuedRequest::Kind::evaluate;
   std::string key = is_eval ? request.evaluate.workflow : request.rank.workflow;
   key += '|';
@@ -119,14 +125,20 @@ HttpResponse Batcher::answer(QueuedRequest& request, EvalCache& cache) {
     return response;
   }
   try {
-    const bool is_eval = request.kind == QueuedRequest::Kind::evaluate;
-    if (binary)
-      response.body = is_eval
-                          ? evaluate_body_bin(request.evaluate, platform_, &cache)
-                          : rank_body_bin(request.rank, platform_, &cache);
-    else
-      response.body = is_eval ? evaluate_body(request.evaluate, platform_, &cache)
-                              : rank_body(request.rank, platform_, &cache);
+    if (request.kind == QueuedRequest::Kind::shard) {
+      response.body = binary ? shard_body_bin(request.shard, platform_)
+                             : shard_body(request.shard, platform_);
+    } else {
+      const bool is_eval = request.kind == QueuedRequest::Kind::evaluate;
+      if (binary)
+        response.body =
+            is_eval ? evaluate_body_bin(request.evaluate, platform_, &cache)
+                    : rank_body_bin(request.rank, platform_, &cache);
+      else
+        response.body =
+            is_eval ? evaluate_body(request.evaluate, platform_, &cache)
+                    : rank_body(request.rank, platform_, &cache);
+    }
     counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
   } catch (const BadRequest& e) {
     counters_.bad_request_400.fetch_add(1, std::memory_order_relaxed);

@@ -206,6 +206,31 @@ std::string encode_frame(const BinFrame& frame) {
     put_u8(payload, static_cast<std::uint8_t>(rank_resp->scenario));
     put_u64(payload, rank_resp->seed);
     put_rows(payload, rank_resp->rows);
+  } else if (const auto* shard = std::get_if<exp::ShardSpec>(&frame)) {
+    kind = FrameKind::shard_request;
+    put_u64(payload, shard->shard_id);
+    put_u64(payload, shard->cell_begin);
+    put_u64(payload, shard->cell_end);
+    const auto put_names = [&](const std::vector<std::string>& names) {
+      if (names.size() > std::numeric_limits<std::uint16_t>::max())
+        throw std::invalid_argument("binproto: too many grid names");
+      put_u16(payload, static_cast<std::uint16_t>(names.size()));
+      for (const std::string& name : names) put_string(payload, name);
+    };
+    put_names(shard->grid.workflows);
+    if (shard->grid.scenarios.size() >
+        std::numeric_limits<std::uint16_t>::max())
+      throw std::invalid_argument("binproto: too many grid scenarios");
+    put_u16(payload, static_cast<std::uint16_t>(shard->grid.scenarios.size()));
+    for (const auto scenario : shard->grid.scenarios)
+      put_u8(payload, static_cast<std::uint8_t>(scenario));
+    put_names(shard->grid.strategies);
+    put_u64(payload, shard->grid.seed_begin);
+    put_u64(payload, shard->grid.seed_end);
+  } else if (const auto* shard_resp = std::get_if<BinShardResponse>(&frame)) {
+    kind = FrameKind::shard_response;
+    put_u64(payload, shard_resp->shard_id);
+    put_rows(payload, shard_resp->rows);
   } else {
     const auto& err = std::get<BinError>(frame);
     kind = FrameKind::error;
@@ -275,6 +300,44 @@ BinFrame decode_frame(std::string_view bytes) {
       frame = std::move(resp);
       break;
     }
+    case FrameKind::shard_request: {
+      exp::ShardSpec shard;
+      shard.shard_id = r.u64("shard_id");
+      shard.cell_begin = r.u64("cell_begin");
+      shard.cell_end = r.u64("cell_end");
+      const auto read_names = [&](const char* what) {
+        const std::size_t at = r.pos;
+        const std::uint16_t count = r.u16(what);
+        // Each name is at least 2 bytes (its length prefix); reject counts
+        // the remaining payload cannot possibly hold.
+        if (count > (bytes.size() - r.pos) / 2)
+          throw BinProtoError(at, std::string(what) + " count exceeds payload");
+        std::vector<std::string> names;
+        names.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) names.push_back(r.str(what));
+        return names;
+      };
+      shard.grid.workflows = read_names("grid workflow");
+      const std::size_t scen_at = r.pos;
+      const std::uint16_t scen_count = r.u16("grid scenario count");
+      if (scen_count > bytes.size() - r.pos)
+        throw BinProtoError(scen_at, "scenario count exceeds payload");
+      shard.grid.scenarios.reserve(scen_count);
+      for (std::uint16_t i = 0; i < scen_count; ++i)
+        shard.grid.scenarios.push_back(r.scenario());
+      shard.grid.strategies = read_names("grid strategy");
+      shard.grid.seed_begin = r.u64("grid seed_begin");
+      shard.grid.seed_end = r.u64("grid seed_end");
+      frame = std::move(shard);
+      break;
+    }
+    case FrameKind::shard_response: {
+      BinShardResponse resp;
+      resp.shard_id = r.u64("shard_id");
+      resp.rows = r.rows();
+      frame = std::move(resp);
+      break;
+    }
     case FrameKind::error: {
       BinError err;
       err.status = r.u16("status");
@@ -336,6 +399,51 @@ std::string rank_body_bin(const RankRequest& request,
   resp.seed = request.seed;
   for (const ResultRow& row : rank_rows(request, platform, cache))
     resp.rows.push_back(bin_row(row.result, row.seed));
+  return encode_frame(std::move(resp));
+}
+
+BinResultRow bin_sweep_row(const exp::SweepRow& row) {
+  BinResultRow out;
+  out.seed = row.seed;
+  out.strategy = row.strategy;
+  out.makespan_us = row.makespan_us;
+  out.vm_cost_micros = row.vm_cost_micros;
+  out.egress_cost_micros = row.egress_cost_micros;
+  out.total_cost_micros = row.total_cost_micros;
+  out.idle_us = row.idle_us;
+  out.busy_us = row.busy_us;
+  out.vms_used = row.vms_used;
+  out.total_btus = row.total_btus;
+  out.utilization_ppm = row.utilization_ppm;
+  out.gain_pct_ppm = row.gain_pct_ppm;
+  out.loss_pct_ppm = row.loss_pct_ppm;
+  return out;
+}
+
+exp::SweepRow sweep_row_of(const BinResultRow& row) {
+  exp::SweepRow out;
+  out.seed = row.seed;
+  out.strategy = row.strategy;
+  out.makespan_us = row.makespan_us;
+  out.vm_cost_micros = row.vm_cost_micros;
+  out.egress_cost_micros = row.egress_cost_micros;
+  out.total_cost_micros = row.total_cost_micros;
+  out.idle_us = row.idle_us;
+  out.busy_us = row.busy_us;
+  out.vms_used = row.vms_used;
+  out.total_btus = row.total_btus;
+  out.utilization_ppm = row.utilization_ppm;
+  out.gain_pct_ppm = row.gain_pct_ppm;
+  out.loss_pct_ppm = row.loss_pct_ppm;
+  return out;
+}
+
+std::string shard_body_bin(const exp::ShardSpec& shard,
+                           const cloud::Platform& platform) {
+  BinShardResponse resp;
+  resp.shard_id = shard.shard_id;
+  for (const exp::SweepRow& row : shard_rows(shard, platform))
+    resp.rows.push_back(bin_sweep_row(row));
   return encode_frame(std::move(resp));
 }
 

@@ -42,6 +42,8 @@ enum class FrameKind : std::uint8_t {
   evaluate_response = 3,
   rank_response = 4,
   error = 5,
+  shard_request = 6,   ///< payload: exp::ShardSpec (distributed fabric)
+  shard_response = 7,  ///< payload: BinShardResponse
 };
 
 /// One result row in integer fixed point (see the header comment for the
@@ -83,10 +85,23 @@ struct BinError {
   std::string message;
 };
 
-/// Any decoded frame. Requests reuse the protocol-layer structs, so the
-/// server feeds them straight into the same handlers as JSON.
-using BinFrame = std::variant<EvaluateRequest, RankRequest,
-                              BinEvaluateResponse, BinRankResponse, BinError>;
+/// A shard's answer: its rows in canonical cell order. The rows are the
+/// same integer fixed point as every other response, so a coordinator
+/// merging frames from many workers reassembles the serial sweep exactly.
+struct BinShardResponse {
+  std::uint64_t shard_id = 0;
+  std::vector<BinResultRow> rows;
+
+  friend bool operator==(const BinShardResponse&,
+                         const BinShardResponse&) = default;
+};
+
+/// Any decoded frame. Requests reuse the protocol-layer structs (shard
+/// requests are exp::ShardSpec verbatim), so the server feeds them straight
+/// into the same handlers as JSON.
+using BinFrame =
+    std::variant<EvaluateRequest, RankRequest, BinEvaluateResponse,
+                 BinRankResponse, BinError, exp::ShardSpec, BinShardResponse>;
 
 /// Wire-level violation: `offset` is the byte position (into the buffer
 /// handed to decode_frame) where the violation was detected — always
@@ -120,5 +135,15 @@ class BinProtoError : public std::runtime_error {
 [[nodiscard]] std::string rank_body_bin(const RankRequest& request,
                                         const cloud::Platform& platform,
                                         EvalCache* cache = nullptr);
+
+/// Lossless SweepRow <-> BinResultRow conversions (the two structs are
+/// field-identical; a test pins that).
+[[nodiscard]] BinResultRow bin_sweep_row(const exp::SweepRow& row);
+[[nodiscard]] exp::SweepRow sweep_row_of(const BinResultRow& row);
+
+/// Body of a binary /v1/shard response, from the same handler rows as the
+/// JSON body.
+[[nodiscard]] std::string shard_body_bin(const exp::ShardSpec& shard,
+                                         const cloud::Platform& platform);
 
 }  // namespace cloudwf::svc

@@ -305,7 +305,10 @@ void HttpClient::disconnect() {
 
 std::optional<HttpResponse> HttpClient::roundtrip(const std::string& wire) {
   if (!write_all(fd_, wire)) return std::nullopt;
+  return receive();
+}
 
+std::optional<HttpResponse> HttpClient::receive() {
   // Read the status line + headers, then the Content-Length body, reusing
   // the request head parser (a response head has the same header grammar).
   std::string buffer = std::move(carry_);
@@ -367,11 +370,11 @@ std::optional<HttpResponse> HttpClient::roundtrip(const std::string& wire) {
   return response;
 }
 
-std::optional<HttpResponse> HttpClient::request(
+std::string HttpClient::build_wire(
     const std::string& method, const std::string& target,
     const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& extra_headers,
-    const std::string& content_type) {
+    const std::string& content_type) const {
   std::string wire;
   wire.reserve(body.size() + 128);
   wire += method;
@@ -391,13 +394,37 @@ std::optional<HttpResponse> HttpClient::request(
   }
   wire += "\r\n\r\n";
   wire += body;
+  return wire;
+}
 
+std::optional<HttpResponse> HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    const std::string& content_type) {
+  const std::string wire =
+      build_wire(method, target, body, extra_headers, content_type);
   if (!connected() && !connect(host_, port_)) return std::nullopt;
   if (std::optional<HttpResponse> response = roundtrip(wire)) return response;
   // The server may have dropped a kept-alive connection between requests;
   // one reconnect covers that race.
   if (!connect(host_, port_)) return std::nullopt;
   return roundtrip(wire);
+}
+
+bool HttpClient::send(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    const std::string& content_type) {
+  const std::string wire =
+      build_wire(method, target, body, extra_headers, content_type);
+  if (!connected() && !connect(host_, port_)) return false;
+  if (write_all(fd_, wire)) return true;
+  // Same dropped-keep-alive race as request(): safe to replay the write
+  // because no response is outstanding on this connection yet.
+  if (!connect(host_, port_)) return false;
+  return write_all(fd_, wire);
 }
 
 }  // namespace cloudwf::svc

@@ -135,7 +135,31 @@ class HttpClient {
           {},
       const std::string& content_type = "application/json");
 
+  /// The send half of request(): writes the request and returns without
+  /// waiting for the response. Reconnects once if a kept-alive connection
+  /// was dropped (safe — nothing is outstanding yet). Each successful
+  /// send() must be paired with one receive() before the next send on this
+  /// connection; the client does not pipeline. The load generator's
+  /// connection pool uses this to keep several requests in flight across
+  /// connections from one thread.
+  [[nodiscard]] bool send(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {},
+      const std::string& content_type = "application/json");
+
+  /// The receive half: blocks for the response to the last send(). Returns
+  /// nullopt on transport failure — the in-flight request is lost and the
+  /// caller must reconnect (receive() cannot replay a send).
+  [[nodiscard]] std::optional<HttpResponse> receive();
+
  private:
+  [[nodiscard]] std::string build_wire(
+      const std::string& method, const std::string& target,
+      const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers,
+      const std::string& content_type) const;
   [[nodiscard]] std::optional<HttpResponse> roundtrip(const std::string& wire);
 
   std::string host_;

@@ -54,6 +54,13 @@ struct ServerConfig {
   std::size_t max_connections = 128;  ///< concurrent connections; beyond, 503
   std::size_t event_loop_threads = 0;  ///< 0 = auto (cores/4, clamped to 1..4)
   std::size_t response_cache_entries = 8192;  ///< 0 disables the cache
+  /// IPv4 address to bind. Anything but loopback requires auth_token —
+  /// start() refuses to expose an unauthenticated server to a network.
+  std::string bind_address = "127.0.0.1";
+  /// Shared secret. When non-empty, every request except GET /health must
+  /// carry it in X-Auth-Token (compared in constant time) or is answered
+  /// 401. /health stays open for load-balancer liveness probes.
+  std::string auth_token;
 };
 
 class Server {

@@ -1,0 +1,201 @@
+// The sweep grid under the distributed fabric: canonical flat-cell order,
+// admission checks, deterministic partitioning, and the differential that
+// the whole PR hangs on — run_shard over any partition, merged in shard
+// order, is bit-identical to run_grid_serial over the same grid.
+#include "exp/sweep_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "scheduling/factory.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+/// Small but not degenerate: 2 workflows x 2 scenarios x 2 seeds x 2
+/// strategies = 16 cells, every axis longer than one so ordering bugs
+/// cannot hide.
+SweepGridSpec small_grid() {
+  SweepGridSpec grid;
+  grid.workflows = {"montage", "mapreduce"};
+  grid.scenarios = {workload::ScenarioKind::pareto,
+                    workload::ScenarioKind::worst_case};
+  grid.strategies = {"AllPar1LnS", "StartParExceed-m"};
+  grid.seed_begin = 3;
+  grid.seed_end = 4;
+  return grid;
+}
+
+TEST(SweepGrid, CellCountMultipliesAxes) {
+  const SweepGridSpec grid = small_grid();
+  EXPECT_EQ(grid.seed_count(), 2u);
+  EXPECT_EQ(grid.cell_count(), 16u);
+  EXPECT_NO_THROW(validate_grid(grid));
+}
+
+TEST(SweepGrid, CellAtWalksCanonicalOrder) {
+  const SweepGridSpec grid = small_grid();
+  // Workflow-major, then scenario, then seed, then strategy: the strategy
+  // axis spins fastest, the workflow axis slowest.
+  const GridCell first = cell_at(grid, 0);
+  EXPECT_EQ(first.workflow, "montage");
+  EXPECT_EQ(first.scenario, workload::ScenarioKind::pareto);
+  EXPECT_EQ(first.seed, 3u);
+  EXPECT_EQ(first.strategy, "AllPar1LnS");
+  EXPECT_EQ(first.strategy_index, 0u);
+
+  const GridCell second = cell_at(grid, 1);
+  EXPECT_EQ(second.strategy, "StartParExceed-m");
+  EXPECT_EQ(second.seed, 3u);
+
+  const GridCell third = cell_at(grid, 2);
+  EXPECT_EQ(third.seed, 4u);
+  EXPECT_EQ(third.strategy, "AllPar1LnS");
+
+  const GridCell fifth = cell_at(grid, 4);
+  EXPECT_EQ(fifth.workflow, "montage");
+  EXPECT_EQ(fifth.scenario, workload::ScenarioKind::worst_case);
+  EXPECT_EQ(fifth.seed, 3u);
+
+  const GridCell ninth = cell_at(grid, 8);
+  EXPECT_EQ(ninth.workflow, "mapreduce");
+  EXPECT_EQ(ninth.scenario, workload::ScenarioKind::pareto);
+
+  const GridCell last = cell_at(grid, 15);
+  EXPECT_EQ(last.workflow, "mapreduce");
+  EXPECT_EQ(last.scenario, workload::ScenarioKind::worst_case);
+  EXPECT_EQ(last.seed, 4u);
+  EXPECT_EQ(last.strategy, "StartParExceed-m");
+
+  EXPECT_THROW((void)cell_at(grid, 16), std::invalid_argument);
+}
+
+TEST(SweepGrid, ValidateRejectsBadSpecs) {
+  SweepGridSpec grid = small_grid();
+  grid.workflows.clear();
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = small_grid();
+  grid.scenarios.clear();
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = small_grid();
+  grid.strategies = {"NoSuchStrategy"};
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = small_grid();
+  grid.workflows = {"not-a-workflow"};
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = small_grid();
+  grid.seed_begin = 9;
+  grid.seed_end = 1;
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  // The admission cap: a seed range alone can blow past kMaxGridCells.
+  grid = small_grid();
+  grid.seed_begin = 0;
+  grid.seed_end = kMaxGridCells;  // 8 * (cap + 1) cells
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+}
+
+TEST(SweepGrid, GridWorkflowResolvesServedAndScaledNames) {
+  EXPECT_GT(grid_workflow("montage").task_count(), 0u);
+  // Scaled Pegasus family: the requested task count is honored.
+  EXPECT_EQ(grid_workflow("epigenomics:120").task_count(), 120u);
+  EXPECT_THROW((void)grid_workflow("epigenomics:0"), std::invalid_argument);
+  EXPECT_THROW((void)grid_workflow("epigenomics:999999"),
+               std::invalid_argument);
+  EXPECT_THROW((void)grid_workflow("nope:100"), std::invalid_argument);
+  EXPECT_THROW((void)grid_workflow("bogus"), std::invalid_argument);
+}
+
+TEST(SweepGrid, PartitionIsContiguousNearEqualAndDeterministic) {
+  const SweepGridSpec grid = small_grid();
+  const std::vector<ShardSpec> shards = partition_grid(grid, 5);
+  ASSERT_EQ(shards.size(), 5u);
+  std::uint64_t expect_begin = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].shard_id, i);
+    EXPECT_EQ(shards[i].cell_begin, expect_begin);
+    EXPECT_GT(shards[i].cell_end, shards[i].cell_begin);
+    EXPECT_EQ(shards[i].grid, grid);
+    // Near-equal: 16 cells over 5 shards is four 3s and one 4 (or any
+    // split within one cell of even).
+    EXPECT_LE(shards[i].cell_count(), 4u);
+    EXPECT_GE(shards[i].cell_count(), 3u);
+    expect_begin = shards[i].cell_end;
+  }
+  EXPECT_EQ(expect_begin, grid.cell_count());
+
+  EXPECT_EQ(partition_grid(grid, 5), shards);  // deterministic
+
+  // Never more shards than cells, never zero.
+  EXPECT_EQ(partition_grid(grid, 1000).size(), grid.cell_count());
+  EXPECT_EQ(partition_grid(grid, 0).size(), 1u);
+}
+
+TEST(SweepGrid, ShardedRunsMergeBitIdenticalToSerial) {
+  const SweepGridSpec grid = small_grid();
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const std::vector<SweepRow> serial = run_grid_serial(grid, platform);
+  ASSERT_EQ(serial.size(), grid.cell_count());
+
+  // Every partition width, including single-cell shards and widths that
+  // split (workflow, scenario, seed) groups mid-stride.
+  for (const std::size_t width : {1u, 2u, 3u, 5u, 7u, 16u}) {
+    const std::vector<ShardSpec> shards = partition_grid(grid, width);
+    std::vector<std::vector<SweepRow>> per_shard;
+    per_shard.reserve(shards.size());
+    for (const ShardSpec& shard : shards)
+      per_shard.push_back(run_shard(shard, platform));
+    const std::vector<SweepRow> merged = merge_shards(shards, per_shard);
+    EXPECT_EQ(merged, serial) << "partition width " << width;
+    EXPECT_EQ(sweep_table(grid, merged), sweep_table(grid, serial));
+  }
+}
+
+TEST(SweepGrid, MergeRefusesShortOrMiscountedShards) {
+  const SweepGridSpec grid = small_grid();
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const std::vector<ShardSpec> shards = partition_grid(grid, 4);
+  std::vector<std::vector<SweepRow>> per_shard;
+  for (const ShardSpec& shard : shards)
+    per_shard.push_back(run_shard(shard, platform));
+
+  std::vector<std::vector<SweepRow>> missing = per_shard;
+  missing.pop_back();
+  EXPECT_THROW((void)merge_shards(shards, missing), std::invalid_argument);
+
+  std::vector<std::vector<SweepRow>> short_shard = per_shard;
+  short_shard[1].pop_back();  // a lost row must never merge silently
+  EXPECT_THROW((void)merge_shards(shards, short_shard),
+               std::invalid_argument);
+}
+
+TEST(SweepGrid, RunShardRejectsOutOfRangeSlices) {
+  const SweepGridSpec grid = small_grid();
+  ShardSpec shard;
+  shard.grid = grid;
+  shard.cell_begin = 4;
+  shard.cell_end = grid.cell_count() + 1;  // past the end
+  EXPECT_THROW((void)run_shard(shard, cloud::Platform::ec2()),
+               std::invalid_argument);
+  shard.cell_end = shard.cell_begin;  // empty slice: legal, zero rows
+  EXPECT_TRUE(run_shard(shard, cloud::Platform::ec2()).empty());
+}
+
+TEST(SweepGrid, PaperLabelsAllValidateAsGridStrategies) {
+  SweepGridSpec grid = small_grid();
+  grid.strategies = scheduling::paper_strategy_labels();
+  EXPECT_NO_THROW(validate_grid(grid));
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

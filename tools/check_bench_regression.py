@@ -4,7 +4,7 @@
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
 
-Two baseline kinds are auto-detected from the file contents:
+Three baseline kinds are auto-detected from the file contents:
 
   - sweep (BENCH_SWEEP.json, written by `bench_parallel_sweep --json`):
     carries `median_serial_ms` — a *cost*, lower is better. Fails when the
@@ -13,8 +13,14 @@ Two baseline kinds are auto-detected from the file contents:
     `cloudwf_load --json`): carries `requests_per_second` — a *rate*,
     higher is better. Fails when current throughput drops more than
     THRESHOLD below the baseline, or when the current run recorded errors.
+  - distributed (BENCH_DISTRIBUTED.json, written by
+    `bench_distributed --json`): carries `median_distributed_ms` (the
+    2-worker wall time) — a *cost*, lower is better — plus the measured
+    `speedup_2x`. Beyond the cost comparison, the current run's speedup_2x
+    must clear an absolute floor (--speedup-floor, default 1.5): the fabric
+    must actually scale, not merely not regress.
 
-Both kinds normalize by the file's `calibration_ms` (the same fixed
+All kinds normalize by the file's `calibration_ms` (the same fixed
 splitmix64 kernel timed in the same process) when both sides carry one, so
 the gate compares machine-relative scores: a slower or faster CI host moves
 baseline and current together. Getting faster never fails; a hint to
@@ -37,13 +43,16 @@ def load_doc(path: str) -> dict:
 
 
 def kind_of(doc: dict, path: str) -> str:
+    if "median_distributed_ms" in doc:
+        return "distributed"
     if "requests_per_second" in doc:
         return "service"
     if "median_serial_ms" in doc:
         return "sweep"
     raise SystemExit(
-        f"{path}: neither 'median_serial_ms' (sweep) nor "
-        f"'requests_per_second' (service) present"
+        f"{path}: none of 'median_distributed_ms' (distributed), "
+        f"'median_serial_ms' (sweep) or 'requests_per_second' (service) "
+        f"present"
     )
 
 
@@ -74,6 +83,13 @@ def main() -> int:
         default=0.15,
         help="allowed relative regression (default 0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=1.5,
+        help="minimum speedup_2x a distributed run must measure "
+        "(default 1.5; only applies to the distributed kind)",
+    )
     args = parser.parse_args()
 
     base_doc = load_doc(args.baseline)
@@ -102,6 +118,28 @@ def main() -> int:
             unit = "ms (raw)"
         ratio = cur / base  # cost: higher current = regression
         what = "sweep"
+    elif kind == "distributed":
+        # Cost comparison on the 2-worker wall time, plus an absolute floor
+        # on the current run's measured 2-worker speedup: a fabric that
+        # stopped scaling fails even if its wall time looks unchanged.
+        speedup = metric(cur_doc, args.current, "speedup_2x")
+        if speedup < args.speedup_floor:
+            print(
+                f"FAIL: current speedup_2x {speedup:.3f} below the "
+                f"{args.speedup_floor:.2f} floor — the distributed fabric "
+                f"no longer scales at 2 workers",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"speedup_2x: {speedup:.3f} (floor {args.speedup_floor:.2f})")
+        base = metric(base_doc, args.baseline, "median_distributed_ms")
+        cur = metric(cur_doc, args.current, "median_distributed_ms")
+        if normalized:
+            base, cur, unit = base / base_cal, cur / cur_cal, "x calibration"
+        else:
+            unit = "ms (raw)"
+        ratio = cur / base  # cost: higher current = regression
+        what = "distributed sweep"
     else:
         errors = int(cur_doc.get("errors", 0) or 0)
         if errors > 0:

@@ -18,6 +18,15 @@
 //   cloudwf serve   [--port N] [--workers N] [--queue-depth N]
 //                   [--timeout-ms N] [--max-connections N]
 //                   [--event-loop-threads N] [--response-cache N]
+//                   [--bind ADDR] [--auth-token SECRET]
+//   cloudwf sweep   [--workflows a,b] [--scenarios s,t] [--strategies x,y]
+//                   [--seeds B:E] [--out FILE] [--verify]
+//                   [--distributed --connect host:port,... | --listen-port P]
+//                   [--shards N] [--shards-per-worker N]
+//                   [--lease-timeout-ms N] [--max-attempts N]
+//                   [--auth-token SECRET] [--json]
+//   cloudwf worker  --connect host:port [--delay-ms N] [--max-shards N]
+//                   [--poll-ms N]
 //   cloudwf check   [--cases N] [--seed N] [--threads N] [--large-tasks N]
 //                   [--json]
 //   cloudwf mtsim   [--tenants N] [--policy exclusive|shared|weighted-fair]
@@ -30,11 +39,14 @@
 // cybershake, ligo, sipht; "family:N" scales a Pegasus family to >= N tasks
 // (e.g. epigenomics:1000); anything else is treated as a workflow file in
 // the dag/io text format.
+#include <chrono>
 #include <csignal>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <fstream>
@@ -42,6 +54,10 @@
 #include "adaptive/advisor.hpp"
 #include "adaptive/markdown_report.hpp"
 #include "check/differential.hpp"
+#include "check/shard_merge.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
+#include "exp/sweep_grid.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_sim.hpp"
@@ -56,12 +72,14 @@
 #include "exp/report.hpp"
 #include "check/mt_oracle.hpp"
 #include "scheduling/baselines.hpp"
+#include "scheduling/factory.hpp"
 #include "sim/gantt.hpp"
 #include "tenant/billing.hpp"
 #include "tenant/shared_pool.hpp"
 #include "sim/schedule_diff.hpp"
 #include "sim/validator.hpp"
 #include "sim/vm_report.hpp"
+#include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "util/json.hpp"
 
@@ -104,7 +122,13 @@ Args parse_args(int argc, char** argv) {
         name == "response-cache" || name == "cases" || name == "threads" ||
         name == "large-tasks" || name == "tenants" || name == "policy" ||
         name == "arrival" || name == "jobs" || name == "provisioning" ||
-        name == "sigma" || name == "quota" || name == "quantum") {
+        name == "sigma" || name == "quota" || name == "quantum" ||
+        name == "workflows" || name == "scenarios" || name == "strategies" ||
+        name == "seeds" || name == "connect" || name == "listen-port" ||
+        name == "shards" || name == "shards-per-worker" ||
+        name == "lease-timeout-ms" || name == "max-attempts" ||
+        name == "auth-token" || name == "bind" || name == "delay-ms" ||
+        name == "max-shards" || name == "poll-ms") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -416,6 +440,8 @@ int cmd_serve(const Args& args) {
     config.event_loop_threads = std::stoul(*loops);
   if (const auto cache = args.option("response-cache"))
     config.response_cache_entries = std::stoul(*cache);
+  if (const auto bind = args.option("bind")) config.bind_address = *bind;
+  if (const auto token = args.option("auth-token")) config.auth_token = *token;
 
   // Block SIGTERM/SIGINT before any thread exists so every service thread
   // inherits the mask; the main thread then sigwait()s and turns the signal
@@ -428,13 +454,14 @@ int cmd_serve(const Args& args) {
 
   svc::Server server(config);
   server.start();
-  std::cout << "cloudwf serve: listening on 127.0.0.1:" << server.port()
-            << " (" << server.event_loop_count() << " event loops, "
-            << config.workers << " workers, queue depth "
+  std::cout << "cloudwf serve: listening on " << config.bind_address << ':'
+            << server.port() << " (" << server.event_loop_count()
+            << " event loops, " << config.workers << " workers, queue depth "
             << config.max_queue << ", timeout "
-            << config.request_timeout.count() << " ms)\n"
+            << config.request_timeout.count() << " ms"
+            << (config.auth_token.empty() ? "" : ", auth required") << ")\n"
             << "endpoints: GET /health, GET /stats, POST /v1/evaluate, "
-               "POST /v1/rank — SIGTERM drains and exits\n"
+               "POST /v1/rank, POST /v1/shard — SIGTERM drains and exits\n"
             << std::flush;
 
   int signal_number = 0;
@@ -453,6 +480,181 @@ int cmd_serve(const Args& args) {
             << counters.batches_run.load() << " batches, "
             << counters.requests_coalesced.load() << " coalesced)\n";
   return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        comma == std::string::npos ? text.substr(pos)
+                                   : text.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size())
+    throw std::runtime_error("expected host:port, got '" + spec + "'");
+  return {spec.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)))};
+}
+
+/// The sweep grid from --workflows/--scenarios/--strategies/--seeds.
+/// --seeds takes an inclusive "begin:end" range (a bare N means N:N);
+/// --strategies defaults to the full 19-strategy paper legend.
+exp::SweepGridSpec parse_grid(const Args& args) {
+  exp::SweepGridSpec grid;
+  grid.workflows = split_csv(args.option("workflows").value_or("montage"));
+  for (const std::string& name :
+       split_csv(args.option("scenarios").value_or("pareto")))
+    grid.scenarios.push_back(svc::parse_scenario(name));
+  if (const auto strategies = args.option("strategies"))
+    grid.strategies = split_csv(*strategies);
+  else
+    grid.strategies = scheduling::paper_strategy_labels();
+  const std::string seeds = args.option("seeds").value_or("0");
+  const std::size_t colon = seeds.find(':');
+  grid.seed_begin = std::stoull(seeds.substr(0, colon));
+  grid.seed_end = colon == std::string::npos
+                      ? grid.seed_begin
+                      : std::stoull(seeds.substr(colon + 1));
+  exp::validate_grid(grid);
+  return grid;
+}
+
+dist::TrackerConfig parse_tracker(const Args& args) {
+  dist::TrackerConfig tracker;
+  if (const auto ms = args.option("lease-timeout-ms"))
+    tracker.lease_timeout = std::chrono::milliseconds(std::stoul(*ms));
+  if (const auto attempts = args.option("max-attempts"))
+    tracker.max_attempts = std::stoul(*attempts);
+  return tracker;
+}
+
+void print_sweep_stats(const dist::SweepOutcome& outcome) {
+  std::cerr << "cloudwf sweep: " << outcome.shard_count << " shards, "
+            << outcome.stats.leases_granted << " leases ("
+            << outcome.stats.reissues_expired << " expired re-issues, "
+            << outcome.stats.reissues_speculative << " speculative), "
+            << outcome.stats.duplicates_discarded << " duplicates, "
+            << outcome.stats.failures_reported << " failures\n";
+}
+
+// The full strategy x seed x scenario x workflow sweep, serial by default
+// or sharded across workers with --distributed. The canonical table goes to
+// stdout (or --out) and every diagnostic to stderr, so the serial and
+// distributed outputs of the same grid can be compared byte for byte —
+// that identity is the fabric's core guarantee and the CI smoke `cmp`s it.
+int cmd_sweep(const Args& args) {
+  const exp::SweepGridSpec grid = parse_grid(args);
+  const cloud::Platform platform = cloud::Platform::ec2();
+
+  std::vector<exp::SweepRow> rows;
+  if (!args.flag("distributed")) {
+    std::cerr << "cloudwf sweep: serial, " << grid.cell_count() << " cells\n";
+    rows = exp::run_grid_serial(grid, platform);
+  } else if (const auto connect = args.option("connect")) {
+    // Push mode: drive a fleet of `cloudwf serve` instances over /v1/shard.
+    dist::CoordinatorOptions options;
+    options.tracker = parse_tracker(args);
+    if (const auto per = args.option("shards-per-worker"))
+      options.shards_per_worker = std::stoul(*per);
+    std::vector<std::shared_ptr<dist::ShardTransport>> workers;
+    for (const std::string& spec : split_csv(*connect)) {
+      dist::HttpShardTransport::Options remote;
+      std::tie(remote.host, remote.port) = parse_host_port(spec);
+      remote.binary = !args.flag("json");
+      remote.auth_token = args.option("auth-token").value_or("");
+      workers.push_back(std::make_shared<dist::HttpShardTransport>(remote));
+    }
+    if (workers.empty())
+      throw std::runtime_error("--connect needs at least one host:port");
+    std::cerr << "cloudwf sweep: distributed push, " << grid.cell_count()
+              << " cells over " << workers.size() << " workers\n";
+    dist::SweepOutcome outcome =
+        dist::run_distributed(grid, workers, options);
+    print_sweep_stats(outcome);
+    rows = std::move(outcome.rows);
+  } else {
+    // Pull mode: serve shard leases to `cloudwf worker` processes.
+    dist::CoordinatorServer::Config config;
+    config.tracker = parse_tracker(args);
+    if (const auto port = args.option("listen-port"))
+      config.port = static_cast<std::uint16_t>(std::stoul(*port));
+    const std::size_t shard_count =
+        std::stoul(args.option("shards").value_or("8"));
+    dist::CoordinatorServer server(exp::partition_grid(grid, shard_count),
+                                   config);
+    server.start();
+    std::cerr << "cloudwf sweep: coordinator on 127.0.0.1:" << server.port()
+              << ", " << grid.cell_count() << " cells — waiting for workers "
+              << "(cloudwf worker --connect 127.0.0.1:" << server.port()
+              << ")\n";
+    dist::SweepOutcome outcome = server.finish();
+    print_sweep_stats(outcome);
+    rows = std::move(outcome.rows);
+  }
+
+  if (args.flag("verify")) {
+    // Shard-merge oracle: order check over every row, then sampled cells
+    // re-executed and run through the 8-invariant schedule oracle.
+    const check::ShardMergeReport report =
+        check::check_shard_merge(grid, rows, platform);
+    std::cerr << "cloudwf sweep: merge oracle " << (report.ok() ? "ok" : "VIOLATIONS")
+              << " (" << report.cells_checked << " rows checked, "
+              << report.cells_verified << " cells re-verified)\n";
+    if (!report.ok()) {
+      std::cerr << report.to_string() << '\n';
+      return 2;
+    }
+  }
+
+  const std::string table = exp::sweep_table(grid, rows);
+  if (const auto out = args.option("out")) {
+    std::ofstream file(*out);
+    if (!file) throw std::runtime_error("cannot write " + *out);
+    file << table;
+    std::cerr << "cloudwf sweep: wrote " << *out << '\n';
+  } else {
+    std::cout << table;
+  }
+  return 0;
+}
+
+// Pull-mode worker: lease shards from a `cloudwf sweep --distributed`
+// coordinator, execute, stream rows back. --delay-ms and --max-shards are
+// the fault-injection knobs the failure tests and the CI smoke use (a
+// straggler, and a worker killed mid-sweep).
+int cmd_worker(const Args& args) {
+  const auto connect = args.option("connect");
+  if (!connect)
+    throw std::runtime_error("cloudwf worker needs --connect host:port");
+  dist::WorkerOptions options;
+  std::tie(options.host, options.port) = parse_host_port(*connect);
+  if (const auto ms = args.option("delay-ms"))
+    options.delay_per_shard = std::chrono::milliseconds(std::stoul(*ms));
+  if (const auto shards = args.option("max-shards"))
+    options.max_shards = std::stoul(*shards);
+  if (const auto ms = args.option("poll-ms"))
+    options.poll_interval = std::chrono::milliseconds(std::stoul(*ms));
+
+  const dist::WorkerReport report = dist::run_worker(options);
+  std::cout << "cloudwf worker: " << report.shards_completed << " completed, "
+            << report.shards_duplicate << " duplicate, "
+            << report.shards_failed << " failed"
+            << (report.finished ? ", sweep finished" : "") << '\n';
+  // Success = the sweep finished or this worker contributed work before
+  // exiting (a --max-shards budget exit, or the coordinator went away after
+  // accepting results). Connecting and doing nothing is the failure case.
+  const bool contributed =
+      report.shards_completed > 0 || report.shards_duplicate > 0;
+  return report.finished || contributed ? 0 : 1;
 }
 
 int cmd_check(const Args& args) {
@@ -641,7 +843,12 @@ constexpr const char* kUsage =
     "  artifacts  write the reproduction artifact bundle\n"
     "  diff       compare two strategies' schedules (--strategy, --vs)\n"
     "  trace      run one strategy with obs tracing (--workflow, --strategy)\n"
-    "  serve      long-running HTTP simulation service (--port, --workers)\n"
+    "  serve      long-running HTTP simulation service (--port, --workers,\n"
+    "             --bind, --auth-token)\n"
+    "  sweep      full strategy x seed x scenario grid, serial or sharded\n"
+    "             (--workflows, --seeds B:E; --distributed with --connect\n"
+    "             host:port,... or --listen-port for cloudwf worker pulls)\n"
+    "  worker     pull-mode sweep worker (--connect host:port)\n"
     "  check      randomized differential + oracle sweep (--cases, --seed)\n"
     "  mtsim      multi-tenant shared-pool simulation (--tenants, --policy,\n"
     "             --arrival, --jobs, --quota; oracle-checked and billed)\n"
@@ -664,6 +871,8 @@ int main(int argc, char** argv) {
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "worker") return cmd_worker(args);
     if (args.command == "check") return cmd_check(args);
     if (args.command == "mtsim") return cmd_mtsim(args);
     if (args.command == "help" || args.command == "--help") {

@@ -2,7 +2,7 @@
 //
 //   cloudwf_load --port N [--host 127.0.0.1] [--requests 200]
 //                [--concurrency 4] [--mode closed|open] [--rate 200]
-//                [--endpoint evaluate|rank|health|mix]
+//                [--pool N] [--endpoint evaluate|rank|health|mix]
 //                [--workflow montage] [--strategy AllParExceed-m]
 //                [--scenario pareto] [--seeds 100] [--tenants N]
 //                [--binary] [--tolerate-429] [--json FILE]
@@ -16,6 +16,13 @@
 //    (`--rate` req/s) regardless of completions, and latency is measured
 //    from the *scheduled* start, so queueing delay behind a slow response
 //    is charged to the result (no coordinated omission).
+//
+// --pool N (open loop only) gives each worker a pool of N keep-alive
+// connections and rotates its scheduled sends across them, keeping up to N
+// requests in flight per worker: a slow response delays only its own
+// connection's next turn instead of head-of-line-blocking every subsequent
+// scheduled request in the stream. Latency is still charged from the
+// scheduled start until the response is collected.
 //
 // --tenants N registers t0..tN-1 via POST /v1/tenants before the run and
 // cycles an X-Tenant header across the traffic (every (N+1)-th request
@@ -37,8 +44,10 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "svc/binproto.hpp"
@@ -60,7 +69,8 @@ struct Options {
   std::size_t requests = 200;
   std::size_t concurrency = 4;
   std::string mode = "closed";
-  double rate = 200.0;  // open-loop target req/s
+  double rate = 200.0;     // open-loop target req/s
+  std::size_t pool = 1;    // keep-alive connections per worker (open loop)
   std::string endpoint = "evaluate";
   std::string workflow = "montage";
   std::string strategy = "AllParExceed-m";
@@ -155,6 +165,7 @@ int main(int argc, char** argv) {
     else if (arg == "--concurrency") opt.concurrency = std::stoul(value());
     else if (arg == "--mode") opt.mode = value();
     else if (arg == "--rate") opt.rate = std::stod(value());
+    else if (arg == "--pool") opt.pool = std::stoul(value());
     else if (arg == "--endpoint") opt.endpoint = value();
     else if (arg == "--workflow") opt.workflow = value();
     else if (arg == "--strategy") opt.strategy = value();
@@ -167,7 +178,7 @@ int main(int argc, char** argv) {
     else {
       std::cerr << "usage: cloudwf_load --port N [--host H] [--requests N]\n"
                    "  [--concurrency C] [--mode closed|open] [--rate R]\n"
-                   "  [--endpoint evaluate|rank|health|stats|mix]\n"
+                   "  [--pool N] [--endpoint evaluate|rank|health|stats|mix]\n"
                    "  [--workflow W] [--strategy S] [--scenario K] [--seeds N]\n"
                    "  [--tenants N] [--binary] [--tolerate-429] [--json FILE]\n";
       return 2;
@@ -183,6 +194,11 @@ int main(int argc, char** argv) {
   }
   if (opt.concurrency == 0) opt.concurrency = 1;
   if (opt.concurrency > opt.requests) opt.concurrency = opt.requests;
+  if (opt.pool == 0) opt.pool = 1;
+  if (opt.pool > 1 && opt.mode != "open") {
+    std::cerr << "error: --pool only applies to --mode open\n";
+    return 2;
+  }
 
   // Tenant names cycled into X-Tenant headers; index `opt.tenants` (the
   // last slot of the cycle) means "send anonymously".
@@ -217,6 +233,83 @@ int main(int argc, char** argv) {
   for (std::size_t w = 0; w < opt.concurrency; ++w) {
     workers.emplace_back([&, w] {
       WorkerResult& mine = results[w];
+
+      const auto tenant_headers = [&](std::size_t index) {
+        std::vector<std::pair<std::string, std::string>> headers;
+        if (!tenant_names.empty()) {
+          const std::size_t slot = index % (tenant_names.size() + 1);
+          if (slot < tenant_names.size())
+            headers.emplace_back("X-Tenant", tenant_names[slot]);
+        }
+        return headers;
+      };
+
+      if (open_loop && opt.pool > 1) {
+        // Pooled open loop: rotate this worker's scheduled sends across a
+        // pool of keep-alive connections (send/receive split on HttpClient)
+        // so up to `pool` requests stay in flight and a slow response only
+        // blocks its own connection's next turn.
+        struct Pending {
+          Clock::time_point begin;
+          RequestSpec spec;
+        };
+        std::vector<HttpClient> clients(opt.pool);
+        std::vector<std::optional<Pending>> pending(opt.pool);
+        for (HttpClient& client : clients)
+          if (!client.connect(opt.host, opt.port)) {
+            ++mine.transport_errors;
+            return;
+          }
+        // Collects the outstanding response on `slot` (if any), charging
+        // latency from the request's scheduled start to now.
+        const auto settle = [&](std::size_t slot) {
+          if (!pending[slot]) return;
+          const std::optional<HttpResponse> response = clients[slot].receive();
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - pending[slot]->begin)
+                                .count();
+          const RequestSpec spec = std::move(pending[slot]->spec);
+          pending[slot].reset();
+          if (!response) {
+            ++mine.transport_errors;
+            (void)clients[slot].connect(opt.host, opt.port);
+            return;
+          }
+          ++mine.status_counts[response->status];
+          if (response->status >= 200 && response->status < 300) {
+            if (spec.binary && !binary_response_ok(spec.target, response->body))
+              ++mine.decode_errors;
+            else
+              mine.latencies_ms.push_back(ms);
+          }
+        };
+        std::size_t turn = 0;
+        for (;;) {
+          const std::size_t index =
+              next_index.fetch_add(1, std::memory_order_relaxed);
+          if (index >= opt.requests) break;
+          const RequestSpec spec = make_spec(opt, index);
+          const auto scheduled =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(index) / opt.rate));
+          std::this_thread::sleep_until(scheduled);
+          const std::size_t slot = turn++ % opt.pool;
+          settle(slot);  // free the connection before reusing it
+          if (!clients[slot].send(
+                  spec.method, spec.target, spec.body, tenant_headers(index),
+                  spec.binary ? std::string(cloudwf::svc::kBinaryContentType)
+                              : "application/json")) {
+            ++mine.transport_errors;
+            (void)clients[slot].connect(opt.host, opt.port);
+            continue;
+          }
+          pending[slot] = Pending{scheduled, spec};
+        }
+        for (std::size_t slot = 0; slot < opt.pool; ++slot) settle(slot);
+        return;
+      }
+
       HttpClient client;
       if (!client.connect(opt.host, opt.port)) {
         // Count every request this worker would have issued as failed.
@@ -242,14 +335,8 @@ int main(int argc, char** argv) {
           begin = scheduled;
         }
 
-        std::vector<std::pair<std::string, std::string>> headers;
-        if (!tenant_names.empty()) {
-          const std::size_t slot = index % (tenant_names.size() + 1);
-          if (slot < tenant_names.size())
-            headers.emplace_back("X-Tenant", tenant_names[slot]);
-        }
         const std::optional<HttpResponse> response = client.request(
-            spec.method, spec.target, spec.body, headers,
+            spec.method, spec.target, spec.body, tenant_headers(index),
             spec.binary ? std::string(cloudwf::svc::kBinaryContentType)
                         : "application/json");
         const double ms =
@@ -308,8 +395,10 @@ int main(int argc, char** argv) {
   const double p99 = latencies.empty() ? 0 : percentile(latencies, 99);
 
   std::cout << "cloudwf_load: " << opt.mode << "-loop, " << opt.requests
-            << " requests, " << opt.concurrency << " connections, endpoint "
-            << opt.endpoint << (opt.binary ? " (binary)" : "") << '\n'
+            << " requests, " << opt.concurrency << " connections"
+            << (opt.pool > 1 ? " x pool " + std::to_string(opt.pool) : "")
+            << ", endpoint " << opt.endpoint
+            << (opt.binary ? " (binary)" : "") << '\n'
             << "  wall        " << format_double(wall_s, 2) << " s\n"
             << "  ok          " << ok << " (" << format_double(throughput, 1)
             << " req/s)\n"
@@ -332,6 +421,7 @@ int main(int argc, char** argv) {
     doc["protocol"] = opt.binary ? "binary" : "json";
     doc["requests"] = opt.requests;
     doc["concurrency"] = opt.concurrency;
+    doc["pool"] = static_cast<std::int64_t>(opt.pool);
     doc["ok"] = static_cast<std::int64_t>(ok);
     doc["rejected_429"] = static_cast<std::int64_t>(rejected);
     doc["errors"] = static_cast<std::int64_t>(errors);
