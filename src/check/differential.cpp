@@ -156,7 +156,8 @@ DifferentialResult run_differential(
     const dag::Workflow structure = random_case_dag(i, dag_rng, config);
 
     workload::ScenarioConfig scenario;
-    scenario.kind = workload::kAllScenarios[pick % workload::kAllScenarios.size()];
+    scenario.kind = workload::kDifferentialScenarios
+        [pick % workload::kDifferentialScenarios.size()];
     scenario.seed = scenario_seed;
 
     CaseInfo info;
@@ -183,10 +184,13 @@ DifferentialResult run_differential(
         runner.run_all(structure, scenario.kind);
 
     // Naive reference: cold workflow, fresh schedulers, index verification.
+    // The platform must carry the same scenario environment (cold-start
+    // table, price schedule) the fast path derived, or the two sides would
+    // legitimately differ.
     const dag::Workflow materialized =
         runner.materialize(structure, scenario.kind);
     const dag::Workflow cold = clone_cold(materialized);
-    const cloud::Platform& platform = runner.platform();
+    const cloud::Platform platform = runner.scenario_platform(scenario.kind);
 
     ScopedIndexVerification verify_indices;
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "cloud/vm_billing.hpp"
 
 namespace cloudwf::check {
 
@@ -188,12 +191,13 @@ class Checker {
 
   /// No task may start before its VM has booted. The model boots every VM
   /// at time 0 (pre-booting, Sect. IV-A), so the first feasible start is the
-  /// platform's boot delay — for every placement, not just the first.
+  /// platform's boot delay — per (size, region) under a cold-start model,
+  /// the flat boot time otherwise — for every placement, not just the first.
   void check_boot() {
-    const util::Seconds boot = platform_.boot_time();
-    if (boot <= 0) return;
     for (const cloud::Vm& vm : schedule_.pool().vms()) {
       if (!vm.used()) continue;
+      const util::Seconds boot = platform_.boot_delay(vm.size(), vm.region());
+      if (boot <= 0) continue;
       const cloud::Placement& first = vm.placements().front();
       if (util::time_gt(boot, first.start)) {
         std::ostringstream os;
@@ -208,9 +212,14 @@ class Checker {
   /// Recomputes the whole bill from raw placements: sessions re-derived by
   /// the rent/stop rule (a placement past the running session's paid window
   /// means the VM was released at that boundary and rented anew), BTUs by
-  /// the independent quantizer, prices straight from the region table.
+  /// the independent quantizer, prices straight from the region table. Under
+  /// scenario billing the oracle applies its own cold-start anchor shift and
+  /// its own per-BTU fraction lookups, never touching Vm::sessions() or
+  /// vm_bill's arithmetic — those are what it certifies.
   void check_billing() {
     const cloud::VmPool& pool = schedule_.pool();
+    const bool scenario = platform_.scenario_billing_active();
+    const cloud::PriceSchedule* prices = platform_.price_schedule();
     util::Money recomputed_total;
     bool per_vm_ok = true;
     for (const cloud::Vm& vm : pool.vms()) {
@@ -219,43 +228,68 @@ class Checker {
                 [](const cloud::Placement& x, const cloud::Placement& y) {
                   return x.start < y.start;
                 });
-      std::int64_t btus = 0;
-      std::size_t sessions = 0;
-      util::Seconds session_start = 0;
-      util::Seconds session_end = 0;
+      // Session intervals re-derived from raw placements alone.
+      std::vector<std::pair<util::Seconds, util::Seconds>> sessions;
       for (const cloud::Placement& p : ps) {
-        if (sessions == 0) {
-          session_start = p.start;
-          session_end = p.end;
-          sessions = 1;
+        if (sessions.empty()) {
+          sessions.emplace_back(p.start, p.end);
           continue;
         }
+        auto& cur = sessions.back();
         const util::Seconds paid_end =
-            session_start + static_cast<util::Seconds>(
-                                oracle_btus(session_end - session_start)) *
-                                util::kBtu;
+            cur.first + static_cast<util::Seconds>(
+                            oracle_btus(cur.second - cur.first)) *
+                            util::kBtu;
         if (util::time_gt(p.start, paid_end)) {
           // The VM sat idle past a paid boundary: stop event, then re-rent.
-          btus += oracle_btus(session_end - session_start);
-          session_start = p.start;
-          ++sessions;
+          sessions.emplace_back(p.start, p.end);
+        } else {
+          cur.second = p.end;
         }
-        session_end = p.end;
       }
-      if (sessions > 0) btus += oracle_btus(session_end - session_start);
 
-      if (btus != vm.btus()) {
+      const util::Seconds cold =
+          scenario ? platform_.cold_start_delay(vm.size(), vm.region()) : 0.0;
+      const util::Money list = platform_.region(vm.region()).price(vm.size());
+      std::int64_t btus = 0;
+      util::Money cost;
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        // The first session's meter runs while the instance provisions.
+        const util::Seconds anchor =
+            i == 0 ? sessions[i].first - cold : sessions[i].first;
+        const std::int64_t n = oracle_btus(sessions[i].second - anchor);
+        btus += n;
+        if (scenario && prices != nullptr) {
+          for (std::int64_t k = 0; k < n; ++k)
+            cost += list.scaled(prices->fraction_at(
+                vm.size(), anchor + static_cast<util::Seconds>(k) * util::kBtu));
+        } else {
+          cost += list * n;
+        }
+      }
+
+      const cloud::VmBill fast = cloud::vm_bill(vm, platform_);
+      if (btus != fast.btus) {
         complain("billing", "VM " + std::to_string(vm.id()) + " bills " +
-                                std::to_string(vm.btus()) +
+                                std::to_string(fast.btus) +
                                 " BTUs but the rent/stop replay pays " +
                                 std::to_string(btus));
         per_vm_ok = false;
         continue;
       }
-      recomputed_total +=
-          platform_.region(vm.region()).price(vm.size()) * btus;
+      if (cost != fast.cost) {
+        complain("billing", "VM " + std::to_string(vm.id()) + " bills " +
+                                fast.cost.to_string() +
+                                " but the rent/stop replay pays " +
+                                cost.to_string());
+        per_vm_ok = false;
+        continue;
+      }
+      recomputed_total += cost;
     }
-    const util::Money pool_total = pool.rental_cost(platform_.regions());
+    const util::Money pool_total =
+        scenario ? cloud::pool_rental_cost(pool, platform_)
+                 : pool.rental_cost(platform_.regions());
     if (per_vm_ok && recomputed_total != pool_total)
       complain("billing", "pool rental cost " + pool_total.to_string() +
                               " != independently recomputed " +
@@ -283,12 +317,21 @@ class Checker {
     util::Seconds paid = 0;
     std::int64_t btus = 0;
     std::size_t used = 0;
+    const bool scenario = platform_.scenario_billing_active();
     for (const cloud::Vm& vm : pool.vms()) {
       if (!vm.used()) continue;
       ++used;
       for (const cloud::Placement& p : vm.placements()) busy += p.end - p.start;
-      btus += vm.btus();  // per-VM BTUs already certified by check_billing
-      paid += static_cast<util::Seconds>(vm.btus()) * util::kBtu;
+      if (scenario) {
+        // Per-VM bills already certified against the raw-placement replay by
+        // check_billing; here they anchor the aggregate cross-check.
+        const cloud::VmBill bill = cloud::vm_bill(vm, platform_);
+        btus += bill.btus;
+        paid += bill.paid;
+      } else {
+        btus += vm.btus();  // per-VM BTUs already certified by check_billing
+        paid += static_cast<util::Seconds>(vm.btus()) * util::kBtu;
+      }
     }
     if (used != m.vms_used)
       complain("metrics", "vms_used " + std::to_string(m.vms_used) +
@@ -424,13 +467,13 @@ ReplayAudit check_faulty_replay(const dag::Workflow& wf,
 
   // Per-VM: planned placement order preserved, no overlap between the
   // stretched intervals, and the bill re-derived from them (rent/stop
-  // session segmentation, Table II prices).
+  // session segmentation, Table II prices — with the cold-start anchor and
+  // per-BTU price fractions applied when scenario billing is installed).
+  const bool scenario_billing = platform.scenario_billing_active();
+  const cloud::PriceSchedule* price_schedule = platform.price_schedule();
   for (const cloud::Vm& vm : pool.vms()) {
     const auto& ps = vm.placements();
-    std::int64_t btus = 0;
-    std::size_t sessions = 0;
-    util::Seconds session_start = 0;
-    util::Seconds session_end = 0;
+    std::vector<std::pair<util::Seconds, util::Seconds>> sessions;
     for (std::size_t i = 0; i < ps.size(); ++i) {
       const sim::ReplayedTask& cur = replay.tasks[ps[i].task];
       audit.replayed_busy += cur.end - cur.start;
@@ -447,27 +490,38 @@ ReplayAudit check_faulty_replay(const dag::Workflow& wf,
                        task_label(wf, ps[i - 1].task) + " overlaps " +
                        task_label(wf, ps[i].task));
       }
-      if (sessions == 0) {
-        session_start = cur.start;
-        session_end = cur.end;
-        sessions = 1;
+      if (sessions.empty()) {
+        sessions.emplace_back(cur.start, cur.end);
         continue;
       }
+      auto& open = sessions.back();
       const util::Seconds paid_end =
-          session_start + static_cast<util::Seconds>(
-                              oracle_btus(session_end - session_start)) *
-                              util::kBtu;
-      if (util::time_gt(cur.start, paid_end)) {
-        btus += oracle_btus(session_end - session_start);
-        session_start = cur.start;
-        ++sessions;
-      }
-      session_end = std::max(session_end, cur.end);
+          open.first + static_cast<util::Seconds>(
+                           oracle_btus(open.second - open.first)) *
+                           util::kBtu;
+      if (util::time_gt(cur.start, paid_end))
+        sessions.emplace_back(cur.start, cur.end);
+      else
+        open.second = std::max(open.second, cur.end);
     }
-    if (sessions > 0) btus += oracle_btus(session_end - session_start);
-    audit.replayed_btus += btus;
-    audit.replayed_vm_cost +=
-        platform.region(vm.region()).price(vm.size()) * btus;
+    const util::Seconds cold =
+        scenario_billing ? platform.cold_start_delay(vm.size(), vm.region())
+                         : 0.0;
+    const util::Money list = platform.region(vm.region()).price(vm.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const util::Seconds anchor =
+          i == 0 ? sessions[i].first - cold : sessions[i].first;
+      const std::int64_t session_btus =
+          oracle_btus(sessions[i].second - anchor);
+      audit.replayed_btus += session_btus;
+      if (scenario_billing && price_schedule != nullptr) {
+        for (std::int64_t k = 0; k < session_btus; ++k)
+          audit.replayed_vm_cost += list.scaled(price_schedule->fraction_at(
+              vm.size(), anchor + static_cast<util::Seconds>(k) * util::kBtu));
+      } else {
+        audit.replayed_vm_cost += list * session_btus;
+      }
+    }
   }
 
   // Precedence across the stretched timeline, transfers included.

@@ -1,0 +1,36 @@
+#include "cloud/coldstart.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cloudwf::cloud {
+
+util::Seconds ColdStartModel::delay(InstanceSize size, RegionId region) const {
+  if (!(min_delay >= 0) || !(max_delay >= min_delay))
+    throw std::invalid_argument(
+        "ColdStartModel: need 0 <= min_delay <= max_delay");
+  // One splitmix64 stream per (size, region): the pair index perturbs the
+  // seed, two hash steps decorrelate adjacent pairs.
+  std::uint64_t state =
+      seed ^ (0x9e3779b97f4a7c15ULL *
+              (static_cast<std::uint64_t>(region) * kSizeCount +
+               static_cast<std::uint64_t>(index_of(size)) + 1));
+  (void)util::splitmix64(state);
+  const std::uint64_t bits = util::splitmix64(state);
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+  return min_delay + u * (max_delay - min_delay);
+}
+
+ColdStartTable::ColdStartTable(const ColdStartModel& model,
+                               std::size_t region_count)
+    : model_(model) {
+  if (region_count == 0)
+    throw std::invalid_argument("ColdStartTable: no regions");
+  delays_.reserve(region_count * kSizeCount);
+  for (std::size_t r = 0; r < region_count; ++r)
+    for (InstanceSize s : kAllSizes)
+      delays_.push_back(model_.delay(s, static_cast<RegionId>(r)));
+}
+
+}  // namespace cloudwf::cloud

@@ -1,0 +1,53 @@
+// Cold-start provisioning delays.
+//
+// The paper pre-boots its VMs (boot time 0); real IaaS provisioning is far
+// from free — Sarkar et al. (2504.21536) measure container/VM cold starts of
+// hundreds of seconds, and belyakov-am's simulator models per-workflow-type
+// provisioning delays of 300-600 s. A ColdStartModel assigns every
+// (instance size, region) pair one deterministic delay drawn uniformly from
+// [min_delay, max_delay], seeded per scenario: bigger instances in busier
+// regions can be slower or faster to come up, and the draw is a pure
+// function of (seed, size, region) so every layer — scheduler, replay,
+// billing, oracle — sees the same number.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "cloud/region.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+struct ColdStartModel {
+  util::Seconds min_delay = 300.0;
+  util::Seconds max_delay = 600.0;
+  std::uint64_t seed = 0;
+
+  /// The provisioning delay for one (size, region) pair: min_delay +
+  /// u * (max_delay - min_delay) with u the splitmix64 hash of
+  /// (seed, size, region) mapped to [0, 1). Pure and stateless.
+  [[nodiscard]] util::Seconds delay(InstanceSize size, RegionId region) const;
+};
+
+/// Precomputed per-(size, region) delay table — the form Platform installs so
+/// the scheduler hot path pays one array lookup, not a hash. Delays include
+/// nothing but the cold start itself; Platform adds its base boot time.
+class ColdStartTable {
+ public:
+  ColdStartTable(const ColdStartModel& model, std::size_t region_count);
+
+  [[nodiscard]] const ColdStartModel& model() const noexcept { return model_; }
+
+  [[nodiscard]] util::Seconds delay(InstanceSize size, RegionId region) const {
+    return delays_[static_cast<std::size_t>(region) * kSizeCount +
+                   index_of(size)];
+  }
+
+ private:
+  ColdStartModel model_;
+  std::vector<util::Seconds> delays_;  ///< region-major, kSizeCount stride
+};
+
+}  // namespace cloudwf::cloud

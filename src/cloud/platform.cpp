@@ -35,4 +35,12 @@ void Platform::set_boot_time(util::Seconds t) {
   boot_time_ = t;
 }
 
+void Platform::install_cold_start(const ColdStartModel& model) {
+  cold_ = std::make_shared<ColdStartTable>(model, regions_.size());
+}
+
+void Platform::install_price_schedule(PriceSchedule schedule) {
+  prices_ = std::make_shared<PriceSchedule>(std::move(schedule));
+}
+
 }  // namespace cloudwf::cloud

@@ -3,11 +3,14 @@
 // ignored, so default-zero) VM boot time.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "cloud/billing.hpp"
+#include "cloud/coldstart.hpp"
 #include "cloud/instance.hpp"
+#include "cloud/pricing.hpp"
 #include "cloud/region.hpp"
 #include "cloud/transfer.hpp"
 #include "cloud/vm.hpp"
@@ -41,6 +44,48 @@ class Platform {
   [[nodiscard]] util::Seconds boot_time() const noexcept { return boot_time_; }
   void set_boot_time(util::Seconds t);
 
+  /// Installs per-(size, region) cold-start provisioning delays (the
+  /// cold-start scenario). Delays stack on the base boot time: boot_delay()
+  /// answers boot_time() + table delay once a model is installed, and
+  /// exactly boot_time() otherwise — existing scenarios are bit-unchanged.
+  void install_cold_start(const ColdStartModel& model);
+
+  /// Installs a time-varying price schedule (the variable-price scenario):
+  /// each rented BTU is billed at the list price scaled by the schedule's
+  /// multiplier at that BTU's start time (see cloud::vm_bill).
+  void install_price_schedule(PriceSchedule schedule);
+
+  [[nodiscard]] const ColdStartTable* cold_start() const noexcept {
+    return cold_.get();
+  }
+  [[nodiscard]] const PriceSchedule* price_schedule() const noexcept {
+    return prices_.get();
+  }
+
+  /// True when billing depends on rental timing (cold starts and/or a price
+  /// schedule) — the signal for compute_metrics and the oracle to take the
+  /// timing-aware path instead of the paper's flat BTU arithmetic.
+  [[nodiscard]] bool scenario_billing_active() const noexcept {
+    return cold_ != nullptr || prices_ != nullptr;
+  }
+
+  /// Boot completion time for a fresh VM of `size` in `region`: the base
+  /// boot time plus, when a cold-start model is installed, that pair's
+  /// provisioning delay. Returns boot_time() exactly when no model is
+  /// installed.
+  [[nodiscard]] util::Seconds boot_delay(InstanceSize size,
+                                         RegionId region) const noexcept {
+    if (!cold_) return boot_time_;
+    return boot_time_ + cold_->delay(size, region);
+  }
+
+  /// The cold-start component of boot_delay() alone (0 without a model) —
+  /// the span billing charges in front of a VM's first session.
+  [[nodiscard]] util::Seconds cold_start_delay(InstanceSize size,
+                                               RegionId region) const noexcept {
+    return cold_ ? cold_->delay(size, region) : 0.0;
+  }
+
   /// Price per BTU for a size in the default region.
   [[nodiscard]] util::Money price(InstanceSize s) const {
     return default_region().price(s);
@@ -58,6 +103,10 @@ class Platform {
   RegionId default_region_;
   TransferModel transfer_;
   util::Seconds boot_time_;
+  // Scenario extensions, shared so Platform copies stay cheap (the sweep
+  // copies the platform per (workflow, scenario, seed) group).
+  std::shared_ptr<const ColdStartTable> cold_;
+  std::shared_ptr<const PriceSchedule> prices_;
 };
 
 }  // namespace cloudwf::cloud

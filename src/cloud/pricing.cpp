@@ -1,0 +1,64 @@
+#include "cloud/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudwf::cloud {
+
+std::vector<double> sample_price_fractions(double mean_fraction,
+                                           double reversion, double volatility,
+                                           double floor_fraction,
+                                           double cap_fraction,
+                                           std::size_t points, util::Rng& rng) {
+  if (!(mean_fraction > 0) || floor_fraction <= 0 ||
+      cap_fraction < floor_fraction || reversion <= 0 || reversion > 1 ||
+      volatility < 0)
+    throw std::invalid_argument("sample_price_fractions: bad model parameters");
+  if (points == 0)
+    throw std::invalid_argument("sample_price_fractions: zero points");
+
+  std::vector<double> out;
+  out.reserve(points);
+  const double log_mean = std::log(mean_fraction);
+  double log_f = log_mean;
+  for (std::size_t i = 0; i < points; ++i) {
+    // Box-Muller normal draw (two uniforms per point, even at i == 0, so the
+    // stream layout matches the historical SpotPriceSeries sampler exactly).
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    if (i > 0) log_f += reversion * (log_mean - log_f) + volatility * z;
+    out.push_back(std::clamp(std::exp(log_f), floor_fraction, cap_fraction));
+  }
+  return out;
+}
+
+PriceSchedule::PriceSchedule(const PriceTrajectoryModel& model,
+                             util::Seconds horizon, std::uint64_t seed)
+    : model_(model), horizon_(horizon), seed_(seed) {
+  if (!(model.tick > 0))
+    throw std::invalid_argument("PriceSchedule: bad tick");
+  if (!(horizon > 0)) throw std::invalid_argument("PriceSchedule: bad horizon");
+  const std::size_t points =
+      static_cast<std::size_t>(std::ceil(horizon / model.tick)) + 1;
+  for (InstanceSize s : kAllSizes) {
+    std::uint64_t state =
+        seed ^ (0xd1b54a32d192ed03ULL * (index_of(s) + 1));
+    util::Rng rng(util::splitmix64(state));
+    fractions_[index_of(s)] = sample_price_fractions(
+        model.mean_fraction, model.reversion, model.volatility,
+        model.floor_fraction, model.cap_fraction, points, rng);
+  }
+}
+
+double PriceSchedule::fraction_at(InstanceSize size, util::Seconds t) const {
+  const std::vector<double>& path = fractions_[index_of(size)];
+  const double clamped = std::clamp(t, 0.0, horizon_);
+  const std::size_t idx = std::min(
+      path.size() - 1, static_cast<std::size_t>(clamped / model_.tick));
+  return path[idx];
+}
+
+}  // namespace cloudwf::cloud

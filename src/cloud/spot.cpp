@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cloud/pricing.hpp"
+
 namespace cloudwf::cloud {
 
 SpotPriceSeries::SpotPriceSeries(util::Money on_demand,
@@ -21,22 +23,12 @@ SpotPriceSeries::SpotPriceSeries(util::Money on_demand,
 
   const std::size_t ticks =
       static_cast<std::size_t>(std::ceil(horizon / model.tick)) + 1;
+  const std::vector<double> fractions = sample_price_fractions(
+      model.mean_fraction, model.reversion, model.volatility,
+      model.floor_fraction, model.cap_fraction, ticks, rng);
   prices_.reserve(ticks);
-
-  const double log_mean = std::log(model.mean_fraction);
-  double log_f = log_mean;
-  for (std::size_t i = 0; i < ticks; ++i) {
-    // Box-Muller normal draw.
-    const double u1 = 1.0 - rng.uniform();
-    const double u2 = rng.uniform();
-    const double z = std::sqrt(-2.0 * std::log(u1)) *
-                     std::cos(2.0 * 3.14159265358979323846 * u2);
-    if (i > 0)
-      log_f += model.reversion * (log_mean - log_f) + model.volatility * z;
-    const double fraction =
-        std::clamp(std::exp(log_f), model.floor_fraction, model.cap_fraction);
+  for (const double fraction : fractions)
     prices_.push_back(on_demand_.scaled(fraction));
-  }
 }
 
 util::Money SpotPriceSeries::price_at(util::Seconds t) const {
@@ -48,16 +40,40 @@ util::Money SpotPriceSeries::price_at(util::Seconds t) const {
 
 util::Money SpotPriceSeries::average_price(util::Seconds from,
                                            util::Seconds to) const {
-  if (!(to > from)) throw std::invalid_argument("average_price: to <= from");
-  // Integrate the piecewise-constant path.
+  if (std::isnan(from) || std::isnan(to) || to < from)
+    throw std::invalid_argument(
+        "average_price: inverted interval [" + std::to_string(from) + ", " +
+        std::to_string(to) + ")");
+  // Zero-length rentals exist (a zero-duration placement still opens a
+  // session); the time-weighted average degenerates to the point price.
+  if (to == from) return price_at(from);
+
+  // Integrate the piecewise-constant path. Outside [0, horizon] the path is
+  // constant at its boundary values, so out-of-horizon spans contribute
+  // analytically; inside, walk whole ticks by integer index (a float time
+  // stepper can stall when from/tick_ is large enough that adding one tick
+  // no longer changes the value).
   double weighted_micros = 0;
-  util::Seconds t = from;
-  while (t < to) {
-    const util::Seconds tick_end =
-        std::min(to, (std::floor(t / tick_) + 1.0) * tick_);
+  const util::Seconds lo = std::clamp(from, 0.0, horizon_);
+  const util::Seconds hi = std::clamp(to, 0.0, horizon_);
+  if (from < 0.0)
+    weighted_micros += static_cast<double>(prices_.front().micros()) *
+                       (std::min(to, 0.0) - from);
+  if (to > horizon_)
+    weighted_micros += static_cast<double>(prices_.back().micros()) *
+                       (to - std::max(from, horizon_));
+  util::Seconds t = lo;
+  std::size_t k = std::min(prices_.size() - 1,
+                           static_cast<std::size_t>(t / tick_));
+  while (t < hi) {
+    util::Seconds tick_end =
+        std::min(hi, static_cast<util::Seconds>(k + 1) * tick_);
+    if (!(tick_end > t)) tick_end = hi;  // guard: always make progress
     weighted_micros +=
-        static_cast<double>(price_at(t).micros()) * (tick_end - t);
+        static_cast<double>(prices_[std::min(k, prices_.size() - 1)].micros()) *
+        (tick_end - t);
     t = tick_end;
+    ++k;
   }
   return util::Money::from_micros(
       static_cast<std::int64_t>(std::llround(weighted_micros / (to - from))));
@@ -65,9 +81,21 @@ util::Money SpotPriceSeries::average_price(util::Seconds from,
 
 std::optional<util::Seconds> SpotPriceSeries::first_exceedance(
     util::Money bid, util::Seconds from, util::Seconds to) const {
-  for (util::Seconds t = std::floor(from / tick_) * tick_; t < to; t += tick_) {
-    if (t + tick_ <= from) continue;
-    if (price_at(t) > bid) return std::max(t, from);
+  // Empty or inverted windows contain no exceedance; the function is total.
+  if (std::isnan(from) || std::isnan(to) || !(to > from)) return std::nullopt;
+  // Before time 0 the path is constant at its first sample.
+  if (from < 0.0 && prices_.front() > bid) return from;
+  const util::Seconds start = std::max(from, 0.0);
+  if (!(start < to)) return std::nullopt;
+  // Walk ticks by integer index; the final sample extends to infinity
+  // (price_at clamps), so no separate tail scan is needed.
+  for (std::size_t k = std::min(prices_.size() - 1,
+                                static_cast<std::size_t>(start / tick_));
+       k < prices_.size(); ++k) {
+    const util::Seconds t = static_cast<util::Seconds>(k) * tick_;
+    if (t >= to) break;
+    if (t + tick_ <= start && k + 1 < prices_.size()) continue;
+    if (prices_[k] > bid) return std::max(t, start);
   }
   return std::nullopt;
 }

@@ -51,12 +51,18 @@ class SpotPriceSeries {
   /// Piecewise-constant price at time t (clamped into the horizon).
   [[nodiscard]] util::Money price_at(util::Seconds t) const;
 
-  /// Time-weighted average price over [from, to); from < to required.
+  /// Time-weighted average price over [from, to). Total for from <= to:
+  /// a zero-length interval returns the point price at `from`, and spans
+  /// outside [0, horizon] price at the clamped boundary values (the path is
+  /// constant beyond its samples). Throws std::invalid_argument only for an
+  /// inverted (to < from) or NaN interval.
   [[nodiscard]] util::Money average_price(util::Seconds from,
                                           util::Seconds to) const;
 
   /// Earliest time in [from, to) when the price strictly exceeds `bid`
-  /// (an eviction for a spot VM bidding that much), if any.
+  /// (an eviction for a spot VM bidding that much), if any. Total: empty or
+  /// inverted windows return nullopt, and out-of-horizon times price at the
+  /// clamped boundary samples.
   [[nodiscard]] std::optional<util::Seconds> first_exceedance(
       util::Money bid, util::Seconds from, util::Seconds to) const;
 

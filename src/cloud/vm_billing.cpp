@@ -1,0 +1,52 @@
+#include "cloud/vm_billing.hpp"
+
+namespace cloudwf::cloud {
+
+VmBill vm_bill(const Vm& vm, const Platform& platform) {
+  VmBill bill;
+  if (!vm.used()) return bill;
+  const Region& region = platform.region(vm.region());
+  if (!platform.scenario_billing_active()) {
+    // Flat paper billing: delegate to the VM's own O(1) aggregates so the
+    // answer is bit-identical to the historical path.
+    bill.btus = vm.btus();
+    bill.paid = vm.paid_time();
+    bill.cost = vm.cost(region);
+    return bill;
+  }
+
+  const util::Seconds cold =
+      platform.cold_start_delay(vm.size(), vm.region());
+  const PriceSchedule* prices = platform.price_schedule();
+  const util::Money list_price = region.price(vm.size());
+
+  const std::vector<Vm::Session> sessions = vm.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    // The first session's meter starts when provisioning is requested —
+    // cold-start seconds ahead of the first task — so its span stretches
+    // backwards by the delay. Reused sessions hit a warm pool: no delay.
+    const util::Seconds anchor =
+        i == 0 ? sessions[i].start - cold : sessions[i].start;
+    const std::int64_t btus = btus_for(sessions[i].end - anchor);
+    bill.btus += btus;
+    bill.paid += static_cast<util::Seconds>(btus) * util::kBtu;
+    if (prices == nullptr) {
+      bill.cost += list_price * btus;
+    } else {
+      for (std::int64_t k = 0; k < btus; ++k) {
+        const util::Seconds at =
+            anchor + static_cast<util::Seconds>(k) * util::kBtu;
+        bill.cost += list_price.scaled(prices->fraction_at(vm.size(), at));
+      }
+    }
+  }
+  return bill;
+}
+
+util::Money pool_rental_cost(const VmPool& pool, const Platform& platform) {
+  util::Money total;
+  for (const Vm& vm : pool.vms()) total += vm_bill(vm, platform).cost;
+  return total;
+}
+
+}  // namespace cloudwf::cloud

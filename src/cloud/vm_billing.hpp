@@ -1,0 +1,43 @@
+// Timing-aware VM billing: the one place the cold-start and variable-price
+// scenarios touch money.
+//
+// The paper's bill is pure span arithmetic — sessions, whole BTUs, one list
+// price (Vm::cost / VmPool::rental_cost). With scenario extensions installed
+// on the Platform, the bill additionally depends on *when* the VM runs:
+//
+//  - cold starts: a VM's first session is billed from provisioning start,
+//    i.e. the session span is extended backwards by the (size, region)
+//    cold-start delay (the instance is requested just in time to be ready at
+//    the first task's start, and the meter runs while it boots);
+//  - variable pricing: each billed BTU is priced at list price x the
+//    schedule's multiplier at that BTU's rental start.
+//
+// With neither model installed, vm_bill answers exactly the flat quantities
+// (it delegates to Vm's own accounting), so every pre-existing scenario
+// remains bit-identical.
+#pragma once
+
+#include "cloud/platform.hpp"
+#include "cloud/vm.hpp"
+#include "util/money.hpp"
+#include "util/units.hpp"
+
+namespace cloudwf::cloud {
+
+struct VmBill {
+  std::int64_t btus = 0;
+  util::Seconds paid = 0;  ///< wall-clock seconds paid (btus x kBtu)
+  util::Money cost;
+};
+
+/// The bill for one VM under the platform's installed pricing models (flat
+/// paper billing when none are installed; 0/0/$0 for unused VMs).
+[[nodiscard]] VmBill vm_bill(const Vm& vm, const Platform& platform);
+
+/// Sum of vm_bill costs over the pool — the scenario-aware replacement for
+/// VmPool::rental_cost (and exactly equal to it when no models are
+/// installed).
+[[nodiscard]] util::Money pool_rental_cost(const VmPool& pool,
+                                           const Platform& platform);
+
+}  // namespace cloudwf::cloud

@@ -1,6 +1,7 @@
 #include "exp/experiment.hpp"
 
 #include "dag/builders.hpp"
+#include "exp/scenario_env.hpp"
 #include "obs/trace.hpp"
 #include "sim/validator.hpp"
 
@@ -29,26 +30,34 @@ dag::Workflow ExperimentRunner::materialize(const dag::Workflow& structure,
   return workload::apply_scenario(structure, cfg);
 }
 
+cloud::Platform ExperimentRunner::scenario_platform(
+    workload::ScenarioKind kind) const {
+  workload::ScenarioConfig cfg = base_config_;
+  cfg.kind = kind;
+  return exp::scenario_platform(platform_, cfg);
+}
+
 sim::ScheduleMetrics ExperimentRunner::reference_metrics(
-    const dag::Workflow& materialized) const {
+    const dag::Workflow& materialized, const cloud::Platform& platform) const {
   const scheduling::Strategy ref = scheduling::reference_strategy();
-  const sim::Schedule schedule = ref.scheduler->run(materialized, platform_);
-  return sim::compute_metrics(materialized, schedule, platform_);
+  const sim::Schedule schedule = ref.scheduler->run(materialized, platform);
+  return sim::compute_metrics(materialized, schedule, platform);
 }
 
 RunResult ExperimentRunner::run_one_on(
     const scheduling::Strategy& strategy, const dag::Workflow& materialized,
     const std::string& workflow_name, workload::ScenarioKind kind,
+    const cloud::Platform& platform,
     const sim::ScheduleMetrics& reference) const {
   obs::PhaseScope phase("run: " + strategy.label);
-  const sim::Schedule schedule = strategy.scheduler->run(materialized, platform_);
-  sim::validate_or_throw(materialized, schedule, platform_);
+  const sim::Schedule schedule = strategy.scheduler->run(materialized, platform);
+  sim::validate_or_throw(materialized, schedule, platform);
 
   RunResult r;
   r.strategy = strategy.label;
   r.workflow = workflow_name;
   r.scenario = kind;
-  r.metrics = sim::compute_metrics(materialized, schedule, platform_);
+  r.metrics = sim::compute_metrics(materialized, schedule, platform);
   r.relative = sim::relative_to_reference(r.metrics, reference);
   return r;
 }
@@ -57,8 +66,9 @@ RunResult ExperimentRunner::run_one(const scheduling::Strategy& strategy,
                                     const dag::Workflow& structure,
                                     workload::ScenarioKind kind) const {
   const dag::Workflow materialized = materialize(structure, kind);
-  return run_one_on(strategy, materialized, structure.name(), kind,
-                    reference_metrics(materialized));
+  const cloud::Platform env = scenario_platform(kind);
+  return run_one_on(strategy, materialized, structure.name(), kind, env,
+                    reference_metrics(materialized, env));
 }
 
 std::vector<RunResult> ExperimentRunner::run_all(const dag::Workflow& structure,
@@ -84,13 +94,14 @@ std::vector<RunResult> ExperimentRunner::run_many(
   // bit-identical to the serial loop for any worker count.
   const dag::Workflow materialized = materialize(structure, kind);
   (void)materialized.structure();
+  const cloud::Platform env = scenario_platform(kind);
   const sim::ScheduleMetrics reference = [&] {
     obs::PhaseScope phase("experiment: reference");
-    return reference_metrics(materialized);
+    return reference_metrics(materialized, env);
   }();
 
   return parallel_map(strategies.size(), parallel, [&](std::size_t i) {
-    return run_one_on(strategies[i], materialized, structure.name(), kind,
+    return run_one_on(strategies[i], materialized, structure.name(), kind, env,
                       reference);
   });
 }

@@ -49,6 +49,15 @@ class ExperimentRunner {
   [[nodiscard]] dag::Workflow materialize(const dag::Workflow& structure,
                                           workload::ScenarioKind kind) const;
 
+  /// The platform a run under `kind` schedules against and is billed on:
+  /// the runner's base platform plus the kind's environment extensions
+  /// (cold-start delays, price schedule — see exp/scenario_env.hpp). Equal
+  /// to platform() for every environment-free kind. Callers that schedule
+  /// or compute metrics manually (CLI, benches) must use this, not
+  /// platform(), so their numbers match run_one's.
+  [[nodiscard]] cloud::Platform scenario_platform(
+      workload::ScenarioKind kind) const;
+
   /// Runs one strategy; the reference metrics are recomputed for the case.
   [[nodiscard]] RunResult run_one(const scheduling::Strategy& strategy,
                                   const dag::Workflow& structure,
@@ -88,11 +97,12 @@ class ExperimentRunner {
 
  private:
   [[nodiscard]] sim::ScheduleMetrics reference_metrics(
-      const dag::Workflow& materialized) const;
+      const dag::Workflow& materialized, const cloud::Platform& platform) const;
   [[nodiscard]] RunResult run_one_on(const scheduling::Strategy& strategy,
                                      const dag::Workflow& materialized,
                                      const std::string& workflow_name,
                                      workload::ScenarioKind kind,
+                                     const cloud::Platform& platform,
                                      const sim::ScheduleMetrics& reference) const;
 
   cloud::Platform platform_;

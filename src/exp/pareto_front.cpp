@@ -1,7 +1,10 @@
 #include "exp/pareto_front.hpp"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
 
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace cloudwf::exp {
@@ -58,6 +61,148 @@ util::TextTable pareto_front_table(const std::vector<FrontPoint>& points) {
                p.dominated ? "dominated by " + p.dominated_by : "ON FRONT"});
   }
   return t;
+}
+
+Constraints derive_constraints(const sim::ScheduleMetrics& reference,
+                               const ConstraintSpec& spec) {
+  if (!(spec.deadline_factor > 0) || !(spec.budget_factor > 0))
+    throw std::invalid_argument("derive_constraints: factors must be > 0");
+  if (!(reference.makespan > 0) || reference.total_cost <= util::Money{})
+    throw std::invalid_argument("derive_constraints: degenerate reference");
+  Constraints c;
+  c.deadline = reference.makespan * spec.deadline_factor;
+  c.budget = reference.total_cost.scaled(spec.budget_factor);
+  return c;
+}
+
+Constraints derive_constraints(const std::vector<RunResult>& results,
+                               const ConstraintSpec& spec) {
+  const std::string reference = scheduling::reference_strategy().label;
+  for (const RunResult& r : results)
+    if (r.strategy == reference) return derive_constraints(r.metrics, spec);
+  throw std::invalid_argument("derive_constraints: no '" + reference +
+                              "' row in the result set");
+}
+
+namespace {
+bool meets(const Constraints& c, util::Seconds makespan, util::Money cost) {
+  return util::time_le(makespan, c.deadline) && cost <= c.budget;
+}
+
+/// (infeasible, cost, makespan, label): the constrained-best ordering.
+bool constrained_better(bool a_feasible, util::Money a_cost,
+                        util::Seconds a_makespan, const std::string& a_label,
+                        bool b_feasible, util::Money b_cost,
+                        util::Seconds b_makespan, const std::string& b_label) {
+  if (a_feasible != b_feasible) return a_feasible;
+  if (a_cost != b_cost) return a_cost < b_cost;
+  if (a_makespan != b_makespan) return a_makespan < b_makespan;
+  return a_label < b_label;
+}
+}  // namespace
+
+ConstrainedReport classify_constrained(const std::vector<RunResult>& results,
+                                       const Constraints& constraints) {
+  ConstrainedReport report;
+  report.constraints = constraints;
+  report.points.reserve(results.size());
+  for (const RunResult& r : results) {
+    ConstrainedPoint p;
+    p.strategy = r.strategy;
+    p.makespan = r.metrics.makespan;
+    p.cost = r.metrics.total_cost;
+    p.feasible = meets(constraints, p.makespan, p.cost);
+    report.points.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const ConstrainedPoint& p = report.points[i];
+    if (!p.feasible) continue;
+    if (report.best < 0) {
+      report.best = static_cast<std::ptrdiff_t>(i);
+      continue;
+    }
+    const ConstrainedPoint& b = report.points[static_cast<std::size_t>(report.best)];
+    if (constrained_better(p.feasible, p.cost, p.makespan, p.strategy,
+                           b.feasible, b.cost, b.makespan, b.strategy))
+      report.best = static_cast<std::ptrdiff_t>(i);
+  }
+  return report;
+}
+
+util::TextTable constrained_table(const ConstrainedReport& report) {
+  util::TextTable t({"strategy", "makespan (s)", "cost ($)", "status"});
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const ConstrainedPoint& p = report.points[i];
+    std::string status = p.feasible ? "feasible" : "infeasible";
+    if (static_cast<std::ptrdiff_t>(i) == report.best) status = "BEST";
+    t.add_row({p.strategy, util::format_double(p.makespan, 1),
+               util::format_double(p.cost.dollars(), 3), std::move(status)});
+  }
+  return t;
+}
+
+SearchResult stochastic_search(const dag::Workflow& materialized,
+                               const cloud::Platform& platform,
+                               const Constraints& constraints,
+                               const SearchConfig& config) {
+  constexpr std::array<provisioning::ProvisioningKind, 5> kPolicies = {
+      provisioning::ProvisioningKind::one_vm_per_task,
+      provisioning::ProvisioningKind::start_par_not_exceed,
+      provisioning::ProvisioningKind::start_par_exceed,
+      provisioning::ProvisioningKind::all_par_not_exceed,
+      provisioning::ProvisioningKind::all_par_exceed};
+  constexpr std::array<scheduling::OrderingFamily, 2> kOrderings = {
+      scheduling::OrderingFamily::priority_ranking,
+      scheduling::OrderingFamily::level_ranking};
+
+  SearchResult result;
+  util::Rng rng(config.seed);
+  std::array<bool, kPolicies.size() * kOrderings.size() * cloud::kSizeCount>
+      seen{};
+  for (std::size_t i = 0; i < config.iterations; ++i) {
+    const std::size_t pi = rng.below(kPolicies.size());
+    const std::size_t oi = rng.below(kOrderings.size());
+    const std::size_t si = rng.below(cloud::kSizeCount);
+    const std::size_t code =
+        (pi * kOrderings.size() + oi) * cloud::kSizeCount + si;
+    if (seen[code]) continue;  // dedupe: re-evaluating is pure waste
+    seen[code] = true;
+
+    SearchCandidate cand;
+    cand.policy = kPolicies[pi];
+    cand.ordering = kOrderings[oi];
+    cand.size = cloud::kAllSizes[si];
+    cand.label = std::string(provisioning::name_of(cand.policy)) +
+                 (cand.ordering == scheduling::OrderingFamily::priority_ranking
+                      ? "/heft/"
+                      : "/level/") +
+                 std::string(cloud::suffix_of(cand.size));
+
+    const scheduling::GenericListScheduler scheduler(
+        cand.label,
+        [kind = cand.policy] { return provisioning::make_policy(kind); },
+        cand.ordering, cand.size);
+    const sim::Schedule schedule = scheduler.run(materialized, platform);
+    cand.metrics = sim::compute_metrics(materialized, schedule, platform);
+    cand.feasible =
+        meets(constraints, cand.metrics.makespan, cand.metrics.total_cost);
+
+    result.evaluated.push_back(std::move(cand));
+    const SearchCandidate& added = result.evaluated.back();
+    if (result.best < 0) {
+      if (added.feasible)
+        result.best = static_cast<std::ptrdiff_t>(result.evaluated.size() - 1);
+      continue;
+    }
+    const SearchCandidate& best =
+        result.evaluated[static_cast<std::size_t>(result.best)];
+    if (constrained_better(added.feasible, added.metrics.total_cost,
+                           added.metrics.makespan, added.label, best.feasible,
+                           best.metrics.total_cost, best.metrics.makespan,
+                           best.label))
+      result.best = static_cast<std::ptrdiff_t>(result.evaluated.size() - 1);
+  }
+  return result;
 }
 
 }  // namespace cloudwf::exp

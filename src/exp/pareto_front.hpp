@@ -1,15 +1,28 @@
-// (makespan, cost) Pareto-front analysis over a result set.
+// (makespan, cost) Pareto-front analysis over a result set, plus the
+// deadline/budget machinery behind the constrained scenario.
 //
 // The paper's Fig. 4 asks which strategies deliver gain and/or savings; the
 // sharper question for a practitioner is which strategies are *undominated*
 // — no other strategy is both faster and cheaper. This module computes that
 // front (minimizing both makespan and total cost).
+//
+// The constrained half answers the follow-up: given a deadline and a budget
+// (both expressed as factors of the OneVMperTask-s reference, so one spec
+// scales across workflow sizes), which strategies are *feasible*, and which
+// feasible strategy is best (cheapest, ties broken by makespan)? When none
+// of the 19 paper strategies fits, stochastic_search samples the wider
+// (policy x ordering x instance size) configuration space the paper's
+// Table I factorizes — a RIOT-style random probe of scheduler
+// configurations rather than an exhaustive grid.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "scheduling/custom_policy.hpp"
 #include "util/table.hpp"
 
 namespace cloudwf::exp {
@@ -33,5 +46,97 @@ struct FrontPoint {
 
 [[nodiscard]] util::TextTable pareto_front_table(
     const std::vector<FrontPoint>& points);
+
+// ---------------------------------------------------------------------------
+// Deadline/budget-constrained selection (the `constrained` scenario).
+
+/// Constraint factors relative to the case's reference run: the deadline is
+/// deadline_factor x reference makespan, the budget budget_factor x
+/// reference total cost. Factors (not absolutes) keep one spec meaningful
+/// from 25-task to 10^4-task workflows.
+struct ConstraintSpec {
+  double deadline_factor = 0.7;
+  double budget_factor = 1.5;
+};
+
+/// Absolute constraints for one case.
+struct Constraints {
+  util::Seconds deadline = 0;
+  util::Money budget;
+};
+
+/// Scales `spec` by the reference metrics. Throws std::invalid_argument on
+/// non-positive factors or a degenerate reference.
+[[nodiscard]] Constraints derive_constraints(const sim::ScheduleMetrics& reference,
+                                             const ConstraintSpec& spec);
+
+/// Locates the OneVMperTask-s reference row inside `results` and scales
+/// `spec` by it. Throws std::invalid_argument when the row is absent.
+[[nodiscard]] Constraints derive_constraints(const std::vector<RunResult>& results,
+                                             const ConstraintSpec& spec);
+
+struct ConstrainedPoint {
+  std::string strategy;
+  util::Seconds makespan = 0;
+  util::Money cost;
+  bool feasible = false;  ///< makespan <= deadline AND cost <= budget
+};
+
+struct ConstrainedReport {
+  Constraints constraints;
+  std::vector<ConstrainedPoint> points;  ///< input order preserved
+  std::ptrdiff_t best = -1;  ///< index of the constrained-best; -1 = none feasible
+
+  [[nodiscard]] std::size_t feasible_count() const noexcept {
+    std::size_t n = 0;
+    for (const ConstrainedPoint& p : points) n += p.feasible ? 1 : 0;
+    return n;
+  }
+};
+
+/// Classifies every result against the constraints (deadline with the
+/// schedule-time slack, budget exactly) and selects the constrained-best:
+/// the cheapest feasible strategy, ties broken by smaller makespan, then by
+/// label for full determinism.
+[[nodiscard]] ConstrainedReport classify_constrained(
+    const std::vector<RunResult>& results, const Constraints& constraints);
+
+[[nodiscard]] util::TextTable constrained_table(const ConstrainedReport& report);
+
+// ---------------------------------------------------------------------------
+// Stochastic configuration search.
+
+struct SearchConfig {
+  std::size_t iterations = 64;  ///< random draws (duplicates skipped)
+  std::uint64_t seed = 0;       ///< full determinism per seed
+};
+
+/// One evaluated configuration: a (provisioning policy, ordering family,
+/// instance size) triple from Table I's factorization.
+struct SearchCandidate {
+  std::string label;
+  provisioning::ProvisioningKind policy =
+      provisioning::ProvisioningKind::one_vm_per_task;
+  scheduling::OrderingFamily ordering =
+      scheduling::OrderingFamily::priority_ranking;
+  cloud::InstanceSize size = cloud::InstanceSize::small;
+  sim::ScheduleMetrics metrics;
+  bool feasible = false;
+};
+
+struct SearchResult {
+  std::vector<SearchCandidate> evaluated;  ///< deduped, in evaluation order
+  std::ptrdiff_t best = -1;  ///< best candidate index; -1 = none feasible
+};
+
+/// Randomly probes the (5 policies x 2 orderings x 4 sizes) configuration
+/// space for `iterations` draws, evaluating each distinct configuration on
+/// `materialized` over `platform` and classifying it against the
+/// constraints. Deterministic per config.seed; the best candidate minimizes
+/// (infeasible, cost, makespan, label).
+[[nodiscard]] SearchResult stochastic_search(const dag::Workflow& materialized,
+                                             const cloud::Platform& platform,
+                                             const Constraints& constraints,
+                                             const SearchConfig& config);
 
 }  // namespace cloudwf::exp

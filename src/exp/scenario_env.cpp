@@ -1,0 +1,39 @@
+#include "exp/scenario_env.hpp"
+
+#include "util/rng.hpp"
+
+namespace cloudwf::exp {
+
+cloud::Platform scenario_platform(const cloud::Platform& base,
+                                  const workload::ScenarioConfig& cfg) {
+  cloud::Platform platform = base;
+  switch (cfg.kind) {
+    case workload::ScenarioKind::cold_start: {
+      cloud::ColdStartModel model;
+      model.min_delay = cfg.cold_min_delay_s;
+      model.max_delay = cfg.cold_max_delay_s;
+      std::uint64_t stream = cfg.seed ^ 0xc01d5742ULL;
+      model.seed = util::splitmix64(stream);
+      platform.install_cold_start(model);
+      break;
+    }
+    case workload::ScenarioKind::variable_price: {
+      cloud::PriceTrajectoryModel model;
+      model.mean_fraction = cfg.price_mean_fraction;
+      model.reversion = cfg.price_reversion;
+      model.volatility = cfg.price_volatility;
+      model.floor_fraction = cfg.price_floor_fraction;
+      model.cap_fraction = cfg.price_cap_fraction;
+      model.tick = cfg.price_tick_s;
+      std::uint64_t stream = cfg.seed ^ 0x9121ce5eedULL;
+      platform.install_price_schedule(cloud::PriceSchedule(
+          model, cfg.price_horizon_s, util::splitmix64(stream)));
+      break;
+    }
+    default:
+      break;
+  }
+  return platform;
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,25 @@
+// Scenario environments: the platform side of a scenario.
+//
+// The paper's scenarios only touch the workload (task works, data sizes —
+// workload::apply_scenario). The cold-start and variable-price extensions
+// instead touch the *platform*: provisioning delays and price trajectories.
+// scenario_platform derives the platform a scenario runs on from the base
+// platform and the scenario config, deterministically per (kind, seed) —
+// every layer that evaluates a cell (ExperimentRunner, the sweep shards,
+// the service handlers, the differential's naive side) derives the same
+// environment from the same config.
+#pragma once
+
+#include "cloud/platform.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::exp {
+
+/// The platform `cfg` runs on: the base platform with the cold-start table
+/// (kind == cold_start) or price schedule (kind == variable_price)
+/// installed, seeded from cfg.seed via dedicated splitmix streams. All other
+/// kinds return an unmodified copy.
+[[nodiscard]] cloud::Platform scenario_platform(
+    const cloud::Platform& base, const workload::ScenarioConfig& cfg);
+
+}  // namespace cloudwf::exp

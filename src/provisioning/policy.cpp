@@ -25,8 +25,7 @@ PlacementContext::PlacementContext(const dag::Workflow& wf, sim::Schedule& sched
       platform_(&platform),
       structure_(wf.structure()),
       vm_size_(vm_size),
-      region_(platform.default_region_id()),
-      boot_time_(platform.boot_time()) {
+      region_(platform.default_region_id()) {
   transfer_.assign(structure_->edge_count() * kSizePairs, -1.0);
 }
 
@@ -93,7 +92,8 @@ bool PlacementContext::vm_hosts_level_of(const cloud::Vm& vm, dag::TaskId t) con
 }
 
 util::Seconds PlacementContext::est_on(dag::TaskId t, const cloud::Vm& vm) const {
-  util::Seconds est = std::max(vm.available_from(), boot_time_);
+  util::Seconds est = std::max(vm.available_from(),
+                               platform_->boot_delay(vm.size(), vm.region()));
   const std::span<const dag::TaskId> preds = structure_->preds(t);
   const std::span<const util::Gigabytes> data = structure_->pred_data(t);
   const std::size_t slot_base = structure_->pred_edge_slot(t);

@@ -152,7 +152,6 @@ class PlacementContext {
   std::shared_ptr<const dag::StructureCache> structure_;
   cloud::InstanceSize vm_size_;
   cloud::RegionId region_;
-  util::Seconds boot_time_;
 
   // Memoized exec times: one table per instance size, filled on first use.
   mutable std::array<std::vector<util::Seconds>, cloud::kSizeCount> exec_;

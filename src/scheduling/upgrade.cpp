@@ -27,7 +27,7 @@ sim::Schedule retime_one_vm_per_task(const dag::Workflow& wf,
 
   for (dag::TaskId t : dag::topological_order(wf)) {
     const cloud::Vm& vm = schedule.pool().vm(static_cast<cloud::VmId>(t));
-    util::Seconds est = platform.boot_time();
+    util::Seconds est = platform.boot_delay(vm.size(), vm.region());
     for (dag::TaskId p : wf.predecessors(t)) {
       const sim::Assignment& pa = schedule.assignment(p);
       est = std::max(est, pa.end + platform.transfer_time(
@@ -141,7 +141,8 @@ util::Money OneVmPerTaskRetimer::set_size(dag::TaskId task,
 }
 
 void OneVmPerTaskRetimer::retime_task(dag::TaskId t) {
-  util::Seconds est = platform_->boot_time();
+  util::Seconds est =
+      platform_->boot_delay(inc_sizes_[t], platform_->default_region_id());
   const std::span<const dag::TaskId> preds = structure_->preds(t);
   const std::span<const util::Gigabytes> data = structure_->pred_data(t);
   const std::size_t slot_base = structure_->pred_edge_slot(t);
@@ -180,7 +181,7 @@ void OneVmPerTaskRetimer::retime(std::span<const cloud::InstanceSize> sizes) {
   const cloud::VmPool& cpool = std::as_const(pool);
   for (dag::TaskId t : structure_->topo_order()) {
     const cloud::Vm& vm = cpool.vm(static_cast<cloud::VmId>(t));
-    util::Seconds est = platform_->boot_time();
+    util::Seconds est = platform_->boot_delay(vm.size(), vm.region());
     const std::span<const dag::TaskId> preds = structure_->preds(t);
     const std::span<const util::Gigabytes> data = structure_->pred_data(t);
     const std::size_t slot_base = structure_->pred_edge_slot(t);

@@ -64,7 +64,7 @@ ElasticResult run_elastic(const dag::Workflow& wf,
   auto provision = [&](util::Seconds now) {
     VmState v;
     v.id = schedule.rent(policy.size, platform.default_region_id());
-    v.free_at = now + platform.boot_time();
+    v.free_at = now + platform.boot_delay(policy.size, platform.default_region_id());
     vms.push_back(v);
     ++result.vms_provisioned;
     result.peak_pool = std::max(result.peak_pool, active_count());

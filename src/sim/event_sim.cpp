@@ -37,10 +37,14 @@ ReplayResult EventSimulator::replay(const dag::Workflow& wf,
       prev_on_vm[ps[i].task] = ps[i - 1].task;
   }
 
-  // Constraint counting: predecessors + optional same-VM predecessor.
+  // Constraint counting: predecessors + optional same-VM predecessor. A
+  // task is never ready before its own VM's boot completes (per-(size,
+  // region) under a cold-start model; the flat boot time otherwise).
   std::vector<std::size_t> waiting(n, 0);
-  std::vector<util::Seconds> ready_at(n, platform_->boot_time());
+  std::vector<util::Seconds> ready_at(n, 0.0);
   for (const dag::Task& t : wf.tasks()) {
+    const cloud::Vm& vm = pool.vm(schedule.assignment(t.id).vm);
+    ready_at[t.id] = platform_->boot_delay(vm.size(), vm.region());
     waiting[t.id] = wf.predecessors(t.id).size();
     if (prev_on_vm[t.id] != dag::kInvalidTask) ++waiting[t.id];
   }
@@ -48,11 +52,12 @@ ReplayResult EventSimulator::replay(const dag::Workflow& wf,
   ReplayResult result;
   result.tasks.assign(n, ReplayedTask{});
 
-  // Boot events first: every used VM boots over [0, boot_time), strictly
+  // Boot events first: every used VM boots over [0, boot_delay), strictly
   // before any of its task starts in both time and stream order.
   if (obs::enabled()) {
     for (const cloud::Vm& vm : pool.vms())
-      if (vm.used()) obs::emit_vm_boot(vm.id(), platform_->boot_time());
+      if (vm.used())
+        obs::emit_vm_boot(vm.id(), platform_->boot_delay(vm.size(), vm.region()));
   }
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> finish_events;

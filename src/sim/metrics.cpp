@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cloud/vm_billing.hpp"
+
 namespace cloudwf::sim {
 
 ScheduleMetrics compute_metrics(const dag::Workflow& wf, const Schedule& schedule,
@@ -14,15 +16,30 @@ ScheduleMetrics compute_metrics(const dag::Workflow& wf, const Schedule& schedul
   m.makespan = schedule.makespan();
 
   const cloud::VmPool& pool = schedule.pool();
-  m.vm_cost = pool.rental_cost(platform.regions());
-  m.total_idle = pool.total_idle_time();
   m.vms_used = pool.used_count();
 
   util::Seconds paid = 0;
-  for (const cloud::Vm& v : pool.vms()) {
-    m.total_busy += v.busy_time();
-    m.total_btus += v.btus();
-    paid += v.paid_time();
+  if (platform.scenario_billing_active()) {
+    // Timing-aware billing (cold-start / variable-price scenarios): every
+    // aggregate that involves paid time comes from cloud::vm_bill, so the
+    // cold-start span and per-BTU repricing show up in cost, idle and
+    // utilization alike.
+    for (const cloud::Vm& v : pool.vms()) {
+      const cloud::VmBill bill = cloud::vm_bill(v, platform);
+      m.vm_cost += bill.cost;
+      m.total_busy += v.busy_time();
+      m.total_btus += bill.btus;
+      paid += bill.paid;
+    }
+    m.total_idle = paid - m.total_busy;
+  } else {
+    m.vm_cost = pool.rental_cost(platform.regions());
+    m.total_idle = pool.total_idle_time();
+    for (const cloud::Vm& v : pool.vms()) {
+      m.total_busy += v.busy_time();
+      m.total_btus += v.btus();
+      paid += v.paid_time();
+    }
   }
   m.utilization = paid > 0 ? m.total_busy / paid : 0.0;
 

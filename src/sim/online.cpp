@@ -59,8 +59,10 @@ ReplayResult replay_with_actuals(const dag::Workflow& wf, const Schedule& schedu
   }
 
   std::vector<std::size_t> waiting(n, 0);
-  std::vector<util::Seconds> ready_at(n, platform.boot_time());
+  std::vector<util::Seconds> ready_at(n, 0.0);
   for (const dag::Task& t : wf.tasks()) {
+    const cloud::Vm& vm = pool.vm(schedule.assignment(t.id).vm);
+    ready_at[t.id] = platform.boot_delay(vm.size(), vm.region());
     waiting[t.id] = wf.predecessors(t.id).size();
     if (prev_on_vm[t.id] != dag::kInvalidTask) ++waiting[t.id];
   }

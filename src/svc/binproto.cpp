@@ -129,7 +129,7 @@ struct Reader {
   workload::ScenarioKind scenario() {
     const std::size_t at = pos;
     const std::uint8_t v = u8("scenario");
-    if (v > static_cast<std::uint8_t>(workload::ScenarioKind::data_intensive))
+    if (v > static_cast<std::uint8_t>(workload::ScenarioKind::constrained))
       throw BinProtoError(at, "unknown scenario code " + std::to_string(v));
     return static_cast<workload::ScenarioKind>(v);
   }

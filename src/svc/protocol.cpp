@@ -64,14 +64,12 @@ void validate_workflow_name(const std::string& name) {
 }
 
 workload::ScenarioKind parse_scenario(const std::string& name) {
-  for (workload::ScenarioKind kind :
-       {workload::ScenarioKind::pareto, workload::ScenarioKind::best_case,
-        workload::ScenarioKind::worst_case,
-        workload::ScenarioKind::data_intensive}) {
+  for (workload::ScenarioKind kind : workload::kAllScenarioKinds) {
     if (name == workload::name_of(kind)) return kind;
   }
   throw BadRequest("unknown scenario '" + name +
-                   "' (pareto|best-case|worst-case|data-intensive)");
+                   "' (pareto|best-case|worst-case|data-intensive|"
+                   "cold-start|variable-price|deadline-budget)");
 }
 
 EvaluateRequest decode_evaluate(const util::Json& body) {

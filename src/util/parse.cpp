@@ -1,0 +1,66 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace cloudwf::util {
+
+namespace {
+[[noreturn]] void fail(std::string_view flag, std::string_view text,
+                       const std::string& expected) {
+  throw std::invalid_argument(std::string(flag) + " expects " + expected +
+                              ", got '" + std::string(text) + "'");
+}
+}  // namespace
+
+std::uint64_t parse_u64(std::string_view text, std::string_view flag,
+                        std::uint64_t min, std::uint64_t max) {
+  const bool open_max = max == std::numeric_limits<std::uint64_t>::max();
+  const std::string range =
+      min == 0 && open_max ? "an unsigned integer"
+      : open_max           ? "an integer >= " + std::to_string(min)
+                           : "an integer in [" + std::to_string(min) + ", " +
+                                 std::to_string(max) + "]";
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty())
+    fail(flag, text, range);
+  if (value < min || value > max) fail(flag, text, range);
+  return value;
+}
+
+std::size_t parse_size(std::string_view text, std::string_view flag,
+                       std::size_t min, std::size_t max) {
+  return static_cast<std::size_t>(parse_u64(text, flag, min, max));
+}
+
+std::uint16_t parse_u16(std::string_view text, std::string_view flag,
+                        std::uint16_t min, std::uint16_t max) {
+  return static_cast<std::uint16_t>(parse_u64(text, flag, min, max));
+}
+
+double parse_double(std::string_view text, std::string_view flag, double min,
+                    double max) {
+  const bool open_min = min == std::numeric_limits<double>::lowest();
+  const bool open_max = max == std::numeric_limits<double>::max();
+  const std::string range =
+      open_min && open_max ? "a number"
+      : open_max           ? "a number >= " + std::to_string(min)
+                           : "a number in [" + std::to_string(min) + ", " +
+                                 std::to_string(max) + "]";
+  double value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty())
+    fail(flag, text, range);
+  if (!std::isfinite(value) || value < min || value > max)
+    fail(flag, text, range);
+  return value;
+}
+
+}  // namespace cloudwf::util

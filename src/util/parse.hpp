@@ -1,0 +1,44 @@
+// Strict numeric parsing for command-line flags.
+//
+// std::stoul and friends accept junk ("12abc" parses as 12, "  7" skips the
+// whitespace), silently wrap out-of-range values through exceptions whose
+// messages name the C++ function instead of the flag the user typed, and
+// terminate the process when no handler is installed. Every numeric flag in
+// the tools goes through these helpers instead: the full string must be
+// consumed, the value must fit the requested range, and a failure throws
+// std::invalid_argument whose message names the offending flag — the tools'
+// top-level handler turns that into exit code 1 with a readable error.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace cloudwf::util {
+
+/// Parses `text` as an unsigned integer in [min, max]. Throws
+/// std::invalid_argument naming `flag` when `text` is not a number, has
+/// trailing junk, or is out of range.
+[[nodiscard]] std::uint64_t parse_u64(
+    std::string_view text, std::string_view flag, std::uint64_t min = 0,
+    std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
+
+/// parse_u64 narrowed to std::size_t.
+[[nodiscard]] std::size_t parse_size(
+    std::string_view text, std::string_view flag, std::size_t min = 0,
+    std::size_t max = std::numeric_limits<std::size_t>::max());
+
+/// parse_u64 narrowed to a TCP port (1-65535 by default; pass min = 0 to
+/// allow the "ephemeral pick" port).
+[[nodiscard]] std::uint16_t parse_u16(std::string_view text,
+                                      std::string_view flag,
+                                      std::uint16_t min = 0,
+                                      std::uint16_t max = 65535);
+
+/// Parses `text` as a finite double in [min, max]; same strictness.
+[[nodiscard]] double parse_double(
+    std::string_view text, std::string_view flag,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max());
+
+}  // namespace cloudwf::util

@@ -55,6 +55,41 @@ dag::Workflow apply_scenario(const dag::Workflow& wf, const ScenarioConfig& cfg)
       }
       break;
     }
+    case ScenarioKind::cold_start:
+    case ScenarioKind::variable_price: {
+      // The same Pareto draws as the pareto scenario for the same seed:
+      // these two kinds vary the *environment* (platform provisioning
+      // delays / price trajectories, installed by exp::scenario_platform),
+      // and holding the workload fixed isolates the environment's effect.
+      if (!(cfg.cold_max_delay_s >= cfg.cold_min_delay_s) ||
+          cfg.cold_min_delay_s < 0)
+        throw std::invalid_argument(
+            "cold_start: need 0 <= cold_min_delay_s <= cold_max_delay_s");
+      util::Rng rng(cfg.seed);
+      const ParetoDistribution exec(cfg.exec_shape, cfg.exec_scale);
+      const ParetoDistribution data(cfg.data_shape, cfg.data_scale);
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = exec.sample(rng);
+        out.task(t.id).output_data = data.sample(rng) / 1024.0;  // MB -> GB
+      }
+      break;
+    }
+    case ScenarioKind::constrained: {
+      if (!(cfg.deadline_factor > 0) || !(cfg.budget_factor > 0))
+        throw std::invalid_argument(
+            "constrained: deadline/budget factors must be positive");
+      // Salted seed stream: constrained cases draw their own workloads so a
+      // sweep row is distinguishable from the pareto row at the same seed.
+      std::uint64_t salt = cfg.seed ^ 0xdbc0115721ULL;
+      util::Rng rng(util::splitmix64(salt));
+      const ParetoDistribution exec(cfg.exec_shape, cfg.exec_scale);
+      const ParetoDistribution data(cfg.data_shape, cfg.data_scale);
+      for (const dag::Task& t : wf.tasks()) {
+        out.task(t.id).work = exec.sample(rng);
+        out.task(t.id).output_data = data.sample(rng) / 1024.0;  // MB -> GB
+      }
+      break;
+    }
   }
   return out;
 }

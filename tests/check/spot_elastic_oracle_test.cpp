@@ -1,0 +1,97 @@
+// Oracle coverage for the spot/elastic corners interacting with the
+// scenario environments and the fault injector:
+//
+//  - the elastic runtime's schedules must audit clean on a cold-start
+//    platform (its provisioning path answers boot_delay per size/region, and
+//    the boot invariant re-derives the same bound);
+//  - faulty replays of elastic schedules must audit clean under both
+//    environment scenarios (the replay billing check re-derives sessions
+//    with cold anchors and time-varying BTU prices);
+//  - the spot study must stay deterministic and internally consistent now
+//    that SpotPriceSeries' interval queries are total functions (rental
+//    windows beyond the sampled horizon price at the analytic tails).
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "dag/builders.hpp"
+#include "exp/scenario_env.hpp"
+#include "exp/spot_study.hpp"
+#include "sim/elastic.hpp"
+#include "sim/faults.hpp"
+#include "workload/scenario.hpp"
+
+namespace cloudwf::check {
+namespace {
+
+dag::Workflow pareto_montage() {
+  workload::ScenarioConfig cfg;
+  return workload::apply_scenario(dag::builders::montage24(), cfg);
+}
+
+cloud::Platform env_platform(workload::ScenarioKind kind) {
+  workload::ScenarioConfig cfg;
+  cfg.kind = kind;
+  return exp::scenario_platform(cloud::Platform::ec2(), cfg);
+}
+
+TEST(SpotElasticOracle, ElasticScheduleAuditsCleanUnderColdStarts) {
+  const cloud::Platform platform =
+      env_platform(workload::ScenarioKind::cold_start);
+  const dag::Workflow wf = pareto_montage();
+  const sim::ElasticResult result = sim::run_elastic(wf, platform);
+  const OracleReport report = check_schedule(wf, result.schedule, platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // The pool really paid the provisioning delay: nothing starts before the
+  // smallest possible cold boot.
+  for (const dag::Task& t : wf.tasks())
+    EXPECT_GE(result.schedule.assignment(t.id).start, 300.0);
+}
+
+TEST(SpotElasticOracle, ElasticFaultyReplaysAuditCleanAcrossEnvironments) {
+  const dag::Workflow wf = pareto_montage();
+  for (workload::ScenarioKind kind : {workload::ScenarioKind::cold_start,
+                                      workload::ScenarioKind::variable_price}) {
+    const cloud::Platform platform = env_platform(kind);
+    const sim::ElasticResult elastic = sim::run_elastic(wf, platform);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      sim::FaultModel model;
+      model.failures_per_vm_hour = 2.0;
+      util::Rng rng(seed);
+      const sim::FaultyReplayResult replay =
+          sim::replay_with_faults(wf, elastic.schedule, platform, model, rng);
+      const ReplayAudit audit =
+          check_faulty_replay(wf, elastic.schedule, platform, replay);
+      EXPECT_TRUE(audit.ok())
+          << workload::name_of(kind) << " seed " << seed << ":\n"
+          << audit.report.to_string();
+      EXPECT_GE(audit.replayed_btus, 0);
+    }
+  }
+}
+
+TEST(SpotElasticOracle, SpotStudyDeterministicAndConsistentUnderFaults) {
+  const exp::ExperimentRunner runner;
+  exp::SpotStudyConfig config;
+  config.replay_reps = 3;
+  const std::vector<exp::SpotStudyRow> a =
+      exp::spot_study(runner, dag::builders::montage24(), config);
+  const std::vector<exp::SpotStudyRow> b =
+      exp::spot_study(runner, dag::builders::montage24(), config);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].strategy, b[i].strategy);
+    EXPECT_EQ(a[i].spot_cost, b[i].spot_cost);  // bitwise per seed
+    EXPECT_DOUBLE_EQ(a[i].makespan_spot, b[i].makespan_spot);
+    // Spot billing prices real rental windows: positive whenever the
+    // on-demand bill is, and eviction-driven reruns never beat the clean
+    // replay.
+    EXPECT_GT(a[i].on_demand_cost, util::Money{});
+    EXPECT_GT(a[i].spot_cost, util::Money{});
+    EXPECT_GE(a[i].makespan_spot, a[i].makespan_clean);
+    EXPECT_GE(a[i].evictions_expected, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::check

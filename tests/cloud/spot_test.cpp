@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace cloudwf::cloud {
 namespace {
 
@@ -86,7 +88,54 @@ TEST(SpotPriceSeries, RejectsBadInputs) {
                std::invalid_argument);
   model = SpotMarketModel{};
   const SpotPriceSeries ok(kOnDemand, model, 3600.0, rng);
-  EXPECT_THROW((void)ok.average_price(100.0, 100.0), std::invalid_argument);
+  // Genuinely malformed queries still throw: inverted or NaN endpoints.
+  EXPECT_THROW((void)ok.average_price(200.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)ok.average_price(
+                   std::numeric_limits<double>::quiet_NaN(), 100.0),
+               std::invalid_argument);
+}
+
+TEST(SpotPriceSeries, AveragePriceTotalOnDegenerateWindows) {
+  SpotMarketModel model;
+  util::Rng rng(5);
+  const SpotPriceSeries series(kOnDemand, model, 7200.0, rng);
+  // Zero-length window: the point price, not an exception.
+  EXPECT_EQ(series.average_price(100.0, 100.0), series.price_at(100.0));
+  // Windows entirely past the horizon hold the last sampled price.
+  EXPECT_EQ(series.average_price(10000.0, 20000.0),
+            series.price_at(series.horizon()));
+  // Windows entirely before time zero hold the first sampled price.
+  EXPECT_EQ(series.average_price(-500.0, -100.0), series.price_at(0.0));
+  // A window straddling the horizon matches a manual two-piece average
+  // closely (piecewise-constant tails).
+  const util::Money straddle = series.average_price(7200.0 - 900.0, 7200.0 + 900.0);
+  EXPECT_GE(straddle, kOnDemand.scaled(model.floor_fraction));
+  EXPECT_LE(straddle, kOnDemand.scaled(model.cap_fraction));
+}
+
+TEST(SpotPriceSeries, FirstExceedanceIsTotal) {
+  SpotMarketModel model;
+  model.volatility = 0.0;  // price pinned at mean_fraction x on-demand
+  util::Rng rng(3);
+  const SpotPriceSeries series(kOnDemand, model, 7200.0, rng);
+  const util::Money low_bid = kOnDemand.scaled(model.mean_fraction * 0.5);
+  // Degenerate and malformed windows answer nullopt instead of looping or
+  // throwing: empty, inverted, NaN.
+  EXPECT_FALSE(series.first_exceedance(low_bid, 100.0, 100.0).has_value());
+  EXPECT_FALSE(series.first_exceedance(low_bid, 200.0, 100.0).has_value());
+  EXPECT_FALSE(series.first_exceedance(
+                   low_bid, std::numeric_limits<double>::quiet_NaN(), 100.0)
+                   .has_value());
+  // Windows past the horizon see the constant final price.
+  const auto beyond = series.first_exceedance(low_bid, 10000.0, 20000.0);
+  ASSERT_TRUE(beyond.has_value());
+  EXPECT_DOUBLE_EQ(*beyond, 10000.0);
+  // Windows before time zero see the constant first price.
+  const auto before = series.first_exceedance(low_bid, -500.0, -100.0);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_DOUBLE_EQ(*before, -500.0);
+  // A bid above the constant price is never exceeded anywhere.
+  EXPECT_FALSE(series.first_exceedance(kOnDemand, -500.0, 20000.0).has_value());
 }
 
 }  // namespace

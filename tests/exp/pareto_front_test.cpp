@@ -81,5 +81,140 @@ TEST(ParetoFront, RealGridFrontIsMonotone) {
   EXPECT_EQ(pareto_front_table(pareto_front(results)).rows(), results.size());
 }
 
+TEST(Constrained, DeriveScalesTheReference) {
+  sim::ScheduleMetrics ref;
+  ref.makespan = 1000.0;
+  ref.total_cost = util::Money::from_dollars(10.0);
+  const Constraints c = derive_constraints(ref, ConstraintSpec{0.7, 1.5});
+  EXPECT_DOUBLE_EQ(c.deadline, 700.0);
+  EXPECT_EQ(c.budget, util::Money::from_dollars(15.0));
+
+  EXPECT_THROW((void)derive_constraints(ref, ConstraintSpec{0.0, 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)derive_constraints(ref, ConstraintSpec{0.7, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)derive_constraints(sim::ScheduleMetrics{}, ConstraintSpec{}),
+      std::invalid_argument);
+  // No reference row in the result set: also a hard error.
+  EXPECT_THROW(
+      (void)derive_constraints(
+          std::vector<RunResult>{make_result("not-the-reference", 1, 1.0)},
+          ConstraintSpec{}),
+      std::invalid_argument);
+}
+
+TEST(Constrained, ClassifyPicksCheapestFeasible) {
+  Constraints c;
+  c.deadline = 500.0;
+  c.budget = util::Money::from_dollars(5.0);
+  const std::vector<RunResult> results = {
+      make_result("too-slow", 600, 1.0),
+      make_result("too-pricey", 100, 9.0),
+      make_result("ok-expensive", 400, 4.0),
+      make_result("ok-cheap", 450, 2.0),
+      make_result("boundary", 500, 5.0),  // exactly on both limits: feasible
+  };
+  const ConstrainedReport report = classify_constrained(results, c);
+  ASSERT_EQ(report.points.size(), 5u);
+  EXPECT_FALSE(report.points[0].feasible);
+  EXPECT_FALSE(report.points[1].feasible);
+  EXPECT_TRUE(report.points[2].feasible);
+  EXPECT_TRUE(report.points[3].feasible);
+  EXPECT_TRUE(report.points[4].feasible);
+  EXPECT_EQ(report.feasible_count(), 3u);
+  ASSERT_GE(report.best, 0);
+  EXPECT_EQ(report.points[static_cast<std::size_t>(report.best)].strategy,
+            "ok-cheap");
+  EXPECT_EQ(constrained_table(report).rows(), results.size());
+}
+
+TEST(Constrained, NoFeasibleStrategyLeavesBestUnset) {
+  Constraints c;
+  c.deadline = 1.0;
+  c.budget = util::Money::from_dollars(0.001);
+  const ConstrainedReport report =
+      classify_constrained({make_result("a", 100, 1.0)}, c);
+  EXPECT_EQ(report.best, -1);
+  EXPECT_EQ(report.feasible_count(), 0u);
+}
+
+TEST(Constrained, EndToEndOnTheConstrainedScenario) {
+  // The full machinery on a real case: run the paper set under the
+  // deadline-budget scenario, derive factor constraints from the reference
+  // row, classify — and the reference itself can never be feasible, since a
+  // 0.7x deadline excludes it by construction.
+  const ExperimentRunner runner;
+  const auto results = runner.run_all(paper_workflows()[0],
+                                      workload::ScenarioKind::constrained);
+  const Constraints c = derive_constraints(results, ConstraintSpec{});
+  const ConstrainedReport report = classify_constrained(results, c);
+  const std::string ref = scheduling::reference_strategy().label;
+  for (const ConstrainedPoint& p : report.points) {
+    if (p.strategy == ref) {
+      EXPECT_FALSE(p.feasible);
+    }
+  }
+  // Determinism: a second evaluation classifies identically.
+  const ConstrainedReport again =
+      classify_constrained(runner.run_all(paper_workflows()[0],
+                                          workload::ScenarioKind::constrained),
+                           c);
+  ASSERT_EQ(again.points.size(), report.points.size());
+  for (std::size_t i = 0; i < report.points.size(); ++i)
+    EXPECT_EQ(again.points[i].feasible, report.points[i].feasible);
+  EXPECT_EQ(again.best, report.best);
+}
+
+TEST(StochasticSearch, DeterministicDedupedAndClassified) {
+  const ExperimentRunner runner;
+  constexpr workload::ScenarioKind kind = workload::ScenarioKind::constrained;
+  const dag::Workflow wf = runner.materialize(paper_workflows()[0], kind);
+  const cloud::Platform platform = runner.scenario_platform(kind);
+  const Constraints c =
+      derive_constraints(runner.run_all(paper_workflows()[0], kind),
+                         ConstraintSpec{});
+
+  SearchConfig config;
+  config.iterations = 200;  // enough draws to hit most of the 40 configs
+  config.seed = 17;
+  const SearchResult a = stochastic_search(wf, platform, c, config);
+  const SearchResult b = stochastic_search(wf, platform, c, config);
+
+  ASSERT_FALSE(a.evaluated.empty());
+  EXPECT_LE(a.evaluated.size(), 40u);  // 5 policies x 2 orderings x 4 sizes
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].label, b.evaluated[i].label);
+    EXPECT_DOUBLE_EQ(a.evaluated[i].metrics.makespan,
+                     b.evaluated[i].metrics.makespan);
+    EXPECT_EQ(a.evaluated[i].metrics.total_cost,
+              b.evaluated[i].metrics.total_cost);
+    EXPECT_EQ(a.evaluated[i].feasible, b.evaluated[i].feasible);
+    for (std::size_t j = i + 1; j < a.evaluated.size(); ++j)
+      EXPECT_NE(a.evaluated[i].label, a.evaluated[j].label);  // deduped
+  }
+  EXPECT_EQ(a.best, b.best);
+  if (a.best >= 0) {
+    // The winner is feasible and no cheaper feasible candidate exists.
+    const SearchCandidate& best = a.evaluated[static_cast<std::size_t>(a.best)];
+    EXPECT_TRUE(best.feasible);
+    for (const SearchCandidate& cand : a.evaluated) {
+      if (cand.feasible) {
+        EXPECT_LE(best.metrics.total_cost, cand.metrics.total_cost);
+      }
+    }
+  }
+
+  // A different seed explores in a different order.
+  SearchConfig other = config;
+  other.seed = 18;
+  const SearchResult d = stochastic_search(wf, platform, c, other);
+  bool order_differs = d.evaluated.size() != a.evaluated.size();
+  for (std::size_t i = 0; !order_differs && i < a.evaluated.size(); ++i)
+    order_differs = a.evaluated[i].label != d.evaluated[i].label;
+  EXPECT_TRUE(order_differs);
+}
+
 }  // namespace
 }  // namespace cloudwf::exp

@@ -1,0 +1,124 @@
+// The platform side of the scenario axis: scenario_platform derivation,
+// its effect on experiment results, and the bit-compatibility contract for
+// the environment-free kinds.
+#include "exp/scenario_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "scheduling/factory.hpp"
+#include "sim/metrics.hpp"
+#include "sim/validator.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+TEST(ScenarioEnv, ModelsInstalledOnlyForEnvironmentKinds) {
+  const cloud::Platform base = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  for (workload::ScenarioKind kind : workload::kAllScenarioKinds) {
+    cfg.kind = kind;
+    const cloud::Platform p = scenario_platform(base, cfg);
+    if (kind == workload::ScenarioKind::cold_start) {
+      ASSERT_NE(p.cold_start(), nullptr);
+      EXPECT_EQ(p.price_schedule(), nullptr);
+      EXPECT_TRUE(p.scenario_billing_active());
+      const util::Seconds d =
+          p.boot_delay(cloud::InstanceSize::small, p.default_region_id());
+      EXPECT_GE(d, cfg.cold_min_delay_s);
+      EXPECT_LT(d, cfg.cold_max_delay_s);
+    } else if (kind == workload::ScenarioKind::variable_price) {
+      EXPECT_EQ(p.cold_start(), nullptr);
+      ASSERT_NE(p.price_schedule(), nullptr);
+      EXPECT_TRUE(p.scenario_billing_active());
+      // Boot stays free: only the bill depends on timing.
+      EXPECT_DOUBLE_EQ(
+          p.boot_delay(cloud::InstanceSize::small, p.default_region_id()),
+          base.boot_time());
+    } else {
+      EXPECT_EQ(p.cold_start(), nullptr);
+      EXPECT_EQ(p.price_schedule(), nullptr);
+      EXPECT_FALSE(p.scenario_billing_active());
+    }
+  }
+}
+
+TEST(ScenarioEnv, DerivationIsDeterministicPerSeed) {
+  const cloud::Platform base = cloud::Platform::ec2();
+  workload::ScenarioConfig cfg;
+  cfg.kind = workload::ScenarioKind::cold_start;
+  cfg.seed = 77;
+  const cloud::Platform a = scenario_platform(base, cfg);
+  const cloud::Platform b = scenario_platform(base, cfg);
+  for (cloud::InstanceSize size : cloud::kAllSizes)
+    EXPECT_DOUBLE_EQ(a.boot_delay(size, 0), b.boot_delay(size, 0));
+
+  cfg.seed = 78;
+  const cloud::Platform c = scenario_platform(base, cfg);
+  EXPECT_NE(a.boot_delay(cloud::InstanceSize::small, 0),
+            c.boot_delay(cloud::InstanceSize::small, 0));
+
+  cfg.kind = workload::ScenarioKind::variable_price;
+  const cloud::Platform d = scenario_platform(base, cfg);
+  const cloud::Platform e = scenario_platform(base, cfg);
+  for (util::Seconds t = 0; t < 6 * util::kBtu; t += 1234.5)
+    EXPECT_DOUBLE_EQ(
+        d.price_schedule()->fraction_at(cloud::InstanceSize::large, t),
+        e.price_schedule()->fraction_at(cloud::InstanceSize::large, t));
+}
+
+TEST(ScenarioEnv, ColdStartsStretchMakespanAndBill) {
+  const ExperimentRunner runner;
+  const dag::Workflow montage = paper_workflows()[0];
+  const scheduling::Strategy strategy =
+      scheduling::strategy_by_label("AllParExceed-m");
+  const RunResult warm =
+      runner.run_one(strategy, montage, workload::ScenarioKind::pareto);
+  const RunResult cold =
+      runner.run_one(strategy, montage, workload::ScenarioKind::cold_start);
+  // Same workload draw, but every fresh VM now boots 300-600 s late and its
+  // first session is billed from provisioning start.
+  EXPECT_GT(cold.metrics.makespan, warm.metrics.makespan);
+  EXPECT_GE(cold.metrics.total_btus, warm.metrics.total_btus);
+  EXPECT_GE(cold.metrics.total_cost, warm.metrics.total_cost);
+}
+
+TEST(ScenarioEnv, VariablePricesMoveOnlyTheBill) {
+  const ExperimentRunner runner;
+  const dag::Workflow montage = paper_workflows()[0];
+  const scheduling::Strategy strategy =
+      scheduling::strategy_by_label("StartParNotExceed-m");
+  const RunResult flat =
+      runner.run_one(strategy, montage, workload::ScenarioKind::pareto);
+  const RunResult priced =
+      runner.run_one(strategy, montage, workload::ScenarioKind::variable_price);
+  EXPECT_DOUBLE_EQ(priced.metrics.makespan, flat.metrics.makespan);
+  EXPECT_EQ(priced.metrics.total_btus, flat.metrics.total_btus);
+  EXPECT_NE(priced.metrics.total_cost, flat.metrics.total_cost);
+}
+
+TEST(ScenarioEnv, RunOneMatchesManualEvaluationOnTheScenarioPlatform) {
+  // The contract the CLI and benches rely on: scheduling + metrics computed
+  // by hand on scenario_platform(kind) are bitwise the RunResult numbers.
+  const ExperimentRunner runner;
+  const dag::Workflow montage = paper_workflows()[0];
+  for (workload::ScenarioKind kind : {workload::ScenarioKind::cold_start,
+                                      workload::ScenarioKind::variable_price,
+                                      workload::ScenarioKind::constrained}) {
+    const scheduling::Strategy strategy =
+        scheduling::strategy_by_label("AllParNotExceed-l");
+    const RunResult via_runner = runner.run_one(strategy, montage, kind);
+
+    const dag::Workflow wf = runner.materialize(montage, kind);
+    const cloud::Platform platform = runner.scenario_platform(kind);
+    const sim::Schedule schedule = strategy.scheduler->run(wf, platform);
+    sim::validate_or_throw(wf, schedule, platform);
+    const sim::ScheduleMetrics m = sim::compute_metrics(wf, schedule, platform);
+    EXPECT_DOUBLE_EQ(m.makespan, via_runner.metrics.makespan);
+    EXPECT_EQ(m.total_btus, via_runner.metrics.total_btus);
+    EXPECT_EQ(m.total_cost, via_runner.metrics.total_cost);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

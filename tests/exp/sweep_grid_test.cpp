@@ -161,6 +161,33 @@ TEST(SweepGrid, ShardedRunsMergeBitIdenticalToSerial) {
   }
 }
 
+TEST(SweepGrid, ScenarioExtensionsShardBitIdenticalToSerial) {
+  // The new environment kinds flow through the same shard/merge fabric:
+  // every shard derives the same cold-start table / price schedule from the
+  // cell's (kind, seed), so sharded == serial stays bitwise.
+  SweepGridSpec grid;
+  grid.workflows = {"montage"};
+  grid.scenarios = {workload::ScenarioKind::cold_start,
+                    workload::ScenarioKind::variable_price,
+                    workload::ScenarioKind::constrained};
+  grid.strategies = {"AllParExceed-m", "OneVMperTask-s"};
+  grid.seed_begin = 0;
+  grid.seed_end = 1;
+
+  const cloud::Platform platform = cloud::Platform::ec2();
+  const std::vector<SweepRow> serial = run_grid_serial(grid, platform);
+  ASSERT_EQ(serial.size(), grid.cell_count());
+  for (const std::size_t width : {1u, 3u, 5u}) {
+    const std::vector<ShardSpec> shards = partition_grid(grid, width);
+    std::vector<std::vector<SweepRow>> per_shard;
+    per_shard.reserve(shards.size());
+    for (const ShardSpec& shard : shards)
+      per_shard.push_back(run_shard(shard, platform));
+    EXPECT_EQ(merge_shards(shards, per_shard), serial)
+        << "partition width " << width;
+  }
+}
+
 TEST(SweepGrid, MergeRefusesShortOrMiscountedShards) {
   const SweepGridSpec grid = small_grid();
   const cloud::Platform platform = cloud::Platform::ec2();

@@ -54,6 +54,23 @@ TEST(BinProto, EvaluateRequestRoundTrip) {
   EXPECT_EQ(back.seed_end, req.seed_end);
 }
 
+TEST(BinProto, EveryScenarioKindRoundTripsByteIdentically) {
+  for (workload::ScenarioKind kind : workload::kAllScenarioKinds) {
+    EvaluateRequest req;
+    req.workflow = "montage";
+    req.strategy = "AllParExceed-m";
+    req.scenario = kind;
+    req.seed_begin = req.seed_end = 9;
+    EXPECT_EQ(roundtrip(req).scenario, kind);
+
+    RankRequest rank;
+    rank.workflow = "cstem";
+    rank.scenario = kind;
+    rank.seed = 1;
+    EXPECT_EQ(roundtrip(rank).scenario, kind);
+  }
+}
+
 TEST(BinProto, RankRequestRoundTrip) {
   RankRequest req;
   req.workflow = "cstem";

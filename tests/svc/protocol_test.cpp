@@ -38,6 +38,14 @@ TEST(Protocol, ScenarioNamesRoundTrip) {
   EXPECT_EQ(parse_scenario("worst-case"), workload::ScenarioKind::worst_case);
   EXPECT_EQ(parse_scenario("data-intensive"),
             workload::ScenarioKind::data_intensive);
+  EXPECT_EQ(parse_scenario("cold-start"), workload::ScenarioKind::cold_start);
+  EXPECT_EQ(parse_scenario("variable-price"),
+            workload::ScenarioKind::variable_price);
+  EXPECT_EQ(parse_scenario("deadline-budget"),
+            workload::ScenarioKind::constrained);
+  // Every kind's canonical name parses back to itself.
+  for (workload::ScenarioKind kind : workload::kAllScenarioKinds)
+    EXPECT_EQ(parse_scenario(std::string(workload::name_of(kind))), kind);
   EXPECT_THROW((void)parse_scenario("bogus"), BadRequest);
 }
 

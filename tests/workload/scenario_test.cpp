@@ -82,6 +82,52 @@ TEST(Scenario, Names) {
   EXPECT_EQ(name_of(ScenarioKind::pareto), "pareto");
   EXPECT_EQ(name_of(ScenarioKind::best_case), "best-case");
   EXPECT_EQ(name_of(ScenarioKind::worst_case), "worst-case");
+  EXPECT_EQ(name_of(ScenarioKind::data_intensive), "data-intensive");
+  EXPECT_EQ(name_of(ScenarioKind::cold_start), "cold-start");
+  EXPECT_EQ(name_of(ScenarioKind::variable_price), "variable-price");
+  EXPECT_EQ(name_of(ScenarioKind::constrained), "deadline-budget");
+  EXPECT_EQ(kAllScenarioKinds.size(), kScenarioKindCount);
+}
+
+// Cold-start and variable-price are *environment* scenarios: the workload
+// side is exactly the Pareto draw, so schedules stay comparable and only
+// the platform (delays, prices) moves the numbers.
+TEST(Scenario, EnvironmentKindsShareTheParetoWorkload) {
+  ScenarioConfig pareto;
+  pareto.seed = 42;
+  const dag::Workflow base = apply_scenario(dag::builders::montage24(), pareto);
+  for (ScenarioKind kind :
+       {ScenarioKind::cold_start, ScenarioKind::variable_price}) {
+    ScenarioConfig cfg = pareto;
+    cfg.kind = kind;
+    const dag::Workflow wf = apply_scenario(dag::builders::montage24(), cfg);
+    for (const dag::Task& t : base.tasks()) {
+      EXPECT_DOUBLE_EQ(t.work, wf.task(t.id).work);
+      EXPECT_DOUBLE_EQ(t.output_data, wf.task(t.id).output_data);
+    }
+  }
+}
+
+// The constrained scenario salts the seed stream: same structure, same
+// distribution family, but a distinct draw — constrained cases are fresh
+// cases, not relabeled Pareto ones.
+TEST(Scenario, ConstrainedDrawsFromASaltedStream) {
+  ScenarioConfig pareto;
+  pareto.seed = 42;
+  ScenarioConfig constrained = pareto;
+  constrained.kind = ScenarioKind::constrained;
+  const dag::Workflow a = apply_scenario(dag::builders::montage24(), pareto);
+  const dag::Workflow b =
+      apply_scenario(dag::builders::montage24(), constrained);
+  const dag::Workflow b2 =
+      apply_scenario(dag::builders::montage24(), constrained);
+  bool any_differ = false;
+  for (const dag::Task& t : a.tasks()) {
+    if (t.work != b.task(t.id).work) any_differ = true;
+    EXPECT_DOUBLE_EQ(b.task(t.id).work, b2.task(t.id).work);  // deterministic
+    EXPECT_GE(b.task(t.id).work, 500.0);  // still the Pareto scale floor
+  }
+  EXPECT_TRUE(any_differ);
 }
 
 }  // namespace

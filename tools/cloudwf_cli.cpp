@@ -29,6 +29,9 @@
 //                   [--poll-ms N]
 //   cloudwf check   [--cases N] [--seed N] [--threads N] [--large-tasks N]
 //                   [--json]
+//   cloudwf constrained --workflow <name|file> [--deadline-factor F]
+//                   [--budget-factor F] [--seed N] [--search]
+//                   [--iterations N]
 //   cloudwf mtsim   [--tenants N] [--policy exclusive|shared|weighted-fair]
 //                   [--arrival lambda] [--jobs M] [--workflow <name|file>]
 //                   [--provisioning <kind>] [--sigma S] [--quota Q]
@@ -82,6 +85,8 @@
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "util/json.hpp"
+#include "util/parse.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -128,7 +133,9 @@ Args parse_args(int argc, char** argv) {
         name == "shards" || name == "shards-per-worker" ||
         name == "lease-timeout-ms" || name == "max-attempts" ||
         name == "auth-token" || name == "bind" || name == "delay-ms" ||
-        name == "max-shards" || name == "poll-ms") {
+        name == "max-shards" || name == "poll-ms" ||
+        name == "deadline-factor" || name == "budget-factor" ||
+        name == "iterations") {
       if (i + 1 >= argc)
         throw std::runtime_error("--" + name + " needs a value");
       args.options[name] = argv[++i];
@@ -154,7 +161,9 @@ dag::Workflow resolve_workflow(const std::string& spec) {
     const std::string head = spec.substr(0, colon);
     for (const dag::science::Family f : dag::science::kAllFamilies)
       if (head == dag::science::name_of(f))
-        return dag::science::scaled(f, std::stoul(spec.substr(colon + 1)));
+        return dag::science::scaled(
+            f, util::parse_size(spec.substr(colon + 1),
+                                "--workflow " + head + ":N", 1, 1000000));
   }
   // A spec containing "->" is an inline edge-DSL workflow
   // (e.g. --workflow "a:600 -> b; a -> c; b, c -> d").
@@ -169,15 +178,22 @@ bool scenario_is_as_is(const Args& args) {
 
 workload::ScenarioKind resolve_scenario(const Args& args) {
   const std::string name = args.option("scenario").value_or("pareto");
-  for (workload::ScenarioKind kind :
-       {workload::ScenarioKind::pareto, workload::ScenarioKind::best_case,
-        workload::ScenarioKind::worst_case,
-        workload::ScenarioKind::data_intensive}) {
+  for (workload::ScenarioKind kind : workload::kAllScenarioKinds) {
     if (name == workload::name_of(kind)) return kind;
   }
   throw std::runtime_error(
       "unknown scenario '" + name +
-      "' (pareto|best-case|worst-case|data-intensive|as-is)");
+      "' (pareto|best-case|worst-case|data-intensive|cold-start|"
+      "variable-price|deadline-budget|as-is)");
+}
+
+/// The platform a manual run must schedule and bill on: the scenario's
+/// environment (cold-start delays, price schedule) when a kind is selected,
+/// the plain base platform for --scenario as-is.
+cloud::Platform resolve_platform(const exp::ExperimentRunner& runner,
+                                 const Args& args) {
+  if (scenario_is_as_is(args)) return runner.platform();
+  return runner.scenario_platform(resolve_scenario(args));
 }
 
 /// The workflow a run should schedule: scenario-materialized, or verbatim
@@ -192,7 +208,11 @@ dag::Workflow materialize_or_keep(const exp::ExperimentRunner& runner,
 exp::ExperimentRunner make_runner(const Args& args) {
   workload::ScenarioConfig cfg;
   if (const auto seed = args.option("seed"))
-    cfg.seed = std::stoull(*seed);
+    cfg.seed = util::parse_u64(*seed, "--seed");
+  if (const auto f = args.option("deadline-factor"))
+    cfg.deadline_factor = util::parse_double(*f, "--deadline-factor", 1e-6, 1e6);
+  if (const auto f = args.option("budget-factor"))
+    cfg.budget_factor = util::parse_double(*f, "--budget-factor", 1e-6, 1e6);
   return exp::ExperimentRunner(cloud::Platform::ec2(), cfg);
 }
 
@@ -205,7 +225,8 @@ int cmd_list() {
   std::cout << "\nbaseline strategies (related work):\n";
   for (const scheduling::Strategy& s : scheduling::baseline_strategies())
     std::cout << "  " << s.label << '\n';
-  std::cout << "\nscenarios: pareto best-case worst-case\n";
+  std::cout << "\nscenarios: pareto best-case worst-case data-intensive "
+               "cold-start variable-price deadline-budget\n";
   return 0;
 }
 
@@ -225,11 +246,11 @@ int cmd_run(const Args& args) {
   const dag::Workflow structure = resolve_workflow(*wf_spec);
   const dag::Workflow wf = materialize_or_keep(runner, structure, args);
   const scheduling::Strategy strategy = resolve_strategy(*strategy_label);
+  const cloud::Platform platform = resolve_platform(runner, args);
 
-  const sim::Schedule schedule = strategy.scheduler->run(wf, runner.platform());
-  sim::validate_or_throw(wf, schedule, runner.platform());
-  const sim::ScheduleMetrics m =
-      sim::compute_metrics(wf, schedule, runner.platform());
+  const sim::Schedule schedule = strategy.scheduler->run(wf, platform);
+  sim::validate_or_throw(wf, schedule, platform);
+  const sim::ScheduleMetrics m = sim::compute_metrics(wf, schedule, platform);
 
   std::cout << "workflow " << wf.name() << " (" << wf.task_count()
             << " tasks), strategy " << strategy.label << '\n'
@@ -242,7 +263,7 @@ int cmd_run(const Args& args) {
   if (args.flag("gantt")) std::cout << '\n' << sim::render_gantt(wf, schedule);
   if (args.flag("vms"))
     std::cout << '\n'
-              << sim::vm_report_table(sim::vm_report(schedule, runner.platform()));
+              << sim::vm_report_table(sim::vm_report(schedule, platform));
   if (args.flag("csv")) std::cout << '\n' << sim::gantt_csv(wf, schedule);
   if (const auto dot = args.option("dot")) {
     dag::save_workflow(wf, *dot + ".wf");
@@ -304,14 +325,15 @@ int cmd_diff(const Args& args) {
   const exp::ExperimentRunner runner = make_runner(args);
   const dag::Workflow wf =
       materialize_or_keep(runner, resolve_workflow(*wf_spec), args);
+  const cloud::Platform platform = resolve_platform(runner, args);
 
   const sim::Schedule before =
-      resolve_strategy(*label_a).scheduler->run(wf, runner.platform());
+      resolve_strategy(*label_a).scheduler->run(wf, platform);
   const sim::Schedule after =
-      resolve_strategy(*label_b).scheduler->run(wf, runner.platform());
+      resolve_strategy(*label_b).scheduler->run(wf, platform);
   std::cout << *label_a << " -> " << *label_b << " on " << wf.name() << ":\n"
             << sim::render_diff(
-                   sim::diff_schedules(wf, before, after, runner.platform()));
+                   sim::diff_schedules(wf, before, after, platform));
   return 0;
 }
 
@@ -349,6 +371,7 @@ int cmd_trace(const Args& args) {
   const dag::Workflow structure = resolve_workflow(*wf_spec);
   const dag::Workflow wf = materialize_or_keep(runner, structure, args);
   const scheduling::Strategy strategy = resolve_strategy(*strategy_label);
+  const cloud::Platform platform = resolve_platform(runner, args);
 
   obs::TraceRecorder recorder;
   sim::ScheduleMetrics m;
@@ -357,19 +380,19 @@ int cmd_trace(const Args& args) {
     obs::ScopedRecording recording(recorder);
     const sim::Schedule schedule = [&] {
       obs::PhaseScope phase("cli: schedule");
-      return strategy.scheduler->run(wf, runner.platform());
+      return strategy.scheduler->run(wf, platform);
     }();
     {
       obs::PhaseScope phase("cli: validate");
-      sim::validate_or_throw(wf, schedule, runner.platform());
+      sim::validate_or_throw(wf, schedule, platform);
     }
     {
       obs::PhaseScope phase("cli: replay");
-      replay = sim::EventSimulator(runner.platform()).replay(wf, schedule);
+      replay = sim::EventSimulator(platform).replay(wf, schedule);
     }
     {
       obs::PhaseScope phase("cli: metrics");
-      m = sim::compute_metrics(wf, schedule, runner.platform());
+      m = sim::compute_metrics(wf, schedule, platform);
     }
   }
 
@@ -411,9 +434,10 @@ int cmd_plan(const Args& args) {
   const exp::ExperimentRunner runner = make_runner(args);
   exp::PlanConstraints constraints;
   if (const auto b = args.option("budget"))
-    constraints.budget = util::Money::from_dollars(std::stod(*b));
+    constraints.budget =
+        util::Money::from_dollars(util::parse_double(*b, "--budget", 0.0));
   if (const auto d = args.option("deadline"))
-    constraints.deadline = std::stod(*d);
+    constraints.deadline = util::parse_double(*d, "--deadline", 0.0);
 
   const exp::PlanOutcome outcome = exp::plan(
       runner, resolve_workflow(*wf_spec), constraints, resolve_scenario(args));
@@ -424,22 +448,83 @@ int cmd_plan(const Args& args) {
   return outcome.feasible ? 0 : 2;
 }
 
+// Deadline/budget feasibility over the paper strategy set, under the
+// `deadline-budget` scenario environment. Constraints are factors of the
+// OneVMperTask-s reference (--deadline-factor, --budget-factor); --search
+// additionally probes the wider (policy x ordering x size) configuration
+// space with a seeded stochastic search. Exit 0 when something feasible
+// exists, 2 when nothing fits.
+int cmd_constrained(const Args& args) {
+  const auto wf_spec = args.option("workflow");
+  if (!wf_spec) throw std::runtime_error("constrained needs --workflow");
+
+  const exp::ExperimentRunner runner = make_runner(args);
+  const dag::Workflow structure = resolve_workflow(*wf_spec);
+  constexpr workload::ScenarioKind kind = workload::ScenarioKind::constrained;
+
+  const std::vector<exp::RunResult> results = runner.run_all(structure, kind);
+  exp::ConstraintSpec spec;
+  spec.deadline_factor = runner.base_config().deadline_factor;
+  spec.budget_factor = runner.base_config().budget_factor;
+  const exp::Constraints constraints = exp::derive_constraints(results, spec);
+  const exp::ConstrainedReport report =
+      exp::classify_constrained(results, constraints);
+
+  std::cout << "workflow " << structure.name() << ", deadline "
+            << util::format_double(constraints.deadline, 1) << " s ("
+            << util::format_double(spec.deadline_factor, 2)
+            << "x reference), budget " << constraints.budget << " ("
+            << util::format_double(spec.budget_factor, 2)
+            << "x reference):\n\n"
+            << exp::constrained_table(report) << '\n'
+            << report.feasible_count() << "/" << report.points.size()
+            << " strategies feasible\n";
+
+  bool any_feasible = report.best >= 0;
+  if (args.flag("search")) {
+    exp::SearchConfig search;
+    if (const auto it = args.option("iterations"))
+      search.iterations = util::parse_size(*it, "--iterations", 1, 1000000);
+    if (const auto seed = args.option("seed"))
+      search.seed = util::parse_u64(*seed, "--seed");
+    const exp::SearchResult found = exp::stochastic_search(
+        runner.materialize(structure, kind), runner.scenario_platform(kind),
+        constraints, search);
+    std::cout << "\nstochastic search (" << found.evaluated.size()
+              << " distinct configurations):\n";
+    if (found.best >= 0) {
+      const exp::SearchCandidate& best =
+          found.evaluated[static_cast<std::size_t>(found.best)];
+      std::cout << "  best: " << best.label << " (makespan "
+                << util::format_double(best.metrics.makespan, 1) << " s, cost "
+                << best.metrics.total_cost << ")\n";
+      any_feasible = true;
+    } else {
+      std::cout << "  no feasible configuration found\n";
+    }
+  }
+  return any_feasible ? 0 : 2;
+}
+
 int cmd_serve(const Args& args) {
   svc::ServerConfig config;
   if (const auto port = args.option("port"))
-    config.port = static_cast<std::uint16_t>(std::stoul(*port));
+    config.port = util::parse_u16(*port, "--port");
   if (const auto workers = args.option("workers"))
-    config.workers = std::stoul(*workers);
+    config.workers = util::parse_size(*workers, "--workers", 1);
   if (const auto depth = args.option("queue-depth"))
-    config.max_queue = std::stoul(*depth);
+    config.max_queue = util::parse_size(*depth, "--queue-depth", 1);
   if (const auto timeout = args.option("timeout-ms"))
-    config.request_timeout = std::chrono::milliseconds(std::stoul(*timeout));
+    config.request_timeout =
+        std::chrono::milliseconds(util::parse_u64(*timeout, "--timeout-ms"));
   if (const auto conns = args.option("max-connections"))
-    config.max_connections = std::stoul(*conns);
+    config.max_connections = util::parse_size(*conns, "--max-connections", 1);
   if (const auto loops = args.option("event-loop-threads"))
-    config.event_loop_threads = std::stoul(*loops);
+    config.event_loop_threads =
+        util::parse_size(*loops, "--event-loop-threads");
   if (const auto cache = args.option("response-cache"))
-    config.response_cache_entries = std::stoul(*cache);
+    config.response_cache_entries =
+        util::parse_size(*cache, "--response-cache");
   if (const auto bind = args.option("bind")) config.bind_address = *bind;
   if (const auto token = args.option("auth-token")) config.auth_token = *token;
 
@@ -502,7 +587,7 @@ std::pair<std::string, std::uint16_t> parse_host_port(const std::string& spec) {
   if (colon == std::string::npos || colon + 1 >= spec.size())
     throw std::runtime_error("expected host:port, got '" + spec + "'");
   return {spec.substr(0, colon),
-          static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)))};
+          util::parse_u16(spec.substr(colon + 1), "--connect port", 1)};
 }
 
 /// The sweep grid from --workflows/--scenarios/--strategies/--seeds.
@@ -520,10 +605,10 @@ exp::SweepGridSpec parse_grid(const Args& args) {
     grid.strategies = scheduling::paper_strategy_labels();
   const std::string seeds = args.option("seeds").value_or("0");
   const std::size_t colon = seeds.find(':');
-  grid.seed_begin = std::stoull(seeds.substr(0, colon));
+  grid.seed_begin = util::parse_u64(seeds.substr(0, colon), "--seeds");
   grid.seed_end = colon == std::string::npos
                       ? grid.seed_begin
-                      : std::stoull(seeds.substr(colon + 1));
+                      : util::parse_u64(seeds.substr(colon + 1), "--seeds");
   exp::validate_grid(grid);
   return grid;
 }
@@ -531,9 +616,10 @@ exp::SweepGridSpec parse_grid(const Args& args) {
 dist::TrackerConfig parse_tracker(const Args& args) {
   dist::TrackerConfig tracker;
   if (const auto ms = args.option("lease-timeout-ms"))
-    tracker.lease_timeout = std::chrono::milliseconds(std::stoul(*ms));
+    tracker.lease_timeout =
+        std::chrono::milliseconds(util::parse_u64(*ms, "--lease-timeout-ms"));
   if (const auto attempts = args.option("max-attempts"))
-    tracker.max_attempts = std::stoul(*attempts);
+    tracker.max_attempts = util::parse_size(*attempts, "--max-attempts", 1);
   return tracker;
 }
 
@@ -564,7 +650,8 @@ int cmd_sweep(const Args& args) {
     dist::CoordinatorOptions options;
     options.tracker = parse_tracker(args);
     if (const auto per = args.option("shards-per-worker"))
-      options.shards_per_worker = std::stoul(*per);
+      options.shards_per_worker =
+          util::parse_size(*per, "--shards-per-worker", 1);
     std::vector<std::shared_ptr<dist::ShardTransport>> workers;
     for (const std::string& spec : split_csv(*connect)) {
       dist::HttpShardTransport::Options remote;
@@ -586,9 +673,9 @@ int cmd_sweep(const Args& args) {
     dist::CoordinatorServer::Config config;
     config.tracker = parse_tracker(args);
     if (const auto port = args.option("listen-port"))
-      config.port = static_cast<std::uint16_t>(std::stoul(*port));
-    const std::size_t shard_count =
-        std::stoul(args.option("shards").value_or("8"));
+      config.port = util::parse_u16(*port, "--listen-port");
+    const std::size_t shard_count = util::parse_size(
+        args.option("shards").value_or("8"), "--shards", 1, 1 << 20);
     dist::CoordinatorServer server(exp::partition_grid(grid, shard_count),
                                    config);
     server.start();
@@ -638,11 +725,13 @@ int cmd_worker(const Args& args) {
   dist::WorkerOptions options;
   std::tie(options.host, options.port) = parse_host_port(*connect);
   if (const auto ms = args.option("delay-ms"))
-    options.delay_per_shard = std::chrono::milliseconds(std::stoul(*ms));
+    options.delay_per_shard =
+        std::chrono::milliseconds(util::parse_u64(*ms, "--delay-ms"));
   if (const auto shards = args.option("max-shards"))
-    options.max_shards = std::stoul(*shards);
+    options.max_shards = util::parse_size(*shards, "--max-shards", 1);
   if (const auto ms = args.option("poll-ms"))
-    options.poll_interval = std::chrono::milliseconds(std::stoul(*ms));
+    options.poll_interval =
+        std::chrono::milliseconds(util::parse_u64(*ms, "--poll-ms"));
 
   const dist::WorkerReport report = dist::run_worker(options);
   std::cout << "cloudwf worker: " << report.shards_completed << " completed, "
@@ -659,12 +748,14 @@ int cmd_worker(const Args& args) {
 
 int cmd_check(const Args& args) {
   check::DifferentialConfig config;
-  if (const auto cases = args.option("cases")) config.cases = std::stoul(*cases);
-  if (const auto seed = args.option("seed")) config.seed = std::stoull(*seed);
+  if (const auto cases = args.option("cases"))
+    config.cases = util::parse_size(*cases, "--cases", 1);
+  if (const auto seed = args.option("seed"))
+    config.seed = util::parse_u64(*seed, "--seed");
   if (const auto threads = args.option("threads"))
-    config.fast_path_threads = std::stoul(*threads);
+    config.fast_path_threads = util::parse_size(*threads, "--threads");
   if (const auto large = args.option("large-tasks"))
-    config.large_case_tasks = std::stoul(*large);
+    config.large_case_tasks = util::parse_size(*large, "--large-tasks", 1);
   const bool json = args.flag("json");
 
   const check::DifferentialResult result = check::run_differential(
@@ -693,27 +784,29 @@ int cmd_check(const Args& args) {
 // checked and billed; --json emits the full deterministic result (the CI
 // determinism gate diffs two fixed-seed runs byte-for-byte).
 int cmd_mtsim(const Args& args) {
-  const std::size_t tenant_count =
-      std::stoul(args.option("tenants").value_or("3"));
-  if (tenant_count == 0) throw std::runtime_error("--tenants must be >= 1");
+  const std::size_t tenant_count = util::parse_size(
+      args.option("tenants").value_or("3"), "--tenants", 1, 10000);
   const std::string policy_name = args.option("policy").value_or("shared");
   const std::optional<tenant::SharingPolicy> policy =
       tenant::parse_policy(policy_name);
   if (!policy)
     throw std::runtime_error("unknown policy '" + policy_name +
                              "' (exclusive|shared|weighted-fair)");
-  const double lambda = std::stod(args.option("arrival").value_or("0.002"));
-  if (lambda <= 0.0) throw std::runtime_error("--arrival must be > 0");
-  const std::size_t job_count =
-      std::stoul(args.option("jobs").value_or(std::to_string(2 * tenant_count)));
-  const std::uint64_t seed = std::stoull(args.option("seed").value_or("0"));
+  const double lambda = util::parse_double(
+      args.option("arrival").value_or("0.002"), "--arrival", 1e-12);
+  const std::size_t job_count = util::parse_size(
+      args.option("jobs").value_or(std::to_string(2 * tenant_count)), "--jobs",
+      1);
+  const std::uint64_t seed =
+      util::parse_u64(args.option("seed").value_or("0"), "--seed");
 
   tenant::SimConfig cfg;
   cfg.policy = *policy;
-  cfg.sigma = std::stod(args.option("sigma").value_or("0"));
+  cfg.sigma =
+      util::parse_double(args.option("sigma").value_or("0"), "--sigma", 0.0);
   cfg.actuals_seed = 0x7e2013u ^ seed;
   if (const auto quantum = args.option("quantum"))
-    cfg.drr_quantum = std::stod(*quantum);
+    cfg.drr_quantum = util::parse_double(*quantum, "--quantum", 1e-12);
   if (const auto prov = args.option("provisioning")) {
     bool found = false;
     for (const provisioning::ProvisioningKind kind :
@@ -737,7 +830,7 @@ int cmd_mtsim(const Args& args) {
     spec.name = "t" + std::to_string(i);
     spec.weight = static_cast<double>(i + 1);  // distinct fair-share weights
     if (const auto quota = args.option("quota"))
-      spec.max_running = std::stoul(*quota);
+      spec.max_running = util::parse_size(*quota, "--quota", 1);
     registry.add(std::move(spec));
   }
 
@@ -839,6 +932,9 @@ constexpr const char* kUsage =
     "  compare    all 19 paper strategies on one workflow (--workflow)\n"
     "  advise     feature-based strategy advice (--workflow)\n"
     "  plan       cheapest feasible strategy under constraints (--workflow)\n"
+    "  constrained  deadline/budget feasibility over the strategy set, with\n"
+    "             optional stochastic configuration search (--workflow,\n"
+    "             --deadline-factor, --budget-factor, --search, --iterations)\n"
     "  report     full markdown reproduction report\n"
     "  artifacts  write the reproduction artifact bundle\n"
     "  diff       compare two strategies' schedules (--strategy, --vs)\n"
@@ -866,6 +962,7 @@ int main(int argc, char** argv) {
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "advise") return cmd_advise(args);
     if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "constrained") return cmd_constrained(args);
     if (args.command == "report") return cmd_report(args);
     if (args.command == "artifacts") return cmd_artifacts(args);
     if (args.command == "diff") return cmd_diff(args);

@@ -54,6 +54,7 @@
 #include "svc/http.hpp"
 #include "svc/protocol.hpp"
 #include "util/json.hpp"
+#include "util/parse.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -148,8 +149,11 @@ bool binary_response_ok(const std::string& target, const std::string& body) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Options opt;
+  using cloudwf::util::parse_double;
+  using cloudwf::util::parse_size;
+  using cloudwf::util::parse_u16;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -160,18 +164,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--host") opt.host = value();
-    else if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::stoul(value()));
-    else if (arg == "--requests") opt.requests = std::stoul(value());
-    else if (arg == "--concurrency") opt.concurrency = std::stoul(value());
+    else if (arg == "--port") opt.port = parse_u16(value(), "--port", 1);
+    else if (arg == "--requests") opt.requests = parse_size(value(), "--requests", 1);
+    else if (arg == "--concurrency") opt.concurrency = parse_size(value(), "--concurrency");
     else if (arg == "--mode") opt.mode = value();
-    else if (arg == "--rate") opt.rate = std::stod(value());
-    else if (arg == "--pool") opt.pool = std::stoul(value());
+    else if (arg == "--rate") opt.rate = parse_double(value(), "--rate", 1e-9);
+    else if (arg == "--pool") opt.pool = parse_size(value(), "--pool");
     else if (arg == "--endpoint") opt.endpoint = value();
     else if (arg == "--workflow") opt.workflow = value();
     else if (arg == "--strategy") opt.strategy = value();
     else if (arg == "--scenario") opt.scenario = value();
-    else if (arg == "--seeds") opt.seeds = std::stoul(value());
-    else if (arg == "--tenants") opt.tenants = std::stoul(value());
+    else if (arg == "--seeds") opt.seeds = parse_size(value(), "--seeds");
+    else if (arg == "--tenants") opt.tenants = parse_size(value(), "--tenants");
     else if (arg == "--binary") opt.binary = true;
     else if (arg == "--tolerate-429") opt.tolerate_429 = true;
     else if (arg == "--json") opt.json_path = value();
@@ -440,4 +444,9 @@ int main(int argc, char** argv) {
   }
 
   return errors > 0 ? 1 : 0;
+} catch (const std::exception& e) {
+  // Bad flag values (util/parse.hpp names the offending flag) and any other
+  // setup failure: readable diagnostic, exit 1.
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }
